@@ -1,0 +1,133 @@
+// Fig. 4 -- calibrating the phase shifts, in three stages:
+//  (a) smoothed (unwrapped) phase sequence vs. the geometric ground truth:
+//      a constant misalignment (the diversity term theta_div) separates them;
+//  (b) after subtracting the diversity term: the sequences match except for
+//      ~0.7 rad gaps around the peaks, and the sampling density is higher in
+//      the peak/valley segments (A, C) than in the middle segment (B);
+//  (c) after the orientation calibration: residuals shrink to noise level.
+#include <cstdio>
+#include <vector>
+
+#include "core/orientation_calibration.hpp"
+#include "core/preprocess.hpp"
+#include "dsp/stats.hpp"
+#include "eval/report.hpp"
+#include "eval/runner.hpp"
+#include "geom/angles.hpp"
+#include "sim/interrogator.hpp"
+#include "sim/scenario.hpp"
+
+using namespace tagspin;
+
+int main() {
+  eval::printHeading("Fig. 4: calibrating the phase shifts");
+
+  sim::ScenarioConfig sc;
+  sc.seed = 4;
+  sc.fixedChannel = true;
+  sim::World world = sim::makeTwoRigWorld(sc);
+  world.rigs.resize(1);
+  world.rigs[0].rig.center = {0.40, 0.0, 0.0};
+  const geom::Vec3 reader{0.0, 2.77, 0.0};
+  sim::placeReaderAntenna(world, 0, reader);
+
+  const sim::RigTag& rig = world.rigs[0];
+  const rfid::ReportStream reports =
+      sim::interrogate(world, {2.0 * rig.rig.periodS(), 0, 0});
+  const auto snaps = core::extractSnapshots(reports, rig.tag.epc);
+  const double lambda = snaps.front().lambdaM;
+
+  // Geometric ground truth phase for every read (Eqn. 3, exact distance).
+  auto groundTruth = [&](const core::Snapshot& s) {
+    const double d = geom::distance(rig.rig.tagPosition(s.timeS), reader);
+    return 4.0 * geom::kPi / lambda * d;
+  };
+
+  // Stage (a): raw wrapped residual between measurement and ground truth;
+  // its circular mean is the diversity misalignment.
+  std::vector<double> rawDiff(snaps.size());
+  for (size_t i = 0; i < snaps.size(); ++i) {
+    rawDiff[i] = geom::wrapTwoPi(snaps[i].phaseRad - groundTruth(snaps[i]));
+  }
+  const double thetaDivEst = geom::circularMean(rawDiff);
+  const double thetaDivTrue = geom::wrapToPi(
+      rig.tag.hardwarePhase + world.reader.antenna(0).cableAndPortPhase);
+  std::printf("(a) diversity misalignment: estimated %.3f rad "
+              "(true theta_div %.3f rad)\n",
+              thetaDivEst, geom::wrapTwoPi(thetaDivTrue));
+
+  // Robust spread measures: ~3% of reads are interference outliers with a
+  // uniform phase error, which would dominate min/max and plain RMS.
+  auto trimmedRms = [](const std::vector<double>& xs) {
+    std::vector<double> mags(xs.size());
+    for (size_t i = 0; i < xs.size(); ++i) mags[i] = std::abs(xs[i]);
+    const double cutoff = 3.0 * dsp::percentile(mags, 75.0) + 0.05;
+    std::vector<double> inliers;
+    for (double x : xs) {
+      if (std::abs(x) <= cutoff) inliers.push_back(x);
+    }
+    return dsp::rms(inliers);
+  };
+  auto robustSpan = [](const std::vector<double>& xs) {
+    return dsp::percentile(xs, 97.0) - dsp::percentile(xs, 3.0);
+  };
+
+  // Stage (b): residual after removing the diversity term.
+  std::vector<double> afterDiv(snaps.size());
+  for (size_t i = 0; i < snaps.size(); ++i) {
+    afterDiv[i] = geom::wrapToPi(rawDiff[i] - thetaDivEst);
+  }
+  std::printf("(b) residual after diversity calibration: trimmed rms %.3f "
+              "rad, p3-p97 span %.3f rad (paper: ~0.7 rad gap at peaks)\n",
+              trimmedRms(afterDiv), robustSpan(afterDiv));
+
+  // Sampling density per orientation segment: A/C near the energy peaks
+  // (rho ~ pi/2, 3pi/2), B in the middle.
+  double densityPeak = 0.0, densityMid = 0.0;
+  int nPeak = 0, nMid = 0;
+  const auto density = core::samplingDensity(snaps, 1.0);
+  for (size_t i = 0; i < snaps.size(); ++i) {
+    const double rho = core::orientationAtPosition(
+        {rig.rig.center,
+         {rig.rig.radiusM, rig.rig.omegaRadPerS, rig.rig.initialAngle,
+          rig.rig.tagPlaneOffset}},
+        snaps[i].timeS, reader);
+    const double fold = std::abs(std::sin(rho));
+    if (fold > 0.9) {
+      densityPeak += density[i];
+      ++nPeak;
+    } else if (fold < 0.45) {
+      densityMid += density[i];
+      ++nMid;
+    }
+  }
+  if (nPeak > 0 && nMid > 0) {
+    std::printf("    sampling density: %.1f reads/s near peaks (A/C) vs "
+                "%.1f reads/s mid-segment (B) -- ratio %.2f\n",
+                densityPeak / nPeak, densityMid / nMid,
+                (densityPeak / nPeak) / (densityMid / nMid));
+  }
+
+  // Stage (c): orientation calibration (prelude fit + correction).
+  const auto models = eval::runCalibrationPrelude(world, 60.0);
+  const core::OrientationModel& model = models.at(rig.tag.epc);
+  const core::RigSpec spec{
+      rig.rig.center,
+      {rig.rig.radiusM, rig.rig.omegaRadPerS, rig.rig.initialAngle,
+       rig.rig.tagPlaneOffset}};
+  const auto calibrated =
+      core::calibrateOrientationAtPosition(snaps, spec, model, reader);
+  std::vector<double> afterOrient(calibrated.size());
+  for (size_t i = 0; i < calibrated.size(); ++i) {
+    afterOrient[i] = geom::wrapToPi(
+        geom::wrapTwoPi(calibrated[i].phaseRad - groundTruth(calibrated[i])) -
+        thetaDivEst - model.offsetAt(geom::kPi / 2.0));
+  }
+  // Remove the residual constant (reference-orientation offset).
+  const double c = geom::circularMean(afterOrient);
+  for (double& v : afterOrient) v = geom::wrapToPi(v - c);
+  std::printf("(c) residual after orientation calibration: trimmed rms %.3f "
+              "rad, p3-p97 span %.3f rad (phase noise sigma = 0.1 rad)\n",
+              trimmedRms(afterOrient), robustSpan(afterOrient));
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Fig. 5 -- influence of tag orientation: the tag is fixed at the disk
+// *center* (its distance to the reader never changes) yet the reported
+// phase fluctuates by ~0.7 rad as the disk rotates.
+#include <cstdio>
+#include <vector>
+
+#include "core/preprocess.hpp"
+#include "dsp/stats.hpp"
+#include "eval/report.hpp"
+#include "geom/angles.hpp"
+#include "sim/interrogator.hpp"
+#include "sim/scenario.hpp"
+
+using namespace tagspin;
+
+int main() {
+  eval::printHeading(
+      "Fig. 5: tag fixed at the disk center -- phase vs. rotation");
+
+  sim::ScenarioConfig sc;
+  sc.seed = 5;
+  sc.fixedChannel = true;
+  sim::World world = sim::makeCenterSpinWorld(sc);
+  const geom::Vec3 reader{0.0, 2.0, 0.0};
+  sim::placeReaderAntenna(world, 0, reader);
+
+  const sim::RigTag& rig = world.rigs[0];
+  const rfid::ReportStream reports =
+      sim::interrogate(world, {2.0 * rig.rig.periodS(), 0, 0});
+  const auto snaps = core::extractSnapshots(reports, rig.tag.epc);
+
+  // Phase relative to the first read, against orientation rho.
+  std::printf("%10s %14s %14s\n", "time_s", "rho_deg", "rel_phase_rad");
+  std::vector<double> rel(snaps.size());
+  const size_t step = snaps.size() / 60 + 1;
+  for (size_t i = 0; i < snaps.size(); ++i) {
+    rel[i] = geom::wrapToPi(snaps[i].phaseRad - snaps[0].phaseRad);
+    if (i % step == 0) {
+      const double rho =
+          rig.rig.orientationRho(snaps[i].timeS, reader);
+      std::printf("%10.3f %14.1f %14.4f\n", snaps[i].timeS,
+                  geom::radToDeg(rho), rel[i]);
+    }
+  }
+
+  // Robust span (3% of reads carry uniform interference outliers).
+  const double p2p = dsp::percentile(rel, 98.0) - dsp::percentile(rel, 2.0);
+  std::printf("\nphase fluctuation (distance constant!): %.3f rad "
+              "p2-p98 span  [paper: ~0.7 rad]\n", p2p);
+  std::printf("ground-truth orientation response of this tag instance: "
+              "%.3f rad peak-to-peak\n",
+              rig.tag.orientation.peakToPeak());
+  return 0;
+}

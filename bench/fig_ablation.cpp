@@ -1,0 +1,166 @@
+// Ablations beyond the paper's figures -- the design choices DESIGN.md
+// calls out:
+//  (1) profile formula P/Q/R under the full noise model,
+//  (2) the weight-bandwidth scale of R(phi),
+//  (3) multipath strength (scatterer reflectivity),
+//  (4) channel hopping on/off with channel-coherent grouping,
+//  (5) third, vertically-spinning rig for +-z disambiguation
+//      (the paper's future-work extension).
+#include <cstdio>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/tagspin.hpp"
+#include "eval/estimators.hpp"
+#include "eval/report.hpp"
+#include "rf/channel.hpp"
+#include "sim/interrogator.hpp"
+
+using namespace tagspin;
+
+namespace {
+
+eval::RunResult run2d(const sim::World& world, int trials,
+                      const core::LocatorConfig& lc) {
+  eval::RunnerConfig rc;
+  rc.world = world;
+  rc.region = sim::Region{};
+  rc.trials = trials;
+  rc.durationS = 30.0;
+  return eval::runExperiment(rc, eval::makeTagspin2D(lc));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int trials = argc > 1 ? std::atoi(argv[1]) : 10;
+
+  eval::printHeading("Ablation 1: profile formula (full noise model, 2D)");
+  {
+    sim::ScenarioConfig sc;
+    sc.seed = 201;
+    sc.fixedChannel = true;
+    const sim::World world = sim::makeTwoRigWorld(sc);
+    eval::printSummaryHeader();
+    for (const auto& [name, f] :
+         {std::pair{"P (classical AoA)", core::ProfileFormula::kClassicalP},
+          std::pair{"Q (relative)", core::ProfileFormula::kRelativeQ},
+          std::pair{"R (enhanced)", core::ProfileFormula::kEnhancedR}}) {
+      core::LocatorConfig lc;
+      lc.profile.formula = f;
+      eval::printSummaryRow(name, run2d(world, trials, lc).summary);
+    }
+  }
+
+  eval::printHeading("Ablation 2: R(phi) weight bandwidth scale");
+  {
+    sim::ScenarioConfig sc;
+    sc.seed = 202;
+    sc.fixedChannel = true;
+    const sim::World world = sim::makeTwoRigWorld(sc);
+    std::vector<std::pair<double, double>> series;
+    for (double scale : {1.0, 2.0, 3.0, 5.0, 8.0}) {
+      core::LocatorConfig lc;
+      lc.profile.weightSigmaScale = scale;
+      series.emplace_back(scale, run2d(world, trials, lc).summary.mean);
+    }
+    eval::printSeries("sigma_scale", "mean_err_cm", series);
+    std::printf("[after orientation calibration the residuals are noise-"
+                "dominated and R is insensitive to the scale; the scale "
+                "matters when structured residuals remain -- see DESIGN.md "
+                "deviation 3]\n");
+  }
+
+  eval::printHeading("Ablation 3: multipath strength");
+  {
+    std::vector<std::pair<double, double>> series;
+    for (double refl : {0.0, 0.01, 0.02, 0.05, 0.10}) {
+      sim::ScenarioConfig sc;
+      sc.seed = 203;
+      sc.fixedChannel = true;
+      sc.multipath = refl > 0.0;
+      sim::World world = sim::makeTwoRigWorld(sc);
+      std::vector<rf::Scatterer> scatterers = world.channel.scatterers();
+      for (rf::Scatterer& s : scatterers) s.reflectivity = refl;
+      world.channel =
+          rf::BackscatterChannel(world.channel.config(), scatterers);
+      series.emplace_back(refl, run2d(world, trials, {}).summary.mean);
+    }
+    eval::printSeries("reflectivity", "mean_err_cm", series);
+    std::printf("[coherent multipath is the dominant residual error]\n");
+  }
+
+  eval::printHeading("Ablation 4: channel hopping + channel-coherent groups");
+  {
+    eval::printSummaryHeader();
+    for (const bool hopping : {false, true}) {
+      sim::ScenarioConfig sc;
+      sc.seed = 204;
+      sc.fixedChannel = !hopping;
+      const sim::World world = sim::makeTwoRigWorld(sc);
+      for (const bool grouped : {true, false}) {
+        if (!hopping && !grouped) continue;  // identical to grouped
+        core::LocatorConfig lc;
+        lc.profile.channelCoherent = grouped;
+        char name[64];
+        std::snprintf(name, sizeof name, "%s, %s",
+                      hopping ? "16-ch hopping" : "fixed channel",
+                      grouped ? "per-channel groups" : "naive single group");
+        eval::printSummaryRow(name, run2d(world, trials, lc).summary);
+      }
+    }
+    std::printf("[relative phases only cohere within a channel; grouping "
+                "restores accuracy under regulatory hopping]\n");
+  }
+
+  eval::printHeading(
+      "Ablation 5: third vertically-spinning rig resolves the z sign");
+  {
+    sim::ScenarioConfig sc;
+    sc.seed = 205;
+    sc.fixedChannel = true;
+    sc.rigPlaneZ = 1.2;  // rigs on a shelf; readers below them
+    sim::World world = sim::makeTwoRigWorld(sc);
+    sim::addVerticalRig(world, {0.0, 0.35, sc.rigPlaneZ}, sc);
+
+    // Readers BELOW the rig plane: the kNonNegative prior mirrors every one
+    // of them to the wrong half-space; the vertical rig recovers the sign.
+    core::LocatorConfig withPrior;  // default kNonNegative
+    core::LocatorConfig withVertical;
+    withVertical.zResolution = core::ZResolution::kBoth;
+
+    const auto models = eval::runCalibrationPrelude(world, 60.0);
+    std::vector<eval::ErrorCm> priorErrors, verticalErrors;
+    std::mt19937_64 rng(777);
+    std::uniform_real_distribution<double> dx(-1.2, 1.2), dy(1.0, 2.8),
+        dz(0.3, 1.0);
+    for (int trial = 0; trial < trials; ++trial) {
+      sim::World w = world;
+      const geom::Vec3 truth{dx(rng), dy(rng), sc.rigPlaneZ - dz(rng)};
+      sim::placeReaderAntenna(w, 0, truth);
+      const auto reports =
+          sim::interrogate(w, {30.0, 0, static_cast<uint64_t>(trial) + 1});
+
+      const auto priorServer =
+          eval::buildTagspinServer(w, models, withPrior);
+      priorErrors.push_back(
+          eval::errorCm(priorServer.locate3D(reports).position, truth));
+      const auto verticalServer =
+          eval::buildTagspinServer(w, models, withVertical);
+      verticalErrors.push_back(
+          eval::errorCm(verticalServer.locate3D(reports).position, truth));
+    }
+    eval::printSummaryHeader();
+    eval::printSummaryRow("z>=plane prior (wrong half-space)",
+                          eval::summarizeCombined(priorErrors));
+    eval::printSummaryRow("vertical-rig disambiguation",
+                          eval::summarizeCombined(verticalErrors));
+    std::printf("[readers are 0.3-1.0 m BELOW the rig plane: the fixed "
+                "prior mirrors them, the third (vertically spinning) rig "
+                "recovers the true sign -- the paper's future-work "
+                "extension]\n");
+  }
+  return 0;
+}

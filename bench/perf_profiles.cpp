@@ -1,0 +1,118 @@
+// Microbenchmarks of the hot paths (google-benchmark): profile evaluation,
+// azimuth spectrum search (exhaustive vs coarse-to-fine), the 3D spatial
+// search, and the end-to-end 2D fix.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/locator.hpp"
+#include "core/power_profile.hpp"
+#include "core/preprocess.hpp"
+#include "core/spectrum.hpp"
+#include "geom/angles.hpp"
+
+using namespace tagspin;
+
+namespace {
+
+std::vector<core::Snapshot> makeSnapshots(size_t n, double phiTrue) {
+  const double lambda = 0.325;
+  const double r = 0.10;
+  const double D = 2.0;
+  const core::RigKinematics kin{r, 0.5, 0.0, geom::kPi / 2.0};
+  std::mt19937_64 rng(42);
+  std::normal_distribution<double> noise(0.0, 0.1);
+  std::vector<core::Snapshot> snaps;
+  snaps.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * 30.0 / static_cast<double>(n);
+    const double a = kin.diskAngle(t);
+    const double d = D - r * std::cos(a - phiTrue);
+    core::Snapshot s;
+    s.timeS = t;
+    s.phaseRad =
+        geom::wrapTwoPi(4.0 * geom::kPi / lambda * d + 1.23 + noise(rng));
+    s.lambdaM = lambda;
+    s.channel = 0;
+    snaps.push_back(s);
+  }
+  return snaps;
+}
+
+const core::RigKinematics kKin{0.10, 0.5, 0.0, geom::kPi / 2.0};
+
+void BM_EvaluateQ(benchmark::State& state) {
+  const auto snaps = makeSnapshots(static_cast<size_t>(state.range(0)), 1.0);
+  core::ProfileConfig pc;
+  pc.formula = core::ProfileFormula::kRelativeQ;
+  const core::PowerProfile profile(snaps, kKin, pc);
+  double phi = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profile.evaluate(phi));
+    phi += 0.01;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(snaps.size()));
+}
+BENCHMARK(BM_EvaluateQ)->Arg(256)->Arg(1024)->Arg(2500);
+
+void BM_EvaluateR(benchmark::State& state) {
+  const auto snaps = makeSnapshots(static_cast<size_t>(state.range(0)), 1.0);
+  const core::PowerProfile profile(snaps, kKin, {});
+  double phi = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profile.evaluate(phi));
+    phi += 0.01;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(snaps.size()));
+}
+BENCHMARK(BM_EvaluateR)->Arg(256)->Arg(1024)->Arg(2500);
+
+void BM_AzimuthSearchExhaustive(benchmark::State& state) {
+  const auto snaps = makeSnapshots(1024, 1.0);
+  const core::PowerProfile profile(snaps, kKin, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::estimateAzimuth(profile, {}));
+  }
+}
+BENCHMARK(BM_AzimuthSearchExhaustive);
+
+void BM_AzimuthSearchCoarseFine(benchmark::State& state) {
+  const auto snaps = makeSnapshots(1024, 1.0);
+  const core::PowerProfile profile(snaps, kKin, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::estimateAzimuthCoarseFine(profile, {}));
+  }
+}
+BENCHMARK(BM_AzimuthSearchCoarseFine);
+
+void BM_SpatialSearch3D(benchmark::State& state) {
+  const auto snaps = makeSnapshots(1024, 1.0);
+  const core::PowerProfile profile(snaps, kKin, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::estimateSpatial(profile, {}));
+  }
+}
+BENCHMARK(BM_SpatialSearch3D);
+
+void BM_Locate2D(benchmark::State& state) {
+  core::RigObservation o1;
+  o1.rig.center = {-0.2, 0.0, 0.0};
+  o1.rig.kinematics = kKin;
+  o1.snapshots = makeSnapshots(1024, geom::degToRad(75.0));
+  core::RigObservation o2;
+  o2.rig.center = {0.2, 0.0, 0.0};
+  o2.rig.kinematics = kKin;
+  o2.snapshots = makeSnapshots(1024, geom::degToRad(95.0));
+  const std::vector<core::RigObservation> obs{o1, o2};
+  const core::Locator locator;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(locator.locate2D(obs));
+  }
+}
+BENCHMARK(BM_Locate2D);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,32 @@
+#include "baselines/antloc.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "geom/angles.hpp"
+#include "geom/ray.hpp"
+
+namespace tagspin::baselines {
+
+geom::Vec3 antlocLocate(std::span<const BearingObservation> observations) {
+  if (observations.size() < 2) {
+    throw std::invalid_argument("antlocLocate: need at least two bearings");
+  }
+  std::vector<geom::Ray2> rays;
+  rays.reserve(observations.size());
+  double zAcc = 0.0;
+  for (const BearingObservation& o : observations) {
+    // The reader saw the tag at `bearing`; the reader therefore lies on the
+    // ray leaving the tag in the opposite direction.
+    rays.push_back({o.tagPosition.xy(),
+                    geom::wrapTwoPi(o.bearingFromReader + geom::kPi)});
+    zAcc += o.tagPosition.z;
+  }
+  const auto fix = geom::leastSquaresIntersection(rays);
+  if (!fix) {
+    throw std::runtime_error("antlocLocate: degenerate bearing geometry");
+  }
+  return {fix->x, fix->y, zAcc / static_cast<double>(observations.size())};
+}
+
+}  // namespace tagspin::baselines

@@ -1,0 +1,35 @@
+// AntLoc -- the rotatable-antenna reader-localization scheme of Luo et al.
+// (IEEE IECON 2007), the paper's only prior art for locating readers.
+//
+// The reader sweeps its directional antenna; for each reference tag the
+// bearing of maximum RSSI estimates the tag's direction.  With two or more
+// reference tags at surveyed positions the reader's own position follows by
+// resection (each measured bearing defines a back-ray from the tag).  The
+// bearing error is limited by the antenna's beamwidth divided by the RSSI
+// contrast, i.e. several degrees -- which is why the original system reports
+// decimeter-level error.
+#pragma once
+
+#include <span>
+
+#include "geom/vec.hpp"
+
+namespace tagspin::baselines {
+
+struct AntLocConfig {
+  /// 1-sigma bearing error of the max-RSSI sweep (radians).  A 60-70 degree
+  /// HPBW patch antenna with stepped attenuation resolves the RSSI maximum
+  /// to roughly a fifth of its beamwidth, ~12 degrees.
+  double bearingNoiseStd = 0.22;
+};
+
+struct BearingObservation {
+  geom::Vec3 tagPosition;   // surveyed reference tag position
+  double bearingFromReader; // world-frame azimuth reader -> tag (measured)
+};
+
+/// Resection from bearings.  Throws std::invalid_argument on fewer than two
+/// observations; std::runtime_error when all back-rays are parallel.
+geom::Vec3 antlocLocate(std::span<const BearingObservation> observations);
+
+}  // namespace tagspin::baselines

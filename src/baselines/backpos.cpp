@@ -1,0 +1,101 @@
+#include "baselines/backpos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "geom/angles.hpp"
+
+namespace tagspin::baselines {
+
+double backposCost(std::span<const AnchorPhase> anchors,
+                   const geom::Vec2& candidate) {
+  double cost = 0.0;
+  for (size_t i = 0; i < anchors.size(); ++i) {
+    for (size_t j = i + 1; j < anchors.size(); ++j) {
+      const AnchorPhase& a = anchors[i];
+      const AnchorPhase& b = anchors[j];
+      const double da = geom::distance(candidate, a.position.xy());
+      const double db = geom::distance(candidate, b.position.xy());
+      // Round-trip phase difference predicted at the candidate point.
+      const double predicted = 4.0 * std::numbers::pi * (da / a.lambdaM -
+                                                         db / b.lambdaM);
+      const double measured = a.phase - b.phase;
+      const double r = geom::wrapToPi(measured - predicted);
+      cost += r * r;
+    }
+  }
+  return cost;
+}
+
+geom::Vec2 backposLocate(std::span<const AnchorPhase> anchors,
+                         const SearchBounds& bounds,
+                         const BackPosConfig& config) {
+  if (anchors.size() < 3) {
+    throw std::invalid_argument("backposLocate: need at least three anchors");
+  }
+  if (bounds.xMax <= bounds.xMin || bounds.yMax <= bounds.yMin) {
+    throw std::invalid_argument("backposLocate: empty search bounds");
+  }
+  // The cost landscape is a field of narrow lambda/2 wrap-basins; the
+  // coarse grid ranks basins but can sample the true basin off-center, so
+  // several top candidates are refined independently and the best final
+  // cost wins.
+  struct Candidate {
+    geom::Vec2 point;
+    double cost;
+  };
+  std::vector<Candidate> top;
+  const size_t keep = 64;
+  const double separation = 0.08;  // ~ lambda/4: same-basin duplicates merge
+  for (double x = bounds.xMin; x <= bounds.xMax; x += config.gridStepM) {
+    for (double y = bounds.yMin; y <= bounds.yMax; y += config.gridStepM) {
+      const geom::Vec2 p{x, y};
+      const double c = backposCost(anchors, p);
+      // Replace a nearby candidate if better; otherwise insert.
+      bool merged = false;
+      for (Candidate& cand : top) {
+        if (geom::distance(cand.point, p) < separation) {
+          if (c < cand.cost) cand = {p, c};
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) {
+        top.push_back({p, c});
+        std::sort(top.begin(), top.end(),
+                  [](const Candidate& a, const Candidate& b) {
+                    return a.cost < b.cost;
+                  });
+        if (top.size() > keep) top.pop_back();
+      }
+    }
+  }
+
+  auto refine = [&](Candidate cand) {
+    double h = config.gridStepM / 2.0;
+    for (int round = 0; round < config.refineRounds; ++round) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        for (int dy = -1; dy <= 1; ++dy) {
+          if (dx == 0 && dy == 0) continue;
+          const geom::Vec2 p{cand.point.x + dx * h, cand.point.y + dy * h};
+          const double c = backposCost(anchors, p);
+          if (c < cand.cost) cand = {p, c};
+        }
+      }
+      h /= 2.0;
+    }
+    return cand;
+  };
+
+  Candidate best{{bounds.xMin, bounds.yMin},
+                 backposCost(anchors, {bounds.xMin, bounds.yMin})};
+  for (const Candidate& cand : top) {
+    const Candidate refined = refine(cand);
+    if (refined.cost < best.cost) best = refined;
+  }
+  return best.point;
+}
+
+}  // namespace tagspin::baselines

@@ -1,0 +1,60 @@
+// BackPos (Liu et al., INFOCOM 2014), adapted to reader localization.
+//
+// Original system: a tag is located from phase *differences* of arrival
+// between pairs of reader antennas at known positions (hyperbolic
+// positioning), with the phase's lambda/2 ambiguity resolved by constraining
+// the solution to a feasible region.
+//
+// Dual adaptation: phase-calibrated reference tags at surveyed positions act
+// as the anchors; the reader measures one averaged phase per anchor, and its
+// position is the point in the feasible region whose predicted pairwise
+// phase differences best match the measured ones (wrapped residuals, grid
+// search + local refinement -- the grid plays the role of BackPos's
+// constrained region).
+#pragma once
+
+#include <span>
+
+#include "geom/vec.hpp"
+
+namespace tagspin::baselines {
+
+struct BackPosConfig {
+  double gridStepM = 0.015;  // coarse search resolution (about lambda/20)
+  int refineRounds = 6;
+  /// Residual per-anchor phase-calibration error (rad, 1 sigma): anchors'
+  /// theta_div is surveyed once; drift and orientation shift leave a
+  /// residual.  Above ~0.2 rad the lambda/2 ambiguity search starts picking
+  /// wrong lobes and the system fails outright.
+  double anchorCalibrationStd = 0.12;
+  /// Anchors used for the fix and the aperture of the anchor array.  The
+  /// original system used four antennas spanning a few metres; a cluster
+  /// that is too compact cannot range at room scale, while anchors spread
+  /// over the whole room would hand the adaptation better geometry than the
+  /// published system had.
+  int anchorCount = 8;
+  double arrayApertureM = 1.5;
+};
+
+struct AnchorPhase {
+  geom::Vec3 position;  // anchor tag's surveyed position
+  double phase;         // averaged measured phase, theta_div removed
+  double lambdaM;       // wavelength the phase was measured at
+};
+
+struct SearchBounds {
+  double xMin, xMax, yMin, yMax;
+};
+
+/// Hyperbolic fix in the plane.  Throws std::invalid_argument on fewer than
+/// three anchors (two pairs are needed for an unambiguous 2D fix).
+geom::Vec2 backposLocate(std::span<const AnchorPhase> anchors,
+                         const SearchBounds& bounds,
+                         const BackPosConfig& config = {});
+
+/// The matching cost at a candidate point (sum of squared wrapped pairwise
+/// residuals); exposed for tests.
+double backposCost(std::span<const AnchorPhase> anchors,
+                   const geom::Vec2& candidate);
+
+}  // namespace tagspin::baselines

@@ -1,0 +1,54 @@
+#include "baselines/dtw.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace tagspin::baselines {
+
+double dtwDistance(std::span<const double> a, std::span<const double> b,
+                   const DtwConfig& config) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 || m == 0) {
+    throw std::invalid_argument("dtwDistance: empty sequence");
+  }
+  const double inf = std::numeric_limits<double>::infinity();
+  const long band =
+      config.bandFraction > 0.0
+          ? std::max<long>(1, static_cast<long>(config.bandFraction *
+                                                static_cast<double>(
+                                                    std::max(n, m))))
+          : static_cast<long>(std::max(n, m));
+
+  // Rolling two-row DP.
+  std::vector<double> prev(m + 1, inf);
+  std::vector<double> curr(m + 1, inf);
+  prev[0] = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    std::fill(curr.begin(), curr.end(), inf);
+    const long center = static_cast<long>(i * m / n);
+    const size_t jLo = static_cast<size_t>(std::max<long>(1, center - band));
+    const size_t jHi = static_cast<size_t>(
+        std::min<long>(static_cast<long>(m), center + band));
+    for (size_t j = jLo; j <= jHi; ++j) {
+      const double d = a[i - 1] - b[j - 1];
+      const double best =
+          std::min({prev[j], curr[j - 1], prev[j - 1]});
+      curr[j] = d * d + best;
+    }
+    std::swap(prev, curr);
+  }
+  const double cost = prev[m];
+  if (!std::isfinite(cost)) {
+    // Band too narrow for very unequal lengths; fall back to unconstrained.
+    DtwConfig unconstrained;
+    unconstrained.bandFraction = 0.0;
+    return dtwDistance(a, b, unconstrained);
+  }
+  return std::sqrt(cost / static_cast<double>(n + m));
+}
+
+}  // namespace tagspin::baselines

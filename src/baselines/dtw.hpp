@@ -1,0 +1,23 @@
+// Dynamic time warping distance between sampled profiles; PinIt aligns
+// multipath profiles with DTW before nearest-neighbour matching.
+#pragma once
+
+#include <span>
+
+namespace tagspin::baselines {
+
+struct DtwConfig {
+  /// Sakoe-Chiba band half-width as a fraction of the sequence length;
+  /// <= 0 disables the constraint.  Angular fingerprints must stay tight:
+  /// a wide band lets profiles of different directions warp onto each other.
+  double bandFraction = 0.02;
+};
+
+/// Classic DTW with squared pointwise cost; returns the square root of the
+/// accumulated cost normalised by the warping-path-free length (so values
+/// are comparable across sequence lengths).  Empty inputs throw
+/// std::invalid_argument.
+double dtwDistance(std::span<const double> a, std::span<const double> b,
+                   const DtwConfig& config = {});
+
+}  // namespace tagspin::baselines

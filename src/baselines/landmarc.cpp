@@ -1,0 +1,35 @@
+#include "baselines/landmarc.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace tagspin::baselines {
+
+geom::Vec3 landmarcLocate(std::span<const RssiObservation> observations,
+                          const LandmarcConfig& config) {
+  if (observations.empty()) {
+    throw std::invalid_argument("landmarcLocate: no reference observations");
+  }
+  std::vector<RssiObservation> sorted(observations.begin(),
+                                      observations.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const RssiObservation& a, const RssiObservation& b) {
+              return a.rssiDbm > b.rssiDbm;
+            });
+  const size_t k =
+      std::min(sorted.size(), static_cast<size_t>(std::max(config.k, 1)));
+  const double best = sorted.front().rssiDbm;
+
+  geom::Vec3 acc{};
+  double wAcc = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    const double e = best - sorted[i].rssiDbm + config.epsilonDb;
+    const double w = 1.0 / (e * e);
+    acc += sorted[i].position * w;
+    wAcc += w;
+  }
+  return acc / wAcc;
+}
+
+}  // namespace tagspin::baselines

@@ -1,0 +1,34 @@
+// LandMarc (Ni et al., Wireless Networks 2004), adapted to reader
+// localization.
+//
+// Original system: reference active tags at known positions; a target tag's
+// position is the weighted centroid of its k nearest reference tags, where
+// nearness is similarity of RSSI vectors across readers.  Dual adaptation
+// for locating the *reader*: the reader hears every reference tag once; the
+// strongest-heard references are the nearest, and the reader's position is
+// their weighted centroid with the classic 1/E^2 weights, E being the RSSI
+// shortfall from the strongest reference.
+#pragma once
+
+#include <span>
+
+#include "geom/vec.hpp"
+
+namespace tagspin::baselines {
+
+struct LandmarcConfig {
+  int k = 4;                 // nearest references used
+  double epsilonDb = 1.0;    // regulariser in the 1/E^2 weight
+};
+
+struct RssiObservation {
+  geom::Vec3 position;  // reference tag's surveyed position
+  double rssiDbm;       // average RSSI the reader measured for it
+};
+
+/// Weighted-centroid estimate.  Throws std::invalid_argument when fewer
+/// than one observation is provided.
+geom::Vec3 landmarcLocate(std::span<const RssiObservation> observations,
+                          const LandmarcConfig& config = {});
+
+}  // namespace tagspin::baselines

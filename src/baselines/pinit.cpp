@@ -1,0 +1,59 @@
+#include "baselines/pinit.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tagspin::baselines {
+
+double pinitDistance(const Fingerprint& fp,
+                     std::span<const std::vector<double>> measured,
+                     const DtwConfig& config) {
+  if (fp.profiles.size() != measured.size()) {
+    throw std::invalid_argument("pinitDistance: aperture count mismatch");
+  }
+  double total = 0.0;
+  for (size_t i = 0; i < measured.size(); ++i) {
+    total += dtwDistance(measured[i], fp.profiles[i], config);
+  }
+  return total;
+}
+
+geom::Vec3 pinitLocate(std::span<const Fingerprint> database,
+                       std::span<const std::vector<double>> measured,
+                       const PinItConfig& config) {
+  if (database.empty()) {
+    throw std::invalid_argument("pinitLocate: empty fingerprint database");
+  }
+  if (measured.empty() ||
+      std::any_of(measured.begin(), measured.end(),
+                  [](const std::vector<double>& p) { return p.empty(); })) {
+    throw std::invalid_argument("pinitLocate: empty measured profile");
+  }
+  struct Scored {
+    double distance;
+    const Fingerprint* fp;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(database.size());
+  for (const Fingerprint& fp : database) {
+    scored.push_back({pinitDistance(fp, measured, config.dtw), &fp});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& a, const Scored& b) {
+              return a.distance < b.distance;
+            });
+  const size_t k =
+      std::min(scored.size(), static_cast<size_t>(std::max(config.k, 1)));
+  geom::Vec3 acc{};
+  double wAcc = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    const double w =
+        1.0 / ((scored[i].distance + config.epsilon) *
+               (scored[i].distance + config.epsilon));
+    acc += scored[i].fp->position * w;
+    wAcc += w;
+  }
+  return acc / wAcc;
+}
+
+}  // namespace tagspin::baselines

@@ -1,0 +1,50 @@
+// PinIt (Wang & Katabi, SIGCOMM 2013), adapted to reader localization.
+//
+// Original system: each tag's *multipath profile* (power arriving along each
+// spatial angle, extracted with SAR) acts as a location fingerprint;
+// a target tag is placed at the weighted centroid of the reference tags
+// whose profiles are closest under DTW.
+//
+// Dual adaptation: an offline survey phase records the angular power profile
+// observed from each reference grid position; online, the reader measures
+// its own profile (via the spinning-tag SAR aperture) and matches it against
+// the surveyed fingerprints with DTW.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "baselines/dtw.hpp"
+#include "geom/vec.hpp"
+
+namespace tagspin::baselines {
+
+struct PinItConfig {
+  int k = 2;            // nearest fingerprints averaged
+  DtwConfig dtw;
+  double epsilon = 1e-3;  // regulariser in the 1/d^2 weight
+};
+
+struct Fingerprint {
+  geom::Vec3 position;  // surveyed position
+  /// One angular power profile per SAR aperture (a single aperture cannot
+  /// separate positions along the same ray from it; the original PinIt had
+  /// the same need for multiple antennas).
+  std::vector<std::vector<double>> profiles;
+};
+
+/// Match `measured` (one profile per aperture, same order as the database)
+/// against the survey; weighted centroid of the k nearest fingerprints
+/// under the summed per-aperture DTW distance.  Throws
+/// std::invalid_argument on an empty database, empty profiles, or aperture
+/// count mismatch.
+geom::Vec3 pinitLocate(std::span<const Fingerprint> database,
+                       std::span<const std::vector<double>> measured,
+                       const PinItConfig& config = {});
+
+/// Summed per-aperture DTW distance (exposed for tests).
+double pinitDistance(const Fingerprint& fp,
+                     std::span<const std::vector<double>> measured,
+                     const DtwConfig& config);
+
+}  // namespace tagspin::baselines

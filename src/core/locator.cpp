@@ -1,0 +1,232 @@
+#include "core/locator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/power_profile.hpp"
+#include "geom/angles.hpp"
+
+namespace tagspin::core {
+
+Locator::Locator(LocatorConfig config) : config_(config) {}
+
+std::vector<Snapshot> Locator::calibrated(const RigObservation& obs,
+                                          double azimuthEstimate) const {
+  return calibrateOrientation(obs.snapshots, obs.rig.kinematics,
+                              obs.orientation, azimuthEstimate);
+}
+
+namespace {
+
+/// The orientation-calibration loop needs a starting azimuth before any
+/// correction is available.  The enhanced profile's Gaussian weights assume
+/// orientation-free residuals, so the *initial* estimate uses the relative
+/// profile Q, which is robust to the (still uncorrected) orientation offset;
+/// later iterations switch to the configured formula.
+ProfileConfig bootstrapConfig(ProfileConfig base) {
+  if (base.formula == ProfileFormula::kEnhancedR) {
+    base.formula = ProfileFormula::kRelativeQ;
+  }
+  return base;
+}
+
+}  // namespace
+
+RigDirection Locator::estimateDirection2D(const RigObservation& obs) const {
+  const bool calibrate =
+      !obs.orientation.isIdentity() && config_.orientationIterations > 0;
+  const ProfileConfig firstConfig =
+      calibrate ? bootstrapConfig(config_.profile) : config_.profile;
+  PowerProfile profile(obs.snapshots, obs.rig.kinematics, firstConfig);
+  AzimuthEstimate est = estimateAzimuth(profile, config_.search);
+  if (calibrate) {
+    for (int it = 0; it < config_.orientationIterations; ++it) {
+      const std::vector<Snapshot> snaps = calibrated(obs, est.azimuth);
+      PowerProfile refined(snaps, obs.rig.kinematics, config_.profile);
+      est = estimateAzimuth(refined, config_.search);
+    }
+  }
+  return {est.azimuth, 0.0, est.value};
+}
+
+RigDirection Locator::estimateDirection3D(const RigObservation& obs) const {
+  const bool calibrate =
+      !obs.orientation.isIdentity() && config_.orientationIterations > 0;
+  const ProfileConfig firstConfig =
+      calibrate ? bootstrapConfig(config_.profile) : config_.profile;
+  PowerProfile profile(obs.snapshots, obs.rig.kinematics, firstConfig);
+  SpatialEstimate est = estimateSpatial(profile, config_.search);
+  if (calibrate) {
+    for (int it = 0; it < config_.orientationIterations; ++it) {
+      const std::vector<Snapshot> snaps = calibrated(obs, est.azimuth);
+      PowerProfile refined(snaps, obs.rig.kinematics, config_.profile);
+      est = estimateSpatial(refined, config_.search);
+    }
+  }
+  return {est.azimuth, est.polar, est.value};
+}
+
+namespace {
+
+geom::Vec2 intersectFromDirections(
+    std::span<const RigObservation> observations,
+    std::span<const RigDirection> directions, double* residualOut) {
+  std::vector<geom::Ray2> rays;
+  rays.reserve(observations.size());
+  for (size_t i = 0; i < observations.size(); ++i) {
+    rays.push_back(
+        {observations[i].rig.center.xy(), directions[i].azimuth});
+  }
+  std::optional<geom::Vec2> fix;
+  if (rays.size() == 2) {
+    // Two rigs: the exact intersection (the robust form of Eqn. 9).
+    const auto hit = geom::intersectRays(rays[0], rays[1]);
+    if (hit) fix = hit->point;
+  }
+  if (!fix) fix = geom::leastSquaresIntersection(rays);
+  if (!fix) {
+    throw std::runtime_error(
+        "locate: rig rays are parallel; reader direction is degenerate");
+  }
+  if (residualOut) *residualOut = geom::rmsResidual(rays, *fix);
+  return *fix;
+}
+
+}  // namespace
+
+Fix2D Locator::locate2D(std::span<const RigObservation> observations) const {
+  if (observations.size() < 2) {
+    throw std::invalid_argument("locate2D: need at least two rigs");
+  }
+  const bool anyModel =
+      config_.orientationIterations > 0 &&
+      std::any_of(observations.begin(), observations.end(),
+                  [](const RigObservation& o) {
+                    return !o.orientation.isIdentity();
+                  });
+
+  // Pass 0: bootstrap directions without calibration (Q formula when the
+  // enhanced profile is configured -- see bootstrapConfig).
+  const ProfileConfig cfg0 =
+      anyModel ? bootstrapConfig(config_.profile) : config_.profile;
+  Fix2D fix;
+  fix.directions.reserve(observations.size());
+  for (const RigObservation& obs : observations) {
+    PowerProfile profile(obs.snapshots, obs.rig.kinematics, cfg0);
+    const AzimuthEstimate est = estimateAzimuth(profile, config_.search);
+    fix.directions.push_back({est.azimuth, 0.0, est.value});
+  }
+  fix.position =
+      intersectFromDirections(observations, fix.directions, &fix.residualM);
+
+  if (anyModel) {
+    // Orientation-calibration loop: correct each rig's phases against the
+    // current *position* estimate (exact tag-edge geometry), re-estimate.
+    for (int it = 0; it < config_.orientationIterations; ++it) {
+      const geom::Vec3 est3{fix.position.x, fix.position.y,
+                            observations[0].rig.center.z};
+      for (size_t i = 0; i < observations.size(); ++i) {
+        const RigObservation& obs = observations[i];
+        const std::vector<Snapshot> snaps = calibrateOrientationAtPosition(
+            obs.snapshots, obs.rig, obs.orientation, est3);
+        PowerProfile profile(snaps, obs.rig.kinematics, config_.profile);
+        const AzimuthEstimate est = estimateAzimuth(profile, config_.search);
+        fix.directions[i] = {est.azimuth, 0.0, est.value};
+      }
+      fix.position = intersectFromDirections(observations, fix.directions,
+                                             &fix.residualM);
+    }
+  }
+  return fix;
+}
+
+Fix3D Locator::locate3D(std::span<const RigObservation> observations) const {
+  if (observations.size() < 2) {
+    throw std::invalid_argument("locate3D: need at least two rigs");
+  }
+  const bool anyModel =
+      config_.orientationIterations > 0 &&
+      std::any_of(observations.begin(), observations.end(),
+                  [](const RigObservation& o) {
+                    return !o.orientation.isIdentity();
+                  });
+
+  const ProfileConfig cfg0 =
+      anyModel ? bootstrapConfig(config_.profile) : config_.profile;
+  Fix3D fix;
+  fix.directions.reserve(observations.size());
+  for (const RigObservation& obs : observations) {
+    PowerProfile profile(obs.snapshots, obs.rig.kinematics, cfg0);
+    const SpatialEstimate est = estimateSpatial(profile, config_.search);
+    fix.directions.push_back({est.azimuth, est.polar, est.value});
+  }
+  geom::Vec2 xy =
+      intersectFromDirections(observations, fix.directions, &fix.residualM);
+
+  if (anyModel) {
+    for (int it = 0; it < config_.orientationIterations; ++it) {
+      // rho lives in the rigs' horizontal plane, so only the xy estimate
+      // matters for the correction.
+      const geom::Vec3 est3{xy.x, xy.y, observations[0].rig.center.z};
+      for (size_t i = 0; i < observations.size(); ++i) {
+        const RigObservation& obs = observations[i];
+        const std::vector<Snapshot> snaps = calibrateOrientationAtPosition(
+            obs.snapshots, obs.rig, obs.orientation, est3);
+        PowerProfile profile(snaps, obs.rig.kinematics, config_.profile);
+        const SpatialEstimate est = estimateSpatial(profile, config_.search);
+        fix.directions[i] = {est.azimuth, est.polar, est.value};
+      }
+      xy = intersectFromDirections(observations, fix.directions,
+                                   &fix.residualM);
+    }
+  }
+
+  // Eqn. 13: each rig predicts |z| = horizontal_distance * tan(|gamma|);
+  // balance the estimates weighted by spectrum confidence.
+  double zAcc = 0.0;
+  double wAcc = 0.0;
+  for (size_t i = 0; i < observations.size(); ++i) {
+    const geom::Vec3& c = observations[i].rig.center;
+    const double horiz = (xy - c.xy()).norm();
+    const double zk = horiz * std::tan(fix.directions[i].polar);
+    const double w = std::max(fix.directions[i].peakValue, 1e-9);
+    zAcc += w * zk;
+    wAcc += w;
+  }
+  const double zMag = wAcc > 0.0 ? zAcc / wAcc : 0.0;
+  // z is measured relative to the rig plane.
+  const double zPlane = observations[0].rig.center.z;
+
+  switch (config_.zResolution) {
+    case ZResolution::kNonNegative:
+      fix.position = {xy.x, xy.y, zPlane + zMag};
+      break;
+    case ZResolution::kNonPositive:
+      fix.position = {xy.x, xy.y, zPlane - zMag};
+      break;
+    case ZResolution::kBoth:
+      fix.position = {xy.x, xy.y, zPlane + zMag};
+      fix.mirrorCandidate = geom::Vec3{xy.x, xy.y, zPlane - zMag};
+      break;
+  }
+  return fix;
+}
+
+geom::Vec3 Locator::disambiguateZ(const RigObservation& verticalRig,
+                                  const geom::Vec3& candidateA,
+                                  const geom::Vec3& candidateB) const {
+  PowerProfile profile(verticalRig.snapshots, verticalRig.rig.kinematics,
+                       config_.profile);
+  auto valueFor = [&](const geom::Vec3& candidate) {
+    const geom::Vec3 u = (candidate - verticalRig.rig.center).normalized();
+    // Projection of the direction onto the rig's x-z rotation plane.
+    const double scale = std::hypot(u.x, u.z);
+    const double angle = std::atan2(u.z, u.x);
+    return profile.evaluateDirection(angle, scale);
+  };
+  return valueFor(candidateA) >= valueFor(candidateB) ? candidateA
+                                                      : candidateB;
+}
+
+}  // namespace tagspin::core

@@ -1,0 +1,86 @@
+// Reader localization from multiple spinning-tag angle spectra
+// (paper section V).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/orientation_calibration.hpp"
+#include "core/snapshot.hpp"
+#include "core/spectrum.hpp"
+#include "geom/ray.hpp"
+
+namespace tagspin::core {
+
+/// A rig's observations for one localization attempt.  `orientation` is the
+/// phase-orientation model of the specific tag on this rig (identity when
+/// no calibration prelude was run for it).
+struct RigObservation {
+  RigSpec rig;
+  std::vector<Snapshot> snapshots;
+  OrientationModel orientation;
+};
+
+/// Per-rig direction estimate produced on the way to a fix.
+struct RigDirection {
+  double azimuth = 0.0;
+  double polar = 0.0;       // |gamma|; 0 in pure 2D runs
+  double peakValue = 0.0;   // profile value at the peak (confidence)
+};
+
+struct Fix2D {
+  geom::Vec2 position;
+  std::vector<RigDirection> directions;
+  /// RMS perpendicular distance of the fix to the rig rays -- a consistency
+  /// diagnostic (meaningful for >= 3 rigs; ~0 for exactly 2).
+  double residualM = 0.0;
+};
+
+struct Fix3D {
+  geom::Vec3 position;
+  /// The mirror candidate (z negated) when ZResolution::kBoth is selected.
+  std::optional<geom::Vec3> mirrorCandidate;
+  std::vector<RigDirection> directions;
+  double residualM = 0.0;
+};
+
+class Locator {
+ public:
+  explicit Locator(LocatorConfig config = {});
+
+  const LocatorConfig& config() const { return config_; }
+
+  /// Azimuth spectrum of a single rig, with iterative orientation
+  /// calibration when a model is installed.
+  RigDirection estimateDirection2D(const RigObservation& obs) const;
+
+  /// (azimuth, polar) spectrum of a single rig, 3D.
+  RigDirection estimateDirection3D(const RigObservation& obs) const;
+
+  /// 2D fix from >= 2 horizontal rigs (Eqn. 9 for two rigs via the robust
+  /// equivalent; least squares for more).  Throws std::invalid_argument on
+  /// fewer than 2 rigs; std::runtime_error when all rays are parallel.
+  Fix2D locate2D(std::span<const RigObservation> observations) const;
+
+  /// 3D fix from >= 2 horizontal rigs: x, y from azimuths (Eqn. 9), |z|
+  /// from the polar angles (Eqn. 13a/13b balanced by peak confidence),
+  /// sign from config().zResolution.
+  Fix3D locate3D(std::span<const RigObservation> observations) const;
+
+  /// Future-work extension: use a *vertically* spinning rig to resolve the
+  /// +-z ambiguity -- evaluates the vertical rig's profile at the exact
+  /// direction each candidate predicts and keeps the stronger one.
+  geom::Vec3 disambiguateZ(const RigObservation& verticalRig,
+                           const geom::Vec3& candidateA,
+                           const geom::Vec3& candidateB) const;
+
+ private:
+  std::vector<Snapshot> calibrated(const RigObservation& obs,
+                                   double azimuthEstimate) const;
+
+  LocatorConfig config_;
+};
+
+}  // namespace tagspin::core

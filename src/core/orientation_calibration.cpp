@@ -1,0 +1,172 @@
+#include "core/orientation_calibration.hpp"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "dsp/linalg.hpp"
+#include "geom/angles.hpp"
+
+namespace tagspin::core {
+
+double orientationAt(const RigKinematics& kinematics, double timeS,
+                     double readerAzimuth) {
+  const double planeAngle =
+      kinematics.diskAngle(timeS) + kinematics.tagPlaneOffset;
+  return geom::wrapTwoPi(planeAngle - readerAzimuth);
+}
+
+OrientationModel OrientationModel::fit(std::span<const Snapshot> centerSpin,
+                                       const RigKinematics& kinematics,
+                                       double readerAzimuthFromTag,
+                                       size_t order) {
+  if (order == 0) {
+    throw std::invalid_argument("OrientationModel::fit: order must be >= 1");
+  }
+  // Work with wrapped deviations around each channel's circular mean rather
+  // than an unwrapped sequence: a single interference outlier would inject a
+  // false 2*pi step into an unwrap and poison the whole fit, whereas here it
+  // stays one bounded residual (rejected below).  The orientation effect is
+  // well under pi peak-to-peak, so the deviations never straddle the wrap.
+  std::map<int, size_t> channelColumn;
+  for (const Snapshot& s : centerSpin) {
+    channelColumn.try_emplace(s.channel, channelColumn.size());
+  }
+  const size_t nChannels = channelColumn.size();
+  const size_t nParams = nChannels + 2 * order;
+  if (centerSpin.size() < nParams + 2) {
+    throw std::invalid_argument(
+        "OrientationModel::fit: too few snapshots for requested order");
+  }
+
+  std::vector<std::vector<double>> perChannelPhases(nChannels);
+  for (const Snapshot& s : centerSpin) {
+    perChannelPhases[channelColumn.at(s.channel)].push_back(s.phaseRad);
+  }
+  std::vector<double> channelMean(nChannels);
+  for (size_t c = 0; c < nChannels; ++c) {
+    channelMean[c] = geom::circularMean(perChannelPhases[c]);
+  }
+
+  std::vector<double> rho(centerSpin.size());
+  std::vector<double> dev(centerSpin.size());
+  for (size_t i = 0; i < centerSpin.size(); ++i) {
+    const Snapshot& s = centerSpin[i];
+    rho[i] = orientationAt(kinematics, s.timeS, readerAzimuthFromTag);
+    dev[i] = geom::wrapToPi(s.phaseRad -
+                            channelMean[channelColumn.at(s.channel)]);
+  }
+
+  // Two-pass robust least squares: fit, reject > 3x residual RMS, refit.
+  std::vector<bool> keep(centerSpin.size(), true);
+  std::vector<double> solution;
+  double residualRms = 0.0;
+  for (int pass = 0; pass < 2; ++pass) {
+    size_t kept = 0;
+    for (bool k : keep) kept += k ? 1 : 0;
+    if (kept < nParams + 2) break;  // keep previous solution
+    dsp::Matrix design(kept, nParams);
+    std::vector<double> rhs(kept);
+    size_t row = 0;
+    for (size_t i = 0; i < centerSpin.size(); ++i) {
+      if (!keep[i]) continue;
+      design(row, channelColumn.at(centerSpin[i].channel)) = 1.0;
+      for (size_t k = 1; k <= order; ++k) {
+        const double kr = static_cast<double>(k) * rho[i];
+        design(row, nChannels + 2 * (k - 1)) = std::cos(kr);
+        design(row, nChannels + 2 * (k - 1) + 1) = std::sin(kr);
+      }
+      rhs[row] = dev[i];
+      ++row;
+    }
+    const auto sol = dsp::solveLeastSquares(design, rhs);
+    if (!sol) {
+      throw std::runtime_error(
+          "OrientationModel::fit: rank-deficient design (did the disk spin "
+          "through a full revolution?)");
+    }
+    solution = *sol;
+
+    auto predict = [&](size_t i) {
+      double p = solution[channelColumn.at(centerSpin[i].channel)];
+      for (size_t k = 1; k <= order; ++k) {
+        const double kr = static_cast<double>(k) * rho[i];
+        p += solution[nChannels + 2 * (k - 1)] * std::cos(kr);
+        p += solution[nChannels + 2 * (k - 1) + 1] * std::sin(kr);
+      }
+      return p;
+    };
+    double ss = 0.0;
+    for (size_t i = 0; i < centerSpin.size(); ++i) {
+      const double r = dev[i] - predict(i);
+      ss += r * r;
+    }
+    residualRms = std::sqrt(ss / static_cast<double>(centerSpin.size()));
+    const double cutoff = 3.0 * residualRms;
+    for (size_t i = 0; i < centerSpin.size(); ++i) {
+      keep[i] = std::abs(dev[i] - predict(i)) <= cutoff;
+    }
+  }
+
+  OrientationModel model;
+  model.series_.a0 = 0.0;
+  model.series_.a.resize(order);
+  model.series_.b.resize(order);
+  for (size_t k = 1; k <= order; ++k) {
+    model.series_.a[k - 1] = solution[nChannels + 2 * (k - 1)];
+    model.series_.b[k - 1] = solution[nChannels + 2 * (k - 1) + 1];
+  }
+  model.series_ = model.series_.referencedAt(geom::kPi / 2.0);
+  model.fitResidual_ = residualRms;
+  return model;
+}
+
+OrientationModel OrientationModel::fromSeries(dsp::FourierSeries series,
+                                              double fitResidual) {
+  OrientationModel model;
+  model.series_ = std::move(series);
+  model.fitResidual_ = fitResidual;
+  return model;
+}
+
+double OrientationModel::offsetAt(double rho) const {
+  return series_.evaluate(rho);
+}
+
+double orientationAtPosition(const RigSpec& rig, double timeS,
+                             const geom::Vec3& readerPos) {
+  const double a = rig.kinematics.diskAngle(timeS);
+  const geom::Vec3 tagPos =
+      rig.center + geom::Vec3{rig.kinematics.radiusM * std::cos(a),
+                              rig.kinematics.radiusM * std::sin(a), 0.0};
+  const double planeAngle = a + rig.kinematics.tagPlaneOffset;
+  return geom::wrapTwoPi(planeAngle - geom::azimuthOf(tagPos, readerPos));
+}
+
+std::vector<Snapshot> calibrateOrientationAtPosition(
+    std::span<const Snapshot> snaps, const RigSpec& rig,
+    const OrientationModel& model, const geom::Vec3& estimatedReaderPos) {
+  std::vector<Snapshot> out(snaps.begin(), snaps.end());
+  if (model.isIdentity()) return out;
+  for (Snapshot& s : out) {
+    const double rho = orientationAtPosition(rig, s.timeS, estimatedReaderPos);
+    s.phaseRad = geom::wrapTwoPi(s.phaseRad - model.offsetAt(rho));
+  }
+  return out;
+}
+
+std::vector<Snapshot> calibrateOrientation(std::span<const Snapshot> snaps,
+                                           const RigKinematics& kinematics,
+                                           const OrientationModel& model,
+                                           double estimatedReaderAzimuth) {
+  std::vector<Snapshot> out(snaps.begin(), snaps.end());
+  if (model.isIdentity()) return out;
+  for (Snapshot& s : out) {
+    const double rho =
+        orientationAt(kinematics, s.timeS, estimatedReaderAzimuth);
+    s.phaseRad = geom::wrapTwoPi(s.phaseRad - model.offsetAt(rho));
+  }
+  return out;
+}
+
+}  // namespace tagspin::core

@@ -1,0 +1,85 @@
+// Phase-orientation calibration (paper section III-B).
+//
+// Step 1 (prelude, once per tag/model): the tag is mounted at the *center*
+// of the disk, so its distance to the reader never changes; any phase
+// variation over a revolution is the orientation effect g(rho).  We fit a
+// Fourier series to the unwrapped phases against the known orientation
+// sequence, solving jointly for one constant offset per channel (the
+// 4*pi*D/lambda + theta_div term differs across hop channels).
+//
+// Step 2 (during localization): edge-spin phases are corrected by
+// g(rho_i) - g(pi/2), where rho_i follows from the disk angle and the
+// *estimated* reader direction; the locator iterates estimate -> calibrate.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/snapshot.hpp"
+#include "dsp/fourier.hpp"
+
+namespace tagspin::core {
+
+class OrientationModel {
+ public:
+  OrientationModel() = default;  // identity model (no correction)
+
+  /// Fit from a center-spin trace.  `readerAzimuthFromTag` is the known
+  /// direction from the rig center to the reader during the prelude (this
+  /// is a bench calibration step; the reader sits at a surveyed spot).
+  /// `order` is the Fourier order (paper: "fitted through Fourier series").
+  /// Throws std::invalid_argument when there are too few snapshots for the
+  /// requested order.
+  static OrientationModel fit(std::span<const Snapshot> centerSpin,
+                              const RigKinematics& kinematics,
+                              double readerAzimuthFromTag, size_t order = 4);
+
+  /// Reconstruct a model from its serialized series (core/serialization).
+  static OrientationModel fromSeries(dsp::FourierSeries series,
+                                     double fitResidual);
+
+  /// Phase offset at orientation rho, referenced so offsetAt(pi/2) == 0
+  /// (the paper uses rho = pi/2 -- tag plane perpendicular to the incident
+  /// signal -- as the reference orientation).
+  double offsetAt(double rho) const;
+
+  bool isIdentity() const { return series_.order() == 0; }
+  const dsp::FourierSeries& series() const { return series_; }
+
+  /// RMS residual of the fit on its training data (quality diagnostics).
+  double fitResidual() const { return fitResidual_; }
+
+ private:
+  dsp::FourierSeries series_;  // a0 forced to reference at rho = pi/2
+  double fitResidual_ = 0.0;
+};
+
+/// Apply Step 2: subtract the orientation offset from every snapshot, given
+/// the current estimate of the reader azimuth (from the rig center).
+///
+/// Note: rho computed from the rig-center azimuth carries a +-r/D wobble
+/// that is first-harmonic in the disk angle -- i.e. correlated with the SAR
+/// steering term -- so prefer the position-based overload once a position
+/// estimate exists.
+std::vector<Snapshot> calibrateOrientation(std::span<const Snapshot> snaps,
+                                           const RigKinematics& kinematics,
+                                           const OrientationModel& model,
+                                           double estimatedReaderAzimuth);
+
+/// Exact Step 2: rho is computed from the tag's *instantaneous edge
+/// position* toward the estimated reader position.
+std::vector<Snapshot> calibrateOrientationAtPosition(
+    std::span<const Snapshot> snaps, const RigSpec& rig,
+    const OrientationModel& model, const geom::Vec3& estimatedReaderPos);
+
+/// Orientation of the tag at snapshot time given the reader azimuth.
+double orientationAt(const RigKinematics& kinematics, double timeS,
+                     double readerAzimuth);
+
+/// Orientation of the tag at snapshot time given the reader position,
+/// accounting for the tag's displacement from the rig center (horizontal
+/// rigs).
+double orientationAtPosition(const RigSpec& rig, double timeS,
+                             const geom::Vec3& readerPos);
+
+}  // namespace tagspin::core

@@ -1,0 +1,144 @@
+#include "core/power_profile.hpp"
+
+#include <cmath>
+#include <complex>
+#include <map>
+#include <numbers>
+#include <stdexcept>
+
+#include "geom/angles.hpp"
+
+namespace tagspin::core {
+
+PowerProfile::PowerProfile(std::span<const Snapshot> snapshots,
+                           const RigKinematics& kinematics,
+                           const ProfileConfig& config)
+    : config_(config),
+      radius_(kinematics.radiusM),
+      sigmaPair_(config.phaseNoiseStd * std::numbers::sqrt2 *
+                 config.weightSigmaScale) {
+  if (snapshots.size() < 2) {
+    throw std::invalid_argument("PowerProfile: need at least 2 snapshots");
+  }
+  if (radius_ <= 0.0) {
+    throw std::invalid_argument("PowerProfile: rig radius must be > 0");
+  }
+  if (config.phaseNoiseStd <= 0.0) {
+    throw std::invalid_argument("PowerProfile: phaseNoiseStd must be > 0");
+  }
+
+  const bool classical = config.formula == ProfileFormula::kClassicalP;
+  const bool grouped = config.channelCoherent && !classical;
+
+  // First snapshot of each channel group serves as the group's phase
+  // reference (the paper's theta_0).
+  struct GroupRef {
+    int index;
+    double phase;
+    double diskAngle;
+  };
+  std::map<int, GroupRef> refs;
+  int nextGroup = 0;
+
+  entries_.reserve(snapshots.size());
+  for (const Snapshot& s : snapshots) {
+    if (s.lambdaM <= 0.0) {
+      throw std::invalid_argument("PowerProfile: snapshot missing wavelength");
+    }
+    const int key = grouped ? s.channel : 0;
+    const double a = kinematics.diskAngle(s.timeS);
+    auto [it, inserted] =
+        refs.try_emplace(key, GroupRef{nextGroup, s.phaseRad, a});
+    if (inserted) ++nextGroup;
+
+    Entry e;
+    e.cosA = std::cos(a);
+    e.sinA = std::sin(a);
+    e.cosRef = std::cos(it->second.diskAngle);
+    e.sinRef = std::sin(it->second.diskAngle);
+    e.k = 4.0 * std::numbers::pi / s.lambdaM;
+    e.group = it->second.index;
+    e.relPhase =
+        classical ? s.phaseRad : geom::wrapToPi(s.phaseRad - it->second.phase);
+    entries_.push_back(e);
+  }
+  groupCount_ = nextGroup;
+}
+
+double PowerProfile::evaluate(double phi, double gamma) const {
+  return evaluateDirection(phi, std::cos(gamma));
+}
+
+double PowerProfile::evaluateDirection(double phi, double cg) const {
+  const bool enhanced = config_.formula == ProfileFormula::kEnhancedR;
+  const double cosPhi = std::cos(phi);
+  const double sinPhi = std::sin(phi);
+  std::vector<std::complex<double>> sums(
+      static_cast<size_t>(groupCount_), std::complex<double>{0.0, 0.0});
+
+  if (!enhanced) {
+    for (const Entry& e : entries_) {
+      // cos(a_i - phi) from the precomputed components.
+      const double cosAmP = e.cosA * cosPhi + e.sinA * sinPhi;
+      const double steer = e.k * radius_ * cosAmP * cg;
+      sums[static_cast<size_t>(e.group)] += std::polar(1.0, e.relPhase + steer);
+    }
+  } else {
+    // Enhanced profile R.  Each snapshot's residual against the steering
+    // prediction c_i(phi, gamma) (Defn. 4.1 / 5.1) is Gaussian-weighted.
+    // Two refinements over the literal formula, both documented in
+    // DESIGN.md:
+    //  * residuals are wrapped to (-pi, pi] (|c_i| exceeds 2*pi for
+    //    r > lambda/4);
+    //  * residuals are centred on their per-group circular mean before
+    //    weighting.  The paper weights around zero, implicitly trusting the
+    //    reference snapshot theta_0; one corrupted reference read would
+    //    shift every residual by a constant and bias the weights toward a
+    //    false direction that absorbs the shift.  Centring restores the
+    //    reference-independence that Q enjoys through |.|.
+    const double inv2Sigma2 = 1.0 / (2.0 * sigmaPair_ * sigmaPair_);
+    std::vector<double> residuals(entries_.size());
+    std::vector<std::complex<double>> centroids(
+        static_cast<size_t>(groupCount_), std::complex<double>{0.0, 0.0});
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      const double cosAmP = e.cosA * cosPhi + e.sinA * sinPhi;
+      const double cosRefmP = e.cosRef * cosPhi + e.sinRef * sinPhi;
+      const double predicted = e.k * radius_ * cg * (cosRefmP - cosAmP);
+      residuals[i] = geom::wrapToPi(e.relPhase - predicted);
+      centroids[static_cast<size_t>(e.group)] +=
+          std::polar(1.0, residuals[i]);
+    }
+    std::vector<double> center(static_cast<size_t>(groupCount_), 0.0);
+    for (size_t g = 0; g < center.size(); ++g) {
+      if (std::abs(centroids[g]) > 0.0) center[g] = std::arg(centroids[g]);
+    }
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      const double centred =
+          geom::wrapToPi(residuals[i] - center[static_cast<size_t>(e.group)]);
+      const double w = std::exp(-centred * centred * inv2Sigma2);
+      // e^{J(relPhase + steer)} = e^{J(residual)} * e^{J k r cg cos(a_0-phi)}
+      // and the group-constant factor drops under |.|, so sum residual
+      // phasors directly.
+      sums[static_cast<size_t>(e.group)] += w * std::polar(1.0, residuals[i]);
+    }
+  }
+
+  double total = 0.0;
+  for (const std::complex<double>& s : sums) total += std::abs(s);
+  return total / static_cast<double>(entries_.size());
+}
+
+std::vector<double> PowerProfile::sampleAzimuth(size_t points,
+                                                double gamma) const {
+  std::vector<double> out(points);
+  for (size_t i = 0; i < points; ++i) {
+    out[i] = evaluate(geom::kTwoPi * static_cast<double>(i) /
+                          static_cast<double>(points),
+                      gamma);
+  }
+  return out;
+}
+
+}  // namespace tagspin::core

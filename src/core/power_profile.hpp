@@ -1,0 +1,84 @@
+// Angle power profiles (paper section IV and V-B).
+//
+// Given the snapshots of one spinning tag, the profile maps a candidate
+// direction (azimuth phi, optionally polar gamma) to the relative power
+// received from that direction, using circular-antenna-array SAR equations:
+//
+//   P(phi) = (1/n) |sum_i exp(J[theta_i      + k_i r cos(a_i - phi)])|
+//   Q(phi) = (1/n) |sum_i exp(J[theta_i-th_0 + k_i r cos(a_i - phi)])|
+//   R(phi) = (1/n) |sum_i w_i(phi) exp(J[theta_i-th_0 + k_i r cos(a_i-phi)])|
+//
+// with k_i = 4*pi/lambda_i, a_i the disk angle at snapshot i, and
+// w_i(phi) the Gaussian likelihood of the *wrapped* residual between the
+// measured relative phase and the steering prediction
+// c_i(phi) = k r (cos(a_0-phi) - cos(a_i-phi)) under N(0, 2 sigma^2).
+// In 3D every r cos(a - phi) term is multiplied by cos(gamma).
+//
+// Deviations from the paper's notation, documented here:
+//  * Weights use exp(-x^2 / (2 sigma_pair^2)) rather than the full Gaussian
+//    PDF -- same argmax, but profiles stay in [0, 1].
+//  * The residual is wrapped to (-pi, pi] before weighting; |c_i| exceeds
+//    2*pi whenever r > lambda/4, so the unwrapped residual of the paper's
+//    formula would mis-weight perfectly consistent snapshots.
+//  * With channel hopping, relative phases are only meaningful within one
+//    channel (the unknown 4*pi*D/lambda term differs across channels), so
+//    Q/R form one coherent sum per channel and combine the magnitudes.
+//    P ignores grouping -- it is the classical method reproduced as-is.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/snapshot.hpp"
+
+namespace tagspin::core {
+
+class PowerProfile {
+ public:
+  /// Builds the profile over the given snapshots (at least 2 required;
+  /// throws std::invalid_argument otherwise).
+  PowerProfile(std::span<const Snapshot> snapshots,
+               const RigKinematics& kinematics, const ProfileConfig& config);
+
+  /// Profile value for azimuth phi (2D, gamma = 0).
+  double evaluate(double phi) const { return evaluate(phi, 0.0); }
+
+  /// Profile value for direction (phi, gamma) -- paper Eqn. 11/12.
+  double evaluate(double phi, double gamma) const;
+
+  /// Generalised steering: the aperture term is scale * cos(a_i - angle),
+  /// where `angle` is measured in the rig's rotation plane and `scale` is
+  /// the length of the unit direction's projection onto that plane.  The
+  /// horizontal 3D case is evaluateDirection(phi, cos(gamma)); a vertically
+  /// spinning rig (future-work extension) uses its own plane projection.
+  double evaluateDirection(double angle, double scale) const;
+
+  /// Dense sampling over phi in [0, 2*pi) for plotting (Fig. 1, 6, 8).
+  std::vector<double> sampleAzimuth(size_t points, double gamma = 0.0) const;
+
+  size_t snapshotCount() const { return entries_.size(); }
+  const ProfileConfig& config() const { return config_; }
+
+ private:
+  struct Entry {
+    // cos/sin of the disk angle a_i and of the group's reference disk angle
+    // a_0, precomputed so the per-candidate evaluation needs no trig on the
+    // geometry: cos(a - phi) = cosA*cos(phi) + sinA*sin(phi).
+    double cosA = 0.0;
+    double sinA = 0.0;
+    double cosRef = 0.0;
+    double sinRef = 0.0;
+    double k = 0.0;           // 4*pi/lambda_i
+    double relPhase = 0.0;    // theta_i - theta_0 of its channel group
+    int group = 0;            // channel-group index
+  };
+
+  ProfileConfig config_;
+  double radius_ = 0.0;
+  double sigmaPair_ = 0.0;
+  int groupCount_ = 0;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace tagspin::core

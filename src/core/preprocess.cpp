@@ -1,0 +1,68 @@
+#include "core/preprocess.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "geom/angles.hpp"
+
+namespace tagspin::core {
+
+std::vector<Snapshot> extractSnapshots(const rfid::ReportStream& reports,
+                                       const rfid::Epc& epc,
+                                       const PreprocessConfig& config) {
+  std::vector<Snapshot> snaps;
+  for (const rfid::TagReport& r : reports) {
+    if (!(r.epc == epc)) continue;
+    if (r.rssiDbm < config.minRssiDbm) continue;
+    Snapshot s;
+    s.timeS = r.timestampS;
+    s.phaseRad = geom::wrapTwoPi(r.phaseRad);
+    s.lambdaM = r.wavelengthM();
+    s.channel = r.channelIndex;
+    s.rssiDbm = r.rssiDbm;
+    snaps.push_back(s);
+  }
+  if (snaps.empty()) {
+    throw std::invalid_argument(
+        "extractSnapshots: no usable reports for EPC " + epc.toHex());
+  }
+  std::sort(snaps.begin(), snaps.end(),
+            [](const Snapshot& a, const Snapshot& b) {
+              return a.timeS < b.timeS;
+            });
+  if (config.maxSnapshots > 0 && snaps.size() > config.maxSnapshots) {
+    std::vector<Snapshot> kept;
+    kept.reserve(config.maxSnapshots);
+    const double step = static_cast<double>(snaps.size()) /
+                        static_cast<double>(config.maxSnapshots);
+    for (size_t i = 0; i < config.maxSnapshots; ++i) {
+      kept.push_back(snaps[static_cast<size_t>(i * step)]);
+    }
+    snaps = std::move(kept);
+  }
+  return snaps;
+}
+
+std::vector<double> smoothedPhases(const std::vector<Snapshot>& snaps) {
+  std::vector<double> wrapped;
+  wrapped.reserve(snaps.size());
+  for (const Snapshot& s : snaps) wrapped.push_back(s.phaseRad);
+  return geom::smoothPhasesPaperRule(wrapped);
+}
+
+std::vector<double> samplingDensity(const std::vector<Snapshot>& snaps,
+                                    double windowS) {
+  std::vector<double> density(snaps.size(), 0.0);
+  if (snaps.empty() || windowS <= 0.0) return density;
+  size_t lo = 0;
+  size_t hi = 0;
+  for (size_t i = 0; i < snaps.size(); ++i) {
+    const double t = snaps[i].timeS;
+    while (lo < snaps.size() && snaps[lo].timeS < t - windowS / 2.0) ++lo;
+    while (hi < snaps.size() && snaps[hi].timeS <= t + windowS / 2.0) ++hi;
+    density[i] = static_cast<double>(hi - lo) / windowS;
+  }
+  return density;
+}
+
+}  // namespace tagspin::core

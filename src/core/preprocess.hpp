@@ -1,0 +1,37 @@
+// Report-stream preprocessing: reports -> snapshots, plus the phase-sequence
+// smoothing of paper section III-B used for inspection and Fig. 3/4.
+#pragma once
+
+#include <vector>
+
+#include "core/snapshot.hpp"
+#include "rfid/epc.hpp"
+#include "rfid/report.hpp"
+
+namespace tagspin::core {
+
+struct PreprocessConfig {
+  /// Drop reads weaker than this (spurious reads through the back lobe).
+  double minRssiDbm = -90.0;
+  /// Keep at most this many snapshots (0 = unlimited); evenly subsampled to
+  /// bound spectrum cost for very long interrogations.  4000 snapshots keep
+  /// the subsampling penalty negligible at the default 30 s interrogation.
+  size_t maxSnapshots = 4000;
+};
+
+/// Extract the snapshots of one tag (by EPC) from a report stream, sorted by
+/// time.  Throws std::invalid_argument if the stream contains no usable
+/// report for the EPC.
+std::vector<Snapshot> extractSnapshots(const rfid::ReportStream& reports,
+                                       const rfid::Epc& epc,
+                                       const PreprocessConfig& config = {});
+
+/// Unwrapped ("smoothed", section III-B) phase sequence of the snapshots.
+std::vector<double> smoothedPhases(const std::vector<Snapshot>& snaps);
+
+/// Sampling density (reads per second) estimated over sliding windows; used
+/// to reproduce the segment-A/B/C density observation of Fig. 4(b).
+std::vector<double> samplingDensity(const std::vector<Snapshot>& snaps,
+                                    double windowS);
+
+}  // namespace tagspin::core

@@ -1,0 +1,90 @@
+#include "core/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "dsp/peaks.hpp"
+#include "geom/angles.hpp"
+
+namespace tagspin::core {
+
+SpectrumQuality assessSpectrum(const PowerProfile& profile,
+                               size_t gridPoints) {
+  const std::vector<double> samples = profile.sampleAzimuth(gridPoints);
+  const auto peaks = dsp::findPeaks(samples, /*circular=*/true,
+                                    /*minSeparation=*/gridPoints / 36);
+  SpectrumQuality q;
+  if (peaks.empty()) {
+    // Pathologically flat profile.
+    q.peakValue = samples.empty() ? 0.0 : samples[dsp::argmax(samples)];
+    q.halfPowerWidthDeg = 360.0;
+    q.peakRatio = 1.0;
+    return q;
+  }
+  q.peakValue = peaks[0].value;
+  q.halfPowerWidthDeg =
+      dsp::halfPowerWidth(samples, peaks[0].index, /*circular=*/true) *
+      360.0 / static_cast<double>(gridPoints);
+  q.peakRatio = peaks.size() > 1
+                    ? peaks[0].value / std::max(peaks[1].value, 1e-12)
+                    : std::numeric_limits<double>::infinity();
+  return q;
+}
+
+double bearingGdop(std::span<const geom::Ray2> rays, const geom::Vec2& fix) {
+  // Normal equations A p = b with per-ray normals n_i; a bearing error
+  // dphi_i displaces ray i's line by D_i * dphi_i at the fix, so
+  // Cov(p) = A^{-1} (sum D_i^2 n n^T) A^{-1} for unit-variance errors.
+  double a00 = 0.0, a01 = 0.0, a11 = 0.0;
+  double b00 = 0.0, b01 = 0.0, b11 = 0.0;
+  for (const geom::Ray2& r : rays) {
+    const geom::Vec2 d = r.direction();
+    const geom::Vec2 n{-d.y, d.x};
+    const double dist2 = (fix - r.origin).norm2();
+    a00 += n.x * n.x;
+    a01 += n.x * n.y;
+    a11 += n.y * n.y;
+    b00 += dist2 * n.x * n.x;
+    b01 += dist2 * n.x * n.y;
+    b11 += dist2 * n.y * n.y;
+  }
+  const double det = a00 * a11 - a01 * a01;
+  if (std::abs(det) < 1e-12) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // Ainv = [a11 -a01; -a01 a00] / det;  Cov = Ainv * B * Ainv.
+  const double i00 = a11 / det, i01 = -a01 / det, i11 = a00 / det;
+  // M = Ainv * B
+  const double m00 = i00 * b00 + i01 * b01;
+  const double m01 = i00 * b01 + i01 * b11;
+  const double m10 = i01 * b00 + i11 * b01;
+  const double m11 = i01 * b01 + i11 * b11;
+  // Cov = M * Ainv; trace only.
+  const double c00 = m00 * i00 + m01 * i01;
+  const double c11 = m10 * i01 + m11 * i11;
+  const double trace = c00 + c11;
+  return trace > 0.0 ? std::sqrt(trace)
+                     : std::numeric_limits<double>::infinity();
+}
+
+double fixConfidence(std::span<const SpectrumQuality> spectra, double gdop) {
+  if (spectra.empty() || !std::isfinite(gdop)) return 0.0;
+  double logAcc = 0.0;
+  for (const SpectrumQuality& q : spectra) {
+    const double sharp =
+        std::clamp(1.0 - q.halfPowerWidthDeg / 90.0, 0.0, 1.0);
+    const double unimodal = std::isfinite(q.peakRatio)
+                                ? std::clamp((q.peakRatio - 1.0) / 1.5, 0.0,
+                                             1.0)
+                                : 1.0;
+    const double strength = std::clamp(q.peakValue, 0.0, 1.0);
+    logAcc += std::log(std::max(sharp * unimodal * strength, 1e-9));
+  }
+  const double spectral =
+      std::exp(logAcc / static_cast<double>(spectra.size()));
+  const double geometry = 1.0 / (1.0 + gdop / 10.0);
+  return spectral * geometry;
+}
+
+}  // namespace tagspin::core

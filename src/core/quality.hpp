@@ -1,0 +1,48 @@
+// Fix-quality diagnostics.
+//
+// A production deployment needs to know *whether to trust* a fix, not just
+// its value.  These metrics are computed from the angle spectrum and the
+// ray geometry:
+//  * peak sharpness (half-power width) -- narrow peaks mean a clean SAR
+//    inversion;
+//  * peak-to-second-peak ratio -- a strong secondary lobe signals
+//    multipath or an interference-dominated trace;
+//  * geometric dilution of precision (GDOP) -- how the rig/reader geometry
+//    amplifies per-rig angle errors into position error (readers near the
+//    rig baseline's extension are poorly conditioned, as the paper's
+//    center-distance sweep shows).
+#pragma once
+
+#include <span>
+
+#include "core/power_profile.hpp"
+#include "geom/ray.hpp"
+
+namespace tagspin::core {
+
+struct SpectrumQuality {
+  double peakValue = 0.0;        // profile value at the main peak, [0, 1]
+  double halfPowerWidthDeg = 0.0;
+  /// mainPeak / secondPeak; large is good.  Infinity when no second local
+  /// maximum exists.
+  double peakRatio = 0.0;
+};
+
+/// Quality of a single rig's azimuth spectrum.
+SpectrumQuality assessSpectrum(const PowerProfile& profile,
+                               size_t gridPoints = 720);
+
+/// Horizontal GDOP of a set of bearing rays at a candidate fix: the
+/// RMS position error per radian of (independent, unit-variance) bearing
+/// error.  Computed from the least-squares sensitivity of the intersection.
+/// Returns +infinity for degenerate (parallel-ray) geometry.
+double bearingGdop(std::span<const geom::Ray2> rays,
+                   const geom::Vec2& fix);
+
+/// Composite confidence in [0, 1]: high when all spectra are sharp and
+/// unimodal and the geometry is well conditioned.  Heuristic, monotone in
+/// each ingredient; intended for thresholding ("re-run the calibration"),
+/// not as a calibrated probability.
+double fixConfidence(std::span<const SpectrumQuality> spectra, double gdop);
+
+}  // namespace tagspin::core

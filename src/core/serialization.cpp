@@ -1,0 +1,228 @@
+#include "core/serialization.hpp"
+
+#include <cctype>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace tagspin::core {
+
+namespace {
+
+void writeRig(std::ostream& out, const std::string& section,
+              const rfid::Epc& epc, const RigSpec& rig) {
+  out << "[" << section << " " << epc.toHex() << "]\n";
+  out << std::setprecision(17);
+  out << "center = " << rig.center.x << " " << rig.center.y << " "
+      << rig.center.z << "\n";
+  out << "radius_m = " << rig.kinematics.radiusM << "\n";
+  out << "omega_rad_per_s = " << rig.kinematics.omegaRadPerS << "\n";
+  out << "initial_angle = " << rig.kinematics.initialAngle << "\n";
+  out << "tag_plane_offset = " << rig.kinematics.tagPlaneOffset << "\n";
+}
+
+void writeModelBody(std::ostream& out, const OrientationModel& model) {
+  const dsp::FourierSeries& s = model.series();
+  out << std::setprecision(17);
+  out << "order = " << s.order() << "\n";
+  out << "a0 = " << s.a0 << "\n";
+  for (size_t k = 0; k < s.order(); ++k) {
+    out << "a" << (k + 1) << " = " << s.a[k] << "\n";
+    out << "b" << (k + 1) << " = " << s.b[k] << "\n";
+  }
+  out << "fit_residual = " << model.fitResidual() << "\n";
+}
+
+struct Parser {
+  std::istream& in;
+  int lineNo = 0;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("deployment file line " +
+                                std::to_string(lineNo) + ": " + what);
+  }
+
+  /// Next meaningful line (skips blanks and comments); false on EOF.
+  bool next(std::string& line) {
+    while (std::getline(in, line)) {
+      ++lineNo;
+      size_t begin = line.find_first_not_of(" \t\r");
+      if (begin == std::string::npos) continue;
+      size_t end = line.find_last_not_of(" \t\r");
+      line = line.substr(begin, end - begin + 1);
+      if (line.empty() || line[0] == '#') continue;
+      return true;
+    }
+    return false;
+  }
+};
+
+std::pair<std::string, std::string> splitKeyValue(Parser& p,
+                                                  const std::string& line) {
+  const size_t eq = line.find('=');
+  if (eq == std::string::npos) p.fail("expected 'key = value': " + line);
+  auto trim = [](std::string s) {
+    const size_t b = s.find_first_not_of(" \t");
+    if (b == std::string::npos) return std::string{};
+    const size_t e = s.find_last_not_of(" \t");
+    return s.substr(b, e - b + 1);
+  };
+  return {trim(line.substr(0, eq)), trim(line.substr(eq + 1))};
+}
+
+double parseDouble(Parser& p, const std::string& value) {
+  try {
+    size_t used = 0;
+    const double v = std::stod(value, &used);
+    while (used < value.size() &&
+           std::isspace(static_cast<unsigned char>(value[used]))) {
+      ++used;
+    }
+    if (used != value.size()) p.fail("trailing junk in number: " + value);
+    return v;
+  } catch (const std::invalid_argument&) {
+    p.fail("not a number: " + value);
+  } catch (const std::out_of_range&) {
+    p.fail("number out of range: " + value);
+  }
+}
+
+std::vector<double> parseDoubles(Parser& p, const std::string& value,
+                                 size_t expected) {
+  std::istringstream ss(value);
+  std::vector<double> out;
+  double v;
+  while (ss >> v) out.push_back(v);
+  if (out.size() != expected) {
+    p.fail("expected " + std::to_string(expected) + " numbers: " + value);
+  }
+  return out;
+}
+
+OrientationModel parseModelBody(Parser& p, std::string& line,
+                                bool& haveLine) {
+  size_t order = 0;
+  dsp::FourierSeries s;
+  double residual = 0.0;
+  bool sawOrder = false;
+  while ((haveLine = p.next(line))) {
+    if (line[0] == '[') break;  // next section
+    const auto [key, value] = splitKeyValue(p, line);
+    if (key == "order") {
+      order = static_cast<size_t>(parseDouble(p, value));
+      s.a.assign(order, 0.0);
+      s.b.assign(order, 0.0);
+      sawOrder = true;
+    } else if (key == "a0") {
+      s.a0 = parseDouble(p, value);
+    } else if (key == "fit_residual") {
+      residual = parseDouble(p, value);
+    } else if (key.size() >= 2 && (key[0] == 'a' || key[0] == 'b')) {
+      if (!sawOrder) p.fail("coefficient before 'order'");
+      const size_t k = static_cast<size_t>(std::stoul(key.substr(1)));
+      if (k < 1 || k > order) p.fail("coefficient index out of range: " + key);
+      (key[0] == 'a' ? s.a : s.b)[k - 1] = parseDouble(p, value);
+    } else {
+      p.fail("unknown key: " + key);
+    }
+  }
+  if (!sawOrder) p.fail("orientation model missing 'order'");
+  return OrientationModel::fromSeries(std::move(s), residual);
+}
+
+RigSpec parseRigBody(Parser& p, std::string& line, bool& haveLine) {
+  RigSpec rig;
+  while ((haveLine = p.next(line))) {
+    if (line[0] == '[') break;
+    const auto [key, value] = splitKeyValue(p, line);
+    if (key == "center") {
+      const auto v = parseDoubles(p, value, 3);
+      rig.center = {v[0], v[1], v[2]};
+    } else if (key == "radius_m") {
+      rig.kinematics.radiusM = parseDouble(p, value);
+    } else if (key == "omega_rad_per_s") {
+      rig.kinematics.omegaRadPerS = parseDouble(p, value);
+    } else if (key == "initial_angle") {
+      rig.kinematics.initialAngle = parseDouble(p, value);
+    } else if (key == "tag_plane_offset") {
+      rig.kinematics.tagPlaneOffset = parseDouble(p, value);
+    } else {
+      p.fail("unknown key: " + key);
+    }
+  }
+  return rig;
+}
+
+}  // namespace
+
+void writeDeployment(std::ostream& out, const DeploymentFile& deployment) {
+  out << "# Tagspin deployment file\n";
+  for (const auto& [epc, rig] : deployment.rigs) {
+    writeRig(out, "rig", epc, rig);
+  }
+  for (const auto& [epc, rig] : deployment.verticalRigs) {
+    writeRig(out, "vertical_rig", epc, rig);
+  }
+  for (const auto& [epc, model] : deployment.orientationModels) {
+    out << "[orientation_model " << epc.toHex() << "]\n";
+    writeModelBody(out, model);
+  }
+}
+
+DeploymentFile readDeployment(std::istream& in) {
+  DeploymentFile deployment;
+  Parser p{in};
+  std::string line;
+  bool haveLine = p.next(line);
+  while (haveLine) {
+    if (line.front() != '[' || line.back() != ']') {
+      p.fail("expected a [section] header: " + line);
+    }
+    const std::string header = line.substr(1, line.size() - 2);
+    const size_t space = header.find(' ');
+    if (space == std::string::npos) p.fail("section needs an EPC: " + line);
+    const std::string type = header.substr(0, space);
+    const rfid::Epc epc = rfid::Epc::fromHex(header.substr(space + 1));
+    if (type == "rig") {
+      deployment.rigs[epc] = parseRigBody(p, line, haveLine);
+    } else if (type == "vertical_rig") {
+      deployment.verticalRigs[epc] = parseRigBody(p, line, haveLine);
+    } else if (type == "orientation_model") {
+      deployment.orientationModels[epc] = parseModelBody(p, line, haveLine);
+    } else {
+      p.fail("unknown section type: " + type);
+    }
+  }
+  return deployment;
+}
+
+std::string deploymentToString(const DeploymentFile& deployment) {
+  std::ostringstream out;
+  writeDeployment(out, deployment);
+  return out.str();
+}
+
+DeploymentFile deploymentFromString(const std::string& text) {
+  std::istringstream in(text);
+  return readDeployment(in);
+}
+
+void writeOrientationModel(std::ostream& out, const OrientationModel& model) {
+  out << "# Tagspin orientation model\n";
+  writeModelBody(out, model);
+}
+
+OrientationModel readOrientationModel(std::istream& in) {
+  Parser p{in};
+  std::string line;
+  bool haveLine = false;
+  // parseModelBody pre-reads lines itself; emulate the section-body flow.
+  OrientationModel model = parseModelBody(p, line, haveLine);
+  if (haveLine) p.fail("unexpected trailing section: " + line);
+  return model;
+}
+
+}  // namespace tagspin::core

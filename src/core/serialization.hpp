@@ -1,0 +1,40 @@
+// Persistence for deployment state: rig registrations and fitted
+// orientation models survive server restarts as human-readable text.
+//
+// Format: one "key = value" pair per line, '#' comments, sections started
+// by "[type name]" headers.  Deliberately dependency-free and diff-able --
+// deployment files live in version control.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "core/orientation_calibration.hpp"
+#include "core/snapshot.hpp"
+#include "rfid/epc.hpp"
+
+namespace tagspin::core {
+
+/// Everything the localization server needs to come back up: rigs keyed by
+/// EPC, plus any fitted orientation models.
+struct DeploymentFile {
+  std::map<rfid::Epc, RigSpec> rigs;
+  std::map<rfid::Epc, RigSpec> verticalRigs;
+  std::map<rfid::Epc, OrientationModel> orientationModels;
+};
+
+/// Serialize / parse the deployment.  Parsing throws std::invalid_argument
+/// with a line number on malformed input.
+void writeDeployment(std::ostream& out, const DeploymentFile& deployment);
+DeploymentFile readDeployment(std::istream& in);
+
+/// Convenience: (de)serialize through strings.
+std::string deploymentToString(const DeploymentFile& deployment);
+DeploymentFile deploymentFromString(const std::string& text);
+
+/// Orientation models alone (the prelude's output artifact).
+void writeOrientationModel(std::ostream& out, const OrientationModel& model);
+OrientationModel readOrientationModel(std::istream& in);
+
+}  // namespace tagspin::core

@@ -1,0 +1,49 @@
+// Core input types: signal snapshots and the rig description known to the
+// localization server.
+//
+// The server (paper section II) stores each spinning tag's center location,
+// disk radius, angular speed and phase reference; the reader streams LLRP
+// reports.  Everything the algorithms consume is reduced to Snapshot --
+// deliberately free of simulator types so the core library could ingest a
+// real reader trace unchanged.
+#pragma once
+
+#include <vector>
+
+#include "geom/vec.hpp"
+
+namespace tagspin::core {
+
+/// One phase measurement of one spinning tag.
+struct Snapshot {
+  double timeS = 0.0;     // reader-clock timestamp
+  double phaseRad = 0.0;  // wrapped to [0, 2*pi)
+  double lambdaM = 0.0;   // carrier wavelength of this read
+  int channel = 0;        // channel index (groups reads of equal lambda)
+  double rssiDbm = 0.0;
+};
+
+/// Kinematics of a spinning rig as registered with the server.
+struct RigKinematics {
+  double radiusM = 0.10;
+  double omegaRadPerS = 0.5;
+  /// Disk angle at t = 0, so the tag's position angle is
+  /// a(t) = omega*t + initialAngle.
+  double initialAngle = 0.0;
+  /// Mounting offset of the tag plane vs. the radial direction (pi/2 =
+  /// tangential); needed to convert disk angle to orientation rho.
+  double tagPlaneOffset = 1.5707963267948966;
+
+  double diskAngle(double t) const {
+    return omegaRadPerS * t + initialAngle;
+  }
+};
+
+/// A rig as registered with the localization server: kinematics plus the
+/// world position of the disk center.
+struct RigSpec {
+  geom::Vec3 center;
+  RigKinematics kinematics;
+};
+
+}  // namespace tagspin::core

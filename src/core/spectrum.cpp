@@ -1,0 +1,40 @@
+#include "core/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/grid.hpp"
+
+namespace tagspin::core {
+
+AzimuthEstimate estimateAzimuth(const PowerProfile& profile,
+                                const SearchConfig& search) {
+  const auto best = dsp::maximizeCircular(
+      [&](double phi) { return profile.evaluate(phi); },
+      search.azimuthGridPoints, search.refineRounds);
+  return {best.x, best.value};
+}
+
+AzimuthEstimate estimateAzimuthCoarseFine(const PowerProfile& profile,
+                                          const SearchConfig& search) {
+  const auto best = dsp::maximizeCircularCoarseFine(
+      [&](double phi) { return profile.evaluate(phi); },
+      search.azimuthGridPoints / 8, 64, search.refineRounds);
+  return {best.x, best.value};
+}
+
+SpatialEstimate estimateSpatial(const PowerProfile& profile,
+                                const SearchConfig& search) {
+  // The profile depends on gamma only through cos(gamma), so it is exactly
+  // mirror-symmetric about the horizontal plane (the paper's two symmetric
+  // peaks); searching the non-negative half suffices.
+  const double lo = std::max(search.polarMin, 0.0);
+  const double hi = std::max(search.polarMax, lo);
+  const auto best = dsp::maximizeRect(
+      [&](double phi, double gamma) { return profile.evaluate(phi, gamma); },
+      lo, hi, search.azimuthGridPoints / 2,
+      std::max<size_t>(search.polarGridPoints / 2, 2), search.refineRounds);
+  return {best.x, std::abs(best.y), best.value};
+}
+
+}  // namespace tagspin::core

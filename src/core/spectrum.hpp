@@ -1,0 +1,37 @@
+// Angle-spectrum estimation: searching the power profile for its peak.
+//
+// 2D: the azimuth of the maximum of the profile over [0, 2*pi).
+// 3D: the (azimuth, polar) pair maximising the profile; since cos(gamma) is
+// even, the spectrum is exactly mirror-symmetric in gamma and the search
+// reports the non-negative-polar peak (the caller resolves the sign with
+// scene knowledge, paper section V-B).
+#pragma once
+
+#include "core/config.hpp"
+#include "core/power_profile.hpp"
+
+namespace tagspin::core {
+
+struct AzimuthEstimate {
+  double azimuth = 0.0;  // [0, 2*pi)
+  double value = 0.0;    // profile value at the peak
+};
+
+struct SpatialEstimate {
+  double azimuth = 0.0;
+  double polar = 0.0;  // reported as |gamma| in [0, pi/2]
+  double value = 0.0;
+};
+
+AzimuthEstimate estimateAzimuth(const PowerProfile& profile,
+                                const SearchConfig& search);
+
+/// Same search performed coarse-to-fine; identical result for well-formed
+/// profiles at a fraction of the evaluations (ablated in perf_profiles).
+AzimuthEstimate estimateAzimuthCoarseFine(const PowerProfile& profile,
+                                          const SearchConfig& search);
+
+SpatialEstimate estimateSpatial(const PowerProfile& profile,
+                                const SearchConfig& search);
+
+}  // namespace tagspin::core

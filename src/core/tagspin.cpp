@@ -1,0 +1,139 @@
+#include "core/tagspin.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "geom/angles.hpp"
+
+namespace tagspin::core {
+
+TagspinSystem::TagspinSystem(LocatorConfig config)
+    : locator_(config) {}
+
+void TagspinSystem::registerRig(const rfid::Epc& epc, const RigSpec& rig) {
+  rigs_[epc] = rig;
+}
+
+void TagspinSystem::registerVerticalRig(const rfid::Epc& epc,
+                                        const RigSpec& rig) {
+  verticalRigs_[epc] = rig;
+}
+
+void TagspinSystem::setOrientationModel(const rfid::Epc& epc,
+                                        OrientationModel model) {
+  orientationModels_[epc] = std::move(model);
+}
+
+void TagspinSystem::setPreprocessConfig(const PreprocessConfig& config) {
+  preprocess_ = config;
+}
+
+OrientationModel TagspinSystem::calibrateOrientation(
+    const rfid::ReportStream& reports, const rfid::Epc& epc,
+    const RigSpec& rig, const geom::Vec3& knownReaderPos,
+    size_t order) const {
+  const std::vector<Snapshot> snaps =
+      extractSnapshots(reports, epc, preprocess_);
+  const double azimuth = geom::azimuthOf(rig.center, knownReaderPos);
+  return OrientationModel::fit(snaps, rig.kinematics, azimuth, order);
+}
+
+std::vector<RigObservation> TagspinSystem::collectObservations(
+    const rfid::ReportStream& reports) const {
+  std::vector<RigObservation> obs;
+  for (const auto& [epc, rig] : rigs_) {
+    RigObservation o;
+    o.rig = rig;
+    try {
+      o.snapshots = extractSnapshots(reports, epc, preprocess_);
+    } catch (const std::invalid_argument&) {
+      continue;  // this rig was not heard by this antenna
+    }
+    if (const auto it = orientationModels_.find(epc);
+        it != orientationModels_.end()) {
+      o.orientation = it->second;
+    }
+    if (o.snapshots.size() >= 2) obs.push_back(std::move(o));
+  }
+  return obs;
+}
+
+Fix2D TagspinSystem::locate2D(const rfid::ReportStream& reports) const {
+  const std::vector<RigObservation> obs = collectObservations(reports);
+  if (obs.size() < 2) {
+    throw std::runtime_error(
+        "TagspinSystem::locate2D: fewer than two registered rigs heard");
+  }
+  return locator_.locate2D(obs);
+}
+
+namespace {
+
+std::vector<int> portsIn(const rfid::ReportStream& reports) {
+  std::vector<int> ports;
+  for (const rfid::TagReport& r : reports) {
+    if (std::find(ports.begin(), ports.end(), r.antennaPort) == ports.end()) {
+      ports.push_back(r.antennaPort);
+    }
+  }
+  std::sort(ports.begin(), ports.end());
+  return ports;
+}
+
+}  // namespace
+
+std::map<int, Fix2D> TagspinSystem::locateAllAntennas2D(
+    const rfid::ReportStream& reports) const {
+  std::map<int, Fix2D> fixes;
+  for (int port : portsIn(reports)) {
+    try {
+      fixes.emplace(port, locate2D(rfid::filterByAntenna(reports, port)));
+    } catch (const std::runtime_error&) {
+      // This port's slice cannot produce a fix; skip it.
+    }
+  }
+  return fixes;
+}
+
+std::map<int, Fix3D> TagspinSystem::locateAllAntennas3D(
+    const rfid::ReportStream& reports) const {
+  std::map<int, Fix3D> fixes;
+  for (int port : portsIn(reports)) {
+    try {
+      fixes.emplace(port, locate3D(rfid::filterByAntenna(reports, port)));
+    } catch (const std::runtime_error&) {
+    }
+  }
+  return fixes;
+}
+
+Fix3D TagspinSystem::locate3D(const rfid::ReportStream& reports) const {
+  const std::vector<RigObservation> obs = collectObservations(reports);
+  if (obs.size() < 2) {
+    throw std::runtime_error(
+        "TagspinSystem::locate3D: fewer than two registered rigs heard");
+  }
+  Fix3D fix = locator_.locate3D(obs);
+
+  // If a vertical rig was heard and both z candidates are in play, use it
+  // to disambiguate (future-work extension).
+  if (fix.mirrorCandidate) {
+    for (const auto& [epc, rig] : verticalRigs_) {
+      RigObservation vobs;
+      vobs.rig = rig;
+      try {
+        vobs.snapshots = extractSnapshots(reports, epc, preprocess_);
+      } catch (const std::invalid_argument&) {
+        continue;
+      }
+      if (vobs.snapshots.size() < 2) continue;
+      fix.position = locator_.disambiguateZ(vobs, fix.position,
+                                            *fix.mirrorCandidate);
+      fix.mirrorCandidate.reset();
+      break;
+    }
+  }
+  return fix;
+}
+
+}  // namespace tagspin::core

@@ -1,0 +1,85 @@
+// TagspinSystem -- the central localization server (paper section II).
+//
+// Owns the registry of deployed spinning tags (EPC -> rig geometry), the
+// per-tag-model orientation models obtained from the calibration prelude,
+// and turns raw LLRP report streams into reader-antenna fixes.
+//
+// Typical use:
+//
+//   TagspinSystem server;
+//   server.registerRig(epc1, rig1);
+//   server.registerRig(epc2, rig2);
+//   server.setOrientationModel(model);            // optional but recommended
+//   auto fix = server.locate2D(reports);          // reports: one antenna
+//
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "core/locator.hpp"
+#include "core/preprocess.hpp"
+#include "rfid/report.hpp"
+
+namespace tagspin::core {
+
+class TagspinSystem {
+ public:
+  explicit TagspinSystem(LocatorConfig config = {});
+
+  /// Register a horizontally spinning tag.  Re-registering an EPC replaces
+  /// its rig spec.
+  void registerRig(const rfid::Epc& epc, const RigSpec& rig);
+
+  /// Register a vertically spinning tag (x-z rotation plane); used only for
+  /// +-z disambiguation, never for the planar fix.
+  void registerVerticalRig(const rfid::Epc& epc, const RigSpec& rig);
+
+  /// Install the orientation model of a specific tag (from its calibration
+  /// prelude).  Rigs without a model use the identity (no correction).
+  void setOrientationModel(const rfid::Epc& epc, OrientationModel model);
+  void setPreprocessConfig(const PreprocessConfig& config);
+
+  size_t rigCount() const { return rigs_.size(); }
+  const Locator& locator() const { return locator_; }
+
+  /// Run the orientation-calibration prelude (section III-B Step 1) from a
+  /// center-spin trace: the tag sits at the center of `rig` and the reader
+  /// is at the surveyed position `knownReaderPos`.
+  OrientationModel calibrateOrientation(const rfid::ReportStream& reports,
+                                        const rfid::Epc& epc,
+                                        const RigSpec& rig,
+                                        const geom::Vec3& knownReaderPos,
+                                        size_t order = 4) const;
+
+  /// Locate the reader antenna that produced `reports` (reports must come
+  /// from a single antenna port; pass through rfid::filterByAntenna first
+  /// for multi-port streams).  Uses every registered horizontal rig that
+  /// appears in the stream.  Throws std::runtime_error when fewer than two
+  /// registered rigs were heard.
+  Fix2D locate2D(const rfid::ReportStream& reports) const;
+  Fix3D locate3D(const rfid::ReportStream& reports) const;
+
+  /// Calibrate every antenna port present in a mixed multi-port stream
+  /// (a Speedway-class reader cycles its ports): splits by port and locates
+  /// each.  Ports whose slice cannot produce a fix (fewer than two rigs
+  /// heard) are omitted from the result.
+  std::map<int, Fix2D> locateAllAntennas2D(
+      const rfid::ReportStream& reports) const;
+  std::map<int, Fix3D> locateAllAntennas3D(
+      const rfid::ReportStream& reports) const;
+
+  /// Build the per-rig observations from a stream (exposed for diagnostics
+  /// and the figure benches).
+  std::vector<RigObservation> collectObservations(
+      const rfid::ReportStream& reports) const;
+
+ private:
+  Locator locator_;
+  PreprocessConfig preprocess_;
+  std::map<rfid::Epc, RigSpec> rigs_;
+  std::map<rfid::Epc, RigSpec> verticalRigs_;
+  std::map<rfid::Epc, OrientationModel> orientationModels_;
+};
+
+}  // namespace tagspin::core

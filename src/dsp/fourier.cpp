@@ -1,0 +1,71 @@
+#include "dsp/fourier.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/linalg.hpp"
+
+namespace tagspin::dsp {
+
+double FourierSeries::evaluate(double x) const {
+  double v = a0;
+  for (size_t k = 1; k <= a.size(); ++k) {
+    const double kx = static_cast<double>(k) * x;
+    v += a[k - 1] * std::cos(kx) + b[k - 1] * std::sin(kx);
+  }
+  return v;
+}
+
+FourierSeries FourierSeries::referencedAt(double ref) const {
+  FourierSeries out = *this;
+  out.a0 -= evaluate(ref);
+  return out;
+}
+
+FourierSeries fitFourier(std::span<const double> x, std::span<const double> y,
+                         size_t order) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("fitFourier: x/y size mismatch");
+  }
+  const size_t nparams = 2 * order + 1;
+  if (x.size() < nparams) {
+    throw std::invalid_argument("fitFourier: too few samples for order");
+  }
+  Matrix design(x.size(), nparams);
+  std::vector<double> rhs(y.begin(), y.end());
+  for (size_t r = 0; r < x.size(); ++r) {
+    design(r, 0) = 1.0;
+    for (size_t k = 1; k <= order; ++k) {
+      const double kx = static_cast<double>(k) * x[r];
+      design(r, 2 * k - 1) = std::cos(kx);
+      design(r, 2 * k) = std::sin(kx);
+    }
+  }
+  const auto sol = solveLeastSquares(design, rhs);
+  if (!sol) throw std::runtime_error("fitFourier: rank-deficient design");
+  FourierSeries s;
+  s.a0 = (*sol)[0];
+  s.a.resize(order);
+  s.b.resize(order);
+  for (size_t k = 1; k <= order; ++k) {
+    s.a[k - 1] = (*sol)[2 * k - 1];
+    s.b[k - 1] = (*sol)[2 * k];
+  }
+  return s;
+}
+
+double fitResidualRms(const FourierSeries& s, std::span<const double> x,
+                      std::span<const double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("fitResidualRms: x/y size mismatch");
+  }
+  if (x.empty()) return 0.0;
+  double ss = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double r = y[i] - s.evaluate(x[i]);
+    ss += r * r;
+  }
+  return std::sqrt(ss / static_cast<double>(x.size()));
+}
+
+}  // namespace tagspin::dsp

@@ -1,0 +1,40 @@
+// Truncated Fourier series on the circle, and least-squares fitting.
+//
+// The paper's Observation 3.1: a tag's phase offset as a function of its
+// orientation rho follows a stable pattern "which can be fitted by a Fourier
+// transform function".  The calibration stage (section III-B, Step 1) samples
+// (rho_i, theta_i) pairs with the tag at the disk center and fits this series.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace tagspin::dsp {
+
+/// g(x) = a0 + sum_{k=1..K} a_k cos(kx) + b_k sin(kx)
+struct FourierSeries {
+  double a0 = 0.0;
+  std::vector<double> a;  // cosine coefficients, a[k-1] multiplies cos(kx)
+  std::vector<double> b;  // sine coefficients, b[k-1] multiplies sin(kx)
+
+  size_t order() const { return a.size(); }
+  double evaluate(double x) const;
+
+  /// Series with the constant shifted so that g(ref) == 0; used to express
+  /// orientation offsets relative to the rho = pi/2 reference orientation.
+  FourierSeries referencedAt(double ref) const;
+};
+
+/// Least-squares fit of a Fourier series of the given order to samples
+/// (x_i, y_i).  x values may be arbitrary reals (interpreted on the circle).
+/// Throws std::invalid_argument on size mismatch or too few samples
+/// (need at least 2*order + 1); throws std::runtime_error if the design is
+/// rank-deficient (e.g. all x identical).
+FourierSeries fitFourier(std::span<const double> x, std::span<const double> y,
+                         size_t order);
+
+/// Root-mean-square residual of the fit over the given samples.
+double fitResidualRms(const FourierSeries& s, std::span<const double> x,
+                      std::span<const double> y);
+
+}  // namespace tagspin::dsp

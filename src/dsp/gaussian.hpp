@@ -1,0 +1,27 @@
+// Gaussian density helpers used by the enhanced power profile (Defn. 4.1).
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+namespace tagspin::dsp {
+
+/// Probability density of N(mu, sigma^2) at x.  sigma must be > 0.
+inline double gaussianPdf(double x, double mu, double sigma) {
+  const double z = (x - mu) / sigma;
+  return std::exp(-0.5 * z * z) /
+         (sigma * std::sqrt(2.0 * std::numbers::pi));
+}
+
+/// Density of a zero-mean Gaussian at x; the common case in R(phi) where the
+/// wrapped residual is compared against N(0, sigma^2).
+inline double gaussianPdf0(double x, double sigma) {
+  return gaussianPdf(x, 0.0, sigma);
+}
+
+/// Standard normal CDF via erfc.
+inline double gaussianCdf(double x, double mu, double sigma) {
+  return 0.5 * std::erfc(-(x - mu) / (sigma * std::numbers::sqrt2));
+}
+
+}  // namespace tagspin::dsp

@@ -1,0 +1,68 @@
+#include "dsp/linalg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tagspin::dsp {
+
+std::optional<std::vector<double>> solveLinear(Matrix a, std::vector<double> b,
+                                               double pivotTol) {
+  const size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    throw std::invalid_argument("solveLinear: dimension mismatch");
+  }
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    size_t pivot = col;
+    double best = std::abs(a(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a(r, col)) > best) {
+        best = std::abs(a(r, col));
+        pivot = r;
+      }
+    }
+    if (best < pivotTol) return std::nullopt;
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(a(pivot, c), a(col, c));
+      std::swap(b[pivot], b[col]);
+    }
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) / a(col, col);
+      if (factor == 0.0) continue;
+      for (size_t c = col; c < n; ++c) a(r, c) -= factor * a(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (size_t ri = n; ri-- > 0;) {
+    double s = b[ri];
+    for (size_t c = ri + 1; c < n; ++c) s -= a(ri, c) * x[c];
+    x[ri] = s / a(ri, ri);
+  }
+  return x;
+}
+
+std::optional<std::vector<double>> solveLeastSquares(
+    const Matrix& a, const std::vector<double>& b, double pivotTol) {
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+  if (b.size() != m) {
+    throw std::invalid_argument("solveLeastSquares: dimension mismatch");
+  }
+  Matrix ata(n, n);
+  std::vector<double> atb(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      double s = 0.0;
+      for (size_t r = 0; r < m; ++r) s += a(r, i) * a(r, j);
+      ata(i, j) = s;
+      ata(j, i) = s;
+    }
+    double s = 0.0;
+    for (size_t r = 0; r < m; ++r) s += a(r, i) * b[r];
+    atb[i] = s;
+  }
+  return solveLinear(std::move(ata), std::move(atb), pivotTol);
+}
+
+}  // namespace tagspin::dsp

@@ -1,0 +1,42 @@
+// Minimal dense linear algebra: just enough to solve the small least-squares
+// systems produced by Fourier fitting (normal equations of order ~2K+1).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace tagspin::dsp {
+
+/// Row-major dense matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solve A x = b by Gaussian elimination with partial pivoting.  A must be
+/// square with A.rows() == b.size().  Returns empty when A is singular to
+/// within `pivotTol`.
+std::optional<std::vector<double>> solveLinear(Matrix a, std::vector<double> b,
+                                               double pivotTol = 1e-12);
+
+/// Solve the linear least-squares problem min ||A x - b||_2 via the normal
+/// equations (adequate for the small, well-conditioned systems used here).
+std::optional<std::vector<double>> solveLeastSquares(const Matrix& a,
+                                                     const std::vector<double>& b,
+                                                     double pivotTol = 1e-12);
+
+}  // namespace tagspin::dsp

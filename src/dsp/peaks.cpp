@@ -1,0 +1,83 @@
+#include "dsp/peaks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tagspin::dsp {
+
+size_t argmax(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("argmax: empty input");
+  return static_cast<size_t>(
+      std::max_element(xs.begin(), xs.end()) - xs.begin());
+}
+
+double parabolicOffset(double left, double center, double right) {
+  const double denom = left - 2.0 * center + right;
+  if (denom == 0.0) return 0.0;
+  const double off = 0.5 * (left - right) / denom;
+  return std::clamp(off, -0.5, 0.5);
+}
+
+std::vector<Peak> findPeaks(std::span<const double> xs, bool circular,
+                            size_t minSeparation, size_t maxCount) {
+  const size_t n = xs.size();
+  std::vector<Peak> candidates;
+  if (n < 3) return candidates;
+  auto at = [&](size_t i) { return xs[i % n]; };
+  const size_t begin = circular ? 0 : 1;
+  const size_t end = circular ? n : n - 1;
+  for (size_t i = begin; i < end; ++i) {
+    const double left = circular ? at(i + n - 1) : xs[i - 1];
+    const double right = circular ? at(i + 1) : xs[i + 1];
+    if (xs[i] > left && xs[i] > right) {
+      Peak p;
+      p.index = i;
+      p.value = xs[i];
+      p.refined = static_cast<double>(i) + parabolicOffset(left, xs[i], right);
+      candidates.push_back(p);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Peak& a, const Peak& b) { return a.value > b.value; });
+  std::vector<Peak> selected;
+  for (const Peak& c : candidates) {
+    if (selected.size() >= maxCount) break;
+    const bool tooClose = std::any_of(
+        selected.begin(), selected.end(), [&](const Peak& s) {
+          size_t d = c.index > s.index ? c.index - s.index : s.index - c.index;
+          if (circular) d = std::min(d, n - d);
+          return d < minSeparation;
+        });
+    if (!tooClose) selected.push_back(c);
+  }
+  return selected;
+}
+
+double halfPowerWidth(std::span<const double> xs, size_t index,
+                      bool circular) {
+  const size_t n = xs.size();
+  if (n == 0) throw std::invalid_argument("halfPowerWidth: empty input");
+  const double threshold = xs[index] / std::sqrt(2.0);
+  auto at = [&](long i) {
+    if (circular) return xs[static_cast<size_t>(((i % (long)n) + (long)n) % (long)n)];
+    if (i < 0 || i >= static_cast<long>(n)) return -1.0;  // off the edge
+    return xs[static_cast<size_t>(i)];
+  };
+  double width = 1.0;
+  // Walk right.
+  for (long i = static_cast<long>(index) + 1;
+       i <= static_cast<long>(index + n); ++i) {
+    if (at(i) < threshold) break;
+    width += 1.0;
+  }
+  // Walk left.
+  for (long i = static_cast<long>(index) - 1;
+       i >= static_cast<long>(index) - static_cast<long>(n); --i) {
+    if (at(i) < threshold) break;
+    width += 1.0;
+  }
+  return std::min(width, static_cast<double>(n));
+}
+
+}  // namespace tagspin::dsp

@@ -1,0 +1,36 @@
+// Peak finding on sampled (optionally circular) functions.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tagspin::dsp {
+
+struct Peak {
+  size_t index = 0;      // sample index of the maximum
+  double value = 0.0;    // sample value at the maximum
+  double refined = 0.0;  // sub-bin position from parabolic interpolation,
+                         // expressed in (possibly fractional) bins
+};
+
+/// Index of the global maximum.  Requires non-empty input.
+size_t argmax(std::span<const double> xs);
+
+/// Strict local maxima (greater than both neighbours), sorted by value
+/// descending, keeping at most `maxCount` peaks separated by at least
+/// `minSeparation` bins.  When `circular` is true the array wraps around.
+std::vector<Peak> findPeaks(std::span<const double> xs, bool circular,
+                            size_t minSeparation = 1, size_t maxCount = 16);
+
+/// Three-point parabolic interpolation of a peak position around index i.
+/// Returns the fractional bin offset in [-0.5, 0.5] to add to i.  Flat
+/// neighbourhoods return 0.
+double parabolicOffset(double left, double center, double right);
+
+/// Half-power (-3 dB equivalent: value >= peak/sqrt(2)) width of the peak at
+/// `index`, in bins, walking outward on an optionally circular array.  Used
+/// to quantify how much sharper R(phi) is than Q(phi) (Fig. 6).
+double halfPowerWidth(std::span<const double> xs, size_t index, bool circular);
+
+}  // namespace tagspin::dsp

@@ -1,0 +1,94 @@
+#include "dsp/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tagspin::dsp {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double rms(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double ss = 0.0;
+  for (double x : xs) ss += x * x;
+  return std::sqrt(ss / static_cast<double>(xs.size()));
+}
+
+double minOf(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("minOf: empty input");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double maxOf(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("maxOf: empty input");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty input");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double pos = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(pos));
+  const size_t hi = static_cast<size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.mean = mean(xs);
+  s.stddev = stddev(xs);
+  s.min = minOf(xs);
+  s.median = median(xs);
+  s.p90 = percentile(xs, 90.0);
+  s.max = maxOf(xs);
+  return s;
+}
+
+double Ecdf::at(double x) const {
+  const auto it = std::upper_bound(values.begin(), values.end(), x);
+  if (it == values.begin()) return 0.0;
+  const size_t idx = static_cast<size_t>(it - values.begin()) - 1;
+  return probs[idx];
+}
+
+double Ecdf::quantile(double p) const {
+  if (values.empty()) throw std::logic_error("Ecdf::quantile: empty CDF");
+  const auto it = std::lower_bound(probs.begin(), probs.end(), p);
+  if (it == probs.end()) return values.back();
+  return values[static_cast<size_t>(it - probs.begin())];
+}
+
+Ecdf makeEcdf(std::span<const double> xs) {
+  Ecdf e;
+  e.values.assign(xs.begin(), xs.end());
+  std::sort(e.values.begin(), e.values.end());
+  e.probs.resize(e.values.size());
+  const double n = static_cast<double>(e.values.size());
+  for (size_t i = 0; i < e.values.size(); ++i) {
+    e.probs[i] = static_cast<double>(i + 1) / n;
+  }
+  return e;
+}
+
+}  // namespace tagspin::dsp

@@ -1,0 +1,52 @@
+// Descriptive statistics and empirical CDFs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace tagspin::dsp {
+
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+double stddev(std::span<const double> xs);
+
+/// Population RMS.
+double rms(std::span<const double> xs);
+
+double minOf(std::span<const double> xs);
+double maxOf(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100].  Requires non-empty input.
+double percentile(std::span<const double> xs, double p);
+
+double median(std::span<const double> xs);
+
+/// Five-number style summary used by the evaluation reports.
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+/// Empirical CDF: sorted values paired with cumulative probabilities
+/// i/n for i = 1..n.
+struct Ecdf {
+  std::vector<double> values;  // ascending
+  std::vector<double> probs;   // matching cumulative probability
+
+  /// P(X <= x); 0 for x below the smallest sample.
+  double at(double x) const;
+  /// Smallest sample value v with P(X <= v) >= p.
+  double quantile(double p) const;
+};
+
+Ecdf makeEcdf(std::span<const double> xs);
+
+}  // namespace tagspin::dsp

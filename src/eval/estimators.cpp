@@ -1,0 +1,52 @@
+#include "eval/estimators.hpp"
+
+#include "core/tagspin.hpp"
+
+namespace tagspin::eval {
+
+core::TagspinSystem buildTagspinServer(
+    const sim::World& world,
+    const std::map<Epc, core::OrientationModel>& orientationModels,
+    const core::LocatorConfig& config) {
+  core::TagspinSystem server(config);
+  for (const sim::RigTag& rt : world.rigs) {
+    core::RigSpec spec;
+    spec.center = rt.rig.center;
+    spec.kinematics.radiusM = rt.rig.radiusM;
+    spec.kinematics.omegaRadPerS = rt.rig.omegaRadPerS;
+    spec.kinematics.initialAngle = rt.rig.initialAngle;
+    spec.kinematics.tagPlaneOffset = rt.rig.tagPlaneOffset;
+    if (rt.rig.plane == sim::SpinningRig::Plane::kHorizontal) {
+      server.registerRig(rt.tag.epc, spec);
+    } else {
+      server.registerVerticalRig(rt.tag.epc, spec);
+    }
+    if (const auto it = orientationModels.find(rt.tag.epc);
+        it != orientationModels.end()) {
+      server.setOrientationModel(rt.tag.epc, it->second);
+    }
+  }
+  return server;
+}
+
+Estimator makeTagspin2D(const core::LocatorConfig& config) {
+  return [config](const TrialContext& ctx) {
+    const core::TagspinSystem server =
+        buildTagspinServer(ctx.world, ctx.orientationModels, config);
+    const core::Fix2D fix = server.locate2D(ctx.reports);
+    const double planeZ =
+        ctx.world.rigs.empty() ? 0.0 : ctx.world.rigs[0].rig.center.z;
+    return geom::Vec3{fix.position.x, fix.position.y, planeZ};
+  };
+}
+
+Estimator makeTagspin3D(const core::LocatorConfig& config) {
+  return [config](const TrialContext& ctx) {
+    const core::TagspinSystem server =
+        buildTagspinServer(ctx.world, ctx.orientationModels, config);
+    const core::Fix3D fix = server.locate3D(ctx.reports);
+    return fix.position;
+  };
+}
+
+}  // namespace tagspin::eval

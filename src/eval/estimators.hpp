@@ -1,0 +1,43 @@
+// Estimator adapters: wire TrialContext into Tagspin and the baseline
+// localizers so they can be swapped inside runExperiment.
+#pragma once
+
+#include "core/config.hpp"
+#include "eval/runner.hpp"
+
+namespace tagspin::baselines {
+struct LandmarcConfig;
+struct AntLocConfig;
+struct PinItConfig;
+struct BackPosConfig;
+}  // namespace tagspin::baselines
+
+namespace tagspin::core {
+class TagspinSystem;
+}
+
+namespace tagspin::eval {
+
+/// Build a localization server wired to every rig of `world`, with the
+/// given per-tag orientation models installed.  Shared by the estimator
+/// adapters, the bench binaries and the examples.
+core::TagspinSystem buildTagspinServer(
+    const sim::World& world,
+    const std::map<Epc, core::OrientationModel>& orientationModels,
+    const core::LocatorConfig& config);
+
+/// Tagspin 2D: register every horizontal rig, install the prelude models,
+/// locate, return (x, y, rig-plane z).
+Estimator makeTagspin2D(const core::LocatorConfig& config = {});
+
+/// Tagspin 3D: as above but with the spatial spectrum and z recovery.
+Estimator makeTagspin3D(const core::LocatorConfig& config = {});
+
+/// Baseline adapters (declared here, defined in estimators_baselines.cpp,
+/// which links against tagspin_baselines).
+Estimator makeLandmarc(const baselines::LandmarcConfig& config);
+Estimator makeAntLoc(const baselines::AntLocConfig& config);
+Estimator makePinIt(const baselines::PinItConfig& config);
+Estimator makeBackPos(const baselines::BackPosConfig& config);
+
+}  // namespace tagspin::eval

@@ -1,0 +1,56 @@
+#include "eval/metrics.hpp"
+
+#include <cmath>
+
+namespace tagspin::eval {
+
+namespace {
+constexpr double kMetersToCm = 100.0;
+}
+
+ErrorCm errorCm(const geom::Vec2& estimate, const geom::Vec2& truth) {
+  ErrorCm e;
+  e.x = std::abs(estimate.x - truth.x) * kMetersToCm;
+  e.y = std::abs(estimate.y - truth.y) * kMetersToCm;
+  e.z = 0.0;
+  e.combined = geom::distance(estimate, truth) * kMetersToCm;
+  return e;
+}
+
+ErrorCm errorCm(const geom::Vec3& estimate, const geom::Vec3& truth) {
+  ErrorCm e;
+  e.x = std::abs(estimate.x - truth.x) * kMetersToCm;
+  e.y = std::abs(estimate.y - truth.y) * kMetersToCm;
+  e.z = std::abs(estimate.z - truth.z) * kMetersToCm;
+  e.combined = geom::distance(estimate, truth) * kMetersToCm;
+  return e;
+}
+
+namespace {
+template <typename Getter>
+std::vector<double> column(std::span<const ErrorCm> errors, Getter get) {
+  std::vector<double> out;
+  out.reserve(errors.size());
+  for (const ErrorCm& e : errors) out.push_back(get(e));
+  return out;
+}
+}  // namespace
+
+std::vector<double> xErrors(std::span<const ErrorCm> errors) {
+  return column(errors, [](const ErrorCm& e) { return e.x; });
+}
+std::vector<double> yErrors(std::span<const ErrorCm> errors) {
+  return column(errors, [](const ErrorCm& e) { return e.y; });
+}
+std::vector<double> zErrors(std::span<const ErrorCm> errors) {
+  return column(errors, [](const ErrorCm& e) { return e.z; });
+}
+std::vector<double> combinedErrors(std::span<const ErrorCm> errors) {
+  return column(errors, [](const ErrorCm& e) { return e.combined; });
+}
+
+dsp::Summary summarizeCombined(std::span<const ErrorCm> errors) {
+  return dsp::summarize(combinedErrors(errors));
+}
+
+}  // namespace tagspin::eval

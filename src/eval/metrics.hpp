@@ -1,0 +1,36 @@
+// Error metrics for localization experiments.
+//
+// The paper's basis metric is the *error distance*: Euclidean distance
+// between estimate and ground truth (section VII-A), reported per axis and
+// combined, in centimetres.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dsp/stats.hpp"
+#include "geom/vec.hpp"
+
+namespace tagspin::eval {
+
+/// One trial's error decomposition, all in centimetres.
+struct ErrorCm {
+  double x = 0.0;  // |x_est - x_true|
+  double y = 0.0;
+  double z = 0.0;
+  double combined = 0.0;  // Euclidean distance
+};
+
+ErrorCm errorCm(const geom::Vec2& estimate, const geom::Vec2& truth);
+ErrorCm errorCm(const geom::Vec3& estimate, const geom::Vec3& truth);
+
+/// Column-wise accessors over a batch of trials.
+std::vector<double> xErrors(std::span<const ErrorCm> errors);
+std::vector<double> yErrors(std::span<const ErrorCm> errors);
+std::vector<double> zErrors(std::span<const ErrorCm> errors);
+std::vector<double> combinedErrors(std::span<const ErrorCm> errors);
+
+/// Summary of a batch of combined errors (mean/std/90th/... in cm).
+dsp::Summary summarizeCombined(std::span<const ErrorCm> errors);
+
+}  // namespace tagspin::eval

@@ -1,0 +1,72 @@
+#include "geom/ray.hpp"
+
+#include <cmath>
+
+#include "geom/angles.hpp"
+
+namespace tagspin::geom {
+
+std::optional<Intersection2> intersectRays(const Ray2& a, const Ray2& b,
+                                           double parallelTol) {
+  // Solve a.origin + t1*da = b.origin + t2*db.
+  const Vec2 da = a.direction();
+  const Vec2 db = b.direction();
+  const double denom = da.cross(db);  // == sin(b.angle - a.angle)
+  if (std::abs(denom) < parallelTol) return std::nullopt;
+  const Vec2 d = b.origin - a.origin;
+  const double t1 = d.cross(db) / denom;
+  const double t2 = d.cross(da) / denom;
+  return Intersection2{a.pointAt(t1), t1, t2};
+}
+
+std::optional<Vec2> intersectEqn9(const Vec2& o1, double phi1, const Vec2& o2,
+                                  double phi2, double tol) {
+  const double c1 = std::cos(phi1);
+  const double c2 = std::cos(phi2);
+  if (std::abs(c1) < tol || std::abs(c2) < tol) return std::nullopt;
+  const double tan1 = std::tan(phi1);
+  const double tan2 = std::tan(phi2);
+  const double denom = tan1 - tan2;
+  if (std::abs(denom) < tol) return std::nullopt;
+  // Eqn. 9 of the paper (o1=(x1,y1), o2=(x2,y2)):
+  //   x_R = (y2 - y1 + x1 tan(phi1) - x2 tan(phi2)) / (tan(phi1) - tan(phi2))
+  //   y_R = ((x1 - x2) tan(phi1) tan(phi2) + y2 tan(phi1) - y1 tan(phi2))
+  //         / (tan(phi1) - tan(phi2))
+  const double xr = (o2.y - o1.y + o1.x * tan1 - o2.x * tan2) / denom;
+  const double yr =
+      ((o1.x - o2.x) * tan1 * tan2 + o2.y * tan1 - o1.y * tan2) / denom;
+  return Vec2{xr, yr};
+}
+
+std::optional<Vec2> leastSquaresIntersection(std::span<const Ray2> rays,
+                                             double singularTol) {
+  if (rays.size() < 2) return std::nullopt;
+  // Each ray contributes the constraint n . p = n . origin where n is the
+  // line normal.  Accumulate the 2x2 normal equations A p = b.
+  double a00 = 0.0, a01 = 0.0, a11 = 0.0, b0 = 0.0, b1 = 0.0;
+  for (const Ray2& r : rays) {
+    const Vec2 d = r.direction();
+    const Vec2 n{-d.y, d.x};
+    const double c = n.dot(r.origin);
+    a00 += n.x * n.x;
+    a01 += n.x * n.y;
+    a11 += n.y * n.y;
+    b0 += n.x * c;
+    b1 += n.y * c;
+  }
+  const double det = a00 * a11 - a01 * a01;
+  if (std::abs(det) < singularTol) return std::nullopt;
+  return Vec2{(b0 * a11 - b1 * a01) / det, (b1 * a00 - b0 * a01) / det};
+}
+
+double rmsResidual(std::span<const Ray2> rays, const Vec2& p) {
+  if (rays.empty()) return 0.0;
+  double ss = 0.0;
+  for (const Ray2& r : rays) {
+    const double d = r.signedDistance(p);
+    ss += d * d;
+  }
+  return std::sqrt(ss / static_cast<double>(rays.size()));
+}
+
+}  // namespace tagspin::geom

@@ -1,0 +1,66 @@
+// Rays and ray intersection.
+//
+// Each spinning tag yields a ray: origin = disk center, direction = the peak
+// of the tag's angle spectrum.  The reader position is recovered from the
+// intersection of two (or more) rays.  The paper gives a closed form for two
+// rays (Eqn. 9); we additionally provide a least-squares intersection for
+// any number of rays, which is also numerically robust near tan() poles.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "geom/vec.hpp"
+
+namespace tagspin::geom {
+
+/// A ray in the plane: origin plus direction angle (radians from +x axis).
+struct Ray2 {
+  Vec2 origin;
+  double angle = 0.0;
+
+  Vec2 direction() const { return unitFromAngle(angle); }
+  Vec2 pointAt(double t) const { return origin + direction() * t; }
+
+  /// Signed perpendicular distance from `p` to the ray's supporting line.
+  double signedDistance(const Vec2& p) const {
+    return direction().cross(p - origin);
+  }
+
+  /// Parameter t of the orthogonal projection of `p` (may be negative,
+  /// i.e. behind the ray origin).
+  double project(const Vec2& p) const { return direction().dot(p - origin); }
+};
+
+/// Result of a two-ray intersection.
+struct Intersection2 {
+  Vec2 point;
+  /// Ray parameters of the intersection; negative values mean the
+  /// intersection lies behind that ray's origin.
+  double t1 = 0.0;
+  double t2 = 0.0;
+};
+
+/// Exact intersection of the two supporting lines.  Empty when the rays are
+/// (near-)parallel: |sin(angle1 - angle2)| < parallelTol.
+std::optional<Intersection2> intersectRays(const Ray2& a, const Ray2& b,
+                                           double parallelTol = 1e-9);
+
+/// The paper's Eqn. 9 closed form, written with tan().  Requires both angles
+/// away from +-pi/2 (tan poles) and non-parallel rays; returns empty
+/// otherwise.  intersectRays() is the robust equivalent; this one exists to
+/// reproduce and test the published formula.
+std::optional<Vec2> intersectEqn9(const Vec2& o1, double phi1, const Vec2& o2,
+                                  double phi2, double tol = 1e-9);
+
+/// Least-squares point minimising the sum of squared perpendicular distances
+/// to all supporting lines.  Works for >= 2 rays; empty when all rays are
+/// mutually (near-)parallel, i.e. the 2x2 normal matrix is singular.
+std::optional<Vec2> leastSquaresIntersection(std::span<const Ray2> rays,
+                                             double singularTol = 1e-12);
+
+/// Root-mean-square perpendicular distance from `p` to the rays' lines; a
+/// residual/consistency measure for a multi-ray fix.
+double rmsResidual(std::span<const Ray2> rays, const Vec2& p);
+
+}  // namespace tagspin::geom

@@ -1,0 +1,132 @@
+// Small fixed-size vector types used throughout Tagspin.
+//
+// Conventions: all distances are in metres, all angles in radians.  The
+// evaluation layer converts to centimetres / degrees for reporting so that
+// printed numbers line up with the paper.
+#pragma once
+
+#include <cmath>
+
+namespace tagspin::geom {
+
+/// 2-D point / vector in metres.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+
+  constexpr Vec2& operator+=(const Vec2& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(const Vec2& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr Vec2& operator*=(double s) {
+    x *= s;
+    y *= s;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec2&) const = default;
+
+  constexpr double dot(const Vec2& o) const { return x * o.x + y * o.y; }
+  /// z-component of the 3-D cross product; >0 when `o` is counterclockwise.
+  constexpr double cross(const Vec2& o) const { return x * o.y - y * o.x; }
+  constexpr double norm2() const { return x * x + y * y; }
+  double norm() const { return std::hypot(x, y); }
+
+  /// Unit vector; the zero vector maps to itself.
+  Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+
+  /// Polar angle atan2(y, x) in (-pi, pi].
+  double angle() const { return std::atan2(y, x); }
+};
+
+constexpr Vec2 operator*(double s, const Vec2& v) { return v * s; }
+
+inline double distance(const Vec2& a, const Vec2& b) { return (a - b).norm(); }
+
+/// Unit vector pointing along `angle` (radians, measured from +x axis).
+inline Vec2 unitFromAngle(double angle) {
+  return {std::cos(angle), std::sin(angle)};
+}
+
+/// 3-D point / vector in metres.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+  constexpr Vec3(const Vec2& xy, double z_) : x(xy.x), y(xy.y), z(z_) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec3&) const = default;
+
+  constexpr double dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  constexpr double norm2() const { return x * x + y * y + z * z; }
+  double norm() const { return std::sqrt(norm2()); }
+
+  Vec3 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec3{x / n, y / n, z / n} : Vec3{};
+  }
+
+  constexpr Vec2 xy() const { return {x, y}; }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+inline double distance(const Vec3& a, const Vec3& b) { return (a - b).norm(); }
+
+/// Azimuth (angle of the xy-projection from +x) of `v` seen from `origin`.
+inline double azimuthOf(const Vec3& origin, const Vec3& target) {
+  return (target.xy() - origin.xy()).angle();
+}
+
+/// Polar (elevation) angle in [-pi/2, pi/2]: angle between the origin->target
+/// segment and the horizontal plane.  Matches the paper's gamma in Fig. 7.
+inline double polarOf(const Vec3& origin, const Vec3& target) {
+  const Vec3 d = target - origin;
+  const double horiz = d.xy().norm();
+  return std::atan2(d.z, horiz);
+}
+
+}  // namespace tagspin::geom

@@ -1,0 +1,42 @@
+#include "rf/antenna.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "geom/angles.hpp"
+
+namespace tagspin::rf {
+
+PatchPattern::PatchPattern(double exponent, double backLobeFloor)
+    : exponent_(exponent), floor_(backLobeFloor) {
+  if (exponent <= 0.0) {
+    throw std::invalid_argument("PatchPattern: exponent must be > 0");
+  }
+  if (backLobeFloor < 0.0 || backLobeFloor > 1.0) {
+    throw std::invalid_argument("PatchPattern: floor must be in [0, 1]");
+  }
+}
+
+double PatchPattern::gain(double offBoresight) const {
+  const double a = geom::wrapToPi(offBoresight);
+  const double c = std::cos(a);
+  if (c <= 0.0) return floor_;  // behind the panel
+  return std::max(floor_, std::pow(c, exponent_));
+}
+
+TagOrientationGain::TagOrientationGain(double exponent, double floor)
+    : exponent_(exponent), floor_(floor) {
+  if (exponent <= 0.0) {
+    throw std::invalid_argument("TagOrientationGain: exponent must be > 0");
+  }
+  if (floor < 0.0 || floor > 1.0) {
+    throw std::invalid_argument("TagOrientationGain: floor must be in [0,1]");
+  }
+}
+
+double TagOrientationGain::gain(double rho) const {
+  const double s = std::abs(std::sin(rho));
+  return std::max(floor_, std::pow(s, exponent_));
+}
+
+}  // namespace tagspin::rf

@@ -1,0 +1,70 @@
+// Antenna gain patterns.
+//
+// Reader side: the paper uses four circularly polarised Yeon patch antennas
+// (~23x23x3 cm).  We model a patch as a cos^n pattern about boresight with a
+// back-lobe floor.  Tag side: a linear dipole-like pattern over the tag's
+// orientation angle rho (angle between the tag plane and the tag->reader
+// line); when the tag plane is perpendicular to the incident field
+// (rho = pi/2 + k*pi) the tag harvests the most energy -- this drives the
+// sampling-density effect of Fig. 4(b).
+#pragma once
+
+#include <cmath>
+#include <memory>
+
+namespace tagspin::rf {
+
+/// Gain pattern over the angle from boresight, linear scale (1.0 = 0 dBi
+/// relative to the pattern's own peak).
+class GainPattern {
+ public:
+  virtual ~GainPattern() = default;
+  /// offBoresight in radians, any value (treated modulo the circle).
+  virtual double gain(double offBoresight) const = 0;
+};
+
+class IsotropicPattern final : public GainPattern {
+ public:
+  double gain(double) const override { return 1.0; }
+};
+
+/// cos^n lobe with a floor; n ~ 2-4 approximates a 60-90 degree HPBW patch.
+class PatchPattern final : public GainPattern {
+ public:
+  explicit PatchPattern(double exponent = 3.0, double backLobeFloor = 0.05);
+  double gain(double offBoresight) const override;
+
+ private:
+  double exponent_;
+  double floor_;
+};
+
+/// |sin|^p pattern over the tag orientation rho: maximal at rho = pi/2
+/// (tag plane perpendicular to the incident field), minimal edge-on.
+/// A floor keeps the tag readable at all orientations, matching the paper's
+/// traces which never lose the tag entirely.
+class TagOrientationGain {
+ public:
+  explicit TagOrientationGain(double exponent = 2.0, double floor = 0.25);
+  double gain(double rho) const;
+
+ private:
+  double exponent_;
+  double floor_;
+};
+
+/// A physical reader antenna port: pattern + boresight direction + the
+/// hardware phase offset it contributes to theta_div.
+struct ReaderAntenna {
+  std::shared_ptr<const GainPattern> pattern =
+      std::make_shared<PatchPattern>();
+  double boresightAzimuth = 0.0;  // radians, world frame
+  double txPowerDbm = 32.5;       // EIRP-ish; Impinj default 32.5 dBm ERP
+  double cableAndPortPhase = 0.0; // contribution to the diversity term
+
+  double gainToward(double azimuth) const {
+    return pattern->gain(azimuth - boresightAzimuth);
+  }
+};
+
+}  // namespace tagspin::rf

@@ -1,0 +1,10 @@
+#include "rf/constants.hpp"
+
+#include <cmath>
+
+namespace tagspin::rf {
+
+double toDb(double linear) { return 10.0 * std::log10(linear); }
+double fromDb(double db) { return std::pow(10.0, db / 10.0); }
+
+}  // namespace tagspin::rf

@@ -1,0 +1,18 @@
+// Physical constants and unit helpers for the UHF RFID band.
+#pragma once
+
+namespace tagspin::rf {
+
+/// Speed of light in vacuum, m/s.
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/// Wavelength (m) of a carrier at `hz`.
+constexpr double wavelength(double hz) { return kSpeedOfLight / hz; }
+
+constexpr double mhz(double v) { return v * 1e6; }
+
+/// Convert a linear power ratio to dB and back.
+double toDb(double linear);
+double fromDb(double db);
+
+}  // namespace tagspin::rf

@@ -1,0 +1,71 @@
+#include "rf/frequency_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace tagspin::rf {
+
+FrequencyPlan FrequencyPlan::china920() {
+  return FrequencyPlan(mhz(920.625), mhz(0.25), 16);
+}
+
+FrequencyPlan FrequencyPlan::fixed(double hz) {
+  return FrequencyPlan(hz, 0.0, 1);
+}
+
+FrequencyPlan::FrequencyPlan(double firstCenterHz, double spacingHz,
+                             int channelCount) {
+  if (channelCount <= 0) {
+    throw std::invalid_argument("FrequencyPlan: channelCount must be > 0");
+  }
+  centersHz_.reserve(static_cast<size_t>(channelCount));
+  for (int c = 0; c < channelCount; ++c) {
+    centersHz_.push_back(firstCenterHz + spacingHz * c);
+  }
+}
+
+double FrequencyPlan::frequencyHz(int channel) const {
+  if (channel < 0 || channel >= channelCount()) {
+    throw std::out_of_range("FrequencyPlan: bad channel index");
+  }
+  return centersHz_[static_cast<size_t>(channel)];
+}
+
+double FrequencyPlan::wavelengthM(int channel) const {
+  return wavelength(frequencyHz(channel));
+}
+
+double FrequencyPlan::centerFrequencyHz() const {
+  return (centersHz_.front() + centersHz_.back()) / 2.0;
+}
+
+double FrequencyPlan::minWavelengthM() const {
+  return wavelength(centersHz_.back());
+}
+
+double FrequencyPlan::maxWavelengthM() const {
+  return wavelength(centersHz_.front());
+}
+
+HoppingSequence::HoppingSequence(const FrequencyPlan& plan,
+                                 double dwellSeconds, uint64_t seed)
+    : channelCount_(plan.channelCount()), dwellSeconds_(dwellSeconds) {
+  if (dwellSeconds <= 0.0) {
+    throw std::invalid_argument("HoppingSequence: dwell must be > 0");
+  }
+  sequence_.resize(static_cast<size_t>(channelCount_));
+  std::iota(sequence_.begin(), sequence_.end(), 0);
+  std::mt19937_64 rng(seed);
+  std::shuffle(sequence_.begin(), sequence_.end(), rng);
+}
+
+int HoppingSequence::channelAt(double t) const {
+  const auto slot = static_cast<long long>(std::floor(t / dwellSeconds_));
+  const long long n = channelCount_;
+  const long long idx = ((slot % n) + n) % n;
+  return sequence_[static_cast<size_t>(idx)];
+}
+
+}  // namespace tagspin::rf

@@ -1,0 +1,59 @@
+// The China UHF RFID frequency plan used by the paper's testbed.
+//
+// The Impinj reader in the paper operates in the 920.5-924.5 MHz band (legal
+// UHF band in China): 16 channels of 250 kHz, centers 920.625..924.375 MHz,
+// wavelengths ~32.4-32.6 cm.  Readers hop pseudo-randomly between channels;
+// each LLRP tag report carries the channel index so the localization server
+// knows the wavelength of every snapshot.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "rf/constants.hpp"
+
+namespace tagspin::rf {
+
+class FrequencyPlan {
+ public:
+  /// China 920.5-924.5 MHz plan: 16 channels, 250 kHz spacing, first center
+  /// at 920.625 MHz.
+  static FrequencyPlan china920();
+
+  /// A single-channel plan (no hopping); convenient for controlled tests.
+  static FrequencyPlan fixed(double hz);
+
+  FrequencyPlan(double firstCenterHz, double spacingHz, int channelCount);
+
+  int channelCount() const { return static_cast<int>(centersHz_.size()); }
+  double frequencyHz(int channel) const;
+  double wavelengthM(int channel) const;
+  double centerFrequencyHz() const;  // band center
+
+  /// Lowest / highest wavelength across the plan (band edges).
+  double minWavelengthM() const;
+  double maxWavelengthM() const;
+
+ private:
+  std::vector<double> centersHz_;
+};
+
+/// Pseudo-random channel hopping with a dwell time, as mandated by the
+/// Chinese regulation (readers change channel every ~2 s).  Deterministic
+/// given the seed.
+class HoppingSequence {
+ public:
+  HoppingSequence(const FrequencyPlan& plan, double dwellSeconds,
+                  uint64_t seed);
+
+  /// Channel in use at absolute time t (seconds).
+  int channelAt(double t) const;
+
+ private:
+  int channelCount_;
+  double dwellSeconds_;
+  std::vector<int> sequence_;  // precomputed hop order, cycled
+};
+
+}  // namespace tagspin::rf

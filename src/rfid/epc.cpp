@@ -1,0 +1,54 @@
+#include "rfid/epc.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace tagspin::rfid {
+
+namespace {
+int hexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+Epc Epc::fromHex(const std::string& hex) {
+  std::string digits;
+  digits.reserve(24);
+  for (char c : hex) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == '-') continue;
+    if (hexValue(c) < 0) {
+      throw std::invalid_argument("Epc::fromHex: non-hex character");
+    }
+    digits.push_back(c);
+  }
+  if (digits.size() != 24) {
+    throw std::invalid_argument("Epc::fromHex: need exactly 24 hex digits");
+  }
+  uint64_t hi = 0;
+  for (int i = 0; i < 16; ++i) hi = hi << 4 | static_cast<uint64_t>(hexValue(digits[i]));
+  uint32_t lo = 0;
+  for (int i = 16; i < 24; ++i) lo = lo << 4 | static_cast<uint32_t>(hexValue(digits[i]));
+  return Epc{hi, lo};
+}
+
+Epc Epc::forSimulatedTag(uint32_t index) {
+  // Header 0x35 (SGTIN-96-like) + a fixed simulated-company prefix.
+  return Epc{0x35A6'0032'0000'0000ULL | index, 0x5157'0000u | index};
+}
+
+std::string Epc::toHex() const {
+  static const char* kHex = "0123456789ABCDEF";
+  std::string out(24, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[static_cast<size_t>(i)] = kHex[(hi_ >> (60 - 4 * i)) & 0xF];
+  }
+  for (int i = 0; i < 8; ++i) {
+    out[static_cast<size_t>(16 + i)] = kHex[(lo_ >> (28 - 4 * i)) & 0xF];
+  }
+  return out;
+}
+
+}  // namespace tagspin::rfid

@@ -1,0 +1,42 @@
+// EPC-96 identifiers (EPC Gen2 / ISO 18000-6C tags carry a 96-bit EPC).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace tagspin::rfid {
+
+class Epc {
+ public:
+  Epc() = default;
+  Epc(uint64_t hi, uint32_t lo) : hi_(hi), lo_(lo) {}
+
+  /// Parse from a 24-hex-digit string (whitespace/'-' separators allowed).
+  /// Throws std::invalid_argument on malformed input.
+  static Epc fromHex(const std::string& hex);
+
+  /// Deterministic EPC for the i-th tag of a simulated deployment.
+  static Epc forSimulatedTag(uint32_t index);
+
+  std::string toHex() const;
+
+  uint64_t hi() const { return hi_; }
+  uint32_t lo() const { return lo_; }
+
+  auto operator<=>(const Epc&) const = default;
+
+ private:
+  uint64_t hi_ = 0;  // top 64 bits
+  uint32_t lo_ = 0;  // bottom 32 bits
+};
+
+}  // namespace tagspin::rfid
+
+template <>
+struct std::hash<tagspin::rfid::Epc> {
+  size_t operator()(const tagspin::rfid::Epc& e) const noexcept {
+    return std::hash<uint64_t>{}(e.hi() ^ (uint64_t{e.lo()} << 17));
+  }
+};

@@ -1,0 +1,64 @@
+#include "rfid/gen2.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tagspin::rfid {
+
+InventoryEngine::InventoryEngine(Gen2Config config)
+    : config_(config), qfp_(config.initialQ) {
+  if (config.initialQ < config.qMin || config.initialQ > config.qMax) {
+    throw std::invalid_argument("InventoryEngine: initialQ out of range");
+  }
+  if (config.qStep <= 0.0) {
+    throw std::invalid_argument("InventoryEngine: qStep must be > 0");
+  }
+}
+
+RoundResult InventoryEngine::runRound(double startTimeS,
+                                      std::span<const double> replyProb,
+                                      std::mt19937_64& rng) {
+  RoundResult result;
+  const int q = static_cast<int>(std::lround(qfp_));
+  const uint32_t slotCount = 1u << std::clamp(q, 0, 15);
+  result.slots = static_cast<int>(slotCount);
+
+  // Each participating tag draws a slot counter uniformly in [0, 2^Q).
+  std::vector<uint32_t> slotOf(replyProb.size());
+  std::vector<bool> participates(replyProb.size());
+  std::uniform_int_distribution<uint32_t> slotDist(0, slotCount - 1);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  for (size_t i = 0; i < replyProb.size(); ++i) {
+    participates[i] = coin(rng) < replyProb[i];
+    slotOf[i] = slotDist(rng);
+  }
+
+  double t = startTimeS;
+  for (uint32_t slot = 0; slot < slotCount; ++slot) {
+    size_t replier = 0;
+    int repliers = 0;
+    for (size_t i = 0; i < replyProb.size(); ++i) {
+      if (participates[i] && slotOf[i] == slot) {
+        replier = i;
+        ++repliers;
+      }
+    }
+    if (repliers == 0) {
+      ++result.empties;
+      t += config_.emptySlotS;
+      qfp_ = std::max(config_.qMin, qfp_ - config_.qStep);
+    } else if (repliers == 1) {
+      t += config_.singletonSlotS;
+      result.reads.push_back({replier, t});
+    } else {
+      ++result.collisions;
+      t += config_.collisionSlotS;
+      qfp_ = std::min(config_.qMax, qfp_ + config_.qStep);
+    }
+  }
+  result.endTimeS = t;
+  return result;
+}
+
+}  // namespace tagspin::rfid

@@ -1,0 +1,63 @@
+// EPC Gen2-lite inventory engine (framed slotted ALOHA with the Q algorithm).
+//
+// This is the protocol substrate standing in for the Impinj reader firmware.
+// It matters for Tagspin because it produces the *irregular read timing* of
+// real traces: tags pick random slots, collide, and reply with an
+// orientation-dependent probability -- which is exactly why the paper's
+// Fig. 4(b) shows higher sampling density when the tag plane faces the
+// antenna.  Only the medium-access layer is modelled; bit-level encodings
+// (FM0/Miller, CRC) are below the abstraction Tagspin consumes.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace tagspin::rfid {
+
+struct Gen2Config {
+  double initialQ = 2.0;
+  double qStep = 0.35;   // Qfp adjustment constant C (Gen2 suggests 0.1-0.5)
+  double qMin = 0.0;
+  double qMax = 15.0;
+  // Slot air-times (seconds); singleton slots carry the full EPC exchange.
+  double emptySlotS = 0.35e-3;
+  double singletonSlotS = 2.5e-3;
+  double collisionSlotS = 0.6e-3;
+};
+
+/// One successful tag read inside a round.
+struct InventoryRead {
+  size_t tagIndex = 0;
+  double timeS = 0.0;
+};
+
+struct RoundResult {
+  std::vector<InventoryRead> reads;
+  double endTimeS = 0.0;
+  int slots = 0;
+  int collisions = 0;
+  int empties = 0;
+};
+
+class InventoryEngine {
+ public:
+  explicit InventoryEngine(Gen2Config config = {});
+
+  /// Run one inventory round starting at `startTimeS`.  `replyProb[i]` is
+  /// the probability that tag i is energised and participates in this round
+  /// (the simulation derives it from the tag's orientation gain).
+  RoundResult runRound(double startTimeS, std::span<const double> replyProb,
+                       std::mt19937_64& rng);
+
+  /// Current floating-point Q (exposed for tests of the adaptation law).
+  double qfp() const { return qfp_; }
+  const Gen2Config& config() const { return config_; }
+
+ private:
+  Gen2Config config_;
+  double qfp_;
+};
+
+}  // namespace tagspin::rfid

@@ -1,0 +1,126 @@
+#include "rfid/llrp.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "geom/angles.hpp"
+
+namespace tagspin::rfid::llrp {
+
+namespace {
+
+// Message layout (big-endian, 40 bytes total):
+//   0  u16  message type (61 = RO_ACCESS_REPORT)
+//   2  u16  version/flags (0x0100)
+//   4  u32  message length (== kMessageSize)
+//   8  u64  EPC high bits
+//  16  u32  EPC low bits
+//  20  u64  timestamp, microseconds
+//  28  u16  Impinj PhaseAngle, 1/4096ths of a turn
+//  30  i16  peak RSSI, centi-dBm
+//  32  u16  channel index
+//  34  u32  carrier frequency, kHz
+//  38  u16  antenna id (1-based on the wire, as in LLRP)
+constexpr uint16_t kMessageType = 61;
+constexpr uint16_t kVersion = 0x0100;
+
+void putU16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v));
+}
+void putU32(std::vector<uint8_t>& out, uint32_t v) {
+  putU16(out, static_cast<uint16_t>(v >> 16));
+  putU16(out, static_cast<uint16_t>(v));
+}
+void putU64(std::vector<uint8_t>& out, uint64_t v) {
+  putU32(out, static_cast<uint32_t>(v >> 32));
+  putU32(out, static_cast<uint32_t>(v));
+}
+
+uint16_t getU16(std::span<const uint8_t> d, size_t at) {
+  return static_cast<uint16_t>(static_cast<uint16_t>(d[at]) << 8 |
+                               static_cast<uint16_t>(d[at + 1]));
+}
+uint32_t getU32(std::span<const uint8_t> d, size_t at) {
+  return static_cast<uint32_t>(getU16(d, at)) << 16 | getU16(d, at + 2);
+}
+uint64_t getU64(std::span<const uint8_t> d, size_t at) {
+  return static_cast<uint64_t>(getU32(d, at)) << 32 | getU32(d, at + 4);
+}
+
+}  // namespace
+
+double phaseResolutionRad() { return 2.0 * std::numbers::pi / 4096.0; }
+
+std::vector<uint8_t> encodeReport(const TagReport& report) {
+  std::vector<uint8_t> out;
+  out.reserve(kMessageSize);
+  putU16(out, kMessageType);
+  putU16(out, kVersion);
+  putU32(out, static_cast<uint32_t>(kMessageSize));
+  putU64(out, report.epc.hi());
+  putU32(out, report.epc.lo());
+  putU64(out, static_cast<uint64_t>(
+                  std::llround(report.timestampS * 1e6)));
+  const double turns = geom::wrapTwoPi(report.phaseRad) /
+                       (2.0 * std::numbers::pi);
+  putU16(out, static_cast<uint16_t>(std::lround(turns * 4096.0)) & 0x0FFF);
+  putU16(out, static_cast<uint16_t>(
+                  static_cast<int16_t>(std::lround(report.rssiDbm * 100.0))));
+  putU16(out, static_cast<uint16_t>(report.channelIndex));
+  putU32(out, static_cast<uint32_t>(std::llround(report.frequencyHz / 1e3)));
+  putU16(out, static_cast<uint16_t>(report.antennaPort + 1));
+  return out;
+}
+
+TagReport decodeReport(std::span<const uint8_t> data) {
+  if (data.size() < kMessageSize) {
+    throw std::invalid_argument("llrp: truncated message");
+  }
+  if (getU16(data, 0) != kMessageType) {
+    throw std::invalid_argument("llrp: unexpected message type");
+  }
+  if (getU16(data, 2) != kVersion) {
+    throw std::invalid_argument("llrp: unsupported version");
+  }
+  if (getU32(data, 4) != kMessageSize) {
+    throw std::invalid_argument("llrp: bad message length");
+  }
+  TagReport r;
+  r.epc = Epc{getU64(data, 8), getU32(data, 16)};
+  r.timestampS = static_cast<double>(getU64(data, 20)) / 1e6;
+  r.phaseRad = static_cast<double>(getU16(data, 28) & 0x0FFF) / 4096.0 *
+               2.0 * std::numbers::pi;
+  r.rssiDbm = static_cast<double>(static_cast<int16_t>(getU16(data, 30))) /
+              100.0;
+  r.channelIndex = getU16(data, 32);
+  r.frequencyHz = static_cast<double>(getU32(data, 34)) * 1e3;
+  r.antennaPort = static_cast<int>(getU16(data, 38)) - 1;
+  return r;
+}
+
+std::vector<uint8_t> encodeStream(const ReportStream& reports) {
+  std::vector<uint8_t> out;
+  out.reserve(reports.size() * kMessageSize);
+  for (const TagReport& r : reports) {
+    const std::vector<uint8_t> msg = encodeReport(r);
+    out.insert(out.end(), msg.begin(), msg.end());
+  }
+  return out;
+}
+
+ReportStream decodeStream(std::span<const uint8_t> data) {
+  if (data.size() % kMessageSize != 0) {
+    throw std::invalid_argument("llrp: stream length not a whole number of "
+                                "messages");
+  }
+  ReportStream out;
+  out.reserve(data.size() / kMessageSize);
+  for (size_t at = 0; at < data.size(); at += kMessageSize) {
+    out.push_back(decodeReport(data.subspan(at, kMessageSize)));
+  }
+  return out;
+}
+
+}  // namespace tagspin::rfid::llrp

@@ -1,0 +1,45 @@
+// LLRP-lite binary encoding of tag reports.
+//
+// The paper's reader speaks LLRP (Low Level Reader Protocol) with Impinj's
+// custom extension that adds the phase report.  This is a compact,
+// self-contained binary codec in that spirit -- big-endian framing, one
+// RO_ACCESS_REPORT message per read -- so traces can be stored/transported
+// the way a real deployment would, including the *quantisation* a real
+// reader applies:
+//   * phase is reported in 1/4096ths of a turn (Impinj PhaseAngle),
+//   * RSSI in centi-dBm as a signed 16-bit integer,
+//   * the timestamp in microseconds as an unsigned 64-bit integer.
+//
+// decode(encode(r)) is therefore *not* bit-exact in phase/RSSI; it is
+// within the hardware's own reporting resolution (tested, and shown by the
+// integration tests to be harmless to localization accuracy).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rfid/report.hpp"
+
+namespace tagspin::rfid::llrp {
+
+/// Wire size of one encoded report message (fixed-size framing).
+inline constexpr size_t kMessageSize = 40;
+
+/// Encode one report as a single binary message.
+std::vector<uint8_t> encodeReport(const TagReport& report);
+
+/// Decode one message from the front of `data`.  Throws
+/// std::invalid_argument on truncated or malformed input.
+TagReport decodeReport(std::span<const uint8_t> data);
+
+/// Encode a whole stream (concatenated messages).
+std::vector<uint8_t> encodeStream(const ReportStream& reports);
+
+/// Decode a concatenated stream; throws on any malformed message.
+ReportStream decodeStream(std::span<const uint8_t> data);
+
+/// The phase quantisation step of the wire format (2*pi / 4096).
+double phaseResolutionRad();
+
+}  // namespace tagspin::rfid::llrp

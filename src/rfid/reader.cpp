@@ -1,0 +1,23 @@
+#include "rfid/reader.hpp"
+
+namespace tagspin::rfid {
+
+ReaderDevice ReaderDevice::makeDefault() { return makeWithAntennas(1); }
+
+ReaderDevice ReaderDevice::makeWithAntennas(int n) {
+  if (n < 1 || n > kMaxAntennas) {
+    throw std::invalid_argument("ReaderDevice: antenna count must be 1..4");
+  }
+  ReaderDevice dev;
+  dev.antennas.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    rf::ReaderAntenna a;
+    // Distinct cable lengths / port electronics: each port contributes a
+    // different constant to the diversity term (Fig. 12(d) probes this).
+    a.cableAndPortPhase = 0.9 * static_cast<double>(i);
+    dev.antennas.push_back(a);
+  }
+  return dev;
+}
+
+}  // namespace tagspin::rfid

@@ -1,0 +1,43 @@
+// Reader device description (an Impinj Speedway-class fixed reader).
+//
+// The device is a passive description: up to four antenna ports, a frequency
+// plan with regulatory channel hopping, and the Gen2 MAC configuration.  The
+// simulation layer places it in a World and drives interrogation; the core
+// library only ever sees the resulting ReportStream.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "rf/antenna.hpp"
+#include "rf/frequency_plan.hpp"
+#include "rfid/gen2.hpp"
+
+namespace tagspin::rfid {
+
+struct ReaderDevice {
+  static constexpr int kMaxAntennas = 4;  // Speedway R420 limit
+
+  std::vector<rf::ReaderAntenna> antennas;
+  rf::FrequencyPlan plan = rf::FrequencyPlan::china920();
+  double hopDwellS = 2.0;  // Chinese regulation: ~2 s per channel
+  Gen2Config gen2;
+
+  /// Validated accessor.
+  const rf::ReaderAntenna& antenna(int port) const {
+    if (port < 0 || port >= static_cast<int>(antennas.size())) {
+      throw std::out_of_range("ReaderDevice: bad antenna port");
+    }
+    return antennas[static_cast<size_t>(port)];
+  }
+
+  int antennaCount() const { return static_cast<int>(antennas.size()); }
+
+  /// A single-antenna reader with default settings.
+  static ReaderDevice makeDefault();
+  /// A reader with `n` identical antennas (n <= 4), distinct port phases.
+  static ReaderDevice makeWithAntennas(int n);
+};
+
+}  // namespace tagspin::rfid

@@ -1,0 +1,58 @@
+#include "rfid/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "rf/constants.hpp"
+
+namespace tagspin::rfid {
+
+double TagReport::wavelengthM() const {
+  if (frequencyHz <= 0.0) {
+    throw std::logic_error("TagReport: frequency not set");
+  }
+  return rf::wavelength(frequencyHz);
+}
+
+ReportStream filterByEpc(const ReportStream& all, const Epc& epc) {
+  ReportStream out;
+  std::copy_if(all.begin(), all.end(), std::back_inserter(out),
+               [&](const TagReport& r) { return r.epc == epc; });
+  return out;
+}
+
+ReportStream filterByAntenna(const ReportStream& all, int port) {
+  ReportStream out;
+  std::copy_if(all.begin(), all.end(), std::back_inserter(out),
+               [&](const TagReport& r) { return r.antennaPort == port; });
+  return out;
+}
+
+std::string csvHeader() {
+  return "epc,timestamp_s,phase_rad,rssi_dbm,channel,frequency_hz,antenna";
+}
+
+std::string toCsvLine(const TagReport& r) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "%s,%.9f,%.9f,%.3f,%d,%.1f,%d",
+                r.epc.toHex().c_str(), r.timestampS, r.phaseRad, r.rssiDbm,
+                r.channelIndex, r.frequencyHz, r.antennaPort);
+  return buf;
+}
+
+TagReport fromCsvLine(const std::string& line) {
+  TagReport r;
+  char epcHex[32] = {0};
+  const int matched = std::sscanf(
+      line.c_str(), "%31[^,],%lf,%lf,%lf,%d,%lf,%d", epcHex, &r.timestampS,
+      &r.phaseRad, &r.rssiDbm, &r.channelIndex, &r.frequencyHz,
+      &r.antennaPort);
+  if (matched != 7) {
+    throw std::invalid_argument("TagReport: malformed CSV line: " + line);
+  }
+  r.epc = Epc::fromHex(epcHex);
+  return r;
+}
+
+}  // namespace tagspin::rfid

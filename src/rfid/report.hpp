@@ -1,0 +1,43 @@
+// LLRP-style tag report records.
+//
+// The Impinj reader extends LLRP with phase reports; each successful read
+// produces one record.  The localization server consumes exactly these
+// fields -- notably the *reader-side* timestamp (the paper uses the reader
+// clock, not the host clock, to dodge network latency).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rfid/epc.hpp"
+
+namespace tagspin::rfid {
+
+struct TagReport {
+  Epc epc;
+  double timestampS = 0.0;   // reader clock, seconds
+  double phaseRad = 0.0;     // [0, 2*pi)
+  double rssiDbm = 0.0;
+  int channelIndex = 0;      // index into the reader's FrequencyPlan
+  double frequencyHz = 0.0;  // carrier of this read
+  int antennaPort = 0;       // 0-based reader antenna port
+
+  double wavelengthM() const;
+};
+
+using ReportStream = std::vector<TagReport>;
+
+/// Keep only the reports of one EPC (stable order).
+ReportStream filterByEpc(const ReportStream& all, const Epc& epc);
+
+/// Keep only the reports of one antenna port (stable order).
+ReportStream filterByAntenna(const ReportStream& all, int port);
+
+/// Serialise to a compact CSV line / parse it back; used by the examples to
+/// persist traces and by round-trip tests.
+std::string toCsvLine(const TagReport& r);
+TagReport fromCsvLine(const std::string& line);
+std::string csvHeader();
+
+}  // namespace tagspin::rfid

@@ -1,0 +1,36 @@
+#include "rfid/tag_models.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace tagspin::rfid {
+
+namespace {
+// Sizes follow Alien's published inlay dimensions; the transcription of the
+// paper's Table I lost its digits, so these stand in for the same five
+// models.  Orientation amplitudes are chosen so the fleet average matches
+// the ~0.7 rad peak-to-peak effect of Fig. 5 / Fig. 11(a).
+const std::array<TagModel, 5> kModels{{
+    {TagModelId::kSquig, "Squig (AZ-9640)", "Alien", "Higgs-3", 94.8, 8.1, 10,
+     0.70, 2.0, 0.0},
+    {TagModelId::kSquare, "Square (AZ-9629)", "Alien", "Higgs-3", 22.5, 22.5,
+     10, 0.62, 1.6, -2.0},
+    {TagModelId::kSquiglette, "Squiglette (AZ-9613)", "Alien", "Higgs-3", 70.0,
+     19.0, 10, 0.74, 2.2, -1.0},
+    {TagModelId::kTwoByTwo, "2x2 (AZ-9634)", "Alien", "Higgs-3", 44.8, 44.8,
+     10, 0.66, 1.8, 0.5},
+    {TagModelId::kShort, "Short (AZ-9662)", "Alien", "Higgs-4", 70.0, 17.0, 10,
+     0.72, 2.0, -0.5},
+}};
+}  // namespace
+
+std::span<const TagModel> allTagModels() { return kModels; }
+
+const TagModel& tagModel(TagModelId id) {
+  for (const TagModel& m : kModels) {
+    if (m.id == id) return m;
+  }
+  throw std::invalid_argument("tagModel: unknown id");
+}
+
+}  // namespace tagspin::rfid

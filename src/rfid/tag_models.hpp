@@ -1,0 +1,48 @@
+// The tag catalogue of the paper's Table I: five Alien Technology tag models
+// (Squig(gle), Square, Squiglette, 2x2 and Short), all Higgs-series chips.
+//
+// Each model carries the RF-relevant parameters the simulator needs:
+//  * an orientation-response amplitude: how strongly the tag's reported
+//    phase depends on its orientation (the paper's ~0.7 rad p-p effect,
+//    caused by antenna asymmetry; varies per model, shape stable),
+//  * a gain-pattern exponent for the orientation-dependent read rate,
+//  * a relative sensitivity offset (larger antennas harvest more energy).
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace tagspin::rfid {
+
+enum class TagModelId {
+  kSquig,       // AZ-9640 "Squiggle"
+  kSquare,      // AZ-9629
+  kSquiglette,  // AZ-9613
+  kTwoByTwo,    // AZ-9634 "2x2"
+  kShort,       // AZ-9662 "Short"
+};
+
+struct TagModel {
+  TagModelId id;
+  std::string name;
+  std::string company;
+  std::string chip;
+  double widthMm;
+  double heightMm;
+  int tableQuantity;  // QTY column of Table I
+
+  /// Peak-to-peak amplitude (radians) of the phase-vs-orientation response.
+  double orientationAmplitude;
+  /// Exponent of the |sin(rho)|^p orientation gain.
+  double gainExponent;
+  /// Sensitivity offset (dB) relative to the Squiggle; bigger antenna, more
+  /// harvested power.
+  double sensitivityOffsetDb;
+};
+
+/// All five models, in Table I order.
+std::span<const TagModel> allTagModels();
+
+const TagModel& tagModel(TagModelId id);
+
+}  // namespace tagspin::rfid

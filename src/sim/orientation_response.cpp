@@ -1,0 +1,80 @@
+#include "sim/orientation_response.hpp"
+
+#include <cmath>
+#include <random>
+
+#include "geom/angles.hpp"
+#include "sim/rng.hpp"
+
+namespace tagspin::sim {
+
+namespace {
+// The stable canonical shape (before per-instance scaling).  A tag antenna
+// is nearly indistinguishable under a pi rotation, so the orientation
+// response is dominated by *even* harmonics: the chip's reactive loading
+// (and hence the backscatter phase) varies with how well the incident
+// polarisation couples, which is pi-periodic in rho.  The small odd-harmonic
+// residue comes from the feed point sitting slightly off the antenna's
+// geometric center ("the practical design always contains an offset").
+// Scaled so that the model's orientationAmplitude is the peak-to-peak value.
+dsp::FourierSeries baseShape() {
+  dsp::FourierSeries s;
+  s.a0 = 0.0;
+  s.a = {0.08, 0.48, 0.03};  // cos(rho), cos(2 rho), cos(3 rho)
+  s.b = {0.05, 0.10, 0.04};  // sin(rho), sin(2 rho), sin(3 rho)
+  return s;
+}
+
+double peakToPeakOf(const dsp::FourierSeries& s) {
+  double lo = s.evaluate(0.0);
+  double hi = lo;
+  for (int i = 1; i < 720; ++i) {
+    const double v = s.evaluate(geom::kTwoPi * i / 720.0);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  return hi - lo;
+}
+}  // namespace
+
+OrientationResponse OrientationResponse::forTag(const rfid::TagModel& model,
+                                                uint64_t instanceSeed) {
+  std::mt19937_64 rng(deriveSeed(instanceSeed, 0xC0FFEEULL));
+  std::uniform_real_distribution<double> ampJitter(0.85, 1.15);
+  std::uniform_real_distribution<double> phaseJitter(-0.12, 0.12);
+
+  dsp::FourierSeries shape = baseShape();
+  const double norm = peakToPeakOf(shape);
+  const double scale = model.orientationAmplitude * ampJitter(rng) / norm;
+  const double rot = phaseJitter(rng);
+
+  // Scale amplitudes; rotate the shape by `rot` (a small per-instance shift
+  // of where the extrema sit): cos(k(x - rot)) expands to a cos/sin mix.
+  dsp::FourierSeries out;
+  out.a0 = 0.0;
+  out.a.resize(shape.order());
+  out.b.resize(shape.order());
+  for (size_t k = 1; k <= shape.order(); ++k) {
+    const double ck = std::cos(static_cast<double>(k) * rot);
+    const double sk = std::sin(static_cast<double>(k) * rot);
+    const double ak = shape.a[k - 1] * scale;
+    const double bk = shape.b[k - 1] * scale;
+    out.a[k - 1] = ak * ck - bk * sk;
+    out.b[k - 1] = ak * sk + bk * ck;
+  }
+  return OrientationResponse(std::move(out));
+}
+
+OrientationResponse OrientationResponse::ideal() {
+  dsp::FourierSeries zero;
+  zero.a0 = 0.0;
+  return OrientationResponse(std::move(zero));
+}
+
+double OrientationResponse::offset(double rho) const {
+  return series_.evaluate(rho);
+}
+
+double OrientationResponse::peakToPeak() const { return peakToPeakOf(series_); }
+
+}  // namespace tagspin::sim

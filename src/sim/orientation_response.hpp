@@ -1,0 +1,47 @@
+// Ground-truth phase-vs-orientation response of a simulated tag.
+//
+// The paper's Observation 3.1: a tag's reported phase depends on its
+// orientation rho relative to the reader; the fluctuation is ~0.7 rad
+// peak-to-peak, its *amplitude* varies across tag instances and positions
+// but its *shape* is stable and well fitted by a Fourier series.  Physical
+// cause: the tag antenna's feed/IC is offset from the geometric center, so
+// rotating the tag changes the effective backscatter path by a few
+// millimetres -- doubled by the round trip.
+//
+// The core library NEVER reads this class; it must recover the response via
+// the paper's center-spin calibration (Step 1 of section III-B).
+#pragma once
+
+#include <cstdint>
+
+#include "dsp/fourier.hpp"
+#include "rfid/tag_models.hpp"
+
+namespace tagspin::sim {
+
+class OrientationResponse {
+ public:
+  /// Response of a concrete tag instance: the model sets the nominal
+  /// amplitude, the instance seed adds bounded per-tag variation
+  /// (+-15% amplitude, small phase rotation) while keeping the shape.
+  static OrientationResponse forTag(const rfid::TagModel& model,
+                                    uint64_t instanceSeed);
+
+  /// A response with exactly zero effect (ideal symmetric tag).
+  static OrientationResponse ideal();
+
+  /// Phase offset (radians) contributed at orientation rho.
+  double offset(double rho) const;
+
+  /// Peak-to-peak amplitude over a dense grid; ~0.7 rad for the default
+  /// Squiggle model.
+  double peakToPeak() const;
+
+  const dsp::FourierSeries& series() const { return series_; }
+
+ private:
+  explicit OrientationResponse(dsp::FourierSeries s) : series_(std::move(s)) {}
+  dsp::FourierSeries series_;
+};
+
+}  // namespace tagspin::sim

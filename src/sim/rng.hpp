@@ -1,0 +1,28 @@
+// Deterministic seed derivation.
+//
+// All randomness in the simulator flows from explicit 64-bit seeds; derived
+// streams (per tag, per trial, per subsystem) are split off with splitmix64
+// so experiments are reproducible and independent of evaluation order.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace tagspin::sim {
+
+/// splitmix64 finaliser; good avalanche, cheap.
+constexpr uint64_t splitmix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Derive an independent stream seed from a base seed and a stream id.
+constexpr uint64_t deriveSeed(uint64_t base, uint64_t stream) {
+  return splitmix64(base ^ splitmix64(stream * 0xA24BAED4963EE407ULL + 1));
+}
+
+inline std::mt19937_64 makeRng(uint64_t seed) { return std::mt19937_64(seed); }
+
+}  // namespace tagspin::sim

@@ -1,0 +1,127 @@
+#include "sim/scenario.hpp"
+
+#include <random>
+
+#include "geom/angles.hpp"
+#include "rf/frequency_plan.hpp"
+#include "sim/rng.hpp"
+
+namespace tagspin::sim {
+
+namespace {
+
+std::vector<rf::Scatterer> makeScatterers(const ScenarioConfig& config) {
+  std::vector<rf::Scatterer> out;
+  if (!config.multipath || config.scattererCount <= 0) return out;
+  std::mt19937_64 rng(deriveSeed(config.seed, 0x5CA7ULL));
+  std::uniform_real_distribution<double> x(-3.0, 3.0);
+  std::uniform_real_distribution<double> y(-1.0, 6.0);
+  std::uniform_real_distribution<double> z(0.0, 2.5);
+  // Weak coherent echoes: the paper's circularly polarised patch antennas
+  // reject odd-bounce reflections by an order of magnitude, leaving only a
+  // mild residual.  bench/fig_ablation sweeps this strength.
+  std::uniform_real_distribution<double> refl(0.008, 0.025);
+  out.reserve(static_cast<size_t>(config.scattererCount));
+  for (int i = 0; i < config.scattererCount; ++i) {
+    out.push_back({geom::Vec3{x(rng), y(rng), z(rng)}, refl(rng)});
+  }
+  return out;
+}
+
+World makeBaseWorld(const ScenarioConfig& config) {
+  World w;
+  w.worldSeed = config.seed;
+  w.reader = rfid::ReaderDevice::makeWithAntennas(config.antennaCount);
+  if (config.fixedChannel) {
+    w.reader.plan = rf::FrequencyPlan::fixed(rf::mhz(922.375));
+  }
+  w.antennaPositions.assign(static_cast<size_t>(config.antennaCount),
+                            geom::Vec3{0.0, 2.0, config.rigPlaneZ});
+  w.channel = rf::BackscatterChannel({}, makeScatterers(config));
+  return w;
+}
+
+RigTag makeRigTag(const ScenarioConfig& config, const geom::Vec3& center,
+                  double radius, uint32_t tagIndex) {
+  RigTag rt;
+  rt.tag = TagInstance::make(rfid::Epc::forSimulatedTag(tagIndex),
+                             config.tagModel,
+                             deriveSeed(config.seed, 0xA110ULL + tagIndex));
+  rt.rig.center = center;
+  rt.rig.radiusM = radius;
+  rt.rig.omegaRadPerS = config.rigOmegaRadPerS;
+  rt.rig.initialAngle = 0.35 * static_cast<double>(tagIndex);
+  return rt;
+}
+
+}  // namespace
+
+geom::Vec3 Region::sample(std::mt19937_64& rng, bool threeD) const {
+  std::uniform_real_distribution<double> dx(-halfWidthX, halfWidthX);
+  std::uniform_real_distribution<double> dy(yMin, yMax);
+  std::uniform_real_distribution<double> dz(0.0, zMax);
+  return {dx(rng), dy(rng), threeD ? dz(rng) : 0.0};
+}
+
+World makeTwoRigWorld(const ScenarioConfig& config) {
+  World w = makeBaseWorld(config);
+  const double s = config.centerSpacingM / 2.0;
+  w.rigs.push_back(makeRigTag(
+      config, geom::Vec3{-s, 0.0, config.rigPlaneZ}, config.rigRadiusM, 0));
+  w.rigs.push_back(makeRigTag(
+      config, geom::Vec3{+s, 0.0, config.rigPlaneZ}, config.rigRadiusM, 1));
+  return w;
+}
+
+World makeCenterSpinWorld(const ScenarioConfig& config) {
+  World w = makeBaseWorld(config);
+  w.rigs.push_back(makeRigTag(config, geom::Vec3{0.0, 0.0, config.rigPlaneZ},
+                              /*radius=*/0.0, 0));
+  return w;
+}
+
+void placeReaderAntenna(World& world, int port, const geom::Vec3& pos) {
+  if (port < 0 || port >= world.reader.antennaCount()) {
+    throw std::out_of_range("placeReaderAntenna: bad port");
+  }
+  world.antennaPositions[static_cast<size_t>(port)] = pos;
+  // Point the antenna at the rig field (the origin region).
+  geom::Vec3 target{0.0, 0.0, pos.z};
+  if (!world.rigs.empty()) {
+    geom::Vec3 acc{};
+    for (const RigTag& r : world.rigs) acc += r.rig.center;
+    target = acc / static_cast<double>(world.rigs.size());
+  }
+  world.reader.antennas[static_cast<size_t>(port)].boresightAzimuth =
+      geom::azimuthOf(pos, target);
+}
+
+void addReferenceGrid(World& world, const Region& region, double spacingM,
+                      double z) {
+  uint32_t index = 1000;  // keep EPCs distinct from rig tags
+  std::mt19937_64 rng(deriveSeed(world.worldSeed, 0x0E5ULL));
+  std::uniform_real_distribution<double> azimuth(0.0, geom::kTwoPi);
+  for (double x = -region.halfWidthX; x <= region.halfWidthX + 1e-9;
+       x += spacingM) {
+    for (double y = region.yMin; y <= region.yMax + 1e-9; y += spacingM) {
+      StaticTag st;
+      st.tag = TagInstance::make(rfid::Epc::forSimulatedTag(index),
+                                 rfid::TagModelId::kSquig,
+                                 deriveSeed(world.worldSeed, index));
+      st.position = {x, y, z};
+      st.planeAzimuth = azimuth(rng);
+      world.statics.push_back(std::move(st));
+      ++index;
+    }
+  }
+}
+
+void addVerticalRig(World& world, const geom::Vec3& center,
+                    const ScenarioConfig& config) {
+  RigTag rt = makeRigTag(config, center, config.rigRadiusM,
+                         static_cast<uint32_t>(world.rigs.size()));
+  rt.rig.plane = SpinningRig::Plane::kVerticalXZ;
+  world.rigs.push_back(std::move(rt));
+}
+
+}  // namespace tagspin::sim

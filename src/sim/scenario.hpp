@@ -1,0 +1,59 @@
+// Canned scene builders shared by tests, examples and benches.
+//
+// The default scenario mirrors the paper's office testbed: two spinning
+// rigs 40 cm apart on a desk (their plane is the z=0 horizontal plane),
+// disk radius 10 cm, omega = 0.5 rad/s, Squiggle tags, a 9 m x 4 m
+// surveillance region, three wall/furniture scatterers for multipath.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/world.hpp"
+
+namespace tagspin::sim {
+
+struct ScenarioConfig {
+  double rigRadiusM = 0.10;
+  double rigOmegaRadPerS = 0.5;
+  double centerSpacingM = 0.40;
+  rfid::TagModelId tagModel = rfid::TagModelId::kSquig;
+  int antennaCount = 1;
+  bool multipath = true;
+  int scattererCount = 3;
+  bool fixedChannel = false;  // true: single channel, no hopping
+  double rigPlaneZ = 0.0;     // height of the rig plane (3D experiments)
+  uint64_t seed = 1;
+};
+
+/// Surveillance region of the simulated office (metres): x in [-W/2, W/2],
+/// y in [yMin, yMax], z in [0, H].
+struct Region {
+  double halfWidthX = 1.6;   // surveillance area ~3.2 m wide
+  double yMin = 0.8;         // keep the reader off the rig line
+  double yMax = 3.2;         // several metres, within reliable read range
+  double zMax = 1.5;
+
+  geom::Vec3 sample(std::mt19937_64& rng, bool threeD) const;
+};
+
+/// Two horizontal rigs centered at (-s/2, 0, z) and (+s/2, 0, z).
+World makeTwoRigWorld(const ScenarioConfig& config);
+
+/// One rig with the tag mounted at the disk *center* (radius 0) -- the
+/// orientation-calibration configuration of section III-B Step 1.
+World makeCenterSpinWorld(const ScenarioConfig& config);
+
+/// Place the reader's antenna `port` at `pos`, boresight toward the rigs.
+void placeReaderAntenna(World& world, int port, const geom::Vec3& pos);
+
+/// Add a grid of static reference tags (spacing in metres) across the
+/// region at height z; used by the LandMarc/PinIt/BackPos baselines.
+void addReferenceGrid(World& world, const Region& region, double spacingM,
+                      double z);
+
+/// Add a third, vertically spinning rig at `center` (paper's future-work
+/// extension for z-axis aperture diversity).
+void addVerticalRig(World& world, const geom::Vec3& center,
+                    const ScenarioConfig& config);
+
+}  // namespace tagspin::sim

@@ -1,0 +1,89 @@
+// Spinning-rig kinematics.
+//
+// A tag is attached to the edge of a disk of radius r spinning with uniform
+// angular speed omega (paper Fig. 2).  The rig reports, for any time t, the
+// tag's world position and the tag-plane azimuth from which the orientation
+// angle rho(t) toward any reader position follows.  A radius of 0 gives the
+// center-mounted calibration configuration of section III-B Step 1.
+//
+// Horizontal rigs spin in the x-y plane (the paper's setup); the VerticalXZ
+// plane implements the paper's future-work extension of a vertically
+// spinning tag for z-axis aperture diversity.
+#pragma once
+
+#include "geom/angles.hpp"
+#include "geom/vec.hpp"
+
+namespace tagspin::sim {
+
+struct SpinningRig {
+  enum class Plane { kHorizontal, kVerticalXZ };
+
+  geom::Vec3 center;
+  double radiusM = 0.10;
+  double omegaRadPerS = 0.5;
+  double initialAngle = 0.0;
+  /// Mounting offset of the tag plane relative to the disk radial direction;
+  /// pi/2 = tangential mounting (tag lies flat along the rim).
+  double tagPlaneOffset = geom::kPi / 2.0;
+  Plane plane = Plane::kHorizontal;
+
+  /// Motor imperfection: a sinusoidal angle error of amplitude
+  /// `speedJitterAmp` (radians) with period `jitterPeriodS`, modelling a
+  /// cheap motor's speed ripple / belt slip.  The localization server keeps
+  /// assuming uniform rotation, so this is a pure model-mismatch knob
+  /// (swept in bench/fig_ablation2).  0 = ideal motor.
+  double speedJitterAmp = 0.0;
+  double jitterPeriodS = 5.0;
+  double jitterPhase = 0.0;
+
+  /// Disk angle (radians) at time t: omega*t + initialAngle (+ jitter).
+  double diskAngle(double t) const {
+    double a = omegaRadPerS * t + initialAngle;
+    if (speedJitterAmp != 0.0) {
+      a += speedJitterAmp *
+           std::sin(geom::kTwoPi * t / jitterPeriodS + jitterPhase);
+    }
+    return a;
+  }
+
+  /// World position of the tag at time t.
+  geom::Vec3 tagPosition(double t) const {
+    const double a = diskAngle(t);
+    switch (plane) {
+      case Plane::kVerticalXZ:
+        return center + geom::Vec3{radiusM * std::cos(a), 0.0,
+                                   radiusM * std::sin(a)};
+      case Plane::kHorizontal:
+      default:
+        return center + geom::Vec3{radiusM * std::cos(a),
+                                   radiusM * std::sin(a), 0.0};
+    }
+  }
+
+  /// Azimuth of the tag plane (the direction the tag's long axis points) in
+  /// the rig's rotation plane.
+  double tagPlaneAngle(double t) const {
+    return geom::wrapTwoPi(diskAngle(t) + tagPlaneOffset);
+  }
+
+  /// Orientation rho(t): angle between the tag plane and the line from the
+  /// tag to the reader (paper section III-A / Fig. 5(a)), measured in the
+  /// rig's rotation plane.
+  double orientationRho(double t, const geom::Vec3& reader) const {
+    const geom::Vec3 tag = tagPosition(t);
+    double toReader;
+    if (plane == Plane::kVerticalXZ) {
+      const geom::Vec3 d = reader - tag;
+      toReader = std::atan2(d.z, d.x);
+    } else {
+      toReader = geom::azimuthOf(tag, reader);
+    }
+    return geom::wrapTwoPi(tagPlaneAngle(t) - toReader);
+  }
+
+  /// Time for one full revolution.
+  double periodS() const { return geom::kTwoPi / omegaRadPerS; }
+};
+
+}  // namespace tagspin::sim

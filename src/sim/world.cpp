@@ -1,0 +1,76 @@
+#include "sim/world.hpp"
+
+#include <random>
+#include <stdexcept>
+
+#include "geom/angles.hpp"
+#include "sim/rng.hpp"
+
+namespace tagspin::sim {
+
+TagInstance TagInstance::make(rfid::Epc epc, rfid::TagModelId model,
+                              uint64_t seed) {
+  const rfid::TagModel& m = rfid::tagModel(model);
+  TagInstance t;
+  t.epc = epc;
+  t.model = model;
+  t.orientation = OrientationResponse::forTag(m, seed);
+  // Low floor: edge-on tags harvest very little energy, so reads cluster
+  // sharply around rho = pi/2 + k*pi (the paper's segment-A/C density).
+  t.gain = rf::TagOrientationGain(m.gainExponent, 0.10);
+  std::mt19937_64 rng(deriveSeed(seed, 0xD1BULL));
+  std::uniform_real_distribution<double> phase(0.0, geom::kTwoPi);
+  t.hardwarePhase = phase(rng);
+  return t;
+}
+
+double StaticTag::orientationRho(const geom::Vec3& reader) const {
+  return geom::wrapTwoPi(planeAzimuth - geom::azimuthOf(position, reader));
+}
+
+const geom::Vec3& World::antennaPosition(int port) const {
+  if (port < 0 || port >= static_cast<int>(antennaPositions.size())) {
+    throw std::out_of_range("World: bad antenna port");
+  }
+  return antennaPositions[static_cast<size_t>(port)];
+}
+
+const TagInstance& World::tagAt(int globalIndex) const {
+  if (globalIndex < 0 || globalIndex >= tagCount()) {
+    throw std::out_of_range("World: bad tag index");
+  }
+  const size_t i = static_cast<size_t>(globalIndex);
+  if (i < rigs.size()) return rigs[i].tag;
+  return statics[i - rigs.size()].tag;
+}
+
+geom::Vec3 World::tagPositionAt(int globalIndex, double t) const {
+  const size_t i = static_cast<size_t>(globalIndex);
+  if (i < rigs.size()) return rigs[i].rig.tagPosition(t);
+  return statics.at(i - rigs.size()).position;
+}
+
+double World::tagRhoAt(int globalIndex, double t,
+                       const geom::Vec3& reader) const {
+  const size_t i = static_cast<size_t>(globalIndex);
+  if (i < rigs.size()) return rigs[i].rig.orientationRho(t, reader);
+  return statics.at(i - rigs.size()).orientationRho(reader);
+}
+
+void World::validate() const {
+  if (antennaPositions.size() != reader.antennas.size()) {
+    throw std::logic_error(
+        "World: antennaPositions must parallel reader.antennas");
+  }
+  if (tagCount() == 0) {
+    throw std::logic_error("World: no tags");
+  }
+  for (const RigTag& r : rigs) {
+    if (r.rig.radiusM < 0.0) throw std::logic_error("World: negative radius");
+    if (r.rig.omegaRadPerS == 0.0 && r.rig.radiusM > 0.0) {
+      throw std::logic_error("World: edge-mounted tag on a stopped disk");
+    }
+  }
+}
+
+}  // namespace tagspin::sim

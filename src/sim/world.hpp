@@ -1,0 +1,78 @@
+// The simulated scene: a reader (with up to four antennas at unknown-to-be-
+// estimated positions), spinning-rig tags, and optional static reference
+// tags (used by the baseline systems).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/vec.hpp"
+#include "rf/antenna.hpp"
+#include "rf/channel.hpp"
+#include "rfid/epc.hpp"
+#include "rfid/reader.hpp"
+#include "rfid/tag_models.hpp"
+#include "sim/orientation_response.hpp"
+#include "sim/spinning_rig.hpp"
+
+namespace tagspin::sim {
+
+/// A concrete physical tag: model + per-instance hardware characteristics.
+struct TagInstance {
+  rfid::Epc epc;
+  rfid::TagModelId model = rfid::TagModelId::kSquig;
+  OrientationResponse orientation = OrientationResponse::ideal();
+  rf::TagOrientationGain gain;
+  /// Tag-side contribution to the diversity term theta_div (constant per
+  /// macro environment, per Eqn. 1).
+  double hardwarePhase = 0.0;
+
+  /// Build a randomized instance of `model` with the given EPC.
+  static TagInstance make(rfid::Epc epc, rfid::TagModelId model,
+                          uint64_t seed);
+};
+
+/// A tag mounted on a spinning rig.
+struct RigTag {
+  TagInstance tag;
+  SpinningRig rig;
+};
+
+/// A static tag at a fixed pose (reference tags for LandMarc/PinIt/BackPos).
+struct StaticTag {
+  TagInstance tag;
+  geom::Vec3 position;
+  double planeAzimuth = 0.0;
+
+  double orientationRho(const geom::Vec3& reader) const;
+};
+
+class World {
+ public:
+  rfid::ReaderDevice reader = rfid::ReaderDevice::makeDefault();
+  /// World position of each reader antenna port (parallel to
+  /// reader.antennas).  These are the localization targets.
+  std::vector<geom::Vec3> antennaPositions;
+
+  rf::BackscatterChannel channel;
+  std::vector<RigTag> rigs;
+  std::vector<StaticTag> statics;
+
+  /// Seed from which all per-interrogation randomness is derived.
+  uint64_t worldSeed = 1;
+
+  const geom::Vec3& antennaPosition(int port) const;
+  int tagCount() const {
+    return static_cast<int>(rigs.size() + statics.size());
+  }
+
+  /// Global tag index layout: rigs first, then statics.
+  const TagInstance& tagAt(int globalIndex) const;
+  geom::Vec3 tagPositionAt(int globalIndex, double t) const;
+  double tagRhoAt(int globalIndex, double t, const geom::Vec3& reader) const;
+
+  void validate() const;  // throws std::logic_error on inconsistency
+};
+
+}  // namespace tagspin::sim

@@ -1,0 +1,90 @@
+#include "baselines/antloc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "geom/angles.hpp"
+
+namespace tagspin::baselines {
+namespace {
+
+BearingObservation perfectBearing(const geom::Vec3& tag,
+                                  const geom::Vec3& reader) {
+  return {tag, geom::azimuthOf(reader, tag)};
+}
+
+TEST(AntLoc, ExactWithPerfectBearings) {
+  const geom::Vec3 reader{0.5, 1.5, 0.0};
+  const std::vector<BearingObservation> obs{
+      perfectBearing({-1.0, 0.0, 0.0}, reader),
+      perfectBearing({1.0, 0.0, 0.0}, reader),
+      perfectBearing({0.0, 3.0, 0.0}, reader)};
+  const geom::Vec3 fix = antlocLocate(obs);
+  EXPECT_NEAR(fix.x, reader.x, 1e-9);
+  EXPECT_NEAR(fix.y, reader.y, 1e-9);
+}
+
+TEST(AntLoc, TwoTagsSuffice) {
+  const geom::Vec3 reader{-0.3, 2.0, 0.0};
+  const std::vector<BearingObservation> obs{
+      perfectBearing({-1.5, 0.0, 0.0}, reader),
+      perfectBearing({1.5, 0.0, 0.0}, reader)};
+  const geom::Vec3 fix = antlocLocate(obs);
+  EXPECT_LT(geom::distance(fix.xy(), reader.xy()), 1e-9);
+}
+
+TEST(AntLoc, TooFewThrows) {
+  const std::vector<BearingObservation> one{
+      perfectBearing({0.0, 0.0, 0.0}, {1.0, 1.0, 0.0})};
+  EXPECT_THROW(antlocLocate(one), std::invalid_argument);
+  EXPECT_THROW(antlocLocate({}), std::invalid_argument);
+}
+
+TEST(AntLoc, DegenerateGeometryThrows) {
+  // Reader collinear with both tags: back-rays are parallel.
+  const geom::Vec3 reader{0.0, 0.0, 0.0};
+  const std::vector<BearingObservation> obs{
+      perfectBearing({1.0, 0.0, 0.0}, reader),
+      perfectBearing({2.0, 0.0, 0.0}, reader)};
+  EXPECT_THROW(antlocLocate(obs), std::runtime_error);
+}
+
+TEST(AntLoc, ErrorScalesWithBearingNoise) {
+  const geom::Vec3 reader{0.4, 2.0, 0.0};
+  const std::vector<geom::Vec3> tags{
+      {-1.0, 0.5, 0.0}, {1.0, 0.5, 0.0}, {0.0, 3.5, 0.0}, {1.5, 2.5, 0.0}};
+  auto meanError = [&](double noiseStd) {
+    std::mt19937_64 rng(7);
+    std::normal_distribution<double> noise(0.0, noiseStd);
+    double acc = 0.0;
+    const int trials = 40;
+    for (int t = 0; t < trials; ++t) {
+      std::vector<BearingObservation> obs;
+      for (const geom::Vec3& tag : tags) {
+        obs.push_back(
+            {tag, geom::wrapTwoPi(geom::azimuthOf(reader, tag) + noise(rng))});
+      }
+      acc += geom::distance(antlocLocate(obs).xy(), reader.xy());
+    }
+    return acc / trials;
+  };
+  const double small = meanError(0.05);
+  const double large = meanError(0.25);
+  EXPECT_LT(small, large);
+  EXPECT_LT(small, 0.15);
+  EXPECT_GT(large, 0.15);
+}
+
+TEST(AntLoc, ZIsAverageOfTagHeights) {
+  const geom::Vec3 reader{0.5, 1.5, 0.0};
+  std::vector<BearingObservation> obs{
+      perfectBearing({-1.0, 0.0, 0.2}, reader),
+      perfectBearing({1.0, 0.0, 0.6}, reader)};
+  EXPECT_NEAR(antlocLocate(obs).z, 0.4, 1e-12);
+}
+
+}  // namespace
+}  // namespace tagspin::baselines

@@ -1,0 +1,109 @@
+#include "baselines/backpos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include "geom/angles.hpp"
+
+namespace tagspin::baselines {
+namespace {
+
+constexpr double kLambda = 0.325;
+
+AnchorPhase anchorAt(const geom::Vec3& pos, const geom::Vec2& reader,
+                     double phaseError = 0.0) {
+  AnchorPhase a;
+  a.position = pos;
+  a.lambdaM = kLambda;
+  const double d = geom::distance(reader, pos.xy());
+  a.phase = geom::wrapTwoPi(4.0 * std::numbers::pi / kLambda * d + phaseError);
+  return a;
+}
+
+std::vector<AnchorPhase> anchorsFor(const geom::Vec2& reader) {
+  return {anchorAt({-1.0, 0.5, 0.0}, reader), anchorAt({1.0, 0.5, 0.0}, reader),
+          anchorAt({-0.6, 2.5, 0.0}, reader), anchorAt({0.9, 2.2, 0.0}, reader),
+          anchorAt({0.0, 1.2, 0.0}, reader)};
+}
+
+TEST(BackPos, ExactWithPerfectPhases) {
+  const geom::Vec2 reader{0.3, 1.6};
+  const SearchBounds bounds{-2.0, 2.0, 0.0, 3.0};
+  const geom::Vec2 fix = backposLocate(anchorsFor(reader), bounds);
+  EXPECT_LT(geom::distance(fix, reader), 0.01);
+}
+
+TEST(BackPos, CostZeroAtTruth) {
+  const geom::Vec2 reader{0.3, 1.6};
+  const auto anchors = anchorsFor(reader);
+  EXPECT_NEAR(backposCost(anchors, reader), 0.0, 1e-12);
+  EXPECT_GT(backposCost(anchors, {0.3, 1.6 + 0.08}), 0.01);
+}
+
+TEST(BackPos, ThetaDivCancelsInPairs) {
+  // A common phase offset on ALL anchors (same tag, same reader hardware)
+  // cancels in the pairwise differences.
+  const geom::Vec2 reader{0.3, 1.6};
+  std::vector<AnchorPhase> anchors = anchorsFor(reader);
+  for (AnchorPhase& a : anchors) {
+    a.phase = geom::wrapTwoPi(a.phase + 2.34);
+  }
+  const SearchBounds bounds{-2.0, 2.0, 0.0, 3.0};
+  EXPECT_LT(geom::distance(backposLocate(anchors, bounds), reader), 0.01);
+}
+
+TEST(BackPos, SmallPhaseErrorsSmallPositionError) {
+  const geom::Vec2 reader{-0.4, 1.2};
+  std::vector<AnchorPhase> anchors{
+      anchorAt({-1.0, 0.5, 0.0}, reader, 0.05),
+      anchorAt({1.0, 0.5, 0.0}, reader, -0.04),
+      anchorAt({-0.6, 2.5, 0.0}, reader, 0.06),
+      anchorAt({0.9, 2.2, 0.0}, reader, -0.05),
+      anchorAt({0.0, 1.2, 0.0}, reader, 0.02)};
+  const SearchBounds bounds{-2.0, 2.0, 0.0, 3.0};
+  EXPECT_LT(geom::distance(backposLocate(anchors, bounds), reader), 0.05);
+}
+
+TEST(BackPos, BoundsConstrainTheFix) {
+  const geom::Vec2 reader{0.3, 1.6};
+  const SearchBounds awayFromTruth{1.0, 2.0, 2.0, 3.0};
+  const geom::Vec2 fix = backposLocate(anchorsFor(reader), awayFromTruth);
+  EXPECT_GE(fix.x, 1.0 - 1e-9);
+  EXPECT_LE(fix.x, 2.0 + 0.05);
+  EXPECT_GE(fix.y, 2.0 - 1e-9);
+}
+
+TEST(BackPos, Validation) {
+  const geom::Vec2 reader{0.0, 1.0};
+  std::vector<AnchorPhase> two{anchorAt({-1.0, 0.0, 0.0}, reader),
+                               anchorAt({1.0, 0.0, 0.0}, reader)};
+  const SearchBounds bounds{-2.0, 2.0, 0.0, 3.0};
+  EXPECT_THROW(backposLocate(two, bounds), std::invalid_argument);
+  const SearchBounds empty{1.0, -1.0, 0.0, 3.0};
+  EXPECT_THROW(backposLocate(anchorsFor(reader), empty),
+               std::invalid_argument);
+}
+
+TEST(BackPos, MixedWavelengthsHandled) {
+  // Anchors measured on different hop channels still cohere because the
+  // cost uses each anchor's own wavelength.
+  const geom::Vec2 reader{0.2, 1.4};
+  std::vector<AnchorPhase> anchors = anchorsFor(reader);
+  anchors[1].lambdaM = 0.3243;
+  anchors[1].phase = geom::wrapTwoPi(
+      4.0 * std::numbers::pi / anchors[1].lambdaM *
+      geom::distance(reader, anchors[1].position.xy()));
+  anchors[3].lambdaM = 0.3256;
+  anchors[3].phase = geom::wrapTwoPi(
+      4.0 * std::numbers::pi / anchors[3].lambdaM *
+      geom::distance(reader, anchors[3].position.xy()));
+  const SearchBounds bounds{-2.0, 2.0, 0.0, 3.0};
+  EXPECT_LT(geom::distance(backposLocate(anchors, bounds), reader), 0.02);
+}
+
+}  // namespace
+}  // namespace tagspin::baselines

@@ -1,0 +1,96 @@
+#include "baselines/dtw.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace tagspin::baselines {
+namespace {
+
+std::vector<double> bump(size_t n, size_t center, double width = 3.0) {
+  std::vector<double> out(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(i) - static_cast<double>(center);
+    out[i] = std::exp(-d * d / (2.0 * width * width));
+  }
+  return out;
+}
+
+TEST(Dtw, IdenticalSequencesHaveZeroDistance) {
+  const auto a = bump(50, 25);
+  EXPECT_DOUBLE_EQ(dtwDistance(a, a), 0.0);
+}
+
+TEST(Dtw, EmptyThrows) {
+  const std::vector<double> a{1.0};
+  EXPECT_THROW(dtwDistance(a, {}), std::invalid_argument);
+  EXPECT_THROW(dtwDistance({}, a), std::invalid_argument);
+}
+
+TEST(Dtw, SymmetricForEqualLengths) {
+  const auto a = bump(60, 20);
+  const auto b = bump(60, 26);
+  EXPECT_NEAR(dtwDistance(a, b), dtwDistance(b, a), 1e-12);
+}
+
+TEST(Dtw, DistanceGrowsWithMisalignment) {
+  const auto ref = bump(90, 30);
+  double prev = 0.0;
+  for (size_t shift : {2u, 6u, 12u, 24u}) {
+    const double d = dtwDistance(ref, bump(90, 30 + shift));
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+TEST(Dtw, BandToleratesSmallShifts) {
+  // Within the warping band a small shift costs little; beyond it, a lot.
+  const auto ref = bump(100, 40);
+  DtwConfig config;
+  config.bandFraction = 0.05;  // +-5 samples
+  const double small = dtwDistance(ref, bump(100, 43), config);
+  const double large = dtwDistance(ref, bump(100, 70), config);
+  EXPECT_LT(small, large * 0.3);
+}
+
+TEST(Dtw, WiderBandNeverIncreasesDistance) {
+  const auto a = bump(80, 30);
+  const auto b = bump(80, 38);
+  DtwConfig narrow;
+  narrow.bandFraction = 0.02;
+  DtwConfig wide;
+  wide.bandFraction = 0.5;
+  EXPECT_LE(dtwDistance(a, b, wide), dtwDistance(a, b, narrow) + 1e-12);
+}
+
+TEST(Dtw, UnequalLengthsSupported) {
+  const auto a = bump(60, 30);
+  const auto b = bump(90, 45);  // same shape, resampled
+  DtwConfig config;
+  config.bandFraction = 0.2;
+  EXPECT_LT(dtwDistance(a, b, config), 0.1);
+}
+
+TEST(Dtw, VeryUnequalLengthsFallBack) {
+  // Band too narrow for the length ratio: the implementation falls back to
+  // the unconstrained distance instead of returning infinity.
+  const auto a = bump(10, 5);
+  const auto b = bump(100, 50);
+  DtwConfig config;
+  config.bandFraction = 0.01;
+  const double d = dtwDistance(a, b, config);
+  EXPECT_TRUE(std::isfinite(d));
+}
+
+TEST(Dtw, ZeroBandIsUnconstrained) {
+  const auto a = bump(40, 10);
+  const auto b = bump(40, 30);
+  DtwConfig config;
+  config.bandFraction = 0.0;
+  EXPECT_TRUE(std::isfinite(dtwDistance(a, b, config)));
+}
+
+}  // namespace
+}  // namespace tagspin::baselines

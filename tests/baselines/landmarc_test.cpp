@@ -1,0 +1,74 @@
+#include "baselines/landmarc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace tagspin::baselines {
+namespace {
+
+TEST(Landmarc, SingleObservationReturnsItsPosition) {
+  const std::vector<RssiObservation> obs{{{1.0, 2.0, 0.0}, -50.0}};
+  const geom::Vec3 fix = landmarcLocate(obs);
+  EXPECT_EQ(fix, (geom::Vec3{1.0, 2.0, 0.0}));
+}
+
+TEST(Landmarc, EmptyThrows) {
+  EXPECT_THROW(landmarcLocate({}), std::invalid_argument);
+}
+
+TEST(Landmarc, WeightsFavorStrongerReferences) {
+  // Two references: the much stronger one dominates the centroid.
+  const std::vector<RssiObservation> obs{{{0.0, 0.0, 0.0}, -40.0},
+                                         {{1.0, 0.0, 0.0}, -70.0}};
+  LandmarcConfig config;
+  config.k = 2;
+  const geom::Vec3 fix = landmarcLocate(obs, config);
+  EXPECT_LT(fix.x, 0.05);
+}
+
+TEST(Landmarc, EqualRssiGivesCentroid) {
+  const std::vector<RssiObservation> obs{{{0.0, 0.0, 0.0}, -50.0},
+                                         {{2.0, 0.0, 0.0}, -50.0}};
+  LandmarcConfig config;
+  config.k = 2;
+  const geom::Vec3 fix = landmarcLocate(obs, config);
+  EXPECT_NEAR(fix.x, 1.0, 1e-12);
+}
+
+TEST(Landmarc, KLimitsNeighborhood) {
+  // With k = 1 only the strongest reference matters.
+  const std::vector<RssiObservation> obs{{{0.0, 0.0, 0.0}, -45.0},
+                                         {{1.0, 0.0, 0.0}, -50.0},
+                                         {{2.0, 0.0, 0.0}, -55.0}};
+  LandmarcConfig config;
+  config.k = 1;
+  EXPECT_EQ(landmarcLocate(obs, config), (geom::Vec3{0.0, 0.0, 0.0}));
+}
+
+TEST(Landmarc, KLargerThanDataIsSafe) {
+  const std::vector<RssiObservation> obs{{{0.0, 0.0, 0.0}, -45.0},
+                                         {{1.0, 0.0, 0.0}, -50.0}};
+  LandmarcConfig config;
+  config.k = 10;
+  EXPECT_NO_THROW(landmarcLocate(obs, config));
+}
+
+TEST(Landmarc, RoughlyLocatesOnGrid) {
+  // Ideal monotone RSSI model on a grid: the estimate lands in the right
+  // neighbourhood (grid-spacing accuracy, as in the original paper).
+  const geom::Vec3 truth{0.7, 1.3, 0.0};
+  std::vector<RssiObservation> obs;
+  for (double x = -2.0; x <= 2.0; x += 0.5) {
+    for (double y = 0.0; y <= 3.0; y += 0.5) {
+      const double d = geom::distance(geom::Vec3{x, y, 0.0}, truth);
+      obs.push_back({{x, y, 0.0}, -40.0 - 20.0 * std::log10(d + 0.1)});
+    }
+  }
+  const geom::Vec3 fix = landmarcLocate(obs);
+  EXPECT_LT(geom::distance(fix, truth), 0.5);
+}
+
+}  // namespace
+}  // namespace tagspin::baselines

@@ -1,0 +1,96 @@
+#include "baselines/pinit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace tagspin::baselines {
+namespace {
+
+std::vector<double> profileFor(double peakBin, size_t bins = 90) {
+  std::vector<double> p(bins, 0.05);
+  for (size_t i = 0; i < bins; ++i) {
+    double d = std::abs(static_cast<double>(i) - peakBin);
+    d = std::min(d, static_cast<double>(bins) - d);
+    p[i] += std::exp(-d * d / 8.0);
+  }
+  return p;
+}
+
+Fingerprint fingerprintAt(double x, double y) {
+  // Two apertures at (-0.2, 0) and (0.2, 0): peak bins follow the azimuths,
+  // and the profile amplitude carries the receive level (range cue) -- two
+  // closely spaced apertures cannot separate positions along their common
+  // ray by angle alone.
+  Fingerprint fp;
+  fp.position = {x, y, 0.0};
+  const double amplitude = 2.0 / (std::hypot(x, y) + 0.5);
+  const double az1 = std::atan2(y, x + 0.2);
+  const double az2 = std::atan2(y, x - 0.2);
+  for (double az : {az1, az2}) {
+    auto p = profileFor(az / (2.0 * M_PI) * 90.0 + 45.0);
+    for (double& v : p) v *= amplitude;
+    fp.profiles.push_back(std::move(p));
+  }
+  return fp;
+}
+
+std::vector<Fingerprint> makeDatabase() {
+  std::vector<Fingerprint> db;
+  for (double x = -2.0; x <= 2.0; x += 0.5) {
+    for (double y = 0.5; y <= 3.0; y += 0.5) {
+      db.push_back(fingerprintAt(x, y));
+    }
+  }
+  return db;
+}
+
+TEST(PinIt, ExactMatchReturnsCellPosition) {
+  const auto db = makeDatabase();
+  const Fingerprint probe = fingerprintAt(0.5, 1.5);  // on-grid position
+  PinItConfig config;
+  config.k = 1;
+  const geom::Vec3 fix = pinitLocate(db, probe.profiles, config);
+  EXPECT_NEAR(fix.x, 0.5, 1e-9);
+  EXPECT_NEAR(fix.y, 1.5, 1e-9);
+}
+
+TEST(PinIt, OffGridInterpolates) {
+  const auto db = makeDatabase();
+  const Fingerprint probe = fingerprintAt(0.7, 1.6);
+  const geom::Vec3 fix = pinitLocate(db, probe.profiles);
+  EXPECT_LT(geom::distance(fix, {0.7, 1.6, 0.0}), 0.5);
+}
+
+TEST(PinIt, Validation) {
+  const auto db = makeDatabase();
+  EXPECT_THROW(pinitLocate({}, db[0].profiles), std::invalid_argument);
+  const std::vector<std::vector<double>> empty;
+  EXPECT_THROW(pinitLocate(db, empty), std::invalid_argument);
+  // Aperture count mismatch.
+  std::vector<std::vector<double>> one{profileFor(10)};
+  EXPECT_THROW(pinitLocate(db, one), std::invalid_argument);
+}
+
+TEST(PinIt, DistanceSumsOverApertures) {
+  const Fingerprint a = fingerprintAt(0.0, 1.0);
+  const Fingerprint b = fingerprintAt(0.5, 1.0);
+  const double d = pinitDistance(a, b.profiles, {});
+  const double d0 = dtwDistance(a.profiles[0], b.profiles[0], {});
+  const double d1 = dtwDistance(a.profiles[1], b.profiles[1], {});
+  EXPECT_NEAR(d, d0 + d1, 1e-12);
+}
+
+TEST(PinIt, KAveragesNearestCells) {
+  const auto db = makeDatabase();
+  const Fingerprint probe = fingerprintAt(0.75, 1.75);  // between 4 cells
+  PinItConfig config;
+  config.k = 4;
+  const geom::Vec3 fix = pinitLocate(db, probe.profiles, config);
+  EXPECT_LT(geom::distance(fix, {0.75, 1.75, 0.0}), 0.5);
+}
+
+}  // namespace
+}  // namespace tagspin::baselines

@@ -1,0 +1,111 @@
+#include "core/fusion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+namespace tagspin::core {
+namespace {
+
+TEST(GeometricMedian, SinglePointReturnsItself) {
+  const std::vector<geom::Vec2> one{{1.5, -2.0}};
+  EXPECT_EQ(geometricMedian(one), (geom::Vec2{1.5, -2.0}));
+}
+
+TEST(GeometricMedian, EmptyThrows) {
+  EXPECT_THROW(geometricMedian(std::span<const geom::Vec2>{}),
+               std::invalid_argument);
+  EXPECT_THROW(componentMedian(std::span<const geom::Vec3>{}),
+               std::invalid_argument);
+}
+
+TEST(GeometricMedian, SymmetricClusterFindsCenter) {
+  const std::vector<geom::Vec2> square{
+      {1.0, 1.0}, {-1.0, 1.0}, {-1.0, -1.0}, {1.0, -1.0}};
+  const geom::Vec2 m = geometricMedian(square);
+  EXPECT_NEAR(m.x, 0.0, 1e-5);
+  EXPECT_NEAR(m.y, 0.0, 1e-5);
+}
+
+TEST(GeometricMedian, RobustToGrossOutlier) {
+  // Nine fixes near (1, 2) and one catastrophic sidelobe pick at (40, 40):
+  // the mean is dragged ~4 m; the geometric median stays within cm.
+  std::vector<geom::Vec2> fixes;
+  std::mt19937_64 rng(1);
+  std::normal_distribution<double> jitter(0.0, 0.02);
+  for (int i = 0; i < 9; ++i) {
+    fixes.push_back({1.0 + jitter(rng), 2.0 + jitter(rng)});
+  }
+  fixes.push_back({40.0, 40.0});
+  const geom::Vec2 m = geometricMedian(fixes);
+  EXPECT_LT(geom::distance(m, {1.0, 2.0}), 0.05);
+  // Versus the mean:
+  geom::Vec2 mean{};
+  for (const geom::Vec2& p : fixes) mean += p;
+  mean = mean / static_cast<double>(fixes.size());
+  EXPECT_GT(geom::distance(mean, {1.0, 2.0}), 3.0);
+}
+
+TEST(GeometricMedian, HandlesEstimateOnDataPoint) {
+  // Centroid of this set IS a data point -- the Weiszfeld guard must not
+  // divide by zero.
+  const std::vector<geom::Vec2> points{
+      {0.0, 0.0}, {1.0, 0.0}, {-1.0, 0.0}, {0.0, 1.0}, {0.0, -1.0}};
+  const geom::Vec2 m = geometricMedian(points);
+  EXPECT_LT(geom::distance(m, {0.0, 0.0}), 1e-4);
+}
+
+TEST(GeometricMedian, AllPointsIdentical) {
+  const std::vector<geom::Vec3> same(5, geom::Vec3{2.0, 3.0, 1.0});
+  const geom::Vec3 m = geometricMedian(same);
+  EXPECT_LT(geom::distance(m, {2.0, 3.0, 1.0}), 1e-9);
+}
+
+TEST(GeometricMedian, ThreeDRobustness) {
+  std::vector<geom::Vec3> fixes;
+  std::mt19937_64 rng(2);
+  std::normal_distribution<double> jitter(0.0, 0.03);
+  for (int i = 0; i < 7; ++i) {
+    fixes.push_back({0.5 + jitter(rng), 1.5 + jitter(rng), 0.8 + jitter(rng)});
+  }
+  fixes.push_back({0.5, 1.5, -0.8});  // mirror-z failure
+  const geom::Vec3 m = geometricMedian(fixes);
+  EXPECT_LT(geom::distance(m, {0.5, 1.5, 0.8}), 0.1);
+}
+
+TEST(ComponentMedian, OddAndEvenCounts) {
+  const std::vector<geom::Vec2> odd{{1.0, 5.0}, {2.0, 4.0}, {9.0, 0.0}};
+  EXPECT_EQ(componentMedian(odd), (geom::Vec2{2.0, 4.0}));
+  const std::vector<geom::Vec2> even{{1.0, 0.0}, {3.0, 2.0}};
+  EXPECT_EQ(componentMedian(even), (geom::Vec2{2.0, 1.0}));
+}
+
+TEST(ComponentMedian, RobustToOutlier) {
+  std::vector<geom::Vec3> fixes(6, geom::Vec3{1.0, 1.0, 1.0});
+  fixes.push_back({100.0, -50.0, 7.0});
+  const geom::Vec3 m = componentMedian(fixes);
+  EXPECT_LT(geom::distance(m, {1.0, 1.0, 1.0}), 1e-9);
+}
+
+TEST(GeometricMedian, MinimizesSumOfDistances) {
+  // Check against a local perturbation test on a generic configuration.
+  const std::vector<geom::Vec2> points{
+      {0.0, 0.0}, {2.0, 0.3}, {1.1, 2.2}, {-0.5, 1.0}, {0.7, -0.9}};
+  const geom::Vec2 m = geometricMedian(points);
+  auto cost = [&](const geom::Vec2& p) {
+    double acc = 0.0;
+    for (const geom::Vec2& q : points) acc += geom::distance(p, q);
+    return acc;
+  };
+  const double base = cost(m);
+  for (const geom::Vec2 d :
+       {geom::Vec2{0.01, 0.0}, geom::Vec2{-0.01, 0.0}, geom::Vec2{0.0, 0.01},
+        geom::Vec2{0.0, -0.01}}) {
+    EXPECT_GE(cost(m + d), base - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace tagspin::core

@@ -1,0 +1,189 @@
+#include "core/orientation_calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "geom/angles.hpp"
+#include "synthetic.hpp"
+
+namespace tagspin::core {
+namespace {
+
+using testing::SyntheticConfig;
+using testing::makeSnapshots;
+
+RigKinematics centerKinematics() {
+  // Tag at the disk center: radius 0, still rotating.
+  return {0.0, 0.5, 0.0, geom::kPi / 2.0};
+}
+
+/// A synthetic orientation response in the paper's family.
+double trueG(double rho) {
+  return 0.30 * std::cos(2.0 * rho) + 0.05 * std::cos(rho) +
+         0.06 * std::sin(2.0 * rho);
+}
+
+SyntheticConfig centerSpinConfig() {
+  SyntheticConfig sc;
+  sc.count = 1200;
+  sc.durationS = 30.0;  // > 2 revolutions
+  sc.orientation = trueG;
+  return sc;
+}
+
+TEST(OrientationModel, FitRecoversSyntheticResponse) {
+  const RigKinematics kin = centerKinematics();
+  SyntheticConfig sc = centerSpinConfig();
+  sc.noiseStd = 0.1;
+  const auto snaps = makeSnapshots(sc, kin);
+  const OrientationModel model =
+      OrientationModel::fit(snaps, kin, sc.readerAzimuth);
+
+  // Compare against trueG referenced at pi/2, on a dense grid.
+  const double gRef = trueG(geom::kPi / 2.0);
+  for (int i = 0; i < 72; ++i) {
+    const double rho = geom::kTwoPi * i / 72.0;
+    EXPECT_NEAR(model.offsetAt(rho), trueG(rho) - gRef, 0.04)
+        << "rho = " << rho;
+  }
+  EXPECT_NEAR(model.offsetAt(geom::kPi / 2.0), 0.0, 1e-9);
+  EXPECT_NEAR(model.fitResidual(), 0.1, 0.03);
+}
+
+TEST(OrientationModel, FitSurvivesOutliers) {
+  // 5% uniform interference outliers: the robust two-pass fit must not be
+  // dragged (an unwrap-based fit would be destroyed, see the .cpp comment).
+  const RigKinematics kin = centerKinematics();
+  SyntheticConfig sc = centerSpinConfig();
+  sc.noiseStd = 0.1;
+  sc.outlierProb = 0.05;
+  const auto snaps = makeSnapshots(sc, kin);
+  const OrientationModel model =
+      OrientationModel::fit(snaps, kin, sc.readerAzimuth);
+  const double gRef = trueG(geom::kPi / 2.0);
+  for (int i = 0; i < 36; ++i) {
+    const double rho = geom::kTwoPi * i / 36.0;
+    EXPECT_NEAR(model.offsetAt(rho), trueG(rho) - gRef, 0.08);
+  }
+}
+
+TEST(OrientationModel, IdentityModel) {
+  const OrientationModel identity;
+  EXPECT_TRUE(identity.isIdentity());
+  EXPECT_DOUBLE_EQ(identity.offsetAt(1.0), 0.0);
+}
+
+TEST(OrientationModel, FittedModelIsNotIdentity) {
+  const RigKinematics kin = centerKinematics();
+  const auto snaps = makeSnapshots(centerSpinConfig(), kin);
+  const OrientationModel model = OrientationModel::fit(snaps, kin, 1.0);
+  EXPECT_FALSE(model.isIdentity());
+}
+
+TEST(OrientationModel, Validation) {
+  const RigKinematics kin = centerKinematics();
+  SyntheticConfig sc = centerSpinConfig();
+  sc.count = 5;
+  const auto tooFew = makeSnapshots(sc, kin);
+  EXPECT_THROW(OrientationModel::fit(tooFew, kin, 1.0),
+               std::invalid_argument);
+  sc.count = 100;
+  const auto snaps = makeSnapshots(sc, kin);
+  EXPECT_THROW(OrientationModel::fit(snaps, kin, 1.0, 0),
+               std::invalid_argument);
+}
+
+TEST(OrientationAt, MatchesRigGeometry) {
+  RigKinematics kin{0.10, 0.5, 0.3, geom::kPi / 2.0};
+  // rho = diskAngle + planeOffset - readerAzimuth (mod 2*pi).
+  EXPECT_NEAR(orientationAt(kin, 2.0, 1.0),
+              geom::wrapTwoPi(0.5 * 2.0 + 0.3 + geom::kPi / 2.0 - 1.0),
+              1e-12);
+}
+
+TEST(OrientationAtPosition, AccountsForEdgeDisplacement) {
+  RigSpec rig;
+  rig.center = {0.0, 0.0, 0.0};
+  rig.kinematics = {0.10, 0.5, 0.0, geom::kPi / 2.0};
+  const geom::Vec3 reader{0.0, 2.0, 0.0};
+  // At t=0 the tag sits at (0.1, 0, 0): the tag->reader azimuth differs
+  // from the center->reader azimuth by atan(0.1/2).
+  const double rhoCenter = orientationAt(rig.kinematics, 0.0,
+                                         geom::azimuthOf(rig.center, reader));
+  const double rhoExact = orientationAtPosition(rig, 0.0, reader);
+  EXPECT_NEAR(geom::circularDistance(rhoCenter, rhoExact),
+              std::atan2(0.1, 2.0), 1e-3);
+}
+
+TEST(CalibrateOrientation, RemovesInjectedOffset) {
+  const RigKinematics kin = testing::defaultKinematics();
+  SyntheticConfig sc;
+  sc.orientation = trueG;
+  sc.count = 600;
+  const auto withOrientation = makeSnapshots(sc, kin);
+  SyntheticConfig clean = sc;
+  clean.orientation = nullptr;
+  const auto without = makeSnapshots(clean, kin);
+
+  // Build the "perfect" model from the synthetic truth.
+  const RigKinematics center = centerKinematics();
+  SyntheticConfig fitCfg = centerSpinConfig();
+  const auto fitSnaps = makeSnapshots(fitCfg, center);
+  const OrientationModel model =
+      OrientationModel::fit(fitSnaps, center, fitCfg.readerAzimuth);
+
+  const auto calibrated =
+      calibrateOrientation(withOrientation, kin, model, sc.readerAzimuth);
+  ASSERT_EQ(calibrated.size(), without.size());
+  // After calibration the phases match the orientation-free truth up to the
+  // constant g(pi/2) reference.
+  const double constant =
+      geom::wrapToPi(calibrated[0].phaseRad - without[0].phaseRad);
+  double worst = 0.0;
+  for (size_t i = 0; i < calibrated.size(); ++i) {
+    const double d = geom::circularDistance(
+        calibrated[i].phaseRad, geom::wrapTwoPi(without[i].phaseRad + constant));
+    worst = std::max(worst, d);
+  }
+  EXPECT_LT(worst, 0.08);
+}
+
+TEST(CalibrateOrientation, IdentityIsNoOp) {
+  const RigKinematics kin = testing::defaultKinematics();
+  const auto snaps = makeSnapshots(SyntheticConfig{}, kin);
+  const auto out = calibrateOrientation(snaps, kin, OrientationModel{}, 1.0);
+  ASSERT_EQ(out.size(), snaps.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i].phaseRad, snaps[i].phaseRad);
+  }
+}
+
+TEST(CalibrateOrientationAtPosition, MatchesAzimuthVariantAtLongRange) {
+  // At D >> r the tag-position-based rho converges to the center-based one.
+  RigSpec rig;
+  rig.center = {0.0, 0.0, 0.0};
+  rig.kinematics = testing::defaultKinematics();
+  const geom::Vec3 farReader{0.0, 50.0, 0.0};
+
+  const RigKinematics center = centerKinematics();
+  const auto fitSnaps = makeSnapshots(centerSpinConfig(), center);
+  const OrientationModel model =
+      OrientationModel::fit(fitSnaps, center, 1.0);
+
+  SyntheticConfig sc;
+  sc.distanceM = 50.0;
+  sc.readerAzimuth = geom::kPi / 2.0;
+  const auto snaps = makeSnapshots(sc, rig.kinematics);
+  const auto a =
+      calibrateOrientation(snaps, rig.kinematics, model, geom::kPi / 2.0);
+  const auto b = calibrateOrientationAtPosition(snaps, rig, model, farReader);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(geom::circularDistance(a[i].phaseRad, b[i].phaseRad), 0.0,
+                2e-3);
+  }
+}
+
+}  // namespace
+}  // namespace tagspin::core

@@ -1,0 +1,133 @@
+#include "core/preprocess.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "geom/angles.hpp"
+#include "rf/constants.hpp"
+
+namespace tagspin::core {
+namespace {
+
+rfid::TagReport makeReport(uint32_t tag, double t, double phase,
+                           double rssi = -50.0) {
+  rfid::TagReport r;
+  r.epc = rfid::Epc::forSimulatedTag(tag);
+  r.timestampS = t;
+  r.phaseRad = phase;
+  r.rssiDbm = rssi;
+  r.channelIndex = 2;
+  r.frequencyHz = rf::mhz(921.125);
+  return r;
+}
+
+TEST(ExtractSnapshots, FiltersByEpcAndSorts) {
+  rfid::ReportStream reports;
+  reports.push_back(makeReport(1, 2.0, 0.5));
+  reports.push_back(makeReport(2, 0.5, 1.0));
+  reports.push_back(makeReport(1, 1.0, 1.5));
+
+  const auto snaps =
+      extractSnapshots(reports, rfid::Epc::forSimulatedTag(1));
+  ASSERT_EQ(snaps.size(), 2u);
+  EXPECT_DOUBLE_EQ(snaps[0].timeS, 1.0);
+  EXPECT_DOUBLE_EQ(snaps[1].timeS, 2.0);
+  EXPECT_DOUBLE_EQ(snaps[0].phaseRad, 1.5);
+  EXPECT_NEAR(snaps[0].lambdaM, rf::wavelength(rf::mhz(921.125)), 1e-9);
+  EXPECT_EQ(snaps[0].channel, 2);
+}
+
+TEST(ExtractSnapshots, WrapsPhases) {
+  rfid::ReportStream reports;
+  reports.push_back(makeReport(1, 0.0, 7.0));  // > 2*pi
+  const auto snaps =
+      extractSnapshots(reports, rfid::Epc::forSimulatedTag(1));
+  EXPECT_LT(snaps[0].phaseRad, 2.0 * 3.14159266);
+  EXPECT_GE(snaps[0].phaseRad, 0.0);
+}
+
+TEST(ExtractSnapshots, DropsWeakReads) {
+  rfid::ReportStream reports;
+  reports.push_back(makeReport(1, 0.0, 1.0, -95.0));  // below default floor
+  reports.push_back(makeReport(1, 1.0, 1.0, -60.0));
+  const auto snaps =
+      extractSnapshots(reports, rfid::Epc::forSimulatedTag(1));
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_DOUBLE_EQ(snaps[0].timeS, 1.0);
+}
+
+TEST(ExtractSnapshots, ThrowsWhenNoneUsable) {
+  rfid::ReportStream reports;
+  reports.push_back(makeReport(2, 0.0, 1.0));
+  EXPECT_THROW(extractSnapshots(reports, rfid::Epc::forSimulatedTag(1)),
+               std::invalid_argument);
+  EXPECT_THROW(extractSnapshots({}, rfid::Epc::forSimulatedTag(1)),
+               std::invalid_argument);
+}
+
+TEST(ExtractSnapshots, SubsamplesEvenly) {
+  rfid::ReportStream reports;
+  for (int i = 0; i < 1000; ++i) {
+    reports.push_back(makeReport(1, i * 0.01, 0.5));
+  }
+  PreprocessConfig config;
+  config.maxSnapshots = 100;
+  const auto snaps =
+      extractSnapshots(reports, rfid::Epc::forSimulatedTag(1), config);
+  ASSERT_EQ(snaps.size(), 100u);
+  // Coverage spans the full duration, not just a prefix.
+  EXPECT_LT(snaps.front().timeS, 0.2);
+  EXPECT_GT(snaps.back().timeS, 9.5);
+}
+
+TEST(ExtractSnapshots, UnlimitedWhenZero) {
+  rfid::ReportStream reports;
+  for (int i = 0; i < 50; ++i) reports.push_back(makeReport(1, i * 0.1, 0.5));
+  PreprocessConfig config;
+  config.maxSnapshots = 0;
+  EXPECT_EQ(
+      extractSnapshots(reports, rfid::Epc::forSimulatedTag(1), config).size(),
+      50u);
+}
+
+TEST(SmoothedPhases, UnwrapsSawtooth) {
+  std::vector<Snapshot> snaps;
+  for (int i = 0; i < 50; ++i) {
+    Snapshot s;
+    s.timeS = i * 0.1;
+    s.phaseRad = geom::wrapTwoPi(0.5 * i);
+    snaps.push_back(s);
+  }
+  const auto smoothed = smoothedPhases(snaps);
+  for (size_t i = 1; i < smoothed.size(); ++i) {
+    EXPECT_NEAR(smoothed[i] - smoothed[i - 1], 0.5, 1e-9);
+  }
+}
+
+TEST(SamplingDensity, CountsWindowedReads) {
+  std::vector<Snapshot> snaps;
+  // 10 reads in the first second, 2 in the next.
+  for (int i = 0; i < 10; ++i) {
+    Snapshot s;
+    s.timeS = 0.1 * i;
+    snaps.push_back(s);
+  }
+  for (int i = 0; i < 2; ++i) {
+    Snapshot s;
+    s.timeS = 1.2 + 0.4 * i;
+    snaps.push_back(s);
+  }
+  const auto density = samplingDensity(snaps, 0.5);
+  ASSERT_EQ(density.size(), snaps.size());
+  EXPECT_GT(density[5], density[11] * 2.0);
+}
+
+TEST(SamplingDensity, EdgeCases) {
+  EXPECT_TRUE(samplingDensity({}, 1.0).empty());
+  std::vector<Snapshot> one(1);
+  EXPECT_EQ(samplingDensity(one, 0.0)[0], 0.0);  // degenerate window
+}
+
+}  // namespace
+}  // namespace tagspin::core

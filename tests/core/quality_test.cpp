@@ -1,0 +1,121 @@
+#include "core/quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/angles.hpp"
+#include "synthetic.hpp"
+
+namespace tagspin::core {
+namespace {
+
+using testing::SyntheticConfig;
+using testing::defaultKinematics;
+using testing::makeSnapshots;
+
+PowerProfile profileWith(double noise, double outliers,
+                         ProfileFormula f = ProfileFormula::kEnhancedR) {
+  SyntheticConfig sc;
+  sc.readerAzimuth = 2.0;
+  sc.noiseStd = noise;
+  sc.outlierProb = outliers;
+  ProfileConfig pc;
+  pc.formula = f;
+  return PowerProfile(makeSnapshots(sc), defaultKinematics(), pc);
+}
+
+TEST(AssessSpectrum, CleanTraceScoresWell) {
+  const SpectrumQuality q = assessSpectrum(profileWith(0.01, 0.0));
+  EXPECT_GT(q.peakValue, 0.95);
+  EXPECT_LT(q.halfPowerWidthDeg, 30.0);
+  EXPECT_GT(q.peakRatio, 1.5);
+}
+
+TEST(AssessSpectrum, NoiseWeakensPeak) {
+  const SpectrumQuality clean = assessSpectrum(profileWith(0.02, 0.0));
+  const SpectrumQuality noisy = assessSpectrum(profileWith(0.4, 0.10));
+  EXPECT_GT(clean.peakValue, noisy.peakValue);
+}
+
+TEST(AssessSpectrum, RSharperThanQInWidth) {
+  const SpectrumQuality r =
+      assessSpectrum(profileWith(0.1, 0.0, ProfileFormula::kEnhancedR));
+  const SpectrumQuality q =
+      assessSpectrum(profileWith(0.1, 0.0, ProfileFormula::kRelativeQ));
+  EXPECT_LT(r.halfPowerWidthDeg, q.halfPowerWidthDeg);
+}
+
+TEST(BearingGdop, PerpendicularBeatsShallow) {
+  // Two rays crossing at 90 deg vs crossing at ~11 deg at the same range.
+  const geom::Vec2 fix{0.0, 2.0};
+  const std::vector<geom::Ray2> good{
+      {{-2.0, 2.0}, 0.0},          // from the left, pointing +x
+      {{0.0, 0.0}, geom::kPi / 2}  // from below, pointing +y
+  };
+  const std::vector<geom::Ray2> shallow{
+      {{-0.2, 0.0}, (fix - geom::Vec2{-0.2, 0.0}).angle()},
+      {{0.2, 0.0}, (fix - geom::Vec2{0.2, 0.0}).angle()}};
+  EXPECT_LT(bearingGdop(good, fix), bearingGdop(shallow, fix));
+}
+
+TEST(BearingGdop, GrowsWithRange) {
+  const std::vector<geom::Ray2> rays{
+      {{-0.2, 0.0}, geom::kPi / 3}, {{0.2, 0.0}, 2 * geom::kPi / 3}};
+  // Same rays evaluated at nearer / farther hypothetical fixes.
+  EXPECT_LT(bearingGdop(rays, {0.0, 0.5}), bearingGdop(rays, {0.0, 3.0}));
+}
+
+TEST(BearingGdop, ParallelIsInfinite) {
+  const std::vector<geom::Ray2> parallel{{{0.0, 0.0}, 1.0},
+                                         {{1.0, 0.0}, 1.0}};
+  EXPECT_TRUE(std::isinf(bearingGdop(parallel, {2.0, 2.0})));
+}
+
+TEST(FixConfidence, OrderedByQuality) {
+  SpectrumQuality good;
+  good.peakValue = 0.9;
+  good.halfPowerWidthDeg = 10.0;
+  good.peakRatio = 4.0;
+  SpectrumQuality bad;
+  bad.peakValue = 0.3;
+  bad.halfPowerWidthDeg = 60.0;
+  bad.peakRatio = 1.2;
+
+  const std::vector<SpectrumQuality> goodPair{good, good};
+  const std::vector<SpectrumQuality> mixed{good, bad};
+  const double cGood = fixConfidence(goodPair, 2.0);
+  const double cMixed = fixConfidence(mixed, 2.0);
+  const double cBadGeometry = fixConfidence(goodPair, 40.0);
+  EXPECT_GT(cGood, cMixed);
+  EXPECT_GT(cGood, cBadGeometry);
+  EXPECT_GE(cGood, 0.0);
+  EXPECT_LE(cGood, 1.0);
+}
+
+TEST(FixConfidence, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(fixConfidence({}, 1.0), 0.0);
+  SpectrumQuality q;
+  q.peakValue = 0.9;
+  q.halfPowerWidthDeg = 10.0;
+  q.peakRatio = 4.0;
+  const std::vector<SpectrumQuality> one{q};
+  EXPECT_DOUBLE_EQ(
+      fixConfidence(one, std::numeric_limits<double>::infinity()), 0.0);
+}
+
+TEST(FixConfidence, EndToEndSeparatesGoodAndBadGeometry) {
+  // Same spectra, two candidate fixes: broadside (well-conditioned) vs far
+  // down-range (dilution) -- the confidence must rank them correctly.
+  const SpectrumQuality q = assessSpectrum(profileWith(0.1, 0.03));
+  const std::vector<SpectrumQuality> spectra{q, q};
+  const std::vector<geom::Ray2> rays1{
+      {{-0.2, 0.0}, (geom::Vec2{0.0, 1.0}).angle()},
+      {{0.2, 0.0}, (geom::Vec2{-0.2, 1.0} - geom::Vec2{0.2, 0.0}).angle()}};
+  const double near = fixConfidence(spectra, bearingGdop(rays1, {0.0, 1.0}));
+  const double far = fixConfidence(spectra, bearingGdop(rays1, {0.0, 3.5}));
+  EXPECT_GT(near, far);
+}
+
+}  // namespace
+}  // namespace tagspin::core

@@ -1,0 +1,164 @@
+#include "core/serialization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "geom/angles.hpp"
+
+namespace tagspin::core {
+namespace {
+
+DeploymentFile sampleDeployment() {
+  DeploymentFile d;
+  RigSpec rig1;
+  rig1.center = {-0.2, 0.0, 0.095};
+  rig1.kinematics = {0.10, 0.5, 0.3, geom::kPi / 2.0};
+  RigSpec rig2;
+  rig2.center = {0.2, 0.0, 0.095};
+  rig2.kinematics = {0.12, 0.45, 0.7, geom::kPi / 2.0};
+  d.rigs[rfid::Epc::forSimulatedTag(0)] = rig1;
+  d.rigs[rfid::Epc::forSimulatedTag(1)] = rig2;
+
+  RigSpec vertical;
+  vertical.center = {0.0, 0.4, 0.095};
+  vertical.kinematics = {0.10, 0.5, 0.0, geom::kPi / 2.0};
+  d.verticalRigs[rfid::Epc::forSimulatedTag(2)] = vertical;
+
+  dsp::FourierSeries s;
+  s.a0 = 0.01;
+  s.a = {0.1, 0.3, -0.02, 0.004};
+  s.b = {0.05, 0.08, 0.01, -0.003};
+  d.orientationModels[rfid::Epc::forSimulatedTag(0)] =
+      OrientationModel::fromSeries(s, 0.12);
+  return d;
+}
+
+TEST(Serialization, DeploymentRoundTripExact) {
+  const DeploymentFile original = sampleDeployment();
+  const DeploymentFile parsed =
+      deploymentFromString(deploymentToString(original));
+
+  ASSERT_EQ(parsed.rigs.size(), 2u);
+  ASSERT_EQ(parsed.verticalRigs.size(), 1u);
+  ASSERT_EQ(parsed.orientationModels.size(), 1u);
+
+  const RigSpec& rig = parsed.rigs.at(rfid::Epc::forSimulatedTag(0));
+  EXPECT_EQ(rig.center, (geom::Vec3{-0.2, 0.0, 0.095}));
+  EXPECT_DOUBLE_EQ(rig.kinematics.radiusM, 0.10);
+  EXPECT_DOUBLE_EQ(rig.kinematics.omegaRadPerS, 0.5);
+  EXPECT_DOUBLE_EQ(rig.kinematics.initialAngle, 0.3);
+  EXPECT_DOUBLE_EQ(rig.kinematics.tagPlaneOffset, geom::kPi / 2.0);
+
+  const OrientationModel& model =
+      parsed.orientationModels.at(rfid::Epc::forSimulatedTag(0));
+  const OrientationModel& truth =
+      original.orientationModels.at(rfid::Epc::forSimulatedTag(0));
+  for (double rho = 0.0; rho < geom::kTwoPi; rho += 0.37) {
+    EXPECT_DOUBLE_EQ(model.offsetAt(rho), truth.offsetAt(rho));
+  }
+  EXPECT_DOUBLE_EQ(model.fitResidual(), 0.12);
+}
+
+TEST(Serialization, EmptyDeployment) {
+  const DeploymentFile parsed = deploymentFromString(
+      deploymentToString(DeploymentFile{}));
+  EXPECT_TRUE(parsed.rigs.empty());
+  EXPECT_TRUE(parsed.orientationModels.empty());
+}
+
+TEST(Serialization, CommentsAndBlanksIgnored) {
+  const std::string text = R"(
+# a comment
+
+[rig 000000000000000000000001]
+  # indented comment
+center = 1 2 3
+radius_m = 0.1
+omega_rad_per_s = 0.5
+initial_angle = 0
+tag_plane_offset = 1.5707963267948966
+)";
+  const DeploymentFile parsed = deploymentFromString(text);
+  ASSERT_EQ(parsed.rigs.size(), 1u);
+  EXPECT_EQ(parsed.rigs.begin()->second.center, (geom::Vec3{1, 2, 3}));
+}
+
+TEST(Serialization, MalformedInputsThrowWithLineNumbers) {
+  // Key/value without a section.
+  EXPECT_THROW(deploymentFromString("radius_m = 0.1\n"),
+               std::invalid_argument);
+  // Unknown section type.
+  EXPECT_THROW(
+      deploymentFromString("[widget 000000000000000000000001]\n"),
+      std::invalid_argument);
+  // Bad EPC.
+  EXPECT_THROW(deploymentFromString("[rig nothex]\n"), std::invalid_argument);
+  // Bad number.
+  EXPECT_THROW(deploymentFromString(
+                   "[rig 000000000000000000000001]\nradius_m = banana\n"),
+               std::invalid_argument);
+  // Vector with wrong arity.
+  EXPECT_THROW(deploymentFromString(
+                   "[rig 000000000000000000000001]\ncenter = 1 2\n"),
+               std::invalid_argument);
+  // Unknown key.
+  EXPECT_THROW(deploymentFromString(
+                   "[rig 000000000000000000000001]\ncolour = red\n"),
+               std::invalid_argument);
+  // Model coefficient before order.
+  EXPECT_THROW(
+      deploymentFromString(
+          "[orientation_model 000000000000000000000001]\na1 = 0.5\n"),
+      std::invalid_argument);
+  // Coefficient index out of range.
+  EXPECT_THROW(
+      deploymentFromString("[orientation_model 000000000000000000000001]\n"
+                           "order = 1\na5 = 0.5\n"),
+      std::invalid_argument);
+}
+
+TEST(Serialization, LineNumberInMessage) {
+  try {
+    deploymentFromString("# line 1\n# line 2\ngarbage here\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Serialization, StandaloneOrientationModel) {
+  dsp::FourierSeries s;
+  s.a0 = -0.02;
+  s.a = {0.2, 0.35};
+  s.b = {0.0, 0.11};
+  const OrientationModel model = OrientationModel::fromSeries(s, 0.09);
+  std::ostringstream out;
+  writeOrientationModel(out, model);
+  std::istringstream in(out.str());
+  const OrientationModel parsed = readOrientationModel(in);
+  for (double rho = 0.0; rho < geom::kTwoPi; rho += 0.5) {
+    EXPECT_DOUBLE_EQ(parsed.offsetAt(rho), model.offsetAt(rho));
+  }
+  EXPECT_DOUBLE_EQ(parsed.fitResidual(), 0.09);
+  EXPECT_FALSE(parsed.isIdentity());
+}
+
+TEST(Serialization, FullPrecisionPreserved) {
+  // 17 significant digits round-trip doubles exactly.
+  DeploymentFile d;
+  RigSpec rig;
+  rig.center = {0.1 + 1e-16, 2.0 / 3.0, -0.30000000000000004};
+  rig.kinematics = {0.1, 0.5123456789012345, 0.0, 1.5707963267948966};
+  d.rigs[rfid::Epc::forSimulatedTag(9)] = rig;
+  const DeploymentFile parsed = deploymentFromString(deploymentToString(d));
+  const RigSpec& back = parsed.rigs.begin()->second;
+  EXPECT_EQ(back.center, rig.center);
+  EXPECT_DOUBLE_EQ(back.kinematics.omegaRadPerS,
+                   rig.kinematics.omegaRadPerS);
+}
+
+}  // namespace
+}  // namespace tagspin::core

@@ -1,0 +1,83 @@
+#include "core/spectrum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geom/angles.hpp"
+#include "synthetic.hpp"
+
+namespace tagspin::core {
+namespace {
+
+using testing::SyntheticConfig;
+using testing::defaultKinematics;
+using testing::makeSnapshots;
+
+TEST(EstimateAzimuth, FindsTruthUnderNoise) {
+  SyntheticConfig sc;
+  sc.readerAzimuth = 4.0;
+  sc.noiseStd = 0.1;
+  const auto snaps = makeSnapshots(sc);
+  const PowerProfile profile(snaps, defaultKinematics(), {});
+  const AzimuthEstimate est = estimateAzimuth(profile, {});
+  EXPECT_LT(geom::radToDeg(geom::circularDistance(est.azimuth, 4.0)), 0.5);
+  EXPECT_GT(est.value, 0.5);
+}
+
+// Coarse-to-fine matches the exhaustive search across directions.
+class CoarseFineSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CoarseFineSweep, AgreesWithExhaustive) {
+  SyntheticConfig sc;
+  sc.readerAzimuth = GetParam();
+  sc.noiseStd = 0.1;
+  const auto snaps = makeSnapshots(sc);
+  const PowerProfile profile(snaps, defaultKinematics(), {});
+  const AzimuthEstimate full = estimateAzimuth(profile, {});
+  const AzimuthEstimate fast = estimateAzimuthCoarseFine(profile, {});
+  EXPECT_LT(geom::radToDeg(geom::circularDistance(full.azimuth,
+                                                  fast.azimuth)),
+            0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Directions, CoarseFineSweep,
+                         ::testing::Values(0.05, 1.0, 2.5, 3.14, 4.7, 6.2));
+
+TEST(EstimateSpatial, RecoversPolarMagnitude) {
+  for (double polarDeg : {0.0, 15.0, 30.0, 50.0, 70.0}) {
+    SyntheticConfig sc;
+    sc.readerAzimuth = 2.0;
+    sc.readerPolar = geom::degToRad(polarDeg);
+    const auto snaps = makeSnapshots(sc);
+    const PowerProfile profile(snaps, defaultKinematics(), {});
+    const SpatialEstimate est = estimateSpatial(profile, {});
+    EXPECT_NEAR(geom::radToDeg(est.polar), polarDeg, 3.0)
+        << "polar " << polarDeg;
+    EXPECT_GE(est.polar, 0.0);  // reported as magnitude
+  }
+}
+
+TEST(EstimateSpatial, NegativePolarGivesSameMagnitude) {
+  // The source below the plane produces the same |gamma| (mirror symmetry).
+  SyntheticConfig sc;
+  sc.readerAzimuth = 2.0;
+  sc.readerPolar = geom::degToRad(-40.0);
+  const auto snaps = makeSnapshots(sc);
+  const PowerProfile profile(snaps, defaultKinematics(), {});
+  const SpatialEstimate est = estimateSpatial(profile, {});
+  EXPECT_NEAR(geom::radToDeg(est.polar), 40.0, 3.0);
+}
+
+TEST(EstimateSpatial, SearchConfigGridsRespected) {
+  SyntheticConfig sc;
+  sc.readerPolar = geom::degToRad(20.0);
+  const auto snaps = makeSnapshots(sc);
+  const PowerProfile profile(snaps, defaultKinematics(), {});
+  SearchConfig coarse;
+  coarse.azimuthGridPoints = 180;
+  coarse.polarGridPoints = 31;
+  const SpatialEstimate est = estimateSpatial(profile, coarse);
+  EXPECT_NEAR(geom::radToDeg(est.polar), 20.0, 4.0);
+}
+
+}  // namespace
+}  // namespace tagspin::core

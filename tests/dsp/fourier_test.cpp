@@ -1,0 +1,139 @@
+#include "dsp/fourier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+namespace tagspin::dsp {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+TEST(FourierSeries, Evaluate) {
+  FourierSeries s;
+  s.a0 = 1.0;
+  s.a = {0.5, 0.0};
+  s.b = {0.0, 0.25};
+  // g(x) = 1 + 0.5 cos x + 0.25 sin 2x
+  EXPECT_NEAR(s.evaluate(0.0), 1.5, 1e-12);
+  EXPECT_NEAR(s.evaluate(std::numbers::pi / 4.0),
+              1.0 + 0.5 * std::cos(std::numbers::pi / 4.0) + 0.25, 1e-12);
+}
+
+TEST(FourierSeries, ReferencedAt) {
+  FourierSeries s;
+  s.a0 = 2.0;
+  s.a = {1.0};
+  s.b = {0.5};
+  const FourierSeries ref = s.referencedAt(0.7);
+  EXPECT_NEAR(ref.evaluate(0.7), 0.0, 1e-12);
+  // Shape preserved: differences unchanged.
+  EXPECT_NEAR(ref.evaluate(1.3) - ref.evaluate(0.2),
+              s.evaluate(1.3) - s.evaluate(0.2), 1e-12);
+}
+
+// Property sweep: fitting recovers synthesized coefficients for several
+// orders and sample counts.
+class FourierFitSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FourierFitSweep, RecoversSynthesizedSeries) {
+  const auto [order, samples] = GetParam();
+  std::mt19937_64 rng(static_cast<uint64_t>(order * 1000 + samples));
+  std::uniform_real_distribution<double> coeff(-1.0, 1.0);
+
+  FourierSeries truth;
+  truth.a0 = coeff(rng);
+  for (int k = 0; k < order; ++k) {
+    truth.a.push_back(coeff(rng));
+    truth.b.push_back(coeff(rng));
+  }
+
+  std::vector<double> x(static_cast<size_t>(samples));
+  std::vector<double> y(static_cast<size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    x[static_cast<size_t>(i)] = kTwoPi * i / samples;
+    y[static_cast<size_t>(i)] = truth.evaluate(x[static_cast<size_t>(i)]);
+  }
+
+  const FourierSeries fit =
+      fitFourier(x, y, static_cast<size_t>(order));
+  EXPECT_NEAR(fit.a0, truth.a0, 1e-9);
+  for (int k = 0; k < order; ++k) {
+    EXPECT_NEAR(fit.a[static_cast<size_t>(k)],
+                truth.a[static_cast<size_t>(k)], 1e-9);
+    EXPECT_NEAR(fit.b[static_cast<size_t>(k)],
+                truth.b[static_cast<size_t>(k)], 1e-9);
+  }
+  EXPECT_NEAR(fitResidualRms(fit, x, y), 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OrdersAndSampleCounts, FourierFitSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4, 6),
+                       ::testing::Values(32, 100, 500)));
+
+TEST(FourierFit, ToleratesGaussianNoise) {
+  FourierSeries truth;
+  truth.a0 = 0.3;
+  truth.a = {0.1, 0.5};
+  truth.b = {0.05, 0.1};
+  std::mt19937_64 rng(99);
+  std::normal_distribution<double> noise(0.0, 0.1);
+  std::vector<double> x, y;
+  for (int i = 0; i < 1000; ++i) {
+    x.push_back(kTwoPi * i / 1000.0);
+    y.push_back(truth.evaluate(x.back()) + noise(rng));
+  }
+  const FourierSeries fit = fitFourier(x, y, 2);
+  EXPECT_NEAR(fit.a0, truth.a0, 0.02);
+  EXPECT_NEAR(fit.a[1], truth.a[1], 0.02);
+  EXPECT_NEAR(fitResidualRms(fit, x, y), 0.1, 0.02);
+}
+
+TEST(FourierFit, IrregularSamplingStillWorks) {
+  // Samples clustered in two arcs (as the orientation-dependent read rate
+  // produces); least squares handles the non-uniform design.
+  FourierSeries truth;
+  truth.a0 = -0.2;
+  truth.a = {0.4};
+  truth.b = {-0.3};
+  std::vector<double> x, y;
+  for (int i = 0; i < 60; ++i) {
+    x.push_back(0.8 + 0.02 * i);  // arc 1
+    x.push_back(3.9 + 0.02 * i);  // arc 2
+  }
+  // A few spread samples to keep the design full rank.
+  for (int i = 0; i < 12; ++i) x.push_back(kTwoPi * i / 12.0);
+  for (double xi : x) y.push_back(truth.evaluate(xi));
+  const FourierSeries fit = fitFourier(x, y, 1);
+  EXPECT_NEAR(fit.a[0], truth.a[0], 1e-8);
+  EXPECT_NEAR(fit.b[0], truth.b[0], 1e-8);
+}
+
+TEST(FourierFit, ErrorCases) {
+  const std::vector<double> x{0.0, 1.0, 2.0};
+  const std::vector<double> y{0.0, 1.0};
+  EXPECT_THROW(fitFourier(x, y, 1), std::invalid_argument);  // size mismatch
+  const std::vector<double> y3{0.0, 1.0, 2.0};
+  EXPECT_THROW(fitFourier(x, y3, 2), std::invalid_argument);  // too few
+  // Degenerate design: all x identical.
+  const std::vector<double> xSame(10, 1.0);
+  const std::vector<double> ySame(10, 0.5);
+  EXPECT_THROW(fitFourier(xSame, ySame, 1), std::runtime_error);
+}
+
+TEST(FitResidualRms, MismatchThrows) {
+  FourierSeries s;
+  EXPECT_THROW(
+      fitResidualRms(s, std::vector<double>{1.0}, std::vector<double>{}),
+      std::invalid_argument);
+  EXPECT_DOUBLE_EQ(fitResidualRms(s, {}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace tagspin::dsp

@@ -1,0 +1,128 @@
+#include "dsp/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace tagspin::dsp {
+namespace {
+
+TEST(Matrix, Indexing) {
+  Matrix m(2, 3);
+  m(0, 0) = 1.0;
+  m(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+}
+
+TEST(SolveLinear, TwoByTwo) {
+  Matrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 3.0;
+  const auto x = solveLinear(a, {5.0, 10.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinear, NeedsPivoting) {
+  // Zero on the diagonal; succeeds only with row exchange.
+  Matrix a(2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  const auto x = solveLinear(a, {2.0, 3.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_DOUBLE_EQ((*x)[0], 3.0);
+  EXPECT_DOUBLE_EQ((*x)[1], 2.0);
+}
+
+TEST(SolveLinear, SingularReturnsEmpty) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  EXPECT_FALSE(solveLinear(a, {1.0, 2.0}).has_value());
+}
+
+TEST(SolveLinear, DimensionMismatchThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW(solveLinear(a, {1.0, 2.0}), std::invalid_argument);
+  Matrix b(2, 2);
+  EXPECT_THROW(solveLinear(b, {1.0}), std::invalid_argument);
+}
+
+TEST(SolveLinear, LargerSystemRoundTrip) {
+  // Build A x = b from a known x and verify recovery.
+  const size_t n = 6;
+  Matrix a(n, n);
+  std::vector<double> truth(n);
+  for (size_t i = 0; i < n; ++i) {
+    truth[i] = static_cast<double>(i) - 2.5;
+    for (size_t j = 0; j < n; ++j) {
+      a(i, j) = 1.0 / (1.0 + static_cast<double>(i + 2 * j));  // well-posed
+    }
+    a(i, i) += 2.0;  // diagonally dominant
+  }
+  std::vector<double> b(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) b[i] += a(i, j) * truth[j];
+  }
+  const auto x = solveLinear(a, b);
+  ASSERT_TRUE(x.has_value());
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR((*x)[i], truth[i], 1e-9);
+}
+
+TEST(SolveLeastSquares, ExactWhenConsistent) {
+  // Overdetermined but consistent: y = 2 + 3 t.
+  Matrix a(4, 2);
+  std::vector<double> b(4);
+  for (int i = 0; i < 4; ++i) {
+    a(static_cast<size_t>(i), 0) = 1.0;
+    a(static_cast<size_t>(i), 1) = i;
+    b[static_cast<size_t>(i)] = 2.0 + 3.0 * i;
+  }
+  const auto x = solveLeastSquares(a, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 2.0, 1e-10);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-10);
+}
+
+TEST(SolveLeastSquares, MinimizesResidual) {
+  // Inconsistent system: the LS line through (0,0), (1,1), (2,0) is
+  // y = 1/3 + 0*t ... actually slope 0, intercept 1/3.
+  Matrix a(3, 2);
+  std::vector<double> b{0.0, 1.0, 0.0};
+  for (int i = 0; i < 3; ++i) {
+    a(static_cast<size_t>(i), 0) = 1.0;
+    a(static_cast<size_t>(i), 1) = i;
+  }
+  const auto x = solveLeastSquares(a, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 1.0 / 3.0, 1e-10);
+  EXPECT_NEAR((*x)[1], 0.0, 1e-10);
+}
+
+TEST(SolveLeastSquares, RankDeficientReturnsEmpty) {
+  Matrix a(3, 2);
+  for (int i = 0; i < 3; ++i) {
+    a(static_cast<size_t>(i), 0) = 1.0;
+    a(static_cast<size_t>(i), 1) = 2.0;  // column 2 = 2 * column 1
+  }
+  EXPECT_FALSE(solveLeastSquares(a, {1.0, 2.0, 3.0}).has_value());
+}
+
+TEST(SolveLeastSquares, DimensionMismatchThrows) {
+  Matrix a(3, 2);
+  EXPECT_THROW(solveLeastSquares(a, {1.0, 2.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tagspin::dsp

@@ -1,0 +1,132 @@
+#include "dsp/peaks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+namespace tagspin::dsp {
+namespace {
+
+TEST(Argmax, Basic) {
+  const std::vector<double> xs{1.0, 5.0, 3.0};
+  EXPECT_EQ(argmax(xs), 1u);
+  EXPECT_THROW(argmax({}), std::invalid_argument);
+}
+
+TEST(Argmax, FirstOfTies) {
+  const std::vector<double> xs{2.0, 7.0, 7.0, 1.0};
+  EXPECT_EQ(argmax(xs), 1u);
+}
+
+TEST(ParabolicOffset, ExactParabola) {
+  // Samples of f(x) = -(x - 0.3)^2 at x = -1, 0, 1: the refined vertex
+  // offset from the center sample is +0.3.
+  auto f = [](double x) { return -(x - 0.3) * (x - 0.3); };
+  EXPECT_NEAR(parabolicOffset(f(-1.0), f(0.0), f(1.0)), 0.3, 1e-12);
+}
+
+TEST(ParabolicOffset, FlatReturnsZeroAndClamps) {
+  EXPECT_DOUBLE_EQ(parabolicOffset(1.0, 1.0, 1.0), 0.0);
+  // A degenerate shoulder must clamp to +-0.5.
+  EXPECT_LE(std::abs(parabolicOffset(0.0, 1.0, 1.0 - 1e-15)), 0.5);
+}
+
+TEST(FindPeaks, SinglePeakLinear) {
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back(std::exp(-0.01 * (i - 40) * (i - 40)));
+  }
+  const auto peaks = findPeaks(xs, /*circular=*/false);
+  ASSERT_GE(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].index, 40u);
+}
+
+TEST(FindPeaks, CircularWrapAroundPeak) {
+  // Peak centered at bin 0 of a circular array: detectable only when the
+  // wrap is honoured.
+  const size_t n = 72;
+  std::vector<double> xs(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double d = std::min<double>(i, n - i);  // circular distance to 0
+    xs[i] = std::exp(-0.05 * d * d);
+  }
+  const auto circular = findPeaks(xs, true);
+  ASSERT_GE(circular.size(), 1u);
+  EXPECT_EQ(circular[0].index, 0u);
+  // The non-circular version cannot report index 0 (it skips the borders).
+  const auto linear = findPeaks(xs, false);
+  for (const Peak& p : linear) EXPECT_NE(p.index, 0u);
+}
+
+TEST(FindPeaks, OrderedByValueAndSeparated) {
+  std::vector<double> xs(100, 0.0);
+  auto bump = [&](size_t center, double height) {
+    for (int d = -3; d <= 3; ++d) {
+      xs[center + static_cast<size_t>(d + 3) - 3] =
+          std::max(xs[center + static_cast<size_t>(d + 3) - 3],
+                   height * (1.0 - 0.2 * std::abs(d)));
+    }
+  };
+  bump(20, 1.0);
+  bump(50, 3.0);
+  bump(80, 2.0);
+  const auto peaks = findPeaks(xs, false, /*minSeparation=*/5);
+  ASSERT_GE(peaks.size(), 3u);
+  EXPECT_EQ(peaks[0].index, 50u);
+  EXPECT_EQ(peaks[1].index, 80u);
+  EXPECT_EQ(peaks[2].index, 20u);
+}
+
+TEST(FindPeaks, MinSeparationSuppressesNeighbors) {
+  std::vector<double> xs(50, 0.0);
+  xs[10] = 1.0;
+  xs[12] = 0.9;  // close secondary peak
+  xs[30] = 0.8;
+  const auto loose = findPeaks(xs, false, 1);
+  const auto strict = findPeaks(xs, false, 5);
+  EXPECT_GE(loose.size(), 3u);
+  ASSERT_EQ(strict.size(), 2u);
+  EXPECT_EQ(strict[0].index, 10u);
+  EXPECT_EQ(strict[1].index, 30u);
+}
+
+TEST(FindPeaks, MaxCountLimits) {
+  std::vector<double> xs(100, 0.0);
+  for (size_t i = 5; i < 100; i += 10) xs[i] = 1.0 + 0.01 * i;
+  const auto peaks = findPeaks(xs, false, 1, 3);
+  EXPECT_EQ(peaks.size(), 3u);
+}
+
+TEST(FindPeaks, TooShortInput) {
+  EXPECT_TRUE(findPeaks(std::vector<double>{1.0, 2.0}, false).empty());
+}
+
+TEST(HalfPowerWidth, GaussianWidthScalesWithSigma) {
+  auto width = [](double sigma) {
+    std::vector<double> xs;
+    for (int i = 0; i < 360; ++i) {
+      const double d = i - 180.0;
+      xs.push_back(std::exp(-d * d / (2.0 * sigma * sigma)));
+    }
+    return halfPowerWidth(xs, 180, false);
+  };
+  EXPECT_GT(width(20.0), width(5.0) * 3.0);
+}
+
+TEST(HalfPowerWidth, CircularWalksThroughTheWrap) {
+  const size_t n = 72;
+  std::vector<double> xs(n, 0.1);
+  // Plateau straddling the wrap: bins 70, 71, 0, 1, 2.
+  for (size_t i : {70u, 71u, 0u, 1u, 2u}) xs[i] = 1.0;
+  EXPECT_DOUBLE_EQ(halfPowerWidth(xs, 0, true), 5.0);
+}
+
+TEST(HalfPowerWidth, EmptyThrows) {
+  EXPECT_THROW(halfPowerWidth({}, 0, false), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tagspin::dsp

@@ -1,0 +1,102 @@
+#include "dsp/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace tagspin::dsp {
+namespace {
+
+const std::vector<double> kSample{4.0, 1.0, 3.0, 2.0, 5.0};
+
+TEST(Stats, Mean) {
+  EXPECT_DOUBLE_EQ(mean(kSample), 3.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{7.5}), 7.5);
+}
+
+TEST(Stats, StdDev) {
+  // Sample variance of 1..5 is 2.5.
+  EXPECT_NEAR(stddev(kSample), std::sqrt(2.5), 1e-12);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+}
+
+TEST(Stats, Rms) {
+  EXPECT_NEAR(rms(std::vector<double>{3.0, 4.0}), std::sqrt(12.5), 1e-12);
+  EXPECT_DOUBLE_EQ(rms({}), 0.0);
+}
+
+TEST(Stats, MinMaxThrowOnEmpty) {
+  EXPECT_DOUBLE_EQ(minOf(kSample), 1.0);
+  EXPECT_DOUBLE_EQ(maxOf(kSample), 5.0);
+  EXPECT_THROW(minOf({}), std::invalid_argument);
+  EXPECT_THROW(maxOf({}), std::invalid_argument);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  EXPECT_DOUBLE_EQ(percentile(kSample, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(kSample, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(kSample, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(kSample, 25.0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(kSample, 12.5), 1.5);  // interpolated
+  EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+}
+
+TEST(Stats, PercentileClampsOutOfRange) {
+  EXPECT_DOUBLE_EQ(percentile(kSample, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(kSample, 120.0), 5.0);
+}
+
+TEST(Stats, Median) {
+  EXPECT_DOUBLE_EQ(median(kSample), 3.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{1.0, 2.0}), 1.5);
+}
+
+TEST(Stats, Summary) {
+  const Summary s = summarize(kSample);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.p90, 4.6);
+
+  const Summary empty = summarize({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+}
+
+TEST(Ecdf, StepFunction) {
+  const Ecdf e = makeEcdf(kSample);
+  EXPECT_DOUBLE_EQ(e.at(0.5), 0.0);   // below all samples
+  EXPECT_DOUBLE_EQ(e.at(1.0), 0.2);
+  EXPECT_DOUBLE_EQ(e.at(2.5), 0.4);
+  EXPECT_DOUBLE_EQ(e.at(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.at(100.0), 1.0);
+}
+
+TEST(Ecdf, Quantile) {
+  const Ecdf e = makeEcdf(kSample);
+  EXPECT_DOUBLE_EQ(e.quantile(0.2), 1.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(e.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.0), 1.0);
+  EXPECT_THROW(makeEcdf({}).quantile(0.5), std::logic_error);
+}
+
+TEST(Ecdf, MonotoneOverRandomData) {
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(std::sin(i * 0.7) * 10.0);
+  const Ecdf e = makeEcdf(xs);
+  for (size_t i = 1; i < e.values.size(); ++i) {
+    EXPECT_LE(e.values[i - 1], e.values[i]);
+    EXPECT_LT(e.probs[i - 1], e.probs[i]);
+  }
+  EXPECT_DOUBLE_EQ(e.probs.back(), 1.0);
+}
+
+}  // namespace
+}  // namespace tagspin::dsp

@@ -1,0 +1,87 @@
+#include "eval/estimators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/antloc.hpp"
+#include "baselines/backpos.hpp"
+#include "baselines/landmarc.hpp"
+#include "core/tagspin.hpp"
+#include "eval/runner.hpp"
+#include "sim/scenario.hpp"
+
+namespace tagspin::eval {
+namespace {
+
+RunnerConfig gridConfig() {
+  sim::ScenarioConfig sc;
+  sc.seed = 31;
+  sc.fixedChannel = true;
+  RunnerConfig rc;
+  rc.world = sim::makeTwoRigWorld(sc);
+  sim::addReferenceGrid(rc.world, sim::Region{}, 0.6, 0.0);
+  rc.region = sim::Region{};
+  rc.trials = 2;
+  rc.durationS = 10.0;
+  rc.calibrateOrientation = false;
+  return rc;
+}
+
+TEST(Estimators, BuildTagspinServerRegistersEverything) {
+  sim::ScenarioConfig sc;
+  sc.seed = 32;
+  sim::World world = sim::makeTwoRigWorld(sc);
+  sim::addVerticalRig(world, {0.0, 0.4, 0.0}, sc);
+  const core::TagspinSystem server = buildTagspinServer(world, {}, {});
+  // Vertical rigs are registered separately, not as planar apertures.
+  EXPECT_EQ(server.rigCount(), 2u);
+}
+
+TEST(Estimators, LandmarcAdapterRuns) {
+  const RunResult r = runExperiment(gridConfig(), makeLandmarc({}));
+  EXPECT_EQ(r.failedTrials, 0);
+  EXPECT_EQ(r.errors.size(), 2u);
+  // RSSI centroid: sub-metre in a 3x2.4 m region.
+  EXPECT_LT(r.summary.mean, 150.0);
+}
+
+TEST(Estimators, AntLocAdapterRuns) {
+  const RunResult r = runExperiment(gridConfig(), makeAntLoc({}));
+  EXPECT_EQ(r.failedTrials, 0);
+  EXPECT_LT(r.summary.mean, 150.0);
+}
+
+TEST(Estimators, BackPosAdapterRuns) {
+  const RunResult r = runExperiment(gridConfig(), makeBackPos({}));
+  EXPECT_EQ(r.failedTrials, 0);
+  EXPECT_EQ(r.errors.size(), 2u);
+}
+
+TEST(Estimators, AdaptersAreDeterministicPerTrial) {
+  // The baseline sensor models draw their own randomness from the trial
+  // context, so a repeated run reproduces identical errors.
+  const RunResult a = runExperiment(gridConfig(), makeAntLoc({}));
+  const RunResult b = runExperiment(gridConfig(), makeAntLoc({}));
+  ASSERT_EQ(a.errors.size(), b.errors.size());
+  for (size_t i = 0; i < a.errors.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.errors[i].combined, b.errors[i].combined);
+  }
+}
+
+TEST(Estimators, TagspinAdaptersReturnRigPlaneHeight) {
+  sim::ScenarioConfig sc;
+  sc.seed = 33;
+  sc.fixedChannel = true;
+  sc.rigPlaneZ = 0.25;
+  RunnerConfig rc;
+  rc.world = sim::makeTwoRigWorld(sc);
+  rc.region = sim::Region{};
+  rc.trials = 1;
+  rc.durationS = 8.0;
+  rc.calibrateOrientation = false;
+  const RunResult r = runExperiment(rc, makeTagspin2D());
+  ASSERT_EQ(r.estimates.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.estimates[0].z, 0.25);
+}
+
+}  // namespace
+}  // namespace tagspin::eval

@@ -1,0 +1,55 @@
+#include "eval/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tagspin::eval {
+namespace {
+
+TEST(Metrics, ErrorCm2D) {
+  const ErrorCm e = errorCm(geom::Vec2{1.03, 2.04}, geom::Vec2{1.0, 2.0});
+  EXPECT_NEAR(e.x, 3.0, 1e-9);
+  EXPECT_NEAR(e.y, 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(e.z, 0.0);
+  EXPECT_NEAR(e.combined, 5.0, 1e-9);
+}
+
+TEST(Metrics, ErrorCm3D) {
+  const ErrorCm e =
+      errorCm(geom::Vec3{1.0, 2.0, 0.12}, geom::Vec3{1.0, 2.0, 0.0});
+  EXPECT_DOUBLE_EQ(e.x, 0.0);
+  EXPECT_NEAR(e.z, 12.0, 1e-9);
+  EXPECT_NEAR(e.combined, 12.0, 1e-9);
+}
+
+TEST(Metrics, ErrorsAreAbsolute) {
+  const ErrorCm e = errorCm(geom::Vec2{0.9, 1.9}, geom::Vec2{1.0, 2.0});
+  EXPECT_GT(e.x, 0.0);
+  EXPECT_GT(e.y, 0.0);
+}
+
+TEST(Metrics, ColumnAccessors) {
+  const std::vector<ErrorCm> errors{
+      errorCm(geom::Vec3{0.01, 0.0, 0.0}, geom::Vec3{}),
+      errorCm(geom::Vec3{0.0, 0.02, 0.0}, geom::Vec3{}),
+      errorCm(geom::Vec3{0.0, 0.0, 0.03}, geom::Vec3{})};
+  EXPECT_EQ(xErrors(errors), (std::vector<double>{1.0, 0.0, 0.0}));
+  EXPECT_EQ(yErrors(errors), (std::vector<double>{0.0, 2.0, 0.0}));
+  EXPECT_EQ(zErrors(errors), (std::vector<double>{0.0, 0.0, 3.0}));
+  const auto combined = combinedErrors(errors);
+  EXPECT_NEAR(combined[0], 1.0, 1e-9);
+  EXPECT_NEAR(combined[2], 3.0, 1e-9);
+}
+
+TEST(Metrics, SummarizeCombined) {
+  const std::vector<ErrorCm> errors{
+      errorCm(geom::Vec2{0.01, 0.0}, geom::Vec2{}),
+      errorCm(geom::Vec2{0.03, 0.0}, geom::Vec2{})};
+  const dsp::Summary s = summarizeCombined(errors);
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_NEAR(s.mean, 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace tagspin::eval

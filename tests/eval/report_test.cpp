@@ -1,0 +1,56 @@
+#include "eval/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tagspin::eval {
+namespace {
+
+// The report helpers print to stdout; these tests assert they are total
+// (no crashes / exceptions) across normal and degenerate inputs.
+
+TEST(Report, HeadingsAndRows) {
+  EXPECT_NO_THROW(printHeading("title"));
+  EXPECT_NO_THROW(printSubheading("sub"));
+  EXPECT_NO_THROW(printSummaryHeader());
+  dsp::Summary s;
+  s.count = 3;
+  s.mean = 1.5;
+  EXPECT_NO_THROW(printSummaryRow("row", s));
+}
+
+TEST(Report, CdfHandlesEmptyAndNormal) {
+  EXPECT_NO_THROW(printCdf("empty", {}));
+  const std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+  EXPECT_NO_THROW(printCdf("values", values, 4));
+}
+
+TEST(Report, ErrorBreakdownWithAndWithoutZ) {
+  std::vector<ErrorCm> flat{errorCm(geom::Vec2{0.01, 0.02}, geom::Vec2{})};
+  EXPECT_NO_THROW(printErrorBreakdown("2d", flat));
+  std::vector<ErrorCm> deep{
+      errorCm(geom::Vec3{0.01, 0.02, 0.03}, geom::Vec3{})};
+  EXPECT_NO_THROW(printErrorBreakdown("3d", deep));
+}
+
+TEST(Report, Series) {
+  const std::vector<std::pair<double, double>> series{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_NO_THROW(printSeries("x", "y", series));
+  EXPECT_NO_THROW(printSeries("x", "y", {}));
+}
+
+TEST(Report, ProfileAscii) {
+  std::vector<double> profile(360);
+  for (size_t i = 0; i < profile.size(); ++i) {
+    profile[i] = std::exp(-0.001 * (static_cast<double>(i) - 100.0) *
+                          (static_cast<double>(i) - 100.0));
+  }
+  EXPECT_NO_THROW(printProfileAscii("profile", profile));
+  EXPECT_NO_THROW(printProfileAscii("empty", {}));
+  const std::vector<double> flat(16, 1.0);  // zero dynamic range
+  EXPECT_NO_THROW(printProfileAscii("flat", flat));
+}
+
+}  // namespace
+}  // namespace tagspin::eval

@@ -1,0 +1,119 @@
+#include "eval/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "eval/estimators.hpp"
+#include "sim/scenario.hpp"
+
+namespace tagspin::eval {
+namespace {
+
+RunnerConfig smallConfig(uint64_t seed = 5) {
+  sim::ScenarioConfig sc;
+  sc.seed = seed;
+  sc.fixedChannel = true;
+  RunnerConfig rc;
+  rc.world = sim::makeTwoRigWorld(sc);
+  rc.region = sim::Region{};
+  rc.trials = 3;
+  rc.durationS = 8.0;
+  rc.calibrateOrientation = false;  // keep the smoke test fast
+  return rc;
+}
+
+TEST(Runner, ProducesOneErrorPerTrial) {
+  const RunResult result = runExperiment(smallConfig(), makeTagspin2D());
+  EXPECT_EQ(result.errors.size(), 3u);
+  EXPECT_EQ(result.truths.size(), 3u);
+  EXPECT_EQ(result.estimates.size(), 3u);
+  EXPECT_EQ(result.failedTrials, 0);
+  EXPECT_EQ(result.summary.count, 3u);
+  for (const ErrorCm& e : result.errors) {
+    EXPECT_GE(e.combined, 0.0);
+    EXPECT_LT(e.combined, 200.0);  // sane even for a short interrogation
+  }
+}
+
+TEST(Runner, DeterministicForSameSeed) {
+  const RunResult a = runExperiment(smallConfig(), makeTagspin2D());
+  const RunResult b = runExperiment(smallConfig(), makeTagspin2D());
+  ASSERT_EQ(a.errors.size(), b.errors.size());
+  for (size_t i = 0; i < a.errors.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.errors[i].combined, b.errors[i].combined);
+    EXPECT_EQ(a.truths[i], b.truths[i]);
+  }
+}
+
+TEST(Runner, DifferentSeedsDifferentPlacements) {
+  RunnerConfig c1 = smallConfig();
+  RunnerConfig c2 = smallConfig();
+  c2.seed = 123;
+  const RunResult a = runExperiment(c1, makeTagspin2D());
+  const RunResult b = runExperiment(c2, makeTagspin2D());
+  EXPECT_NE(a.truths[0], b.truths[0]);
+}
+
+TEST(Runner, ThreeDSamplesHeight) {
+  RunnerConfig rc = smallConfig();
+  rc.threeD = true;
+  const RunResult result = runExperiment(rc, makeTagspin3D());
+  bool anyElevated = false;
+  for (const geom::Vec3& t : result.truths) {
+    if (t.z > 0.05) anyElevated = true;
+  }
+  EXPECT_TRUE(anyElevated);
+}
+
+TEST(Runner, FailingEstimatorCountsFailures) {
+  RunnerConfig rc = smallConfig();
+  int calls = 0;
+  const Estimator flaky = [&calls](const TrialContext&) -> geom::Vec3 {
+    if (++calls % 2 == 1) throw std::runtime_error("no fix");
+    return {0.0, 0.0, 0.0};
+  };
+  const RunResult result = runExperiment(rc, flaky);
+  EXPECT_EQ(result.failedTrials, 2);
+  EXPECT_EQ(result.errors.size(), 1u);
+}
+
+TEST(Runner, CalibrationPreludeProducesModelPerRig) {
+  sim::ScenarioConfig sc;
+  sc.seed = 9;
+  sc.fixedChannel = true;
+  const sim::World world = sim::makeTwoRigWorld(sc);
+  const auto models = runCalibrationPrelude(world, 40.0);
+  EXPECT_EQ(models.size(), 2u);
+  for (const auto& [epc, model] : models) {
+    EXPECT_FALSE(model.isIdentity());
+    EXPECT_LT(model.fitResidual(), 0.6);
+    // The fitted response has the expected magnitude (paper: ~0.7 rad p-p).
+    double lo = 1e9, hi = -1e9;
+    for (int i = 0; i < 72; ++i) {
+      const double v = model.offsetAt(geom::kTwoPi * i / 72.0);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    EXPECT_GT(hi - lo, 0.3);
+    EXPECT_LT(hi - lo, 1.2);
+  }
+}
+
+TEST(Runner, ContextExposesOrientationModels) {
+  RunnerConfig rc = smallConfig();
+  rc.calibrateOrientation = true;
+  rc.calibrationDurationS = 30.0;
+  rc.trials = 1;
+  size_t seen = 0;
+  const Estimator probe = [&seen](const TrialContext& ctx) -> geom::Vec3 {
+    seen = ctx.orientationModels.size();
+    return ctx.truth;  // oracle: error 0
+  };
+  const RunResult result = runExperiment(rc, probe);
+  EXPECT_EQ(seen, 2u);
+  EXPECT_NEAR(result.summary.mean, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace tagspin::eval

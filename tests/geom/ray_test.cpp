@@ -1,0 +1,151 @@
+#include "geom/ray.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "geom/angles.hpp"
+
+namespace tagspin::geom {
+namespace {
+
+TEST(Ray2, DirectionAndPointAt) {
+  const Ray2 r{{1.0, 2.0}, kPi / 2.0};
+  EXPECT_NEAR(r.direction().x, 0.0, 1e-15);
+  EXPECT_NEAR(r.direction().y, 1.0, 1e-15);
+  const Vec2 p = r.pointAt(3.0);
+  EXPECT_NEAR(p.x, 1.0, 1e-12);
+  EXPECT_NEAR(p.y, 5.0, 1e-12);
+}
+
+TEST(Ray2, SignedDistanceSign) {
+  const Ray2 r{{0.0, 0.0}, 0.0};  // along +x
+  EXPECT_GT(r.signedDistance({1.0, 1.0}), 0.0);   // left of the ray
+  EXPECT_LT(r.signedDistance({1.0, -1.0}), 0.0);  // right of the ray
+  EXPECT_NEAR(r.signedDistance({5.0, 0.0}), 0.0, 1e-15);
+}
+
+TEST(Ray2, Project) {
+  const Ray2 r{{1.0, 0.0}, 0.0};
+  EXPECT_DOUBLE_EQ(r.project({4.0, 7.0}), 3.0);
+  EXPECT_DOUBLE_EQ(r.project({0.0, 1.0}), -1.0);  // behind the origin
+}
+
+TEST(IntersectRays, PerpendicularCase) {
+  const Ray2 a{{0.0, 0.0}, 0.0};          // +x
+  const Ray2 b{{2.0, -1.0}, kPi / 2.0};   // +y from (2,-1)
+  const auto hit = intersectRays(a, b);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->point.x, 2.0, 1e-12);
+  EXPECT_NEAR(hit->point.y, 0.0, 1e-12);
+  EXPECT_NEAR(hit->t1, 2.0, 1e-12);
+  EXPECT_NEAR(hit->t2, 1.0, 1e-12);
+}
+
+TEST(IntersectRays, ParallelReturnsEmpty) {
+  const Ray2 a{{0.0, 0.0}, 0.3};
+  const Ray2 b{{0.0, 1.0}, 0.3};
+  EXPECT_FALSE(intersectRays(a, b).has_value());
+  const Ray2 c{{0.0, 1.0}, 0.3 + kPi};  // anti-parallel
+  EXPECT_FALSE(intersectRays(a, c).has_value());
+}
+
+TEST(IntersectRays, NegativeParameterWhenBehind) {
+  const Ray2 a{{0.0, 0.0}, 0.0};
+  const Ray2 b{{-2.0, -1.0}, kPi / 2.0};
+  const auto hit = intersectRays(a, b);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_LT(hit->t1, 0.0);  // intersection behind ray a's origin
+}
+
+// Property sweep: build rays from two rig centers toward a known target;
+// the robust intersection and the paper's Eqn. 9 must both recover it.
+struct TargetCase {
+  double x, y;
+};
+
+class IntersectionSweep : public ::testing::TestWithParam<TargetCase> {};
+
+TEST_P(IntersectionSweep, RobustFormRecoversTarget) {
+  const Vec2 o1{-0.2, 0.0};
+  const Vec2 o2{0.2, 0.0};
+  const Vec2 target{GetParam().x, GetParam().y};
+  const Ray2 r1{o1, (target - o1).angle()};
+  const Ray2 r2{o2, (target - o2).angle()};
+  const auto hit = intersectRays(r1, r2);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->point.x, target.x, 1e-9);
+  EXPECT_NEAR(hit->point.y, target.y, 1e-9);
+}
+
+TEST_P(IntersectionSweep, Eqn9MatchesRobustForm) {
+  const Vec2 o1{-0.2, 0.0};
+  const Vec2 o2{0.2, 0.0};
+  const Vec2 target{GetParam().x, GetParam().y};
+  const double phi1 = (target - o1).angle();
+  const double phi2 = (target - o2).angle();
+  const auto closed = intersectEqn9(o1, phi1, o2, phi2);
+  // Eqn. 9 fails only at tan() poles; none of the sweep points sit there.
+  ASSERT_TRUE(closed.has_value());
+  EXPECT_NEAR(closed->x, target.x, 1e-8);
+  EXPECT_NEAR(closed->y, target.y, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TargetsAcrossThePlane, IntersectionSweep,
+    ::testing::Values(TargetCase{1.0, 2.0}, TargetCase{-1.3, 1.7},
+                      TargetCase{0.5, 0.4}, TargetCase{2.5, 3.0},
+                      TargetCase{-2.0, 0.8}, TargetCase{0.7, -1.5},
+                      TargetCase{-0.9, -2.2}, TargetCase{1.9, 0.3}));
+
+TEST(IntersectEqn9, FailsAtTanPole) {
+  // phi1 = pi/2 exactly: tan() pole; the closed form must refuse.
+  EXPECT_FALSE(
+      intersectEqn9({-0.2, 0.0}, kPi / 2.0, {0.2, 0.0}, 1.0).has_value());
+}
+
+TEST(IntersectEqn9, FailsOnParallel) {
+  EXPECT_FALSE(intersectEqn9({-0.2, 0.0}, 0.7, {0.2, 0.0}, 0.7).has_value());
+}
+
+TEST(LeastSquaresIntersection, ExactForConsistentRays) {
+  const Vec2 target{0.8, 1.9};
+  std::vector<Ray2> rays;
+  for (const Vec2 o : {Vec2{-0.5, 0.0}, Vec2{0.5, 0.0}, Vec2{0.0, 0.6}}) {
+    rays.push_back({o, (target - o).angle()});
+  }
+  const auto fix = leastSquaresIntersection(rays);
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_NEAR(fix->x, target.x, 1e-9);
+  EXPECT_NEAR(fix->y, target.y, 1e-9);
+  EXPECT_NEAR(rmsResidual(rays, *fix), 0.0, 1e-9);
+}
+
+TEST(LeastSquaresIntersection, MinimizesPerpendicularError) {
+  // Perturb one ray: the LS point must beat the unperturbed target on
+  // summed squared distance to the perturbed set.
+  const Vec2 target{0.8, 1.9};
+  std::vector<Ray2> rays;
+  for (const Vec2 o : {Vec2{-0.5, 0.0}, Vec2{0.5, 0.0}, Vec2{0.0, 0.6}}) {
+    rays.push_back({o, (target - o).angle()});
+  }
+  rays[0].angle += 0.05;
+  const auto fix = leastSquaresIntersection(rays);
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_LE(rmsResidual(rays, *fix), rmsResidual(rays, target) + 1e-12);
+}
+
+TEST(LeastSquaresIntersection, RejectsDegenerate) {
+  const std::vector<Ray2> parallel{{{0.0, 0.0}, 0.4}, {{1.0, 0.0}, 0.4}};
+  EXPECT_FALSE(leastSquaresIntersection(parallel).has_value());
+  const std::vector<Ray2> single{{{0.0, 0.0}, 0.4}};
+  EXPECT_FALSE(leastSquaresIntersection(single).has_value());
+}
+
+TEST(RmsResidual, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(rmsResidual({}, {1.0, 1.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace tagspin::geom

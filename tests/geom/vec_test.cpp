@@ -1,0 +1,125 @@
+#include "geom/vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/angles.hpp"
+
+namespace tagspin::geom {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(a / 2.0, (Vec2{0.5, 1.0}));
+  EXPECT_EQ(-a, (Vec2{-1.0, -2.0}));
+}
+
+TEST(Vec2, CompoundAssignment) {
+  Vec2 v{1.0, 1.0};
+  v += {2.0, 3.0};
+  EXPECT_EQ(v, (Vec2{3.0, 4.0}));
+  v -= {1.0, 1.0};
+  EXPECT_EQ(v, (Vec2{2.0, 3.0}));
+  v *= 2.0;
+  EXPECT_EQ(v, (Vec2{4.0, 6.0}));
+}
+
+TEST(Vec2, DotAndCross) {
+  const Vec2 x{1.0, 0.0};
+  const Vec2 y{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(x.dot(y), 0.0);
+  EXPECT_DOUBLE_EQ(x.cross(y), 1.0);   // y is CCW of x
+  EXPECT_DOUBLE_EQ(y.cross(x), -1.0);
+  EXPECT_DOUBLE_EQ(x.dot(x), 1.0);
+}
+
+TEST(Vec2, NormAndNormalized) {
+  const Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm2(), 25.0);
+  const Vec2 u = v.normalized();
+  EXPECT_NEAR(u.norm(), 1.0, 1e-15);
+  EXPECT_NEAR(u.x, 0.6, 1e-15);
+  // The zero vector stays zero instead of dividing by zero.
+  EXPECT_EQ(Vec2{}.normalized(), Vec2{});
+}
+
+TEST(Vec2, Angle) {
+  EXPECT_DOUBLE_EQ((Vec2{1.0, 0.0}).angle(), 0.0);
+  EXPECT_DOUBLE_EQ((Vec2{0.0, 1.0}).angle(), kPi / 2.0);
+  EXPECT_DOUBLE_EQ((Vec2{-1.0, 0.0}).angle(), kPi);
+}
+
+TEST(Vec2, UnitFromAngleRoundTrip) {
+  for (double a = -3.0; a <= 3.0; a += 0.37) {
+    const Vec2 u = unitFromAngle(a);
+    EXPECT_NEAR(u.norm(), 1.0, 1e-15);
+    EXPECT_NEAR(wrapToPi(u.angle() - a), 0.0, 1e-12);
+  }
+}
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{-1.0, 0.5, 2.0};
+  EXPECT_EQ(a + b, (Vec3{0.0, 2.5, 5.0}));
+  EXPECT_EQ(a - b, (Vec3{2.0, 1.5, 1.0}));
+  EXPECT_EQ(a * 2.0, (Vec3{2.0, 4.0, 6.0}));
+  EXPECT_EQ(a / 2.0, (Vec3{0.5, 1.0, 1.5}));
+}
+
+TEST(Vec3, CrossFollowsRightHandRule) {
+  const Vec3 x{1.0, 0.0, 0.0};
+  const Vec3 y{0.0, 1.0, 0.0};
+  EXPECT_EQ(x.cross(y), (Vec3{0.0, 0.0, 1.0}));
+  EXPECT_EQ(y.cross(x), (Vec3{0.0, 0.0, -1.0}));
+}
+
+TEST(Vec3, XyProjection) {
+  const Vec3 v{1.5, -2.5, 7.0};
+  EXPECT_EQ(v.xy(), (Vec2{1.5, -2.5}));
+}
+
+TEST(Vec3, ConstructFromVec2) {
+  const Vec3 v{Vec2{1.0, 2.0}, 3.0};
+  EXPECT_EQ(v, (Vec3{1.0, 2.0, 3.0}));
+}
+
+TEST(Vec3, Distance) {
+  EXPECT_DOUBLE_EQ(distance(Vec3{0, 0, 0}, Vec3{1, 2, 2}), 3.0);
+  EXPECT_DOUBLE_EQ(distance(Vec2{0, 0}, Vec2{3, 4}), 5.0);
+}
+
+TEST(Geometry, AzimuthOf) {
+  const Vec3 origin{1.0, 1.0, 0.5};
+  EXPECT_NEAR(azimuthOf(origin, {2.0, 1.0, 3.0}), 0.0, 1e-12);
+  EXPECT_NEAR(azimuthOf(origin, {1.0, 2.0, -1.0}), kPi / 2.0, 1e-12);
+  EXPECT_NEAR(azimuthOf(origin, {0.0, 0.0, 0.0}), -3.0 * kPi / 4.0, 1e-12);
+}
+
+TEST(Geometry, PolarOf) {
+  const Vec3 origin{};
+  // 45 degrees up.
+  EXPECT_NEAR(polarOf(origin, {1.0, 0.0, 1.0}), kPi / 4.0, 1e-12);
+  // In-plane.
+  EXPECT_NEAR(polarOf(origin, {1.0, 1.0, 0.0}), 0.0, 1e-12);
+  // Straight down.
+  EXPECT_NEAR(polarOf(origin, {0.0, 0.0, -2.0}), -kPi / 2.0, 1e-12);
+}
+
+TEST(Geometry, PolarMatchesTangentGeometry) {
+  // polar = atan(z / horizontal) -- the gamma of paper Eqn. 13.
+  const Vec3 rig{0.2, 0.0, 0.0};
+  const Vec3 reader{0.8, 1.5, 0.9};
+  const double horiz = (reader.xy() - rig.xy()).norm();
+  EXPECT_NEAR(std::tan(polarOf(rig, reader)) * horiz, reader.z - rig.z,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace tagspin::geom

@@ -1,0 +1,125 @@
+// Failure-injection tests: the pipeline must fail loudly and informatively
+// on degenerate inputs, and degrade gracefully on marginal ones.
+#include <gtest/gtest.h>
+
+#include "core/tagspin.hpp"
+#include "eval/estimators.hpp"
+#include "geom/angles.hpp"
+#include "sim/interrogator.hpp"
+#include "sim/scenario.hpp"
+
+namespace tagspin {
+namespace {
+
+sim::World makeWorld(uint64_t seed = 11) {
+  sim::ScenarioConfig sc;
+  sc.seed = seed;
+  sc.fixedChannel = true;
+  return sim::makeTwoRigWorld(sc);
+}
+
+TEST(FailureInjection, EmptyStreamThrows) {
+  const sim::World world = makeWorld();
+  const core::TagspinSystem server = eval::buildTagspinServer(world, {}, {});
+  EXPECT_THROW(server.locate2D({}), std::runtime_error);
+  EXPECT_THROW(server.locate3D({}), std::runtime_error);
+}
+
+TEST(FailureInjection, OneRigSilencedThrows) {
+  sim::World world = makeWorld();
+  sim::placeReaderAntenna(world, 0, {0.6, 1.8, 0.0});
+  auto reports = sim::interrogate(world, {10.0, 0, 0});
+  // Drop every report of rig 1.
+  const rfid::Epc silenced = world.rigs[1].tag.epc;
+  rfid::ReportStream filtered;
+  for (const rfid::TagReport& r : reports) {
+    if (!(r.epc == silenced)) filtered.push_back(r);
+  }
+  const core::TagspinSystem server = eval::buildTagspinServer(world, {}, {});
+  EXPECT_THROW(server.locate2D(filtered), std::runtime_error);
+}
+
+TEST(FailureInjection, TinySnapshotCountStillReturnsAFix) {
+  sim::World world = makeWorld();
+  sim::placeReaderAntenna(world, 0, {0.6, 1.8, 0.0});
+  // One second of interrogation: a few dozen reads per rig.
+  const auto reports = sim::interrogate(world, {1.0, 0, 0});
+  const core::TagspinSystem server = eval::buildTagspinServer(world, {}, {});
+  const core::Fix2D fix = server.locate2D(reports);
+  // Coarse but finite and in the room.
+  EXPECT_LT(geom::distance(fix.position, geom::Vec2{0.6, 1.8}), 1.5);
+}
+
+TEST(FailureInjection, ReaderOnRigAxisIsDegenerate) {
+  // The reader collinear with both rig centers: rays are (anti)parallel.
+  sim::World world = makeWorld();
+  sim::placeReaderAntenna(world, 0, {2.5, 0.0, 0.0});  // on the rig line
+  const auto reports = sim::interrogate(world, {15.0, 0, 0});
+  const core::TagspinSystem server = eval::buildTagspinServer(world, {}, {});
+  // Either an explicit failure or a wildly uncertain fix is acceptable;
+  // what must not happen is a confidently wrong silent result, so we accept
+  // a throw OR a fix and simply require no crash.
+  try {
+    const core::Fix2D fix = server.locate2D(reports);
+    // Noise separates the rays slightly; the fix can be anywhere along the
+    // axis but must be finite.
+    EXPECT_TRUE(std::isfinite(fix.position.x));
+    EXPECT_TRUE(std::isfinite(fix.position.y));
+  } catch (const std::runtime_error&) {
+    SUCCEED();
+  }
+}
+
+TEST(FailureInjection, SaturatedInterferenceDegradesGracefully) {
+  // 30% of reads corrupted: error grows but the fix stays in the room.
+  sim::ScenarioConfig sc;
+  sc.seed = 12;
+  sc.fixedChannel = true;
+  sim::World world = sim::makeTwoRigWorld(sc);
+  rf::ChannelConfig cc = world.channel.config();
+  cc.phaseOutlierProb = 0.30;
+  world.channel = rf::BackscatterChannel(cc, world.channel.scatterers());
+  const geom::Vec3 truth{0.4, 2.0, 0.0};
+  sim::placeReaderAntenna(world, 0, truth);
+  const auto reports = sim::interrogate(world, {30.0, 0, 0});
+  const core::TagspinSystem server = eval::buildTagspinServer(world, {}, {});
+  const core::Fix2D fix = server.locate2D(reports);
+  EXPECT_LT(geom::distance(fix.position, truth.xy()), 0.8);
+}
+
+TEST(FailureInjection, StoppedDiskRejectedByValidation) {
+  sim::World world = makeWorld();
+  world.rigs[0].rig.omegaRadPerS = 0.0;
+  EXPECT_THROW(sim::interrogate(world, {1.0, 0, 0}), std::logic_error);
+}
+
+TEST(FailureInjection, BadAntennaPort) {
+  sim::World world = makeWorld();
+  sim::InterrogateConfig ic;
+  ic.antennaPort = 3;  // single-antenna reader
+  EXPECT_THROW(sim::interrogate(world, ic), std::out_of_range);
+}
+
+TEST(FailureInjection, ProfileRequiresSnapshots) {
+  core::RigKinematics kin{0.10, 0.5, 0.0, geom::kPi / 2.0};
+  EXPECT_THROW(core::PowerProfile({}, kin, {}), std::invalid_argument);
+}
+
+TEST(FailureInjection, OrientationPreludeNeedsRevolutionCoverage) {
+  // A prelude that samples only a sliver of the rotation cannot constrain
+  // the Fourier fit; the fit must refuse rather than extrapolate.
+  const core::RigKinematics kin{0.0, 0.5, 0.0, geom::kPi / 2.0};
+  std::vector<core::Snapshot> snaps;
+  for (int i = 0; i < 100; ++i) {
+    core::Snapshot s;
+    s.timeS = 0.001 * i;  // 0.1 s: ~0.05 rad of rotation
+    s.phaseRad = 1.0;
+    s.lambdaM = 0.325;
+    snaps.push_back(s);
+  }
+  EXPECT_THROW(core::OrientationModel::fit(snaps, kin, 0.0),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tagspin

@@ -1,0 +1,81 @@
+#include "rf/antenna.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "geom/angles.hpp"
+
+namespace tagspin::rf {
+namespace {
+
+TEST(IsotropicPattern, UnityEverywhere) {
+  const IsotropicPattern p;
+  for (double a = -6.0; a <= 6.0; a += 0.5) {
+    EXPECT_DOUBLE_EQ(p.gain(a), 1.0);
+  }
+}
+
+TEST(PatchPattern, PeakAtBoresight) {
+  const PatchPattern p(3.0, 0.05);
+  EXPECT_DOUBLE_EQ(p.gain(0.0), 1.0);
+  EXPECT_GT(p.gain(0.0), p.gain(0.5));
+  EXPECT_GT(p.gain(0.5), p.gain(1.0));
+}
+
+TEST(PatchPattern, BackLobeFloor) {
+  const PatchPattern p(3.0, 0.05);
+  EXPECT_DOUBLE_EQ(p.gain(geom::kPi), 0.05);
+  EXPECT_DOUBLE_EQ(p.gain(geom::kPi / 2.0 + 0.3), 0.05);
+}
+
+TEST(PatchPattern, SymmetricAndPeriodic) {
+  const PatchPattern p;
+  for (double a = 0.0; a < geom::kPi; a += 0.2) {
+    EXPECT_NEAR(p.gain(a), p.gain(-a), 1e-12);
+    EXPECT_NEAR(p.gain(a), p.gain(a + geom::kTwoPi), 1e-9);
+  }
+}
+
+TEST(PatchPattern, HigherExponentNarrower) {
+  const PatchPattern wide(2.0, 0.0);
+  const PatchPattern narrow(6.0, 0.0);
+  EXPECT_GT(wide.gain(0.8), narrow.gain(0.8));
+}
+
+TEST(PatchPattern, Validation) {
+  EXPECT_THROW(PatchPattern(0.0, 0.05), std::invalid_argument);
+  EXPECT_THROW(PatchPattern(2.0, -0.1), std::invalid_argument);
+  EXPECT_THROW(PatchPattern(2.0, 1.5), std::invalid_argument);
+}
+
+TEST(TagOrientationGain, MaxPerpendicularMinEdgeOn) {
+  const TagOrientationGain g(2.0, 0.1);
+  EXPECT_DOUBLE_EQ(g.gain(geom::kPi / 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(g.gain(3.0 * geom::kPi / 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(g.gain(0.0), 0.1);   // edge-on hits the floor
+  EXPECT_DOUBLE_EQ(g.gain(geom::kPi), 0.1);
+}
+
+TEST(TagOrientationGain, PiPeriodic) {
+  const TagOrientationGain g(2.0, 0.1);
+  for (double rho = 0.0; rho < geom::kPi; rho += 0.17) {
+    EXPECT_NEAR(g.gain(rho), g.gain(rho + geom::kPi), 1e-12);
+  }
+}
+
+TEST(TagOrientationGain, Validation) {
+  EXPECT_THROW(TagOrientationGain(0.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(TagOrientationGain(2.0, -0.1), std::invalid_argument);
+  EXPECT_THROW(TagOrientationGain(2.0, 2.0), std::invalid_argument);
+}
+
+TEST(ReaderAntenna, GainToward) {
+  ReaderAntenna antenna;
+  antenna.boresightAzimuth = 1.0;
+  EXPECT_DOUBLE_EQ(antenna.gainToward(1.0), 1.0);
+  EXPECT_LT(antenna.gainToward(1.8), 1.0);
+}
+
+}  // namespace
+}  // namespace tagspin::rf

@@ -1,0 +1,168 @@
+#include "rf/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "geom/angles.hpp"
+#include "rf/constants.hpp"
+
+namespace tagspin::rf {
+namespace {
+
+constexpr double kLambda = 0.325;
+
+ChannelConfig noiselessConfig() {
+  ChannelConfig c;
+  c.phaseNoiseStd = 1e-12;
+  c.phaseOutlierProb = 0.0;
+  c.rssiNoiseStdDb = 0.0;
+  c.multipathEnabled = false;
+  return c;
+}
+
+TEST(BackscatterChannel, LosPhaseMatchesEqn1) {
+  // theta = (4*pi/lambda) * d + theta_div  (mod 2*pi), paper Eqn. 1.
+  const BackscatterChannel channel(noiselessConfig());
+  std::mt19937_64 rng(1);
+  for (double d = 0.5; d < 4.0; d += 0.37) {
+    const ChannelSample s = channel.observe(
+        {0.0, 0.0, 0.0}, {d, 0.0, 0.0}, kLambda, /*thetaDiv=*/0.7,
+        /*orientationPhase=*/0.0, 1.0, 1.0, 30.0, rng);
+    const double expected =
+        geom::wrapTwoPi(4.0 * std::numbers::pi / kLambda * d + 0.7);
+    EXPECT_NEAR(geom::circularDistance(s.phase, expected), 0.0, 1e-6)
+        << "d = " << d;
+  }
+}
+
+TEST(BackscatterChannel, OrientationPhaseAdds) {
+  const BackscatterChannel channel(noiselessConfig());
+  std::mt19937_64 rng(2);
+  const geom::Vec3 reader{0, 0, 0}, tag{2.0, 0, 0};
+  const ChannelSample base =
+      channel.observe(reader, tag, kLambda, 0.0, 0.0, 1.0, 1.0, 30.0, rng);
+  const ChannelSample shifted =
+      channel.observe(reader, tag, kLambda, 0.0, 0.35, 1.0, 1.0, 30.0, rng);
+  EXPECT_NEAR(geom::wrapToPi(shifted.phase - base.phase), 0.35, 1e-6);
+}
+
+TEST(BackscatterChannel, PhasePeriodIsHalfWavelength) {
+  // Backscatter phase repeats every lambda/2 of distance (paper: "repeats
+  // every lambda/2 in the distance").
+  const BackscatterChannel channel(noiselessConfig());
+  std::mt19937_64 rng(3);
+  const ChannelSample a = channel.observe({0, 0, 0}, {2.0, 0, 0}, kLambda,
+                                          0.0, 0.0, 1.0, 1.0, 30.0, rng);
+  const ChannelSample b =
+      channel.observe({0, 0, 0}, {2.0 + kLambda / 2.0, 0, 0}, kLambda, 0.0,
+                      0.0, 1.0, 1.0, 30.0, rng);
+  EXPECT_NEAR(geom::circularDistance(a.phase, b.phase), 0.0, 1e-6);
+}
+
+TEST(BackscatterChannel, RssiDecaysWithDistance) {
+  const BackscatterChannel channel(noiselessConfig());
+  double prev = channel.meanRssiDbm(0.5, kLambda, 1.0, 1.0, 30.0);
+  for (double d = 1.0; d <= 8.0; d *= 2.0) {
+    const double rssi = channel.meanRssiDbm(d, kLambda, 1.0, 1.0, 30.0);
+    EXPECT_LT(rssi, prev);
+    prev = rssi;
+  }
+}
+
+TEST(BackscatterChannel, RssiFollowsFourthPowerLaw) {
+  // Round trip with exponent 2 per leg: doubling distance costs ~12 dB.
+  const BackscatterChannel channel(noiselessConfig());
+  const double r1 = channel.meanRssiDbm(1.0, kLambda, 1.0, 1.0, 30.0);
+  const double r2 = channel.meanRssiDbm(2.0, kLambda, 1.0, 1.0, 30.0);
+  EXPECT_NEAR(r1 - r2, 12.04, 0.05);
+}
+
+TEST(BackscatterChannel, GainsImproveRssi) {
+  const BackscatterChannel channel(noiselessConfig());
+  std::mt19937_64 rng(4);
+  const ChannelSample weak = channel.observe({0, 0, 0}, {2, 0, 0}, kLambda,
+                                             0.0, 0.0, 0.5, 0.5, 30.0, rng);
+  const ChannelSample strong = channel.observe({0, 0, 0}, {2, 0, 0}, kLambda,
+                                               0.0, 0.0, 1.0, 1.0, 30.0, rng);
+  EXPECT_GT(strong.rssiDbm, weak.rssiDbm + 10.0);  // 2x both gains, both ways
+}
+
+TEST(BackscatterChannel, SensitivityGate) {
+  ChannelConfig c = noiselessConfig();
+  c.readerSensitivityDbm = -60.0;
+  const BackscatterChannel channel(c);
+  std::mt19937_64 rng(5);
+  const ChannelSample near = channel.observe({0, 0, 0}, {1.0, 0, 0}, kLambda,
+                                             0.0, 0.0, 1.0, 1.0, 30.0, rng);
+  const ChannelSample far = channel.observe({0, 0, 0}, {30.0, 0, 0}, kLambda,
+                                            0.0, 0.0, 1.0, 1.0, 30.0, rng);
+  EXPECT_TRUE(near.readable);
+  EXPECT_FALSE(far.readable);
+}
+
+TEST(BackscatterChannel, MultipathPerturbsPhase) {
+  ChannelConfig c = noiselessConfig();
+  c.multipathEnabled = true;
+  const std::vector<Scatterer> scatterers{{{1.0, 1.5, 0.0}, 0.2}};
+  const BackscatterChannel withMp(c, scatterers);
+  const BackscatterChannel without(noiselessConfig());
+  std::mt19937_64 rng(6);
+  const ChannelSample a = withMp.observe({0, 0, 0}, {2.5, 0, 0}, kLambda, 0.0,
+                                         0.0, 1.0, 1.0, 30.0, rng);
+  const ChannelSample b = without.observe({0, 0, 0}, {2.5, 0, 0}, kLambda,
+                                          0.0, 0.0, 1.0, 1.0, 30.0, rng);
+  EXPECT_GT(geom::circularDistance(a.phase, b.phase), 1e-4);
+}
+
+TEST(BackscatterChannel, ComplexGainPureLosIsUnit) {
+  const BackscatterChannel channel(noiselessConfig());
+  const auto h = channel.complexGain({0, 0, 0}, {1.7, 0, 0}, kLambda);
+  EXPECT_NEAR(std::abs(h), 1.0, 1e-12);
+  EXPECT_NEAR(geom::circularDistance(
+                  -std::arg(h),
+                  geom::wrapTwoPi(4.0 * std::numbers::pi / kLambda * 1.7)),
+              0.0, 1e-9);
+}
+
+TEST(BackscatterChannel, OutlierRateRoughlyMatches) {
+  ChannelConfig c = noiselessConfig();
+  c.phaseOutlierProb = 0.2;
+  const BackscatterChannel channel(c);
+  std::mt19937_64 rng(7);
+  int outliers = 0;
+  const int n = 4000;
+  const double expected =
+      geom::wrapTwoPi(4.0 * std::numbers::pi / kLambda * 2.0);
+  for (int i = 0; i < n; ++i) {
+    const ChannelSample s = channel.observe({0, 0, 0}, {2.0, 0, 0}, kLambda,
+                                            0.0, 0.0, 1.0, 1.0, 30.0, rng);
+    if (geom::circularDistance(s.phase, expected) > 0.01) ++outliers;
+  }
+  // Uniform outliers land within 0.01 rad of truth with prob ~0.003, so the
+  // count tracks the configured probability closely.
+  EXPECT_NEAR(static_cast<double>(outliers) / n, 0.2, 0.03);
+}
+
+TEST(BackscatterChannel, ZeroDistanceIsClamped) {
+  const BackscatterChannel channel(noiselessConfig());
+  std::mt19937_64 rng(8);
+  const ChannelSample s = channel.observe({0, 0, 0}, {0, 0, 0}, kLambda, 0.0,
+                                          0.0, 1.0, 1.0, 30.0, rng);
+  EXPECT_TRUE(std::isfinite(s.phase));
+  EXPECT_TRUE(std::isfinite(s.rssiDbm));
+}
+
+TEST(BackscatterChannel, Validation) {
+  ChannelConfig bad;
+  bad.phaseNoiseStd = -0.1;
+  EXPECT_THROW(BackscatterChannel{bad}, std::invalid_argument);
+  ChannelConfig bad2;
+  bad2.pathLossExponent = 0.0;
+  EXPECT_THROW(BackscatterChannel{bad2}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tagspin::rf

@@ -1,0 +1,36 @@
+#include "rf/constants.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tagspin::rf {
+namespace {
+
+TEST(Constants, WavelengthOfUhfBand) {
+  // 920.625 MHz is ~32.56 cm; 924.375 MHz is ~32.43 cm (the paper's
+  // "wavelength ranges from 32.4 cm to 32.6 cm").
+  EXPECT_NEAR(wavelength(mhz(920.625)), 0.3256, 5e-4);
+  EXPECT_NEAR(wavelength(mhz(924.375)), 0.3243, 5e-4);
+}
+
+TEST(Constants, WavelengthFrequencyRoundTrip) {
+  const double f = mhz(922.0);
+  EXPECT_NEAR(kSpeedOfLight / wavelength(f), f, 1e-3);
+}
+
+TEST(Constants, DbConversions) {
+  EXPECT_DOUBLE_EQ(toDb(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(toDb(10.0), 10.0);
+  EXPECT_NEAR(toDb(2.0), 3.0103, 1e-4);
+  EXPECT_DOUBLE_EQ(fromDb(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(fromDb(20.0), 100.0);
+  for (double db = -30.0; db <= 30.0; db += 7.5) {
+    EXPECT_NEAR(toDb(fromDb(db)), db, 1e-10);
+  }
+}
+
+TEST(Constants, MhzHelper) { EXPECT_DOUBLE_EQ(mhz(1.5), 1.5e6); }
+
+}  // namespace
+}  // namespace tagspin::rf

@@ -1,0 +1,83 @@
+#include "rf/frequency_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace tagspin::rf {
+namespace {
+
+TEST(FrequencyPlan, China920Layout) {
+  const FrequencyPlan plan = FrequencyPlan::china920();
+  EXPECT_EQ(plan.channelCount(), 16);
+  EXPECT_DOUBLE_EQ(plan.frequencyHz(0), mhz(920.625));
+  EXPECT_DOUBLE_EQ(plan.frequencyHz(15), mhz(924.375));
+  EXPECT_DOUBLE_EQ(plan.frequencyHz(1) - plan.frequencyHz(0), mhz(0.25));
+  EXPECT_NEAR(plan.centerFrequencyHz(), mhz(922.5), 1.0);
+}
+
+TEST(FrequencyPlan, WavelengthBounds) {
+  const FrequencyPlan plan = FrequencyPlan::china920();
+  EXPECT_LT(plan.minWavelengthM(), plan.maxWavelengthM());
+  EXPECT_NEAR(plan.minWavelengthM(), 0.3243, 5e-4);
+  EXPECT_NEAR(plan.maxWavelengthM(), 0.3256, 5e-4);
+  EXPECT_DOUBLE_EQ(plan.wavelengthM(0), plan.maxWavelengthM());
+}
+
+TEST(FrequencyPlan, FixedPlan) {
+  const FrequencyPlan plan = FrequencyPlan::fixed(mhz(922.375));
+  EXPECT_EQ(plan.channelCount(), 1);
+  EXPECT_DOUBLE_EQ(plan.frequencyHz(0), mhz(922.375));
+  EXPECT_DOUBLE_EQ(plan.minWavelengthM(), plan.maxWavelengthM());
+}
+
+TEST(FrequencyPlan, Validation) {
+  EXPECT_THROW(FrequencyPlan(mhz(920.0), mhz(0.25), 0), std::invalid_argument);
+  const FrequencyPlan plan = FrequencyPlan::china920();
+  EXPECT_THROW(plan.frequencyHz(-1), std::out_of_range);
+  EXPECT_THROW(plan.frequencyHz(16), std::out_of_range);
+}
+
+TEST(HoppingSequence, DeterministicForSeed) {
+  const FrequencyPlan plan = FrequencyPlan::china920();
+  const HoppingSequence a(plan, 2.0, 42);
+  const HoppingSequence b(plan, 2.0, 42);
+  for (double t = 0.0; t < 100.0; t += 1.7) {
+    EXPECT_EQ(a.channelAt(t), b.channelAt(t));
+  }
+}
+
+TEST(HoppingSequence, DwellTimeRespected) {
+  const FrequencyPlan plan = FrequencyPlan::china920();
+  const HoppingSequence seq(plan, 2.0, 7);
+  // Constant within a dwell slot.
+  EXPECT_EQ(seq.channelAt(0.0), seq.channelAt(1.999));
+  EXPECT_EQ(seq.channelAt(4.0), seq.channelAt(5.5));
+}
+
+TEST(HoppingSequence, VisitsEveryChannelOncePerCycle) {
+  const FrequencyPlan plan = FrequencyPlan::china920();
+  const HoppingSequence seq(plan, 2.0, 99);
+  std::set<int> seen;
+  for (int slot = 0; slot < 16; ++slot) {
+    seen.insert(seq.channelAt(slot * 2.0 + 0.5));
+  }
+  EXPECT_EQ(seen.size(), 16u);  // a permutation, not repeats
+}
+
+TEST(HoppingSequence, NegativeTimeWellDefined) {
+  const FrequencyPlan plan = FrequencyPlan::china920();
+  const HoppingSequence seq(plan, 2.0, 1);
+  const int c = seq.channelAt(-3.0);
+  EXPECT_GE(c, 0);
+  EXPECT_LT(c, 16);
+}
+
+TEST(HoppingSequence, Validation) {
+  const FrequencyPlan plan = FrequencyPlan::china920();
+  EXPECT_THROW(HoppingSequence(plan, 0.0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tagspin::rf

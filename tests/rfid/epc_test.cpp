@@ -1,0 +1,67 @@
+#include "rfid/epc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace tagspin::rfid {
+namespace {
+
+TEST(Epc, HexRoundTrip) {
+  const Epc e{0x0123456789ABCDEFULL, 0xDEADBEEFu};
+  const std::string hex = e.toHex();
+  EXPECT_EQ(hex, "0123456789ABCDEFDEADBEEF");
+  EXPECT_EQ(Epc::fromHex(hex), e);
+}
+
+TEST(Epc, FromHexAcceptsSeparators) {
+  const Epc e = Epc::fromHex("0123-4567 89AB-CDEF DEAD-BEEF");
+  EXPECT_EQ(e.toHex(), "0123456789ABCDEFDEADBEEF");
+}
+
+TEST(Epc, FromHexLowerCase) {
+  EXPECT_EQ(Epc::fromHex("0123456789abcdefdeadbeef").toHex(),
+            "0123456789ABCDEFDEADBEEF");
+}
+
+TEST(Epc, FromHexRejectsBadInput) {
+  EXPECT_THROW(Epc::fromHex("123"), std::invalid_argument);  // too short
+  EXPECT_THROW(Epc::fromHex("0123456789ABCDEFDEADBEEF00"),
+               std::invalid_argument);  // too long
+  EXPECT_THROW(Epc::fromHex("0123456789ABCDEFDEADBEEG"),
+               std::invalid_argument);  // non-hex
+}
+
+TEST(Epc, DefaultIsZero) {
+  EXPECT_EQ(Epc{}.toHex(), "000000000000000000000000");
+}
+
+TEST(Epc, Ordering) {
+  const Epc a{1, 0};
+  const Epc b{1, 1};
+  const Epc c{2, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (Epc{1, 0}));
+}
+
+TEST(Epc, SimulatedTagsAreDistinct) {
+  std::set<Epc> seen;
+  for (uint32_t i = 0; i < 2000; ++i) {
+    seen.insert(Epc::forSimulatedTag(i));
+  }
+  EXPECT_EQ(seen.size(), 2000u);
+}
+
+TEST(Epc, Hashable) {
+  std::unordered_set<Epc> set;
+  set.insert(Epc::forSimulatedTag(1));
+  set.insert(Epc::forSimulatedTag(2));
+  set.insert(Epc::forSimulatedTag(1));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace tagspin::rfid

@@ -1,0 +1,155 @@
+#include "rfid/gen2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+namespace tagspin::rfid {
+namespace {
+
+TEST(InventoryEngine, SingleTagAlwaysHeard) {
+  InventoryEngine engine;
+  std::mt19937_64 rng(1);
+  const std::vector<double> certain{1.0};
+  int reads = 0;
+  double t = 0.0;
+  for (int round = 0; round < 50; ++round) {
+    const RoundResult r = engine.runRound(t, certain, rng);
+    reads += static_cast<int>(r.reads.size());
+    EXPECT_EQ(r.collisions, 0);  // one tag can never collide
+    t = r.endTimeS;
+  }
+  EXPECT_EQ(reads, 50);  // exactly one read per round
+}
+
+TEST(InventoryEngine, ZeroProbabilityNeverReads) {
+  InventoryEngine engine;
+  std::mt19937_64 rng(2);
+  const std::vector<double> silent{0.0, 0.0, 0.0};
+  for (int round = 0; round < 20; ++round) {
+    const RoundResult r = engine.runRound(0.0, silent, rng);
+    EXPECT_TRUE(r.reads.empty());
+    EXPECT_EQ(r.collisions, 0);
+    EXPECT_EQ(r.empties, r.slots);
+  }
+}
+
+TEST(InventoryEngine, TimeAdvancesMonotonically) {
+  InventoryEngine engine;
+  std::mt19937_64 rng(3);
+  const std::vector<double> probs{0.8, 0.8};
+  double t = 5.0;
+  for (int round = 0; round < 30; ++round) {
+    const RoundResult r = engine.runRound(t, probs, rng);
+    EXPECT_GT(r.endTimeS, t);
+    double prev = t;
+    for (const InventoryRead& read : r.reads) {
+      EXPECT_GT(read.timeS, prev);
+      EXPECT_LE(read.timeS, r.endTimeS);
+      prev = read.timeS;
+    }
+    t = r.endTimeS;
+  }
+}
+
+TEST(InventoryEngine, ReadTimesUseSlotDurations) {
+  Gen2Config config;
+  config.initialQ = 0.0;  // one slot per round
+  config.qStep = 0.0001;  // effectively frozen
+  InventoryEngine engine(config);
+  std::mt19937_64 rng(4);
+  const std::vector<double> one{1.0};
+  const RoundResult r = engine.runRound(0.0, one, rng);
+  ASSERT_EQ(r.reads.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.reads[0].timeS, config.singletonSlotS);
+}
+
+TEST(InventoryEngine, CollisionsRaiseQ) {
+  Gen2Config config;
+  config.initialQ = 0.0;  // 1 slot, 8 eager tags: guaranteed collision
+  InventoryEngine engine(config);
+  std::mt19937_64 rng(5);
+  const std::vector<double> many(8, 1.0);
+  const double q0 = engine.qfp();
+  engine.runRound(0.0, many, rng);
+  EXPECT_GT(engine.qfp(), q0);
+}
+
+TEST(InventoryEngine, EmptiesLowerQ) {
+  Gen2Config config;
+  config.initialQ = 6.0;  // 64 slots for one shy tag: mostly empties
+  InventoryEngine engine(config);
+  std::mt19937_64 rng(6);
+  const std::vector<double> shy{0.1};
+  engine.runRound(0.0, shy, rng);
+  EXPECT_LT(engine.qfp(), 6.0);
+}
+
+TEST(InventoryEngine, QStaysInBounds) {
+  Gen2Config config;
+  config.qMin = 1.0;
+  config.qMax = 4.0;
+  config.initialQ = 2.0;
+  InventoryEngine engine(config);
+  std::mt19937_64 rng(7);
+  const std::vector<double> many(32, 1.0);
+  const std::vector<double> none(32, 0.0);
+  for (int i = 0; i < 40; ++i) engine.runRound(0.0, many, rng);
+  EXPECT_LE(engine.qfp(), 4.0);
+  for (int i = 0; i < 40; ++i) engine.runRound(0.0, none, rng);
+  EXPECT_GE(engine.qfp(), 1.0);
+}
+
+// Throughput property: with the Q algorithm adapting, every tag population
+// gets read, and higher-probability tags are read more often.
+class PopulationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PopulationSweep, AllTagsEventuallyRead) {
+  const int nTags = GetParam();
+  InventoryEngine engine;
+  std::mt19937_64 rng(static_cast<uint64_t>(nTags));
+  const std::vector<double> probs(static_cast<size_t>(nTags), 0.9);
+  std::vector<int> counts(static_cast<size_t>(nTags), 0);
+  double t = 0.0;
+  while (t < 20.0) {
+    const RoundResult r = engine.runRound(t, probs, rng);
+    for (const InventoryRead& read : r.reads) counts[read.tagIndex]++;
+    t = std::max(r.endTimeS, t + 1e-9);
+  }
+  for (int i = 0; i < nTags; ++i) {
+    EXPECT_GT(counts[static_cast<size_t>(i)], 0) << "tag " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TagCounts, PopulationSweep,
+                         ::testing::Values(1, 2, 5, 16, 40));
+
+TEST(InventoryEngine, ReplyProbabilityShapesReadShare) {
+  InventoryEngine engine;
+  std::mt19937_64 rng(8);
+  const std::vector<double> probs{1.0, 0.25};
+  std::vector<int> counts{0, 0};
+  double t = 0.0;
+  while (t < 30.0) {
+    const RoundResult r = engine.runRound(t, probs, rng);
+    for (const InventoryRead& read : r.reads) counts[read.tagIndex]++;
+    t = std::max(r.endTimeS, t + 1e-9);
+  }
+  // The eager tag is read several times more often than the shy one.
+  EXPECT_GT(counts[0], counts[1] * 2);
+  EXPECT_GT(counts[1], 0);
+}
+
+TEST(InventoryEngine, Validation) {
+  Gen2Config bad;
+  bad.initialQ = 99.0;
+  EXPECT_THROW(InventoryEngine{bad}, std::invalid_argument);
+  Gen2Config bad2;
+  bad2.qStep = 0.0;
+  EXPECT_THROW(InventoryEngine{bad2}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tagspin::rfid

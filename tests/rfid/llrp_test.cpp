@@ -1,0 +1,100 @@
+#include "rfid/llrp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "geom/angles.hpp"
+#include "rf/constants.hpp"
+
+namespace tagspin::rfid::llrp {
+namespace {
+
+TagReport sample(uint32_t tag = 7) {
+  TagReport r;
+  r.epc = Epc::forSimulatedTag(tag);
+  r.timestampS = 12.345678;
+  r.phaseRad = 2.468;
+  r.rssiDbm = -53.21;
+  r.channelIndex = 11;
+  r.frequencyHz = rf::mhz(923.375);
+  r.antennaPort = 2;
+  return r;
+}
+
+TEST(Llrp, MessageSizeFixed) {
+  EXPECT_EQ(encodeReport(sample()).size(), kMessageSize);
+}
+
+TEST(Llrp, RoundTripWithinWireResolution) {
+  const TagReport r = sample();
+  const TagReport d = decodeReport(encodeReport(r));
+  EXPECT_EQ(d.epc, r.epc);
+  EXPECT_NEAR(d.timestampS, r.timestampS, 1e-6);       // microsecond clock
+  EXPECT_NEAR(d.phaseRad, r.phaseRad, phaseResolutionRad());
+  EXPECT_NEAR(d.rssiDbm, r.rssiDbm, 0.01);             // centi-dBm
+  EXPECT_EQ(d.channelIndex, r.channelIndex);
+  EXPECT_NEAR(d.frequencyHz, r.frequencyHz, 500.0);    // kHz resolution
+  EXPECT_EQ(d.antennaPort, r.antennaPort);
+}
+
+TEST(Llrp, PhaseQuantisationIsTwelveBits) {
+  EXPECT_NEAR(phaseResolutionRad(), geom::kTwoPi / 4096.0, 1e-15);
+  TagReport r = sample();
+  r.phaseRad = phaseResolutionRad() * 0.4;  // rounds down to bin 0
+  EXPECT_NEAR(decodeReport(encodeReport(r)).phaseRad, 0.0, 1e-12);
+  r.phaseRad = phaseResolutionRad() * 0.6;  // rounds up to bin 1
+  EXPECT_NEAR(decodeReport(encodeReport(r)).phaseRad, phaseResolutionRad(),
+              1e-12);
+}
+
+TEST(Llrp, PhaseWrapHandled) {
+  TagReport r = sample();
+  r.phaseRad = geom::kTwoPi - 1e-9;  // quantises to bin 4096 == bin 0
+  const TagReport d = decodeReport(encodeReport(r));
+  EXPECT_NEAR(d.phaseRad, 0.0, 1e-9);
+  r.phaseRad = -1.0;  // encoder wraps negatives
+  EXPECT_NEAR(decodeReport(encodeReport(r)).phaseRad,
+              geom::kTwoPi - 1.0, phaseResolutionRad());
+}
+
+TEST(Llrp, NegativeRssiSurvives) {
+  TagReport r = sample();
+  r.rssiDbm = -84.37;
+  EXPECT_NEAR(decodeReport(encodeReport(r)).rssiDbm, -84.37, 0.01);
+}
+
+TEST(Llrp, StreamRoundTrip) {
+  ReportStream stream;
+  for (uint32_t i = 0; i < 20; ++i) {
+    TagReport r = sample(i);
+    r.timestampS = 0.01 * i;
+    stream.push_back(r);
+  }
+  const ReportStream decoded = decodeStream(encodeStream(stream));
+  ASSERT_EQ(decoded.size(), stream.size());
+  for (size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(decoded[i].epc, stream[i].epc);
+    EXPECT_NEAR(decoded[i].timestampS, stream[i].timestampS, 1e-6);
+  }
+}
+
+TEST(Llrp, RejectsMalformedInput) {
+  std::vector<uint8_t> msg = encodeReport(sample());
+  EXPECT_THROW(decodeReport(std::span<const uint8_t>(msg).first(10)),
+               std::invalid_argument);
+  msg[0] = 0xFF;  // wrong type
+  EXPECT_THROW(decodeReport(msg), std::invalid_argument);
+
+  std::vector<uint8_t> stream = encodeStream({sample()});
+  stream.pop_back();  // not a whole message
+  EXPECT_THROW(decodeStream(stream), std::invalid_argument);
+}
+
+TEST(Llrp, EmptyStream) {
+  EXPECT_TRUE(encodeStream({}).empty());
+  EXPECT_TRUE(decodeStream({}).empty());
+}
+
+}  // namespace
+}  // namespace tagspin::rfid::llrp

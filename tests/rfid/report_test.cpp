@@ -1,0 +1,93 @@
+#include "rfid/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "rf/constants.hpp"
+#include "rfid/reader.hpp"
+
+namespace tagspin::rfid {
+namespace {
+
+TagReport makeReport(uint32_t tagIndex, double t, int antenna = 0) {
+  TagReport r;
+  r.epc = Epc::forSimulatedTag(tagIndex);
+  r.timestampS = t;
+  r.phaseRad = 1.234567;
+  r.rssiDbm = -52.5;
+  r.channelIndex = 3;
+  r.frequencyHz = rf::mhz(921.375);
+  r.antennaPort = antenna;
+  return r;
+}
+
+TEST(TagReport, WavelengthFromFrequency) {
+  const TagReport r = makeReport(1, 0.0);
+  EXPECT_NEAR(r.wavelengthM(), 0.3254, 5e-4);
+  TagReport bad = r;
+  bad.frequencyHz = 0.0;
+  EXPECT_THROW(bad.wavelengthM(), std::logic_error);
+}
+
+TEST(TagReport, CsvRoundTrip) {
+  const TagReport r = makeReport(42, 12.3456789, 2);
+  const TagReport parsed = fromCsvLine(toCsvLine(r));
+  EXPECT_EQ(parsed.epc, r.epc);
+  EXPECT_NEAR(parsed.timestampS, r.timestampS, 1e-9);
+  EXPECT_NEAR(parsed.phaseRad, r.phaseRad, 1e-9);
+  EXPECT_NEAR(parsed.rssiDbm, r.rssiDbm, 1e-3);
+  EXPECT_EQ(parsed.channelIndex, r.channelIndex);
+  EXPECT_NEAR(parsed.frequencyHz, r.frequencyHz, 0.5);
+  EXPECT_EQ(parsed.antennaPort, r.antennaPort);
+}
+
+TEST(TagReport, CsvRejectsGarbage) {
+  EXPECT_THROW(fromCsvLine("not,a,report"), std::invalid_argument);
+  EXPECT_THROW(fromCsvLine(""), std::invalid_argument);
+}
+
+TEST(TagReport, CsvHeaderFieldCountMatchesLine) {
+  const std::string header = csvHeader();
+  const std::string line = toCsvLine(makeReport(1, 1.0));
+  const auto commas = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  EXPECT_EQ(commas(header), commas(line));
+}
+
+TEST(Filters, ByEpcAndAntenna) {
+  ReportStream all;
+  all.push_back(makeReport(1, 0.0, 0));
+  all.push_back(makeReport(2, 0.1, 0));
+  all.push_back(makeReport(1, 0.2, 1));
+  all.push_back(makeReport(1, 0.3, 0));
+
+  const ReportStream tag1 = filterByEpc(all, Epc::forSimulatedTag(1));
+  EXPECT_EQ(tag1.size(), 3u);
+  const ReportStream port1 = filterByAntenna(all, 1);
+  ASSERT_EQ(port1.size(), 1u);
+  EXPECT_DOUBLE_EQ(port1[0].timestampS, 0.2);
+  EXPECT_TRUE(filterByEpc(all, Epc::forSimulatedTag(9)).empty());
+}
+
+TEST(ReaderDevice, MakeWithAntennas) {
+  const ReaderDevice dev = ReaderDevice::makeWithAntennas(4);
+  EXPECT_EQ(dev.antennaCount(), 4);
+  // Distinct port phases (the diversity the antennas contribute).
+  EXPECT_NE(dev.antenna(0).cableAndPortPhase,
+            dev.antenna(3).cableAndPortPhase);
+  EXPECT_THROW(ReaderDevice::makeWithAntennas(0), std::invalid_argument);
+  EXPECT_THROW(ReaderDevice::makeWithAntennas(5), std::invalid_argument);
+  EXPECT_THROW(dev.antenna(4), std::out_of_range);
+}
+
+TEST(ReaderDevice, DefaultUsesChinaBand) {
+  const ReaderDevice dev = ReaderDevice::makeDefault();
+  EXPECT_EQ(dev.plan.channelCount(), 16);
+  EXPECT_DOUBLE_EQ(dev.hopDwellS, 2.0);
+}
+
+}  // namespace
+}  // namespace tagspin::rfid

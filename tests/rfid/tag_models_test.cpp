@@ -1,0 +1,58 @@
+#include "rfid/tag_models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tagspin::rfid {
+namespace {
+
+TEST(TagModels, FiveModelsInTableOrder) {
+  const auto models = allTagModels();
+  ASSERT_EQ(models.size(), 5u);
+  EXPECT_EQ(models[0].id, TagModelId::kSquig);
+  EXPECT_EQ(models[1].id, TagModelId::kSquare);
+  EXPECT_EQ(models[2].id, TagModelId::kSquiglette);
+  EXPECT_EQ(models[3].id, TagModelId::kTwoByTwo);
+  EXPECT_EQ(models[4].id, TagModelId::kShort);
+}
+
+TEST(TagModels, AllFromAlienWithHiggsChips) {
+  for (const TagModel& m : allTagModels()) {
+    EXPECT_EQ(m.company, "Alien");
+    EXPECT_TRUE(m.chip.find("Higgs") != std::string::npos) << m.name;
+  }
+}
+
+TEST(TagModels, PhysicallySensibleParameters) {
+  for (const TagModel& m : allTagModels()) {
+    EXPECT_GT(m.widthMm, 0.0);
+    EXPECT_GT(m.heightMm, 0.0);
+    EXPECT_GT(m.tableQuantity, 0);
+    // Orientation amplitude near the paper's ~0.7 rad figure.
+    EXPECT_GT(m.orientationAmplitude, 0.4) << m.name;
+    EXPECT_LT(m.orientationAmplitude, 1.0) << m.name;
+    EXPECT_GT(m.gainExponent, 0.0);
+    EXPECT_LT(std::abs(m.sensitivityOffsetDb), 6.0);
+  }
+}
+
+TEST(TagModels, FleetAverageNearPaperAmplitude) {
+  double acc = 0.0;
+  for (const TagModel& m : allTagModels()) acc += m.orientationAmplitude;
+  EXPECT_NEAR(acc / 5.0, 0.7, 0.07);
+}
+
+TEST(TagModels, LookupById) {
+  EXPECT_EQ(tagModel(TagModelId::kShort).chip, "Higgs-4");
+  EXPECT_EQ(tagModel(TagModelId::kSquig).name, "Squig (AZ-9640)");
+}
+
+TEST(TagModels, DistinctNames) {
+  std::set<std::string> names;
+  for (const TagModel& m : allTagModels()) names.insert(m.name);
+  EXPECT_EQ(names.size(), 5u);
+}
+
+}  // namespace
+}  // namespace tagspin::rfid

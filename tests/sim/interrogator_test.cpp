@@ -1,0 +1,150 @@
+#include "sim/interrogator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "geom/angles.hpp"
+#include "sim/scenario.hpp"
+
+namespace tagspin::sim {
+namespace {
+
+World defaultWorld(uint64_t seed = 1) {
+  ScenarioConfig sc;
+  sc.seed = seed;
+  World w = makeTwoRigWorld(sc);
+  placeReaderAntenna(w, 0, {0.8, 2.0, 0.0});
+  return w;
+}
+
+TEST(Interrogator, ProducesSortedReports) {
+  const rfid::ReportStream reports =
+      interrogate(defaultWorld(), {10.0, 0, 0});
+  ASSERT_GT(reports.size(), 100u);
+  for (size_t i = 1; i < reports.size(); ++i) {
+    EXPECT_LE(reports[i - 1].timestampS, reports[i].timestampS);
+  }
+  EXPECT_LE(reports.back().timestampS, 10.0 + 0.1);
+}
+
+TEST(Interrogator, DeterministicForSameStream) {
+  const rfid::ReportStream a = interrogate(defaultWorld(), {5.0, 0, 3});
+  const rfid::ReportStream b = interrogate(defaultWorld(), {5.0, 0, 3});
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].epc, b[i].epc);
+    EXPECT_DOUBLE_EQ(a[i].timestampS, b[i].timestampS);
+    EXPECT_DOUBLE_EQ(a[i].phaseRad, b[i].phaseRad);
+  }
+}
+
+TEST(Interrogator, DifferentStreamsDiffer) {
+  const rfid::ReportStream a = interrogate(defaultWorld(), {5.0, 0, 1});
+  const rfid::ReportStream b = interrogate(defaultWorld(), {5.0, 0, 2});
+  // Some phase somewhere must differ.
+  bool differ = a.size() != b.size();
+  for (size_t i = 0; !differ && i < a.size(); ++i) {
+    differ = a[i].phaseRad != b[i].phaseRad;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Interrogator, BothRigTagsHeard) {
+  const World w = defaultWorld();
+  const rfid::ReportStream reports = interrogate(w, {10.0, 0, 0});
+  std::map<rfid::Epc, int> counts;
+  for (const rfid::TagReport& r : reports) counts[r.epc]++;
+  EXPECT_EQ(counts.size(), 2u);
+  for (const RigTag& rt : w.rigs) {
+    EXPECT_GT(counts[rt.tag.epc], 100) << rt.tag.epc.toHex();
+  }
+}
+
+TEST(Interrogator, ChannelMetadataConsistent) {
+  const World w = defaultWorld();
+  const rfid::ReportStream reports = interrogate(w, {8.0, 0, 0});
+  for (const rfid::TagReport& r : reports) {
+    EXPECT_GE(r.channelIndex, 0);
+    EXPECT_LT(r.channelIndex, w.reader.plan.channelCount());
+    EXPECT_DOUBLE_EQ(r.frequencyHz,
+                     w.reader.plan.frequencyHz(r.channelIndex));
+    EXPECT_EQ(r.antennaPort, 0);
+  }
+}
+
+TEST(Interrogator, HoppingChangesChannelOverTime) {
+  const World w = defaultWorld();  // 16-channel plan, 2 s dwell
+  const rfid::ReportStream reports = interrogate(w, {10.0, 0, 0});
+  std::map<int, int> channels;
+  for (const rfid::TagReport& r : reports) channels[r.channelIndex]++;
+  EXPECT_GE(channels.size(), 4u);  // ~5 dwell slots in 10 s
+}
+
+TEST(Interrogator, FixedChannelStaysPut) {
+  ScenarioConfig sc;
+  sc.fixedChannel = true;
+  World w = makeTwoRigWorld(sc);
+  placeReaderAntenna(w, 0, {0.8, 2.0, 0.0});
+  const rfid::ReportStream reports = interrogate(w, {5.0, 0, 0});
+  for (const rfid::TagReport& r : reports) {
+    EXPECT_EQ(r.channelIndex, 0);
+  }
+}
+
+TEST(Interrogator, SamplingDensityFollowsOrientation) {
+  // Paper Fig. 4(b): more reads when the tag plane faces the reader.
+  // Compare read counts in orientation bins over many revolutions.
+  ScenarioConfig sc;
+  sc.fixedChannel = true;
+  World w = makeTwoRigWorld(sc);
+  w.rigs.resize(1);
+  const geom::Vec3 reader{0.0, 2.5, 0.0};
+  placeReaderAntenna(w, 0, reader);
+  const rfid::ReportStream reports = interrogate(w, {60.0, 0, 0});
+
+  int favorable = 0, unfavorable = 0;
+  for (const rfid::TagReport& r : reports) {
+    const double rho = w.rigs[0].rig.orientationRho(r.timestampS, reader);
+    const double s = std::abs(std::sin(rho));
+    if (s > 0.9) ++favorable;
+    if (s < 0.45) ++unfavorable;
+  }
+  ASSERT_GT(favorable + unfavorable, 100);
+  // The favorable band covers ~29% of the circle, the unfavorable ~30%,
+  // so the raw counts are comparable if density were uniform.
+  EXPECT_GT(favorable, unfavorable * 3 / 2);
+}
+
+TEST(Interrogator, ReplyProbabilityHelper) {
+  EXPECT_DOUBLE_EQ(replyProbability(1.0, 0.0), 1.0);
+  EXPECT_NEAR(replyProbability(0.5, 0.0), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(replyProbability(0.0, 0.0), 0.05);  // clamped floor
+  EXPECT_GT(replyProbability(0.5, 3.0), replyProbability(0.5, 0.0));
+  EXPECT_DOUBLE_EQ(replyProbability(1.0, 10.0), 1.0);  // clamped ceiling
+}
+
+TEST(Interrogator, ValidatesWorld) {
+  World w = defaultWorld();
+  w.rigs.clear();
+  EXPECT_THROW(interrogate(w, {1.0, 0, 0}), std::logic_error);
+}
+
+TEST(Interrogator, AntennaPortSelectsPosition) {
+  ScenarioConfig sc;
+  sc.antennaCount = 2;
+  World w = makeTwoRigWorld(sc);
+  placeReaderAntenna(w, 0, {0.5, 1.5, 0.0});
+  placeReaderAntenna(w, 1, {-0.5, 3.0, 0.0});
+  const rfid::ReportStream near = interrogate(w, {5.0, 0, 0});
+  const rfid::ReportStream far = interrogate(w, {5.0, 1, 0});
+  double rssiNear = 0.0, rssiFar = 0.0;
+  for (const auto& r : near) rssiNear += r.rssiDbm;
+  for (const auto& r : far) rssiFar += r.rssiDbm;
+  // The closer antenna hears stronger signals on average.
+  EXPECT_GT(rssiNear / static_cast<double>(near.size()),
+            rssiFar / static_cast<double>(far.size()));
+}
+
+}  // namespace
+}  // namespace tagspin::sim

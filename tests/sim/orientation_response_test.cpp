@@ -1,0 +1,112 @@
+#include "sim/orientation_response.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "geom/angles.hpp"
+
+namespace tagspin::sim {
+namespace {
+
+TEST(OrientationResponse, IdealHasNoEffect) {
+  const OrientationResponse ideal = OrientationResponse::ideal();
+  for (double rho = 0.0; rho < geom::kTwoPi; rho += 0.1) {
+    EXPECT_DOUBLE_EQ(ideal.offset(rho), 0.0);
+  }
+  EXPECT_DOUBLE_EQ(ideal.peakToPeak(), 0.0);
+}
+
+// Per-model sweep: the per-instance peak-to-peak stays within the model's
+// nominal amplitude +-15% jitter band (the paper's "various amplitude...
+// but the holistic changing pattern is almost the same").
+class ModelSweep : public ::testing::TestWithParam<rfid::TagModelId> {};
+
+TEST_P(ModelSweep, PeakToPeakTracksModelAmplitude) {
+  const rfid::TagModel& model = rfid::tagModel(GetParam());
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const OrientationResponse resp =
+        OrientationResponse::forTag(model, seed);
+    EXPECT_GE(resp.peakToPeak(), model.orientationAmplitude * 0.80);
+    EXPECT_LE(resp.peakToPeak(), model.orientationAmplitude * 1.20);
+  }
+}
+
+TEST_P(ModelSweep, ShapeStableAcrossInstances) {
+  // Normalised responses of two instances of the same model correlate
+  // strongly (same harmonic structure, only amplitude/phase jitter).
+  const rfid::TagModel& model = rfid::tagModel(GetParam());
+  const OrientationResponse a = OrientationResponse::forTag(model, 1);
+  const OrientationResponse b = OrientationResponse::forTag(model, 2);
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (int i = 0; i < 360; ++i) {
+    const double rho = geom::kTwoPi * i / 360.0;
+    dot += a.offset(rho) * b.offset(rho);
+    na += a.offset(rho) * a.offset(rho);
+    nb += b.offset(rho) * b.offset(rho);
+  }
+  EXPECT_GT(dot / std::sqrt(na * nb), 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelSweep,
+                         ::testing::Values(rfid::TagModelId::kSquig,
+                                           rfid::TagModelId::kSquare,
+                                           rfid::TagModelId::kSquiglette,
+                                           rfid::TagModelId::kTwoByTwo,
+                                           rfid::TagModelId::kShort));
+
+TEST(OrientationResponse, DeterministicPerSeed) {
+  const rfid::TagModel& model = rfid::tagModel(rfid::TagModelId::kSquig);
+  const OrientationResponse a = OrientationResponse::forTag(model, 5);
+  const OrientationResponse b = OrientationResponse::forTag(model, 5);
+  for (double rho = 0.0; rho < geom::kTwoPi; rho += 0.5) {
+    EXPECT_DOUBLE_EQ(a.offset(rho), b.offset(rho));
+  }
+}
+
+TEST(OrientationResponse, InstancesDiffer) {
+  const rfid::TagModel& model = rfid::tagModel(rfid::TagModelId::kSquig);
+  const OrientationResponse a = OrientationResponse::forTag(model, 5);
+  const OrientationResponse b = OrientationResponse::forTag(model, 6);
+  bool anyDifferent = false;
+  for (double rho = 0.0; rho < geom::kTwoPi; rho += 0.5) {
+    if (std::abs(a.offset(rho) - b.offset(rho)) > 1e-6) anyDifferent = true;
+  }
+  EXPECT_TRUE(anyDifferent);
+}
+
+TEST(OrientationResponse, ZeroMeanByConstruction) {
+  // The response has no constant term (constants belong to theta_div).
+  const rfid::TagModel& model = rfid::tagModel(rfid::TagModelId::kShort);
+  const OrientationResponse resp = OrientationResponse::forTag(model, 3);
+  double mean = 0.0;
+  const int n = 720;
+  for (int i = 0; i < n; ++i) {
+    mean += resp.offset(geom::kTwoPi * i / n);
+  }
+  EXPECT_NEAR(mean / n, 0.0, 1e-9);
+}
+
+TEST(OrientationResponse, EvenHarmonicsDominate) {
+  // Project onto cos/sin of the first three harmonics: the 2nd harmonic
+  // carries most of the energy (pi-rotation near-symmetry of a tag).
+  const rfid::TagModel& model = rfid::tagModel(rfid::TagModelId::kSquig);
+  const OrientationResponse resp = OrientationResponse::forTag(model, 11);
+  double power[4] = {0, 0, 0, 0};
+  const int n = 720;
+  for (int k = 1; k <= 3; ++k) {
+    double c = 0.0, s = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double rho = geom::kTwoPi * i / n;
+      c += resp.offset(rho) * std::cos(k * rho);
+      s += resp.offset(rho) * std::sin(k * rho);
+    }
+    power[k] = (c * c + s * s);
+  }
+  EXPECT_GT(power[2], power[1]);
+  EXPECT_GT(power[2], power[3]);
+}
+
+}  // namespace
+}  // namespace tagspin::sim

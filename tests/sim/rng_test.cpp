@@ -1,0 +1,42 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tagspin::sim {
+namespace {
+
+TEST(Rng, SplitmixIsDeterministic) {
+  EXPECT_EQ(splitmix64(42), splitmix64(42));
+  EXPECT_NE(splitmix64(42), splitmix64(43));
+}
+
+TEST(Rng, DeriveSeedSeparatesStreams) {
+  std::set<uint64_t> seeds;
+  for (uint64_t base = 0; base < 20; ++base) {
+    for (uint64_t stream = 0; stream < 20; ++stream) {
+      seeds.insert(deriveSeed(base, stream));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 400u);  // no collisions in this small grid
+}
+
+TEST(Rng, DeriveSeedIsStable) {
+  EXPECT_EQ(deriveSeed(7, 9), deriveSeed(7, 9));
+}
+
+TEST(Rng, MakeRngReproducible) {
+  auto a = makeRng(deriveSeed(1, 2));
+  auto b = makeRng(deriveSeed(1, 2));
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, ConstexprUsable) {
+  constexpr uint64_t s = deriveSeed(1, 2);
+  static_assert(s != 0);
+  EXPECT_NE(s, 0u);
+}
+
+}  // namespace
+}  // namespace tagspin::sim

@@ -1,0 +1,131 @@
+#include "sim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geom/angles.hpp"
+
+namespace tagspin::sim {
+namespace {
+
+TEST(Scenario, TwoRigWorldLayout) {
+  ScenarioConfig sc;
+  sc.centerSpacingM = 0.4;
+  const World w = makeTwoRigWorld(sc);
+  ASSERT_EQ(w.rigs.size(), 2u);
+  EXPECT_NEAR(w.rigs[0].rig.center.x, -0.2, 1e-12);
+  EXPECT_NEAR(w.rigs[1].rig.center.x, 0.2, 1e-12);
+  EXPECT_DOUBLE_EQ(w.rigs[0].rig.center.y, 0.0);
+  EXPECT_DOUBLE_EQ(w.rigs[0].rig.radiusM, sc.rigRadiusM);
+  EXPECT_NE(w.rigs[0].tag.epc, w.rigs[1].tag.epc);
+  EXPECT_NO_THROW(w.validate());
+}
+
+TEST(Scenario, RigPlaneHeightApplied) {
+  ScenarioConfig sc;
+  sc.rigPlaneZ = 0.095;
+  const World w = makeTwoRigWorld(sc);
+  EXPECT_DOUBLE_EQ(w.rigs[0].rig.center.z, 0.095);
+  EXPECT_DOUBLE_EQ(w.rigs[1].rig.center.z, 0.095);
+}
+
+TEST(Scenario, CenterSpinWorldHasZeroRadius) {
+  ScenarioConfig sc;
+  const World w = makeCenterSpinWorld(sc);
+  ASSERT_EQ(w.rigs.size(), 1u);
+  EXPECT_DOUBLE_EQ(w.rigs[0].rig.radiusM, 0.0);
+  EXPECT_GT(w.rigs[0].rig.omegaRadPerS, 0.0);
+}
+
+TEST(Scenario, FixedChannelOption) {
+  ScenarioConfig sc;
+  sc.fixedChannel = true;
+  const World w = makeTwoRigWorld(sc);
+  EXPECT_EQ(w.reader.plan.channelCount(), 1);
+  ScenarioConfig hopping;
+  const World wh = makeTwoRigWorld(hopping);
+  EXPECT_EQ(wh.reader.plan.channelCount(), 16);
+}
+
+TEST(Scenario, MultipathToggle) {
+  ScenarioConfig with;
+  with.multipath = true;
+  EXPECT_FALSE(makeTwoRigWorld(with).channel.scatterers().empty());
+  ScenarioConfig without;
+  without.multipath = false;
+  EXPECT_TRUE(makeTwoRigWorld(without).channel.scatterers().empty());
+}
+
+TEST(Scenario, SameSeedSameWorld) {
+  ScenarioConfig sc;
+  sc.seed = 42;
+  const World a = makeTwoRigWorld(sc);
+  const World b = makeTwoRigWorld(sc);
+  EXPECT_DOUBLE_EQ(a.rigs[0].tag.hardwarePhase, b.rigs[0].tag.hardwarePhase);
+  ASSERT_EQ(a.channel.scatterers().size(), b.channel.scatterers().size());
+  for (size_t i = 0; i < a.channel.scatterers().size(); ++i) {
+    EXPECT_EQ(a.channel.scatterers()[i].position,
+              b.channel.scatterers()[i].position);
+  }
+}
+
+TEST(Scenario, PlaceReaderAntennaSetsBoresight) {
+  ScenarioConfig sc;
+  World w = makeTwoRigWorld(sc);
+  placeReaderAntenna(w, 0, {0.0, 2.0, 0.0});
+  EXPECT_EQ(w.antennaPosition(0), (geom::Vec3{0.0, 2.0, 0.0}));
+  // Boresight points from the antenna toward the rigs (the -y direction).
+  EXPECT_NEAR(geom::circularDistance(
+                  w.reader.antennas[0].boresightAzimuth, -geom::kPi / 2.0),
+              0.0, 0.2);
+  EXPECT_THROW(placeReaderAntenna(w, 7, {0, 0, 0}), std::out_of_range);
+}
+
+TEST(Scenario, ReferenceGridCoversRegion) {
+  ScenarioConfig sc;
+  World w = makeTwoRigWorld(sc);
+  const Region region{};
+  addReferenceGrid(w, region, 0.6, 0.0);
+  ASSERT_GT(w.statics.size(), 20u);
+  for (const StaticTag& st : w.statics) {
+    EXPECT_GE(st.position.x, -region.halfWidthX - 1e-9);
+    EXPECT_LE(st.position.x, region.halfWidthX + 1e-9);
+    EXPECT_GE(st.position.y, region.yMin - 1e-9);
+    EXPECT_LE(st.position.y, region.yMax + 1e-9);
+  }
+  // Distinct EPCs, distinct from the rig tags.
+  for (const StaticTag& st : w.statics) {
+    EXPECT_NE(st.tag.epc, w.rigs[0].tag.epc);
+    EXPECT_NE(st.tag.epc, w.rigs[1].tag.epc);
+  }
+}
+
+TEST(Scenario, AddVerticalRig) {
+  ScenarioConfig sc;
+  World w = makeTwoRigWorld(sc);
+  addVerticalRig(w, {0.0, 0.4, 0.0}, sc);
+  ASSERT_EQ(w.rigs.size(), 3u);
+  EXPECT_EQ(w.rigs[2].rig.plane, SpinningRig::Plane::kVerticalXZ);
+  EXPECT_NE(w.rigs[2].tag.epc, w.rigs[0].tag.epc);
+}
+
+TEST(Region, SampleWithinBounds) {
+  const Region region{};
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const geom::Vec3 p2 = region.sample(rng, false);
+    EXPECT_GE(p2.x, -region.halfWidthX);
+    EXPECT_LE(p2.x, region.halfWidthX);
+    EXPECT_GE(p2.y, region.yMin);
+    EXPECT_LE(p2.y, region.yMax);
+    EXPECT_DOUBLE_EQ(p2.z, 0.0);
+
+    const geom::Vec3 p3 = region.sample(rng, true);
+    EXPECT_GE(p3.z, 0.0);
+    EXPECT_LE(p3.z, region.zMax);
+  }
+}
+
+}  // namespace
+}  // namespace tagspin::sim

@@ -1,0 +1,115 @@
+#include "sim/spinning_rig.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/angles.hpp"
+
+namespace tagspin::sim {
+namespace {
+
+SpinningRig makeRig() {
+  SpinningRig rig;
+  rig.center = {0.4, 0.0, 0.1};
+  rig.radiusM = 0.10;
+  rig.omegaRadPerS = 0.5;
+  rig.initialAngle = 0.3;
+  return rig;
+}
+
+TEST(SpinningRig, DiskAngleLinearInTime) {
+  const SpinningRig rig = makeRig();
+  EXPECT_DOUBLE_EQ(rig.diskAngle(0.0), 0.3);
+  EXPECT_DOUBLE_EQ(rig.diskAngle(2.0), 0.3 + 1.0);
+}
+
+TEST(SpinningRig, TagStaysOnTheCircle) {
+  const SpinningRig rig = makeRig();
+  for (double t = 0.0; t < 20.0; t += 0.7) {
+    const geom::Vec3 p = rig.tagPosition(t);
+    EXPECT_NEAR(geom::distance(p, rig.center), rig.radiusM, 1e-12);
+    EXPECT_DOUBLE_EQ(p.z, rig.center.z);  // horizontal rig stays in plane
+  }
+}
+
+TEST(SpinningRig, PeriodMatchesOmega) {
+  const SpinningRig rig = makeRig();
+  EXPECT_NEAR(rig.periodS(), geom::kTwoPi / 0.5, 1e-12);
+  const geom::Vec3 p0 = rig.tagPosition(1.0);
+  const geom::Vec3 p1 = rig.tagPosition(1.0 + rig.periodS());
+  EXPECT_NEAR(geom::distance(p0, p1), 0.0, 1e-9);
+}
+
+TEST(SpinningRig, ZeroRadiusStaysAtCenter) {
+  SpinningRig rig = makeRig();
+  rig.radiusM = 0.0;
+  for (double t = 0.0; t < 10.0; t += 1.1) {
+    EXPECT_EQ(rig.tagPosition(t), rig.center);
+  }
+}
+
+TEST(SpinningRig, TagPlaneAngleRotatesWithDisk) {
+  const SpinningRig rig = makeRig();
+  const double a0 = rig.tagPlaneAngle(0.0);
+  const double a1 = rig.tagPlaneAngle(1.0);
+  EXPECT_NEAR(geom::circularDiff(a1, a0), 0.5, 1e-12);
+}
+
+TEST(SpinningRig, OrientationRhoGeometry) {
+  // Tag at disk angle 0 (position +x of center, tangential plane = +y).
+  SpinningRig rig = makeRig();
+  rig.initialAngle = 0.0;
+  // Reader due +y of the tag: tag plane points straight at it -> rho = 0.
+  const geom::Vec3 tag = rig.tagPosition(0.0);
+  const geom::Vec3 readerAhead{tag.x, tag.y + 2.0, tag.z};
+  EXPECT_NEAR(geom::wrapToPi(rig.orientationRho(0.0, readerAhead)), 0.0,
+              1e-9);
+  // Reader due +x of the tag: rho = pi/2 (plane perpendicular to LoS).
+  const geom::Vec3 readerSide{tag.x + 2.0, tag.y, tag.z};
+  EXPECT_NEAR(rig.orientationRho(0.0, readerSide), geom::kPi / 2.0, 1e-9);
+}
+
+TEST(SpinningRig, RhoSweepsFullCircleOverOneRevolution) {
+  const SpinningRig rig = makeRig();
+  const geom::Vec3 reader{0.4, 3.0, 0.1};
+  const double rho0 = rig.orientationRho(0.0, reader);
+  const double rhoHalf =
+      rig.orientationRho(rig.periodS() / 2.0, reader);
+  EXPECT_NEAR(geom::circularDistance(rho0 + geom::kPi, rhoHalf), 0.0, 0.1);
+}
+
+TEST(SpinningRig, VerticalRigSpinsInXZ) {
+  SpinningRig rig = makeRig();
+  rig.plane = SpinningRig::Plane::kVerticalXZ;
+  for (double t = 0.0; t < 15.0; t += 0.9) {
+    const geom::Vec3 p = rig.tagPosition(t);
+    EXPECT_DOUBLE_EQ(p.y, rig.center.y);  // y frozen
+    EXPECT_NEAR(geom::distance(p, rig.center), rig.radiusM, 1e-12);
+  }
+  // Over a revolution the tag visits above and below the center.
+  double zMin = 1e9, zMax = -1e9;
+  for (double t = 0.0; t < rig.periodS(); t += 0.05) {
+    zMin = std::min(zMin, rig.tagPosition(t).z);
+    zMax = std::max(zMax, rig.tagPosition(t).z);
+  }
+  EXPECT_NEAR(zMin, rig.center.z - rig.radiusM, 1e-4);
+  EXPECT_NEAR(zMax, rig.center.z + rig.radiusM, 1e-4);
+}
+
+TEST(SpinningRig, FarFieldDistanceApproximation) {
+  // d(t) ~ D - r cos(a - phi): the paper's Eqn. 2, accurate to r^2/D.
+  const SpinningRig rig = makeRig();
+  const geom::Vec3 reader{1.5, 2.2, 0.1};
+  const double D = geom::distance(rig.center, reader);
+  const double phi = geom::azimuthOf(rig.center, reader);
+  for (double t = 0.0; t < rig.periodS(); t += 0.5) {
+    const double exact = geom::distance(rig.tagPosition(t), reader);
+    const double approx =
+        D - rig.radiusM * std::cos(rig.diskAngle(t) - phi);
+    EXPECT_NEAR(exact, approx, rig.radiusM * rig.radiusM / D * 1.5);
+  }
+}
+
+}  // namespace
+}  // namespace tagspin::sim

@@ -1,0 +1,109 @@
+#include "sim/world.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "geom/angles.hpp"
+#include "sim/scenario.hpp"
+
+namespace tagspin::sim {
+namespace {
+
+TEST(TagInstance, MakeIsDeterministic) {
+  const TagInstance a =
+      TagInstance::make(rfid::Epc::forSimulatedTag(1),
+                        rfid::TagModelId::kSquig, 77);
+  const TagInstance b =
+      TagInstance::make(rfid::Epc::forSimulatedTag(1),
+                        rfid::TagModelId::kSquig, 77);
+  EXPECT_EQ(a.epc, b.epc);
+  EXPECT_DOUBLE_EQ(a.hardwarePhase, b.hardwarePhase);
+  EXPECT_DOUBLE_EQ(a.orientation.offset(1.0), b.orientation.offset(1.0));
+}
+
+TEST(TagInstance, HardwarePhaseInRange) {
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    const TagInstance t = TagInstance::make(
+        rfid::Epc::forSimulatedTag(0), rfid::TagModelId::kSquare, seed);
+    EXPECT_GE(t.hardwarePhase, 0.0);
+    EXPECT_LT(t.hardwarePhase, geom::kTwoPi);
+  }
+}
+
+TEST(StaticTag, OrientationRho) {
+  StaticTag st;
+  st.position = {0.0, 0.0, 0.0};
+  st.planeAzimuth = geom::kPi / 2.0;
+  // Reader along +y: plane points at the reader, rho = 0.
+  EXPECT_NEAR(geom::wrapToPi(st.orientationRho({0.0, 2.0, 0.0})), 0.0, 1e-12);
+  // Reader along +x: rho = pi/2.
+  EXPECT_NEAR(st.orientationRho({2.0, 0.0, 0.0}), geom::kPi / 2.0, 1e-12);
+}
+
+TEST(World, TagIndexingRigsThenStatics) {
+  ScenarioConfig sc;
+  World w = makeTwoRigWorld(sc);
+  StaticTag st;
+  st.tag = TagInstance::make(rfid::Epc::forSimulatedTag(100),
+                             rfid::TagModelId::kSquig, 5);
+  st.position = {1.0, 1.0, 0.0};
+  w.statics.push_back(st);
+
+  EXPECT_EQ(w.tagCount(), 3);
+  EXPECT_EQ(w.tagAt(0).epc, w.rigs[0].tag.epc);
+  EXPECT_EQ(w.tagAt(1).epc, w.rigs[1].tag.epc);
+  EXPECT_EQ(w.tagAt(2).epc, st.tag.epc);
+  EXPECT_THROW(w.tagAt(3), std::out_of_range);
+  EXPECT_THROW(w.tagAt(-1), std::out_of_range);
+}
+
+TEST(World, TagPositionDispatch) {
+  ScenarioConfig sc;
+  World w = makeTwoRigWorld(sc);
+  StaticTag st;
+  st.tag = TagInstance::make(rfid::Epc::forSimulatedTag(100),
+                             rfid::TagModelId::kSquig, 5);
+  st.position = {1.0, 1.0, 0.3};
+  w.statics.push_back(st);
+
+  // Rig tags move; static tags don't.
+  EXPECT_NE(w.tagPositionAt(0, 0.0), w.tagPositionAt(0, 1.0));
+  EXPECT_EQ(w.tagPositionAt(2, 0.0), st.position);
+  EXPECT_EQ(w.tagPositionAt(2, 9.0), st.position);
+}
+
+TEST(World, AntennaPositionValidation) {
+  ScenarioConfig sc;
+  const World w = makeTwoRigWorld(sc);
+  EXPECT_NO_THROW(w.antennaPosition(0));
+  EXPECT_THROW(w.antennaPosition(1), std::out_of_range);
+  EXPECT_THROW(w.antennaPosition(-1), std::out_of_range);
+}
+
+TEST(World, ValidateCatchesInconsistencies) {
+  ScenarioConfig sc;
+  World ok = makeTwoRigWorld(sc);
+  EXPECT_NO_THROW(ok.validate());
+
+  World mismatched = ok;
+  mismatched.antennaPositions.clear();
+  EXPECT_THROW(mismatched.validate(), std::logic_error);
+
+  World empty = ok;
+  empty.rigs.clear();
+  EXPECT_THROW(empty.validate(), std::logic_error);
+
+  World stopped = ok;
+  stopped.rigs[0].rig.omegaRadPerS = 0.0;
+  EXPECT_THROW(stopped.validate(), std::logic_error);
+
+  // A stopped disk with the tag at the center is fine (static tag).
+  World centerStopped = ok;
+  centerStopped.rigs[0].rig.omegaRadPerS = 0.0;
+  centerStopped.rigs[0].rig.radiusM = 0.0;
+  EXPECT_NO_THROW(centerStopped.validate());
+}
+
+}  // namespace
+}  // namespace tagspin::sim

@@ -1,0 +1,229 @@
+// tagspin_cli -- the deployment workflow as a command-line tool.
+//
+//   tagspin_cli simulate --dir DIR [--seed N] [--duration S]
+//                        [--reader X,Y,Z] [--llrp]
+//       Simulate a two-rig deployment: writes DIR/deployment.txt (rig
+//       registry + fitted orientation models) and DIR/trace.csv (or
+//       trace.llrp with --llrp) for a reader at the given position.
+//
+//   tagspin_cli locate --deployment FILE --trace FILE [--three-d]
+//       Reload the deployment, ingest the trace (CSV or LLRP binary,
+//       by extension) and print the reader fix.
+//
+//   tagspin_cli inspect --trace FILE
+//       Per-tag read statistics of a trace.
+//
+// The locate path touches no simulator code: it is exactly what a server
+// attached to a real reader would run.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/serialization.hpp"
+#include "core/tagspin.hpp"
+#include "eval/runner.hpp"
+#include "geom/angles.hpp"
+#include "rfid/llrp.hpp"
+#include "sim/interrogator.hpp"
+#include "sim/scenario.hpp"
+
+using namespace tagspin;
+
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> named;
+  bool has(const std::string& k) const { return named.count(k) > 0; }
+  std::string get(const std::string& k, const std::string& fallback) const {
+    const auto it = named.find(k);
+    return it == named.end() ? fallback : it->second;
+  }
+};
+
+Args parseArgs(int argc, char** argv, int from) {
+  Args args;
+  for (int i = from; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      throw std::invalid_argument("expected --flag, got: " + key);
+    }
+    key = key.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.named[key] = argv[++i];
+    } else {
+      args.named[key] = "1";  // boolean flag
+    }
+  }
+  return args;
+}
+
+geom::Vec3 parseVec3(const std::string& s) {
+  geom::Vec3 v;
+  char c1 = 0, c2 = 0;
+  std::istringstream ss(s);
+  if (!(ss >> v.x >> c1 >> v.y >> c2 >> v.z) || c1 != ',' || c2 != ',') {
+    throw std::invalid_argument("expected X,Y,Z: " + s);
+  }
+  return v;
+}
+
+rfid::ReportStream loadTrace(const std::string& path) {
+  const bool llrp = path.size() > 5 &&
+                    path.compare(path.size() - 5, 5, ".llrp") == 0;
+  std::ifstream in(path, llrp ? std::ios::binary : std::ios::in);
+  if (!in) throw std::runtime_error("cannot open trace: " + path);
+  if (llrp) {
+    std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+    return rfid::llrp::decodeStream(bytes);
+  }
+  rfid::ReportStream reports;
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    if (!line.empty()) reports.push_back(rfid::fromCsvLine(line));
+  }
+  return reports;
+}
+
+int cmdSimulate(const Args& args) {
+  const std::string dir = args.get("dir", ".");
+  sim::ScenarioConfig sc;
+  sc.seed = std::stoull(args.get("seed", "1"));
+  sim::World world = sim::makeTwoRigWorld(sc);
+  const geom::Vec3 reader = parseVec3(args.get("reader", "0.8,2.0,0"));
+  sim::placeReaderAntenna(world, 0, reader);
+
+  std::printf("running the orientation-calibration prelude...\n");
+  const auto models = eval::runCalibrationPrelude(world, 60.0);
+
+  core::DeploymentFile deployment;
+  for (const sim::RigTag& rt : world.rigs) {
+    core::RigSpec spec;
+    spec.center = rt.rig.center;
+    spec.kinematics = {rt.rig.radiusM, rt.rig.omegaRadPerS,
+                       rt.rig.initialAngle, rt.rig.tagPlaneOffset};
+    deployment.rigs[rt.tag.epc] = spec;
+  }
+  deployment.orientationModels = models;
+  {
+    std::ofstream out(dir + "/deployment.txt");
+    if (!out) throw std::runtime_error("cannot write " + dir);
+    core::writeDeployment(out, deployment);
+  }
+
+  const double duration = std::stod(args.get("duration", "30"));
+  const rfid::ReportStream reports =
+      sim::interrogate(world, {duration, 0, 0});
+  if (args.has("llrp")) {
+    const auto bytes = rfid::llrp::encodeStream(reports);
+    std::ofstream out(dir + "/trace.llrp", std::ios::binary);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    std::printf("wrote %s/deployment.txt and %s/trace.llrp (%zu reports, "
+                "%zu bytes)\n", dir.c_str(), dir.c_str(), reports.size(),
+                bytes.size());
+  } else {
+    std::ofstream out(dir + "/trace.csv");
+    out << rfid::csvHeader() << "\n";
+    for (const rfid::TagReport& r : reports) {
+      out << rfid::toCsvLine(r) << "\n";
+    }
+    std::printf("wrote %s/deployment.txt and %s/trace.csv (%zu reports)\n",
+                dir.c_str(), dir.c_str(), reports.size());
+  }
+  std::printf("ground-truth reader position: (%.3f, %.3f, %.3f)\n", reader.x,
+              reader.y, reader.z);
+  return 0;
+}
+
+int cmdLocate(const Args& args) {
+  std::ifstream dep(args.get("deployment", "deployment.txt"));
+  if (!dep) throw std::runtime_error("cannot open deployment file");
+  const core::DeploymentFile deployment = core::readDeployment(dep);
+
+  core::TagspinSystem server;
+  for (const auto& [epc, rig] : deployment.rigs) {
+    server.registerRig(epc, rig);
+  }
+  for (const auto& [epc, rig] : deployment.verticalRigs) {
+    server.registerVerticalRig(epc, rig);
+  }
+  for (const auto& [epc, model] : deployment.orientationModels) {
+    server.setOrientationModel(epc, model);
+  }
+
+  const rfid::ReportStream reports = loadTrace(args.get("trace", "trace.csv"));
+  std::printf("%zu reports, %zu registered rigs\n", reports.size(),
+              server.rigCount());
+  if (args.has("three-d")) {
+    const core::Fix3D fix = server.locate3D(reports);
+    std::printf("fix: (%.3f, %.3f, %.3f) m\n", fix.position.x, fix.position.y,
+                fix.position.z);
+    if (fix.mirrorCandidate) {
+      std::printf("mirror candidate: (%.3f, %.3f, %.3f) m\n",
+                  fix.mirrorCandidate->x, fix.mirrorCandidate->y,
+                  fix.mirrorCandidate->z);
+    }
+  } else {
+    const core::Fix2D fix = server.locate2D(reports);
+    std::printf("fix: (%.3f, %.3f) m  [ray residual %.1f mm]\n",
+                fix.position.x, fix.position.y, fix.residualM * 1000.0);
+    for (size_t i = 0; i < fix.directions.size(); ++i) {
+      std::printf("  rig %zu: azimuth %.2f deg, confidence %.3f\n", i,
+                  geom::radToDeg(fix.directions[i].azimuth),
+                  fix.directions[i].peakValue);
+    }
+  }
+  return 0;
+}
+
+int cmdInspect(const Args& args) {
+  const rfid::ReportStream reports = loadTrace(args.get("trace", "trace.csv"));
+  if (reports.empty()) {
+    std::printf("empty trace\n");
+    return 0;
+  }
+  std::map<rfid::Epc, size_t> counts;
+  std::map<int, size_t> channels;
+  for (const rfid::TagReport& r : reports) {
+    counts[r.epc]++;
+    channels[r.channelIndex]++;
+  }
+  const double span =
+      reports.back().timestampS - reports.front().timestampS;
+  std::printf("%zu reports over %.1f s, %zu tags, %zu channels\n",
+              reports.size(), span, counts.size(), channels.size());
+  for (const auto& [epc, n] : counts) {
+    std::printf("  %s  %6zu reads (%.1f /s)\n", epc.toHex().c_str(), n,
+                span > 0 ? static_cast<double>(n) / span : 0.0);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: tagspin_cli <simulate|locate|inspect> [--flags]\n");
+    return 2;
+  }
+  try {
+    const std::string cmd = argv[1];
+    const Args args = parseArgs(argc, argv, 2);
+    if (cmd == "simulate") return cmdSimulate(args);
+    if (cmd == "locate") return cmdLocate(args);
+    if (cmd == "inspect") return cmdInspect(args);
+    std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
