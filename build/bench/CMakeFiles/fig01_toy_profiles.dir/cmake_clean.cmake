@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_toy_profiles.dir/fig01_toy_profiles.cpp.o"
+  "CMakeFiles/fig01_toy_profiles.dir/fig01_toy_profiles.cpp.o.d"
+  "fig01_toy_profiles"
+  "fig01_toy_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_toy_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_raw_phase.dir/fig03_raw_phase.cpp.o"
+  "CMakeFiles/fig03_raw_phase.dir/fig03_raw_phase.cpp.o.d"
+  "fig03_raw_phase"
+  "fig03_raw_phase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_raw_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

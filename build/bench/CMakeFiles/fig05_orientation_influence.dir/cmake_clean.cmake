@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_orientation_influence.dir/fig05_orientation_influence.cpp.o"
+  "CMakeFiles/fig05_orientation_influence.dir/fig05_orientation_influence.cpp.o.d"
+  "fig05_orientation_influence"
+  "fig05_orientation_influence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_orientation_influence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_profiles_2d.dir/fig06_profiles_2d.cpp.o"
+  "CMakeFiles/fig06_profiles_2d.dir/fig06_profiles_2d.cpp.o.d"
+  "fig06_profiles_2d"
+  "fig06_profiles_2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_profiles_2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

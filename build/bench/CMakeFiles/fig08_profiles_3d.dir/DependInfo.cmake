@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig08_profiles_3d.cpp" "bench/CMakeFiles/fig08_profiles_3d.dir/fig08_profiles_3d.cpp.o" "gcc" "bench/CMakeFiles/fig08_profiles_3d.dir/fig08_profiles_3d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/tagspin_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/tagspin_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tagspin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tagspin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rfid/CMakeFiles/tagspin_rfid.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/tagspin_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/tagspin_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/tagspin_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

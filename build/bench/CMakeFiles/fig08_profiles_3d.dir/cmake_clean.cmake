@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_profiles_3d.dir/fig08_profiles_3d.cpp.o"
+  "CMakeFiles/fig08_profiles_3d.dir/fig08_profiles_3d.cpp.o.d"
+  "fig08_profiles_3d"
+  "fig08_profiles_3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_profiles_3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_orientation_impact.dir/fig11_orientation_impact.cpp.o"
+  "CMakeFiles/fig11_orientation_impact.dir/fig11_orientation_impact.cpp.o.d"
+  "fig11_orientation_impact"
+  "fig11_orientation_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_orientation_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_parameters.dir/fig12_parameters.cpp.o"
+  "CMakeFiles/fig12_parameters.dir/fig12_parameters.cpp.o.d"
+  "fig12_parameters"
+  "fig12_parameters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

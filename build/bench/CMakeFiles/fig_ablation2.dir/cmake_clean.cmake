@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_ablation2.dir/fig_ablation2.cpp.o"
+  "CMakeFiles/fig_ablation2.dir/fig_ablation2.cpp.o.d"
+  "fig_ablation2"
+  "fig_ablation2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_ablation2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_ablation2.
+# This may be replaced when dependencies are built.

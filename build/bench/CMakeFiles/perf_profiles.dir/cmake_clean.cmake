@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_profiles.dir/perf_profiles.cpp.o"
+  "CMakeFiles/perf_profiles.dir/perf_profiles.cpp.o.d"
+  "perf_profiles"
+  "perf_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_tag_models.dir/table1_tag_models.cpp.o"
+  "CMakeFiles/table1_tag_models.dir/table1_tag_models.cpp.o.d"
+  "table1_tag_models"
+  "table1_tag_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_tag_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

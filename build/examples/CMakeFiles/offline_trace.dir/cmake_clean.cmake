@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_trace.dir/offline_trace.cpp.o"
+  "CMakeFiles/offline_trace.dir/offline_trace.cpp.o.d"
+  "offline_trace"
+  "offline_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

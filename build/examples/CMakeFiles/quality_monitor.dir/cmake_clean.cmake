@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quality_monitor.dir/quality_monitor.cpp.o"
+  "CMakeFiles/quality_monitor.dir/quality_monitor.cpp.o.d"
+  "quality_monitor"
+  "quality_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quality_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/three_d_calibration.dir/three_d_calibration.cpp.o"
+  "CMakeFiles/three_d_calibration.dir/three_d_calibration.cpp.o.d"
+  "three_d_calibration"
+  "three_d_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/three_d_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_deployment.dir/warehouse_deployment.cpp.o"
+  "CMakeFiles/warehouse_deployment.dir/warehouse_deployment.cpp.o.d"
+  "warehouse_deployment"
+  "warehouse_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

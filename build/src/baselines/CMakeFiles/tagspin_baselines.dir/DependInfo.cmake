@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/antloc.cpp" "src/baselines/CMakeFiles/tagspin_baselines.dir/antloc.cpp.o" "gcc" "src/baselines/CMakeFiles/tagspin_baselines.dir/antloc.cpp.o.d"
+  "/root/repo/src/baselines/backpos.cpp" "src/baselines/CMakeFiles/tagspin_baselines.dir/backpos.cpp.o" "gcc" "src/baselines/CMakeFiles/tagspin_baselines.dir/backpos.cpp.o.d"
+  "/root/repo/src/baselines/dtw.cpp" "src/baselines/CMakeFiles/tagspin_baselines.dir/dtw.cpp.o" "gcc" "src/baselines/CMakeFiles/tagspin_baselines.dir/dtw.cpp.o.d"
+  "/root/repo/src/baselines/landmarc.cpp" "src/baselines/CMakeFiles/tagspin_baselines.dir/landmarc.cpp.o" "gcc" "src/baselines/CMakeFiles/tagspin_baselines.dir/landmarc.cpp.o.d"
+  "/root/repo/src/baselines/pinit.cpp" "src/baselines/CMakeFiles/tagspin_baselines.dir/pinit.cpp.o" "gcc" "src/baselines/CMakeFiles/tagspin_baselines.dir/pinit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/tagspin_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagspin_baselines.dir/antloc.cpp.o"
+  "CMakeFiles/tagspin_baselines.dir/antloc.cpp.o.d"
+  "CMakeFiles/tagspin_baselines.dir/backpos.cpp.o"
+  "CMakeFiles/tagspin_baselines.dir/backpos.cpp.o.d"
+  "CMakeFiles/tagspin_baselines.dir/dtw.cpp.o"
+  "CMakeFiles/tagspin_baselines.dir/dtw.cpp.o.d"
+  "CMakeFiles/tagspin_baselines.dir/landmarc.cpp.o"
+  "CMakeFiles/tagspin_baselines.dir/landmarc.cpp.o.d"
+  "CMakeFiles/tagspin_baselines.dir/pinit.cpp.o"
+  "CMakeFiles/tagspin_baselines.dir/pinit.cpp.o.d"
+  "libtagspin_baselines.a"
+  "libtagspin_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagspin_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

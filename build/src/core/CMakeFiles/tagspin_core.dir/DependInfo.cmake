@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/fusion.cpp" "src/core/CMakeFiles/tagspin_core.dir/fusion.cpp.o" "gcc" "src/core/CMakeFiles/tagspin_core.dir/fusion.cpp.o.d"
+  "/root/repo/src/core/hologram.cpp" "src/core/CMakeFiles/tagspin_core.dir/hologram.cpp.o" "gcc" "src/core/CMakeFiles/tagspin_core.dir/hologram.cpp.o.d"
+  "/root/repo/src/core/locator.cpp" "src/core/CMakeFiles/tagspin_core.dir/locator.cpp.o" "gcc" "src/core/CMakeFiles/tagspin_core.dir/locator.cpp.o.d"
+  "/root/repo/src/core/orientation_calibration.cpp" "src/core/CMakeFiles/tagspin_core.dir/orientation_calibration.cpp.o" "gcc" "src/core/CMakeFiles/tagspin_core.dir/orientation_calibration.cpp.o.d"
+  "/root/repo/src/core/power_profile.cpp" "src/core/CMakeFiles/tagspin_core.dir/power_profile.cpp.o" "gcc" "src/core/CMakeFiles/tagspin_core.dir/power_profile.cpp.o.d"
+  "/root/repo/src/core/preprocess.cpp" "src/core/CMakeFiles/tagspin_core.dir/preprocess.cpp.o" "gcc" "src/core/CMakeFiles/tagspin_core.dir/preprocess.cpp.o.d"
+  "/root/repo/src/core/quality.cpp" "src/core/CMakeFiles/tagspin_core.dir/quality.cpp.o" "gcc" "src/core/CMakeFiles/tagspin_core.dir/quality.cpp.o.d"
+  "/root/repo/src/core/serialization.cpp" "src/core/CMakeFiles/tagspin_core.dir/serialization.cpp.o" "gcc" "src/core/CMakeFiles/tagspin_core.dir/serialization.cpp.o.d"
+  "/root/repo/src/core/spectrum.cpp" "src/core/CMakeFiles/tagspin_core.dir/spectrum.cpp.o" "gcc" "src/core/CMakeFiles/tagspin_core.dir/spectrum.cpp.o.d"
+  "/root/repo/src/core/tagspin.cpp" "src/core/CMakeFiles/tagspin_core.dir/tagspin.cpp.o" "gcc" "src/core/CMakeFiles/tagspin_core.dir/tagspin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rfid/CMakeFiles/tagspin_rfid.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/tagspin_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/tagspin_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/tagspin_rf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagspin_core.dir/fusion.cpp.o"
+  "CMakeFiles/tagspin_core.dir/fusion.cpp.o.d"
+  "CMakeFiles/tagspin_core.dir/hologram.cpp.o"
+  "CMakeFiles/tagspin_core.dir/hologram.cpp.o.d"
+  "CMakeFiles/tagspin_core.dir/locator.cpp.o"
+  "CMakeFiles/tagspin_core.dir/locator.cpp.o.d"
+  "CMakeFiles/tagspin_core.dir/orientation_calibration.cpp.o"
+  "CMakeFiles/tagspin_core.dir/orientation_calibration.cpp.o.d"
+  "CMakeFiles/tagspin_core.dir/power_profile.cpp.o"
+  "CMakeFiles/tagspin_core.dir/power_profile.cpp.o.d"
+  "CMakeFiles/tagspin_core.dir/preprocess.cpp.o"
+  "CMakeFiles/tagspin_core.dir/preprocess.cpp.o.d"
+  "CMakeFiles/tagspin_core.dir/quality.cpp.o"
+  "CMakeFiles/tagspin_core.dir/quality.cpp.o.d"
+  "CMakeFiles/tagspin_core.dir/serialization.cpp.o"
+  "CMakeFiles/tagspin_core.dir/serialization.cpp.o.d"
+  "CMakeFiles/tagspin_core.dir/spectrum.cpp.o"
+  "CMakeFiles/tagspin_core.dir/spectrum.cpp.o.d"
+  "CMakeFiles/tagspin_core.dir/tagspin.cpp.o"
+  "CMakeFiles/tagspin_core.dir/tagspin.cpp.o.d"
+  "libtagspin_core.a"
+  "libtagspin_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagspin_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

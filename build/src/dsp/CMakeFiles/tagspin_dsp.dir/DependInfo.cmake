@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/fourier.cpp" "src/dsp/CMakeFiles/tagspin_dsp.dir/fourier.cpp.o" "gcc" "src/dsp/CMakeFiles/tagspin_dsp.dir/fourier.cpp.o.d"
+  "/root/repo/src/dsp/linalg.cpp" "src/dsp/CMakeFiles/tagspin_dsp.dir/linalg.cpp.o" "gcc" "src/dsp/CMakeFiles/tagspin_dsp.dir/linalg.cpp.o.d"
+  "/root/repo/src/dsp/peaks.cpp" "src/dsp/CMakeFiles/tagspin_dsp.dir/peaks.cpp.o" "gcc" "src/dsp/CMakeFiles/tagspin_dsp.dir/peaks.cpp.o.d"
+  "/root/repo/src/dsp/stats.cpp" "src/dsp/CMakeFiles/tagspin_dsp.dir/stats.cpp.o" "gcc" "src/dsp/CMakeFiles/tagspin_dsp.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/tagspin_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagspin_dsp.dir/fourier.cpp.o"
+  "CMakeFiles/tagspin_dsp.dir/fourier.cpp.o.d"
+  "CMakeFiles/tagspin_dsp.dir/linalg.cpp.o"
+  "CMakeFiles/tagspin_dsp.dir/linalg.cpp.o.d"
+  "CMakeFiles/tagspin_dsp.dir/peaks.cpp.o"
+  "CMakeFiles/tagspin_dsp.dir/peaks.cpp.o.d"
+  "CMakeFiles/tagspin_dsp.dir/stats.cpp.o"
+  "CMakeFiles/tagspin_dsp.dir/stats.cpp.o.d"
+  "libtagspin_dsp.a"
+  "libtagspin_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagspin_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagspin_eval.dir/estimators.cpp.o"
+  "CMakeFiles/tagspin_eval.dir/estimators.cpp.o.d"
+  "CMakeFiles/tagspin_eval.dir/estimators_baselines.cpp.o"
+  "CMakeFiles/tagspin_eval.dir/estimators_baselines.cpp.o.d"
+  "CMakeFiles/tagspin_eval.dir/metrics.cpp.o"
+  "CMakeFiles/tagspin_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/tagspin_eval.dir/report.cpp.o"
+  "CMakeFiles/tagspin_eval.dir/report.cpp.o.d"
+  "CMakeFiles/tagspin_eval.dir/runner.cpp.o"
+  "CMakeFiles/tagspin_eval.dir/runner.cpp.o.d"
+  "libtagspin_eval.a"
+  "libtagspin_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagspin_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

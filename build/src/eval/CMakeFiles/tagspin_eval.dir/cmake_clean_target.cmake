@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtagspin_eval.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagspin_geom.dir/angles.cpp.o"
+  "CMakeFiles/tagspin_geom.dir/angles.cpp.o.d"
+  "CMakeFiles/tagspin_geom.dir/ray.cpp.o"
+  "CMakeFiles/tagspin_geom.dir/ray.cpp.o.d"
+  "libtagspin_geom.a"
+  "libtagspin_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagspin_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

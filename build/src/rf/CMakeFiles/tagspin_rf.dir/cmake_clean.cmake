@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagspin_rf.dir/antenna.cpp.o"
+  "CMakeFiles/tagspin_rf.dir/antenna.cpp.o.d"
+  "CMakeFiles/tagspin_rf.dir/channel.cpp.o"
+  "CMakeFiles/tagspin_rf.dir/channel.cpp.o.d"
+  "CMakeFiles/tagspin_rf.dir/constants.cpp.o"
+  "CMakeFiles/tagspin_rf.dir/constants.cpp.o.d"
+  "CMakeFiles/tagspin_rf.dir/frequency_plan.cpp.o"
+  "CMakeFiles/tagspin_rf.dir/frequency_plan.cpp.o.d"
+  "libtagspin_rf.a"
+  "libtagspin_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagspin_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rfid/epc.cpp" "src/rfid/CMakeFiles/tagspin_rfid.dir/epc.cpp.o" "gcc" "src/rfid/CMakeFiles/tagspin_rfid.dir/epc.cpp.o.d"
+  "/root/repo/src/rfid/gen2.cpp" "src/rfid/CMakeFiles/tagspin_rfid.dir/gen2.cpp.o" "gcc" "src/rfid/CMakeFiles/tagspin_rfid.dir/gen2.cpp.o.d"
+  "/root/repo/src/rfid/llrp.cpp" "src/rfid/CMakeFiles/tagspin_rfid.dir/llrp.cpp.o" "gcc" "src/rfid/CMakeFiles/tagspin_rfid.dir/llrp.cpp.o.d"
+  "/root/repo/src/rfid/reader.cpp" "src/rfid/CMakeFiles/tagspin_rfid.dir/reader.cpp.o" "gcc" "src/rfid/CMakeFiles/tagspin_rfid.dir/reader.cpp.o.d"
+  "/root/repo/src/rfid/report.cpp" "src/rfid/CMakeFiles/tagspin_rfid.dir/report.cpp.o" "gcc" "src/rfid/CMakeFiles/tagspin_rfid.dir/report.cpp.o.d"
+  "/root/repo/src/rfid/tag_models.cpp" "src/rfid/CMakeFiles/tagspin_rfid.dir/tag_models.cpp.o" "gcc" "src/rfid/CMakeFiles/tagspin_rfid.dir/tag_models.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rf/CMakeFiles/tagspin_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/tagspin_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

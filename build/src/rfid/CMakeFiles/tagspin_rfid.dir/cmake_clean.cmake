@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagspin_rfid.dir/epc.cpp.o"
+  "CMakeFiles/tagspin_rfid.dir/epc.cpp.o.d"
+  "CMakeFiles/tagspin_rfid.dir/gen2.cpp.o"
+  "CMakeFiles/tagspin_rfid.dir/gen2.cpp.o.d"
+  "CMakeFiles/tagspin_rfid.dir/llrp.cpp.o"
+  "CMakeFiles/tagspin_rfid.dir/llrp.cpp.o.d"
+  "CMakeFiles/tagspin_rfid.dir/reader.cpp.o"
+  "CMakeFiles/tagspin_rfid.dir/reader.cpp.o.d"
+  "CMakeFiles/tagspin_rfid.dir/report.cpp.o"
+  "CMakeFiles/tagspin_rfid.dir/report.cpp.o.d"
+  "CMakeFiles/tagspin_rfid.dir/tag_models.cpp.o"
+  "CMakeFiles/tagspin_rfid.dir/tag_models.cpp.o.d"
+  "libtagspin_rfid.a"
+  "libtagspin_rfid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagspin_rfid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

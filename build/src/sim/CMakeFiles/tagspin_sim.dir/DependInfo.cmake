@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/interrogator.cpp" "src/sim/CMakeFiles/tagspin_sim.dir/interrogator.cpp.o" "gcc" "src/sim/CMakeFiles/tagspin_sim.dir/interrogator.cpp.o.d"
+  "/root/repo/src/sim/orientation_response.cpp" "src/sim/CMakeFiles/tagspin_sim.dir/orientation_response.cpp.o" "gcc" "src/sim/CMakeFiles/tagspin_sim.dir/orientation_response.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/sim/CMakeFiles/tagspin_sim.dir/scenario.cpp.o" "gcc" "src/sim/CMakeFiles/tagspin_sim.dir/scenario.cpp.o.d"
+  "/root/repo/src/sim/world.cpp" "src/sim/CMakeFiles/tagspin_sim.dir/world.cpp.o" "gcc" "src/sim/CMakeFiles/tagspin_sim.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rfid/CMakeFiles/tagspin_rfid.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/tagspin_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/tagspin_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/tagspin_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

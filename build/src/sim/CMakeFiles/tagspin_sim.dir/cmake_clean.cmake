@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagspin_sim.dir/interrogator.cpp.o"
+  "CMakeFiles/tagspin_sim.dir/interrogator.cpp.o.d"
+  "CMakeFiles/tagspin_sim.dir/orientation_response.cpp.o"
+  "CMakeFiles/tagspin_sim.dir/orientation_response.cpp.o.d"
+  "CMakeFiles/tagspin_sim.dir/scenario.cpp.o"
+  "CMakeFiles/tagspin_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/tagspin_sim.dir/world.cpp.o"
+  "CMakeFiles/tagspin_sim.dir/world.cpp.o.d"
+  "libtagspin_sim.a"
+  "libtagspin_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagspin_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/fusion_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/fusion_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/hologram_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/hologram_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/locator_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/locator_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/orientation_calibration_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/orientation_calibration_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/power_profile_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/power_profile_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/preprocess_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/preprocess_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/quality_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/quality_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/serialization_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/serialization_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/spectrum_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/spectrum_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/tagspin_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/tagspin_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

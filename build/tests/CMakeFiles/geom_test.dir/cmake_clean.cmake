@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_test.dir/geom/angles_test.cpp.o"
+  "CMakeFiles/geom_test.dir/geom/angles_test.cpp.o.d"
+  "CMakeFiles/geom_test.dir/geom/ray_test.cpp.o"
+  "CMakeFiles/geom_test.dir/geom/ray_test.cpp.o.d"
+  "CMakeFiles/geom_test.dir/geom/vec_test.cpp.o"
+  "CMakeFiles/geom_test.dir/geom/vec_test.cpp.o.d"
+  "geom_test"
+  "geom_test.pdb"
+  "geom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

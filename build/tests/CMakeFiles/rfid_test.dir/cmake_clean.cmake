@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfid_test.dir/rfid/epc_test.cpp.o"
+  "CMakeFiles/rfid_test.dir/rfid/epc_test.cpp.o.d"
+  "CMakeFiles/rfid_test.dir/rfid/gen2_test.cpp.o"
+  "CMakeFiles/rfid_test.dir/rfid/gen2_test.cpp.o.d"
+  "CMakeFiles/rfid_test.dir/rfid/llrp_test.cpp.o"
+  "CMakeFiles/rfid_test.dir/rfid/llrp_test.cpp.o.d"
+  "CMakeFiles/rfid_test.dir/rfid/report_test.cpp.o"
+  "CMakeFiles/rfid_test.dir/rfid/report_test.cpp.o.d"
+  "CMakeFiles/rfid_test.dir/rfid/tag_models_test.cpp.o"
+  "CMakeFiles/rfid_test.dir/rfid/tag_models_test.cpp.o.d"
+  "rfid_test"
+  "rfid_test.pdb"
+  "rfid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test.dir/sim/interrogator_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/interrogator_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/orientation_response_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/orientation_response_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/rng_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/rng_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/scenario_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/scenario_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/spinning_rig_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/spinning_rig_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/world_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/world_test.cpp.o.d"
+  "sim_test"
+  "sim_test.pdb"
+  "sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagspin_cli.dir/tagspin_cli.cpp.o"
+  "CMakeFiles/tagspin_cli.dir/tagspin_cli.cpp.o.d"
+  "tagspin_cli"
+  "tagspin_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagspin_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
