@@ -1,0 +1,95 @@
+// Typed error taxonomy for the ingestion/localization pipeline.
+//
+// The strict APIs (extractSnapshots, Locator::locate2D/3D, llrp::decodeStream)
+// throw untyped std::runtime_error/std::invalid_argument, which is fine for
+// tests but useless to a production caller that must decide *what to do* --
+// retry the interrogation, page an operator about a dead rig, or accept a
+// degraded fix.  The resilient entry points (tryLocate2D/3D,
+// extractSnapshotsRobust) return Result<T> carrying an ErrorCode instead, so
+// failure causes are machine-readable and never escape as exceptions.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace tagspin::core {
+
+enum class ErrorCode {
+  kNone = 0,
+  /// The report stream holds no usable report for a requested EPC.
+  kNoReports,
+  /// Fewer than two registered rigs were heard at all.
+  kTooFewRigs,
+  /// Rigs were heard but fewer than two pass the health thresholds (and the
+  /// minimal 2-rig fallback is impossible too).
+  kTooFewHealthyRigs,
+  /// Rig bearing rays are (anti)parallel; the intersection is unbounded.
+  kDegenerateGeometry,
+  /// A binary trace could not be decoded at all (no valid frame).
+  kMalformedFrame,
+  /// Snapshot timestamps could not be repaired into a monotone sequence.
+  kNonMonotonicTime,
+  /// Arc/duration coverage too low for a meaningful spectrum.
+  kInsufficientCoverage,
+  /// Anything that indicates a bug rather than bad input.
+  kInternal,
+};
+
+/// Stable machine-readable name ("too_few_rigs", ...) for logs and JSON.
+const char* errorCodeName(ErrorCode code);
+
+struct Error {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+/// Minimal expected-like carrier: either a T or an Error.  Deliberately tiny
+/// -- no monadic surface, just construction and checked access.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : v_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  static Result ok(T value) { return Result(std::move(value)); }
+  static Result fail(ErrorCode code, std::string message) {
+    return Result(Error{code, std::move(message)});
+  }
+
+  bool hasValue() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return hasValue(); }
+
+  /// Checked access; call only after hasValue() (asserts via std::get).
+  T& value() { return std::get<T>(v_); }
+  const T& value() const { return std::get<T>(v_); }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  const Error& error() const { return std::get<Error>(v_); }
+  ErrorCode code() const {
+    return hasValue() ? ErrorCode::kNone : error().code;
+  }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+inline const char* errorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kNone: return "none";
+    case ErrorCode::kNoReports: return "no_reports";
+    case ErrorCode::kTooFewRigs: return "too_few_rigs";
+    case ErrorCode::kTooFewHealthyRigs: return "too_few_healthy_rigs";
+    case ErrorCode::kDegenerateGeometry: return "degenerate_geometry";
+    case ErrorCode::kMalformedFrame: return "malformed_frame";
+    case ErrorCode::kNonMonotonicTime: return "non_monotonic_time";
+    case ErrorCode::kInsufficientCoverage: return "insufficient_coverage";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+}  // namespace tagspin::core

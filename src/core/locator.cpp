@@ -213,6 +213,190 @@ Fix3D Locator::locate3D(std::span<const RigObservation> observations) const {
   return fix;
 }
 
+const char* fixGradeName(FixGrade grade) {
+  switch (grade) {
+    case FixGrade::kFull: return "full";
+    case FixGrade::kDegraded: return "degraded";
+    case FixGrade::kMinimal: return "minimal";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Rank a marginal rig for the 2-rig fallback: coverage and spectrum
+/// strength dominate, snapshot count saturates quickly.
+double fallbackScore(const RigHealth& h) {
+  const double count =
+      std::min(static_cast<double>(h.snapshotCount), 64.0) / 64.0;
+  return h.arcCoverage * std::max(h.spectrum.peakValue, 1e-6) * count;
+}
+
+std::string unhealthyReason(const RigHealth& h,
+                            const RigHealthThresholds& t) {
+  std::string why;
+  if (h.snapshotCount < t.minSnapshots) {
+    why += "snapshots " + std::to_string(h.snapshotCount) + " < " +
+           std::to_string(t.minSnapshots);
+  }
+  if (h.arcCoverage < t.minArcCoverage) {
+    if (!why.empty()) why += "; ";
+    why += "arc coverage " + std::to_string(h.arcCoverage) + " < " +
+           std::to_string(t.minArcCoverage);
+  }
+  if (h.spectrum.peakValue < t.minPeakValue) {
+    if (!why.empty()) why += "; ";
+    why += "spectrum peak " + std::to_string(h.spectrum.peakValue) + " < " +
+           std::to_string(t.minPeakValue);
+  }
+  return why.empty() ? "healthy" : why;
+}
+
+/// Shared front half of tryLocate2D/3D: health assessment and rig
+/// selection.  On success `report` has grade/health/used/dropped filled in
+/// (confidence is completed by the caller once directions exist).
+Result<ResilienceReport> selectRigs(std::span<const RigObservation> obs,
+                                    const RigHealthThresholds& thresholds,
+                                    const ProfileConfig& profile) {
+  if (obs.size() < 2) {
+    return Error{ErrorCode::kTooFewRigs,
+                 "tryLocate: need at least two rigs, got " +
+                     std::to_string(obs.size())};
+  }
+  ResilienceReport report;
+  report.rigHealth.reserve(obs.size());
+  for (const RigObservation& o : obs) {
+    report.rigHealth.push_back(
+        assessRigHealth(o.snapshots, o.rig.kinematics, profile));
+  }
+
+  std::vector<size_t> healthy;
+  for (size_t i = 0; i < obs.size(); ++i) {
+    if (isHealthy(report.rigHealth[i], thresholds)) healthy.push_back(i);
+  }
+
+  if (healthy.size() >= 2) {
+    report.usedRigs = healthy;
+    report.grade =
+        healthy.size() == obs.size() ? FixGrade::kFull : FixGrade::kDegraded;
+  } else {
+    // Fallback: the PowerProfile needs >= 2 snapshots and the spectrum must
+    // not be flat; among those minimally usable rigs take the best two.
+    std::vector<size_t> usable;
+    for (size_t i = 0; i < obs.size(); ++i) {
+      const RigHealth& h = report.rigHealth[i];
+      if (h.snapshotCount >= 2 && h.arcCoverage > 0.0 &&
+          h.spectrum.peakValue > 0.0) {
+        usable.push_back(i);
+      }
+    }
+    if (usable.size() < 2) {
+      return Error{
+          ErrorCode::kTooFewHealthyRigs,
+          "tryLocate: only " + std::to_string(usable.size()) + " of " +
+              std::to_string(obs.size()) +
+              " rigs are usable; need two for a fix"};
+    }
+    std::sort(usable.begin(), usable.end(), [&](size_t a, size_t b) {
+      return fallbackScore(report.rigHealth[a]) >
+             fallbackScore(report.rigHealth[b]);
+    });
+    usable.resize(2);
+    std::sort(usable.begin(), usable.end());
+    report.usedRigs = usable;
+    report.grade = FixGrade::kMinimal;
+  }
+
+  for (size_t i = 0; i < obs.size(); ++i) {
+    if (std::find(report.usedRigs.begin(), report.usedRigs.end(), i) ==
+        report.usedRigs.end()) {
+      report.droppedRigs.push_back(i);
+      report.droppedReasons.push_back(
+          unhealthyReason(report.rigHealth[i], thresholds));
+    }
+  }
+  return report;
+}
+
+double gradeMultiplier(FixGrade grade) {
+  switch (grade) {
+    case FixGrade::kFull: return 1.0;
+    case FixGrade::kDegraded: return 0.7;
+    case FixGrade::kMinimal: return 0.4;
+  }
+  return 0.0;
+}
+
+/// Confidence of a produced fix: spectral quality of the used rigs combined
+/// with the bearing GDOP at the fix, scaled by the degradation grade.
+double resilientConfidence(const ResilienceReport& report,
+                           std::span<const RigObservation> obs,
+                           std::span<const RigDirection> directions,
+                           const geom::Vec2& position) {
+  std::vector<SpectrumQuality> spectra;
+  std::vector<geom::Ray2> rays;
+  spectra.reserve(report.usedRigs.size());
+  rays.reserve(report.usedRigs.size());
+  for (size_t k = 0; k < report.usedRigs.size(); ++k) {
+    const size_t i = report.usedRigs[k];
+    spectra.push_back(report.rigHealth[i].spectrum);
+    rays.push_back({obs[i].rig.center.xy(), directions[k].azimuth});
+  }
+  const double gdop = bearingGdop(rays, position);
+  return gradeMultiplier(report.grade) * fixConfidence(spectra, gdop);
+}
+
+std::vector<RigObservation> subsetObservations(
+    std::span<const RigObservation> obs, std::span<const size_t> indices) {
+  std::vector<RigObservation> out;
+  out.reserve(indices.size());
+  for (size_t i : indices) out.push_back(obs[i]);
+  return out;
+}
+
+}  // namespace
+
+Result<ResilientFix2D> Locator::tryLocate2D(
+    std::span<const RigObservation> observations,
+    const RigHealthThresholds& thresholds) const {
+  Result<ResilienceReport> selected =
+      selectRigs(observations, thresholds, config_.profile);
+  if (!selected) return selected.error();
+  ResilientFix2D out;
+  out.report = std::move(*selected);
+  const std::vector<RigObservation> used =
+      subsetObservations(observations, out.report.usedRigs);
+  try {
+    out.fix = locate2D(used);
+  } catch (const std::exception& e) {
+    return Error{ErrorCode::kDegenerateGeometry, e.what()};
+  }
+  out.report.confidence = resilientConfidence(
+      out.report, observations, out.fix.directions, out.fix.position);
+  return out;
+}
+
+Result<ResilientFix3D> Locator::tryLocate3D(
+    std::span<const RigObservation> observations,
+    const RigHealthThresholds& thresholds) const {
+  Result<ResilienceReport> selected =
+      selectRigs(observations, thresholds, config_.profile);
+  if (!selected) return selected.error();
+  ResilientFix3D out;
+  out.report = std::move(*selected);
+  const std::vector<RigObservation> used =
+      subsetObservations(observations, out.report.usedRigs);
+  try {
+    out.fix = locate3D(used);
+  } catch (const std::exception& e) {
+    return Error{ErrorCode::kDegenerateGeometry, e.what()};
+  }
+  out.report.confidence =
+      resilientConfidence(out.report, observations, out.fix.directions,
+                          out.fix.position.xy());
+  return out;
+}
+
 geom::Vec3 Locator::disambiguateZ(const RigObservation& verticalRig,
                                   const geom::Vec3& candidateA,
                                   const geom::Vec3& candidateB) const {

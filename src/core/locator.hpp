@@ -4,10 +4,13 @@
 
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/errors.hpp"
 #include "core/orientation_calibration.hpp"
+#include "core/quality.hpp"
 #include "core/snapshot.hpp"
 #include "core/spectrum.hpp"
 #include "geom/ray.hpp"
@@ -46,6 +49,38 @@ struct Fix3D {
   double residualM = 0.0;
 };
 
+/// How much the resilient path had to give up to produce a fix.
+enum class FixGrade {
+  kFull,      // every offered rig was healthy and used
+  kDegraded,  // >= 2 healthy rigs, but unhealthy ones were dropped
+  kMinimal,   // fewer than 2 healthy rigs; best-effort 2-rig fallback
+};
+const char* fixGradeName(FixGrade grade);
+
+/// Degradation audit trail attached to a resilient fix.  Indices refer to
+/// the observation span passed to tryLocate2D/3D; `fix.directions` is
+/// parallel to `usedRigs`, not to the input.
+struct ResilienceReport {
+  FixGrade grade = FixGrade::kFull;
+  /// fixConfidence() of the used rigs, scaled down by the grade (x1 full,
+  /// x0.7 degraded, x0.4 minimal) -- the explicit confidence downgrade.
+  double confidence = 0.0;
+  std::vector<RigHealth> rigHealth;  // parallel to the input observations
+  std::vector<size_t> usedRigs;
+  std::vector<size_t> droppedRigs;
+  std::vector<std::string> droppedReasons;  // parallel to droppedRigs
+};
+
+struct ResilientFix2D {
+  Fix2D fix;
+  ResilienceReport report;
+};
+
+struct ResilientFix3D {
+  Fix3D fix;
+  ResilienceReport report;
+};
+
 class Locator {
  public:
   explicit Locator(LocatorConfig config = {});
@@ -68,6 +103,18 @@ class Locator {
   /// from the polar angles (Eqn. 13a/13b balanced by peak confidence),
   /// sign from config().zResolution.
   Fix3D locate3D(std::span<const RigObservation> observations) const;
+
+  /// Graceful-degradation variants: assess every rig's health, drop rigs
+  /// below `thresholds`, fall back to the best-scoring pair when fewer than
+  /// two healthy rigs remain, and report failure causes via ErrorCode
+  /// instead of throwing.  When every rig is healthy the fix is bit-identical
+  /// to locate2D/3D on the same observations.
+  Result<ResilientFix2D> tryLocate2D(
+      std::span<const RigObservation> observations,
+      const RigHealthThresholds& thresholds = {}) const;
+  Result<ResilientFix3D> tryLocate3D(
+      std::span<const RigObservation> observations,
+      const RigHealthThresholds& thresholds = {}) const;
 
   /// Future-work extension: use a *vertically* spinning rig to resolve the
   /// +-z ambiguity -- evaluates the vertical rig's profile at the exact

@@ -1,19 +1,32 @@
 #include "core/preprocess.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "geom/angles.hpp"
 
 namespace tagspin::core {
 
-std::vector<Snapshot> extractSnapshots(const rfid::ReportStream& reports,
-                                       const rfid::Epc& epc,
-                                       const PreprocessConfig& config) {
+namespace {
+
+/// Collect + RSSI-gate + sort: the shared head of the strict and robust
+/// extraction paths.  `matched` counts reports of the EPC before gating.
+std::vector<Snapshot> collectSorted(const rfid::ReportStream& reports,
+                                    const rfid::Epc& epc,
+                                    const PreprocessConfig& config,
+                                    size_t* matched) {
   std::vector<Snapshot> snaps;
+  size_t seen = 0;
   for (const rfid::TagReport& r : reports) {
     if (!(r.epc == epc)) continue;
+    ++seen;
     if (r.rssiDbm < config.minRssiDbm) continue;
+    // A report without a carrier frequency has no wavelength; treat it as
+    // unusable rather than letting wavelengthM() throw mid-extraction.
+    if (r.frequencyHz <= 0.0) continue;
     Snapshot s;
     s.timeS = r.timestampS;
     s.phaseRad = geom::wrapTwoPi(r.phaseRad);
@@ -22,24 +35,172 @@ std::vector<Snapshot> extractSnapshots(const rfid::ReportStream& reports,
     s.rssiDbm = r.rssiDbm;
     snaps.push_back(s);
   }
-  if (snaps.empty()) {
-    throw std::invalid_argument(
-        "extractSnapshots: no usable reports for EPC " + epc.toHex());
-  }
+  if (matched) *matched = seen;
   std::sort(snaps.begin(), snaps.end(),
             [](const Snapshot& a, const Snapshot& b) {
               return a.timeS < b.timeS;
             });
-  if (config.maxSnapshots > 0 && snaps.size() > config.maxSnapshots) {
-    std::vector<Snapshot> kept;
-    kept.reserve(config.maxSnapshots);
-    const double step = static_cast<double>(snaps.size()) /
-                        static_cast<double>(config.maxSnapshots);
-    for (size_t i = 0; i < config.maxSnapshots; ++i) {
-      kept.push_back(snaps[static_cast<size_t>(i * step)]);
-    }
-    snaps = std::move(kept);
+  return snaps;
+}
+
+std::string noReportsMessage(const rfid::Epc& epc, size_t streamSize,
+                             size_t matched) {
+  return "no usable reports for EPC " + epc.toHex() + " in a stream of " +
+         std::to_string(streamSize) + " reports (" + std::to_string(matched) +
+         " matched the EPC" +
+         (matched > 0 ? ", all below the RSSI floor)" : ")");
+}
+
+void subsample(std::vector<Snapshot>& snaps, size_t maxSnapshots) {
+  if (maxSnapshots == 0 || snaps.size() <= maxSnapshots) return;
+  std::vector<Snapshot> kept;
+  kept.reserve(maxSnapshots);
+  const double step = static_cast<double>(snaps.size()) /
+                      static_cast<double>(maxSnapshots);
+  for (size_t i = 0; i < maxSnapshots; ++i) {
+    kept.push_back(snaps[static_cast<size_t>(i * step)]);
   }
+  snaps = std::move(kept);
+}
+
+/// Drop reads temporally isolated from both neighbours -- the signature of
+/// a glitched timestamp that sorting has relocated into no-man's-land.
+/// Legitimate gaps (dropout windows) separate two dense blocks: the reads at
+/// the block edges stay close to their inward neighbour and survive.
+std::vector<Snapshot> dropTimeOutliers(std::vector<Snapshot> snaps,
+                                       double gapFactor, double gapFloorS,
+                                       size_t* dropped) {
+  if (snaps.size() < 3) return snaps;
+  std::vector<double> steps;
+  steps.reserve(snaps.size() - 1);
+  for (size_t i = 1; i < snaps.size(); ++i) {
+    steps.push_back(snaps[i].timeS - snaps[i - 1].timeS);
+  }
+  std::nth_element(steps.begin(), steps.begin() + steps.size() / 2,
+                   steps.end());
+  const double medianStep = steps[steps.size() / 2];
+  const double limit = std::max(gapFloorS, gapFactor * medianStep);
+
+  std::vector<Snapshot> kept;
+  kept.reserve(snaps.size());
+  for (size_t i = 0; i < snaps.size(); ++i) {
+    const double before =
+        i > 0 ? snaps[i].timeS - snaps[i - 1].timeS
+              : std::numeric_limits<double>::infinity();
+    const double after =
+        i + 1 < snaps.size() ? snaps[i + 1].timeS - snaps[i].timeS
+                             : std::numeric_limits<double>::infinity();
+    if (std::min(before, after) > limit) {
+      if (dropped) ++*dropped;
+      continue;
+    }
+    kept.push_back(snaps[i]);
+  }
+  return kept;
+}
+
+}  // namespace
+
+std::vector<Snapshot> extractSnapshots(const rfid::ReportStream& reports,
+                                       const rfid::Epc& epc,
+                                       const PreprocessConfig& config) {
+  size_t matched = 0;
+  std::vector<Snapshot> snaps = collectSorted(reports, epc, config, &matched);
+  if (snaps.empty()) {
+    throw std::invalid_argument(
+        "extractSnapshots: " + noReportsMessage(epc, reports.size(), matched));
+  }
+  subsample(snaps, config.maxSnapshots);
+  return snaps;
+}
+
+std::vector<Snapshot> hampelFilterPhases(const std::vector<Snapshot>& snaps,
+                                         size_t window, double threshold,
+                                         double floorRad, size_t* dropped) {
+  if (snaps.size() < 5 || window < 3) return snaps;
+  const size_t half = window / 2;
+  std::vector<Snapshot> kept;
+  kept.reserve(snaps.size());
+  std::vector<double> devs;
+  std::vector<double> absdevs;
+  for (size_t i = 0; i < snaps.size(); ++i) {
+    // Edge samples only have a one-sided neighbourhood, where a genuine
+    // phase slope shifts the median deviation off zero while the MAD stays
+    // small -- a false rejection.  Without a symmetric window the test
+    // cannot tell slope from outlier, so edge samples are always kept.
+    if (i < half || i + half + 1 > snaps.size()) {
+      kept.push_back(snaps[i]);
+      continue;
+    }
+    const size_t lo = i - half;
+    const size_t hi = i + half + 1;
+    devs.clear();
+    for (size_t j = lo; j < hi; ++j) {
+      if (j == i) continue;
+      devs.push_back(geom::circularDiff(snaps[j].phaseRad, snaps[i].phaseRad));
+    }
+    // Median deviation of the neighbourhood from this sample: for an inlier
+    // it sits near 0; for an outlier it equals (minus) the outlier's error.
+    std::nth_element(devs.begin(), devs.begin() + devs.size() / 2, devs.end());
+    const double med = devs[devs.size() / 2];
+    absdevs.clear();
+    for (double d : devs) absdevs.push_back(std::abs(d - med));
+    std::nth_element(absdevs.begin(), absdevs.begin() + absdevs.size() / 2,
+                     absdevs.end());
+    const double madSigma = 1.4826 * absdevs[absdevs.size() / 2];
+    const double limit = std::max(floorRad, threshold * madSigma);
+    if (std::abs(med) > limit) {
+      if (dropped) ++*dropped;
+      continue;
+    }
+    kept.push_back(snaps[i]);
+  }
+  return kept;
+}
+
+Result<std::vector<Snapshot>> extractSnapshotsRobust(
+    const rfid::ReportStream& reports, const rfid::Epc& epc,
+    const PreprocessConfig& config, RepairStats* repairs) {
+  size_t matched = 0;
+  std::vector<Snapshot> snaps = collectSorted(reports, epc, config, &matched);
+  if (snaps.empty()) {
+    return Error{ErrorCode::kNoReports,
+                 "extractSnapshotsRobust: " +
+                     noReportsMessage(epc, reports.size(), matched)};
+  }
+  RepairStats local;
+  RepairStats* st = repairs ? repairs : &local;
+
+  if (config.dedupe) {
+    std::vector<Snapshot> unique;
+    unique.reserve(snaps.size());
+    for (const Snapshot& s : snaps) {
+      if (!unique.empty() && unique.back().timeS == s.timeS &&
+          unique.back().phaseRad == s.phaseRad &&
+          unique.back().channel == s.channel) {
+        ++st->duplicatesRemoved;
+        continue;
+      }
+      unique.push_back(s);
+    }
+    snaps = std::move(unique);
+  }
+  if (config.repairTimestamps) {
+    snaps = dropTimeOutliers(std::move(snaps), config.timestampGapFactor,
+                             config.timestampGapFloorS,
+                             &st->timestampOutliersDropped);
+  }
+  if (config.hampelFilter) {
+    snaps = hampelFilterPhases(snaps, config.hampelWindow,
+                               config.hampelThreshold, config.hampelFloorRad,
+                               &st->phaseOutliersDropped);
+  }
+  if (snaps.empty()) {
+    return Error{ErrorCode::kNoReports,
+                 "extractSnapshotsRobust: every report of EPC " +
+                     epc.toHex() + " was rejected by the repair stages"};
+  }
+  subsample(snaps, config.maxSnapshots);
   return snaps;
 }
 

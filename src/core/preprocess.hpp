@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "core/errors.hpp"
 #include "core/snapshot.hpp"
 #include "rfid/epc.hpp"
 #include "rfid/report.hpp"
@@ -17,6 +18,35 @@ struct PreprocessConfig {
   /// bound spectrum cost for very long interrogations.  4000 snapshots keep
   /// the subsampling penalty negligible at the default 30 s interrogation.
   size_t maxSnapshots = 4000;
+
+  // --- robust-ingestion stages, used only by extractSnapshotsRobust ---
+  /// Remove exact duplicate reads (reader retransmits): same timestamp,
+  /// phase and channel after sorting.
+  bool dedupe = true;
+  /// Drop reads whose timestamp is isolated from the rest of the trace
+  /// (clock glitches that survive sorting); a read is isolated when its
+  /// nearest temporal neighbour is further than
+  /// max(timestampGapFloorS, timestampGapFactor * median step) away.
+  bool repairTimestamps = true;
+  double timestampGapFactor = 50.0;
+  double timestampGapFloorS = 0.5;
+  /// Hampel/MAD filter on the wrapped phase sequence ahead of unwrapping:
+  /// a read whose phase deviates from the windowed circular median by more
+  /// than hampelThreshold MAD-sigmas is discarded as an interference
+  /// outlier.
+  bool hampelFilter = true;
+  size_t hampelWindow = 11;      // total window size, odd
+  double hampelThreshold = 6.0;  // in 1.4826*MAD units
+  /// Deviation floor (radians) so a near-zero MAD (repeated quantised
+  /// phases) cannot reject healthy reads.
+  double hampelFloorRad = 0.05;
+};
+
+/// What the robust extraction repaired (diagnostics / chaos reporting).
+struct RepairStats {
+  size_t duplicatesRemoved = 0;
+  size_t timestampOutliersDropped = 0;
+  size_t phaseOutliersDropped = 0;
 };
 
 /// Extract the snapshots of one tag (by EPC) from a report stream, sorted by
@@ -25,6 +55,23 @@ struct PreprocessConfig {
 std::vector<Snapshot> extractSnapshots(const rfid::ReportStream& reports,
                                        const rfid::Epc& epc,
                                        const PreprocessConfig& config = {});
+
+/// Non-throwing, hardened variant of extractSnapshots: applies the robust
+/// stages enabled in `config` (dedup -> timestamp repair -> Hampel phase
+/// filter) after sorting and before subsampling.  On a clean stream with no
+/// duplicates, glitches or phase outliers the result is bit-identical to
+/// extractSnapshots.  Errors (no usable reports, everything filtered away)
+/// come back as ErrorCode, never as an exception.
+Result<std::vector<Snapshot>> extractSnapshotsRobust(
+    const rfid::ReportStream& reports, const rfid::Epc& epc,
+    const PreprocessConfig& config = {}, RepairStats* repairs = nullptr);
+
+/// The Hampel/MAD stage alone, exposed for tests: returns the snapshots
+/// whose wrapped phase survives the windowed circular-median test.
+std::vector<Snapshot> hampelFilterPhases(const std::vector<Snapshot>& snaps,
+                                         size_t window, double threshold,
+                                         double floorRad,
+                                         size_t* dropped = nullptr);
 
 /// Unwrapped ("smoothed", section III-B) phase sequence of the snapshots.
 std::vector<double> smoothedPhases(const std::vector<Snapshot>& snaps);

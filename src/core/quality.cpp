@@ -68,6 +68,42 @@ double bearingGdop(std::span<const geom::Ray2> rays, const geom::Vec2& fix) {
                      : std::numeric_limits<double>::infinity();
 }
 
+RigHealth assessRigHealth(std::span<const Snapshot> snapshots,
+                          const RigKinematics& kinematics,
+                          const ProfileConfig& profile) {
+  RigHealth h;
+  h.snapshotCount = snapshots.size();
+  if (snapshots.empty()) return h;
+  double tMin = snapshots.front().timeS;
+  double tMax = snapshots.front().timeS;
+  constexpr int kBins = 24;
+  bool occupied[kBins] = {};
+  for (const Snapshot& s : snapshots) {
+    tMin = std::min(tMin, s.timeS);
+    tMax = std::max(tMax, s.timeS);
+    const double a = geom::wrapTwoPi(kinematics.diskAngle(s.timeS));
+    int bin = static_cast<int>(a / geom::kTwoPi * kBins);
+    bin = std::clamp(bin, 0, kBins - 1);
+    occupied[bin] = true;
+  }
+  h.durationS = tMax - tMin;
+  int filled = 0;
+  for (bool b : occupied) filled += b ? 1 : 0;
+  h.arcCoverage = static_cast<double>(filled) / kBins;
+  if (snapshots.size() >= 2) {
+    const PowerProfile p(snapshots, kinematics, profile);
+    h.spectrum = assessSpectrum(p);
+  }
+  return h;
+}
+
+bool isHealthy(const RigHealth& health,
+               const RigHealthThresholds& thresholds) {
+  return health.snapshotCount >= thresholds.minSnapshots &&
+         health.arcCoverage >= thresholds.minArcCoverage &&
+         health.spectrum.peakValue >= thresholds.minPeakValue;
+}
+
 double fixConfidence(std::span<const SpectrumQuality> spectra, double gdop) {
   if (spectra.empty() || !std::isfinite(gdop)) return 0.0;
   double logAcc = 0.0;

@@ -13,9 +13,11 @@
 //    center-distance sweep shows).
 #pragma once
 
+#include <cstddef>
 #include <span>
 
 #include "core/power_profile.hpp"
+#include "core/snapshot.hpp"
 #include "geom/ray.hpp"
 
 namespace tagspin::core {
@@ -44,5 +46,37 @@ double bearingGdop(std::span<const geom::Ray2> rays,
 /// each ingredient; intended for thresholding ("re-run the calibration"),
 /// not as a calibrated probability.
 double fixConfidence(std::span<const SpectrumQuality> spectra, double gdop);
+
+/// Per-rig ingestion health for one localization attempt: how much of the
+/// spin the surviving snapshots actually cover, and how clean the resulting
+/// spectrum is.  Used by the graceful-degradation locator to decide which
+/// rigs are trustworthy enough to contribute to a fix.
+struct RigHealth {
+  size_t snapshotCount = 0;
+  double durationS = 0.0;
+  /// Fraction of the disk-angle circle [0, 2*pi) covered by snapshots
+  /// (occupied fraction of a 24-bin histogram of the kinematics' disk
+  /// angle).  A rig silent for 30% of the spin scores ~0.7.
+  double arcCoverage = 0.0;
+  /// Quality of the azimuth spectrum; defaulted when snapshotCount < 2
+  /// (no profile can be built).
+  SpectrumQuality spectrum;
+};
+
+struct RigHealthThresholds {
+  size_t minSnapshots = 16;
+  double minArcCoverage = 0.30;
+  /// A spectrum flatter than this peak value carries no direction
+  /// information (profiles are normalised to [0, 1]).
+  double minPeakValue = 0.05;
+};
+
+/// Assess a rig's snapshots.  Never throws; degenerate inputs simply score
+/// zero everywhere.
+RigHealth assessRigHealth(std::span<const Snapshot> snapshots,
+                          const RigKinematics& kinematics,
+                          const ProfileConfig& profile = {});
+
+bool isHealthy(const RigHealth& health, const RigHealthThresholds& thresholds);
 
 }  // namespace tagspin::core

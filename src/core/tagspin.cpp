@@ -58,6 +58,55 @@ std::vector<RigObservation> TagspinSystem::collectObservations(
   return obs;
 }
 
+std::vector<RigObservation> TagspinSystem::collectObservationsRobust(
+    const rfid::ReportStream& reports) const {
+  std::vector<RigObservation> obs;
+  for (const auto& [epc, rig] : rigs_) {
+    Result<std::vector<Snapshot>> snaps =
+        extractSnapshotsRobust(reports, epc, preprocess_);
+    if (!snaps) continue;  // this rig was not heard (or fully rejected)
+    RigObservation o;
+    o.rig = rig;
+    o.snapshots = std::move(*snaps);
+    if (const auto it = orientationModels_.find(epc);
+        it != orientationModels_.end()) {
+      o.orientation = it->second;
+    }
+    if (o.snapshots.size() >= 2) obs.push_back(std::move(o));
+  }
+  return obs;
+}
+
+void TagspinSystem::setHealthThresholds(const RigHealthThresholds& thresholds) {
+  healthThresholds_ = thresholds;
+}
+
+Result<ResilientFix2D> TagspinSystem::tryLocate2D(
+    const rfid::ReportStream& reports) const {
+  const std::vector<RigObservation> obs = collectObservationsRobust(reports);
+  if (obs.size() < 2) {
+    return Error{ErrorCode::kTooFewRigs,
+                 "tryLocate2D: " + std::to_string(obs.size()) + " of " +
+                     std::to_string(rigs_.size()) +
+                     " registered rigs heard in a stream of " +
+                     std::to_string(reports.size()) + " reports"};
+  }
+  return locator_.tryLocate2D(obs, healthThresholds_);
+}
+
+Result<ResilientFix3D> TagspinSystem::tryLocate3D(
+    const rfid::ReportStream& reports) const {
+  const std::vector<RigObservation> obs = collectObservationsRobust(reports);
+  if (obs.size() < 2) {
+    return Error{ErrorCode::kTooFewRigs,
+                 "tryLocate3D: " + std::to_string(obs.size()) + " of " +
+                     std::to_string(rigs_.size()) +
+                     " registered rigs heard in a stream of " +
+                     std::to_string(reports.size()) + " reports"};
+  }
+  return locator_.tryLocate3D(obs, healthThresholds_);
+}
+
 Fix2D TagspinSystem::locate2D(const rfid::ReportStream& reports) const {
   const std::vector<RigObservation> obs = collectObservations(reports);
   if (obs.size() < 2) {

@@ -60,6 +60,21 @@ class TagspinSystem {
   Fix2D locate2D(const rfid::ReportStream& reports) const;
   Fix3D locate3D(const rfid::ReportStream& reports) const;
 
+  /// Graceful-degradation entry points for dirty streams: snapshots are
+  /// extracted through the robust preprocess stages (dedup, timestamp
+  /// repair, Hampel phase filter), unhealthy rigs are dropped with a 2-rig
+  /// fallback, and every failure cause is reported as an ErrorCode instead
+  /// of an exception.  On a clean stream the fix is bit-identical to
+  /// locate2D/3D.
+  Result<ResilientFix2D> tryLocate2D(const rfid::ReportStream& reports) const;
+  Result<ResilientFix3D> tryLocate3D(const rfid::ReportStream& reports) const;
+
+  /// Health thresholds used by tryLocate2D/3D.
+  void setHealthThresholds(const RigHealthThresholds& thresholds);
+  const RigHealthThresholds& healthThresholds() const {
+    return healthThresholds_;
+  }
+
   /// Calibrate every antenna port present in a mixed multi-port stream
   /// (a Speedway-class reader cycles its ports): splits by port and locates
   /// each.  Ports whose slice cannot produce a fix (fewer than two rigs
@@ -74,9 +89,14 @@ class TagspinSystem {
   std::vector<RigObservation> collectObservations(
       const rfid::ReportStream& reports) const;
 
+  /// Robust-preprocess variant of collectObservations (never throws).
+  std::vector<RigObservation> collectObservationsRobust(
+      const rfid::ReportStream& reports) const;
+
  private:
   Locator locator_;
   PreprocessConfig preprocess_;
+  RigHealthThresholds healthThresholds_;
   std::map<rfid::Epc, RigSpec> rigs_;
   std::map<rfid::Epc, RigSpec> verticalRigs_;
   std::map<rfid::Epc, OrientationModel> orientationModels_;

@@ -1,0 +1,191 @@
+#include "eval/chaos.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/tagspin.hpp"
+#include "dsp/stats.hpp"
+#include "eval/estimators.hpp"
+#include "eval/metrics.hpp"
+#include "sim/interrogator.hpp"
+#include "sim/rng.hpp"
+
+namespace tagspin::eval {
+
+core::RigHealthThresholds ChaosConfig::defaultHealthThresholds() {
+  core::RigHealthThresholds t;
+  // A contiguous 30%-of-spin dropout on a ~1.2-revolution interrogation
+  // leaves ~0.64 arc coverage; demand 0.75 so such a rig is dropped while
+  // mildly thinned rigs (random losses spread over the whole arc) survive.
+  t.minArcCoverage = 0.75;
+  return t;
+}
+
+sim::FaultConfig ChaosConfig::defaultFaultTemplate() {
+  sim::FaultConfig f;
+  f.frameBitFlipProb = 0.05;
+  f.frameTruncateProb = 0.02;
+  f.duplicateProb = 0.10;
+  f.reorderProb = 0.05;
+  f.timestampGlitchProb = 0.01;
+  f.timestampGlitchMaxS = 0.5;
+  f.clockDriftPpm = 20.0;
+  f.epcBitErrorProb = 0.005;
+  return f;
+}
+
+namespace {
+
+void accumulate(rfid::llrp::DecodeStats& acc,
+                const rfid::llrp::DecodeStats& s) {
+  acc.framesDecoded += s.framesDecoded;
+  acc.framesSkipped += s.framesSkipped;
+  acc.framesRejected += s.framesRejected;
+  acc.bytesResynced += s.bytesResynced;
+  acc.bytesTotal += s.bytesTotal;
+}
+
+void accumulate(sim::FaultStats& acc, const sim::FaultStats& s) {
+  acc.duplicatesInserted += s.duplicatesInserted;
+  acc.reordersApplied += s.reordersApplied;
+  acc.timestampGlitches += s.timestampGlitches;
+  acc.epcBitErrors += s.epcBitErrors;
+  acc.reportsDropped += s.reportsDropped;
+  acc.framesBitFlipped += s.framesBitFlipped;
+  acc.framesTruncated += s.framesTruncated;
+  acc.bitsFlipped += s.bitsFlipped;
+}
+
+}  // namespace
+
+ChaosResult runChaosSweep(const ChaosConfig& config) {
+  ChaosResult result;
+  const sim::World baseWorld =
+      sim::makeRigRowWorld(config.scenario, config.rigCount);
+  core::TagspinSystem server =
+      buildTagspinServer(baseWorld, {}, config.locator);
+  server.setHealthThresholds(config.health);
+
+  for (size_t pi = 0; pi < config.intensities.size(); ++pi) {
+    const double intensity = config.intensities[pi];
+    ChaosPoint point;
+    point.intensity = intensity;
+    point.trials = config.trialsPerPoint;
+    std::vector<double> errors;
+
+    for (int trial = 0; trial < config.trialsPerPoint; ++trial) {
+      // Trial seeds depend on the trial alone, not on the intensity point:
+      // every point sees the *same* reader positions and clean streams, so
+      // the breakdown curve isolates the faults instead of re-rolling the
+      // geometry (paired trials).
+      sim::World world = baseWorld;
+      std::mt19937_64 placeRng =
+          sim::makeRng(sim::deriveSeed(config.seed, trial));
+      const geom::Vec3 truth = config.region.sample(placeRng, false);
+      sim::placeReaderAntenna(world, 0, truth);
+
+      sim::InterrogateConfig ic;
+      ic.durationS = config.durationS;
+      ic.antennaPort = 0;
+      ic.streamId = sim::deriveSeed(config.seed ^ 0x7121A1ULL, trial);
+      const rfid::ReportStream clean = sim::interrogate(world, ic);
+
+      sim::FaultConfig fc = config.faultsAtFull.scaled(intensity);
+      fc.seed = sim::deriveSeed(config.seed ^ 0xFA017ULL,
+                                pi * 100003ULL + trial);
+      if (config.dropoutRig >= 0 &&
+          config.dropoutRig < static_cast<int>(world.rigs.size()) &&
+          config.dropoutFraction * intensity > 0.0) {
+        sim::TagDropout d;
+        d.epc = world.rigs[static_cast<size_t>(config.dropoutRig)].tag.epc;
+        d.startFraction = 0.35;
+        d.endFraction = 0.35 + config.dropoutFraction * intensity;
+        fc.dropouts.push_back(d);
+      }
+      sim::FaultInjector injector(fc);
+
+      const rfid::ReportStream faulted = injector.corruptReports(clean);
+      const std::vector<uint8_t> wire = rfid::llrp::encodeStream(faulted);
+      const std::vector<uint8_t> dirty = injector.corruptBytes(wire);
+
+      rfid::llrp::DecodeStats ds;
+      const rfid::ReportStream recovered =
+          rfid::llrp::decodeStreamTolerant(dirty, &ds);
+      accumulate(point.decode, ds);
+      accumulate(point.faults, injector.stats());
+
+      const core::Result<core::ResilientFix2D> fix =
+          server.tryLocate2D(recovered);
+      if (fix) {
+        ++point.fixes;
+        if (fix->report.grade != core::FixGrade::kFull) ++point.degradedFixes;
+        errors.push_back(
+            errorCm(fix->fix.position, truth.xy()).combined);
+      } else {
+        ++point.failures[core::errorCodeName(fix.error().code)];
+      }
+    }
+
+    point.fixRate = point.trials > 0
+                        ? static_cast<double>(point.fixes) / point.trials
+                        : 0.0;
+    if (!errors.empty()) {
+      point.meanErrorCm = dsp::mean(errors);
+      point.medianErrorCm = dsp::median(errors);
+      point.p90ErrorCm = dsp::percentile(errors, 90.0);
+    }
+    if (intensity == 0.0) result.cleanMedianErrorCm = point.medianErrorCm;
+    result.points.push_back(std::move(point));
+  }
+  return result;
+}
+
+std::string chaosCsv(const ChaosResult& result) {
+  std::ostringstream out;
+  out << "intensity,trials,fixes,fix_rate,mean_error_cm,median_error_cm,"
+         "p90_error_cm,degraded_fixes,frames_decoded,frames_skipped,"
+         "frames_rejected,bytes_resynced,bytes_total,duplicates,reorders,"
+         "reports_dropped,frames_bit_flipped,frames_truncated\n";
+  for (const ChaosPoint& p : result.points) {
+    out << p.intensity << ',' << p.trials << ',' << p.fixes << ','
+        << p.fixRate << ',' << p.meanErrorCm << ',' << p.medianErrorCm << ','
+        << p.p90ErrorCm << ',' << p.degradedFixes << ','
+        << p.decode.framesDecoded << ',' << p.decode.framesSkipped << ','
+        << p.decode.framesRejected << ',' << p.decode.bytesResynced << ','
+        << p.decode.bytesTotal << ','
+        << p.faults.duplicatesInserted << ',' << p.faults.reordersApplied
+        << ',' << p.faults.reportsDropped << ',' << p.faults.framesBitFlipped
+        << ',' << p.faults.framesTruncated << '\n';
+  }
+  return out.str();
+}
+
+std::string chaosJson(const ChaosResult& result) {
+  std::ostringstream out;
+  out << "{\n  \"clean_median_error_cm\": " << result.cleanMedianErrorCm
+      << ",\n  \"points\": [\n";
+  for (size_t i = 0; i < result.points.size(); ++i) {
+    const ChaosPoint& p = result.points[i];
+    out << "    {\"intensity\": " << p.intensity << ", \"trials\": "
+        << p.trials << ", \"fixes\": " << p.fixes << ", \"fix_rate\": "
+        << p.fixRate << ", \"mean_error_cm\": " << p.meanErrorCm
+        << ", \"median_error_cm\": " << p.medianErrorCm
+        << ", \"p90_error_cm\": " << p.p90ErrorCm
+        << ", \"degraded_fixes\": " << p.degradedFixes
+        << ", \"frames_decoded\": " << p.decode.framesDecoded
+        << ", \"frames_skipped\": " << p.decode.framesSkipped
+        << ", \"frames_rejected\": " << p.decode.framesRejected
+        << ", \"bytes_resynced\": " << p.decode.bytesResynced
+        << ", \"failures\": {";
+    size_t k = 0;
+    for (const auto& [name, count] : p.failures) {
+      if (k++ > 0) out << ", ";
+      out << '"' << name << "\": " << count;
+    }
+    out << "}}" << (i + 1 < result.points.size() ? "," : "") << '\n';
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace tagspin::eval

@@ -1,0 +1,94 @@
+// Chaos harness: the repo's first robustness benchmark.
+//
+// Sweeps the FaultInjector's intensity over a fixed deployment and measures
+// how the *resilient* ingestion path (tolerant LLRP decode -> robust
+// preprocess -> graceful-degradation locator) breaks down: fix success rate
+// and error quantiles as a function of corruption rate.  Accuracy benches
+// (fig10 &c.) answer "how good is a fix"; this answers "how hard can the
+// input rot before there is no fix at all" -- the production question.
+//
+// Every trial runs the full wire path: interrogate -> report-level faults ->
+// LLRP encode -> byte-level faults -> tolerant decode -> tryLocate2D.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/errors.hpp"
+#include "core/quality.hpp"
+#include "rfid/llrp.hpp"
+#include "sim/faults.hpp"
+#include "sim/scenario.hpp"
+
+namespace tagspin::eval {
+
+struct ChaosConfig {
+  sim::ScenarioConfig scenario;
+  sim::Region region;
+  /// Rigs in the deployment (a row, sim::makeRigRowWorld).  Three is the
+  /// smallest count where the graceful-degradation locator can actually
+  /// *drop* an unhealthy rig and still fix from the rest; two rigs can only
+  /// degrade in place.
+  int rigCount = 3;
+  /// Health gate used by the resilient path.  The chaos default demands
+  /// more arc coverage than the library default: a rig silent for ~a third
+  /// of a (barely more than one revolution) spin loses a contiguous
+  /// aperture sector and its bearing is badly biased, so it is cheaper to
+  /// drop it than to average it in.
+  core::RigHealthThresholds health = defaultHealthThresholds();
+  int trialsPerPoint = 40;
+  double durationS = 15.0;
+  /// Fault intensities swept; 0 is the clean reference point.
+  std::vector<double> intensities = {0.0, 0.25, 0.5, 0.75, 1.0};
+  /// Fault rates at intensity 1.0 (linearly scaled in between).  The default
+  /// full-intensity cocktail is the acceptance scenario: 5% frame bit flips
+  /// + 2% frame truncation, 10% duplicates, 5% reorders, occasional clock
+  /// glitches/drift and EPC bit errors.
+  sim::FaultConfig faultsAtFull = defaultFaultTemplate();
+  /// Rig (index into world.rigs) silenced for `dropoutFraction *
+  /// intensity` of the interrogation; -1 disables the dropout.
+  int dropoutRig = 0;
+  double dropoutFraction = 0.30;
+  core::LocatorConfig locator;
+  uint64_t seed = 0xC4A05;
+
+  static sim::FaultConfig defaultFaultTemplate();
+  static core::RigHealthThresholds defaultHealthThresholds();
+};
+
+struct ChaosPoint {
+  double intensity = 0.0;
+  int trials = 0;
+  int fixes = 0;
+  double fixRate = 0.0;
+  // Error stats over successful fixes, cm (0 when no fix succeeded).
+  double meanErrorCm = 0.0;
+  double medianErrorCm = 0.0;
+  double p90ErrorCm = 0.0;
+  /// Decode/repair accounting aggregated over the point's trials.
+  rfid::llrp::DecodeStats decode;
+  sim::FaultStats faults;
+  /// Failure causes (ErrorCode name -> count) for trials without a fix.
+  std::map<std::string, int> failures;
+  /// Count of degraded/minimal-grade fixes (unhealthy rigs were dropped).
+  int degradedFixes = 0;
+};
+
+struct ChaosResult {
+  std::vector<ChaosPoint> points;
+  /// Median error of the intensity-0 point (the clean reference), cm.
+  double cleanMedianErrorCm = 0.0;
+};
+
+ChaosResult runChaosSweep(const ChaosConfig& config);
+
+/// Breakdown curve as CSV (one row per intensity) / JSON (an object with a
+/// "points" array); both include the fix rate, error quantiles and decode
+/// accounting so the curve can be plotted directly.
+std::string chaosCsv(const ChaosResult& result);
+std::string chaosJson(const ChaosResult& result);
+
+}  // namespace tagspin::eval

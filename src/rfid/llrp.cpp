@@ -74,18 +74,39 @@ std::vector<uint8_t> encodeReport(const TagReport& report) {
   return out;
 }
 
+namespace {
+
+/// Header check shared by the strict and tolerant decoders; a frame whose
+/// first ten bytes pass this check always decodes (the payload fields have
+/// no invalid encodings).
+bool headerValid(std::span<const uint8_t> data, size_t at) {
+  return getU16(data, at) == kMessageType &&
+         getU16(data, at + 2) == kVersion &&
+         getU32(data, at + 4) == kMessageSize;
+}
+
+}  // namespace
+
 TagReport decodeReport(std::span<const uint8_t> data) {
   if (data.size() < kMessageSize) {
-    throw std::invalid_argument("llrp: truncated message");
+    throw std::invalid_argument(
+        "llrp: truncated message: need " + std::to_string(kMessageSize) +
+        " bytes, got " + std::to_string(data.size()));
   }
   if (getU16(data, 0) != kMessageType) {
-    throw std::invalid_argument("llrp: unexpected message type");
+    throw std::invalid_argument(
+        "llrp: unexpected message type " + std::to_string(getU16(data, 0)) +
+        " at byte offset 0 (want " + std::to_string(kMessageType) + ")");
   }
   if (getU16(data, 2) != kVersion) {
-    throw std::invalid_argument("llrp: unsupported version");
+    throw std::invalid_argument(
+        "llrp: unsupported version " + std::to_string(getU16(data, 2)) +
+        " at byte offset 2");
   }
   if (getU32(data, 4) != kMessageSize) {
-    throw std::invalid_argument("llrp: bad message length");
+    throw std::invalid_argument(
+        "llrp: bad message length " + std::to_string(getU32(data, 4)) +
+        " at byte offset 4 (want " + std::to_string(kMessageSize) + ")");
   }
   TagReport r;
   r.epc = Epc{getU64(data, 8), getU32(data, 16)};
@@ -112,14 +133,93 @@ std::vector<uint8_t> encodeStream(const ReportStream& reports) {
 
 ReportStream decodeStream(std::span<const uint8_t> data) {
   if (data.size() % kMessageSize != 0) {
-    throw std::invalid_argument("llrp: stream length not a whole number of "
-                                "messages");
+    throw std::invalid_argument(
+        "llrp: stream length " + std::to_string(data.size()) +
+        " is not a whole number of " + std::to_string(kMessageSize) +
+        "-byte messages");
   }
   ReportStream out;
   out.reserve(data.size() / kMessageSize);
   for (size_t at = 0; at < data.size(); at += kMessageSize) {
-    out.push_back(decodeReport(data.subspan(at, kMessageSize)));
+    try {
+      out.push_back(decodeReport(data.subspan(at, kMessageSize)));
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument(std::string(e.what()) +
+                                  " (stream offset " + std::to_string(at) +
+                                  ")");
+    }
   }
+  return out;
+}
+
+namespace {
+
+/// Sanity bounds on a decoded payload.  Intact frames produced by any
+/// plausible reader pass comfortably; chimera frames assembled from two torn
+/// halves almost always land outside (the spliced header magic zeroes the
+/// frequency or blows up the channel/port/timestamp).
+bool payloadPlausible(const TagReport& r) {
+  return r.timestampS >= 0.0 && r.timestampS < 1.0e9 &&  // < ~31 reader-years
+         r.rssiDbm > -120.0 && r.rssiDbm < 30.0 &&
+         r.channelIndex >= 0 && r.channelIndex < 1024 &&
+         r.frequencyHz >= 1.0e8 && r.frequencyHz <= 6.0e9 &&
+         r.antennaPort >= 0 && r.antennaPort < 32;
+}
+
+/// A header magic strictly inside the candidate frame means the candidate is
+/// a truncated frame's prefix spliced onto the next real frame -- the real
+/// boundary is at the embedded magic, so the candidate must be refused.
+bool containsEmbeddedHeader(std::span<const uint8_t> data, size_t at) {
+  for (size_t k = at + 1; k + 8 <= at + kMessageSize; ++k) {
+    if (headerValid(data, k)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ReportStream decodeStreamTolerant(std::span<const uint8_t> data,
+                                  DecodeStats* stats) {
+  DecodeStats s;
+  s.bytesTotal = data.size();
+  ReportStream out;
+  out.reserve(data.size() / kMessageSize);
+
+  size_t at = 0;
+  bool resyncing = false;
+  while (at + kMessageSize <= data.size()) {
+    bool accepted = false;
+    if (headerValid(data, at)) {
+      if (containsEmbeddedHeader(data, at)) {
+        ++s.framesRejected;
+      } else {
+        TagReport r = decodeReport(data.subspan(at, kMessageSize));
+        if (payloadPlausible(r)) {
+          out.push_back(r);
+          ++s.framesDecoded;
+          at += kMessageSize;
+          resyncing = false;
+          accepted = true;
+        } else {
+          ++s.framesRejected;
+        }
+      }
+    }
+    if (!accepted) {
+      if (!resyncing) {
+        ++s.framesSkipped;  // one resync event, however many bytes long
+        resyncing = true;
+      }
+      ++s.bytesResynced;
+      ++at;
+    }
+  }
+  // Trailing bytes too short to hold a frame: a torn tail.
+  if (at < data.size()) {
+    if (!resyncing) ++s.framesSkipped;
+    s.bytesResynced += data.size() - at;
+  }
+  if (stats) *stats = s;
   return out;
 }
 

@@ -39,6 +39,41 @@ std::vector<uint8_t> encodeStream(const ReportStream& reports);
 /// Decode a concatenated stream; throws on any malformed message.
 ReportStream decodeStream(std::span<const uint8_t> data);
 
+/// Accounting of a tolerant decode pass.
+struct DecodeStats {
+  size_t framesDecoded = 0;
+  /// Resynchronization events: contiguous runs of undecodable bytes, each
+  /// corresponding to >= 1 lost frame.
+  size_t framesSkipped = 0;
+  /// Candidate frames with a valid header that were refused as phantoms: a
+  /// truncated frame's surviving header followed by the next frame's bytes
+  /// (detected by an embedded header magic), or a payload whose decoded
+  /// fields are physically implausible.
+  size_t framesRejected = 0;
+  /// Bytes stepped over while hunting for the next valid frame boundary
+  /// (includes any torn trailing partial frame).
+  size_t bytesResynced = 0;
+  size_t bytesTotal = 0;
+};
+
+/// Resynchronizing decoder for dirty streams: skips malformed or truncated
+/// frames byte-by-byte until the next valid frame header, decodes everything
+/// that survives, and never throws.  A frame is accepted only if no header
+/// magic appears *inside* its 40 bytes (a torn write splices the next frame's
+/// header into the payload) and its decoded fields are plausible (UHF-band
+/// frequency, sane RSSI/channel/port/timestamp), so chimera frames assembled
+/// from two torn halves are dropped instead of surfacing as phantom reports.
+/// Known limit: a splice that removes an exact frame multiple glues one
+/// frame's header+EPC onto another's measurement fields at the original
+/// offsets; every field of that hybrid is individually genuine, so without a
+/// frame CRC it cannot be told from a real report.  Damage is bounded to one
+/// hybrid per splice (a real EPC with a neighbouring frame's measurements);
+/// the downstream robust preprocess treats it like any other outlier read.
+/// On a well-formed stream the result is bit-identical to decodeStream.
+/// `stats` (optional) reports what was lost.
+ReportStream decodeStreamTolerant(std::span<const uint8_t> data,
+                                  DecodeStats* stats = nullptr);
+
 /// The phase quantisation step of the wire format (2*pi / 4096).
 double phaseResolutionRad();
 

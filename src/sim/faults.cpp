@@ -1,0 +1,148 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <random>
+
+#include "rfid/llrp.hpp"
+#include "sim/rng.hpp"
+
+namespace tagspin::sim {
+
+FaultConfig FaultConfig::scaled(double intensity) const {
+  FaultConfig s = *this;
+  const auto rate = [intensity](double p) {
+    return std::clamp(p * intensity, 0.0, 1.0);
+  };
+  s.duplicateProb = rate(duplicateProb);
+  s.reorderProb = rate(reorderProb);
+  s.timestampGlitchProb = rate(timestampGlitchProb);
+  s.clockDriftPpm = clockDriftPpm * intensity;
+  s.epcBitErrorProb = rate(epcBitErrorProb);
+  s.frameBitFlipProb = rate(frameBitFlipProb);
+  s.frameTruncateProb = rate(frameTruncateProb);
+  if (intensity < 1e-9) s.dropouts.clear();
+  return s;
+}
+
+FaultInjector::FaultInjector(FaultConfig config) : config_(config) {}
+
+namespace {
+
+bool chance(std::mt19937_64& rng, double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return std::uniform_real_distribution<double>(0.0, 1.0)(rng) < p;
+}
+
+}  // namespace
+
+rfid::ReportStream FaultInjector::corruptReports(
+    const rfid::ReportStream& clean) {
+  std::mt19937_64 rng =
+      makeRng(deriveSeed(config_.seed, 0x0EB0071ULL + callCounter_++));
+  rfid::ReportStream out;
+  out.reserve(clean.size());
+
+  double t0 = 0.0;
+  double t1 = 0.0;
+  if (!clean.empty()) {
+    auto [lo, hi] = std::minmax_element(
+        clean.begin(), clean.end(),
+        [](const rfid::TagReport& a, const rfid::TagReport& b) {
+          return a.timestampS < b.timestampS;
+        });
+    t0 = lo->timestampS;
+    t1 = hi->timestampS;
+  }
+  const double span = t1 - t0;
+
+  for (const rfid::TagReport& r : clean) {
+    // Dropout windows first: a silent rig produces nothing at all.
+    bool dropped = false;
+    for (const TagDropout& d : config_.dropouts) {
+      if (!(r.epc == d.epc) || span <= 0.0) continue;
+      const double frac = (r.timestampS - t0) / span;
+      if (frac >= d.startFraction && frac < d.endFraction) {
+        dropped = true;
+        break;
+      }
+    }
+    if (dropped) {
+      ++stats_.reportsDropped;
+      continue;
+    }
+
+    rfid::TagReport m = r;
+    if (config_.clockDriftPpm != 0.0) {
+      m.timestampS = t0 + (m.timestampS - t0) *
+                              (1.0 + config_.clockDriftPpm * 1e-6);
+    }
+    if (chance(rng, config_.timestampGlitchProb)) {
+      m.timestampS += std::uniform_real_distribution<double>(
+          -config_.timestampGlitchMaxS, config_.timestampGlitchMaxS)(rng);
+      ++stats_.timestampGlitches;
+    }
+    if (chance(rng, config_.epcBitErrorProb)) {
+      const int bit = std::uniform_int_distribution<int>(0, 95)(rng);
+      if (bit < 32) {
+        m.epc = rfid::Epc{m.epc.hi(), m.epc.lo() ^ (uint32_t{1} << bit)};
+      } else {
+        m.epc = rfid::Epc{m.epc.hi() ^ (uint64_t{1} << (bit - 32)),
+                          m.epc.lo()};
+      }
+      ++stats_.epcBitErrors;
+    }
+    out.push_back(m);
+    if (chance(rng, config_.duplicateProb)) {
+      out.push_back(m);  // exact retransmit, same timestamp
+      ++stats_.duplicatesInserted;
+    }
+  }
+
+  if (config_.reorderProb > 0.0) {
+    for (size_t i = 0; i + 1 < out.size(); ++i) {
+      if (chance(rng, config_.reorderProb)) {
+        std::swap(out[i], out[i + 1]);
+        ++stats_.reordersApplied;
+        ++i;  // don't cascade one report forever
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<uint8_t> FaultInjector::corruptBytes(
+    std::span<const uint8_t> clean) {
+  std::mt19937_64 rng =
+      makeRng(deriveSeed(config_.seed, 0xB17E5ULL + callCounter_++));
+  constexpr size_t kFrame = rfid::llrp::kMessageSize;
+  std::vector<uint8_t> out;
+  out.reserve(clean.size());
+
+  size_t at = 0;
+  for (; at + kFrame <= clean.size(); at += kFrame) {
+    std::vector<uint8_t> frame(clean.begin() + static_cast<long>(at),
+                               clean.begin() + static_cast<long>(at + kFrame));
+    if (chance(rng, config_.frameTruncateProb)) {
+      const size_t keep =
+          std::uniform_int_distribution<size_t>(0, kFrame - 1)(rng);
+      frame.resize(keep);
+      ++stats_.framesTruncated;
+    } else if (chance(rng, config_.frameBitFlipProb)) {
+      const int flips = std::uniform_int_distribution<int>(1, 3)(rng);
+      for (int f = 0; f < flips; ++f) {
+        const size_t bit =
+            std::uniform_int_distribution<size_t>(0, kFrame * 8 - 1)(rng);
+        frame[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+        ++stats_.bitsFlipped;
+      }
+      ++stats_.framesBitFlipped;
+    }
+    out.insert(out.end(), frame.begin(), frame.end());
+  }
+  // Trailing partial frame (already-torn input) passes through untouched.
+  out.insert(out.end(), clean.begin() + static_cast<long>(at), clean.end());
+  return out;
+}
+
+}  // namespace tagspin::sim

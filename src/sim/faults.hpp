@@ -1,0 +1,105 @@
+// Structured fault injection for the ingestion pipeline.
+//
+// A production calibration service does not see the simulator's pristine
+// report stream: readers tear frames mid-write, retransmit duplicates,
+// deliver reports out of order, glitch their clocks, and rigs fall silent
+// when a motor stalls or a forklift parks in front of the antenna.  The
+// FaultInjector reproduces those failure modes *deterministically* (seeded)
+// and *independently* (every mode has its own rate knob, default 0), so a
+// test can isolate exactly one cause and the chaos harness can sweep their
+// joint intensity.
+//
+// Two layers, matching where real faults happen:
+//  * corruptReports() mangles the decoded ReportStream -- duplication,
+//    reordering, clock drift/glitches, per-tag dropout windows, EPC bit
+//    errors (a mis-read backscatter reply that passed CRC by luck);
+//  * corruptBytes() mangles the encoded LLRP byte stream -- per-frame bit
+//    flips and truncation (torn TCP writes), which exercise the
+//    resynchronizing tolerant decoder.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rfid/epc.hpp"
+#include "rfid/report.hpp"
+
+namespace tagspin::sim {
+
+/// A window, expressed as fractions of the stream's time span, during which
+/// every report of `epc` is lost (rig stalled / occluded / powered down).
+struct TagDropout {
+  rfid::Epc epc;
+  double startFraction = 0.0;
+  double endFraction = 0.0;
+};
+
+struct FaultConfig {
+  uint64_t seed = 0x5EEDFA17ULL;
+
+  // --- report-level faults (corruptReports) ---
+  /// Per report: probability of an immediate duplicate (reader retransmit).
+  double duplicateProb = 0.0;
+  /// Per report: probability of being swapped with its successor.
+  double reorderProb = 0.0;
+  /// Per report: probability of a one-off timestamp jump (clock glitch).
+  double timestampGlitchProb = 0.0;
+  /// Maximum magnitude of a glitch jump, seconds (uniform in +-max).
+  double timestampGlitchMaxS = 0.5;
+  /// Constant reader-clock drift applied to all timestamps, parts/million.
+  double clockDriftPpm = 0.0;
+  /// Per report: probability of one flipped bit in the 96-bit EPC.
+  double epcBitErrorProb = 0.0;
+  /// Per-tag silence windows.
+  std::vector<TagDropout> dropouts;
+
+  // --- byte-level faults (corruptBytes) ---
+  /// Per frame: probability of 1-3 flipped bits somewhere in the frame.
+  double frameBitFlipProb = 0.0;
+  /// Per frame: probability the frame is truncated (random prefix survives,
+  /// the rest of the stream follows immediately -- a torn write).
+  double frameTruncateProb = 0.0;
+
+  /// Return a copy with every probability/rate scaled by `intensity`
+  /// (dropout windows keep their spans below 1e-9 intensity -> removed).
+  FaultConfig scaled(double intensity) const;
+};
+
+/// What the injector actually did (for assertions and chaos reporting).
+struct FaultStats {
+  size_t duplicatesInserted = 0;
+  size_t reordersApplied = 0;
+  size_t timestampGlitches = 0;
+  size_t epcBitErrors = 0;
+  size_t reportsDropped = 0;   // by dropout windows
+  size_t framesBitFlipped = 0;
+  size_t framesTruncated = 0;
+  size_t bitsFlipped = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultConfig config);
+
+  const FaultConfig& config() const { return config_; }
+  const FaultStats& stats() const { return stats_; }
+  void resetStats() { stats_ = {}; }
+
+  /// Apply all enabled report-level faults.  Deterministic in (config.seed,
+  /// call order): the n-th call on a fresh injector always produces the
+  /// same output for the same input.
+  rfid::ReportStream corruptReports(const rfid::ReportStream& clean);
+
+  /// Apply all enabled byte-level faults to an encoded LLRP stream.
+  /// Operates on kMessageSize-aligned frames of the *input* (faults are
+  /// applied per original frame; truncation splices the stream).
+  std::vector<uint8_t> corruptBytes(std::span<const uint8_t> clean);
+
+ private:
+  FaultConfig config_;
+  FaultStats stats_;
+  uint64_t callCounter_ = 0;
+};
+
+}  // namespace tagspin::sim

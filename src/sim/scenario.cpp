@@ -1,6 +1,7 @@
 #include "sim/scenario.hpp"
 
 #include <random>
+#include <stdexcept>
 
 #include "geom/angles.hpp"
 #include "rf/frequency_plan.hpp"
@@ -64,12 +65,22 @@ geom::Vec3 Region::sample(std::mt19937_64& rng, bool threeD) const {
 }
 
 World makeTwoRigWorld(const ScenarioConfig& config) {
+  return makeRigRowWorld(config, 2);
+}
+
+World makeRigRowWorld(const ScenarioConfig& config, int rigCount) {
+  if (rigCount < 1) {
+    throw std::invalid_argument("makeRigRowWorld: rigCount must be >= 1");
+  }
   World w = makeBaseWorld(config);
-  const double s = config.centerSpacingM / 2.0;
-  w.rigs.push_back(makeRigTag(
-      config, geom::Vec3{-s, 0.0, config.rigPlaneZ}, config.rigRadiusM, 0));
-  w.rigs.push_back(makeRigTag(
-      config, geom::Vec3{+s, 0.0, config.rigPlaneZ}, config.rigRadiusM, 1));
+  const double mid = static_cast<double>(rigCount - 1) / 2.0;
+  for (int i = 0; i < rigCount; ++i) {
+    const double x = (static_cast<double>(i) - mid) * config.centerSpacingM;
+    w.rigs.push_back(makeRigTag(config,
+                                geom::Vec3{x, 0.0, config.rigPlaneZ},
+                                config.rigRadiusM,
+                                static_cast<uint32_t>(i)));
+  }
   return w;
 }
 

@@ -39,6 +39,12 @@ struct Region {
 /// Two horizontal rigs centered at (-s/2, 0, z) and (+s/2, 0, z).
 World makeTwoRigWorld(const ScenarioConfig& config);
 
+/// `rigCount` horizontal rigs in a row along x, spaced `centerSpacingM`
+/// apart and centered on the origin (count 2 reproduces makeTwoRigWorld).
+/// Redundant rigs are what lets the graceful-degradation locator drop an
+/// unhealthy one and still fix from the rest.
+World makeRigRowWorld(const ScenarioConfig& config, int rigCount);
+
 /// One rig with the tag mounted at the disk *center* (radius 0) -- the
 /// orientation-calibration configuration of section III-B Step 1.
 World makeCenterSpinWorld(const ScenarioConfig& config);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <stdexcept>
 
 #include "geom/angles.hpp"
@@ -127,6 +128,142 @@ TEST(SamplingDensity, EdgeCases) {
   EXPECT_TRUE(samplingDensity({}, 1.0).empty());
   std::vector<Snapshot> one(1);
   EXPECT_EQ(samplingDensity(one, 0.0)[0], 0.0);  // degenerate window
+}
+
+// --- robust extraction (extractSnapshotsRobust) ---
+
+rfid::ReportStream rampStream(uint32_t tag, size_t count) {
+  rfid::ReportStream reports;
+  for (size_t i = 0; i < count; ++i) {
+    reports.push_back(makeReport(tag, 0.05 * static_cast<double>(i),
+                                 1.0 + 0.002 * static_cast<double>(i)));
+  }
+  return reports;
+}
+
+TEST(ExtractSnapshotsRobust, BitIdenticalToStrictOnCleanStream) {
+  const rfid::ReportStream reports = rampStream(1, 200);
+  const auto strict = extractSnapshots(reports, rfid::Epc::forSimulatedTag(1));
+  RepairStats repairs;
+  const auto robust = extractSnapshotsRobust(
+      reports, rfid::Epc::forSimulatedTag(1), {}, &repairs);
+  ASSERT_TRUE(robust);
+  ASSERT_EQ(robust->size(), strict.size());
+  for (size_t i = 0; i < strict.size(); ++i) {
+    EXPECT_EQ((*robust)[i].timeS, strict[i].timeS);
+    EXPECT_EQ((*robust)[i].phaseRad, strict[i].phaseRad);
+    EXPECT_EQ((*robust)[i].lambdaM, strict[i].lambdaM);
+  }
+  EXPECT_EQ(repairs.duplicatesRemoved, 0u);
+  EXPECT_EQ(repairs.timestampOutliersDropped, 0u);
+  EXPECT_EQ(repairs.phaseOutliersDropped, 0u);
+}
+
+TEST(ExtractSnapshotsRobust, RemovesExactDuplicates) {
+  rfid::ReportStream reports = rampStream(1, 100);
+  // Retransmit every 10th report (same timestamp, phase, channel).
+  rfid::ReportStream withDups;
+  size_t inserted = 0;
+  for (size_t i = 0; i < reports.size(); ++i) {
+    withDups.push_back(reports[i]);
+    if (i % 10 == 0) {
+      withDups.push_back(reports[i]);
+      ++inserted;
+    }
+  }
+  RepairStats repairs;
+  const auto robust = extractSnapshotsRobust(
+      withDups, rfid::Epc::forSimulatedTag(1), {}, &repairs);
+  ASSERT_TRUE(robust);
+  EXPECT_EQ(repairs.duplicatesRemoved, inserted);
+  EXPECT_EQ(robust->size(), reports.size());
+  // The survivors are exactly the originals.
+  const auto strict = extractSnapshots(reports, rfid::Epc::forSimulatedTag(1));
+  for (size_t i = 0; i < strict.size(); ++i) {
+    EXPECT_EQ((*robust)[i].timeS, strict[i].timeS);
+    EXPECT_EQ((*robust)[i].phaseRad, strict[i].phaseRad);
+  }
+}
+
+TEST(ExtractSnapshotsRobust, DropsIsolatedTimestampGlitch) {
+  rfid::ReportStream reports = rampStream(1, 100);  // 0..4.95 s, 50 ms steps
+  reports.push_back(makeReport(1, 1000.0, 1.1));    // clock glitch
+  RepairStats repairs;
+  const auto robust = extractSnapshotsRobust(
+      reports, rfid::Epc::forSimulatedTag(1), {}, &repairs);
+  ASSERT_TRUE(robust);
+  EXPECT_EQ(repairs.timestampOutliersDropped, 1u);
+  EXPECT_EQ(robust->size(), 100u);
+  EXPECT_LT(robust->back().timeS, 5.0);
+}
+
+TEST(ExtractSnapshotsRobust, HampelDropsPhaseBurst) {
+  rfid::ReportStream reports = rampStream(1, 100);
+  reports[50].phaseRad = reports[50].phaseRad + 2.5;  // interference burst
+  RepairStats repairs;
+  const auto robust = extractSnapshotsRobust(
+      reports, rfid::Epc::forSimulatedTag(1), {}, &repairs);
+  ASSERT_TRUE(robust);
+  EXPECT_GE(repairs.phaseOutliersDropped, 1u);
+  for (const Snapshot& s : *robust) {
+    EXPECT_LT(std::abs(s.phaseRad - 1.1), 0.5);  // the burst is gone
+  }
+}
+
+TEST(ExtractSnapshotsRobust, HampelSurvivesWrapBoundary) {
+  // Phases hugging the 0/2*pi seam must not be flagged as outliers by a
+  // naive linear median (the filter is circular).
+  rfid::ReportStream reports;
+  for (size_t i = 0; i < 100; ++i) {
+    const double phase = (i % 2 == 0) ? 0.02 : 2.0 * geom::kPi - 0.02;
+    reports.push_back(makeReport(1, 0.05 * static_cast<double>(i), phase));
+  }
+  RepairStats repairs;
+  const auto robust = extractSnapshotsRobust(
+      reports, rfid::Epc::forSimulatedTag(1), {}, &repairs);
+  ASSERT_TRUE(robust);
+  EXPECT_EQ(repairs.phaseOutliersDropped, 0u);
+  EXPECT_EQ(robust->size(), 100u);
+}
+
+TEST(ExtractSnapshotsRobust, NoReportsNamesEpcAndStreamSize) {
+  const rfid::ReportStream reports = rampStream(2, 7);
+  const auto robust =
+      extractSnapshotsRobust(reports, rfid::Epc::forSimulatedTag(1));
+  ASSERT_FALSE(robust);
+  EXPECT_EQ(robust.error().code, ErrorCode::kNoReports);
+  EXPECT_NE(robust.error().message.find(
+                rfid::Epc::forSimulatedTag(1).toHex()),
+            std::string::npos)
+      << robust.error().message;
+  EXPECT_NE(robust.error().message.find("7 reports"), std::string::npos)
+      << robust.error().message;
+  // The strict path's exception carries the same context.
+  try {
+    extractSnapshots(reports, rfid::Epc::forSimulatedTag(1));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("7 reports"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ExtractSnapshotsRobust, StagesCanBeDisabled) {
+  rfid::ReportStream reports = rampStream(1, 60);
+  reports.push_back(reports.back());               // duplicate
+  reports.push_back(makeReport(1, 500.0, 1.0));    // glitch
+  PreprocessConfig off;
+  off.dedupe = false;
+  off.repairTimestamps = false;
+  off.hampelFilter = false;
+  RepairStats repairs;
+  const auto robust = extractSnapshotsRobust(
+      reports, rfid::Epc::forSimulatedTag(1), off, &repairs);
+  ASSERT_TRUE(robust);
+  EXPECT_EQ(robust->size(), 62u);  // nothing was repaired
+  EXPECT_EQ(repairs.duplicatesRemoved, 0u);
+  EXPECT_EQ(repairs.timestampOutliersDropped, 0u);
+  EXPECT_EQ(repairs.phaseOutliersDropped, 0u);
 }
 
 }  // namespace

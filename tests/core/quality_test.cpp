@@ -104,6 +104,75 @@ TEST(FixConfidence, DegenerateInputs) {
       fixConfidence(one, std::numeric_limits<double>::infinity()), 0.0);
 }
 
+TEST(RigHealth, CleanTraceIsHealthy) {
+  SyntheticConfig sc;
+  sc.readerAzimuth = 1.3;
+  sc.noiseStd = 0.05;
+  const auto snaps = makeSnapshots(sc);
+  const RigHealth h = assessRigHealth(snaps, defaultKinematics());
+  EXPECT_EQ(h.snapshotCount, sc.count);
+  EXPECT_NEAR(h.durationS, sc.durationS, 0.5);
+  // 30 s at 0.5 rad/s is ~2.4 revolutions: the full circle is covered.
+  EXPECT_GT(h.arcCoverage, 0.95);
+  EXPECT_GT(h.spectrum.peakValue, 0.5);
+  EXPECT_TRUE(isHealthy(h, RigHealthThresholds{}));
+}
+
+TEST(RigHealth, ContiguousDropoutLowersArcCoverage) {
+  SyntheticConfig sc;
+  sc.readerAzimuth = 1.3;
+  sc.durationS = 12.6;  // almost exactly one revolution at 0.5 rad/s
+  const auto full = makeSnapshots(sc);
+  // Silence the middle 30% of the interrogation.
+  std::vector<Snapshot> gappy;
+  const double t0 = 0.35 * sc.durationS;
+  const double t1 = 0.65 * sc.durationS;
+  for (const Snapshot& s : full) {
+    if (s.timeS < t0 || s.timeS >= t1) gappy.push_back(s);
+  }
+  const RigHealth h = assessRigHealth(gappy, defaultKinematics());
+  // A 30% time gap on a one-revolution spin is a ~30% aperture hole.
+  EXPECT_LT(h.arcCoverage, 0.80);
+  EXPECT_GT(h.arcCoverage, 0.55);
+  RigHealthThresholds strict;
+  strict.minArcCoverage = 0.85;
+  EXPECT_FALSE(isHealthy(h, strict));
+  EXPECT_TRUE(isHealthy(h, RigHealthThresholds{}));  // default gate is 0.30
+}
+
+TEST(RigHealth, DegenerateInputsScoreZeroWithoutThrowing) {
+  const RigHealth empty = assessRigHealth({}, defaultKinematics());
+  EXPECT_EQ(empty.snapshotCount, 0u);
+  EXPECT_EQ(empty.arcCoverage, 0.0);
+  EXPECT_EQ(empty.spectrum.peakValue, 0.0);
+  EXPECT_FALSE(isHealthy(empty, RigHealthThresholds{}));
+
+  std::vector<Snapshot> one(1);
+  one[0].lambdaM = 0.325;
+  const RigHealth single = assessRigHealth(one, defaultKinematics());
+  EXPECT_EQ(single.snapshotCount, 1u);
+  EXPECT_EQ(single.durationS, 0.0);
+  EXPECT_FALSE(isHealthy(single, RigHealthThresholds{}));
+}
+
+TEST(RigHealth, ThresholdsGateEachAxisIndependently) {
+  SyntheticConfig sc;
+  sc.readerAzimuth = 0.9;
+  const auto snaps = makeSnapshots(sc);
+  const RigHealth h = assessRigHealth(snaps, defaultKinematics());
+
+  RigHealthThresholds t;
+  EXPECT_TRUE(isHealthy(h, t));
+  t.minSnapshots = h.snapshotCount + 1;
+  EXPECT_FALSE(isHealthy(h, t));
+  t = {};
+  t.minArcCoverage = 1.1;  // impossible
+  EXPECT_FALSE(isHealthy(h, t));
+  t = {};
+  t.minPeakValue = 1.1;  // impossible (profiles are normalised)
+  EXPECT_FALSE(isHealthy(h, t));
+}
+
 TEST(FixConfidence, EndToEndSeparatesGoodAndBadGeometry) {
   // Same spectra, two candidate fixes: broadside (well-conditioned) vs far
   // down-range (dilution) -- the confidence must rank them correctly.

@@ -1,0 +1,236 @@
+// Graceful-degradation locator: the resilient entry points must match the
+// strict path bit-for-bit on clean input, drop unhealthy rigs with an audit
+// trail on dirty input, and report every failure cause as an ErrorCode.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/errors.hpp"
+#include "core/tagspin.hpp"
+#include "eval/estimators.hpp"
+#include "geom/angles.hpp"
+#include "sim/interrogator.hpp"
+#include "sim/scenario.hpp"
+#include "synthetic.hpp"
+
+namespace tagspin {
+namespace {
+
+sim::World makeThreeRigWorld(uint64_t seed = 17) {
+  sim::ScenarioConfig sc;
+  sc.seed = seed;
+  sc.fixedChannel = true;
+  return sim::makeRigRowWorld(sc, 3);
+}
+
+/// Make the channel ideal: no ambient-interference outliers (3% of reads by
+/// default), no Gaussian phase noise (whose 3-sigma tails the Hampel filter
+/// legitimately trims), no multipath (a deep fade produces an abrupt phase
+/// excursion that is flagged the same way).  The bit-identity tests need a
+/// stream where the robust stages have nothing to repair: on a noisy stream
+/// the filter is *supposed* to drop reads, and robust != strict is the
+/// correct outcome.
+void disableInterference(sim::World& world) {
+  rf::ChannelConfig cc = world.channel.config();
+  cc.phaseOutlierProb = 0.0;
+  cc.phaseNoiseStd = 0.0;
+  cc.multipathEnabled = false;
+  world.channel = rf::BackscatterChannel(cc, world.channel.scatterers());
+}
+
+rfid::ReportStream interrogateAt(sim::World& world, const geom::Vec3& truth,
+                                 double durationS = 15.0) {
+  sim::placeReaderAntenna(world, 0, truth);
+  sim::InterrogateConfig ic;
+  ic.durationS = durationS;
+  ic.antennaPort = 0;
+  return sim::interrogate(world, ic);
+}
+
+/// Keep only the first `count` reports of `epc` (plus everything else).
+rfid::ReportStream starveTag(const rfid::ReportStream& reports,
+                             const rfid::Epc& epc, size_t count) {
+  rfid::ReportStream out;
+  size_t kept = 0;
+  for (const rfid::TagReport& r : reports) {
+    if (r.epc == epc && kept >= count) continue;
+    if (r.epc == epc) ++kept;
+    out.push_back(r);
+  }
+  return out;
+}
+
+TEST(Resilience, CleanStream2DIsBitIdenticalToStrictPath) {
+  sim::World world = makeThreeRigWorld();
+  disableInterference(world);
+  const geom::Vec3 truth{0.5, 1.9, 0.0};
+  const auto reports = interrogateAt(world, truth);
+  const core::TagspinSystem server = eval::buildTagspinServer(world, {}, {});
+
+  const core::Fix2D strict = server.locate2D(reports);
+  const core::Result<core::ResilientFix2D> res = server.tryLocate2D(reports);
+  ASSERT_TRUE(res) << res.error().message;
+
+  EXPECT_EQ(res->report.grade, core::FixGrade::kFull);
+  EXPECT_EQ(res->report.usedRigs.size(), 3u);
+  EXPECT_TRUE(res->report.droppedRigs.empty());
+  EXPECT_GT(res->report.confidence, 0.0);
+  EXPECT_LE(res->report.confidence, 1.0);
+
+  // Bit-identity, not approximation: the resilient path on a clean stream
+  // must run the exact same numbers through the exact same code.
+  EXPECT_EQ(res->fix.position.x, strict.position.x);
+  EXPECT_EQ(res->fix.position.y, strict.position.y);
+  ASSERT_EQ(res->fix.directions.size(), strict.directions.size());
+  for (size_t i = 0; i < strict.directions.size(); ++i) {
+    EXPECT_EQ(res->fix.directions[i].azimuth, strict.directions[i].azimuth);
+  }
+}
+
+TEST(Resilience, CleanStream3DIsBitIdenticalToStrictPath) {
+  sim::World world = makeThreeRigWorld(23);
+  disableInterference(world);
+  const geom::Vec3 truth{-0.4, 2.1, 0.6};
+  const auto reports = interrogateAt(world, truth);
+  const core::TagspinSystem server = eval::buildTagspinServer(world, {}, {});
+
+  const core::Fix3D strict = server.locate3D(reports);
+  const core::Result<core::ResilientFix3D> res = server.tryLocate3D(reports);
+  ASSERT_TRUE(res) << res.error().message;
+  EXPECT_EQ(res->report.grade, core::FixGrade::kFull);
+  EXPECT_EQ(res->fix.position.x, strict.position.x);
+  EXPECT_EQ(res->fix.position.y, strict.position.y);
+  EXPECT_EQ(res->fix.position.z, strict.position.z);
+}
+
+TEST(Resilience, StarvedRigIsDroppedWithReasonAndDegradedGrade) {
+  sim::World world = makeThreeRigWorld();
+  const geom::Vec3 truth{0.5, 1.9, 0.0};
+  const auto reports = interrogateAt(world, truth);
+  // Rig 2 keeps 8 reports: enough to be offered as an observation (>= 2),
+  // far below the default minSnapshots = 16 health gate.
+  const rfid::Epc starved = world.rigs[2].tag.epc;
+  const auto dirty = starveTag(reports, starved, 8);
+
+  const core::TagspinSystem server = eval::buildTagspinServer(world, {}, {});
+  const core::Result<core::ResilientFix2D> res = server.tryLocate2D(dirty);
+  ASSERT_TRUE(res) << res.error().message;
+
+  EXPECT_EQ(res->report.grade, core::FixGrade::kDegraded);
+  EXPECT_EQ(res->report.usedRigs.size(), 2u);
+  ASSERT_EQ(res->report.droppedRigs.size(), 1u);
+  ASSERT_EQ(res->report.droppedReasons.size(), 1u);
+  EXPECT_NE(res->report.droppedReasons[0].find("snapshots"), std::string::npos)
+      << res->report.droppedReasons[0];
+  // Confidence carries the explicit x0.7 degradation cap.
+  EXPECT_GT(res->report.confidence, 0.0);
+  EXPECT_LE(res->report.confidence, 0.7);
+  // Two healthy rigs still produce a usable fix.
+  EXPECT_LT(geom::distance(res->fix.position, truth.xy()), 0.8);
+}
+
+TEST(Resilience, MinimalGradeWhenNoRigPassesTheGate) {
+  sim::World world = makeThreeRigWorld();
+  const geom::Vec3 truth{0.3, 2.0, 0.0};
+  const auto reports = interrogateAt(world, truth);
+
+  core::TagspinSystem server = eval::buildTagspinServer(world, {}, {});
+  core::RigHealthThresholds impossible;
+  impossible.minSnapshots = 1000000;  // nothing is "healthy" now
+  server.setHealthThresholds(impossible);
+
+  const core::Result<core::ResilientFix2D> res = server.tryLocate2D(reports);
+  ASSERT_TRUE(res) << res.error().message;
+  EXPECT_EQ(res->report.grade, core::FixGrade::kMinimal);
+  EXPECT_EQ(res->report.usedRigs.size(), 2u);  // best-pair fallback
+  EXPECT_LE(res->report.confidence, 0.4);      // x0.4 minimal cap
+  EXPECT_LT(geom::distance(res->fix.position, truth.xy()), 0.8);
+}
+
+TEST(Resilience, EmptyAndSilentStreamsReportTooFewRigs) {
+  sim::World world = makeThreeRigWorld();
+  const core::TagspinSystem server = eval::buildTagspinServer(world, {}, {});
+
+  const auto empty2d = server.tryLocate2D({});
+  ASSERT_FALSE(empty2d);
+  EXPECT_EQ(empty2d.error().code, core::ErrorCode::kTooFewRigs);
+  // The message must name the deployment and the stream so an operator can
+  // tell "no rigs registered" from "rigs registered but nothing heard".
+  EXPECT_NE(empty2d.error().message.find("0 of 3"), std::string::npos)
+      << empty2d.error().message;
+  EXPECT_NE(empty2d.error().message.find("0 reports"), std::string::npos)
+      << empty2d.error().message;
+
+  const auto empty3d = server.tryLocate3D({});
+  ASSERT_FALSE(empty3d);
+  EXPECT_EQ(empty3d.error().code, core::ErrorCode::kTooFewRigs);
+
+  // A stream where only one rig speaks is just as unusable.
+  const geom::Vec3 truth{0.5, 1.9, 0.0};
+  auto reports = interrogateAt(world, truth);
+  rfid::ReportStream oneRig;
+  for (const rfid::TagReport& r : reports) {
+    if (r.epc == world.rigs[0].tag.epc) oneRig.push_back(r);
+  }
+  const auto single = server.tryLocate2D(oneRig);
+  ASSERT_FALSE(single);
+  EXPECT_EQ(single.error().code, core::ErrorCode::kTooFewRigs);
+}
+
+TEST(Resilience, UnusableObservationsReportTooFewHealthyRigs) {
+  // Two rigs offered, each with a single snapshot: not even the minimal
+  // fallback can build a spectrum from one phase sample.
+  core::RigObservation a;
+  a.rig.center = {0.0, 0.0, 0.0};
+  a.rig.kinematics = core::testing::defaultKinematics();
+  core::Snapshot s;
+  s.timeS = 0.0;
+  s.phaseRad = 1.0;
+  s.lambdaM = 0.325;
+  a.snapshots = {s};
+  core::RigObservation b = a;
+  b.rig.center = {2.0, 0.0, 0.0};
+
+  const core::Locator locator;
+  const std::vector<core::RigObservation> obs = {a, b};
+  const auto res = locator.tryLocate2D(obs);
+  ASSERT_FALSE(res);
+  EXPECT_EQ(res.error().code, core::ErrorCode::kTooFewHealthyRigs);
+}
+
+TEST(Resilience, ParallelRaysReportDegenerateGeometry) {
+  // Two rigs with *identical* kinematics and snapshots estimate bitwise
+  // identical azimuths; from distinct centers that is an exactly parallel
+  // ray pair, which must come back as an ErrorCode, not an exception.
+  core::testing::SyntheticConfig cfg;
+  cfg.readerAzimuth = 0.7;
+  const auto snaps = core::testing::makeSnapshots(cfg);
+
+  core::RigObservation a;
+  a.rig.center = {0.0, 0.0, 0.0};
+  a.rig.kinematics = core::testing::defaultKinematics();
+  a.snapshots = snaps;
+  core::RigObservation b = a;
+  b.rig.center = {2.0, 0.0, 0.0};
+
+  const core::Locator locator;
+  const auto res = locator.tryLocate2D(std::vector<core::RigObservation>{a, b});
+  ASSERT_FALSE(res);
+  EXPECT_EQ(res.error().code, core::ErrorCode::kDegenerateGeometry);
+}
+
+TEST(Resilience, ResultAndErrorCodeBasics) {
+  core::Result<int> ok = 42;
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(*ok, 42);
+  core::Result<int> bad = core::Error{core::ErrorCode::kMalformedFrame, "x"};
+  ASSERT_FALSE(bad);
+  EXPECT_EQ(bad.error().code, core::ErrorCode::kMalformedFrame);
+  EXPECT_STREQ(core::errorCodeName(core::ErrorCode::kTooFewRigs),
+               "too_few_rigs");
+  EXPECT_STREQ(core::errorCodeName(core::ErrorCode::kDegenerateGeometry),
+               "degenerate_geometry");
+}
+
+}  // namespace
+}  // namespace tagspin

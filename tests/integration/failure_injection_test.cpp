@@ -5,6 +5,8 @@
 #include "core/tagspin.hpp"
 #include "eval/estimators.hpp"
 #include "geom/angles.hpp"
+#include "rfid/llrp.hpp"
+#include "sim/faults.hpp"
 #include "sim/interrogator.hpp"
 #include "sim/scenario.hpp"
 
@@ -103,6 +105,97 @@ TEST(FailureInjection, BadAntennaPort) {
 TEST(FailureInjection, ProfileRequiresSnapshots) {
   core::RigKinematics kin{0.10, 0.5, 0.0, geom::kPi / 2.0};
   EXPECT_THROW(core::PowerProfile({}, kin, {}), std::invalid_argument);
+}
+
+// --- structured fault injection through the resilient path ---
+
+TEST(FailureInjection, DuplicatesAndReordersDoNotMoveTheFix) {
+  sim::World world = makeWorld(31);
+  const geom::Vec3 truth{0.5, 1.9, 0.0};
+  sim::placeReaderAntenna(world, 0, truth);
+  const auto clean = sim::interrogate(world, {15.0, 0, 0});
+  const core::TagspinSystem server = eval::buildTagspinServer(world, {}, {});
+
+  const auto cleanFix = server.tryLocate2D(clean);
+  ASSERT_TRUE(cleanFix) << cleanFix.error().message;
+
+  sim::FaultConfig fc;
+  fc.duplicateProb = 0.15;
+  fc.reorderProb = 0.10;
+  sim::FaultInjector injector(fc);
+  const auto dirty = injector.corruptReports(clean);
+  ASSERT_GT(injector.stats().duplicatesInserted, 0u);
+  ASSERT_GT(injector.stats().reordersApplied, 0u);
+
+  const auto fix = server.tryLocate2D(dirty);
+  ASSERT_TRUE(fix) << fix.error().message;
+  // Dedup and sorting neutralise retransmits and swaps almost entirely.
+  EXPECT_EQ(fix->report.grade, core::FixGrade::kFull);
+  EXPECT_LT(geom::distance(fix->fix.position, cleanFix->fix.position), 0.10);
+}
+
+TEST(FailureInjection, DropoutWindowIsDroppedWhenCoverageGateDemandsIt) {
+  sim::ScenarioConfig sc;
+  sc.seed = 33;
+  sc.fixedChannel = true;
+  sim::World world = sim::makeRigRowWorld(sc, 3);
+  const geom::Vec3 truth{0.4, 2.0, 0.0};
+  sim::placeReaderAntenna(world, 0, truth);
+  const auto clean = sim::interrogate(world, {15.0, 0, 0});
+
+  sim::FaultConfig fc;
+  sim::TagDropout d;
+  d.epc = world.rigs[0].tag.epc;
+  d.startFraction = 0.35;
+  d.endFraction = 0.65;  // rig 0 silent for 30% of the spin
+  fc.dropouts.push_back(d);
+  sim::FaultInjector injector(fc);
+  const auto dirty = injector.corruptReports(clean);
+  ASSERT_GT(injector.stats().reportsDropped, 0u);
+
+  core::TagspinSystem server = eval::buildTagspinServer(world, {}, {});
+  core::RigHealthThresholds gate;
+  gate.minArcCoverage = 0.75;  // a 30% contiguous hole fails this
+  server.setHealthThresholds(gate);
+
+  const auto fix = server.tryLocate2D(dirty);
+  ASSERT_TRUE(fix) << fix.error().message;
+  EXPECT_EQ(fix->report.grade, core::FixGrade::kDegraded);
+  ASSERT_EQ(fix->report.droppedRigs.size(), 1u);
+  EXPECT_EQ(fix->report.droppedRigs[0], 0u);
+  EXPECT_NE(fix->report.droppedReasons[0].find("arc coverage"),
+            std::string::npos)
+      << fix->report.droppedReasons[0];
+  // The two clean rigs carry the fix.
+  EXPECT_LT(geom::distance(fix->fix.position, truth.xy()), 0.8);
+}
+
+TEST(FailureInjection, TornFramesRecoverThroughTolerantDecode) {
+  sim::World world = makeWorld(37);
+  const geom::Vec3 truth{0.6, 1.8, 0.0};
+  sim::placeReaderAntenna(world, 0, truth);
+  const auto clean = sim::interrogate(world, {15.0, 0, 0});
+  const core::TagspinSystem server = eval::buildTagspinServer(world, {}, {});
+  const auto cleanFix = server.tryLocate2D(clean);
+  ASSERT_TRUE(cleanFix) << cleanFix.error().message;
+
+  sim::FaultConfig fc;
+  fc.frameBitFlipProb = 0.05;
+  fc.frameTruncateProb = 0.02;
+  sim::FaultInjector injector(fc);
+  const auto wire = rfid::llrp::encodeStream(clean);
+  const auto dirty = injector.corruptBytes(wire);
+  ASSERT_GT(injector.stats().framesTruncated, 0u);
+
+  rfid::llrp::DecodeStats stats;
+  const auto recovered = rfid::llrp::decodeStreamTolerant(dirty, &stats);
+  // The overwhelming majority of frames survive...
+  EXPECT_GT(recovered.size(), clean.size() * 8 / 10);
+  EXPECT_GT(stats.bytesResynced, 0u);
+  // ...and the fix barely moves.
+  const auto fix = server.tryLocate2D(recovered);
+  ASSERT_TRUE(fix) << fix.error().message;
+  EXPECT_LT(geom::distance(fix->fix.position, cleanFix->fix.position), 0.15);
 }
 
 TEST(FailureInjection, OrientationPreludeNeedsRevolutionCoverage) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
 #include <stdexcept>
 
 #include "geom/angles.hpp"
@@ -94,6 +95,205 @@ TEST(Llrp, RejectsMalformedInput) {
 TEST(Llrp, EmptyStream) {
   EXPECT_TRUE(encodeStream({}).empty());
   EXPECT_TRUE(decodeStream({}).empty());
+}
+
+TEST(Llrp, ErrorMessagesNameByteOffsets) {
+  std::vector<uint8_t> msg = encodeReport(sample());
+  msg[2] = 0x7F;  // bad version
+  try {
+    decodeReport(msg);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("byte offset 2"), std::string::npos)
+        << e.what();
+  }
+  // The stream decoder appends the stream offset of the bad message.
+  ReportStream two{sample(0), sample(1)};
+  std::vector<uint8_t> stream = encodeStream(two);
+  stream[kMessageSize + 2] = 0x7F;
+  try {
+    decodeStream(stream);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(
+                  "stream offset " + std::to_string(kMessageSize)),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tolerant decoder: clean-path regression + deterministic corruption corpus.
+// ---------------------------------------------------------------------------
+
+ReportStream corpusStream(size_t frames) {
+  ReportStream stream;
+  for (uint32_t i = 0; i < frames; ++i) {
+    TagReport r = sample(i % 5);
+    r.timestampS = 0.0371 * i;
+    r.phaseRad = geom::wrapTwoPi(0.13 * i);
+    r.rssiDbm = -60.0 + 0.1 * static_cast<double>(i % 100);
+    stream.push_back(r);
+  }
+  return stream;
+}
+
+/// A decoded report is genuine iff its re-encoding byte-matches one of the
+/// original frames (the wire format round-trips exactly from decoded
+/// values); anything else is a phantom assembled from torn halves.
+bool matchesSomeFrame(const TagReport& decoded,
+                      const std::vector<uint8_t>& originalBytes) {
+  const std::vector<uint8_t> enc = encodeReport(decoded);
+  for (size_t at = 0; at + kMessageSize <= originalBytes.size();
+       at += kMessageSize) {
+    if (std::equal(enc.begin(), enc.end(), originalBytes.begin() + at)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(LlrpTolerant, BitIdenticalToStrictOnCleanStream) {
+  const ReportStream stream = corpusStream(64);
+  const std::vector<uint8_t> bytes = encodeStream(stream);
+  const ReportStream strict = decodeStream(bytes);
+  DecodeStats stats;
+  const ReportStream tolerant = decodeStreamTolerant(bytes, &stats);
+  ASSERT_EQ(tolerant.size(), strict.size());
+  for (size_t i = 0; i < strict.size(); ++i) {
+    EXPECT_EQ(encodeReport(tolerant[i]), encodeReport(strict[i])) << i;
+  }
+  EXPECT_EQ(stats.framesDecoded, stream.size());
+  EXPECT_EQ(stats.framesSkipped, 0u);
+  EXPECT_EQ(stats.framesRejected, 0u);
+  EXPECT_EQ(stats.bytesResynced, 0u);
+  EXPECT_EQ(stats.bytesTotal, bytes.size());
+}
+
+TEST(LlrpTolerant, TruncationAtEveryByteOffsetNeverPhantoms) {
+  const std::vector<uint8_t> bytes = encodeStream(corpusStream(50));
+  for (size_t cut = 0; cut <= bytes.size(); ++cut) {
+    const std::span<const uint8_t> prefix(bytes.data(), cut);
+    DecodeStats stats;
+    const ReportStream decoded = decodeStreamTolerant(prefix, &stats);
+    // Every whole frame before the cut survives; the torn tail never
+    // produces a report.
+    ASSERT_EQ(decoded.size(), cut / kMessageSize) << "cut at " << cut;
+    for (const TagReport& r : decoded) {
+      ASSERT_TRUE(matchesSomeFrame(r, bytes)) << "phantom at cut " << cut;
+    }
+    EXPECT_EQ(stats.bytesResynced, cut % kMessageSize);
+  }
+}
+
+TEST(LlrpTolerant, MidStreamSpliceBoundsTheDamage) {
+  // Removing a byte range mid-stream splices two torn frames together.  A
+  // splice whose length is NOT a frame multiple misaligns every field, and
+  // the chimera is rejected (embedded header magic / implausible payload).
+  // A frame-multiple splice (40, 80 bytes) glues the head of frame K onto
+  // the tail of frame K+n *at the original field offsets*: every byte of
+  // that hybrid comes from a genuine frame, so without a frame CRC it is
+  // indistinguishable from a real report (when the tear lands inside the
+  // EPC field even the identity is a mix of two genuine EPCs; downstream,
+  // an unknown EPC is simply absent from the rig registry and ignored).
+  // The guarantee tested here is bounded damage: at most ONE hybrid per
+  // splice, and no avalanche -- all untouched frames survive.
+  const ReportStream corpus = corpusStream(30);
+  const std::vector<uint8_t> bytes = encodeStream(corpus);
+  size_t totalIntact = 0;
+  size_t totalRecovered = 0;
+  for (size_t at = 0; at + 1 < bytes.size(); at += 11) {
+    for (size_t len : {1u, 7u, 39u, 40u, 53u, 80u}) {
+      if (at + len > bytes.size()) continue;
+      // Remove bytes [at, at+len): a torn write splicing the stream.
+      std::vector<uint8_t> spliced(bytes.begin(),
+                                   bytes.begin() + static_cast<long>(at));
+      spliced.insert(spliced.end(),
+                     bytes.begin() + static_cast<long>(at + len), bytes.end());
+      const ReportStream decoded = decodeStreamTolerant(spliced);
+      size_t hybrids = 0;
+      for (const TagReport& r : decoded) {
+        if (!matchesSomeFrame(r, bytes)) ++hybrids;
+      }
+      ASSERT_LE(hybrids, len % kMessageSize == 0 ? 1u : 0u)
+          << "splice [" << at << ", " << at + len << ")";
+      // Frames untouched by the splice must all survive.
+      const size_t cutFirst = at / kMessageSize;
+      const size_t cutLast = (at + len - 1) / kMessageSize;
+      const size_t intact =
+          bytes.size() / kMessageSize - (cutLast - cutFirst + 1);
+      totalIntact += intact;
+      totalRecovered += decoded.size();
+      ASSERT_GE(decoded.size(), intact)
+          << "splice [" << at << ", " << at + len << ")";
+    }
+  }
+  EXPECT_GE(totalRecovered, totalIntact);
+}
+
+TEST(LlrpTolerant, SeededBitFlipCorpusRecoversIntactFrames) {
+  const ReportStream stream = corpusStream(60);
+  const std::vector<uint8_t> bytes = encodeStream(stream);
+  std::mt19937_64 rng(0xC0FFEE);
+  size_t intactTotal = 0;
+  size_t intactRecovered = 0;
+  for (int round = 0; round < 200; ++round) {
+    std::vector<uint8_t> dirty = bytes;
+    std::vector<bool> frameTouched(stream.size(), false);
+    const int flips = 1 + static_cast<int>(rng() % 8);
+    for (int f = 0; f < flips; ++f) {
+      const size_t bit = rng() % (dirty.size() * 8);
+      dirty[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+      frameTouched[bit / 8 / kMessageSize] = true;
+    }
+    ReportStream decoded;
+    ASSERT_NO_THROW(decoded = decodeStreamTolerant(dirty));
+    ASSERT_LE(decoded.size(), stream.size());
+    // Count the untouched frames that made it through unaltered.
+    size_t nextMatch = 0;
+    for (size_t i = 0; i < stream.size(); ++i) {
+      if (frameTouched[i]) continue;
+      ++intactTotal;
+      const std::vector<uint8_t> want = encodeReport(stream[i]);
+      for (size_t k = nextMatch; k < decoded.size(); ++k) {
+        if (encodeReport(decoded[k]) == want) {
+          ++intactRecovered;
+          nextMatch = k + 1;
+          break;
+        }
+      }
+    }
+  }
+  ASSERT_GT(intactTotal, 0u);
+  EXPECT_GE(static_cast<double>(intactRecovered),
+            0.99 * static_cast<double>(intactTotal))
+      << intactRecovered << " of " << intactTotal;
+}
+
+TEST(LlrpTolerant, TruncatedFramePrefixIsRejectedNotChimera) {
+  // A frame torn after 20 bytes followed by an intact frame: the torn
+  // frame's surviving header must not swallow the intact frame's bytes.
+  const ReportStream stream = corpusStream(3);
+  const std::vector<uint8_t> bytes = encodeStream(stream);
+  std::vector<uint8_t> torn(bytes.begin(), bytes.begin() + 20);
+  torn.insert(torn.end(), bytes.begin() + kMessageSize, bytes.end());
+  DecodeStats stats;
+  const ReportStream decoded = decodeStreamTolerant(torn, &stats);
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(encodeReport(decoded[0]), encodeReport(stream[1]));
+  EXPECT_EQ(encodeReport(decoded[1]), encodeReport(stream[2]));
+  EXPECT_EQ(stats.framesRejected, 1u);
+  EXPECT_EQ(stats.bytesResynced, 20u);
+}
+
+TEST(LlrpTolerant, ImplausiblePayloadIsRejected) {
+  TagReport r = sample();
+  r.frequencyHz = 0.0;  // no carrier: physically impossible report
+  std::vector<uint8_t> bytes = encodeReport(r);
+  EXPECT_TRUE(decodeStreamTolerant(bytes).empty());
+  DecodeStats stats;
+  decodeStreamTolerant(bytes, &stats);
+  EXPECT_EQ(stats.framesRejected, 1u);
 }
 
 }  // namespace

@@ -1,0 +1,220 @@
+#include "sim/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rf/constants.hpp"
+#include "rfid/llrp.hpp"
+
+namespace tagspin::sim {
+namespace {
+
+rfid::ReportStream cleanStream(size_t count, uint32_t tags = 2) {
+  rfid::ReportStream stream;
+  for (uint32_t i = 0; i < count; ++i) {
+    rfid::TagReport r;
+    r.epc = rfid::Epc::forSimulatedTag(i % tags);
+    r.timestampS = 0.025 * i;
+    r.phaseRad = 0.01 * i;
+    r.rssiDbm = -55.0;
+    r.channelIndex = 3;
+    r.frequencyHz = rf::mhz(920.625);
+    stream.push_back(r);
+  }
+  return stream;
+}
+
+TEST(FaultInjector, NoFaultsIsIdentity) {
+  const rfid::ReportStream clean = cleanStream(200);
+  FaultInjector injector({});
+  const rfid::ReportStream out = injector.corruptReports(clean);
+  ASSERT_EQ(out.size(), clean.size());
+  for (size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_EQ(out[i].epc, clean[i].epc);
+    EXPECT_DOUBLE_EQ(out[i].timestampS, clean[i].timestampS);
+    EXPECT_DOUBLE_EQ(out[i].phaseRad, clean[i].phaseRad);
+  }
+  const std::vector<uint8_t> bytes = rfid::llrp::encodeStream(clean);
+  EXPECT_EQ(injector.corruptBytes(bytes), bytes);
+}
+
+TEST(FaultInjector, DeterministicInSeed) {
+  const rfid::ReportStream clean = cleanStream(500);
+  FaultConfig fc;
+  fc.seed = 1234;
+  fc.duplicateProb = 0.1;
+  fc.reorderProb = 0.1;
+  fc.timestampGlitchProb = 0.05;
+  fc.epcBitErrorProb = 0.02;
+  FaultInjector a(fc);
+  FaultInjector b(fc);
+  const rfid::ReportStream ra = a.corruptReports(clean);
+  const rfid::ReportStream rb = b.corruptReports(clean);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].epc, rb[i].epc);
+    EXPECT_DOUBLE_EQ(ra[i].timestampS, rb[i].timestampS);
+  }
+  // A different seed must produce a different corruption pattern.
+  fc.seed = 99;
+  FaultInjector c(fc);
+  const rfid::ReportStream rc = c.corruptReports(clean);
+  bool anyDifferent = rc.size() != ra.size();
+  for (size_t i = 0; !anyDifferent && i < std::min(ra.size(), rc.size());
+       ++i) {
+    anyDifferent = ra[i].timestampS != rc[i].timestampS;
+  }
+  EXPECT_TRUE(anyDifferent);
+}
+
+TEST(FaultInjector, DuplicatesAreExactRetransmits) {
+  const rfid::ReportStream clean = cleanStream(1000);
+  FaultConfig fc;
+  fc.duplicateProb = 0.2;
+  FaultInjector injector(fc);
+  const rfid::ReportStream out = injector.corruptReports(clean);
+  EXPECT_EQ(out.size(), clean.size() + injector.stats().duplicatesInserted);
+  // Rate within a loose band around 20%.
+  EXPECT_GT(injector.stats().duplicatesInserted, clean.size() / 10);
+  EXPECT_LT(injector.stats().duplicatesInserted, clean.size() * 3 / 10);
+  size_t adjacentPairs = 0;
+  for (size_t i = 1; i < out.size(); ++i) {
+    if (out[i].timestampS == out[i - 1].timestampS &&
+        out[i].phaseRad == out[i - 1].phaseRad &&
+        out[i].epc == out[i - 1].epc) {
+      ++adjacentPairs;
+    }
+  }
+  EXPECT_EQ(adjacentPairs, injector.stats().duplicatesInserted);
+}
+
+TEST(FaultInjector, ReorderSwapsNeighbours) {
+  const rfid::ReportStream clean = cleanStream(1000);
+  FaultConfig fc;
+  fc.reorderProb = 0.2;
+  FaultInjector injector(fc);
+  const rfid::ReportStream out = injector.corruptReports(clean);
+  ASSERT_EQ(out.size(), clean.size());
+  size_t inversions = 0;
+  for (size_t i = 1; i < out.size(); ++i) {
+    if (out[i].timestampS < out[i - 1].timestampS) ++inversions;
+  }
+  EXPECT_EQ(inversions, injector.stats().reordersApplied);
+  EXPECT_GT(inversions, 0u);
+}
+
+TEST(FaultInjector, DropoutWindowSilencesOneTag) {
+  const rfid::ReportStream clean = cleanStream(1000, 2);
+  FaultConfig fc;
+  TagDropout d;
+  d.epc = rfid::Epc::forSimulatedTag(0);
+  d.startFraction = 0.25;
+  d.endFraction = 0.75;
+  fc.dropouts.push_back(d);
+  FaultInjector injector(fc);
+  const rfid::ReportStream out = injector.corruptReports(clean);
+  double t0 = clean.front().timestampS;
+  double t1 = clean.back().timestampS;
+  for (const rfid::TagReport& r : out) {
+    if (!(r.epc == d.epc)) continue;
+    const double frac = (r.timestampS - t0) / (t1 - t0);
+    EXPECT_FALSE(frac >= 0.25 && frac < 0.75) << "report inside the window";
+  }
+  // The other tag is untouched: half the stream, all survived.
+  const size_t other = std::count_if(
+      out.begin(), out.end(), [](const rfid::TagReport& r) {
+        return r.epc == rfid::Epc::forSimulatedTag(1);
+      });
+  EXPECT_EQ(other, clean.size() / 2);
+  EXPECT_EQ(out.size() + injector.stats().reportsDropped, clean.size());
+}
+
+TEST(FaultInjector, EpcBitErrorsFlipExactlyOneBit) {
+  const rfid::ReportStream clean = cleanStream(500, 1);
+  FaultConfig fc;
+  fc.epcBitErrorProb = 0.3;
+  FaultInjector injector(fc);
+  const rfid::ReportStream out = injector.corruptReports(clean);
+  ASSERT_EQ(out.size(), clean.size());
+  size_t changed = 0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (out[i].epc == clean[i].epc) continue;
+    ++changed;
+    const uint64_t dHi = out[i].epc.hi() ^ clean[i].epc.hi();
+    const uint32_t dLo = out[i].epc.lo() ^ clean[i].epc.lo();
+    EXPECT_EQ(__builtin_popcountll(dHi) + __builtin_popcount(dLo), 1);
+  }
+  EXPECT_EQ(changed, injector.stats().epcBitErrors);
+  EXPECT_GT(changed, 0u);
+}
+
+TEST(FaultInjector, ClockDriftScalesTimestamps) {
+  const rfid::ReportStream clean = cleanStream(100);
+  FaultConfig fc;
+  fc.clockDriftPpm = 1000.0;  // exaggerated for visibility
+  FaultInjector injector(fc);
+  const rfid::ReportStream out = injector.corruptReports(clean);
+  const double span = clean.back().timestampS - clean.front().timestampS;
+  EXPECT_NEAR(out.back().timestampS - out.front().timestampS,
+              span * 1.001, 1e-9);
+}
+
+TEST(FaultInjector, ByteFaultsPreserveFrameCountOnFlipOnly) {
+  const rfid::ReportStream clean = cleanStream(300);
+  const std::vector<uint8_t> bytes = rfid::llrp::encodeStream(clean);
+  FaultConfig fc;
+  fc.frameBitFlipProb = 0.25;
+  FaultInjector injector(fc);
+  const std::vector<uint8_t> dirty = injector.corruptBytes(bytes);
+  EXPECT_EQ(dirty.size(), bytes.size());  // flips never change the length
+  EXPECT_GT(injector.stats().framesBitFlipped, 0u);
+  EXPECT_GE(injector.stats().bitsFlipped, injector.stats().framesBitFlipped);
+  size_t differingBytes = 0;
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    if (bytes[i] != dirty[i]) ++differingBytes;
+  }
+  EXPECT_LE(differingBytes, injector.stats().bitsFlipped);
+  EXPECT_GT(differingBytes, 0u);
+}
+
+TEST(FaultInjector, TruncationShortensStream) {
+  const rfid::ReportStream clean = cleanStream(300);
+  const std::vector<uint8_t> bytes = rfid::llrp::encodeStream(clean);
+  FaultConfig fc;
+  fc.frameTruncateProb = 0.3;
+  FaultInjector injector(fc);
+  const std::vector<uint8_t> dirty = injector.corruptBytes(bytes);
+  EXPECT_LT(dirty.size(), bytes.size());
+  EXPECT_GT(injector.stats().framesTruncated, 0u);
+}
+
+TEST(FaultConfigScaled, ZeroIntensityDisablesEverything) {
+  FaultConfig fc;
+  fc.duplicateProb = 0.5;
+  fc.reorderProb = 0.5;
+  fc.timestampGlitchProb = 0.5;
+  fc.clockDriftPpm = 100.0;
+  fc.epcBitErrorProb = 0.5;
+  fc.frameBitFlipProb = 0.5;
+  fc.frameTruncateProb = 0.5;
+  fc.dropouts.push_back({rfid::Epc::forSimulatedTag(0), 0.0, 1.0});
+  const FaultConfig off = fc.scaled(0.0);
+  EXPECT_EQ(off.duplicateProb, 0.0);
+  EXPECT_EQ(off.reorderProb, 0.0);
+  EXPECT_EQ(off.timestampGlitchProb, 0.0);
+  EXPECT_EQ(off.clockDriftPpm, 0.0);
+  EXPECT_EQ(off.epcBitErrorProb, 0.0);
+  EXPECT_EQ(off.frameBitFlipProb, 0.0);
+  EXPECT_EQ(off.frameTruncateProb, 0.0);
+  EXPECT_TRUE(off.dropouts.empty());
+  const FaultConfig half = fc.scaled(0.5);
+  EXPECT_DOUBLE_EQ(half.duplicateProb, 0.25);
+  EXPECT_DOUBLE_EQ(half.clockDriftPpm, 50.0);
+  EXPECT_EQ(half.dropouts.size(), 1u);
+  // Rates saturate at 1.
+  EXPECT_DOUBLE_EQ(fc.scaled(10.0).duplicateProb, 1.0);
+}
+
+}  // namespace
+}  // namespace tagspin::sim

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Build and run the full test suite under ASan+UBSan.
+#
+# Usage: tools/run_sanitized.sh [build-dir] [extra ctest args...]
+# Default build dir: build-asan (kept separate from the plain build).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+shift || true
+
+GEN_ARGS=()
+if command -v ninja >/dev/null 2>&1; then
+  GEN_ARGS=(-G Ninja)
+fi
+
+cmake -B "$BUILD_DIR" -S . "${GEN_ARGS[@]}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DTAGSPIN_SANITIZE="address;undefined"
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" "$@"
