@@ -32,6 +32,11 @@ enum class ErrorCode {
   kNonMonotonicTime,
   /// Arc/duration coverage too low for a meaningful spectrum.
   kInsufficientCoverage,
+  /// No checkpoint file exists (fresh start, not an error in itself).
+  kCheckpointMissing,
+  /// A checkpoint file exists but fails its integrity checks (bad CRC,
+  /// truncation, malformed payload) -- resume must fall back to empty.
+  kCheckpointCorrupt,
   /// Anything that indicates a bug rather than bad input.
   kInternal,
 };
@@ -87,6 +92,8 @@ inline const char* errorCodeName(ErrorCode code) {
     case ErrorCode::kMalformedFrame: return "malformed_frame";
     case ErrorCode::kNonMonotonicTime: return "non_monotonic_time";
     case ErrorCode::kInsufficientCoverage: return "insufficient_coverage";
+    case ErrorCode::kCheckpointMissing: return "checkpoint_missing";
+    case ErrorCode::kCheckpointCorrupt: return "checkpoint_corrupt";
     case ErrorCode::kInternal: return "internal";
   }
   return "unknown";

@@ -199,6 +199,134 @@ DeploymentFile readDeployment(std::istream& in) {
   return deployment;
 }
 
+void writeCheckpoint(std::ostream& out, const CalibrationCheckpoint& ckpt) {
+  out << "# Tagspin calibration checkpoint\n";
+  out << "[checkpoint]\n";
+  out << std::setprecision(17);
+  out << "sequence = " << ckpt.sequence << "\n";
+  out << "wall_time_s = " << ckpt.wallTimeS << "\n";
+  out << "last_report_timestamp_s = " << ckpt.lastReportTimestampS << "\n";
+  for (const auto& [epc, tag] : ckpt.tags) {
+    out << "[tag_progress " << epc.toHex() << "]\n";
+    out << "snapshot_count = " << tag.snapshots.size() << "\n";
+    for (const Snapshot& s : tag.snapshots) {
+      out << "snapshot = " << s.timeS << " " << s.phaseRad << " " << s.lambdaM
+          << " " << s.channel << " " << s.rssiDbm << "\n";
+    }
+    if (!tag.angleSpectrum.empty()) {
+      out << "spectrum =";
+      for (double v : tag.angleSpectrum) out << " " << v;
+      out << "\n";
+    }
+    if (tag.hasOrientationModel) {
+      out << "[tag_model " << epc.toHex() << "]\n";
+      writeModelBody(out, tag.orientationModel);
+    }
+  }
+}
+
+namespace {
+
+TagCalibrationProgress parseTagProgressBody(Parser& p, std::string& line,
+                                            bool& haveLine) {
+  TagCalibrationProgress tag;
+  size_t declaredCount = 0;
+  bool sawCount = false;
+  while ((haveLine = p.next(line))) {
+    if (line[0] == '[') break;
+    const auto [key, value] = splitKeyValue(p, line);
+    if (key == "snapshot_count") {
+      declaredCount = static_cast<size_t>(parseDouble(p, value));
+      sawCount = true;
+    } else if (key == "snapshot") {
+      const auto v = parseDoubles(p, value, 5);
+      Snapshot s;
+      s.timeS = v[0];
+      s.phaseRad = v[1];
+      s.lambdaM = v[2];
+      s.channel = static_cast<int>(v[3]);
+      s.rssiDbm = v[4];
+      tag.snapshots.push_back(s);
+    } else if (key == "spectrum") {
+      std::istringstream ss(value);
+      double v;
+      while (ss >> v) tag.angleSpectrum.push_back(v);
+    } else {
+      p.fail("unknown key: " + key);
+    }
+  }
+  if (!sawCount) p.fail("tag_progress missing 'snapshot_count'");
+  if (tag.snapshots.size() != declaredCount) {
+    p.fail("tag_progress declares " + std::to_string(declaredCount) +
+           " snapshots but holds " + std::to_string(tag.snapshots.size()) +
+           " (truncated checkpoint?)");
+  }
+  return tag;
+}
+
+}  // namespace
+
+CalibrationCheckpoint readCheckpoint(std::istream& in) {
+  CalibrationCheckpoint ckpt;
+  Parser p{in};
+  std::string line;
+  bool haveLine = p.next(line);
+  bool sawHeader = false;
+  while (haveLine) {
+    if (line.front() != '[' || line.back() != ']') {
+      p.fail("expected a [section] header: " + line);
+    }
+    const std::string header = line.substr(1, line.size() - 2);
+    const size_t space = header.find(' ');
+    const std::string type =
+        space == std::string::npos ? header : header.substr(0, space);
+    if (type == "checkpoint") {
+      sawHeader = true;
+      while ((haveLine = p.next(line))) {
+        if (line[0] == '[') break;
+        const auto [key, value] = splitKeyValue(p, line);
+        if (key == "sequence") {
+          ckpt.sequence = static_cast<uint64_t>(parseDouble(p, value));
+        } else if (key == "wall_time_s") {
+          ckpt.wallTimeS = parseDouble(p, value);
+        } else if (key == "last_report_timestamp_s") {
+          ckpt.lastReportTimestampS = parseDouble(p, value);
+        } else {
+          p.fail("unknown key: " + key);
+        }
+      }
+    } else if (type == "tag_progress") {
+      if (space == std::string::npos) p.fail("section needs an EPC: " + line);
+      const rfid::Epc epc = rfid::Epc::fromHex(header.substr(space + 1));
+      ckpt.tags[epc] = parseTagProgressBody(p, line, haveLine);
+    } else if (type == "tag_model") {
+      if (space == std::string::npos) p.fail("section needs an EPC: " + line);
+      const rfid::Epc epc = rfid::Epc::fromHex(header.substr(space + 1));
+      TagCalibrationProgress& tag = ckpt.tags[epc];
+      tag.orientationModel = parseModelBody(p, line, haveLine);
+      tag.hasOrientationModel = true;
+    } else {
+      p.fail("unknown section type: " + type);
+    }
+  }
+  if (!sawHeader) {
+    throw std::invalid_argument(
+        "checkpoint: missing [checkpoint] header section");
+  }
+  return ckpt;
+}
+
+std::string checkpointToString(const CalibrationCheckpoint& ckpt) {
+  std::ostringstream out;
+  writeCheckpoint(out, ckpt);
+  return out.str();
+}
+
+CalibrationCheckpoint checkpointFromString(const std::string& text) {
+  std::istringstream in(text);
+  return readCheckpoint(in);
+}
+
 std::string deploymentToString(const DeploymentFile& deployment) {
   std::ostringstream out;
   writeDeployment(out, deployment);

@@ -6,9 +6,11 @@
 // deployment files live in version control.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/orientation_calibration.hpp"
 #include "core/snapshot.hpp"
@@ -36,5 +38,40 @@ DeploymentFile deploymentFromString(const std::string& text);
 /// Orientation models alone (the prelude's output artifact).
 void writeOrientationModel(std::ostream& out, const OrientationModel& model);
 OrientationModel readOrientationModel(std::istream& in);
+
+/// Per-tag calibration progress as checkpointed by the session runtime:
+/// the snapshots accumulated so far (a spin interrupted mid-revolution
+/// resumes from exactly these), the fitted Fourier orientation model when
+/// one exists, and an optional partial angle spectrum (dense azimuth
+/// samples of the rig's power profile at checkpoint time -- a warm-start
+/// and post-mortem artifact).
+struct TagCalibrationProgress {
+  std::vector<Snapshot> snapshots;
+  bool hasOrientationModel = false;
+  OrientationModel orientationModel;
+  std::vector<double> angleSpectrum;
+};
+
+/// Everything the supervised runtime persists between crashes.  The
+/// sequence number increases with every save, so a stale file is
+/// recognizable; lastReportTimestampS is the reader-clock high watermark
+/// of the ingested stream.
+struct CalibrationCheckpoint {
+  uint64_t sequence = 0;
+  double wallTimeS = 0.0;
+  double lastReportTimestampS = 0.0;
+  std::map<rfid::Epc, TagCalibrationProgress> tags;
+};
+
+/// Serialize / parse a checkpoint in the same text dialect as deployment
+/// files.  Parsing throws std::invalid_argument with a line number on
+/// malformed input (including a snapshot count that does not match its
+/// declared snapshot_count -- a text-level truncation tell).  File-level
+/// integrity (CRC, atomic replace) is layered on top by
+/// runtime::CheckpointStore.
+void writeCheckpoint(std::ostream& out, const CalibrationCheckpoint& ckpt);
+CalibrationCheckpoint readCheckpoint(std::istream& in);
+std::string checkpointToString(const CalibrationCheckpoint& ckpt);
+CalibrationCheckpoint checkpointFromString(const std::string& text);
 
 }  // namespace tagspin::core

@@ -1,0 +1,113 @@
+// Soak harness: drives the supervised session runtime through a scripted
+// sequence of transport outages (disconnects, stalls, floods) over a long
+// spin capture, plus an optional kill -9 + restore mid-run, and measures
+// what production cares about:
+//  * does every outage recover, and how fast (time-to-recover per event);
+//  * how many reports the outages cost;
+//  * how far the end-to-end 2D fix drifts from an uninterrupted baseline
+//    on the *same* clean stream (paired: same world, same reader truth,
+//    same interrogation seed);
+//  * whether a killed process resumes from its checkpoint without
+//    re-acquiring already-captured revolutions.
+//
+// The chaos harness (eval/chaos) rots the *bytes*; this rots the
+// *connection*.  Together they cover the ingestion stack's failure plane.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/queue.hpp"
+#include "runtime/supervisor.hpp"
+#include "sim/flaky_transport.hpp"
+#include "sim/scenario.hpp"
+
+namespace tagspin::eval {
+
+struct SoakConfig {
+  sim::ScenarioConfig scenario;
+  sim::Region region;
+  int rigCount = 3;
+  /// Capture length in rig revolutions (10 = the standard script's block).
+  double revolutions = 10.0;
+  /// Supervisor tick cadence, simulated seconds.
+  double tickS = 0.05;
+  /// Extra run-out after the stream ends (lets late recoveries drain).
+  double settleS = 2.0;
+
+  runtime::SupervisorConfig supervisor = defaultSupervisorConfig();
+  double connectDelayS = 0.05;
+
+  /// Outage script; empty -> sim::standardOutageScript over the span.
+  std::vector<sim::OutageEvent> events;
+
+  /// Kill -9 the runtime at this fraction of the capture and restart from
+  /// the last checkpoint (<= 0 disables).
+  double killAtFraction = 0.55;
+  /// Checkpoint file path ("" -> "soak_checkpoint.ckpt" in the CWD).
+  std::string checkpointPath;
+
+  uint64_t seed = 0x50AC17ULL;
+
+  static runtime::SupervisorConfig defaultSupervisorConfig();
+};
+
+struct OutageRecovery {
+  sim::OutageEvent event;
+  bool recovered = false;
+  double recoveredAtS = -1.0;
+  /// From the event's end to the first newly ingested report.
+  double timeToRecoverS = -1.0;
+};
+
+struct SoakResult {
+  // Paired accuracy.
+  bool baselineOk = false;
+  bool soakOk = false;
+  double baselineErrorCm = 0.0;
+  double soakErrorCm = 0.0;
+  double errorRatio = 0.0;  // soak / baseline (0 when either failed)
+  std::string soakFailure;  // error-code name when !soakOk
+  std::string soakGrade;    // fix grade when soakOk
+
+  // Outage recovery (disconnects and stalls; floods never pause ingest).
+  std::vector<OutageRecovery> recoveries;
+  bool allRecovered = false;
+  double maxTimeToRecoverS = 0.0;
+  double meanTimeToRecoverS = 0.0;
+
+  // Stream accounting.
+  size_t cleanReports = 0;
+  uint64_t reportsSeen = 0;
+  uint64_t reportsIngested = 0;
+  uint64_t framesLostWhileDown = 0;
+  double reportLossFraction = 0.0;
+
+  // Kill/restore.
+  bool killed = false;
+  double killAtS = 0.0;
+  size_t snapshotsAtKill = 0;
+  size_t snapshotsRestored = 0;
+  double checkpointAgeAtKillS = 0.0;  // reports lost to the save cadence
+  double revolutionsReacquired = 0.0;
+  bool restoreOk = false;
+
+  // Runtime accounting (cumulative across the restart).
+  uint64_t checkpointsSaved = 0;
+  uint64_t sessionsRestarted = 0;
+  uint64_t sessionDisconnects = 0;
+  uint64_t watchdogNoReport = 0;
+  uint64_t watchdogStuckClock = 0;
+  uint64_t duplicatesSuppressed = 0;
+  runtime::QueueStats queue;
+};
+
+SoakResult runSoak(const SoakConfig& config);
+
+/// One-line-per-event CSV of the recovery table.
+std::string soakCsv(const SoakResult& result);
+/// Full result as JSON for plotting/CI trending.
+std::string soakJson(const SoakResult& result);
+
+}  // namespace tagspin::eval

@@ -223,4 +223,52 @@ ReportStream decodeStreamTolerant(std::span<const uint8_t> data,
   return out;
 }
 
+ReportStream TolerantStreamDecoder::feed(std::span<const uint8_t> bytes) {
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  stats_.bytesTotal += bytes.size();
+
+  ReportStream out;
+  size_t at = 0;
+  while (at + kMessageSize <= buffer_.size()) {
+    bool accepted = false;
+    if (headerValid(buffer_, at)) {
+      if (containsEmbeddedHeader(buffer_, at)) {
+        ++stats_.framesRejected;
+      } else {
+        TagReport r = decodeReport(
+            std::span<const uint8_t>(buffer_).subspan(at, kMessageSize));
+        if (payloadPlausible(r)) {
+          out.push_back(r);
+          ++stats_.framesDecoded;
+          at += kMessageSize;
+          resyncing_ = false;
+          accepted = true;
+        } else {
+          ++stats_.framesRejected;
+        }
+      }
+    }
+    if (!accepted) {
+      if (!resyncing_) {
+        ++stats_.framesSkipped;
+        resyncing_ = true;
+      }
+      ++stats_.bytesResynced;
+      ++at;
+    }
+  }
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(at));
+  return out;
+}
+
+void TolerantStreamDecoder::finish() {
+  if (!buffer_.empty()) {
+    if (!resyncing_) ++stats_.framesSkipped;
+    stats_.bytesResynced += buffer_.size();
+    buffer_.clear();
+  }
+  resyncing_ = false;
+}
+
 }  // namespace tagspin::rfid::llrp

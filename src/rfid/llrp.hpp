@@ -70,9 +70,45 @@ struct DecodeStats {
 /// hybrid per splice (a real EPC with a neighbouring frame's measurements);
 /// the downstream robust preprocess treats it like any other outlier read.
 /// On a well-formed stream the result is bit-identical to decodeStream.
-/// `stats` (optional) reports what was lost.
+/// `stats` (optional) reports what was lost.  Stats are strictly
+/// per-invocation: a caller-supplied DecodeStats is overwritten, never
+/// accumulated into, so the same struct can be reused across calls.
 ReportStream decodeStreamTolerant(std::span<const uint8_t> data,
                                   DecodeStats* stats = nullptr);
+
+/// Incremental variant of decodeStreamTolerant for live transports that
+/// deliver the stream in arbitrary chunks (a TCP read never respects frame
+/// boundaries).  feed() appends bytes and returns every frame that can be
+/// validated without waiting for more input; the undecidable tail (< one
+/// frame, or a resync run still hunting for a boundary) is carried over to
+/// the next feed().  finish() flushes that tail as a torn fragment -- call
+/// it when the connection closes, then keep feeding after reconnect.
+///
+/// Feeding a whole stream in any chunking followed by finish() yields the
+/// same reports and the same cumulative stats as one decodeStreamTolerant
+/// call on the concatenation.
+class TolerantStreamDecoder {
+ public:
+  /// Append bytes and decode every complete frame now decidable.
+  ReportStream feed(std::span<const uint8_t> bytes);
+
+  /// Flush the buffered tail (accounted as resynced bytes if non-empty)
+  /// and reset the boundary-hunting state.  Returns nothing today --
+  /// a partial frame can never decode -- but keeps the stats faithful.
+  void finish();
+
+  /// Cumulative stats since construction or the last resetStats().
+  const DecodeStats& stats() const { return stats_; }
+  void resetStats() { stats_ = {}; }
+
+  /// Bytes buffered awaiting more input.
+  size_t pendingBytes() const { return buffer_.size(); }
+
+ private:
+  std::vector<uint8_t> buffer_;
+  bool resyncing_ = false;
+  DecodeStats stats_;
+};
 
 /// The phase quantisation step of the wire format (2*pi / 4096).
 double phaseResolutionRad();

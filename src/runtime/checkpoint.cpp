@@ -1,0 +1,118 @@
+#include "runtime/checkpoint.hpp"
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tagspin::runtime {
+
+namespace {
+
+std::array<uint32_t, 256> makeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+// "tagspin-checkpoint v1 len=<bytes> crc32=<8 hex digits>\n"
+constexpr const char* kMagic = "tagspin-checkpoint v1";
+
+}  // namespace
+
+uint32_t crc32(std::span<const uint8_t> data) {
+  static const std::array<uint32_t, 256> table = makeCrcTable();
+  uint32_t c = 0xFFFFFFFFu;
+  for (uint8_t b : data) c = table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t crc32(const std::string& data) {
+  return crc32(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(data.data()), data.size()));
+}
+
+std::string CheckpointStore::frame(const std::string& payload) {
+  char header[96];
+  std::snprintf(header, sizeof(header), "%s len=%zu crc32=%08x\n", kMagic,
+                payload.size(), crc32(payload));
+  return std::string(header) + payload;
+}
+
+core::Result<std::string> CheckpointStore::unframe(
+    const std::string& fileContents) {
+  using R = core::Result<std::string>;
+  const size_t nl = fileContents.find('\n');
+  if (nl == std::string::npos) {
+    return R::fail(core::ErrorCode::kCheckpointCorrupt,
+                   "checkpoint: missing header line");
+  }
+  const std::string header = fileContents.substr(0, nl);
+  size_t len = 0;
+  unsigned crc = 0;
+  char magicBuf[64] = {};
+  // Magic is two tokens; match it separately from the numeric fields.
+  if (std::sscanf(header.c_str(), "%40s v1 len=%zu crc32=%8x", magicBuf, &len,
+                  &crc) != 3 ||
+      std::string(magicBuf) + " v1" != kMagic) {
+    return R::fail(core::ErrorCode::kCheckpointCorrupt,
+                   "checkpoint: unrecognized header: " + header);
+  }
+  std::string payload = fileContents.substr(nl + 1);
+  if (payload.size() != len) {
+    return R::fail(core::ErrorCode::kCheckpointCorrupt,
+                   "checkpoint: truncated: header declares " +
+                       std::to_string(len) + " payload bytes, file holds " +
+                       std::to_string(payload.size()));
+  }
+  if (crc32(payload) != crc) {
+    return R::fail(core::ErrorCode::kCheckpointCorrupt,
+                   "checkpoint: CRC mismatch");
+  }
+  return R::ok(std::move(payload));
+}
+
+void CheckpointStore::save(
+    const core::CalibrationCheckpoint& checkpoint) const {
+  const std::string contents = frame(core::checkpointToString(checkpoint));
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("checkpoint: cannot write " + tmp);
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out) throw std::runtime_error("checkpoint: write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint: rename to " + path_ + " failed");
+  }
+}
+
+core::Result<core::CalibrationCheckpoint> CheckpointStore::load() const {
+  using R = core::Result<core::CalibrationCheckpoint>;
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) {
+    return R::fail(core::ErrorCode::kCheckpointMissing,
+                   "checkpoint: no file at " + path_);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const core::Result<std::string> payload = unframe(buf.str());
+  if (!payload) return R::fail(payload.error().code, payload.error().message);
+  try {
+    return R::ok(core::checkpointFromString(*payload));
+  } catch (const std::exception& e) {
+    return R::fail(core::ErrorCode::kCheckpointCorrupt,
+                   std::string("checkpoint: payload malformed: ") + e.what());
+  }
+}
+
+}  // namespace tagspin::runtime

@@ -1,0 +1,51 @@
+// Crash-safe persistence of calibration checkpoints.
+//
+// The text payload (core::checkpointToString) is framed with a one-line
+// header carrying its byte length and CRC-32, written to a sibling .tmp
+// file and atomically renamed over the target.  A kill -9 at any point
+// therefore leaves either the previous intact checkpoint or the new one --
+// never a torn file that silently resumes from garbage: truncation fails
+// the length check, partial writes and bit rot fail the CRC, and a
+// malformed payload fails the parser.  All three surface as
+// ErrorCode::kCheckpointCorrupt; a missing file is the distinct
+// kCheckpointMissing (a fresh start, not a fault).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "core/errors.hpp"
+#include "core/serialization.hpp"
+
+namespace tagspin::runtime {
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) of a byte span; exposed for
+/// tests and for anyone framing other artifacts the same way.
+uint32_t crc32(std::span<const uint8_t> data);
+uint32_t crc32(const std::string& data);
+
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(std::string path) : path_(std::move(path)) {}
+
+  const std::string& path() const { return path_; }
+
+  /// Serialize, frame, write to `path + ".tmp"`, fsync-flush, rename.
+  /// Throws std::runtime_error on I/O failure (disk full, bad directory);
+  /// the previous checkpoint file is untouched in that case.
+  void save(const core::CalibrationCheckpoint& checkpoint) const;
+
+  /// Load and verify.  kCheckpointMissing when no file exists;
+  /// kCheckpointCorrupt on any integrity failure.
+  core::Result<core::CalibrationCheckpoint> load() const;
+
+  /// Frame / unframe without touching the filesystem (exposed for tests).
+  static std::string frame(const std::string& payload);
+  static core::Result<std::string> unframe(const std::string& fileContents);
+
+ private:
+  std::string path_;
+};
+
+}  // namespace tagspin::runtime

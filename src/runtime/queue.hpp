@@ -1,0 +1,167 @@
+// Bounded single-producer/single-consumer ingest queues with an explicit
+// backpressure policy.
+//
+// A flooding reader (or a stalled localization consumer) must not grow the
+// host's memory without bound, and *how* the excess is shed is a policy
+// decision: block the producer (lossless, stalls the reader session),
+// drop the oldest queued reports (keep the freshest phase samples), or
+// degrade the sampling rate (admit every k-th report -- the SAR profile
+// tolerates thinning far better than a contiguous gap, exactly the
+// variable-density observation of paper Fig. 4(b)).
+//
+// The ring is written SPSC-lock-free (release/acquire on head/tail) so the
+// same structure can back a threaded deployment; the deterministic runtime
+// drives it from one thread.  kDropOldest performs a consumer-side pop from
+// the producer, so that policy is only safe when producer and consumer are
+// the same thread (as in the supervised runtime) -- documented trade-off.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace tagspin::runtime {
+
+enum class BackpressurePolicy {
+  kBlock,           // offer() refuses when full; producer must retry later
+  kDropOldest,      // evict the oldest queued element to admit the new one
+  kDegradeSampling, // above the high watermark admit only every k-th offer
+};
+const char* backpressurePolicyName(BackpressurePolicy policy);
+
+inline const char* backpressurePolicyName(BackpressurePolicy policy) {
+  switch (policy) {
+    case BackpressurePolicy::kBlock: return "block";
+    case BackpressurePolicy::kDropOldest: return "drop_oldest";
+    case BackpressurePolicy::kDegradeSampling: return "degrade_sampling";
+  }
+  return "unknown";
+}
+
+struct QueueStats {
+  uint64_t offered = 0;
+  uint64_t accepted = 0;
+  uint64_t refusedFull = 0;     // kBlock refusals
+  uint64_t droppedOldest = 0;   // kDropOldest evictions
+  uint64_t droppedSampled = 0;  // kDegradeSampling rejections
+  size_t maxDepth = 0;          // high-watermark of the queue depth
+};
+
+/// Fixed-capacity SPSC ring buffer.  One slot is sacrificed to distinguish
+/// full from empty, so the ring allocates capacity+1 slots.
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(size_t capacity)
+      : slots_(capacity + 1), buffer_(capacity + 1) {}
+
+  size_t capacity() const { return slots_ - 1; }
+
+  size_t size() const {
+    const size_t head = head_.load(std::memory_order_acquire);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    return tail >= head ? tail - head : tail + slots_ - head;
+  }
+  bool empty() const { return size() == 0; }
+  bool full() const { return size() == capacity(); }
+
+  /// Producer side.  False when full.
+  bool tryPush(T value) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    const size_t next = (tail + 1) % slots_;
+    if (next == head_.load(std::memory_order_acquire)) return false;
+    buffer_[tail] = std::move(value);
+    tail_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.  False when empty.
+  bool tryPop(T& out) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    out = std::move(buffer_[head]);
+    head_.store((head + 1) % slots_, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  size_t slots_;
+  std::vector<T> buffer_;
+  std::atomic<size_t> head_{0};
+  std::atomic<size_t> tail_{0};
+};
+
+/// Policy wrapper around SpscQueue: every producer-side admission decision
+/// goes through offer(), which applies the configured backpressure policy
+/// and keeps the accounting a soak report needs.
+template <typename T>
+class IngestQueue {
+ public:
+  IngestQueue(size_t capacity, BackpressurePolicy policy,
+              size_t degradeKeepEvery = 2, double highWatermark = 0.75)
+      : ring_(capacity), policy_(policy),
+        degradeKeepEvery_(degradeKeepEvery < 1 ? 1 : degradeKeepEvery),
+        watermarkDepth_(static_cast<size_t>(
+            highWatermark * static_cast<double>(capacity))) {}
+
+  /// Admit one element under the policy.  Returns false only when the
+  /// element was NOT enqueued (kBlock when full, or sampled away).
+  bool offer(T value) {
+    ++stats_.offered;
+    switch (policy_) {
+      case BackpressurePolicy::kBlock:
+        if (!ring_.tryPush(std::move(value))) {
+          ++stats_.refusedFull;
+          return false;
+        }
+        break;
+      case BackpressurePolicy::kDropOldest:
+        if (ring_.full()) {
+          T discarded;
+          if (ring_.tryPop(discarded)) ++stats_.droppedOldest;
+        }
+        if (!ring_.tryPush(std::move(value))) {
+          ++stats_.refusedFull;  // unreachable in single-threaded use
+          return false;
+        }
+        break;
+      case BackpressurePolicy::kDegradeSampling:
+        if (ring_.size() >= watermarkDepth_) {
+          if (degradeCounter_++ % degradeKeepEvery_ != 0) {
+            ++stats_.droppedSampled;
+            return false;
+          }
+        } else {
+          degradeCounter_ = 0;
+        }
+        if (!ring_.tryPush(std::move(value))) {
+          ++stats_.refusedFull;
+          return false;
+        }
+        break;
+    }
+    ++stats_.accepted;
+    stats_.maxDepth = std::max(stats_.maxDepth, ring_.size());
+    return true;
+  }
+
+  bool poll(T& out) { return ring_.tryPop(out); }
+
+  size_t size() const { return ring_.size(); }
+  size_t capacity() const { return ring_.capacity(); }
+  BackpressurePolicy policy() const { return policy_; }
+  const QueueStats& stats() const { return stats_; }
+
+ private:
+  SpscQueue<T> ring_;
+  BackpressurePolicy policy_;
+  size_t degradeKeepEvery_;
+  size_t watermarkDepth_;
+  uint64_t degradeCounter_ = 0;
+  QueueStats stats_;
+};
+
+}  // namespace tagspin::runtime

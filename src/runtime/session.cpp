@@ -1,0 +1,205 @@
+#include "runtime/session.hpp"
+
+#include <utility>
+
+namespace tagspin::runtime {
+
+const char* sessionStateName(SessionState state) {
+  switch (state) {
+    case SessionState::kDisconnected: return "disconnected";
+    case SessionState::kConnecting: return "connecting";
+    case SessionState::kSyncing: return "syncing";
+    case SessionState::kStreaming: return "streaming";
+    case SessionState::kDraining: return "draining";
+    case SessionState::kBackoff: return "backoff";
+    case SessionState::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+ReaderSession::ReaderSession(std::string name,
+                             std::unique_ptr<Transport> transport,
+                             SessionConfig config)
+    : name_(std::move(name)),
+      transport_(std::move(transport)),
+      config_(config),
+      queue_(config.queueCapacity, config.backpressure,
+             config.degradeKeepEvery, config.queueHighWatermark),
+      backoff_(config.backoff),
+      breaker_(config.breaker) {}
+
+void ReaderSession::enter(SessionState next, double) {
+  if (next == state_) return;
+  state_ = next;
+  ++stats_.transitions;
+}
+
+void ReaderSession::tick(double nowS) {
+  switch (state_) {
+    case SessionState::kDisconnected:
+      if (!stopRequested_ && breaker_.allowAttempt(nowS)) startAttempt(nowS);
+      break;
+
+    case SessionState::kConnecting:
+      if (stopRequested_) {
+        beginDrain(nowS);
+        break;
+      }
+      if (transport_->connect(nowS)) {
+        enter(SessionState::kSyncing, nowS);
+        deadlineS_ = nowS + config_.syncTimeoutS;
+      } else if (nowS >= deadlineS_) {
+        failAttempt(nowS);
+      }
+      break;
+
+    case SessionState::kSyncing:
+    case SessionState::kStreaming:
+      if (stopRequested_) {
+        beginDrain(nowS);
+        break;
+      }
+      pump(nowS);
+      break;
+
+    case SessionState::kDraining:
+      // beginDrain() completes synchronously; reaching a tick here means a
+      // transition raced a stop -- resolve it the same way.
+      beginDrain(nowS);
+      break;
+
+    case SessionState::kBackoff:
+      if (stopRequested_) {
+        enter(SessionState::kDisconnected, nowS);
+        break;
+      }
+      if (nowS >= backoffUntilS_ && breaker_.allowAttempt(nowS)) {
+        startAttempt(nowS);
+      } else if (breaker_.state() == BreakerState::kTripped) {
+        enter(SessionState::kFailed, nowS);
+      }
+      break;
+
+    case SessionState::kFailed:
+      break;  // terminal until the supervisor replaces the session
+  }
+}
+
+void ReaderSession::startAttempt(double nowS) {
+  ++stats_.connectAttempts;
+  enter(SessionState::kConnecting, nowS);
+  deadlineS_ = nowS + config_.connectTimeoutS;
+  if (transport_->connect(nowS)) {
+    enter(SessionState::kSyncing, nowS);
+    deadlineS_ = nowS + config_.syncTimeoutS;
+  }
+}
+
+void ReaderSession::pump(double nowS) {
+  const TransportRead read = transport_->poll(nowS);
+  if (read.status == TransportStatus::kClosed) {
+    ++stats_.disconnects;
+    beginDrain(nowS);
+    return;
+  }
+  if (read.status == TransportStatus::kOk && !read.bytes.empty()) {
+    stats_.bytesReceived += read.bytes.size();
+    const rfid::ReportStream reports = decoder_.feed(read.bytes);
+    if (!reports.empty()) {
+      if (state_ == SessionState::kSyncing) {
+        // First valid frame: the session is live.
+        enter(SessionState::kStreaming, nowS);
+        breaker_.onSuccess();
+        backoff_.reset();
+      }
+      deliver(reports, nowS);
+    }
+  }
+
+  if (state_ == SessionState::kSyncing) {
+    if (nowS >= deadlineS_) failAttempt(nowS);
+    return;
+  }
+
+  // STREAMING watchdogs.
+  if (stats_.lastReportWallS >= 0.0 &&
+      nowS - stats_.lastReportWallS > config_.noReportTimeoutS) {
+    ++stats_.watchdogNoReport;
+    beginDrain(nowS);
+    return;
+  }
+  if (stuckClockRun_ >= config_.stuckClockWindow) {
+    ++stats_.watchdogStuckClock;
+    stuckClockRun_ = 0;
+    beginDrain(nowS);
+  }
+}
+
+void ReaderSession::deliver(const rfid::ReportStream& reports, double nowS) {
+  for (const rfid::TagReport& r : reports) {
+    ++stats_.reportsDecoded;
+    // Stuck-clock detection on the raw decode order: a healthy reader's
+    // timestamps advance; a frozen clock repeats (or barely moves) them.
+    if (stats_.lastReaderClockS >= 0.0 &&
+        r.timestampS - stats_.lastReaderClockS <
+            config_.stuckClockMinAdvanceS) {
+      ++stuckClockRun_;
+    } else {
+      stuckClockRun_ = 0;
+    }
+    if (r.timestampS > stats_.lastReaderClockS) {
+      stats_.lastReaderClockS = r.timestampS;
+    }
+    if (queue_.offer(r)) ++stats_.reportsEnqueued;
+  }
+  stats_.lastReportWallS = nowS;
+}
+
+void ReaderSession::failAttempt(double nowS) {
+  ++stats_.connectFailures;
+  transport_->close();
+  decoder_.finish();
+  breaker_.onFailure(nowS);
+  if (breaker_.state() == BreakerState::kTripped) {
+    enter(SessionState::kFailed, nowS);
+    return;
+  }
+  backoffUntilS_ = nowS + backoff_.nextDelayS();
+  enter(SessionState::kBackoff, nowS);
+}
+
+void ReaderSession::beginDrain(double nowS) {
+  enter(SessionState::kDraining, nowS);
+  // Flush the decoder's buffered tail (accounts torn fragments) and drop
+  // the connection.  The queue keeps its contents: the supervisor drains
+  // delivered reports even across a reconnect.
+  decoder_.finish();
+  transport_->close();
+  stats_.lastReportWallS = -1.0;
+  stuckClockRun_ = 0;
+  if (stopRequested_) {
+    enter(SessionState::kDisconnected, nowS);
+    return;
+  }
+  breaker_.onFailure(nowS);
+  if (breaker_.state() == BreakerState::kTripped) {
+    enter(SessionState::kFailed, nowS);
+    return;
+  }
+  backoffUntilS_ = nowS + backoff_.nextDelayS();
+  enter(SessionState::kBackoff, nowS);
+}
+
+size_t ReaderSession::drainInto(rfid::ReportStream& out) {
+  size_t n = 0;
+  rfid::TagReport r;
+  while (queue_.poll(r)) {
+    out.push_back(r);
+    ++n;
+  }
+  return n;
+}
+
+void ReaderSession::requestStop() { stopRequested_ = true; }
+
+}  // namespace tagspin::runtime

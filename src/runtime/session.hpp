@@ -1,0 +1,141 @@
+// ReaderSession: the supervised connection state machine for one reader.
+//
+//   DISCONNECTED -> CONNECTING -> SYNCING -> STREAMING -> DRAINING -> BACKOFF
+//        ^                                                               |
+//        +------------------------- (stop) <------------------+---------+
+//
+// CONNECTING waits (deadline-bounded) for the transport to establish;
+// SYNCING hunts for the first valid LLRP frame boundary in the incoming
+// byte stream (a connection picked up mid-stream starts inside a frame);
+// STREAMING decodes tolerantly and offers reports to the bounded ingest
+// queue under the configured backpressure policy; DRAINING flushes the
+// decoder's buffered tail after a loss (or stop) so torn frames are
+// accounted before reconnecting; BACKOFF waits out the capped
+// decorrelated-jitter schedule, gated by the circuit breaker.  A breaker
+// that trips (repeated half-open probe failures) parks the session in
+// FAILED for the supervisor to replace.
+//
+// Liveness watchdogs run while STREAMING: a no-report detector (connected
+// but silent longer than noReportTimeoutS) and a stuck-clock detector
+// (reader timestamps stop advancing -- the reader-side clock glitch
+// sim/faults injects).  Both force a drain + reconnect, which in practice
+// resets a wedged RO-spec.
+//
+// Everything is driven by tick(nowS); the session owns no thread and no
+// clock, so the whole lifecycle is deterministic under test.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "rfid/llrp.hpp"
+#include "rfid/report.hpp"
+#include "runtime/backoff.hpp"
+#include "runtime/queue.hpp"
+#include "runtime/transport.hpp"
+
+namespace tagspin::runtime {
+
+enum class SessionState {
+  kDisconnected,
+  kConnecting,
+  kSyncing,
+  kStreaming,
+  kDraining,
+  kBackoff,
+  kFailed,  // circuit breaker tripped; supervisor intervention required
+};
+const char* sessionStateName(SessionState state);
+
+struct SessionConfig {
+  /// Deadline for transport establishment per attempt.
+  double connectTimeoutS = 2.0;
+  /// Deadline for the first decoded frame after establishment.
+  double syncTimeoutS = 5.0;
+  /// No-report watchdog: max wall time between decoded reports while
+  /// streaming before the session is recycled.
+  double noReportTimeoutS = 5.0;
+  /// Stuck-clock watchdog: this many consecutive reports whose reader
+  /// timestamp advances less than stuckClockMinAdvanceS force a recycle.
+  size_t stuckClockWindow = 64;
+  double stuckClockMinAdvanceS = 1e-9;
+
+  BackoffConfig backoff;
+  CircuitBreakerConfig breaker;
+
+  /// Ingest queue between the decode loop and the supervisor's drain.
+  size_t queueCapacity = 4096;
+  BackpressurePolicy backpressure = BackpressurePolicy::kDropOldest;
+  size_t degradeKeepEvery = 2;
+  double queueHighWatermark = 0.75;
+};
+
+struct SessionStats {
+  uint64_t connectAttempts = 0;
+  uint64_t connectFailures = 0;    // connect or sync deadline expired
+  uint64_t disconnects = 0;        // transport losses while syncing/streaming
+  uint64_t watchdogNoReport = 0;
+  uint64_t watchdogStuckClock = 0;
+  uint64_t transitions = 0;
+  uint64_t bytesReceived = 0;
+  uint64_t reportsDecoded = 0;
+  uint64_t reportsEnqueued = 0;
+  double lastReportWallS = -1.0;    // wall (tick) time of last decoded report
+  double lastReaderClockS = -1.0;   // reader timestamp high watermark
+};
+
+class ReaderSession {
+ public:
+  ReaderSession(std::string name, std::unique_ptr<Transport> transport,
+                SessionConfig config = {});
+
+  /// Advance the state machine to `nowS`.  Monotone nowS expected.
+  void tick(double nowS);
+
+  /// Consumer side: move every queued report into `out`; returns the count.
+  size_t drainInto(rfid::ReportStream& out);
+
+  /// Ask the session to wind down: it drains, closes the transport and
+  /// parks in DISCONNECTED without reconnecting.
+  void requestStop();
+
+  const std::string& name() const { return name_; }
+  SessionState state() const { return state_; }
+  const SessionStats& stats() const { return stats_; }
+  const QueueStats& queueStats() const { return queue_.stats(); }
+  const rfid::llrp::DecodeStats& decodeStats() const {
+    return decoder_.stats();
+  }
+  const CircuitBreaker& breaker() const { return breaker_; }
+  const BackoffSchedule& backoff() const { return backoff_; }
+  /// Time the current BACKOFF ends (meaningful in kBackoff).
+  double backoffUntilS() const { return backoffUntilS_; }
+
+ private:
+  void enter(SessionState next, double nowS);
+  void startAttempt(double nowS);
+  /// Poll + decode once; enqueue decoded reports; run watchdogs.
+  void pump(double nowS);
+  void failAttempt(double nowS);
+  /// Drain decoder tail, close transport, then fail into backoff/stop.
+  void beginDrain(double nowS);
+  void deliver(const rfid::ReportStream& reports, double nowS);
+
+  std::string name_;
+  std::unique_ptr<Transport> transport_;
+  SessionConfig config_;
+  SessionState state_ = SessionState::kDisconnected;
+  SessionStats stats_;
+
+  rfid::llrp::TolerantStreamDecoder decoder_;
+  IngestQueue<rfid::TagReport> queue_;
+  BackoffSchedule backoff_;
+  CircuitBreaker breaker_;
+
+  double deadlineS_ = 0.0;      // connect/sync deadline
+  double backoffUntilS_ = 0.0;
+  size_t stuckClockRun_ = 0;
+  bool stopRequested_ = false;
+};
+
+}  // namespace tagspin::runtime

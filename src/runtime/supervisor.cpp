@@ -1,0 +1,262 @@
+#include "runtime/supervisor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/power_profile.hpp"
+#include "geom/angles.hpp"
+#include "rf/constants.hpp"
+
+namespace tagspin::runtime {
+
+namespace {
+
+/// Dedup key: timestamp quantised to the wire's microsecond resolution,
+/// phase to its 1/4096-turn resolution, plus the channel -- the same triple
+/// the robust preprocess uses to recognise reader retransmits.
+uint64_t dedupKey(const rfid::TagReport& r) {
+  const uint64_t us = static_cast<uint64_t>(std::llround(r.timestampS * 1e6));
+  const uint64_t phaseQ = static_cast<uint64_t>(std::llround(
+                              geom::wrapTwoPi(r.phaseRad) / (2.0 * geom::kPi) *
+                              4096.0)) &
+                          0xFFFu;
+  return (us << 20) ^ (phaseQ << 8) ^
+         static_cast<uint64_t>(static_cast<uint32_t>(r.channelIndex));
+}
+
+core::Snapshot toSnapshot(const rfid::TagReport& r) {
+  core::Snapshot s;
+  s.timeS = r.timestampS;
+  s.phaseRad = geom::wrapTwoPi(r.phaseRad);
+  s.lambdaM = rf::wavelength(r.frequencyHz);
+  s.channel = r.channelIndex;
+  s.rssiDbm = r.rssiDbm;
+  return s;
+}
+
+}  // namespace
+
+Supervisor::Supervisor(SupervisorConfig config,
+                       core::DeploymentFile deployment, CheckpointStore* store)
+    : config_(std::move(config)),
+      deployment_(std::move(deployment)),
+      store_(store),
+      locator_(config_.locator) {
+  models_ = deployment_.orientationModels;
+}
+
+void Supervisor::addSession(std::string name, TransportFactory factory) {
+  Slot slot;
+  slot.name = std::move(name);
+  slot.factory = std::move(factory);
+  slot.session = std::make_unique<ReaderSession>(slot.name, slot.factory(),
+                                                 config_.session);
+  slots_.push_back(std::move(slot));
+}
+
+core::Result<core::CalibrationCheckpoint> Supervisor::restore() {
+  using R = core::Result<core::CalibrationCheckpoint>;
+  if (!store_) {
+    return R::fail(core::ErrorCode::kCheckpointMissing,
+                   "supervisor: no checkpoint store configured");
+  }
+  core::Result<core::CalibrationCheckpoint> loaded = store_->load();
+  if (!loaded) return loaded;
+
+  const core::CalibrationCheckpoint& ckpt = *loaded;
+  for (const auto& [epc, progress] : ckpt.tags) {
+    TagState& tag = tags_[epc];
+    tag.snapshots = progress.snapshots;
+    tag.seen.clear();
+    for (const core::Snapshot& s : tag.snapshots) {
+      rfid::TagReport r;
+      r.timestampS = s.timeS;
+      r.phaseRad = s.phaseRad;
+      r.channelIndex = s.channel;
+      tag.seen.insert(dedupKey(r));
+    }
+    if (progress.hasOrientationModel) {
+      models_[epc] = progress.orientationModel;
+    }
+  }
+  checkpointSequence_ = ckpt.sequence;
+  lastReaderTimestampS_ =
+      std::max(lastReaderTimestampS_, ckpt.lastReportTimestampS);
+  return loaded;
+}
+
+void Supervisor::tick(double nowS) {
+  for (Slot& slot : slots_) {
+    if (slot.session->state() == SessionState::kFailed) {
+      // Circuit tripped: replace the session wholesale.  A fresh breaker
+      // and backoff schedule give the reader a clean slate; the per-tag
+      // state below is untouched, so no calibration progress is lost.
+      slot.session = std::make_unique<ReaderSession>(
+          slot.name, slot.factory(), config_.session);
+      ++stats_.sessionsRestarted;
+    }
+    slot.session->tick(nowS);
+    drainScratch_.clear();
+    slot.session->drainInto(drainScratch_);
+    for (const rfid::TagReport& r : drainScratch_) {
+      ++stats_.reportsSeen;
+      ingest(r);
+    }
+  }
+
+  if (store_ && config_.checkpointIntervalS > 0.0 &&
+      (stats_.lastCheckpointWallS < 0.0 ||
+       nowS - stats_.lastCheckpointWallS >= config_.checkpointIntervalS)) {
+    try {
+      store_->save(makeCheckpoint(nowS));
+      ++stats_.checkpointsSaved;
+    } catch (const std::exception&) {
+      ++stats_.checkpointFailures;  // disk trouble must not kill ingestion
+    }
+    stats_.lastCheckpointWallS = nowS;
+  }
+}
+
+void Supervisor::shutdown(double nowS) {
+  for (Slot& slot : slots_) {
+    slot.session->requestStop();
+    slot.session->tick(nowS);
+    drainScratch_.clear();
+    slot.session->drainInto(drainScratch_);
+    for (const rfid::TagReport& r : drainScratch_) {
+      ++stats_.reportsSeen;
+      ingest(r);
+    }
+  }
+  if (store_) {
+    try {
+      store_->save(makeCheckpoint(nowS));
+      ++stats_.checkpointsSaved;
+    } catch (const std::exception&) {
+      ++stats_.checkpointFailures;
+    }
+  }
+}
+
+void Supervisor::ingest(const rfid::TagReport& report) {
+  if (report.rssiDbm < config_.minRssiDbm) {
+    ++stats_.weakRssiDropped;
+    return;
+  }
+  if (findRig(report.epc) == nullptr) {
+    ++stats_.unknownEpcDropped;  // mis-read EPCs must not grow memory
+    return;
+  }
+  TagState& tag = tags_[report.epc];
+  const uint64_t key = dedupKey(report);
+  if (tag.seen.count(key) > 0) {
+    ++stats_.duplicatesSuppressed;
+    return;
+  }
+  if (tag.acceptStride > 1 && tag.offerCounter++ % tag.acceptStride != 0) {
+    return;  // decimated admission after an earlier overflow
+  }
+  tag.seen.insert(key);
+  tag.snapshots.push_back(toSnapshot(report));
+  ++stats_.reportsIngested;
+  lastReaderTimestampS_ = std::max(lastReaderTimestampS_, report.timestampS);
+
+  if (tag.snapshots.size() >= config_.maxSnapshotsPerTag) {
+    // Decimate 2x: keep every other snapshot (all revolutions stay
+    // covered, at half density) and admit future reports at half rate.
+    std::vector<core::Snapshot> kept;
+    kept.reserve(tag.snapshots.size() / 2 + 1);
+    for (size_t i = 0; i < tag.snapshots.size(); i += 2) {
+      kept.push_back(tag.snapshots[i]);
+    }
+    tag.snapshots = std::move(kept);
+    tag.acceptStride *= 2;
+    ++stats_.decimationsApplied;
+  }
+}
+
+const core::RigSpec* Supervisor::findRig(const rfid::Epc& epc) const {
+  auto it = deployment_.rigs.find(epc);
+  if (it != deployment_.rigs.end()) return &it->second;
+  it = deployment_.verticalRigs.find(epc);
+  if (it != deployment_.verticalRigs.end()) return &it->second;
+  return nullptr;
+}
+
+std::vector<core::RigObservation> Supervisor::buildObservations() const {
+  std::vector<core::RigObservation> observations;
+  for (const auto& [epc, rig] : deployment_.rigs) {
+    const auto it = tags_.find(epc);
+    if (it == tags_.end() || it->second.snapshots.empty()) continue;
+    core::RigObservation obs;
+    obs.rig = rig;
+    obs.snapshots = it->second.snapshots;
+    std::sort(obs.snapshots.begin(), obs.snapshots.end(),
+              [](const core::Snapshot& a, const core::Snapshot& b) {
+                return a.timeS < b.timeS;
+              });
+    if (config_.preprocess.hampelFilter) {
+      obs.snapshots = core::hampelFilterPhases(
+          obs.snapshots, config_.preprocess.hampelWindow,
+          config_.preprocess.hampelThreshold, config_.preprocess.hampelFloorRad,
+          nullptr);
+    }
+    const auto model = models_.find(epc);
+    if (model != models_.end()) obs.orientation = model->second;
+    observations.push_back(std::move(obs));
+  }
+  return observations;
+}
+
+core::Result<core::ResilientFix2D> Supervisor::tryLocate2D() const {
+  return locator_.tryLocate2D(buildObservations(), config_.health);
+}
+
+core::Result<core::ResilientFix3D> Supervisor::tryLocate3D() const {
+  return locator_.tryLocate3D(buildObservations(), config_.health);
+}
+
+core::CalibrationCheckpoint Supervisor::makeCheckpoint(double nowS) const {
+  core::CalibrationCheckpoint ckpt;
+  ckpt.sequence = checkpointSequence_ + stats_.checkpointsSaved + 1;
+  ckpt.wallTimeS = nowS;
+  ckpt.lastReportTimestampS = lastReaderTimestampS_;
+  for (const auto& [epc, tag] : tags_) {
+    if (tag.snapshots.empty()) continue;
+    core::TagCalibrationProgress progress;
+    progress.snapshots = tag.snapshots;
+    std::sort(progress.snapshots.begin(), progress.snapshots.end(),
+              [](const core::Snapshot& a, const core::Snapshot& b) {
+                return a.timeS < b.timeS;
+              });
+    const auto model = models_.find(epc);
+    if (model != models_.end() && !model->second.isIdentity()) {
+      progress.hasOrientationModel = true;
+      progress.orientationModel = model->second;
+    }
+    if (config_.checkpointSpectrumPoints > 0 &&
+        progress.snapshots.size() >= 8) {
+      if (const core::RigSpec* rig = findRig(epc)) {
+        const core::PowerProfile profile(progress.snapshots, rig->kinematics,
+                                         config_.locator.profile);
+        progress.angleSpectrum =
+            profile.sampleAzimuth(config_.checkpointSpectrumPoints);
+      }
+    }
+    ckpt.tags[epc] = std::move(progress);
+  }
+  return ckpt;
+}
+
+void Supervisor::setOrientationModel(const rfid::Epc& epc,
+                                     core::OrientationModel m) {
+  models_[epc] = std::move(m);
+}
+
+size_t Supervisor::tagSnapshotCount(const rfid::Epc& epc) const {
+  const auto it = tags_.find(epc);
+  return it == tags_.end() ? 0 : it->second.snapshots.size();
+}
+
+}  // namespace tagspin::runtime

@@ -1,0 +1,144 @@
+// Supervisor: owns N ReaderSessions, accumulates their reports into
+// per-tag calibration state, and keeps that state crash-safe.
+//
+// Responsibilities, mirroring an Erlang-style supervision tree flattened
+// to one level:
+//  * tick every session (each runs its own connect/stream/backoff state
+//    machine with in-session watchdogs);
+//  * replace sessions whose circuit breaker tripped (state FAILED) with a
+//    fresh session on a fresh transport from the slot's factory -- the
+//    calibration progress lives here, not in the session, so a restart
+//    loses nothing;
+//  * drain every session's ingest queue into the per-EPC snapshot
+//    accumulators (dedup, RSSI floor, bounded by decimation -- a very long
+//    soak thins old revolutions instead of growing without bound);
+//  * periodically checkpoint the whole calibration state through a
+//    CheckpointStore, so kill -9 + restore() resumes a spin mid-revolution;
+//  * answer tryLocate2D/3D from the accumulated state at any moment.
+//
+// Like the rest of the runtime it is tick-driven and clock-free.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/locator.hpp"
+#include "core/preprocess.hpp"
+#include "core/serialization.hpp"
+#include "runtime/checkpoint.hpp"
+#include "runtime/session.hpp"
+
+namespace tagspin::runtime {
+
+using TransportFactory = std::function<std::unique_ptr<Transport>()>;
+
+struct SupervisorConfig {
+  SessionConfig session;
+  /// Seconds between periodic checkpoints (0 disables; save happens on the
+  /// first tick at/after the deadline).
+  double checkpointIntervalS = 2.0;
+  /// Per-tag snapshot bound; on overflow the accumulator decimates 2x
+  /// (drops every other stored snapshot and halves the future accept
+  /// rate), preserving full-spin arc coverage at reduced density.
+  size_t maxSnapshotsPerTag = 20000;
+  /// Reports weaker than this never enter the accumulators.
+  double minRssiDbm = -90.0;
+  /// Azimuth samples of the partial angle spectrum embedded in each
+  /// checkpoint (0 disables; needs >= 8 snapshots on the tag).
+  size_t checkpointSpectrumPoints = 72;
+  core::PreprocessConfig preprocess;
+  core::RigHealthThresholds health;
+  core::LocatorConfig locator;
+};
+
+struct SupervisorStats {
+  uint64_t reportsSeen = 0;          // drained from session queues
+  uint64_t reportsIngested = 0;      // accepted into per-tag state
+  uint64_t duplicatesSuppressed = 0;
+  uint64_t unknownEpcDropped = 0;    // EPC not in the deployment registry
+  uint64_t weakRssiDropped = 0;
+  uint64_t decimationsApplied = 0;   // 2x thinning events
+  uint64_t sessionsRestarted = 0;    // FAILED sessions replaced
+  uint64_t checkpointsSaved = 0;
+  uint64_t checkpointFailures = 0;   // save threw (disk trouble); non-fatal
+  double lastCheckpointWallS = -1.0;
+};
+
+class Supervisor {
+ public:
+  /// `store` may be null (no persistence).  The deployment provides the
+  /// rig registry and any prelude orientation models.
+  Supervisor(SupervisorConfig config, core::DeploymentFile deployment,
+             CheckpointStore* store = nullptr);
+
+  /// Register a session slot.  The factory is invoked for the initial
+  /// session and again for every supervisor-level restart, so it must
+  /// yield a transport to the *same* reader (see SharedTransport).
+  void addSession(std::string name, TransportFactory factory);
+
+  /// Load the checkpoint from the store and merge it into the per-tag
+  /// state (call before the first tick).  kCheckpointMissing is returned
+  /// but is a normal fresh start; kCheckpointCorrupt means the file was
+  /// rejected and the runtime starts empty rather than resuming garbage.
+  core::Result<core::CalibrationCheckpoint> restore();
+
+  /// Advance every session, ingest their output, restart the failed,
+  /// checkpoint when due.
+  void tick(double nowS);
+
+  /// Wind down: stop all sessions and write a final checkpoint.
+  void shutdown(double nowS);
+
+  core::Result<core::ResilientFix2D> tryLocate2D() const;
+  core::Result<core::ResilientFix3D> tryLocate3D() const;
+
+  /// Snapshot the full calibration state as a checkpoint struct.
+  core::CalibrationCheckpoint makeCheckpoint(double nowS) const;
+
+  void setOrientationModel(const rfid::Epc& epc, core::OrientationModel m);
+
+  size_t sessionCount() const { return slots_.size(); }
+  const ReaderSession& session(size_t i) const { return *slots_[i].session; }
+  const SupervisorStats& stats() const { return stats_; }
+  const core::DeploymentFile& deployment() const { return deployment_; }
+  size_t tagSnapshotCount(const rfid::Epc& epc) const;
+  /// Reader-clock high watermark across every ingested report.
+  double lastReportTimestampS() const { return lastReaderTimestampS_; }
+
+ private:
+  struct TagState {
+    std::vector<core::Snapshot> snapshots;
+    /// Packed (time, phase, channel) keys of accepted snapshots.  Bounded
+    /// by the accept path; a multi-day deployment would swap this for a
+    /// rolling filter.
+    std::unordered_set<uint64_t> seen;
+    uint64_t acceptStride = 1;  // decimation stride after overflow
+    uint64_t offerCounter = 0;
+  };
+  struct Slot {
+    std::string name;
+    TransportFactory factory;
+    std::unique_ptr<ReaderSession> session;
+  };
+
+  void ingest(const rfid::TagReport& report);
+  std::vector<core::RigObservation> buildObservations() const;
+  const core::RigSpec* findRig(const rfid::Epc& epc) const;
+
+  SupervisorConfig config_;
+  core::DeploymentFile deployment_;
+  CheckpointStore* store_;
+  core::Locator locator_;
+  std::vector<Slot> slots_;
+  std::map<rfid::Epc, TagState> tags_;
+  std::map<rfid::Epc, core::OrientationModel> models_;
+  SupervisorStats stats_;
+  uint64_t checkpointSequence_ = 0;
+  double lastReaderTimestampS_ = 0.0;
+  rfid::ReportStream drainScratch_;
+};
+
+}  // namespace tagspin::runtime

@@ -1,0 +1,58 @@
+// Abstract byte transport between a reader and the session runtime.
+//
+// The session layer never touches sockets directly: it polls a Transport
+// for bytes, so the deterministic simulator (sim::FlakyTransport) and a
+// real TCP/LLRP connection are interchangeable.  All calls take the
+// current time explicitly -- the runtime owns no clock.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace tagspin::runtime {
+
+enum class TransportStatus {
+  kOk,     // bytes delivered (possibly zero-length keepalive)
+  kIdle,   // connected, nothing new this poll
+  kClosed, // connection lost or never established
+};
+
+struct TransportRead {
+  TransportStatus status = TransportStatus::kClosed;
+  std::vector<uint8_t> bytes;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Start or continue a connection attempt; true once established.
+  /// Idempotent while connected.
+  virtual bool connect(double nowS) = 0;
+
+  /// Non-blocking poll for newly available bytes.
+  virtual TransportRead poll(double nowS) = 0;
+
+  /// Drop the connection (client side).  connect() may be called again.
+  virtual void close() = 0;
+};
+
+/// Non-owning adapter: lets several consecutive ReaderSession instances
+/// (the supervisor replaces sessions on restart) share one long-lived
+/// transport endpoint, the way reconnecting to the same reader reuses the
+/// reader, not the TCP socket.
+class SharedTransport final : public Transport {
+ public:
+  explicit SharedTransport(std::shared_ptr<Transport> inner)
+      : inner_(std::move(inner)) {}
+
+  bool connect(double nowS) override { return inner_->connect(nowS); }
+  TransportRead poll(double nowS) override { return inner_->poll(nowS); }
+  void close() override { inner_->close(); }
+
+ private:
+  std::shared_ptr<Transport> inner_;
+};
+
+}  // namespace tagspin::runtime

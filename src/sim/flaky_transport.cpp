@@ -1,0 +1,183 @@
+#include "sim/flaky_transport.hpp"
+
+#include <algorithm>
+
+#include "rfid/llrp.hpp"
+#include "sim/rng.hpp"
+
+namespace tagspin::sim {
+
+const char* outageKindName(OutageEvent::Kind kind) {
+  switch (kind) {
+    case OutageEvent::Kind::kDisconnect: return "disconnect";
+    case OutageEvent::Kind::kStall: return "stall";
+    case OutageEvent::Kind::kFlood: return "flood";
+  }
+  return "unknown";
+}
+
+std::vector<OutageEvent> standardOutageScript(double spanS,
+                                              double revolutionPeriodS,
+                                              uint64_t seed) {
+  std::vector<OutageEvent> events;
+  const double blockS = 10.0 * revolutionPeriodS;
+  uint64_t state = splitmix64(seed ^ 0x07A6EULL);
+  auto jitter = [&state]() {  // uniform in [0.85, 1.15]
+    state = splitmix64(state);
+    return 0.85 + 0.30 * (static_cast<double>(state >> 11) / 9007199254740992.0);
+  };
+  // Per 10-revolution block: 3 disconnects + 1 stall + 1 flood, spread so
+  // no two events overlap at default durations.
+  struct Placement {
+    OutageEvent::Kind kind;
+    double fraction;   // of the block
+    double durationRev;
+  };
+  const Placement placements[] = {
+      {OutageEvent::Kind::kDisconnect, 0.06, 0.8},
+      {OutageEvent::Kind::kStall, 0.25, 1.0},
+      {OutageEvent::Kind::kDisconnect, 0.45, 0.5},
+      {OutageEvent::Kind::kFlood, 0.65, 2.0},
+      {OutageEvent::Kind::kDisconnect, 0.84, 1.2},
+  };
+  // Events must *end* comfortably inside the span: an outage that outlives
+  // the capture is indistinguishable from the capture simply ending, so
+  // recovery would be unobservable.
+  const double lastEndS = 0.96 * spanS;
+  for (double blockStart = 0.0; blockStart < spanS; blockStart += blockS) {
+    for (const Placement& p : placements) {
+      OutageEvent ev;
+      ev.kind = p.kind;
+      ev.atS = blockStart + p.fraction * blockS * jitter();
+      ev.durationS = p.durationRev * revolutionPeriodS * jitter();
+      if (ev.atS >= spanS) continue;
+      if (ev.kind != OutageEvent::Kind::kFlood &&
+          ev.atS + ev.durationS > lastEndS) {
+        ev.durationS = lastEndS - ev.atS;
+        if (ev.durationS <= 0.05 * revolutionPeriodS) continue;
+      }
+      events.push_back(ev);
+    }
+  }
+  return events;
+}
+
+FlakyTransport::FlakyTransport(const World& world, FlakyTransportConfig config)
+    : config_(std::move(config)),
+      reports_(interrogate(world, config_.interrogate)),
+      wire_(rfid::llrp::encodeStream(reports_)),
+      rngState_(splitmix64(config_.seed)) {}
+
+const OutageEvent* FlakyTransport::activeEvent(double nowS,
+                                               OutageEvent::Kind kind) const {
+  for (const OutageEvent& ev : config_.events) {
+    if (ev.kind == kind && nowS >= ev.atS && nowS < ev.atS + ev.durationS) {
+      return &ev;
+    }
+  }
+  return nullptr;
+}
+
+bool FlakyTransport::connect(double nowS) {
+  if (connected_) return true;
+  if (activeEvent(nowS, OutageEvent::Kind::kDisconnect) != nullptr) {
+    connectStartedS_ = -1.0;  // reader unreachable during the outage
+    return false;
+  }
+  if (connectStartedS_ < 0.0) {
+    connectStartedS_ = nowS;
+  }
+  if (nowS - connectStartedS_ < config_.connectDelayS) return false;
+
+  connected_ = true;
+  connectStartedS_ = -1.0;
+  ++stats_.connectsEstablished;
+  // Reports emitted while no client was attached are gone -- a reader
+  // streams live.  Jump the cursor to the first frame of the present.
+  while (nextFrame_ < reports_.size() &&
+         reports_[nextFrame_].timestampS < nowS) {
+    ++nextFrame_;
+    ++stats_.framesLostWhileDown;
+  }
+  return true;
+}
+
+void FlakyTransport::dropConnection(double nowS) {
+  if (!connected_) return;
+  connected_ = false;
+  ++stats_.eventDisconnects;
+  if (config_.tearFrames && nextFrame_ < reports_.size()) {
+    // The frame in flight is torn: its first bytes were sent, the rest is
+    // lost with the connection.  Queue the *tail* for replay right after
+    // reconnect -- from the client's view the new byte stream starts
+    // mid-frame, which is exactly what SYNCING must resynchronize past.
+    rngState_ = splitmix64(rngState_);
+    const size_t cut =
+        1 + static_cast<size_t>(rngState_ % (rfid::llrp::kMessageSize - 1));
+    const size_t base = nextFrame_ * rfid::llrp::kMessageSize;
+    pendingJunk_.assign(wire_.begin() + static_cast<std::ptrdiff_t>(base + cut),
+                        wire_.begin() +
+                            static_cast<std::ptrdiff_t>(
+                                base + rfid::llrp::kMessageSize));
+    ++nextFrame_;  // the torn frame is consumed (and unrecoverable)
+    ++stats_.framesTorn;
+    ++stats_.framesLostWhileDown;
+  }
+  (void)nowS;
+}
+
+runtime::TransportRead FlakyTransport::poll(double nowS) {
+  runtime::TransportRead read;
+  if (activeEvent(nowS, OutageEvent::Kind::kDisconnect) != nullptr) {
+    dropConnection(nowS);
+    read.status = runtime::TransportStatus::kClosed;
+    return read;
+  }
+  if (!connected_) {
+    read.status = runtime::TransportStatus::kClosed;
+    return read;
+  }
+  if (activeEvent(nowS, OutageEvent::Kind::kStall) != nullptr) {
+    // Connection up, nothing moving; frames buffer reader-side and flush
+    // when the stall lifts.
+    read.status = runtime::TransportStatus::kIdle;
+    return read;
+  }
+  // A flood flushes `durationS` seconds of future stream the moment it
+  // starts (one-shot horizon extension; overlapping floods take the max).
+  for (const OutageEvent& ev : config_.events) {
+    if (ev.kind == OutageEvent::Kind::kFlood && nowS >= ev.atS) {
+      floodHorizonS_ = std::max(floodHorizonS_, ev.atS + ev.durationS);
+    }
+  }
+  const double horizonS = std::max(nowS, floodHorizonS_);
+
+  if (!pendingJunk_.empty()) {
+    read.bytes = std::move(pendingJunk_);
+    pendingJunk_.clear();
+  }
+  const size_t firstFrame = nextFrame_;
+  while (nextFrame_ < reports_.size() &&
+         reports_[nextFrame_].timestampS <= horizonS) {
+    ++nextFrame_;
+  }
+  if (nextFrame_ > firstFrame) {
+    const size_t from = firstFrame * rfid::llrp::kMessageSize;
+    const size_t to = nextFrame_ * rfid::llrp::kMessageSize;
+    read.bytes.insert(read.bytes.end(),
+                      wire_.begin() + static_cast<std::ptrdiff_t>(from),
+                      wire_.begin() + static_cast<std::ptrdiff_t>(to));
+  }
+  stats_.bytesDelivered += read.bytes.size();
+  read.status = read.bytes.empty() ? runtime::TransportStatus::kIdle
+                                   : runtime::TransportStatus::kOk;
+  return read;
+}
+
+void FlakyTransport::close() {
+  connected_ = false;
+  connectStartedS_ = -1.0;
+  pendingJunk_.clear();
+}
+
+}  // namespace tagspin::sim

@@ -1,0 +1,103 @@
+// A deliberately unreliable reader transport for the supervised runtime.
+//
+// Wraps one Interrogator run: the clean report stream is generated up
+// front (sim::interrogate), LLRP-encoded, and then released byte-by-byte
+// against the polled clock the way a live reader connection would deliver
+// it -- frame i becomes available when its report timestamp passes.  On
+// top of that, a *script* of outage events drives the failure modes the
+// session runtime must survive:
+//
+//  * kDisconnect -- the connection drops (optionally tearing the frame in
+//    flight); reports emitted while down are lost (readers stream live,
+//    they do not spool for absent clients), and the first delivery after
+//    reconnect starts with the tail of a torn frame so SYNCING has real
+//    resync work to do;
+//  * kStall -- the connection stays up but delivers nothing (wedged
+//    RO-spec / TCP zero-window); buffered frames flush in a burst when the
+//    stall ends, which is itself a mini-flood;
+//  * kFlood -- `durationS` seconds of future stream flush immediately (a
+//    reader draining its backlog), stressing the ingest queue's
+//    backpressure policy.
+//
+// Everything is deterministic in (world seed, config seed, poll times), so
+// soak runs are exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rfid/report.hpp"
+#include "runtime/transport.hpp"
+#include "sim/interrogator.hpp"
+#include "sim/world.hpp"
+
+namespace tagspin::sim {
+
+struct OutageEvent {
+  enum class Kind { kDisconnect, kStall, kFlood };
+  Kind kind = Kind::kDisconnect;
+  double atS = 0.0;
+  /// Disconnect/stall: how long the condition lasts.  Flood: how many
+  /// seconds of future stream are flushed at atS.
+  double durationS = 0.0;
+};
+const char* outageKindName(OutageEvent::Kind kind);
+
+struct FlakyTransportConfig {
+  InterrogateConfig interrogate;
+  /// Time from a connect() attempt to an established connection.
+  double connectDelayS = 0.05;
+  /// Cut mid-frame on disconnect and replay the torn tail on reconnect.
+  bool tearFrames = true;
+  uint64_t seed = 0xF1AC7ULL;
+  std::vector<OutageEvent> events;
+};
+
+struct FlakyTransportStats {
+  uint64_t connectsEstablished = 0;
+  uint64_t eventDisconnects = 0;
+  uint64_t framesLostWhileDown = 0;  // emitted while no client was attached
+  uint64_t framesTorn = 0;
+  uint64_t bytesDelivered = 0;
+};
+
+/// The standard soak outage script: per 10 revolutions, 3 disconnects,
+/// 1 stall and 1 flood, spread across each block with durations scaled to
+/// the revolution period and lightly jittered by `seed`.
+std::vector<OutageEvent> standardOutageScript(double spanS,
+                                              double revolutionPeriodS,
+                                              uint64_t seed);
+
+class FlakyTransport final : public runtime::Transport {
+ public:
+  FlakyTransport(const World& world, FlakyTransportConfig config);
+
+  // runtime::Transport
+  bool connect(double nowS) override;
+  runtime::TransportRead poll(double nowS) override;
+  void close() override;
+
+  /// The uncorrupted stream the reader produced (soak ground truth).
+  const rfid::ReportStream& cleanReports() const { return reports_; }
+  const FlakyTransportStats& stats() const { return stats_; }
+  const FlakyTransportConfig& config() const { return config_; }
+  bool connected() const { return connected_; }
+  size_t framesDelivered() const { return nextFrame_; }
+
+ private:
+  const OutageEvent* activeEvent(double nowS, OutageEvent::Kind kind) const;
+  void dropConnection(double nowS);
+
+  FlakyTransportConfig config_;
+  rfid::ReportStream reports_;
+  std::vector<uint8_t> wire_;
+  size_t nextFrame_ = 0;
+  bool connected_ = false;
+  double connectStartedS_ = -1.0;
+  double floodHorizonS_ = 0.0;
+  std::vector<uint8_t> pendingJunk_;  // torn tail replayed after reconnect
+  uint64_t rngState_ = 0;
+  FlakyTransportStats stats_;
+};
+
+}  // namespace tagspin::sim

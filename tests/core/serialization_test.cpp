@@ -146,6 +146,120 @@ TEST(Serialization, StandaloneOrientationModel) {
   EXPECT_FALSE(parsed.isIdentity());
 }
 
+CalibrationCheckpoint sampleCheckpoint() {
+  CalibrationCheckpoint ckpt;
+  ckpt.sequence = 41;
+  ckpt.wallTimeS = 88.125;
+  ckpt.lastReportTimestampS = 87.062500000000014;  // full double precision
+
+  TagCalibrationProgress progress;
+  for (int i = 0; i < 4; ++i) {
+    Snapshot s;
+    s.timeS = 0.1 * i + 1e-16;
+    s.phaseRad = 2.0 / 3.0 * i;
+    s.lambdaM = 0.32786885245901637;
+    s.channel = 10 + i;
+    s.rssiDbm = -61.5 - 0.125 * i;
+    progress.snapshots.push_back(s);
+  }
+  progress.angleSpectrum = {0.25, 0.5123456789012345, 0.75};
+  dsp::FourierSeries series;
+  series.a0 = 0.01;
+  series.a = {0.2, -0.07};
+  series.b = {0.05, 0.02};
+  progress.hasOrientationModel = true;
+  progress.orientationModel = OrientationModel::fromSeries(series, 0.11);
+  ckpt.tags[rfid::Epc::forSimulatedTag(3)] = progress;
+
+  TagCalibrationProgress bare;
+  Snapshot s;
+  s.timeS = 5.5;
+  s.phaseRad = 1.25;
+  s.lambdaM = 0.33;
+  s.channel = 0;
+  s.rssiDbm = -70.25;
+  bare.snapshots.push_back(s);
+  ckpt.tags[rfid::Epc::forSimulatedTag(4)] = bare;
+  return ckpt;
+}
+
+TEST(Serialization, CheckpointRoundTripExact) {
+  const CalibrationCheckpoint ckpt = sampleCheckpoint();
+  const CalibrationCheckpoint back =
+      checkpointFromString(checkpointToString(ckpt));
+
+  EXPECT_EQ(back.sequence, ckpt.sequence);
+  EXPECT_EQ(back.wallTimeS, ckpt.wallTimeS);
+  EXPECT_EQ(back.lastReportTimestampS, ckpt.lastReportTimestampS);
+  ASSERT_EQ(back.tags.size(), 2u);
+
+  const TagCalibrationProgress& p = back.tags.at(rfid::Epc::forSimulatedTag(3));
+  const TagCalibrationProgress& orig =
+      ckpt.tags.at(rfid::Epc::forSimulatedTag(3));
+  ASSERT_EQ(p.snapshots.size(), orig.snapshots.size());
+  for (size_t i = 0; i < p.snapshots.size(); ++i) {
+    // Bit-exact: the 17-digit dialect means the restored runtime rebuilds
+    // the very same dedup keys and fit inputs.
+    EXPECT_EQ(p.snapshots[i].timeS, orig.snapshots[i].timeS) << i;
+    EXPECT_EQ(p.snapshots[i].phaseRad, orig.snapshots[i].phaseRad) << i;
+    EXPECT_EQ(p.snapshots[i].lambdaM, orig.snapshots[i].lambdaM) << i;
+    EXPECT_EQ(p.snapshots[i].channel, orig.snapshots[i].channel) << i;
+    EXPECT_EQ(p.snapshots[i].rssiDbm, orig.snapshots[i].rssiDbm) << i;
+  }
+  ASSERT_EQ(p.angleSpectrum.size(), 3u);
+  EXPECT_EQ(p.angleSpectrum[1], 0.5123456789012345);
+  ASSERT_TRUE(p.hasOrientationModel);
+  for (double rho = 0.0; rho < geom::kTwoPi; rho += 0.7) {
+    EXPECT_DOUBLE_EQ(p.orientationModel.offsetAt(rho),
+                     orig.orientationModel.offsetAt(rho));
+  }
+
+  const TagCalibrationProgress& bare =
+      back.tags.at(rfid::Epc::forSimulatedTag(4));
+  EXPECT_FALSE(bare.hasOrientationModel);
+  EXPECT_TRUE(bare.angleSpectrum.empty());
+  ASSERT_EQ(bare.snapshots.size(), 1u);
+}
+
+TEST(Serialization, CheckpointSnapshotCountMismatchIsRejected) {
+  // Text-level truncation tell: dropping a snapshot line must not parse as
+  // a smaller-but-valid checkpoint.
+  std::string text = checkpointToString(sampleCheckpoint());
+  const size_t at = text.rfind("snapshot = ");
+  ASSERT_NE(at, std::string::npos);
+  text.erase(at, text.find('\n', at) - at + 1);
+  try {
+    checkpointFromString(text);
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Serialization, CheckpointWithoutHeaderSectionIsRejected) {
+  EXPECT_THROW(checkpointFromString(""), std::invalid_argument);
+  EXPECT_THROW(checkpointFromString("# only a comment\n"),
+               std::invalid_argument);
+  // A tag section alone (e.g. a file that lost its first lines) fails too.
+  std::string text = checkpointToString(sampleCheckpoint());
+  text = text.substr(text.find("[tag_progress"));
+  EXPECT_THROW(checkpointFromString(text), std::invalid_argument);
+}
+
+TEST(Serialization, CheckpointUnknownKeyNamesTheLine) {
+  std::string text = checkpointToString(sampleCheckpoint());
+  const size_t at = text.find("wall_time_s");
+  text.replace(at, std::string("wall_time_s").size(), "wibble_time");
+  try {
+    checkpointFromString(text);
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown key"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(Serialization, FullPrecisionPreserved) {
   // 17 significant digits round-trip doubles exactly.
   DeploymentFile d;

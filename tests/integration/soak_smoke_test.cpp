@@ -1,0 +1,69 @@
+// End-to-end smoke of the supervised runtime: flaky transport running the
+// standard outage script, supervisor with watchdogs and checkpoints, a
+// kill -9 + restore mid-spin, and a final 2D fix compared against the
+// uninterrupted baseline.  A miniature fig_soak, sized for ctest; carries
+// the `soak_smoke` label so sanitizer runs can select exactly this.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "eval/soak.hpp"
+
+namespace tagspin::eval {
+namespace {
+
+TEST(SoakSmoke, OutagesRecoverAndKillResumesFromCheckpoint) {
+  SoakConfig sc;
+  sc.scenario.seed = 33;
+  sc.scenario.fixedChannel = true;
+  sc.revolutions = 4.0;  // short capture: 1 disconnect + 1 stall land in it
+  sc.rigCount = 3;
+  sc.checkpointPath =
+      (std::filesystem::temp_directory_path() / "tagspin_soak_smoke.ckpt")
+          .string();
+  std::remove(sc.checkpointPath.c_str());
+
+  const SoakResult r = runSoak(sc);
+
+  // The paired baseline and the soaked run both produce a fix.
+  ASSERT_TRUE(r.baselineOk);
+  ASSERT_TRUE(r.soakOk) << r.soakFailure;
+  EXPECT_GT(r.baselineErrorCm, 0.0);
+  // The bench enforces soak/baseline <= 1.25x over the full 10-revolution
+  // script; on this short capture the ratio is noisy (a few-cm baseline
+  // inflates it), so the smoke test bounds the absolute error instead.
+  EXPECT_LT(r.soakErrorCm, 25.0);
+  EXPECT_EQ(r.soakGrade, "full");
+
+  // Every tracked outage (disconnects + stalls) recovered in-run.
+  ASSERT_FALSE(r.recoveries.empty());
+  EXPECT_TRUE(r.allRecovered);
+  EXPECT_GT(r.maxTimeToRecoverS, 0.0);
+
+  // The stream actually flowed, and the outages actually cost something.
+  EXPECT_GT(r.cleanReports, 0u);
+  EXPECT_GT(r.reportsSeen, 0u);
+  EXPECT_GT(r.framesLostWhileDown, 0u);
+  EXPECT_GT(r.sessionDisconnects, 0u);
+
+  // Kill -9 at 55%: the restart restored checkpointed progress and did not
+  // re-acquire already-captured revolutions.
+  ASSERT_TRUE(r.killed);
+  EXPECT_TRUE(r.restoreOk);
+  EXPECT_GT(r.snapshotsAtKill, 0u);
+  EXPECT_GT(r.snapshotsRestored, 0u);
+  EXPECT_LE(r.snapshotsRestored, r.snapshotsAtKill);
+  EXPECT_LT(r.revolutionsReacquired, 1.0);
+  EXPECT_GE(r.checkpointsSaved, 1u);
+
+  // Exports stay well-formed (CI trends parse these).
+  EXPECT_NE(soakCsv(r).find("event,at_s"), std::string::npos);
+  EXPECT_NE(soakJson(r).find("\"all_recovered\": true"), std::string::npos);
+
+  std::remove(sc.checkpointPath.c_str());
+}
+
+}  // namespace
+}  // namespace tagspin::eval

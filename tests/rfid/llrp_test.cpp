@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
 #include <stdexcept>
 
@@ -294,6 +295,79 @@ TEST(LlrpTolerant, ImplausiblePayloadIsRejected) {
   DecodeStats stats;
   decodeStreamTolerant(bytes, &stats);
   EXPECT_EQ(stats.framesRejected, 1u);
+}
+
+/// A dirty stream exercising every stats field: junk prefix, clean frames,
+/// a mid-stream splice, more frames, and a torn trailing frame.
+std::vector<uint8_t> dirtyStream() {
+  std::vector<uint8_t> bytes(13, 0x5A);
+  const std::vector<uint8_t> first = encodeStream(corpusStream(6));
+  bytes.insert(bytes.end(), first.begin(), first.end());
+  bytes.insert(bytes.end(), 9, 0xC3);
+  ReportStream later = corpusStream(5);
+  for (TagReport& r : later) r.timestampS += 1.0;
+  const std::vector<uint8_t> second = encodeStream(later);
+  bytes.insert(bytes.end(), second.begin(), second.end());
+  bytes.insert(bytes.end(), second.begin(), second.begin() + 17);  // torn
+  return bytes;
+}
+
+TEST(LlrpTolerant, StatsAreOverwrittenPerInvocationNotAccumulated) {
+  // Regression: a caller reusing one DecodeStats across polls must see
+  // each invocation's accounting, not a running total.
+  const std::vector<uint8_t> dirty = dirtyStream();
+  DecodeStats stats;
+  decodeStreamTolerant(dirty, &stats);
+  const DecodeStats first = stats;
+  EXPECT_GT(first.framesDecoded, 0u);
+  EXPECT_GT(first.bytesResynced, 0u);
+
+  decodeStreamTolerant(dirty, &stats);
+  EXPECT_EQ(stats.framesDecoded, first.framesDecoded);
+  EXPECT_EQ(stats.framesSkipped, first.framesSkipped);
+  EXPECT_EQ(stats.framesRejected, first.framesRejected);
+  EXPECT_EQ(stats.bytesResynced, first.bytesResynced);
+  EXPECT_EQ(stats.bytesTotal, first.bytesTotal);
+
+  // A clean stream through the same struct reports only the clean pass.
+  const std::vector<uint8_t> clean = encodeStream(corpusStream(4));
+  decodeStreamTolerant(clean, &stats);
+  EXPECT_EQ(stats.framesDecoded, 4u);
+  EXPECT_EQ(stats.bytesResynced, 0u);
+  EXPECT_EQ(stats.bytesTotal, clean.size());
+}
+
+TEST(LlrpTolerant, IncrementalDecoderMatchesBatchAcrossChunkings) {
+  const std::vector<uint8_t> dirty = dirtyStream();
+  DecodeStats batchStats;
+  const ReportStream batch = decodeStreamTolerant(dirty, &batchStats);
+
+  // Any chunking (byte-by-byte, sub-frame, frame-misaligned, one-shot)
+  // followed by finish() must reproduce the batch decode exactly.
+  for (const size_t chunk : {size_t(1), size_t(7), size_t(39), size_t(41),
+                             size_t(64), dirty.size()}) {
+    TolerantStreamDecoder decoder;
+    ReportStream fed;
+    for (size_t at = 0; at < dirty.size(); at += chunk) {
+      const size_t len = std::min(chunk, dirty.size() - at);
+      const ReportStream part =
+          decoder.feed(std::span<const uint8_t>(dirty.data() + at, len));
+      fed.insert(fed.end(), part.begin(), part.end());
+    }
+    decoder.finish();
+    EXPECT_EQ(decoder.pendingBytes(), 0u) << "chunk " << chunk;
+
+    ASSERT_EQ(fed.size(), batch.size()) << "chunk " << chunk;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      ASSERT_EQ(encodeReport(fed[i]), encodeReport(batch[i]))
+          << "chunk " << chunk << " report " << i;
+    }
+    EXPECT_EQ(decoder.stats().framesDecoded, batchStats.framesDecoded);
+    EXPECT_EQ(decoder.stats().framesSkipped, batchStats.framesSkipped);
+    EXPECT_EQ(decoder.stats().framesRejected, batchStats.framesRejected);
+    EXPECT_EQ(decoder.stats().bytesResynced, batchStats.bytesResynced);
+    EXPECT_EQ(decoder.stats().bytesTotal, batchStats.bytesTotal);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,136 @@
+#include "runtime/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace tagspin::runtime {
+namespace {
+
+TEST(SpscQueue, FifoOrderAndCapacity) {
+  SpscQueue<int> q(4);
+  EXPECT_EQ(q.capacity(), 4u);
+  EXPECT_TRUE(q.empty());
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.tryPush(i));
+  EXPECT_TRUE(q.full());
+  EXPECT_FALSE(q.tryPush(99));
+  int out = -1;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.tryPop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(q.tryPop(out));
+}
+
+TEST(SpscQueue, WrapsAroundManyTimes) {
+  SpscQueue<int> q(3);
+  int expected = 0;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(q.tryPush(i));
+    if (i % 2 == 1) {  // drain two every other step
+      int out;
+      ASSERT_TRUE(q.tryPop(out));
+      EXPECT_EQ(out, expected++);
+      ASSERT_TRUE(q.tryPop(out));
+      EXPECT_EQ(out, expected++);
+    }
+  }
+}
+
+TEST(SpscQueue, ConcurrentProducerConsumerLosesNothing) {
+  // The ring claims SPSC safety; exercise it with a real producer thread
+  // (kBlock semantics: retry until accepted, so nothing is shed).
+  SpscQueue<int> q(64);
+  constexpr int kCount = 20000;
+  std::thread producer([&q] {
+    for (int i = 0; i < kCount; ++i) {
+      while (!q.tryPush(i)) std::this_thread::yield();
+    }
+  });
+  long long sum = 0;
+  int received = 0, out = 0, last = -1;
+  while (received < kCount) {
+    if (q.tryPop(out)) {
+      EXPECT_EQ(out, last + 1);  // FIFO, no loss, no duplication
+      last = out;
+      sum += out;
+      ++received;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_EQ(sum, static_cast<long long>(kCount) * (kCount - 1) / 2);
+}
+
+TEST(IngestQueue, BlockPolicyRefusesWhenFull) {
+  IngestQueue<int> q(3, BackpressurePolicy::kBlock);
+  EXPECT_TRUE(q.offer(1));
+  EXPECT_TRUE(q.offer(2));
+  EXPECT_TRUE(q.offer(3));
+  EXPECT_FALSE(q.offer(4));
+  EXPECT_EQ(q.stats().refusedFull, 1u);
+  EXPECT_EQ(q.stats().accepted, 3u);
+  int out;
+  ASSERT_TRUE(q.poll(out));
+  EXPECT_EQ(out, 1);  // nothing was evicted
+  EXPECT_TRUE(q.offer(4));
+}
+
+TEST(IngestQueue, DropOldestKeepsTheFreshest) {
+  IngestQueue<int> q(3, BackpressurePolicy::kDropOldest);
+  for (int i = 1; i <= 6; ++i) EXPECT_TRUE(q.offer(i));
+  EXPECT_EQ(q.stats().droppedOldest, 3u);
+  EXPECT_EQ(q.stats().accepted, 6u);
+  int out;
+  std::vector<int> got;
+  while (q.poll(out)) got.push_back(out);
+  EXPECT_EQ(got, (std::vector<int>{4, 5, 6}));
+}
+
+TEST(IngestQueue, DegradeSamplingThinsAboveTheWatermark) {
+  // Capacity 8, watermark 0.5 -> depth 4; above it only every 2nd offer
+  // is admitted.
+  IngestQueue<int> q(8, BackpressurePolicy::kDegradeSampling, 2, 0.5);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.offer(i));
+  EXPECT_EQ(q.stats().droppedSampled, 0u);
+
+  int admitted = 0;
+  for (int i = 4; i < 12; ++i) {
+    if (q.offer(i)) ++admitted;
+  }
+  EXPECT_EQ(admitted, 4);  // every other one
+  EXPECT_EQ(q.stats().droppedSampled, 4u);
+
+  // Draining below the watermark restores full-rate admission.
+  int out;
+  while (q.poll(out)) {
+  }
+  EXPECT_TRUE(q.offer(100));
+  EXPECT_TRUE(q.offer(101));
+  EXPECT_EQ(q.stats().droppedSampled, 4u);
+}
+
+TEST(IngestQueue, StatsTrackDepthHighWatermark) {
+  IngestQueue<int> q(5, BackpressurePolicy::kBlock);
+  q.offer(1);
+  q.offer(2);
+  int out;
+  q.poll(out);
+  q.offer(3);
+  q.offer(4);
+  EXPECT_EQ(q.stats().maxDepth, 3u);
+  EXPECT_EQ(q.stats().offered, 4u);
+}
+
+TEST(IngestQueue, PolicyNamesAreStable) {
+  EXPECT_STREQ(backpressurePolicyName(BackpressurePolicy::kBlock), "block");
+  EXPECT_STREQ(backpressurePolicyName(BackpressurePolicy::kDropOldest),
+               "drop_oldest");
+  EXPECT_STREQ(backpressurePolicyName(BackpressurePolicy::kDegradeSampling),
+               "degrade_sampling");
+}
+
+}  // namespace
+}  // namespace tagspin::runtime

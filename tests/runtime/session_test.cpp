@@ -1,0 +1,249 @@
+#include "runtime/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "rfid/llrp.hpp"
+
+namespace tagspin::runtime {
+namespace {
+
+// Fully scripted transport: the test enqueues byte chunks and flips
+// connection behavior; combined with the tick-driven session this gives a
+// deterministic fake clock with no sleeps anywhere.
+struct ScriptedTransport final : Transport {
+  int failConnects = 0;  // refuse this many connect() calls first
+  int connectCalls = 0;
+  int closeCalls = 0;
+  bool connected = false;
+  bool peerClosed = false;  // next poll reports kClosed (one-shot)
+  std::deque<std::vector<uint8_t>> chunks;  // one chunk per poll
+
+  bool connect(double) override {
+    ++connectCalls;
+    if (connectCalls <= failConnects) return false;
+    connected = true;
+    return true;
+  }
+  TransportRead poll(double) override {
+    if (peerClosed) {
+      peerClosed = false;
+      connected = false;
+      return {TransportStatus::kClosed, {}};
+    }
+    if (!connected) return {TransportStatus::kClosed, {}};
+    if (chunks.empty()) return {TransportStatus::kIdle, {}};
+    TransportRead r;
+    r.status = TransportStatus::kOk;
+    r.bytes = std::move(chunks.front());
+    chunks.pop_front();
+    return r;
+  }
+  void close() override {
+    ++closeCalls;
+    connected = false;
+  }
+};
+
+std::vector<uint8_t> frames(int count, double t0, double dt) {
+  rfid::ReportStream reports;
+  for (int i = 0; i < count; ++i) {
+    rfid::TagReport r;
+    r.epc = rfid::Epc::forSimulatedTag(0);
+    r.timestampS = t0 + dt * i;
+    r.phaseRad = 0.5;
+    r.rssiDbm = -60.0;
+    r.channelIndex = 3;
+    r.frequencyHz = 920e6;
+    r.antennaPort = 0;
+    reports.push_back(r);
+  }
+  return rfid::llrp::encodeStream(reports);
+}
+
+SessionConfig fastConfig() {
+  SessionConfig c;
+  c.connectTimeoutS = 1.0;
+  c.syncTimeoutS = 2.0;
+  c.noReportTimeoutS = 2.0;
+  c.stuckClockWindow = 8;
+  c.backoff.baseDelayS = 0.5;
+  c.backoff.maxDelayS = 2.0;
+  c.breaker.failuresToOpen = 3;
+  c.breaker.openCooldownS = 2.0;
+  c.breaker.halfOpenFailuresToTrip = 2;
+  return c;
+}
+
+struct Harness {
+  explicit Harness(SessionConfig config = fastConfig()) {
+    auto t = std::make_unique<ScriptedTransport>();
+    transport = t.get();
+    session = std::make_unique<ReaderSession>("test", std::move(t), config);
+  }
+  ScriptedTransport* transport;
+  std::unique_ptr<ReaderSession> session;
+};
+
+TEST(Session, HappyPathReachesStreamingAndDelivers) {
+  Harness h;
+  h.transport->chunks.push_back(frames(5, 0.0, 0.1));
+
+  h.session->tick(0.0);  // DISCONNECTED -> CONNECTING -> SYNCING (connected)
+  EXPECT_EQ(h.session->state(), SessionState::kSyncing);
+  h.session->tick(0.1);  // first frames decoded -> STREAMING
+  EXPECT_EQ(h.session->state(), SessionState::kStreaming);
+
+  rfid::ReportStream out;
+  EXPECT_EQ(h.session->drainInto(out), 5u);
+  EXPECT_EQ(h.session->stats().reportsDecoded, 5u);
+  EXPECT_EQ(h.session->stats().connectAttempts, 1u);
+  EXPECT_EQ(h.session->breaker().state(), BreakerState::kClosed);
+}
+
+TEST(Session, ConnectTimeoutBacksOff) {
+  Harness h;
+  h.transport->failConnects = 1000;
+  h.session->tick(0.0);
+  EXPECT_EQ(h.session->state(), SessionState::kConnecting);
+  h.session->tick(0.5);
+  EXPECT_EQ(h.session->state(), SessionState::kConnecting);
+  h.session->tick(1.0);  // connectTimeoutS hit
+  EXPECT_EQ(h.session->state(), SessionState::kBackoff);
+  EXPECT_EQ(h.session->stats().connectFailures, 1u);
+  EXPECT_GE(h.session->backoffUntilS(), 1.0 + 0.5);  // base delay
+}
+
+TEST(Session, SyncTimeoutWhenConnectionStaysSilent) {
+  Harness h;  // connects instantly but never sends a byte
+  h.session->tick(0.0);
+  EXPECT_EQ(h.session->state(), SessionState::kSyncing);
+  h.session->tick(1.9);
+  EXPECT_EQ(h.session->state(), SessionState::kSyncing);
+  h.session->tick(2.0);
+  EXPECT_EQ(h.session->state(), SessionState::kBackoff);
+  EXPECT_EQ(h.session->stats().connectFailures, 1u);
+}
+
+TEST(Session, SyncSurvivesMidStreamJunkViaResync) {
+  Harness h;
+  // Connection picked up mid-frame: garbage prefix, then clean frames.
+  std::vector<uint8_t> bytes(23, 0x5A);
+  const std::vector<uint8_t> clean = frames(4, 1.0, 0.1);
+  bytes.insert(bytes.end(), clean.begin(), clean.end());
+  h.transport->chunks.push_back(bytes);
+
+  h.session->tick(0.0);
+  h.session->tick(0.1);
+  EXPECT_EQ(h.session->state(), SessionState::kStreaming);
+  rfid::ReportStream out;
+  EXPECT_EQ(h.session->drainInto(out), 4u);
+  EXPECT_GT(h.session->decodeStats().bytesResynced, 0u);
+}
+
+TEST(Session, PeerDisconnectDrainsThenBacksOffThenRecovers) {
+  Harness h;
+  h.transport->chunks.push_back(frames(3, 0.0, 0.1));
+  h.session->tick(0.0);
+  h.session->tick(0.1);
+  ASSERT_EQ(h.session->state(), SessionState::kStreaming);
+
+  h.transport->peerClosed = true;
+  h.session->tick(0.2);
+  EXPECT_EQ(h.session->state(), SessionState::kBackoff);
+  EXPECT_EQ(h.session->stats().disconnects, 1u);
+  EXPECT_GE(h.transport->closeCalls, 1);
+
+  // Queued reports survive the drop.
+  rfid::ReportStream out;
+  EXPECT_EQ(h.session->drainInto(out), 3u);
+
+  // After the backoff the session reconnects and streams again.
+  h.transport->chunks.push_back(frames(2, 1.0, 0.1));
+  double t = 0.2;
+  while (h.session->state() != SessionState::kStreaming && t < 10.0) {
+    t += 0.1;
+    h.session->tick(t);
+  }
+  EXPECT_EQ(h.session->state(), SessionState::kStreaming);
+  out.clear();
+  EXPECT_EQ(h.session->drainInto(out), 2u);
+}
+
+TEST(Session, NoReportWatchdogRecyclesASilentConnection) {
+  Harness h;
+  h.transport->chunks.push_back(frames(3, 0.0, 0.1));
+  h.session->tick(0.0);
+  h.session->tick(0.1);
+  ASSERT_EQ(h.session->state(), SessionState::kStreaming);
+
+  // Connected but silent: the watchdog must recycle after noReportTimeoutS.
+  h.session->tick(1.0);
+  EXPECT_EQ(h.session->state(), SessionState::kStreaming);
+  h.session->tick(2.2);  // 2.1 s since the last report > 2.0 s timeout
+  EXPECT_EQ(h.session->state(), SessionState::kBackoff);
+  EXPECT_EQ(h.session->stats().watchdogNoReport, 1u);
+}
+
+TEST(Session, StuckClockWatchdogFires) {
+  Harness h;
+  h.transport->chunks.push_back(frames(3, 0.0, 0.1));
+  h.session->tick(0.0);
+  h.session->tick(0.1);
+  ASSERT_EQ(h.session->state(), SessionState::kStreaming);
+
+  // A frozen reader clock: 10 more reports all carrying the same timestamp
+  // (> stuckClockWindow = 8 consecutive non-advancing reads).
+  h.transport->chunks.push_back(frames(10, 0.2, 0.0));
+  h.session->tick(0.3);
+  EXPECT_EQ(h.session->state(), SessionState::kBackoff);
+  EXPECT_EQ(h.session->stats().watchdogStuckClock, 1u);
+}
+
+TEST(Session, BreakerTripParksTheSessionInFailed) {
+  Harness h;
+  h.transport->failConnects = 1000000;
+  double t = 0.0;
+  for (int i = 0; i < 4000 && h.session->state() != SessionState::kFailed;
+       ++i) {
+    h.session->tick(t);
+    t += 0.1;
+  }
+  EXPECT_EQ(h.session->state(), SessionState::kFailed);
+  EXPECT_EQ(h.session->breaker().state(), BreakerState::kTripped);
+  // FAILED is terminal: more ticks change nothing.
+  const uint64_t attempts = h.session->stats().connectAttempts;
+  h.session->tick(t + 100.0);
+  EXPECT_EQ(h.session->state(), SessionState::kFailed);
+  EXPECT_EQ(h.session->stats().connectAttempts, attempts);
+}
+
+TEST(Session, RequestStopParksDisconnectedWithoutReconnect) {
+  Harness h;
+  h.transport->chunks.push_back(frames(3, 0.0, 0.1));
+  h.session->tick(0.0);
+  h.session->tick(0.1);
+  ASSERT_EQ(h.session->state(), SessionState::kStreaming);
+
+  h.session->requestStop();
+  h.session->tick(0.2);
+  EXPECT_EQ(h.session->state(), SessionState::kDisconnected);
+  h.session->tick(5.0);
+  EXPECT_EQ(h.session->state(), SessionState::kDisconnected);
+
+  // Already-delivered reports remain drainable after the stop.
+  rfid::ReportStream out;
+  EXPECT_EQ(h.session->drainInto(out), 3u);
+}
+
+TEST(Session, StateNamesAreStable) {
+  EXPECT_STREQ(sessionStateName(SessionState::kDisconnected), "disconnected");
+  EXPECT_STREQ(sessionStateName(SessionState::kStreaming), "streaming");
+  EXPECT_STREQ(sessionStateName(SessionState::kFailed), "failed");
+}
+
+}  // namespace
+}  // namespace tagspin::runtime

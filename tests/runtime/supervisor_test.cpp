@@ -1,0 +1,272 @@
+#include "runtime/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <deque>
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "geom/angles.hpp"
+#include "rfid/llrp.hpp"
+
+namespace tagspin::runtime {
+namespace {
+
+const rfid::Epc kTag0 = rfid::Epc::forSimulatedTag(0);
+const rfid::Epc kTag1 = rfid::Epc::forSimulatedTag(1);
+const rfid::Epc kUnknown = rfid::Epc::forSimulatedTag(42);
+
+core::DeploymentFile twoRigDeployment() {
+  core::DeploymentFile d;
+  core::RigSpec rig;
+  rig.center = {-0.2, 0.0, 0.0};
+  rig.kinematics = {0.10, 0.5, 0.0, geom::kPi / 2.0};
+  d.rigs[kTag0] = rig;
+  rig.center = {0.2, 0.0, 0.0};
+  d.rigs[kTag1] = rig;
+  return d;
+}
+
+rfid::TagReport report(const rfid::Epc& epc, double t, double phase,
+                       double rssi = -60.0) {
+  rfid::TagReport r;
+  r.epc = epc;
+  r.timestampS = t;
+  r.phaseRad = phase;
+  r.rssiDbm = rssi;
+  r.channelIndex = 3;
+  r.frequencyHz = 920e6;
+  r.antennaPort = 0;
+  return r;
+}
+
+// Scripted transport shared with session_test in spirit: chunks are
+// delivered one per poll; close() can permanently kill the endpoint.
+struct ScriptedTransport final : Transport {
+  std::deque<std::vector<uint8_t>> chunks;
+  bool connected = false;
+  bool peerClosed = false;
+  bool dieOnClose = false;  // after close(), connect() fails forever
+  bool dead = false;
+
+  bool connect(double) override {
+    if (dead) return false;
+    connected = true;
+    return true;
+  }
+  TransportRead poll(double) override {
+    if (peerClosed) {
+      peerClosed = false;
+      connected = false;
+      return {TransportStatus::kClosed, {}};
+    }
+    if (!connected) return {TransportStatus::kClosed, {}};
+    if (chunks.empty()) return {TransportStatus::kIdle, {}};
+    TransportRead r;
+    r.status = TransportStatus::kOk;
+    r.bytes = std::move(chunks.front());
+    chunks.pop_front();
+    return r;
+  }
+  void close() override {
+    connected = false;
+    if (dieOnClose) dead = true;
+  }
+};
+
+SupervisorConfig testConfig() {
+  SupervisorConfig c;
+  c.checkpointIntervalS = 0.0;  // explicit saves only (via shutdown)
+  c.session.noReportTimeoutS = 1e9;  // quiet transports are fine in tests
+  return c;
+}
+
+std::string tempCkpt(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Supervisor, IngestsKnownTagsDropsUnknownWeakAndDuplicate) {
+  Supervisor sup(testConfig(), twoRigDeployment());
+  auto transport = std::make_unique<ScriptedTransport>();
+  ScriptedTransport* tp = transport.get();
+  // Factory is unused until a session fails; hand the premade one over.
+  std::unique_ptr<ScriptedTransport> owned = std::move(transport);
+  sup.addSession("r0", [&owned] { return std::move(owned); });
+
+  rfid::ReportStream batch;
+  batch.push_back(report(kTag0, 0.10, 0.5));
+  batch.push_back(report(kTag0, 0.10, 0.5));       // exact duplicate
+  batch.push_back(report(kTag1, 0.20, 1.5));
+  batch.push_back(report(kUnknown, 0.30, 1.0));    // not in the deployment
+  batch.push_back(report(kTag0, 0.40, 2.0, -99.0));  // below the RSSI floor
+  tp->chunks.push_back(rfid::llrp::encodeStream(batch));
+
+  sup.tick(0.0);
+  sup.tick(0.1);
+
+  EXPECT_EQ(sup.stats().reportsSeen, 5u);
+  EXPECT_EQ(sup.stats().reportsIngested, 2u);
+  EXPECT_EQ(sup.stats().duplicatesSuppressed, 1u);
+  EXPECT_EQ(sup.stats().unknownEpcDropped, 1u);
+  EXPECT_EQ(sup.stats().weakRssiDropped, 1u);
+  EXPECT_EQ(sup.tagSnapshotCount(kTag0), 1u);
+  EXPECT_EQ(sup.tagSnapshotCount(kTag1), 1u);
+  EXPECT_NEAR(sup.lastReportTimestampS(), 0.20, 1e-5);
+}
+
+TEST(Supervisor, ReplacesTrippedSessionWithoutLosingProgress) {
+  SupervisorConfig config = testConfig();
+  config.session.connectTimeoutS = 0.4;
+  config.session.backoff.baseDelayS = 0.2;
+  config.session.backoff.maxDelayS = 0.5;
+  config.session.breaker.failuresToOpen = 1;
+  config.session.breaker.openCooldownS = 0.3;
+  config.session.breaker.halfOpenFailuresToTrip = 1;
+
+  int built = 0;
+  ScriptedTransport* current = nullptr;
+  const TransportFactory factory = [&built, &current] {
+    auto t = std::make_unique<ScriptedTransport>();
+    current = t.get();
+    ++built;
+    return t;
+  };
+
+  Supervisor sup(config, twoRigDeployment());
+  sup.addSession("r0", factory);
+  ASSERT_EQ(built, 1);
+
+  // First transport streams a little, then the peer drops it and the
+  // endpoint dies, so every reconnect fails until the breaker trips.
+  rfid::ReportStream batch;
+  for (int i = 0; i < 10; ++i) {
+    batch.push_back(report(kTag0, 0.01 * i, 0.1 * i));
+  }
+  current->chunks.push_back(rfid::llrp::encodeStream(batch));
+  current->dieOnClose = true;
+
+  sup.tick(0.0);
+  sup.tick(0.1);
+  ASSERT_EQ(sup.tagSnapshotCount(kTag0), 10u);
+  current->peerClosed = true;
+
+  double t = 0.1;
+  while (sup.stats().sessionsRestarted == 0 && t < 60.0) {
+    t += 0.1;
+    sup.tick(t);
+  }
+  EXPECT_EQ(sup.stats().sessionsRestarted, 1u);
+  EXPECT_EQ(built, 2);
+
+  // Replacement session streams fresh data; earlier progress survived.
+  rfid::ReportStream more;
+  for (int i = 0; i < 5; ++i) {
+    more.push_back(report(kTag0, 1.0 + 0.01 * i, 0.05 + 0.1 * i));
+  }
+  current->chunks.push_back(rfid::llrp::encodeStream(more));
+  sup.tick(t + 0.1);
+  sup.tick(t + 0.2);
+  EXPECT_EQ(sup.tagSnapshotCount(kTag0), 15u);
+}
+
+TEST(Supervisor, CheckpointRestoreResumesWithoutReacquisition) {
+  const std::string path = tempCkpt("tagspin_supervisor_test.ckpt");
+  std::remove(path.c_str());
+  CheckpointStore store(path);
+
+  rfid::ReportStream batch;
+  for (int i = 0; i < 20; ++i) {
+    batch.push_back(report(kTag0, 0.05 * i, geom::wrapTwoPi(0.3 * i)));
+  }
+
+  {
+    Supervisor sup(testConfig(), twoRigDeployment(), &store);
+    auto transport = std::make_unique<ScriptedTransport>();
+    transport->chunks.push_back(rfid::llrp::encodeStream(batch));
+    std::unique_ptr<ScriptedTransport> owned = std::move(transport);
+    sup.addSession("r0", [&owned] { return std::move(owned); });
+    sup.tick(0.0);
+    sup.tick(0.1);
+    ASSERT_EQ(sup.tagSnapshotCount(kTag0), 20u);
+    sup.shutdown(0.2);  // saves the final checkpoint
+  }  // "kill": the supervisor object is gone
+
+  Supervisor resumed(testConfig(), twoRigDeployment(), &store);
+  const auto restored = resumed.restore();
+  ASSERT_TRUE(restored.hasValue());
+  EXPECT_EQ(resumed.tagSnapshotCount(kTag0), 20u);
+  EXPECT_NEAR(resumed.lastReportTimestampS(), 0.05 * 19, 1e-5);
+
+  // The reader replays the very same reports (the revolution in flight):
+  // every one must dedup against the restored state, none re-ingested.
+  auto transport = std::make_unique<ScriptedTransport>();
+  transport->chunks.push_back(rfid::llrp::encodeStream(batch));
+  std::unique_ptr<ScriptedTransport> owned = std::move(transport);
+  resumed.addSession("r0", [&owned] { return std::move(owned); });
+  resumed.tick(1.0);
+  resumed.tick(1.1);
+  EXPECT_EQ(resumed.stats().duplicatesSuppressed, 20u);
+  EXPECT_EQ(resumed.stats().reportsIngested, 0u);
+  EXPECT_EQ(resumed.tagSnapshotCount(kTag0), 20u);
+
+  std::remove(path.c_str());
+}
+
+TEST(Supervisor, RestoreWithoutFileIsAFreshStart) {
+  const std::string path = tempCkpt("tagspin_supervisor_missing.ckpt");
+  std::remove(path.c_str());
+  CheckpointStore store(path);
+  Supervisor sup(testConfig(), twoRigDeployment(), &store);
+  const auto restored = sup.restore();
+  ASSERT_FALSE(restored.hasValue());
+  EXPECT_EQ(restored.code(), core::ErrorCode::kCheckpointMissing);
+}
+
+TEST(Supervisor, DecimationBoundsPerTagMemory) {
+  SupervisorConfig config = testConfig();
+  config.maxSnapshotsPerTag = 64;
+  Supervisor sup(config, twoRigDeployment());
+  auto transport = std::make_unique<ScriptedTransport>();
+  ScriptedTransport* tp = transport.get();
+  std::unique_ptr<ScriptedTransport> owned = std::move(transport);
+  sup.addSession("r0", [&owned] { return std::move(owned); });
+
+  rfid::ReportStream batch;
+  for (int i = 0; i < 300; ++i) {
+    batch.push_back(report(kTag0, 0.01 * i, geom::wrapTwoPi(0.05 * i)));
+  }
+  tp->chunks.push_back(rfid::llrp::encodeStream(batch));
+  sup.tick(0.0);
+  sup.tick(0.1);
+
+  EXPECT_LT(sup.tagSnapshotCount(kTag0), 64u);
+  EXPECT_GE(sup.stats().decimationsApplied, 1u);
+  // Earliest and latest samples both survive thinning (arc coverage).
+  EXPECT_GT(sup.tagSnapshotCount(kTag0), 10u);
+}
+
+TEST(Supervisor, CheckpointFailureDoesNotStopIngestion) {
+  SupervisorConfig config = testConfig();
+  config.checkpointIntervalS = 0.01;
+  CheckpointStore store("/nonexistent_dir_tagspin/ckpt");
+  Supervisor sup(config, twoRigDeployment(), &store);
+  auto transport = std::make_unique<ScriptedTransport>();
+  ScriptedTransport* tp = transport.get();
+  std::unique_ptr<ScriptedTransport> owned = std::move(transport);
+  sup.addSession("r0", [&owned] { return std::move(owned); });
+
+  rfid::ReportStream batch;
+  batch.push_back(report(kTag0, 0.1, 0.5));
+  tp->chunks.push_back(rfid::llrp::encodeStream(batch));
+  sup.tick(0.0);
+  sup.tick(0.1);
+
+  EXPECT_GE(sup.stats().checkpointFailures, 1u);
+  EXPECT_EQ(sup.stats().checkpointsSaved, 0u);
+  EXPECT_EQ(sup.tagSnapshotCount(kTag0), 1u);
+}
+
+}  // namespace
+}  // namespace tagspin::runtime

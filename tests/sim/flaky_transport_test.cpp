@@ -1,0 +1,186 @@
+#include "sim/flaky_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "rfid/llrp.hpp"
+#include "sim/scenario.hpp"
+
+namespace tagspin::sim {
+namespace {
+
+World testWorld() {
+  ScenarioConfig sc;
+  sc.seed = 11;
+  sc.fixedChannel = true;
+  World world = makeTwoRigWorld(sc);
+  placeReaderAntenna(world, 0, {0.8, 2.0, 0.0});
+  return world;
+}
+
+FlakyTransportConfig baseConfig(double durationS) {
+  FlakyTransportConfig tc;
+  tc.interrogate = {durationS, 0, 77};
+  tc.connectDelayS = 0.05;
+  tc.seed = 5;
+  return tc;
+}
+
+TEST(FlakyTransport, CleanStreamDeliveredByteExactWithoutEvents) {
+  const World world = testWorld();
+  FlakyTransport transport(world, baseConfig(5.0));
+  ASSERT_GT(transport.cleanReports().size(), 10u);
+
+  EXPECT_FALSE(transport.connect(0.0));  // connect takes connectDelayS
+  EXPECT_TRUE(transport.connect(0.05));
+
+  std::vector<uint8_t> received;
+  for (double t = 0.0; t <= 6.0; t += 0.1) {
+    const runtime::TransportRead read = transport.poll(t);
+    ASSERT_NE(read.status, runtime::TransportStatus::kClosed);
+    received.insert(received.end(), read.bytes.begin(), read.bytes.end());
+  }
+  // Reports emitted in the instant before the connection established are
+  // legitimately lost (a reader streams live); everything else arrives
+  // byte-exact and strictly decodable.
+  const rfid::ReportStream decoded = rfid::llrp::decodeStream(received);
+  ASSERT_EQ(decoded.size(), transport.cleanReports().size() -
+                                transport.stats().framesLostWhileDown);
+  EXPECT_LT(transport.stats().framesLostWhileDown, 20u);
+  EXPECT_EQ(transport.stats().framesTorn, 0u);
+}
+
+TEST(FlakyTransport, FramesArePacedByTheirTimestamps) {
+  const World world = testWorld();
+  FlakyTransport transport(world, baseConfig(5.0));
+  transport.connect(0.0);  // starts the dial; completes after the delay
+  ASSERT_TRUE(transport.connect(0.1));
+  transport.poll(2.5);
+  const size_t atHalf = transport.framesDelivered();
+  EXPECT_GT(atHalf, 0u);
+  EXPECT_LT(atHalf, transport.cleanReports().size());
+  transport.poll(6.0);
+  EXPECT_EQ(transport.framesDelivered(), transport.cleanReports().size());
+}
+
+TEST(FlakyTransport, DisconnectLosesLiveDataAndTearsTheFrameInFlight) {
+  const World world = testWorld();
+  FlakyTransportConfig tc = baseConfig(5.0);
+  tc.events.push_back({OutageEvent::Kind::kDisconnect, 2.0, 1.0});
+  FlakyTransport transport(world, tc);
+
+  transport.connect(0.0);
+  ASSERT_TRUE(transport.connect(0.05));
+  transport.poll(1.9);  // stream up to the outage
+
+  // During the outage: poll reports closed, reconnect refused.
+  EXPECT_EQ(transport.poll(2.1).status, runtime::TransportStatus::kClosed);
+  EXPECT_FALSE(transport.connected());
+  EXPECT_FALSE(transport.connect(2.5));
+
+  // After it: reconnect works (after the connect delay), reports from the
+  // gap are gone, and the first delivery replays the torn tail (resync
+  // junk for SYNCING).
+  EXPECT_FALSE(transport.connect(3.1));  // delay not yet elapsed
+  ASSERT_TRUE(transport.connect(3.16));
+  EXPECT_TRUE(transport.connect(3.16));  // idempotent while connected
+  EXPECT_GT(transport.stats().framesLostWhileDown, 0u);
+  EXPECT_EQ(transport.stats().framesTorn, 1u);
+
+  const runtime::TransportRead read = transport.poll(3.6);
+  ASSERT_EQ(read.status, runtime::TransportStatus::kOk);
+  // Torn tail + whole frames: not a multiple of the frame size.
+  EXPECT_NE(read.bytes.size() % rfid::llrp::kMessageSize, 0u);
+
+  rfid::llrp::DecodeStats stats;
+  const rfid::ReportStream decoded =
+      rfid::llrp::decodeStreamTolerant(read.bytes, &stats);
+  EXPECT_GT(decoded.size(), 0u);
+  EXPECT_GT(stats.bytesResynced, 0u);  // the junk was skipped, not decoded
+  for (const rfid::TagReport& r : decoded) {
+    EXPECT_GE(r.timestampS, 3.0);  // nothing from inside the outage
+  }
+}
+
+TEST(FlakyTransport, StallBuffersThenFlushesAsABurst) {
+  const World world = testWorld();
+  FlakyTransportConfig tc = baseConfig(5.0);
+  tc.events.push_back({OutageEvent::Kind::kStall, 1.0, 2.0});
+  FlakyTransport transport(world, tc);
+
+  transport.connect(0.0);
+  ASSERT_TRUE(transport.connect(0.05));
+  transport.poll(0.9);
+  const size_t beforeStall = transport.framesDelivered();
+
+  EXPECT_EQ(transport.poll(1.5).status, runtime::TransportStatus::kIdle);
+  EXPECT_EQ(transport.poll(2.9).status, runtime::TransportStatus::kIdle);
+  EXPECT_EQ(transport.framesDelivered(), beforeStall);
+  EXPECT_TRUE(transport.connected());  // a stall is not a disconnect
+
+  const runtime::TransportRead burst = transport.poll(3.1);
+  ASSERT_EQ(burst.status, runtime::TransportStatus::kOk);
+  // ~2 s of backlog flushes at once.
+  EXPECT_GT(burst.bytes.size() / rfid::llrp::kMessageSize, 5u);
+}
+
+TEST(FlakyTransport, FloodDeliversFutureStreamEarly) {
+  const World world = testWorld();
+  FlakyTransportConfig tc = baseConfig(5.0);
+  tc.events.push_back({OutageEvent::Kind::kFlood, 2.0, 2.5});
+  FlakyTransport transport(world, tc);
+
+  transport.connect(0.0);
+  ASSERT_TRUE(transport.connect(0.05));
+  transport.poll(1.9);
+  const runtime::TransportRead flood = transport.poll(2.05);
+  ASSERT_EQ(flood.status, runtime::TransportStatus::kOk);
+  const rfid::ReportStream decoded = rfid::llrp::decodeStream(flood.bytes);
+  ASSERT_FALSE(decoded.empty());
+  // Frames with timestamps far beyond "now" arrived already.
+  EXPECT_GT(decoded.back().timestampS, 4.0);
+}
+
+TEST(FlakyTransport, StandardScriptHasTheAdvertisedMixAndFitsTheSpan) {
+  const double period = 2.0 * std::numbers::pi / 0.5;
+  const double span = 10.0 * period;
+  const auto events = standardOutageScript(span, period, 123);
+
+  int disconnects = 0, stalls = 0, floods = 0;
+  for (const OutageEvent& ev : events) {
+    switch (ev.kind) {
+      case OutageEvent::Kind::kDisconnect: ++disconnects; break;
+      case OutageEvent::Kind::kStall: ++stalls; break;
+      case OutageEvent::Kind::kFlood: ++floods; break;
+    }
+    EXPECT_GE(ev.atS, 0.0);
+    EXPECT_LT(ev.atS, span);
+    if (ev.kind != OutageEvent::Kind::kFlood) {
+      // Recovery must be observable: the outage ends inside the capture.
+      EXPECT_LE(ev.atS + ev.durationS, 0.96 * span + 1e-9);
+    }
+  }
+  EXPECT_EQ(disconnects, 3);
+  EXPECT_EQ(stalls, 1);
+  EXPECT_EQ(floods, 1);
+
+  // Deterministic in the seed.
+  const auto again = standardOutageScript(span, period, 123);
+  ASSERT_EQ(again.size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_DOUBLE_EQ(again[i].atS, events[i].atS);
+    EXPECT_DOUBLE_EQ(again[i].durationS, events[i].durationS);
+  }
+  const auto different = standardOutageScript(span, period, 124);
+  EXPECT_NE(different[0].atS, events[0].atS);
+}
+
+TEST(FlakyTransport, OutageKindNamesAreStable) {
+  EXPECT_STREQ(outageKindName(OutageEvent::Kind::kDisconnect), "disconnect");
+  EXPECT_STREQ(outageKindName(OutageEvent::Kind::kStall), "stall");
+  EXPECT_STREQ(outageKindName(OutageEvent::Kind::kFlood), "flood");
+}
+
+}  // namespace
+}  // namespace tagspin::sim

@@ -1,5 +1,8 @@
 #!/usr/bin/env bash
-# Build and run the full test suite under ASan+UBSan.
+# Build and run the full test suite under ASan+UBSan, then re-run the
+# end-to-end soak smoke (label `soak_smoke`) on its own: the supervised
+# runtime's kill/restore path is the likeliest place for lifetime bugs, so
+# it gets a dedicated, serial sanitizer pass with visible output.
 #
 # Usage: tools/run_sanitized.sh [build-dir] [extra ctest args...]
 # Default build dir: build-asan (kept separate from the plain build).
@@ -22,3 +25,7 @@ cmake --build "$BUILD_DIR" -j"$(nproc)"
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" "$@"
+
+echo
+echo "== soak smoke under sanitizers (ctest -L soak_smoke) =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L soak_smoke

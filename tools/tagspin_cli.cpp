@@ -13,6 +13,15 @@
 //   tagspin_cli inspect --trace FILE
 //       Per-tag read statistics of a trace.
 //
+//   tagspin_cli serve --dir DIR [--seed N] [--revolutions R] [--rigs N]
+//                     [--kill-at F] [--no-outages] [--reader X,Y,Z]
+//       Run the supervised session runtime end-to-end against a simulated
+//       flaky reader: connect/backoff state machine, watchdogs, bounded
+//       ingest queues, and crash-safe checkpoints in DIR/checkpoint.ckpt.
+//       The standard outage script injects disconnects, a stall and a
+//       flood; --kill-at F simulates a kill -9 at fraction F of the run
+//       followed by a restart that resumes from the checkpoint.
+//
 // The locate path touches no simulator code: it is exactly what a server
 // attached to a real reader would run.
 #include <cstdio>
@@ -20,6 +29,8 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
+#include <numbers>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -29,7 +40,10 @@
 #include "eval/runner.hpp"
 #include "geom/angles.hpp"
 #include "rfid/llrp.hpp"
+#include "runtime/supervisor.hpp"
+#include "sim/flaky_transport.hpp"
 #include "sim/interrogator.hpp"
+#include "sim/rng.hpp"
 #include "sim/scenario.hpp"
 
 using namespace tagspin;
@@ -206,12 +220,121 @@ int cmdInspect(const Args& args) {
   return 0;
 }
 
+int cmdServe(const Args& args) {
+  const std::string dir = args.get("dir", ".");
+  sim::ScenarioConfig sc;
+  sc.seed = std::stoull(args.get("seed", "7"));
+  sc.fixedChannel = true;
+  const int rigCount = std::stoi(args.get("rigs", "3"));
+  const double revolutions = std::stod(args.get("revolutions", "10"));
+  const double killAt = std::stod(args.get("kill-at", "0"));
+  const double period = 2.0 * std::numbers::pi / sc.rigOmegaRadPerS;
+  const double durationS = revolutions * period;
+
+  sim::World world = sim::makeRigRowWorld(sc, rigCount);
+  const geom::Vec3 reader = parseVec3(args.get("reader", "0.8,2.0,0"));
+  sim::placeReaderAntenna(world, 0, reader);
+
+  sim::FlakyTransportConfig tc;
+  tc.interrogate = {durationS, 0, sim::deriveSeed(sc.seed, 2)};
+  tc.seed = sim::deriveSeed(sc.seed, 3);
+  if (!args.has("no-outages")) {
+    tc.events = sim::standardOutageScript(durationS, period,
+                                          sim::deriveSeed(sc.seed, 4));
+  }
+  auto shared = std::make_shared<sim::FlakyTransport>(world, tc);
+  std::printf("serving %d rigs for %.0f revolutions (%.0f s), %zu outage "
+              "events scripted\n", rigCount, revolutions, durationS,
+              tc.events.size());
+
+  core::DeploymentFile deployment;
+  for (const sim::RigTag& rt : world.rigs) {
+    core::RigSpec spec;
+    spec.center = rt.rig.center;
+    spec.kinematics = {rt.rig.radiusM, rt.rig.omegaRadPerS,
+                       rt.rig.initialAngle, rt.rig.tagPlaneOffset};
+    deployment.rigs[rt.tag.epc] = spec;
+  }
+
+  const std::string ckptPath = dir + "/checkpoint.ckpt";
+  std::remove(ckptPath.c_str());
+  runtime::CheckpointStore store(ckptPath);
+  const runtime::TransportFactory factory = [shared] {
+    return std::make_unique<runtime::SharedTransport>(shared);
+  };
+
+  runtime::SupervisorConfig supCfg;
+  supCfg.session.queueCapacity = 2048;
+  auto sup = std::make_unique<runtime::Supervisor>(supCfg, deployment, &store);
+  sup->addSession("reader0", factory);
+  const auto restored = sup->restore();  // fresh start: kCheckpointMissing
+  if (restored.hasValue()) {
+    std::printf("resumed from checkpoint seq %llu (reader clock %.1f s)\n",
+                static_cast<unsigned long long>(restored->sequence),
+                restored->lastReportTimestampS);
+  }
+
+  const double tickS = 0.05;
+  double nextStatusS = 0.0;
+  bool killDone = killAt <= 0.0;
+  for (double t = 0.0; t <= durationS + 2.0; t += tickS) {
+    if (!killDone && t >= killAt * durationS) {
+      killDone = true;
+      std::printf("[%7.1f s] kill -9: dropping supervisor without "
+                  "shutdown\n", t);
+      sup.reset();  // no shutdown(): only the last checkpoint survives
+      shared->close();
+      sup = std::make_unique<runtime::Supervisor>(supCfg, deployment, &store);
+      const auto res = sup->restore();
+      if (res.hasValue()) {
+        std::printf("[%7.1f s] restart: restored checkpoint seq %llu, "
+                    "reader clock %.1f s\n", t,
+                    static_cast<unsigned long long>(res->sequence),
+                    res->lastReportTimestampS);
+      } else {
+        std::printf("[%7.1f s] restart: %s\n", t, res.error().message.c_str());
+      }
+      sup->addSession("reader0", factory);
+    }
+    sup->tick(t);
+    if (t >= nextStatusS) {
+      const runtime::ReaderSession& s = sup->session(0);
+      std::printf("[%7.1f s] %-12s ingested %-7llu dups %-5llu ckpts %-4llu "
+                  "disconnects %llu\n", t,
+                  runtime::sessionStateName(s.state()),
+                  static_cast<unsigned long long>(sup->stats().reportsIngested),
+                  static_cast<unsigned long long>(
+                      sup->stats().duplicatesSuppressed),
+                  static_cast<unsigned long long>(sup->stats().checkpointsSaved),
+                  static_cast<unsigned long long>(s.stats().disconnects));
+      nextStatusS += durationS / 10.0;
+    }
+  }
+  sup->shutdown(durationS + 2.0);
+
+  const auto fix = sup->tryLocate2D();
+  if (fix.hasValue()) {
+    const double dx = fix->fix.position.x - reader.x;
+    const double dy = fix->fix.position.y - reader.y;
+    std::printf("final fix: (%.3f, %.3f) m, grade %s, error %.1f cm\n",
+                fix->fix.position.x, fix->fix.position.y,
+                core::fixGradeName(fix->report.grade),
+                std::sqrt(dx * dx + dy * dy) * 100.0);
+  } else {
+    std::printf("no fix: %s\n", fix.error().message.c_str());
+  }
+  std::printf("checkpoint: %s (%llu saves)\n", ckptPath.c_str(),
+              static_cast<unsigned long long>(sup->stats().checkpointsSaved));
+  return fix.hasValue() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: tagspin_cli <simulate|locate|inspect> [--flags]\n");
+                 "usage: tagspin_cli <simulate|locate|inspect|serve> "
+                 "[--flags]\n");
     return 2;
   }
   try {
@@ -220,6 +343,7 @@ int main(int argc, char** argv) {
     if (cmd == "simulate") return cmdSimulate(args);
     if (cmd == "locate") return cmdLocate(args);
     if (cmd == "inspect") return cmdInspect(args);
+    if (cmd == "serve") return cmdServe(args);
     std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
     return 2;
   } catch (const std::exception& e) {
