@@ -4,8 +4,10 @@
 // flips + 2% truncation, 10% duplicates, 5% reorders, clock drift/glitches,
 // EPC bit errors, and one rig silent for 30% of the spin.
 //
-// Usage: fig_chaos [--seed=N] [trialsPerPoint] [durationS] [outPrefix]
-// Writes <outPrefix>.csv and <outPrefix>.json (default prefix "fig_chaos").
+// Usage: fig_chaos [--seed=N] [--out=DIR] [trialsPerPoint] [durationS]
+//                  [outPrefix]
+// Writes DIR/<outPrefix>.csv and DIR/<outPrefix>.json (default prefix
+// "fig_chaos", default DIR "bench/out").
 // The fault RNG seed defaults to a fixed value so runs are reproducible;
 // pass --seed=N to sweep independent fault realizations.
 #include <cstdio>
@@ -32,9 +34,11 @@ int main(int argc, char** argv) {
       pos.push_back(arg);
     }
   }
+  const std::string outDir = eval::consumeOutDir(pos);
   cc.trialsPerPoint = pos.size() > 0 ? std::atoi(pos[0].c_str()) : 40;
   cc.durationS = pos.size() > 1 ? std::atof(pos[1].c_str()) : 15.0;
-  const std::string prefix = pos.size() > 2 ? pos[2] : "fig_chaos";
+  const std::string prefix =
+      eval::outputPath(outDir, pos.size() > 2 ? pos[2] : "fig_chaos");
 
   eval::printHeading("Chaos: ingestion-fault breakdown curve");
   std::printf("fault seed: 0x%llX%s\n",

@@ -6,8 +6,10 @@
 // the final fix is compared against an uninterrupted run of the very same
 // stream.
 //
-// Usage: fig_soak [--seed=N] [revolutions] [rigs] [outPrefix]
-// Writes <outPrefix>.csv (per-outage recovery) and <outPrefix>.json.
+// Usage: fig_soak [--seed=N] [--out=DIR] [revolutions] [rigs] [outPrefix]
+// Writes DIR/<outPrefix>.csv (per-outage recovery), DIR/<outPrefix>.json,
+// and the run's exported telemetry DIR/<outPrefix>.metrics.{json,prom}
+// (default DIR "bench/out").
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -32,9 +34,11 @@ int main(int argc, char** argv) {
       pos.push_back(arg);
     }
   }
+  const std::string outDir = eval::consumeOutDir(pos);
   sc.revolutions = pos.size() > 0 ? std::atof(pos[0].c_str()) : 10.0;
   sc.rigCount = pos.size() > 1 ? std::atoi(pos[1].c_str()) : 3;
-  const std::string prefix = pos.size() > 2 ? pos[2] : "fig_soak";
+  const std::string prefix =
+      eval::outputPath(outDir, pos.size() > 2 ? pos[2] : "fig_soak");
   sc.checkpointPath = prefix + ".ckpt";
 
   eval::printHeading("Soak: outage script + kill -9 mid-spin");
@@ -90,7 +94,10 @@ int main(int argc, char** argv) {
   csv << eval::soakCsv(r);
   std::ofstream json(prefix + ".json");
   json << eval::soakJson(r);
-  std::printf("\nwrote %s.csv and %s.json\n", prefix.c_str(), prefix.c_str());
+  tagspin::obs::writeTextFile(prefix + ".metrics.json", r.telemetryJson);
+  tagspin::obs::writeTextFile(prefix + ".metrics.prom", r.telemetryPrometheus);
+  std::printf("\nwrote %s.{csv,json} and %s.metrics.{json,prom}\n",
+              prefix.c_str(), prefix.c_str());
 
   std::printf("[acceptance: every outage recovered (%s), soak error within "
               "1.25x baseline (%.2fx), kill -9 resumed from checkpoint "

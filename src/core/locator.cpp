@@ -2,14 +2,71 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "core/power_profile.hpp"
 #include "geom/angles.hpp"
+#include "obs/span.hpp"
 
 namespace tagspin::core {
 
 Locator::Locator(LocatorConfig config) : config_(config) {}
+
+Locator::Instruments Locator::Instruments::resolve(
+    obs::MetricsRegistry* registry) {
+  Instruments in;
+  if (!registry) return in;
+  in.fix2dAttempts = registry->counter("locator.fix2d_attempts");
+  in.fix2dOk = registry->counter("locator.fix2d_ok");
+  in.fix3dAttempts = registry->counter("locator.fix3d_attempts");
+  in.fix3dOk = registry->counter("locator.fix3d_ok");
+  in.fallbackMinimal = registry->counter("locator.fallback_minimal");
+  in.degraded = registry->counter("locator.degraded");
+  in.confidenceDowngrades = registry->counter("locator.confidence_downgrades");
+  in.rigsDropped = registry->counter("locator.rigs_dropped");
+  in.profileEval = registry->histogram("span.profile_eval");
+  in.spectrumSearch = registry->histogram("span.spectrum_search");
+  in.fix2d = registry->histogram("span.fix2d");
+  in.fix3d = registry->histogram("span.fix3d");
+  return in;
+}
+
+void Locator::setMetrics(obs::MetricsRegistry* registry) {
+  obs_ = Instruments::resolve(registry);
+}
+
+AzimuthEstimate Locator::timedAzimuth(const std::vector<Snapshot>& snaps,
+                                      const RigSpec& rig,
+                                      const ProfileConfig& cfg) const {
+  std::optional<PowerProfile> profile;
+  {
+    TAGSPIN_SPAN(obs_.profileEval);
+    profile.emplace(snaps, rig.kinematics, cfg);
+  }
+  TAGSPIN_SPAN(obs_.spectrumSearch);
+  return estimateAzimuth(*profile, config_.search);
+}
+
+SpatialEstimate Locator::timedSpatial(const std::vector<Snapshot>& snaps,
+                                      const RigSpec& rig,
+                                      const ProfileConfig& cfg) const {
+  std::optional<PowerProfile> profile;
+  {
+    TAGSPIN_SPAN(obs_.profileEval);
+    profile.emplace(snaps, rig.kinematics, cfg);
+  }
+  TAGSPIN_SPAN(obs_.spectrumSearch);
+  return estimateSpatial(*profile, config_.search);
+}
+
+/// Fold one resilient fix's degradation report into the locator.* counters.
+void Locator::noteResilientOutcome(const ResilienceReport& report) const {
+  if (report.grade == FixGrade::kMinimal) obs::add(obs_.fallbackMinimal);
+  if (report.grade == FixGrade::kDegraded) obs::add(obs_.degraded);
+  if (report.grade != FixGrade::kFull) obs::add(obs_.confidenceDowngrades);
+  obs::add(obs_.rigsDropped, report.droppedRigs.size());
+}
 
 std::vector<Snapshot> Locator::calibrated(const RigObservation& obs,
                                           double azimuthEstimate) const {
@@ -38,13 +95,11 @@ RigDirection Locator::estimateDirection2D(const RigObservation& obs) const {
       !obs.orientation.isIdentity() && config_.orientationIterations > 0;
   const ProfileConfig firstConfig =
       calibrate ? bootstrapConfig(config_.profile) : config_.profile;
-  PowerProfile profile(obs.snapshots, obs.rig.kinematics, firstConfig);
-  AzimuthEstimate est = estimateAzimuth(profile, config_.search);
+  AzimuthEstimate est = timedAzimuth(obs.snapshots, obs.rig, firstConfig);
   if (calibrate) {
     for (int it = 0; it < config_.orientationIterations; ++it) {
       const std::vector<Snapshot> snaps = calibrated(obs, est.azimuth);
-      PowerProfile refined(snaps, obs.rig.kinematics, config_.profile);
-      est = estimateAzimuth(refined, config_.search);
+      est = timedAzimuth(snaps, obs.rig, config_.profile);
     }
   }
   return {est.azimuth, 0.0, est.value};
@@ -55,13 +110,11 @@ RigDirection Locator::estimateDirection3D(const RigObservation& obs) const {
       !obs.orientation.isIdentity() && config_.orientationIterations > 0;
   const ProfileConfig firstConfig =
       calibrate ? bootstrapConfig(config_.profile) : config_.profile;
-  PowerProfile profile(obs.snapshots, obs.rig.kinematics, firstConfig);
-  SpatialEstimate est = estimateSpatial(profile, config_.search);
+  SpatialEstimate est = timedSpatial(obs.snapshots, obs.rig, firstConfig);
   if (calibrate) {
     for (int it = 0; it < config_.orientationIterations; ++it) {
       const std::vector<Snapshot> snaps = calibrated(obs, est.azimuth);
-      PowerProfile refined(snaps, obs.rig.kinematics, config_.profile);
-      est = estimateSpatial(refined, config_.search);
+      est = timedSpatial(snaps, obs.rig, config_.profile);
     }
   }
   return {est.azimuth, est.polar, est.value};
@@ -113,8 +166,7 @@ Fix2D Locator::locate2D(std::span<const RigObservation> observations) const {
   Fix2D fix;
   fix.directions.reserve(observations.size());
   for (const RigObservation& obs : observations) {
-    PowerProfile profile(obs.snapshots, obs.rig.kinematics, cfg0);
-    const AzimuthEstimate est = estimateAzimuth(profile, config_.search);
+    const AzimuthEstimate est = timedAzimuth(obs.snapshots, obs.rig, cfg0);
     fix.directions.push_back({est.azimuth, 0.0, est.value});
   }
   fix.position =
@@ -130,8 +182,8 @@ Fix2D Locator::locate2D(std::span<const RigObservation> observations) const {
         const RigObservation& obs = observations[i];
         const std::vector<Snapshot> snaps = calibrateOrientationAtPosition(
             obs.snapshots, obs.rig, obs.orientation, est3);
-        PowerProfile profile(snaps, obs.rig.kinematics, config_.profile);
-        const AzimuthEstimate est = estimateAzimuth(profile, config_.search);
+        const AzimuthEstimate est =
+            timedAzimuth(snaps, obs.rig, config_.profile);
         fix.directions[i] = {est.azimuth, 0.0, est.value};
       }
       fix.position = intersectFromDirections(observations, fix.directions,
@@ -157,8 +209,7 @@ Fix3D Locator::locate3D(std::span<const RigObservation> observations) const {
   Fix3D fix;
   fix.directions.reserve(observations.size());
   for (const RigObservation& obs : observations) {
-    PowerProfile profile(obs.snapshots, obs.rig.kinematics, cfg0);
-    const SpatialEstimate est = estimateSpatial(profile, config_.search);
+    const SpatialEstimate est = timedSpatial(obs.snapshots, obs.rig, cfg0);
     fix.directions.push_back({est.azimuth, est.polar, est.value});
   }
   geom::Vec2 xy =
@@ -173,8 +224,8 @@ Fix3D Locator::locate3D(std::span<const RigObservation> observations) const {
         const RigObservation& obs = observations[i];
         const std::vector<Snapshot> snaps = calibrateOrientationAtPosition(
             obs.snapshots, obs.rig, obs.orientation, est3);
-        PowerProfile profile(snaps, obs.rig.kinematics, config_.profile);
-        const SpatialEstimate est = estimateSpatial(profile, config_.search);
+        const SpatialEstimate est =
+            timedSpatial(snaps, obs.rig, config_.profile);
         fix.directions[i] = {est.azimuth, est.polar, est.value};
       }
       xy = intersectFromDirections(observations, fix.directions,
@@ -359,6 +410,8 @@ std::vector<RigObservation> subsetObservations(
 Result<ResilientFix2D> Locator::tryLocate2D(
     std::span<const RigObservation> observations,
     const RigHealthThresholds& thresholds) const {
+  obs::add(obs_.fix2dAttempts);
+  TAGSPIN_SPAN(obs_.fix2d);
   Result<ResilienceReport> selected =
       selectRigs(observations, thresholds, config_.profile);
   if (!selected) return selected.error();
@@ -373,12 +426,16 @@ Result<ResilientFix2D> Locator::tryLocate2D(
   }
   out.report.confidence = resilientConfidence(
       out.report, observations, out.fix.directions, out.fix.position);
+  obs::add(obs_.fix2dOk);
+  noteResilientOutcome(out.report);
   return out;
 }
 
 Result<ResilientFix3D> Locator::tryLocate3D(
     std::span<const RigObservation> observations,
     const RigHealthThresholds& thresholds) const {
+  obs::add(obs_.fix3dAttempts);
+  TAGSPIN_SPAN(obs_.fix3d);
   Result<ResilienceReport> selected =
       selectRigs(observations, thresholds, config_.profile);
   if (!selected) return selected.error();
@@ -394,6 +451,8 @@ Result<ResilientFix3D> Locator::tryLocate3D(
   out.report.confidence =
       resilientConfidence(out.report, observations, out.fix.directions,
                           out.fix.position.xy());
+  obs::add(obs_.fix3dOk);
+  noteResilientOutcome(out.report);
   return out;
 }
 

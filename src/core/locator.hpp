@@ -14,6 +14,7 @@
 #include "core/snapshot.hpp"
 #include "core/spectrum.hpp"
 #include "geom/ray.hpp"
+#include "obs/metrics.hpp"
 
 namespace tagspin::core {
 
@@ -87,6 +88,13 @@ class Locator {
 
   const LocatorConfig& config() const { return config_; }
 
+  /// Wire (or unwire, with null) the locator's telemetry: locator.*
+  /// counters (attempts, grades, fallbacks, dropped rigs) and the
+  /// span.profile_eval / span.spectrum_search / span.fix2d / span.fix3d
+  /// latency histograms.  Handles resolve once here; the estimation hot
+  /// path never touches the registry's lock.
+  void setMetrics(obs::MetricsRegistry* registry);
+
   /// Azimuth spectrum of a single rig, with iterative orientation
   /// calibration when a model is installed.
   RigDirection estimateDirection2D(const RigObservation& obs) const;
@@ -124,10 +132,36 @@ class Locator {
                            const geom::Vec3& candidateB) const;
 
  private:
+  struct Instruments {
+    obs::Counter* fix2dAttempts = nullptr;
+    obs::Counter* fix2dOk = nullptr;
+    obs::Counter* fix3dAttempts = nullptr;
+    obs::Counter* fix3dOk = nullptr;
+    obs::Counter* fallbackMinimal = nullptr;
+    obs::Counter* degraded = nullptr;
+    obs::Counter* confidenceDowngrades = nullptr;
+    obs::Counter* rigsDropped = nullptr;
+    obs::Histogram* profileEval = nullptr;     // span.profile_eval
+    obs::Histogram* spectrumSearch = nullptr;  // span.spectrum_search
+    obs::Histogram* fix2d = nullptr;           // span.fix2d
+    obs::Histogram* fix3d = nullptr;           // span.fix3d
+    static Instruments resolve(obs::MetricsRegistry* registry);
+  };
+
   std::vector<Snapshot> calibrated(const RigObservation& obs,
                                    double azimuthEstimate) const;
+  /// Profile build + azimuth (or spatial) search for one rig, timed under
+  /// span.profile_eval / span.spectrum_search.
+  AzimuthEstimate timedAzimuth(const std::vector<Snapshot>& snaps,
+                               const RigSpec& rig,
+                               const ProfileConfig& cfg) const;
+  SpatialEstimate timedSpatial(const std::vector<Snapshot>& snaps,
+                               const RigSpec& rig,
+                               const ProfileConfig& cfg) const;
+  void noteResilientOutcome(const ResilienceReport& report) const;
 
   LocatorConfig config_;
+  Instruments obs_;
 };
 
 }  // namespace tagspin::core

@@ -4,11 +4,29 @@
 #include <stdexcept>
 
 #include "geom/angles.hpp"
+#include "obs/span.hpp"
 
 namespace tagspin::core {
 
 TagspinSystem::TagspinSystem(LocatorConfig config)
     : locator_(config) {}
+
+TagspinSystem::Instruments TagspinSystem::Instruments::resolve(
+    obs::MetricsRegistry* registry) {
+  Instruments in;
+  if (!registry) return in;
+  in.duplicatesRemoved = registry->counter("preprocess.duplicates_removed");
+  in.timestampRepairs = registry->counter("preprocess.timestamp_repairs");
+  in.phaseOutliersDropped =
+      registry->counter("preprocess.phase_outliers_dropped");
+  in.preprocessSpan = registry->histogram("span.preprocess");
+  return in;
+}
+
+void TagspinSystem::setMetrics(obs::MetricsRegistry* registry) {
+  obs_ = Instruments::resolve(registry);
+  locator_.setMetrics(registry);
+}
 
 void TagspinSystem::registerRig(const rfid::Epc& epc, const RigSpec& rig) {
   rigs_[epc] = rig;
@@ -62,8 +80,14 @@ std::vector<RigObservation> TagspinSystem::collectObservationsRobust(
     const rfid::ReportStream& reports) const {
   std::vector<RigObservation> obs;
   for (const auto& [epc, rig] : rigs_) {
-    Result<std::vector<Snapshot>> snaps =
-        extractSnapshotsRobust(reports, epc, preprocess_);
+    RepairStats repairs;
+    Result<std::vector<Snapshot>> snaps = [&] {
+      TAGSPIN_SPAN(obs_.preprocessSpan);
+      return extractSnapshotsRobust(reports, epc, preprocess_, &repairs);
+    }();
+    obs::add(obs_.duplicatesRemoved, repairs.duplicatesRemoved);
+    obs::add(obs_.timestampRepairs, repairs.timestampOutliersDropped);
+    obs::add(obs_.phaseOutliersDropped, repairs.phaseOutliersDropped);
     if (!snaps) continue;  // this rig was not heard (or fully rejected)
     RigObservation o;
     o.rig = rig;

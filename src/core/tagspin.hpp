@@ -75,6 +75,11 @@ class TagspinSystem {
     return healthThresholds_;
   }
 
+  /// Wire (or unwire, with null) telemetry: forwards to the locator and
+  /// publishes the robust preprocess repairs (preprocess.* counters,
+  /// span.preprocess) from collectObservationsRobust.
+  void setMetrics(obs::MetricsRegistry* registry);
+
   /// Calibrate every antenna port present in a mixed multi-port stream
   /// (a Speedway-class reader cycles its ports): splits by port and locates
   /// each.  Ports whose slice cannot produce a fix (fewer than two rigs
@@ -94,12 +99,21 @@ class TagspinSystem {
       const rfid::ReportStream& reports) const;
 
  private:
+  struct Instruments {
+    obs::Counter* duplicatesRemoved = nullptr;
+    obs::Counter* timestampRepairs = nullptr;
+    obs::Counter* phaseOutliersDropped = nullptr;
+    obs::Histogram* preprocessSpan = nullptr;  // span.preprocess
+    static Instruments resolve(obs::MetricsRegistry* registry);
+  };
+
   Locator locator_;
   PreprocessConfig preprocess_;
   RigHealthThresholds healthThresholds_;
   std::map<rfid::Epc, RigSpec> rigs_;
   std::map<rfid::Epc, RigSpec> verticalRigs_;
   std::map<rfid::Epc, OrientationModel> orientationModels_;
+  Instruments obs_;
 };
 
 }  // namespace tagspin::core

@@ -34,30 +34,6 @@ sim::FaultConfig ChaosConfig::defaultFaultTemplate() {
   return f;
 }
 
-namespace {
-
-void accumulate(rfid::llrp::DecodeStats& acc,
-                const rfid::llrp::DecodeStats& s) {
-  acc.framesDecoded += s.framesDecoded;
-  acc.framesSkipped += s.framesSkipped;
-  acc.framesRejected += s.framesRejected;
-  acc.bytesResynced += s.bytesResynced;
-  acc.bytesTotal += s.bytesTotal;
-}
-
-void accumulate(sim::FaultStats& acc, const sim::FaultStats& s) {
-  acc.duplicatesInserted += s.duplicatesInserted;
-  acc.reordersApplied += s.reordersApplied;
-  acc.timestampGlitches += s.timestampGlitches;
-  acc.epcBitErrors += s.epcBitErrors;
-  acc.reportsDropped += s.reportsDropped;
-  acc.framesBitFlipped += s.framesBitFlipped;
-  acc.framesTruncated += s.framesTruncated;
-  acc.bitsFlipped += s.bitsFlipped;
-}
-
-}  // namespace
-
 ChaosResult runChaosSweep(const ChaosConfig& config) {
   ChaosResult result;
   const sim::World baseWorld =
@@ -72,6 +48,12 @@ ChaosResult runChaosSweep(const ChaosConfig& config) {
     point.intensity = intensity;
     point.trials = config.trialsPerPoint;
     std::vector<double> errors;
+
+    // Per-point telemetry: a fresh registry per intensity keeps the curve's
+    // granularity while routing every counter through the same machinery a
+    // deployment scrapes (decode, fault and locator accounting included).
+    obs::MetricsRegistry pointReg;
+    server.setMetrics(&pointReg);
 
     for (int trial = 0; trial < config.trialsPerPoint; ++trial) {
       // Trial seeds depend on the trial alone, not on the intensity point:
@@ -111,8 +93,8 @@ ChaosResult runChaosSweep(const ChaosConfig& config) {
       rfid::llrp::DecodeStats ds;
       const rfid::ReportStream recovered =
           rfid::llrp::decodeStreamTolerant(dirty, &ds);
-      accumulate(point.decode, ds);
-      accumulate(point.faults, injector.stats());
+      rfid::llrp::publishDecodeStats(ds, pointReg);
+      sim::publishFaultStats(injector.stats(), pointReg);
 
       const core::Result<core::ResilientFix2D> fix =
           server.tryLocate2D(recovered);
@@ -125,6 +107,31 @@ ChaosResult runChaosSweep(const ChaosConfig& config) {
         ++point.failures[core::errorCodeName(fix.error().code)];
       }
     }
+
+    // Read the point's accounting back from the registry so the CSV/JSON
+    // columns come from the exact counters a live scrape would report.
+    const obs::MetricsSnapshot snap = pointReg.snapshot();
+    point.decode.framesDecoded = snap.counterValue("llrp.frames_decoded");
+    point.decode.framesSkipped = snap.counterValue("llrp.frames_skipped");
+    point.decode.framesRejected = snap.counterValue("llrp.frames_rejected");
+    point.decode.bytesResynced = snap.counterValue("llrp.bytes_resynced");
+    point.decode.bytesTotal = snap.counterValue("llrp.bytes_total");
+    point.faults.duplicatesInserted =
+        snap.counterValue("faults.duplicates_inserted");
+    point.faults.reordersApplied = snap.counterValue("faults.reorders_applied");
+    point.faults.timestampGlitches =
+        snap.counterValue("faults.timestamp_glitches");
+    point.faults.epcBitErrors = snap.counterValue("faults.epc_bit_errors");
+    point.faults.reportsDropped = snap.counterValue("faults.reports_dropped");
+    point.faults.framesBitFlipped =
+        snap.counterValue("faults.frames_bit_flipped");
+    point.faults.framesTruncated =
+        snap.counterValue("faults.frames_truncated");
+    point.faults.bitsFlipped = snap.counterValue("faults.bits_flipped");
+    if (const obs::HistogramView* h = snap.histogram("span.fix2d")) {
+      point.medianFixLatencyMs = h->p50 * 1e3;
+    }
+    server.setMetrics(nullptr);  // pointReg dies with this scope
 
     point.fixRate = point.trials > 0
                         ? static_cast<double>(point.fixes) / point.trials
@@ -145,7 +152,8 @@ std::string chaosCsv(const ChaosResult& result) {
   out << "intensity,trials,fixes,fix_rate,mean_error_cm,median_error_cm,"
          "p90_error_cm,degraded_fixes,frames_decoded,frames_skipped,"
          "frames_rejected,bytes_resynced,bytes_total,duplicates,reorders,"
-         "reports_dropped,frames_bit_flipped,frames_truncated\n";
+         "reports_dropped,frames_bit_flipped,frames_truncated,"
+         "median_fix_latency_ms\n";
   for (const ChaosPoint& p : result.points) {
     out << p.intensity << ',' << p.trials << ',' << p.fixes << ','
         << p.fixRate << ',' << p.meanErrorCm << ',' << p.medianErrorCm << ','
@@ -155,7 +163,8 @@ std::string chaosCsv(const ChaosResult& result) {
         << p.decode.bytesTotal << ','
         << p.faults.duplicatesInserted << ',' << p.faults.reordersApplied
         << ',' << p.faults.reportsDropped << ',' << p.faults.framesBitFlipped
-        << ',' << p.faults.framesTruncated << '\n';
+        << ',' << p.faults.framesTruncated << ','
+        << p.medianFixLatencyMs << '\n';
   }
   return out.str();
 }
@@ -176,6 +185,7 @@ std::string chaosJson(const ChaosResult& result) {
         << ", \"frames_skipped\": " << p.decode.framesSkipped
         << ", \"frames_rejected\": " << p.decode.framesRejected
         << ", \"bytes_resynced\": " << p.decode.bytesResynced
+        << ", \"median_fix_latency_ms\": " << p.medianFixLatencyMs
         << ", \"failures\": {";
     size_t k = 0;
     for (const auto& [name, count] : p.failures) {

@@ -19,6 +19,7 @@
 #include "core/config.hpp"
 #include "core/errors.hpp"
 #include "core/quality.hpp"
+#include "obs/metrics.hpp"
 #include "rfid/llrp.hpp"
 #include "sim/faults.hpp"
 #include "sim/scenario.hpp"
@@ -68,9 +69,13 @@ struct ChaosPoint {
   double meanErrorCm = 0.0;
   double medianErrorCm = 0.0;
   double p90ErrorCm = 0.0;
-  /// Decode/repair accounting aggregated over the point's trials.
+  /// Decode/repair accounting aggregated over the point's trials (read back
+  /// from the point's metrics registry).
   rfid::llrp::DecodeStats decode;
   sim::FaultStats faults;
+  /// Median end-to-end tryLocate2D latency at this intensity (span.fix2d
+  /// p50), milliseconds; 0 when no attempt ran.
+  double medianFixLatencyMs = 0.0;
   /// Failure causes (ErrorCode name -> count) for trials without a fix.
   std::map<std::string, int> failures;
   /// Count of degraded/minimal-grade fixes (unhealthy rigs were dropped).

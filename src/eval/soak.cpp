@@ -15,18 +15,6 @@
 namespace tagspin::eval {
 namespace {
 
-// Counters reset when a session or supervisor is recreated mid-run; this
-// folds the pre-reset total back in so the soak reports lifetime values.
-struct MonotoneAccum {
-  uint64_t base = 0;
-  uint64_t last = 0;
-  void update(uint64_t v) {
-    if (v < last) base += last;
-    last = v;
-  }
-  uint64_t total() const { return base + last; }
-};
-
 size_t totalSnapshots(const runtime::Supervisor& sup) {
   size_t n = 0;
   for (const auto& [epc, rig] : sup.deployment().rigs) {
@@ -49,6 +37,19 @@ runtime::SupervisorConfig SoakConfig::defaultSupervisorConfig() {
 
 SoakResult runSoak(const SoakConfig& config) {
   SoakResult result;
+
+  // All runtime accounting flows through one registry that outlives every
+  // session/supervisor the run creates (including the kill/restore), so
+  // the counters below are lifetime totals by construction -- no
+  // reset-folding needed.
+  obs::MetricsRegistry localRegistry;
+  obs::EventJournal localJournal;
+  obs::MetricsRegistry* reg = config.metrics ? config.metrics : &localRegistry;
+  obs::EventJournal* journal =
+      config.journal ? config.journal : &localJournal;
+  runtime::SupervisorConfig supCfg = config.supervisor;
+  if (!supCfg.metrics) supCfg.metrics = reg;
+  if (!supCfg.journal) supCfg.journal = journal;
 
   const double period =
       2.0 * std::numbers::pi / config.scenario.rigOmegaRadPerS;
@@ -106,8 +107,7 @@ SoakResult runSoak(const SoakConfig& config) {
   const runtime::TransportFactory factory = [shared] {
     return std::make_unique<runtime::SharedTransport>(shared);
   };
-  auto sup = std::make_unique<runtime::Supervisor>(config.supervisor,
-                                                   deployment, &store);
+  auto sup = std::make_unique<runtime::Supervisor>(supCfg, deployment, &store);
   sup->addSession("reader0", factory);
 
   // Recovery tracking: an outage "recovers" when a report is ingested
@@ -126,31 +126,10 @@ SoakResult runSoak(const SoakConfig& config) {
     trackers.push_back(t);
   }
 
-  MonotoneAccum seen, ingested, dup, ckpts, restarted;
-  MonotoneAccum disconnects, wdNoReport, wdStuckClock;
-  MonotoneAccum qOffered, qAccepted, qRefused, qDropOldest, qDropSampled;
-  uint64_t qMaxDepth = 0;
-  const auto sample = [&] {
-    const runtime::SupervisorStats& s = sup->stats();
-    seen.update(s.reportsSeen);
-    ingested.update(s.reportsIngested);
-    dup.update(s.duplicatesSuppressed);
-    ckpts.update(s.checkpointsSaved);
-    restarted.update(s.sessionsRestarted);
-    if (sup->sessionCount() > 0) {
-      const runtime::SessionStats& ss = sup->session(0).stats();
-      disconnects.update(ss.disconnects);
-      wdNoReport.update(ss.watchdogNoReport);
-      wdStuckClock.update(ss.watchdogStuckClock);
-      const runtime::QueueStats& qs = sup->session(0).queueStats();
-      qOffered.update(qs.offered);
-      qAccepted.update(qs.accepted);
-      qRefused.update(qs.refusedFull);
-      qDropOldest.update(qs.droppedOldest);
-      qDropSampled.update(qs.droppedSampled);
-      qMaxDepth = std::max(qMaxDepth, qs.maxDepth);
-    }
-  };
+  // Registry handles read during the run (registration is idempotent, so
+  // resolving before the first increment is fine -- they start at zero).
+  obs::Counter* ingestedC = reg->counter("supervisor.reports_ingested");
+  obs::Counter* dupC = reg->counter("supervisor.duplicates_suppressed");
 
   const double killAtS = config.killAtFraction > 0.0
                              ? config.killAtFraction * durationS
@@ -164,15 +143,13 @@ SoakResult runSoak(const SoakConfig& config) {
       killDone = true;
       result.killed = true;
       result.killAtS = t;
-      sample();
       result.snapshotsAtKill = totalSnapshots(*sup);
       // kill -9: the supervisor object dies without shutdown(); whatever
       // the last periodic checkpoint captured is all that survives.  The
       // reader sees the TCP connection reset.
       sup.reset();
       shared->close();
-      sup = std::make_unique<runtime::Supervisor>(config.supervisor,
-                                                  deployment, &store);
+      sup = std::make_unique<runtime::Supervisor>(supCfg, deployment, &store);
       const auto restored = sup->restore();
       result.restoreOk = restored.hasValue();
       if (restored.hasValue()) {
@@ -181,13 +158,12 @@ SoakResult runSoak(const SoakConfig& config) {
       }
       result.snapshotsRestored = totalSnapshots(*sup);
       sup->addSession("reader0", factory);
-      dupAtRestart = dup.total();
+      dupAtRestart = dupC->value();
     }
 
     sup->tick(t);
-    sample();
 
-    const uint64_t cumIngested = ingested.total();
+    const uint64_t cumIngested = ingestedC->value();
     for (Tracker& tr : trackers) {
       if (!tr.started && t >= tr.rec.event.atS) {
         tr.started = true;
@@ -204,7 +180,6 @@ SoakResult runSoak(const SoakConfig& config) {
   }
 
   sup->shutdown(endS);
-  sample();
 
   const auto fix = sup->tryLocate2D();
   result.soakOk = fix.hasValue();
@@ -234,8 +209,15 @@ SoakResult runSoak(const SoakConfig& config) {
     result.meanTimeToRecoverS = sumRecover / double(trackers.size());
   }
 
-  result.reportsSeen = seen.total();
-  result.reportsIngested = ingested.total();
+  // Everything below reads the registry: one source of truth for the whole
+  // run, exactly what a scraped deployment would see.
+  result.telemetry = reg->snapshot();
+  result.telemetryJson = obs::toJson(result.telemetry, journal);
+  result.telemetryPrometheus = obs::toPrometheus(result.telemetry);
+  const obs::MetricsSnapshot& snap = result.telemetry;
+
+  result.reportsSeen = snap.counterValue("supervisor.reports_seen");
+  result.reportsIngested = snap.counterValue("supervisor.reports_ingested");
   result.framesLostWhileDown = shared->stats().framesLostWhileDown;
   if (result.cleanReports > 0) {
     result.reportLossFraction =
@@ -249,22 +231,27 @@ SoakResult runSoak(const SoakConfig& config) {
     const double reportsPerRev =
         double(result.cleanReports) / config.revolutions;
     result.revolutionsReacquired =
-        double(dup.total() - dupAtRestart) / reportsPerRev;
+        double(snap.counterValue("supervisor.duplicates_suppressed") -
+               dupAtRestart) /
+        reportsPerRev;
     (void)ckptReaderTs;
   }
 
-  result.checkpointsSaved = ckpts.total();
-  result.sessionsRestarted = restarted.total();
-  result.sessionDisconnects = disconnects.total();
-  result.watchdogNoReport = wdNoReport.total();
-  result.watchdogStuckClock = wdStuckClock.total();
-  result.duplicatesSuppressed = dup.total();
-  result.queue.offered = qOffered.total();
-  result.queue.accepted = qAccepted.total();
-  result.queue.refusedFull = qRefused.total();
-  result.queue.droppedOldest = qDropOldest.total();
-  result.queue.droppedSampled = qDropSampled.total();
-  result.queue.maxDepth = qMaxDepth;
+  result.checkpointsSaved = snap.counterValue("checkpoint.saves");
+  result.sessionsRestarted = snap.counterValue("supervisor.sessions_restarted");
+  result.sessionDisconnects = snap.counterValue("session.disconnects");
+  result.watchdogNoReport = snap.counterValue("session.watchdog_no_report");
+  result.watchdogStuckClock =
+      snap.counterValue("session.watchdog_stuck_clock");
+  result.duplicatesSuppressed =
+      snap.counterValue("supervisor.duplicates_suppressed");
+  result.queue.offered = snap.counterValue("queue.offered");
+  result.queue.accepted = snap.counterValue("queue.accepted");
+  result.queue.refusedFull = snap.counterValue("queue.refused_full");
+  result.queue.droppedOldest = snap.counterValue("queue.dropped_oldest");
+  result.queue.droppedSampled = snap.counterValue("queue.dropped_sampled");
+  result.queue.maxDepth =
+      static_cast<size_t>(snap.gaugeValue("queue.max_depth"));
   return result;
 }
 

@@ -18,6 +18,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/export.hpp"
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/queue.hpp"
 #include "runtime/supervisor.hpp"
 #include "sim/flaky_transport.hpp"
@@ -49,6 +52,14 @@ struct SoakConfig {
   std::string checkpointPath;
 
   uint64_t seed = 0x50AC17ULL;
+
+  /// Telemetry sinks shared by every runtime object the soak creates
+  /// (including across the kill/restore -- the registry outlives the
+  /// supervisor, so counters are lifetime totals with no reset-folding).
+  /// Null -> the run uses internal sinks; either way SoakResult carries
+  /// the final snapshot and its exports.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::EventJournal* journal = nullptr;
 
   static runtime::SupervisorConfig defaultSupervisorConfig();
 };
@@ -101,6 +112,12 @@ struct SoakResult {
   uint64_t watchdogStuckClock = 0;
   uint64_t duplicatesSuppressed = 0;
   runtime::QueueStats queue;
+
+  // Full telemetry at the end of the run: the registry snapshot plus its
+  // two export renderings (what `tagspin_cli serve` would have dumped).
+  obs::MetricsSnapshot telemetry;
+  std::string telemetryJson;
+  std::string telemetryPrometheus;
 };
 
 SoakResult runSoak(const SoakConfig& config);

@@ -1,0 +1,54 @@
+#include "obs/journal.hpp"
+
+namespace tagspin::obs {
+
+const char* severityName(Severity severity) {
+  switch (severity) {
+    case Severity::kDebug: return "debug";
+    case Severity::kInfo: return "info";
+    case Severity::kWarn: return "warn";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+void EventJournal::record(
+    double wallS, Severity severity, std::string what,
+    std::initializer_list<std::pair<std::string, std::string>> fields) {
+  Event ev;
+  ev.wallS = wallS;
+  ev.severity = severity;
+  ev.what = std::move(what);
+  ev.fields.assign(fields.begin(), fields.end());
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+  } else {
+    ring_[head_] = std::move(ev);
+    head_ = (head_ + 1) % capacity_;
+  }
+}
+
+std::vector<Event> EventJournal::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+uint64_t EventJournal::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_;
+}
+
+uint64_t EventJournal::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+}
+
+}  // namespace tagspin::obs

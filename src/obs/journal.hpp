@@ -1,0 +1,69 @@
+// Bounded structured event journal for discrete runtime events (breaker
+// trips, watchdog fires, checkpoint failures) -- the narrative complement
+// to the registry's counters.  Metrics say *how often*; the journal says
+// *what happened last*, with enough key/value context to debug a specific
+// incident from the exported snapshot.
+//
+// The ring is mutex-protected: events are rare (per-incident, not
+// per-report), so a lock on this cold path is fine, and it keeps the ring
+// trivially correct under threaded deployments.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tagspin::obs {
+
+enum class Severity { kDebug, kInfo, kWarn, kError };
+const char* severityName(Severity severity);
+
+struct Event {
+  double wallS = 0.0;  // runtime tick time (the runtime is clock-free)
+  Severity severity = Severity::kInfo;
+  std::string what;
+  std::vector<std::pair<std::string, std::string>> fields;
+};
+
+class EventJournal {
+ public:
+  explicit EventJournal(size_t capacity = 256)
+      : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  void record(double wallS, Severity severity, std::string what,
+              std::initializer_list<std::pair<std::string, std::string>>
+                  fields = {});
+
+  /// Events currently retained, oldest first.
+  std::vector<Event> events() const;
+
+  /// Lifetime totals: everything ever recorded, and how many of those were
+  /// overwritten by the bound.
+  uint64_t recorded() const;
+  uint64_t dropped() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<Event> ring_;
+  size_t head_ = 0;  // index of the oldest event once the ring is full
+  uint64_t recorded_ = 0;
+};
+
+/// Null-safe helper mirroring obs::add/observe.
+inline void record(EventJournal* journal, double wallS, Severity severity,
+                   std::string what,
+                   std::initializer_list<std::pair<std::string, std::string>>
+                       fields = {}) {
+#ifdef TAGSPIN_OBS_NOOP
+  (void)journal; (void)wallS; (void)severity; (void)what; (void)fields;
+#else
+  if (journal) journal->record(wallS, severity, std::move(what), fields);
+#endif
+}
+
+}  // namespace tagspin::obs

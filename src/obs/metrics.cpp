@@ -1,0 +1,104 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace tagspin::obs {
+
+double Histogram::quantile(double q) const noexcept {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample (nearest-rank on the bucketed CDF).
+  const uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n - 1));
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const uint64_t c = bucketCount(i);
+    if (c == 0) continue;
+    seen += c;
+    if (seen > rank) {
+      // Geometric midpoint of the bucket: sqrt(lower * upper).  Bucket 0
+      // has no meaningful lower edge; report its upper bound.
+      const double upper = bucketUpper(i);
+      if (i == 0) return upper;
+      return std::sqrt(bucketUpper(i - 1) * upper);
+    }
+  }
+  return max();
+}
+
+uint64_t MetricsSnapshot::counterValue(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+double MetricsSnapshot::gaugeValue(const std::string& name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0.0;
+}
+
+const HistogramView* MetricsSnapshot::histogram(
+    const std::string& name) const {
+  for (const HistogramView& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramView view;
+    view.name = name;
+    view.count = h->count();
+    view.sum = h->sum();
+    view.min = h->min();
+    view.max = h->max();
+    view.p50 = h->quantile(0.50);
+    view.p90 = h->quantile(0.90);
+    view.p99 = h->quantile(0.99);
+    snap.histograms.push_back(std::move(view));
+  }
+  return snap;
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+}  // namespace tagspin::obs

@@ -1,0 +1,255 @@
+// Thread-safe, low-overhead metrics primitives and the process-wide
+// registry that names them.
+//
+// Design constraints, in order:
+//  * the *hot path* (a counter bump inside the decode loop, a histogram
+//    observation per localization) is one relaxed atomic RMW -- no locks,
+//    no allocation, no branches beyond a null check;
+//  * handles are plain pointers resolved once at wiring time, so an
+//    uninstrumented component (null registry) costs a predicted-not-taken
+//    branch per site, and a TAGSPIN_OBS_NOOP build (see span.hpp) compiles
+//    every site away entirely;
+//  * registration is rare and may take a mutex; the registry hands out
+//    stable addresses (metrics are never moved or destroyed while the
+//    registry lives), so readers and writers never synchronize with it.
+//
+// Metric names are dot-separated ("session.disconnects",
+// "span.llrp_decode"); exporters (obs/export.hpp) map them to
+// Prometheus-safe identifiers.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tagspin::obs {
+
+/// Monotone event count.  add() is wait-free.
+class Counter {
+ public:
+  void add(uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar (queue depth, reader-clock watermark).  Stored as
+/// the bit pattern of a double so set() stays a single relaxed store.
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    bits_.store(toBits(v), std::memory_order_relaxed);
+  }
+  /// Monotone variant: keep the maximum ever set (depth high watermarks
+  /// that must survive the component being torn down and rebuilt).
+  void setMax(double v) noexcept {
+    uint64_t cur = bits_.load(std::memory_order_relaxed);
+    while (fromBits(cur) < v &&
+           !bits_.compare_exchange_weak(cur, toBits(v),
+                                        std::memory_order_relaxed)) {
+    }
+  }
+  double value() const noexcept {
+    return fromBits(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  static uint64_t toBits(double v) noexcept {
+    uint64_t b;
+    static_assert(sizeof(b) == sizeof(v));
+    __builtin_memcpy(&b, &v, sizeof(b));
+    return b;
+  }
+  static double fromBits(uint64_t b) noexcept {
+    double v;
+    __builtin_memcpy(&v, &b, sizeof(v));
+    return v;
+  }
+
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// Log-bucketed histogram for non-negative values (latencies in seconds,
+/// sizes in bytes).  Bucket i covers (2^(i-31+kExpOffsetBias), 2^(i-30+...)]
+/// -- concretely, with the default bias the span runs from sub-nanosecond
+/// to ~10^9, so one layout serves both latency and byte-size metrics.
+/// observe() is wait-free: a frexp, a clamp and two relaxed RMWs.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+  /// Buckets are centred for seconds-scale values: bucket upper bounds are
+  /// 2^(i - kExpBias), i in [0, 64), i.e. [2^-30 s, 2^33].
+  static constexpr int kExpBias = 30;
+
+  void observe(double v) noexcept {
+    buckets_[bucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    atomicAdd(sum_, v);
+    atomicMin(min_, v);
+    atomicMax(max_, v);
+  }
+
+  uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return loadD(sum_); }
+  double min() const noexcept { return count() ? loadD(min_) : 0.0; }
+  double max() const noexcept { return count() ? loadD(max_) : 0.0; }
+  double mean() const noexcept {
+    const uint64_t n = count();
+    return n ? sum() / static_cast<double>(n) : 0.0;
+  }
+
+  /// Bucket-resolution quantile estimate (geometric midpoint of the bucket
+  /// holding the target rank).  Accurate to the 2x bucket width, which is
+  /// what a latency dashboard needs; not for numerics.
+  double quantile(double q) const noexcept;
+
+  uint64_t bucketCount(int i) const noexcept {
+    return buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+  }
+  /// Upper bound of bucket i.
+  static double bucketUpper(int i) noexcept {
+    return std::ldexp(1.0, i - kExpBias);
+  }
+  static int bucketIndex(double v) noexcept {
+    if (!(v > 0.0)) return 0;  // zero, negatives and NaN land in bucket 0
+    int exp = 0;
+    std::frexp(v, &exp);  // v = m * 2^exp, m in [0.5, 1) => v <= 2^exp
+    const int idx = exp + kExpBias;
+    return idx < 0 ? 0 : (idx >= kBuckets ? kBuckets - 1 : idx);
+  }
+
+ private:
+  // CAS loops instead of std::atomic<double>::fetch_add -- the arithmetic
+  // RMWs on floating atomics are C++20-paper features with patchy codegen;
+  // the loop is portable and equally lock-free.
+  static void atomicAdd(std::atomic<uint64_t>& bits, double v) noexcept {
+    uint64_t cur = bits.load(std::memory_order_relaxed);
+    for (;;) {
+      const double next = bitsToD(cur) + v;
+      if (bits.compare_exchange_weak(cur, dToBits(next),
+                                     std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+  static void atomicMin(std::atomic<uint64_t>& bits, double v) noexcept {
+    uint64_t cur = bits.load(std::memory_order_relaxed);
+    while (bitsToD(cur) > v &&
+           !bits.compare_exchange_weak(cur, dToBits(v),
+                                       std::memory_order_relaxed)) {
+    }
+  }
+  static void atomicMax(std::atomic<uint64_t>& bits, double v) noexcept {
+    uint64_t cur = bits.load(std::memory_order_relaxed);
+    while (bitsToD(cur) < v &&
+           !bits.compare_exchange_weak(cur, dToBits(v),
+                                       std::memory_order_relaxed)) {
+    }
+  }
+  static uint64_t dToBits(double v) noexcept {
+    uint64_t b;
+    __builtin_memcpy(&b, &v, sizeof(b));
+    return b;
+  }
+  static double bitsToD(uint64_t b) noexcept {
+    double v;
+    __builtin_memcpy(&v, &b, sizeof(v));
+    return v;
+  }
+  static double loadD(const std::atomic<uint64_t>& bits) noexcept {
+    return bitsToD(bits.load(std::memory_order_relaxed));
+  }
+
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{dToBits(0.0)};
+  std::atomic<uint64_t> min_{dToBits(std::numeric_limits<double>::infinity())};
+  std::atomic<uint64_t> max_{
+      dToBits(-std::numeric_limits<double>::infinity())};
+};
+
+/// Point-in-time view of one histogram, for exporters and reports.
+struct HistogramView {
+  std::string name;
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Point-in-time view of the whole registry (name-sorted).
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramView> histograms;
+
+  /// Counter value by exact name; 0 when absent.
+  uint64_t counterValue(const std::string& name) const;
+  double gaugeValue(const std::string& name) const;
+  const HistogramView* histogram(const std::string& name) const;
+};
+
+/// Named metric registry.  counter()/gauge()/histogram() create on first
+/// use and return the same stable pointer on every subsequent call with the
+/// same name; the pointers remain valid for the registry's lifetime, so
+/// components resolve their handles once and never touch the lock again.
+class MetricsRegistry {
+ public:
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Number of registered metrics across all kinds.
+  size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Null-safe instrumentation helpers: every call site goes through these so
+// an unwired component (null handle) costs one branch, and a
+// TAGSPIN_OBS_NOOP build costs nothing (the bodies are compiled away; see
+// span.hpp for the matching span macro).
+#ifdef TAGSPIN_OBS_NOOP
+inline void add(Counter*, uint64_t = 1) noexcept {}
+inline void set(Gauge*, double) noexcept {}
+inline void setMax(Gauge*, double) noexcept {}
+inline void observe(Histogram*, double) noexcept {}
+#else
+inline void add(Counter* c, uint64_t n = 1) noexcept {
+  if (c) c->add(n);
+}
+inline void set(Gauge* g, double v) noexcept {
+  if (g) g->set(v);
+}
+inline void setMax(Gauge* g, double v) noexcept {
+  if (g) g->setMax(v);
+}
+inline void observe(Histogram* h, double v) noexcept {
+  if (h) h->observe(v);
+}
+#endif
+
+}  // namespace tagspin::obs

@@ -1,0 +1,58 @@
+// Scoped trace spans: RAII timers that feed a latency histogram.
+//
+//   void pump() {
+//     TAGSPIN_SPAN(obs_.decodeSpan);      // obs_.decodeSpan: Histogram*
+//     ... hot work ...
+//   }                                      // elapsed seconds observed here
+//
+// A null histogram skips the clock reads entirely, so unwired components
+// pay one branch per span.  Defining TAGSPIN_OBS_NOOP (CMake option
+// TAGSPIN_OBS_NOOP) compiles the macro to nothing, which is the provably
+// zero-cost configuration fig_obs_overhead compares against.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace tagspin::obs {
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(Histogram* histogram) noexcept : histogram_(histogram) {
+    if (histogram_) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedSpan() {
+    if (histogram_) {
+      const auto end = std::chrono::steady_clock::now();
+      histogram_->observe(std::chrono::duration<double>(end - start_).count());
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Observe now and disarm (for spans that end before scope exit).
+  void finish() noexcept {
+    if (histogram_) {
+      const auto end = std::chrono::steady_clock::now();
+      histogram_->observe(std::chrono::duration<double>(end - start_).count());
+      histogram_ = nullptr;
+    }
+  }
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace tagspin::obs
+
+#define TAGSPIN_SPAN_CONCAT2(a, b) a##b
+#define TAGSPIN_SPAN_CONCAT(a, b) TAGSPIN_SPAN_CONCAT2(a, b)
+#ifdef TAGSPIN_OBS_NOOP
+#define TAGSPIN_SPAN(histogram) ((void)0)
+#else
+#define TAGSPIN_SPAN(histogram) \
+  ::tagspin::obs::ScopedSpan TAGSPIN_SPAN_CONCAT(tagspin_span_, \
+                                                 __LINE__)(histogram)
+#endif

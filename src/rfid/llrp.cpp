@@ -271,4 +271,13 @@ void TolerantStreamDecoder::finish() {
   resyncing_ = false;
 }
 
+void publishDecodeStats(const DecodeStats& delta,
+                        obs::MetricsRegistry& registry) {
+  obs::add(registry.counter("llrp.frames_decoded"), delta.framesDecoded);
+  obs::add(registry.counter("llrp.frames_skipped"), delta.framesSkipped);
+  obs::add(registry.counter("llrp.frames_rejected"), delta.framesRejected);
+  obs::add(registry.counter("llrp.bytes_resynced"), delta.bytesResynced);
+  obs::add(registry.counter("llrp.bytes_total"), delta.bytesTotal);
+}
+
 }  // namespace tagspin::rfid::llrp

@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "rfid/report.hpp"
 
 namespace tagspin::rfid::llrp {
@@ -55,6 +56,14 @@ struct DecodeStats {
   size_t bytesResynced = 0;
   size_t bytesTotal = 0;
 };
+
+/// Fold a DecodeStats *delta* into the registry's "llrp.*" counters
+/// (frames_decoded, frames_skipped = resync events, frames_rejected =
+/// chimera rejections, bytes_resynced, bytes_total).  Callers holding a
+/// cumulative DecodeStats (TolerantStreamDecoder) publish successive
+/// differences; per-invocation stats publish as-is.
+void publishDecodeStats(const DecodeStats& delta,
+                        obs::MetricsRegistry& registry);
 
 /// Resynchronizing decoder for dirty streams: skips malformed or truncated
 /// frames byte-by-byte until the next valid frame header, decodes everything

@@ -79,7 +79,7 @@ core::Result<std::string> CheckpointStore::unframe(
   return R::ok(std::move(payload));
 }
 
-void CheckpointStore::save(
+size_t CheckpointStore::save(
     const core::CalibrationCheckpoint& checkpoint) const {
   const std::string contents = frame(core::checkpointToString(checkpoint));
   const std::string tmp = path_ + ".tmp";
@@ -94,6 +94,7 @@ void CheckpointStore::save(
     std::remove(tmp.c_str());
     throw std::runtime_error("checkpoint: rename to " + path_ + " failed");
   }
+  return contents.size();
 }
 
 core::Result<core::CalibrationCheckpoint> CheckpointStore::load() const {

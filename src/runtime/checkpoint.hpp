@@ -32,9 +32,10 @@ class CheckpointStore {
   const std::string& path() const { return path_; }
 
   /// Serialize, frame, write to `path + ".tmp"`, fsync-flush, rename.
-  /// Throws std::runtime_error on I/O failure (disk full, bad directory);
-  /// the previous checkpoint file is untouched in that case.
-  void save(const core::CalibrationCheckpoint& checkpoint) const;
+  /// Returns the framed byte count written (telemetry wants checkpoint
+  /// sizes).  Throws std::runtime_error on I/O failure (disk full, bad
+  /// directory); the previous checkpoint file is untouched in that case.
+  size_t save(const core::CalibrationCheckpoint& checkpoint) const;
 
   /// Load and verify.  kCheckpointMissing when no file exists;
   /// kCheckpointCorrupt on any integrity failure.

@@ -23,6 +23,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace tagspin::runtime {
 
 enum class BackpressurePolicy {
@@ -48,6 +50,33 @@ struct QueueStats {
   uint64_t droppedOldest = 0;   // kDropOldest evictions
   uint64_t droppedSampled = 0;  // kDegradeSampling rejections
   size_t maxDepth = 0;          // high-watermark of the queue depth
+};
+
+/// Registry handles mirroring QueueStats.  Resolved once (resolve()) and
+/// installed on the queue; unlike the embedded stats these live in the
+/// registry, so they survive the queue being torn down and rebuilt across
+/// session restarts -- the counters a soak run wants are cumulative.
+struct QueueInstruments {
+  obs::Counter* offered = nullptr;
+  obs::Counter* accepted = nullptr;
+  obs::Counter* refusedFull = nullptr;
+  obs::Counter* droppedOldest = nullptr;
+  obs::Counter* droppedSampled = nullptr;
+  obs::Gauge* depth = nullptr;     // depth after the last offer
+  obs::Gauge* maxDepth = nullptr;  // lifetime high watermark (setMax)
+
+  static QueueInstruments resolve(obs::MetricsRegistry* registry) {
+    QueueInstruments q;
+    if (!registry) return q;
+    q.offered = registry->counter("queue.offered");
+    q.accepted = registry->counter("queue.accepted");
+    q.refusedFull = registry->counter("queue.refused_full");
+    q.droppedOldest = registry->counter("queue.dropped_oldest");
+    q.droppedSampled = registry->counter("queue.dropped_sampled");
+    q.depth = registry->gauge("queue.depth");
+    q.maxDepth = registry->gauge("queue.max_depth");
+    return q;
+  }
 };
 
 /// Fixed-capacity SPSC ring buffer.  One slot is sacrificed to distinguish
@@ -107,24 +136,36 @@ class IngestQueue {
         watermarkDepth_(static_cast<size_t>(
             highWatermark * static_cast<double>(capacity))) {}
 
+  /// Install registry handles; every subsequent offer() mirrors its
+  /// accounting into them (null handles are free -- see obs::add).
+  void setInstruments(const QueueInstruments& instruments) {
+    obs_ = instruments;
+  }
+
   /// Admit one element under the policy.  Returns false only when the
   /// element was NOT enqueued (kBlock when full, or sampled away).
   bool offer(T value) {
     ++stats_.offered;
+    obs::add(obs_.offered);
     switch (policy_) {
       case BackpressurePolicy::kBlock:
         if (!ring_.tryPush(std::move(value))) {
           ++stats_.refusedFull;
+          obs::add(obs_.refusedFull);
           return false;
         }
         break;
       case BackpressurePolicy::kDropOldest:
         if (ring_.full()) {
           T discarded;
-          if (ring_.tryPop(discarded)) ++stats_.droppedOldest;
+          if (ring_.tryPop(discarded)) {
+            ++stats_.droppedOldest;
+            obs::add(obs_.droppedOldest);
+          }
         }
         if (!ring_.tryPush(std::move(value))) {
           ++stats_.refusedFull;  // unreachable in single-threaded use
+          obs::add(obs_.refusedFull);
           return false;
         }
         break;
@@ -132,6 +173,7 @@ class IngestQueue {
         if (ring_.size() >= watermarkDepth_) {
           if (degradeCounter_++ % degradeKeepEvery_ != 0) {
             ++stats_.droppedSampled;
+            obs::add(obs_.droppedSampled);
             return false;
           }
         } else {
@@ -139,12 +181,17 @@ class IngestQueue {
         }
         if (!ring_.tryPush(std::move(value))) {
           ++stats_.refusedFull;
+          obs::add(obs_.refusedFull);
           return false;
         }
         break;
     }
     ++stats_.accepted;
-    stats_.maxDepth = std::max(stats_.maxDepth, ring_.size());
+    obs::add(obs_.accepted);
+    const size_t depth = ring_.size();
+    stats_.maxDepth = std::max(stats_.maxDepth, depth);
+    obs::set(obs_.depth, static_cast<double>(depth));
+    obs::setMax(obs_.maxDepth, static_cast<double>(depth));
     return true;
   }
 
@@ -162,6 +209,7 @@ class IngestQueue {
   size_t watermarkDepth_;
   uint64_t degradeCounter_ = 0;
   QueueStats stats_;
+  QueueInstruments obs_;
 };
 
 }  // namespace tagspin::runtime

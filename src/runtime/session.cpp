@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/span.hpp"
+
 namespace tagspin::runtime {
 
 const char* sessionStateName(SessionState state) {
@@ -17,6 +19,25 @@ const char* sessionStateName(SessionState state) {
   return "unknown";
 }
 
+ReaderSession::Instruments ReaderSession::Instruments::resolve(
+    obs::MetricsRegistry* registry) {
+  Instruments in;
+  if (!registry) return in;
+  in.transitions = registry->counter("session.transitions");
+  in.connectAttempts = registry->counter("session.connect_attempts");
+  in.connectFailures = registry->counter("session.connect_failures");
+  in.disconnects = registry->counter("session.disconnects");
+  in.watchdogNoReport = registry->counter("session.watchdog_no_report");
+  in.watchdogStuckClock = registry->counter("session.watchdog_stuck_clock");
+  in.backoffWaits = registry->counter("session.backoff_waits");
+  in.breakerTrips = registry->counter("session.breaker_trips");
+  in.bytesReceived = registry->counter("session.bytes_received");
+  in.reportsDecoded = registry->counter("session.reports_decoded");
+  in.reportsEnqueued = registry->counter("session.reports_enqueued");
+  in.decodeSpan = registry->histogram("span.llrp_decode");
+  return in;
+}
+
 ReaderSession::ReaderSession(std::string name,
                              std::unique_ptr<Transport> transport,
                              SessionConfig config)
@@ -26,12 +47,46 @@ ReaderSession::ReaderSession(std::string name,
       queue_(config.queueCapacity, config.backpressure,
              config.degradeKeepEvery, config.queueHighWatermark),
       backoff_(config.backoff),
-      breaker_(config.breaker) {}
+      breaker_(config.breaker),
+      obs_(Instruments::resolve(config.metrics)),
+      journal_(config.journal) {
+  queue_.setInstruments(QueueInstruments::resolve(config.metrics));
+}
 
 void ReaderSession::enter(SessionState next, double) {
   if (next == state_) return;
   state_ = next;
   ++stats_.transitions;
+  obs::add(obs_.transitions);
+}
+
+void ReaderSession::publishDecodeDelta() {
+  if (!config_.metrics) return;
+  const rfid::llrp::DecodeStats& cum = decoder_.stats();
+  rfid::llrp::DecodeStats delta;
+  delta.framesDecoded = cum.framesDecoded - publishedDecode_.framesDecoded;
+  delta.framesSkipped = cum.framesSkipped - publishedDecode_.framesSkipped;
+  delta.framesRejected = cum.framesRejected - publishedDecode_.framesRejected;
+  delta.bytesResynced = cum.bytesResynced - publishedDecode_.bytesResynced;
+  delta.bytesTotal = cum.bytesTotal - publishedDecode_.bytesTotal;
+  rfid::llrp::publishDecodeStats(delta, *config_.metrics);
+  publishedDecode_ = cum;
+}
+
+/// Shared failure tail: feed the breaker and either park in FAILED (trip)
+/// or schedule the next backoff window.
+void ReaderSession::noteFailureOutcome(double nowS) {
+  breaker_.onFailure(nowS);
+  if (breaker_.state() == BreakerState::kTripped) {
+    obs::add(obs_.breakerTrips);
+    obs::record(journal_, nowS, obs::Severity::kError,
+                "circuit breaker tripped", {{"session", name_}});
+    enter(SessionState::kFailed, nowS);
+    return;
+  }
+  backoffUntilS_ = nowS + backoff_.nextDelayS();
+  obs::add(obs_.backoffWaits);
+  enter(SessionState::kBackoff, nowS);
 }
 
 void ReaderSession::tick(double nowS) {
@@ -87,6 +142,7 @@ void ReaderSession::tick(double nowS) {
 
 void ReaderSession::startAttempt(double nowS) {
   ++stats_.connectAttempts;
+  obs::add(obs_.connectAttempts);
   enter(SessionState::kConnecting, nowS);
   deadlineS_ = nowS + config_.connectTimeoutS;
   if (transport_->connect(nowS)) {
@@ -99,12 +155,22 @@ void ReaderSession::pump(double nowS) {
   const TransportRead read = transport_->poll(nowS);
   if (read.status == TransportStatus::kClosed) {
     ++stats_.disconnects;
+    obs::add(obs_.disconnects);
+    obs::record(journal_, nowS, obs::Severity::kWarn, "transport closed",
+                {{"session", name_},
+                 {"state", sessionStateName(state_)}});
     beginDrain(nowS);
     return;
   }
   if (read.status == TransportStatus::kOk && !read.bytes.empty()) {
     stats_.bytesReceived += read.bytes.size();
-    const rfid::ReportStream reports = decoder_.feed(read.bytes);
+    obs::add(obs_.bytesReceived, read.bytes.size());
+    rfid::ReportStream reports;
+    {
+      TAGSPIN_SPAN(obs_.decodeSpan);
+      reports = decoder_.feed(read.bytes);
+    }
+    publishDecodeDelta();
     if (!reports.empty()) {
       if (state_ == SessionState::kSyncing) {
         // First valid frame: the session is live.
@@ -125,17 +191,24 @@ void ReaderSession::pump(double nowS) {
   if (stats_.lastReportWallS >= 0.0 &&
       nowS - stats_.lastReportWallS > config_.noReportTimeoutS) {
     ++stats_.watchdogNoReport;
+    obs::add(obs_.watchdogNoReport);
+    obs::record(journal_, nowS, obs::Severity::kWarn,
+                "no-report watchdog fired", {{"session", name_}});
     beginDrain(nowS);
     return;
   }
   if (stuckClockRun_ >= config_.stuckClockWindow) {
     ++stats_.watchdogStuckClock;
+    obs::add(obs_.watchdogStuckClock);
+    obs::record(journal_, nowS, obs::Severity::kWarn,
+                "stuck-clock watchdog fired", {{"session", name_}});
     stuckClockRun_ = 0;
     beginDrain(nowS);
   }
 }
 
 void ReaderSession::deliver(const rfid::ReportStream& reports, double nowS) {
+  obs::add(obs_.reportsDecoded, reports.size());
   for (const rfid::TagReport& r : reports) {
     ++stats_.reportsDecoded;
     // Stuck-clock detection on the raw decode order: a healthy reader's
@@ -150,22 +223,21 @@ void ReaderSession::deliver(const rfid::ReportStream& reports, double nowS) {
     if (r.timestampS > stats_.lastReaderClockS) {
       stats_.lastReaderClockS = r.timestampS;
     }
-    if (queue_.offer(r)) ++stats_.reportsEnqueued;
+    if (queue_.offer(r)) {
+      ++stats_.reportsEnqueued;
+      obs::add(obs_.reportsEnqueued);
+    }
   }
   stats_.lastReportWallS = nowS;
 }
 
 void ReaderSession::failAttempt(double nowS) {
   ++stats_.connectFailures;
+  obs::add(obs_.connectFailures);
   transport_->close();
   decoder_.finish();
-  breaker_.onFailure(nowS);
-  if (breaker_.state() == BreakerState::kTripped) {
-    enter(SessionState::kFailed, nowS);
-    return;
-  }
-  backoffUntilS_ = nowS + backoff_.nextDelayS();
-  enter(SessionState::kBackoff, nowS);
+  publishDecodeDelta();
+  noteFailureOutcome(nowS);
 }
 
 void ReaderSession::beginDrain(double nowS) {
@@ -174,6 +246,7 @@ void ReaderSession::beginDrain(double nowS) {
   // the connection.  The queue keeps its contents: the supervisor drains
   // delivered reports even across a reconnect.
   decoder_.finish();
+  publishDecodeDelta();
   transport_->close();
   stats_.lastReportWallS = -1.0;
   stuckClockRun_ = 0;
@@ -181,13 +254,7 @@ void ReaderSession::beginDrain(double nowS) {
     enter(SessionState::kDisconnected, nowS);
     return;
   }
-  breaker_.onFailure(nowS);
-  if (breaker_.state() == BreakerState::kTripped) {
-    enter(SessionState::kFailed, nowS);
-    return;
-  }
-  backoffUntilS_ = nowS + backoff_.nextDelayS();
-  enter(SessionState::kBackoff, nowS);
+  noteFailureOutcome(nowS);
 }
 
 size_t ReaderSession::drainInto(rfid::ReportStream& out) {

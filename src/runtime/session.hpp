@@ -28,6 +28,8 @@
 #include <memory>
 #include <string>
 
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
 #include "rfid/llrp.hpp"
 #include "rfid/report.hpp"
 #include "runtime/backoff.hpp"
@@ -68,6 +70,13 @@ struct SessionConfig {
   BackpressurePolicy backpressure = BackpressurePolicy::kDropOldest;
   size_t degradeKeepEvery = 2;
   double queueHighWatermark = 0.75;
+
+  /// Telemetry sinks (both optional; null = uninstrumented).  Handles are
+  /// resolved once in the constructor, so the streaming fast path never
+  /// touches the registry's lock.  Metrics outlive the session: a replaced
+  /// session keeps counting into the same registry cells.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::EventJournal* journal = nullptr;
 };
 
 struct SessionStats {
@@ -112,6 +121,24 @@ class ReaderSession {
   double backoffUntilS() const { return backoffUntilS_; }
 
  private:
+  /// Registry handles for everything the session counts; resolved once at
+  /// construction (all null when no registry is configured).
+  struct Instruments {
+    obs::Counter* transitions = nullptr;
+    obs::Counter* connectAttempts = nullptr;
+    obs::Counter* connectFailures = nullptr;
+    obs::Counter* disconnects = nullptr;
+    obs::Counter* watchdogNoReport = nullptr;
+    obs::Counter* watchdogStuckClock = nullptr;
+    obs::Counter* backoffWaits = nullptr;
+    obs::Counter* breakerTrips = nullptr;
+    obs::Counter* bytesReceived = nullptr;
+    obs::Counter* reportsDecoded = nullptr;
+    obs::Counter* reportsEnqueued = nullptr;
+    obs::Histogram* decodeSpan = nullptr;  // span.llrp_decode
+    static Instruments resolve(obs::MetricsRegistry* registry);
+  };
+
   void enter(SessionState next, double nowS);
   void startAttempt(double nowS);
   /// Poll + decode once; enqueue decoded reports; run watchdogs.
@@ -120,6 +147,9 @@ class ReaderSession {
   /// Drain decoder tail, close transport, then fail into backoff/stop.
   void beginDrain(double nowS);
   void deliver(const rfid::ReportStream& reports, double nowS);
+  /// Push the decoder's cumulative stats delta into the llrp.* counters.
+  void publishDecodeDelta();
+  void noteFailureOutcome(double nowS);
 
   std::string name_;
   std::unique_ptr<Transport> transport_;
@@ -136,6 +166,10 @@ class ReaderSession {
   double backoffUntilS_ = 0.0;
   size_t stuckClockRun_ = 0;
   bool stopRequested_ = false;
+
+  Instruments obs_;
+  obs::EventJournal* journal_ = nullptr;
+  rfid::llrp::DecodeStats publishedDecode_;  // high watermark already folded
 };
 
 }  // namespace tagspin::runtime

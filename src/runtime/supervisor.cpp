@@ -6,6 +6,7 @@
 
 #include "core/power_profile.hpp"
 #include "geom/angles.hpp"
+#include "obs/span.hpp"
 #include "rf/constants.hpp"
 
 namespace tagspin::runtime {
@@ -37,6 +38,28 @@ core::Snapshot toSnapshot(const rfid::TagReport& r) {
 
 }  // namespace
 
+Supervisor::Instruments Supervisor::Instruments::resolve(
+    obs::MetricsRegistry* registry) {
+  Instruments in;
+  if (!registry) return in;
+  in.reportsSeen = registry->counter("supervisor.reports_seen");
+  in.reportsIngested = registry->counter("supervisor.reports_ingested");
+  in.duplicatesSuppressed =
+      registry->counter("supervisor.duplicates_suppressed");
+  in.unknownEpcDropped = registry->counter("supervisor.unknown_epc_dropped");
+  in.weakRssiDropped = registry->counter("supervisor.weak_rssi_dropped");
+  in.decimationsApplied = registry->counter("supervisor.decimations_applied");
+  in.sessionsRestarted = registry->counter("supervisor.sessions_restarted");
+  in.checkpointSaves = registry->counter("checkpoint.saves");
+  in.checkpointFailures = registry->counter("checkpoint.failures");
+  in.checkpointBytes = registry->counter("checkpoint.bytes_written");
+  in.phaseOutliersDropped =
+      registry->counter("preprocess.phase_outliers_dropped");
+  in.checkpointSpan = registry->histogram("span.checkpoint_write");
+  in.preprocessSpan = registry->histogram("span.preprocess");
+  return in;
+}
+
 Supervisor::Supervisor(SupervisorConfig config,
                        core::DeploymentFile deployment, CheckpointStore* store)
     : config_(std::move(config)),
@@ -44,6 +67,16 @@ Supervisor::Supervisor(SupervisorConfig config,
       store_(store),
       locator_(config_.locator) {
   models_ = deployment_.orientationModels;
+  // Propagate the supervisor-level sinks down the tree unless the caller
+  // wired the sessions separately.
+  if (config_.metrics && !config_.session.metrics) {
+    config_.session.metrics = config_.metrics;
+  }
+  if (config_.journal && !config_.session.journal) {
+    config_.session.journal = config_.journal;
+  }
+  obs_ = Instruments::resolve(config_.metrics);
+  locator_.setMetrics(config_.metrics);
 }
 
 void Supervisor::addSession(std::string name, TransportFactory factory) {
@@ -95,12 +128,16 @@ void Supervisor::tick(double nowS) {
       slot.session = std::make_unique<ReaderSession>(
           slot.name, slot.factory(), config_.session);
       ++stats_.sessionsRestarted;
+      obs::add(obs_.sessionsRestarted);
+      obs::record(config_.journal, nowS, obs::Severity::kWarn,
+                  "failed session replaced", {{"session", slot.name}});
     }
     slot.session->tick(nowS);
     drainScratch_.clear();
     slot.session->drainInto(drainScratch_);
     for (const rfid::TagReport& r : drainScratch_) {
       ++stats_.reportsSeen;
+      obs::add(obs_.reportsSeen);
       ingest(r);
     }
   }
@@ -108,13 +145,26 @@ void Supervisor::tick(double nowS) {
   if (store_ && config_.checkpointIntervalS > 0.0 &&
       (stats_.lastCheckpointWallS < 0.0 ||
        nowS - stats_.lastCheckpointWallS >= config_.checkpointIntervalS)) {
-    try {
-      store_->save(makeCheckpoint(nowS));
-      ++stats_.checkpointsSaved;
-    } catch (const std::exception&) {
-      ++stats_.checkpointFailures;  // disk trouble must not kill ingestion
-    }
+    saveCheckpoint(nowS);
     stats_.lastCheckpointWallS = nowS;
+  }
+}
+
+void Supervisor::saveCheckpoint(double nowS) {
+  try {
+    size_t bytes = 0;
+    {
+      TAGSPIN_SPAN(obs_.checkpointSpan);
+      bytes = store_->save(makeCheckpoint(nowS));
+    }
+    ++stats_.checkpointsSaved;
+    obs::add(obs_.checkpointSaves);
+    obs::add(obs_.checkpointBytes, bytes);
+  } catch (const std::exception& e) {
+    ++stats_.checkpointFailures;  // disk trouble must not kill ingestion
+    obs::add(obs_.checkpointFailures);
+    obs::record(config_.journal, nowS, obs::Severity::kError,
+                "checkpoint save failed", {{"error", e.what()}});
   }
 }
 
@@ -126,32 +176,29 @@ void Supervisor::shutdown(double nowS) {
     slot.session->drainInto(drainScratch_);
     for (const rfid::TagReport& r : drainScratch_) {
       ++stats_.reportsSeen;
+      obs::add(obs_.reportsSeen);
       ingest(r);
     }
   }
-  if (store_) {
-    try {
-      store_->save(makeCheckpoint(nowS));
-      ++stats_.checkpointsSaved;
-    } catch (const std::exception&) {
-      ++stats_.checkpointFailures;
-    }
-  }
+  if (store_) saveCheckpoint(nowS);
 }
 
 void Supervisor::ingest(const rfid::TagReport& report) {
   if (report.rssiDbm < config_.minRssiDbm) {
     ++stats_.weakRssiDropped;
+    obs::add(obs_.weakRssiDropped);
     return;
   }
   if (findRig(report.epc) == nullptr) {
     ++stats_.unknownEpcDropped;  // mis-read EPCs must not grow memory
+    obs::add(obs_.unknownEpcDropped);
     return;
   }
   TagState& tag = tags_[report.epc];
   const uint64_t key = dedupKey(report);
   if (tag.seen.count(key) > 0) {
     ++stats_.duplicatesSuppressed;
+    obs::add(obs_.duplicatesSuppressed);
     return;
   }
   if (tag.acceptStride > 1 && tag.offerCounter++ % tag.acceptStride != 0) {
@@ -160,6 +207,7 @@ void Supervisor::ingest(const rfid::TagReport& report) {
   tag.seen.insert(key);
   tag.snapshots.push_back(toSnapshot(report));
   ++stats_.reportsIngested;
+  obs::add(obs_.reportsIngested);
   lastReaderTimestampS_ = std::max(lastReaderTimestampS_, report.timestampS);
 
   if (tag.snapshots.size() >= config_.maxSnapshotsPerTag) {
@@ -173,6 +221,7 @@ void Supervisor::ingest(const rfid::TagReport& report) {
     tag.snapshots = std::move(kept);
     tag.acceptStride *= 2;
     ++stats_.decimationsApplied;
+    obs::add(obs_.decimationsApplied);
   }
 }
 
@@ -197,10 +246,13 @@ std::vector<core::RigObservation> Supervisor::buildObservations() const {
                 return a.timeS < b.timeS;
               });
     if (config_.preprocess.hampelFilter) {
+      TAGSPIN_SPAN(obs_.preprocessSpan);
+      size_t dropped = 0;
       obs.snapshots = core::hampelFilterPhases(
           obs.snapshots, config_.preprocess.hampelWindow,
           config_.preprocess.hampelThreshold, config_.preprocess.hampelFloorRad,
-          nullptr);
+          &dropped);
+      obs::add(obs_.phaseOutliersDropped, dropped);
     }
     const auto model = models_.find(epc);
     if (model != models_.end()) obs.orientation = model->second;

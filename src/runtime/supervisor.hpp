@@ -28,6 +28,8 @@
 #include "core/locator.hpp"
 #include "core/preprocess.hpp"
 #include "core/serialization.hpp"
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/checkpoint.hpp"
 #include "runtime/session.hpp"
 
@@ -52,6 +54,14 @@ struct SupervisorConfig {
   core::PreprocessConfig preprocess;
   core::RigHealthThresholds health;
   core::LocatorConfig locator;
+
+  /// Telemetry sinks for the whole supervision tree.  When set they are
+  /// propagated into every session (unless `session.metrics`/`.journal`
+  /// were already set explicitly) and into the locator, so one registry
+  /// captures supervisor.*, session.*, queue.*, llrp.*, checkpoint.*,
+  /// preprocess.*, locator.* and span.* in a single snapshot.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::EventJournal* journal = nullptr;
 };
 
 struct SupervisorStats {
@@ -124,9 +134,29 @@ class Supervisor {
     std::unique_ptr<ReaderSession> session;
   };
 
+  /// Registry handles mirroring SupervisorStats plus checkpoint telemetry;
+  /// resolved once at construction (all null when uninstrumented).
+  struct Instruments {
+    obs::Counter* reportsSeen = nullptr;
+    obs::Counter* reportsIngested = nullptr;
+    obs::Counter* duplicatesSuppressed = nullptr;
+    obs::Counter* unknownEpcDropped = nullptr;
+    obs::Counter* weakRssiDropped = nullptr;
+    obs::Counter* decimationsApplied = nullptr;
+    obs::Counter* sessionsRestarted = nullptr;
+    obs::Counter* checkpointSaves = nullptr;
+    obs::Counter* checkpointFailures = nullptr;
+    obs::Counter* checkpointBytes = nullptr;
+    obs::Counter* phaseOutliersDropped = nullptr;  // preprocess.*
+    obs::Histogram* checkpointSpan = nullptr;      // span.checkpoint_write
+    obs::Histogram* preprocessSpan = nullptr;      // span.preprocess
+    static Instruments resolve(obs::MetricsRegistry* registry);
+  };
+
   void ingest(const rfid::TagReport& report);
   std::vector<core::RigObservation> buildObservations() const;
   const core::RigSpec* findRig(const rfid::Epc& epc) const;
+  void saveCheckpoint(double nowS);
 
   SupervisorConfig config_;
   core::DeploymentFile deployment_;
@@ -136,6 +166,7 @@ class Supervisor {
   std::map<rfid::Epc, TagState> tags_;
   std::map<rfid::Epc, core::OrientationModel> models_;
   SupervisorStats stats_;
+  Instruments obs_;
   uint64_t checkpointSequence_ = 0;
   double lastReaderTimestampS_ = 0.0;
   rfid::ReportStream drainScratch_;

@@ -145,4 +145,19 @@ std::vector<uint8_t> FaultInjector::corruptBytes(
   return out;
 }
 
+void publishFaultStats(const FaultStats& delta,
+                       obs::MetricsRegistry& registry) {
+  obs::add(registry.counter("faults.duplicates_inserted"),
+           delta.duplicatesInserted);
+  obs::add(registry.counter("faults.reorders_applied"), delta.reordersApplied);
+  obs::add(registry.counter("faults.timestamp_glitches"),
+           delta.timestampGlitches);
+  obs::add(registry.counter("faults.epc_bit_errors"), delta.epcBitErrors);
+  obs::add(registry.counter("faults.reports_dropped"), delta.reportsDropped);
+  obs::add(registry.counter("faults.frames_bit_flipped"),
+           delta.framesBitFlipped);
+  obs::add(registry.counter("faults.frames_truncated"), delta.framesTruncated);
+  obs::add(registry.counter("faults.bits_flipped"), delta.bitsFlipped);
+}
+
 }  // namespace tagspin::sim

@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "rfid/epc.hpp"
 #include "rfid/report.hpp"
 
@@ -77,6 +78,11 @@ struct FaultStats {
   size_t framesTruncated = 0;
   size_t bitsFlipped = 0;
 };
+
+/// Fold a FaultStats delta into the registry's "faults.*" counters (the
+/// chaos harness routes its per-point accounting through a registry).
+void publishFaultStats(const FaultStats& delta,
+                       obs::MetricsRegistry& registry);
 
 class FaultInjector {
  public:

@@ -1,0 +1,94 @@
+#include "obs/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tagspin::obs {
+namespace {
+
+TEST(EventJournal, RecordsWithFieldsOldestFirst) {
+  EventJournal journal(8);
+  journal.record(1.0, Severity::kInfo, "session connected",
+                 {{"session", "reader0"}});
+  journal.record(2.5, Severity::kWarn, "watchdog fired",
+                 {{"session", "reader0"}, {"kind", "no_report"}});
+  const std::vector<Event> events = journal.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].wallS, 1.0);
+  EXPECT_EQ(events[0].what, "session connected");
+  ASSERT_EQ(events[1].fields.size(), 2u);
+  EXPECT_EQ(events[1].fields[1].first, "kind");
+  EXPECT_EQ(events[1].fields[1].second, "no_report");
+  EXPECT_EQ(journal.recorded(), 2u);
+  EXPECT_EQ(journal.dropped(), 0u);
+}
+
+TEST(EventJournal, BoundOverwritesOldest) {
+  EventJournal journal(4);
+  for (int i = 0; i < 10; ++i) {
+    journal.record(static_cast<double>(i), Severity::kInfo,
+                   "e" + std::to_string(i));
+  }
+  const std::vector<Event> events = journal.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().what, "e6");  // oldest retained
+  EXPECT_EQ(events.back().what, "e9");
+  EXPECT_EQ(journal.recorded(), 10u);
+  EXPECT_EQ(journal.dropped(), 6u);
+  EXPECT_EQ(journal.capacity(), 4u);
+}
+
+TEST(EventJournal, CapacityFloorsAtOne) {
+  EventJournal journal(0);
+  journal.record(1.0, Severity::kError, "a");
+  journal.record(2.0, Severity::kError, "b");
+  ASSERT_EQ(journal.events().size(), 1u);
+  EXPECT_EQ(journal.events()[0].what, "b");
+}
+
+TEST(EventJournal, NullSafeHelperAndSeverityNames) {
+  record(nullptr, 1.0, Severity::kError, "dropped on the floor");
+  EventJournal journal(4);
+  record(&journal, 3.0, Severity::kError, "breaker tripped",
+         {{"session", "reader0"}});
+#ifdef TAGSPIN_OBS_NOOP
+  EXPECT_TRUE(journal.events().empty());
+#else
+  ASSERT_EQ(journal.events().size(), 1u);
+  EXPECT_EQ(journal.events()[0].severity, Severity::kError);
+#endif
+  EXPECT_STREQ(severityName(Severity::kDebug), "debug");
+  EXPECT_STREQ(severityName(Severity::kInfo), "info");
+  EXPECT_STREQ(severityName(Severity::kWarn), "warn");
+  EXPECT_STREQ(severityName(Severity::kError), "error");
+}
+
+// The journal is the one mutex-protected piece of obs; hammer it from
+// several threads (tsan label) and check the lifetime accounting.
+TEST(EventJournal, ThreadedRecordsKeepAccounting) {
+  EventJournal journal(16);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&journal, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        journal.record(static_cast<double>(i), Severity::kInfo,
+                       "t" + std::to_string(t));
+      }
+    });
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LE(journal.events().size(), 16u);
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(journal.recorded(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(journal.dropped(), journal.recorded() - 16u);
+  EXPECT_EQ(journal.events().size(), 16u);
+}
+
+}  // namespace
+}  // namespace tagspin::obs

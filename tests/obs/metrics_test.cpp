@@ -1,0 +1,180 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace tagspin::obs {
+namespace {
+
+TEST(Counter, AddsAndReads) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetIsLastWriteWins) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_EQ(g.value(), -1.25);
+}
+
+TEST(Gauge, SetMaxIsMonotone) {
+  Gauge g;
+  g.setMax(4.0);
+  g.setMax(2.0);  // lower: ignored
+  EXPECT_EQ(g.value(), 4.0);
+  g.setMax(9.0);
+  EXPECT_EQ(g.value(), 9.0);
+}
+
+TEST(Histogram, CountSumMinMaxMean) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0.0);  // empty: zeros, not +-inf
+  EXPECT_EQ(h.max(), 0.0);
+  h.observe(0.010);
+  h.observe(0.020);
+  h.observe(0.120);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_NEAR(h.sum(), 0.150, 1e-12);
+  EXPECT_NEAR(h.min(), 0.010, 1e-12);
+  EXPECT_NEAR(h.max(), 0.120, 1e-12);
+  EXPECT_NEAR(h.mean(), 0.050, 1e-12);
+}
+
+TEST(Histogram, BucketIndexCoversTheLatencyRange) {
+  // Bucket upper bounds are 2^(i - kExpBias); a value must land in the
+  // first bucket whose upper bound is >= the value.
+  for (double v : {1e-9, 1e-6, 1e-3, 0.5, 1.0, 30.0, 1e6}) {
+    const int i = Histogram::bucketIndex(v);
+    ASSERT_GE(i, 0);
+    ASSERT_LT(i, Histogram::kBuckets);
+    EXPECT_LE(v, Histogram::bucketUpper(i)) << v;
+    // Bucket i covers [2^(i-1-bias), 2^(i-bias)); exact powers of two sit
+    // on the lower edge, so the lower bound is inclusive.
+    if (i > 0) EXPECT_GE(v, Histogram::bucketUpper(i - 1)) << v;
+  }
+  // Degenerate inputs are absorbed by bucket 0 instead of indexing OOB.
+  EXPECT_EQ(Histogram::bucketIndex(0.0), 0);
+  EXPECT_EQ(Histogram::bucketIndex(-5.0), 0);
+  EXPECT_EQ(Histogram::bucketIndex(std::nan("")), 0);
+  EXPECT_EQ(Histogram::bucketIndex(1e300), Histogram::kBuckets - 1);
+}
+
+TEST(Histogram, QuantileIsBucketResolution) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.observe(0.010);
+  for (int i = 0; i < 10; ++i) h.observe(1.0);
+  // p50 must land in the bucket holding 0.010: (2^-7, 2^-6] seconds.
+  const double p50 = h.quantile(0.5);
+  EXPECT_GT(p50, 0.010 / 2.0);
+  EXPECT_LT(p50, 0.010 * 2.0);
+  // p99 must land in the bucket holding 1.0 ([1.0, 2.0); the estimate is
+  // the bucket's geometric midpoint, sqrt(2)).
+  const double p99 = h.quantile(0.99);
+  EXPECT_GT(p99, 0.5);
+  EXPECT_LE(p99, 2.0);
+  // Quantiles are monotone in q.
+  EXPECT_LE(h.quantile(0.1), h.quantile(0.9));
+}
+
+TEST(Registry, HandlesAreStableAndSharedByName) {
+  MetricsRegistry reg;
+  Counter* a = reg.counter("x.hits");
+  Counter* b = reg.counter("x.hits");
+  EXPECT_EQ(a, b);
+  a->add(3);
+  EXPECT_EQ(b->value(), 3u);
+  EXPECT_NE(static_cast<void*>(reg.gauge("x.hits")), static_cast<void*>(a));
+  EXPECT_EQ(reg.size(), 2u);  // one counter + one (same-named) gauge
+}
+
+TEST(Registry, SnapshotLookupAndAbsentNames) {
+  MetricsRegistry reg;
+  reg.counter("a.count")->add(7);
+  reg.gauge("b.depth")->set(12.0);
+  reg.histogram("c.lat")->observe(0.25);
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counterValue("a.count"), 7u);
+  EXPECT_EQ(snap.counterValue("no.such"), 0u);
+  EXPECT_EQ(snap.gaugeValue("b.depth"), 12.0);
+  EXPECT_EQ(snap.gaugeValue("no.such"), 0.0);
+  ASSERT_NE(snap.histogram("c.lat"), nullptr);
+  EXPECT_EQ(snap.histogram("c.lat")->count, 1u);
+  EXPECT_EQ(snap.histogram("no.such"), nullptr);
+}
+
+TEST(NullSafeHelpers, NullHandlesAreNoOps) {
+  add(static_cast<Counter*>(nullptr));
+  add(static_cast<Counter*>(nullptr), 10);
+  set(static_cast<Gauge*>(nullptr), 1.0);
+  setMax(static_cast<Gauge*>(nullptr), 1.0);
+  observe(static_cast<Histogram*>(nullptr), 1.0);
+  // Wired handles forward.
+  Counter c;
+  Gauge g;
+  Histogram h;
+  add(&c, 2);
+  set(&g, 5.0);
+  setMax(&g, 7.0);
+  observe(&h, 0.5);
+#ifndef TAGSPIN_OBS_NOOP
+  EXPECT_EQ(c.value(), 2u);
+  EXPECT_EQ(g.value(), 7.0);
+  EXPECT_EQ(h.count(), 1u);
+#endif
+}
+
+// The hot-path contract: concurrent writers on the same handles, with a
+// reader snapshotting mid-flight, lose no increments.  This test carries
+// the tsan label so the ThreadSanitizer pass exercises exactly this.
+TEST(Threading, ConcurrentWritersLoseNothing) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      // Resolve inside the thread: registration itself must be
+      // thread-safe, and every thread must get the same handles.
+      Counter* c = reg.counter("t.count");
+      Gauge* g = reg.gauge("t.peak");
+      Histogram* h = reg.histogram("t.lat");
+      for (int i = 0; i < kPerThread; ++i) {
+        c->add();
+        g->setMax(static_cast<double>(t * kPerThread + i));
+        h->observe(0.001 * static_cast<double>((i % 10) + 1));
+      }
+    });
+  }
+  // Concurrent scrapes while writers run (values are torn-free but racy in
+  // magnitude; only the final totals are asserted).
+  for (int i = 0; i < 50; ++i) {
+    const MetricsSnapshot mid = reg.snapshot();
+    EXPECT_LE(mid.counterValue("t.count"),
+              static_cast<uint64_t>(kThreads) * kPerThread);
+  }
+  for (std::thread& t : threads) t.join();
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counterValue("t.count"),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(snap.gaugeValue("t.peak"),
+            static_cast<double>(kThreads * kPerThread - 1));
+  const HistogramView* h = snap.histogram("t.lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_NEAR(h->sum,
+              kThreads * kPerThread * 0.001 * 5.5,  // mean of 1..10 ms
+              1e-6 * h->sum);
+}
+
+}  // namespace
+}  // namespace tagspin::obs

@@ -1,0 +1,62 @@
+#include "obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace tagspin::obs {
+namespace {
+
+TEST(ScopedSpan, ObservesElapsedSecondsOnScopeExit) {
+  Histogram h;
+  {
+    ScopedSpan span(&h);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(h.count(), 1u);
+  EXPECT_GE(h.max(), 0.002);
+  EXPECT_LT(h.max(), 5.0);  // sanity: seconds, not nanoseconds
+}
+
+TEST(ScopedSpan, NullHistogramIsInert) {
+  ScopedSpan span(nullptr);
+  span.finish();  // neither scope exit nor finish may dereference
+}
+
+TEST(ScopedSpan, FinishObservesOnceAndDisarms) {
+  Histogram h;
+  {
+    ScopedSpan span(&h);
+    span.finish();
+    EXPECT_EQ(h.count(), 1u);
+    span.finish();  // second finish: already disarmed
+    EXPECT_EQ(h.count(), 1u);
+  }
+  // Scope exit after finish() must not observe again.
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(SpanMacro, FeedsTheHistogramUnlessNoop) {
+  Histogram h;
+  Histogram* handle = &h;
+  {
+    TAGSPIN_SPAN(handle);
+  }
+#ifdef TAGSPIN_OBS_NOOP
+  EXPECT_EQ(h.count(), 0u);
+#else
+  EXPECT_EQ(h.count(), 1u);
+#endif
+  // Null handle through the macro: one branch, no observation.
+  Histogram* null = nullptr;
+  {
+    TAGSPIN_SPAN(null);
+  }
+  EXPECT_LE(h.count(), 1u);
+}
+
+}  // namespace
+}  // namespace tagspin::obs

@@ -1,0 +1,96 @@
+// The observability acceptance check: after a soak run with the scripted
+// outage (disconnects + stall + kill -9/restore), the exported telemetry --
+// both the snapshot and its JSON/Prometheus renderings -- must contain
+// non-zero session, queue, decode and checkpoint metrics, all accumulated
+// across the supervisor restart by the registry-outlives-component design.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "eval/soak.hpp"
+#include "obs/export.hpp"
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
+
+namespace tagspin::eval {
+namespace {
+
+TEST(TelemetrySoak, OutageRunExportsNonZeroRuntimeMetrics) {
+  SoakConfig sc;
+  sc.scenario.seed = 33;
+  sc.scenario.fixedChannel = true;
+  sc.revolutions = 4.0;
+  sc.rigCount = 3;
+  sc.checkpointPath =
+      (std::filesystem::temp_directory_path() / "tagspin_telemetry_soak.ckpt")
+          .string();
+  std::remove(sc.checkpointPath.c_str());
+
+  // Inject external sinks: the caller's registry must be the one the run
+  // feeds, and the journal must pick up the outage narrative.
+  obs::MetricsRegistry registry;
+  obs::EventJournal journal;
+  sc.metrics = &registry;
+  sc.journal = &journal;
+
+  const SoakResult r = runSoak(sc);
+  ASSERT_TRUE(r.soakOk) << r.soakFailure;
+  ASSERT_TRUE(r.killed);
+
+  const obs::MetricsSnapshot snap = registry.snapshot();
+
+  // Session metrics: the scripted outage forced at least one disconnect and
+  // the stream moved real bytes and reports.
+  EXPECT_GT(snap.counterValue("session.transitions"), 0u);
+  EXPECT_GT(snap.counterValue("session.disconnects"), 0u);
+  EXPECT_GT(snap.counterValue("session.bytes_received"), 0u);
+  EXPECT_GT(snap.counterValue("session.reports_decoded"), 0u);
+
+  // Queue metrics: every decoded report went through offer().
+  EXPECT_GT(snap.counterValue("queue.offered"), 0u);
+  EXPECT_GT(snap.counterValue("queue.accepted"), 0u);
+  EXPECT_GT(snap.gaugeValue("queue.max_depth"), 0.0);
+
+  // Decode metrics: the tolerant LLRP decoder published its deltas.
+  EXPECT_GT(snap.counterValue("llrp.frames_decoded"), 0u);
+  EXPECT_GT(snap.counterValue("llrp.bytes_total"), 0u);
+
+  // Checkpoint metrics: periodic saves happened (that is what the kill -9
+  // restore resumed from) and carried real bytes.
+  EXPECT_GT(snap.counterValue("checkpoint.saves"), 0u);
+  EXPECT_GT(snap.counterValue("checkpoint.bytes_written"), 0u);
+  EXPECT_EQ(snap.counterValue("checkpoint.failures"), 0u);
+
+  // Supervisor restart accounting spans the kill (registry outlives it).
+  EXPECT_GT(snap.counterValue("supervisor.reports_ingested"), 0u);
+
+  // Hot-path spans fired.
+  const obs::HistogramView* decode = snap.histogram("span.llrp_decode");
+  ASSERT_NE(decode, nullptr);
+  EXPECT_GT(decode->count, 0u);
+  const obs::HistogramView* ckpt = snap.histogram("span.checkpoint_write");
+  ASSERT_NE(ckpt, nullptr);
+  EXPECT_GT(ckpt->count, 0u);
+
+  // The journal captured the outage narrative.
+  EXPECT_GT(journal.recorded(), 0u);
+
+  // Result-embedded exports mirror the same registry and render non-zero
+  // values in both formats.
+  EXPECT_EQ(r.telemetry.counterValue("session.disconnects"),
+            snap.counterValue("session.disconnects"));
+  EXPECT_NE(r.telemetryPrometheus.find("tagspin_checkpoint_saves"),
+            std::string::npos);
+  EXPECT_EQ(r.telemetryPrometheus.find("tagspin_checkpoint_saves 0\n"),
+            std::string::npos);
+  EXPECT_NE(r.telemetryJson.find("\"session.disconnects\""),
+            std::string::npos);
+  EXPECT_NE(r.telemetryJson.find("\"events\""), std::string::npos);
+
+  std::remove(sc.checkpointPath.c_str());
+}
+
+}  // namespace
+}  // namespace tagspin::eval

@@ -4,8 +4,14 @@
 # runtime's kill/restore path is the likeliest place for lifetime bugs, so
 # it gets a dedicated, serial sanitizer pass with visible output.
 #
+# A third pass builds with ThreadSanitizer (its own build dir -- TSan
+# cannot share objects with ASan) and runs the `tsan`-labeled tests: the
+# lock-free SPSC ring and the obs metric atomics, i.e. every place the
+# codebase relies on acquire/release or relaxed memory orders.
+#
 # Usage: tools/run_sanitized.sh [build-dir] [extra ctest args...]
-# Default build dir: build-asan (kept separate from the plain build).
+# Default build dir: build-asan (the TSan pass uses <build-dir>-tsan).
+# Set TAGSPIN_SKIP_TSAN=1 to skip the ThreadSanitizer pass.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -29,3 +35,15 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" "$@"
 echo
 echo "== soak smoke under sanitizers (ctest -L soak_smoke) =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L soak_smoke
+
+if [[ "${TAGSPIN_SKIP_TSAN:-0}" != "1" ]]; then
+  TSAN_BUILD_DIR="${BUILD_DIR}-tsan"
+  echo
+  echo "== ThreadSanitizer pass over runtime + obs (ctest -L tsan) =="
+  cmake -B "$TSAN_BUILD_DIR" -S . "${GEN_ARGS[@]}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTAGSPIN_SANITIZE="thread"
+  cmake --build "$TSAN_BUILD_DIR" -j"$(nproc)" --target runtime_test obs_test
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+  ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -L tsan
+fi

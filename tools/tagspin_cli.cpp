@@ -20,7 +20,13 @@
 //       ingest queues, and crash-safe checkpoints in DIR/checkpoint.ckpt.
 //       The standard outage script injects disconnects, a stall and a
 //       flood; --kill-at F simulates a kill -9 at fraction F of the run
-//       followed by a restart that resumes from the checkpoint.
+//       followed by a restart that resumes from the checkpoint.  Runtime
+//       telemetry is dumped periodically (and at exit) to DIR/metrics.prom
+//       and DIR/metrics.json alongside the checkpoint.
+//
+//   tagspin_cli stats --dir DIR [--format prom|json]
+//       On-demand export: print the telemetry snapshot a serve run left in
+//       DIR (Prometheus text or JSON with the recent event journal).
 //
 // The locate path touches no simulator code: it is exactly what a server
 // attached to a real reader would run.
@@ -39,6 +45,9 @@
 #include "core/tagspin.hpp"
 #include "eval/runner.hpp"
 #include "geom/angles.hpp"
+#include "obs/export.hpp"
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
 #include "rfid/llrp.hpp"
 #include "runtime/supervisor.hpp"
 #include "sim/flaky_transport.hpp"
@@ -263,8 +272,21 @@ int cmdServe(const Args& args) {
     return std::make_unique<runtime::SharedTransport>(shared);
   };
 
+  // One registry + journal for the whole serve run: they outlive the
+  // supervisor, so counters keep accumulating across the kill -9 restart
+  // exactly like a scrape endpoint on a real deployment would.
+  obs::MetricsRegistry metrics;
+  obs::EventJournal journal;
+  const auto dumpTelemetry = [&] {
+    const obs::MetricsSnapshot snap = metrics.snapshot();
+    obs::writeTextFile(dir + "/metrics.prom", obs::toPrometheus(snap));
+    obs::writeTextFile(dir + "/metrics.json", obs::toJson(snap, &journal));
+  };
+
   runtime::SupervisorConfig supCfg;
   supCfg.session.queueCapacity = 2048;
+  supCfg.metrics = &metrics;
+  supCfg.journal = &journal;
   auto sup = std::make_unique<runtime::Supervisor>(supCfg, deployment, &store);
   sup->addSession("reader0", factory);
   const auto restored = sup->restore();  // fresh start: kCheckpointMissing
@@ -307,6 +329,7 @@ int cmdServe(const Args& args) {
                       sup->stats().duplicatesSuppressed),
                   static_cast<unsigned long long>(sup->stats().checkpointsSaved),
                   static_cast<unsigned long long>(s.stats().disconnects));
+      dumpTelemetry();
       nextStatusS += durationS / 10.0;
     }
   }
@@ -323,9 +346,30 @@ int cmdServe(const Args& args) {
   } else {
     std::printf("no fix: %s\n", fix.error().message.c_str());
   }
+  dumpTelemetry();  // final export includes the end-of-run fix spans
   std::printf("checkpoint: %s (%llu saves)\n", ckptPath.c_str(),
               static_cast<unsigned long long>(sup->stats().checkpointsSaved));
+  std::printf("telemetry: %s/metrics.prom and %s/metrics.json "
+              "(`tagspin_cli stats --dir %s` to print)\n", dir.c_str(),
+              dir.c_str(), dir.c_str());
   return fix.hasValue() ? 0 : 1;
+}
+
+int cmdStats(const Args& args) {
+  const std::string dir = args.get("dir", ".");
+  const std::string format = args.get("format", "json");
+  if (format != "json" && format != "prom") {
+    throw std::invalid_argument("--format must be prom or json");
+  }
+  const std::string path = dir + "/metrics." + format;
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("no telemetry export at " + path +
+                             " (run `tagspin_cli serve --dir " + dir +
+                             "` first)");
+  }
+  std::cout << in.rdbuf();
+  return 0;
 }
 
 }  // namespace
@@ -333,7 +377,7 @@ int cmdServe(const Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: tagspin_cli <simulate|locate|inspect|serve> "
+                 "usage: tagspin_cli <simulate|locate|inspect|serve|stats> "
                  "[--flags]\n");
     return 2;
   }
@@ -344,6 +388,7 @@ int main(int argc, char** argv) {
     if (cmd == "locate") return cmdLocate(args);
     if (cmd == "inspect") return cmdInspect(args);
     if (cmd == "serve") return cmdServe(args);
+    if (cmd == "stats") return cmdStats(args);
     std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
     return 2;
   } catch (const std::exception& e) {
