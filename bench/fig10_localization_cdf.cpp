@@ -2,7 +2,11 @@
 // (b) 3D per-axis and combined.  Paper headline: 2D combined mean ~4-5 cm;
 // 3D combined mean ~7.3 cm (std ~4.8 cm), z the worst axis because both
 // rigs spin in the x-y plane (no vertical aperture diversity).
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "eval/estimators.hpp"
 #include "eval/report.hpp"
@@ -10,8 +14,18 @@
 using namespace tagspin;
 
 int main(int argc, char** argv) {
-  const int trials2d = argc > 1 ? std::atoi(argv[1]) : 30;
-  const int trials3d = argc > 2 ? std::atoi(argv[2]) : 16;
+  uint64_t seed = 99;  // the eval::RunnerConfig default
+  std::vector<std::string> pos;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::stoull(arg.substr(7));
+    } else {
+      pos.push_back(arg);
+    }
+  }
+  const int trials2d = pos.size() > 0 ? std::atoi(pos[0].c_str()) : 30;
+  const int trials3d = pos.size() > 1 ? std::atoi(pos[1].c_str()) : 16;
 
   eval::printHeading("Fig. 10(a): 2D localization error");
   {
@@ -23,6 +37,7 @@ int main(int argc, char** argv) {
     rc.region = sim::Region{};
     rc.trials = trials2d;
     rc.durationS = 30.0;
+    rc.seed = seed;
     const auto res = eval::runExperiment(rc, eval::makeTagspin2D());
     eval::printErrorBreakdown("Tagspin 2D (x, y, combined)", res.errors);
     eval::printCdf("combined error", eval::combinedErrors(res.errors));
@@ -40,6 +55,7 @@ int main(int argc, char** argv) {
     rc.region = sim::Region{};
     rc.trials = trials3d;
     rc.durationS = 30.0;
+    rc.seed = seed;
     rc.threeD = true;
     const auto res = eval::runExperiment(rc, eval::makeTagspin3D());
     eval::printErrorBreakdown("Tagspin 3D (x, y, z, combined)", res.errors);

@@ -10,8 +10,11 @@
 //      the upper baseline; single-rig ranging),
 //  (6) multi-round fusion: mean vs geometric median over repeated fixes
 //      with occasional gross errors.
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <random>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -27,19 +30,34 @@ using namespace tagspin;
 
 namespace {
 
-eval::RunResult run2d(const sim::World& world, int trials, double durationS) {
+eval::RunResult run2d(const sim::World& world, int trials, double durationS,
+                      uint64_t seed) {
   eval::RunnerConfig rc;
   rc.world = world;
   rc.region = sim::Region{};
   rc.trials = trials;
   rc.durationS = durationS;
+  rc.seed = seed;
   return eval::runExperiment(rc, eval::makeTagspin2D());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int trials = argc > 1 ? std::atoi(argv[1]) : 10;
+  uint64_t seed = 99;  // the eval::RunnerConfig default
+  std::vector<std::string> pos;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::stoull(arg.substr(7));
+    } else {
+      pos.push_back(arg);
+    }
+  }
+  const int trials = pos.size() > 0 ? std::atoi(pos[0].c_str()) : 10;
+  // Offset for the sections with their own RNGs: zero at the default seed,
+  // so `--seed` absent reproduces the historical output exactly.
+  const uint64_t seedDelta = seed - 99;
 
   eval::printHeading("Extension 1: interrogation duration vs accuracy");
   {
@@ -49,8 +67,8 @@ int main(int argc, char** argv) {
     const sim::World world = sim::makeTwoRigWorld(sc);
     std::vector<std::pair<double, double>> series;
     for (double durationS : {3.0, 6.0, 12.0, 25.0, 50.0}) {
-      series.emplace_back(durationS,
-                          run2d(world, trials, durationS).summary.mean);
+      series.emplace_back(
+          durationS, run2d(world, trials, durationS, seed).summary.mean);
     }
     eval::printSeries("duration_s", "mean_err_cm", series);
     std::printf("[one disk revolution takes %.1f s; accuracy saturates "
@@ -78,7 +96,7 @@ int main(int argc, char** argv) {
         world.rigs[3].tag = sim::TagInstance::make(
             rfid::Epc::forSimulatedTag(3), sc.tagModel, 0x300BULL);
       }
-      series.emplace_back(rigs, run2d(world, trials, 30.0).summary.mean);
+      series.emplace_back(rigs, run2d(world, trials, 30.0, seed).summary.mean);
     }
     eval::printSeries("rigs", "mean_err_cm", series);
     std::printf("[three+ rigs fuse by least squares and dilute the "
@@ -97,7 +115,7 @@ int main(int argc, char** argv) {
         rt.rig.speedJitterAmp = geom::degToRad(jitterDeg);
         rt.rig.jitterPeriodS = 4.7;
       }
-      series.emplace_back(jitterDeg, run2d(world, trials, 30.0).summary.mean);
+      series.emplace_back(jitterDeg, run2d(world, trials, 30.0, seed).summary.mean);
     }
     eval::printSeries("jitter_deg", "mean_err_cm", series);
     std::printf("[the server assumes uniform rotation; a cheap motor's "
@@ -114,7 +132,7 @@ int main(int argc, char** argv) {
     const core::TagspinSystem server =
         eval::buildTagspinServer(world, models, {});
 
-    std::mt19937_64 rng(99);
+    std::mt19937_64 rng(99 + seedDelta);
     std::uniform_real_distribution<double> dx(-1.4, 1.4), dy(1.0, 3.0);
     double fullAcc = 0.0, wireAcc = 0.0;
     for (int t = 0; t < trials; ++t) {
@@ -122,7 +140,8 @@ int main(int argc, char** argv) {
       const geom::Vec3 truth{dx(rng), dy(rng), 0.0};
       sim::placeReaderAntenna(w, 0, truth);
       const auto reports =
-          sim::interrogate(w, {30.0, 0, static_cast<uint64_t>(t) + 1});
+          sim::interrogate(
+              w, {30.0, 0, static_cast<uint64_t>(t) + 1 + seedDelta});
       // Round-trip through the binary wire format.
       const auto wire =
           rfid::llrp::decodeStream(rfid::llrp::encodeStream(reports));
@@ -146,7 +165,7 @@ int main(int argc, char** argv) {
     const core::TagspinSystem server =
         eval::buildTagspinServer(world, models, {});
 
-    std::mt19937_64 rng(7);
+    std::mt19937_64 rng(7 + seedDelta);
     std::uniform_real_distribution<double> dx(-1.4, 1.4), dy(1.0, 3.0);
     double spectraAcc = 0.0, holoAcc = 0.0, holo1Acc = 0.0;
     for (int t = 0; t < trials; ++t) {
@@ -154,7 +173,8 @@ int main(int argc, char** argv) {
       const geom::Vec3 truth{dx(rng), dy(rng), 0.0};
       sim::placeReaderAntenna(w, 0, truth);
       const auto reports =
-          sim::interrogate(w, {30.0, 0, static_cast<uint64_t>(t) + 1});
+          sim::interrogate(
+              w, {30.0, 0, static_cast<uint64_t>(t) + 1 + seedDelta});
       const core::Fix2D spectraFix = server.locate2D(reports);
       spectraAcc += geom::distance(spectraFix.position, truth.xy());
 
@@ -203,7 +223,8 @@ int main(int argc, char** argv) {
     std::vector<geom::Vec2> fixes;
     for (int round = 0; round < 9; ++round) {
       const auto reports = sim::interrogate(
-          world, {8.0, 0, 0x600ULL + static_cast<uint64_t>(round)});
+          world,
+          {8.0, 0, 0x600ULL + static_cast<uint64_t>(round) + seedDelta});
       fixes.push_back(server.locate2D(reports).position);
     }
     geom::Vec2 mean{};

@@ -2,8 +2,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "geom/angles.hpp"
+#include "robust/consensus.hpp"
+#include "robust/spectrum_diag.hpp"
 
 namespace tagspin::core {
 
@@ -48,6 +51,34 @@ enum class ZResolution {
   kBoth,  // report both candidates
 };
 
+/// Adversarial-environment estimation knobs (src/robust/).
+struct RobustEstimationConfig {
+  /// Diagnose every spin's spectrum (verdicts, candidate peaks, ghost
+  /// score).  Off: spins are trusted as before and verdicts stay kAccept.
+  bool diagnostics = true;
+  /// With >= 3 rays, replace the unweighted least-squares intersection by
+  /// consensus voting over candidate peaks plus IRLS refinement.  Clean
+  /// spectra reduce to the unweighted solution.
+  bool consensus = true;
+  /// Bootstrap a confidence ellipse for each fix (extra profile builds per
+  /// rig; off by default, enabled by the serve runtime and benches).
+  bool bootstrap = false;
+  /// Half-sample bearing re-estimates per rig feeding the bootstrap.
+  int bearingSubsamples = 8;
+  /// Resample the ray set as well as the bearings (pairs bootstrap).  The
+  /// bearing-only scheme is calibrated to estimator noise, but in the
+  /// field each rig also carries its own multipath bias, which half-sample
+  /// deviations cannot see (both halves share the same reflectors); pairs
+  /// resampling folds that between-rig disagreement into the region, at
+  /// the cost of conservatism (over-coverage) when the rays are clean.
+  bool pairsBootstrap = true;
+  int bootstrapReplicates = 160;
+  double confidenceLevel = 0.90;
+  uint64_t bootstrapSeed = 0xB0075;
+  robust::SpinDiagnosticsConfig diagnosticsConfig;
+  robust::ConsensusConfig consensusConfig;
+};
+
 struct LocatorConfig {
   ProfileConfig profile;
   SearchConfig search;
@@ -56,6 +87,7 @@ struct LocatorConfig {
   /// de-rotate orientation offsets -> re-estimate).  0 disables calibration
   /// even when a model is available.
   int orientationIterations = 2;
+  RobustEstimationConfig robust;
 };
 
 }  // namespace tagspin::core

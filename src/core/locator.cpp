@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <optional>
+#include <random>
 #include <stdexcept>
 
 #include "core/power_profile.hpp"
@@ -25,6 +27,13 @@ Locator::Instruments Locator::Instruments::resolve(
   in.degraded = registry->counter("locator.degraded");
   in.confidenceDowngrades = registry->counter("locator.confidence_downgrades");
   in.rigsDropped = registry->counter("locator.rigs_dropped");
+  in.quarantinedSpins = registry->counter("robust.quarantined_spins");
+  in.suspectSpins = registry->counter("robust.suspect_spins");
+  in.behindOriginRays = registry->counter("robust.behind_origin_rays");
+  in.consensusFixes = registry->counter("robust.consensus_fixes");
+  in.bootstrapRuns = registry->counter("robust.bootstrap_runs");
+  in.inlierFraction = registry->gauge("robust.inlier_fraction");
+  in.ellipseAreaCm2 = registry->gauge("robust.ellipse_area_cm2");
   in.profileEval = registry->histogram("span.profile_eval");
   in.spectrumSearch = registry->histogram("span.spectrum_search");
   in.fix2d = registry->histogram("span.fix2d");
@@ -36,16 +45,19 @@ void Locator::setMetrics(obs::MetricsRegistry* registry) {
   obs_ = Instruments::resolve(registry);
 }
 
+PowerProfile Locator::timedProfile(const std::vector<Snapshot>& snaps,
+                                   const RigSpec& rig,
+                                   const ProfileConfig& cfg) const {
+  TAGSPIN_SPAN(obs_.profileEval);
+  return PowerProfile(snaps, rig.kinematics, cfg);
+}
+
 AzimuthEstimate Locator::timedAzimuth(const std::vector<Snapshot>& snaps,
                                       const RigSpec& rig,
                                       const ProfileConfig& cfg) const {
-  std::optional<PowerProfile> profile;
-  {
-    TAGSPIN_SPAN(obs_.profileEval);
-    profile.emplace(snaps, rig.kinematics, cfg);
-  }
+  const PowerProfile profile = timedProfile(snaps, rig, cfg);
   TAGSPIN_SPAN(obs_.spectrumSearch);
-  return estimateAzimuth(*profile, config_.search);
+  return estimateAzimuth(profile, config_.search);
 }
 
 SpatialEstimate Locator::timedSpatial(const std::vector<Snapshot>& snaps,
@@ -66,6 +78,29 @@ void Locator::noteResilientOutcome(const ResilienceReport& report) const {
   if (report.grade == FixGrade::kDegraded) obs::add(obs_.degraded);
   if (report.grade != FixGrade::kFull) obs::add(obs_.confidenceDowngrades);
   obs::add(obs_.rigsDropped, report.droppedRigs.size());
+  // Quarantined rigs that selectRigs dropped never reach locate2D/3D, so
+  // their verdicts are counted here (used rigs are counted per-fix in
+  // noteEstimationOutcome).
+  for (size_t i : report.droppedRigs) {
+    const auto verdict = report.rigHealth[i].spin.verdict;
+    if (verdict == robust::SpinVerdict::kQuarantine) {
+      obs::add(obs_.quarantinedSpins);
+    }
+  }
+}
+
+void Locator::noteEstimationOutcome(
+    const EstimationDiagnostics& estimation) const {
+  for (const auto& spin : estimation.spins) {
+    if (spin.verdict == robust::SpinVerdict::kSuspect) {
+      obs::add(obs_.suspectSpins);
+    } else if (spin.verdict == robust::SpinVerdict::kQuarantine) {
+      obs::add(obs_.quarantinedSpins);
+    }
+  }
+  obs::add(obs_.behindOriginRays, estimation.behindOriginRays);
+  if (estimation.consensusUsed) obs::add(obs_.consensusFixes);
+  obs::set(obs_.inlierFraction, estimation.inlierFraction);
 }
 
 std::vector<Snapshot> Locator::calibrated(const RigObservation& obs,
@@ -120,33 +155,108 @@ RigDirection Locator::estimateDirection3D(const RigObservation& obs) const {
   return {est.azimuth, est.polar, est.value};
 }
 
-namespace {
+Locator::RigBearing Locator::diagnoseBearing(const PowerProfile& profile,
+                                             double azimuth, double value,
+                                             double gamma) const {
+  RigBearing bearing;
+  bearing.candidates.push_back({geom::wrapTwoPi(azimuth), value});
+  if (!config_.robust.diagnostics) return bearing;
+  const std::vector<double> samples =
+      profile.sampleAzimuth(config_.search.azimuthGridPoints, gamma);
+  const double ghost =
+      1.0 - profile.weightStats(azimuth, gamma).effectiveFraction;
+  bearing.spin = robust::diagnoseSpectrum(samples, ghost,
+                                          config_.robust.diagnosticsConfig);
+  // Secondary candidates, each polished from grid resolution to search
+  // precision; skip anything that duplicates the refined main peak.
+  const double gridStep =
+      geom::kTwoPi / static_cast<double>(config_.search.azimuthGridPoints);
+  const double minSep =
+      gridStep * static_cast<double>(std::max<size_t>(
+                     config_.search.azimuthGridPoints /
+                         config_.robust.diagnosticsConfig
+                             .minPeakSeparationDivisor,
+                     1));
+  for (size_t c = 1; c < bearing.spin.candidates.size(); ++c) {
+    const auto& raw = bearing.spin.candidates[c];
+    if (geom::circularDistance(raw.angleRad, azimuth) < minSep) continue;
+    const AzimuthEstimate refined = refineAzimuthNear(
+        profile, raw.angleRad, gridStep, config_.search.refineRounds, gamma);
+    bearing.candidates.push_back({refined.azimuth, refined.value});
+  }
+  return bearing;
+}
 
-geom::Vec2 intersectFromDirections(
+geom::Vec2 Locator::intersectBearings(
     std::span<const RigObservation> observations,
-    std::span<const RigDirection> directions, double* residualOut) {
+    std::span<const RigBearing> bearings, std::span<RigDirection> directions,
+    EstimationDiagnostics& estimation, double* residualOut) const {
+  const size_t n = observations.size();
+  // The orientation-calibration loop re-enters here; reset per-ray state.
+  estimation.consensusUsed = false;
+  estimation.inlierFraction = 1.0;
+  estimation.inliers.clear();
+  estimation.rayT.clear();
+  estimation.behindOriginRays = 0;
+
+  if (config_.robust.consensus && n >= 3) {
+    std::vector<robust::BearingObservation> candidates(n);
+    for (size_t i = 0; i < n; ++i) {
+      candidates[i].origin = observations[i].rig.center.xy();
+      candidates[i].candidates = bearings[i].candidates;
+    }
+    const auto consensus = robust::consensusIntersection(
+        candidates, config_.robust.consensusConfig);
+    if (consensus) {
+      for (size_t i = 0; i < n; ++i) {
+        const int c = consensus->chosen[i];
+        if (c >= 0) {
+          const auto& cand = bearings[i].candidates[static_cast<size_t>(c)];
+          directions[i].azimuth = cand.angleRad;
+          directions[i].peakValue = cand.value;
+        }
+      }
+      estimation.consensusUsed = true;
+      estimation.inlierFraction = consensus->inlierFraction;
+      estimation.inliers = consensus->inlier;
+      estimation.rayT = consensus->rayT;
+      estimation.behindOriginRays = consensus->behindOrigin;
+      if (residualOut) *residualOut = consensus->residualM;
+      return consensus->position;
+    }
+    // No two candidate rays support each other (e.g. a near-parallel
+    // bundle); fall back to the classic main-peak intersection below.
+  }
+
   std::vector<geom::Ray2> rays;
-  rays.reserve(observations.size());
-  for (size_t i = 0; i < observations.size(); ++i) {
-    rays.push_back(
-        {observations[i].rig.center.xy(), directions[i].azimuth});
+  rays.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    rays.push_back({observations[i].rig.center.xy(), directions[i].azimuth});
   }
-  std::optional<geom::Vec2> fix;
   if (rays.size() == 2) {
-    // Two rigs: the exact intersection (the robust form of Eqn. 9).
+    // Two rigs: the exact intersection (the robust form of Eqn. 9; the
+    // literal tan()-based intersectEqn9 is *never* on this path -- it goes
+    // blind near the tan poles, see the regression test).
     const auto hit = geom::intersectRays(rays[0], rays[1]);
-    if (hit) fix = hit->point;
+    if (hit) {
+      estimation.rayT = {hit->t1, hit->t2};
+      estimation.behindOriginRays =
+          static_cast<size_t>(hit->t1 < 0.0) +
+          static_cast<size_t>(hit->t2 < 0.0);
+      if (residualOut) *residualOut = geom::rmsResidual(rays, hit->point);
+      return hit->point;
+    }
   }
-  if (!fix) fix = geom::leastSquaresIntersection(rays);
-  if (!fix) {
+  const auto solved = geom::leastSquaresIntersectionDetailed(rays);
+  if (!solved) {
     throw std::runtime_error(
         "locate: rig rays are parallel; reader direction is degenerate");
   }
-  if (residualOut) *residualOut = geom::rmsResidual(rays, *fix);
-  return *fix;
+  estimation.rayT = solved->rayT;
+  estimation.behindOriginRays = solved->behindOrigin;
+  if (residualOut) *residualOut = geom::rmsResidual(rays, solved->point);
+  return solved->point;
 }
-
-}  // namespace
 
 Fix2D Locator::locate2D(std::span<const RigObservation> observations) const {
   if (observations.size() < 2) {
@@ -165,12 +275,21 @@ Fix2D Locator::locate2D(std::span<const RigObservation> observations) const {
       anyModel ? bootstrapConfig(config_.profile) : config_.profile;
   Fix2D fix;
   fix.directions.reserve(observations.size());
+  std::vector<RigBearing> bearings;
+  bearings.reserve(observations.size());
   for (const RigObservation& obs : observations) {
-    const AzimuthEstimate est = timedAzimuth(obs.snapshots, obs.rig, cfg0);
+    const PowerProfile profile =
+        timedProfile(obs.snapshots, obs.rig, cfg0);
+    AzimuthEstimate est;
+    {
+      TAGSPIN_SPAN(obs_.spectrumSearch);
+      est = estimateAzimuth(profile, config_.search);
+    }
     fix.directions.push_back({est.azimuth, 0.0, est.value});
+    bearings.push_back(diagnoseBearing(profile, est.azimuth, est.value, 0.0));
   }
-  fix.position =
-      intersectFromDirections(observations, fix.directions, &fix.residualM);
+  fix.position = intersectBearings(observations, bearings, fix.directions,
+                                   fix.estimation, &fix.residualM);
 
   if (anyModel) {
     // Orientation-calibration loop: correct each rig's phases against the
@@ -182,14 +301,30 @@ Fix2D Locator::locate2D(std::span<const RigObservation> observations) const {
         const RigObservation& obs = observations[i];
         const std::vector<Snapshot> snaps = calibrateOrientationAtPosition(
             obs.snapshots, obs.rig, obs.orientation, est3);
-        const AzimuthEstimate est =
-            timedAzimuth(snaps, obs.rig, config_.profile);
+        const PowerProfile profile =
+            timedProfile(snaps, obs.rig, config_.profile);
+        AzimuthEstimate est;
+        {
+          TAGSPIN_SPAN(obs_.spectrumSearch);
+          est = estimateAzimuth(profile, config_.search);
+        }
         fix.directions[i] = {est.azimuth, 0.0, est.value};
+        bearings[i] =
+            diagnoseBearing(profile, est.azimuth, est.value, 0.0);
       }
-      fix.position = intersectFromDirections(observations, fix.directions,
-                                             &fix.residualM);
+      fix.position = intersectBearings(observations, bearings,
+                                       fix.directions, fix.estimation,
+                                       &fix.residualM);
     }
   }
+  for (RigBearing& b : bearings) {
+    fix.estimation.spins.push_back(std::move(b.spin));
+  }
+  if (config_.robust.bootstrap) {
+    fix.estimation.ellipse =
+        bootstrapEllipse2D(observations, fix.directions, fix.position);
+  }
+  noteEstimationOutcome(fix.estimation);
   return fix;
 }
 
@@ -208,12 +343,22 @@ Fix3D Locator::locate3D(std::span<const RigObservation> observations) const {
       anyModel ? bootstrapConfig(config_.profile) : config_.profile;
   Fix3D fix;
   fix.directions.reserve(observations.size());
+  std::vector<RigBearing> bearings;
+  bearings.reserve(observations.size());
   for (const RigObservation& obs : observations) {
-    const SpatialEstimate est = timedSpatial(obs.snapshots, obs.rig, cfg0);
+    const PowerProfile profile =
+        timedProfile(obs.snapshots, obs.rig, cfg0);
+    SpatialEstimate est;
+    {
+      TAGSPIN_SPAN(obs_.spectrumSearch);
+      est = estimateSpatial(profile, config_.search);
+    }
     fix.directions.push_back({est.azimuth, est.polar, est.value});
+    bearings.push_back(
+        diagnoseBearing(profile, est.azimuth, est.value, est.polar));
   }
-  geom::Vec2 xy =
-      intersectFromDirections(observations, fix.directions, &fix.residualM);
+  geom::Vec2 xy = intersectBearings(observations, bearings, fix.directions,
+                                    fix.estimation, &fix.residualM);
 
   if (anyModel) {
     for (int it = 0; it < config_.orientationIterations; ++it) {
@@ -224,14 +369,29 @@ Fix3D Locator::locate3D(std::span<const RigObservation> observations) const {
         const RigObservation& obs = observations[i];
         const std::vector<Snapshot> snaps = calibrateOrientationAtPosition(
             obs.snapshots, obs.rig, obs.orientation, est3);
-        const SpatialEstimate est =
-            timedSpatial(snaps, obs.rig, config_.profile);
+        const PowerProfile profile =
+            timedProfile(snaps, obs.rig, config_.profile);
+        SpatialEstimate est;
+        {
+          TAGSPIN_SPAN(obs_.spectrumSearch);
+          est = estimateSpatial(profile, config_.search);
+        }
         fix.directions[i] = {est.azimuth, est.polar, est.value};
+        bearings[i] =
+            diagnoseBearing(profile, est.azimuth, est.value, est.polar);
       }
-      xy = intersectFromDirections(observations, fix.directions,
-                                   &fix.residualM);
+      xy = intersectBearings(observations, bearings, fix.directions,
+                             fix.estimation, &fix.residualM);
     }
   }
+  for (RigBearing& b : bearings) {
+    fix.estimation.spins.push_back(std::move(b.spin));
+  }
+  if (config_.robust.bootstrap) {
+    fix.estimation.ellipse =
+        bootstrapEllipse2D(observations, fix.directions, xy);
+  }
+  noteEstimationOutcome(fix.estimation);
 
   // Eqn. 13: each rig predicts |z| = horizontal_distance * tan(|gamma|);
   // balance the estimates weighted by spectrum confidence.
@@ -262,6 +422,61 @@ Fix3D Locator::locate3D(std::span<const RigObservation> observations) const {
       break;
   }
   return fix;
+}
+
+std::optional<robust::ConfidenceEllipse> Locator::bootstrapEllipse2D(
+    std::span<const RigObservation> observations,
+    std::span<const RigDirection> directions,
+    const geom::Vec2& position) const {
+  obs::add(obs_.bootstrapRuns);
+  const geom::Vec3 est3{position.x, position.y,
+                        observations[0].rig.center.z};
+  std::vector<robust::BearingSamples> rays(observations.size());
+  for (size_t i = 0; i < observations.size(); ++i) {
+    const RigObservation& obs = observations[i];
+    rays[i].origin = obs.rig.center.xy();
+    rays[i].bearingRad = directions[i].azimuth;
+    // Subsample the same (orientation-corrected) snapshots the final
+    // bearing came from, so deviations measure estimator noise and not the
+    // uncorrected orientation offset.
+    const bool calibrate =
+        !obs.orientation.isIdentity() && config_.orientationIterations > 0;
+    std::vector<Snapshot> corrected;
+    if (calibrate) {
+      corrected = calibrateOrientationAtPosition(obs.snapshots, obs.rig,
+                                                 obs.orientation, est3);
+    }
+    const std::vector<Snapshot>& snaps =
+        calibrate ? corrected : obs.snapshots;
+    if (snaps.size() < 16) continue;  // half-samples would be meaningless
+    std::mt19937_64 rng(config_.robust.bootstrapSeed ^
+                        (0x9E3779B97F4A7C15ULL * (i + 1)));
+    std::vector<size_t> idx(snaps.size());
+    std::iota(idx.begin(), idx.end(), size_t{0});
+    const size_t half = snaps.size() / 2;
+    std::vector<Snapshot> subset;
+    subset.reserve(half);
+    for (int k = 0; k < config_.robust.bearingSubsamples; ++k) {
+      std::shuffle(idx.begin(), idx.end(), rng);
+      std::sort(idx.begin(), idx.begin() + static_cast<long>(half));
+      subset.clear();
+      for (size_t j = 0; j < half; ++j) subset.push_back(snaps[idx[j]]);
+      const PowerProfile profile(subset, obs.rig.kinematics,
+                                 config_.profile);
+      const AzimuthEstimate est =
+          estimateAzimuthCoarseFine(profile, config_.search);
+      rays[i].deviationsRad.push_back(
+          geom::wrapToPi(est.azimuth - rays[i].bearingRad));
+    }
+  }
+  robust::BootstrapConfig bc;
+  bc.replicates = config_.robust.bootstrapReplicates;
+  bc.confidenceLevel = config_.robust.confidenceLevel;
+  bc.seed = config_.robust.bootstrapSeed;
+  bc.resampleRays = config_.robust.pairsBootstrap;
+  const auto ellipse = robust::bootstrapEllipse(rays, position, bc);
+  if (ellipse) obs::set(obs_.ellipseAreaCm2, ellipse->areaM2() * 1e4);
+  return ellipse;
 }
 
 const char* fixGradeName(FixGrade grade) {
@@ -300,6 +515,13 @@ std::string unhealthyReason(const RigHealth& h,
     why += "spectrum peak " + std::to_string(h.spectrum.peakValue) + " < " +
            std::to_string(t.minPeakValue);
   }
+  if (t.rejectQuarantined &&
+      h.spin.verdict == robust::SpinVerdict::kQuarantine) {
+    if (!why.empty()) why += "; ";
+    why += "spin quarantined (sidelobe ratio " +
+           std::to_string(h.spin.peakToSidelobeRatio) + ", ghost score " +
+           std::to_string(h.spin.ghostScore) + ")";
+  }
   return why.empty() ? "healthy" : why;
 }
 
@@ -308,17 +530,20 @@ std::string unhealthyReason(const RigHealth& h,
 /// (confidence is completed by the caller once directions exist).
 Result<ResilienceReport> selectRigs(std::span<const RigObservation> obs,
                                     const RigHealthThresholds& thresholds,
-                                    const ProfileConfig& profile) {
+                                    const ProfileConfig& profile,
+                                    const RobustEstimationConfig& robustCfg) {
   if (obs.size() < 2) {
     return Error{ErrorCode::kTooFewRigs,
                  "tryLocate: need at least two rigs, got " +
                      std::to_string(obs.size())};
   }
+  const robust::SpinDiagnosticsConfig* diag =
+      robustCfg.diagnostics ? &robustCfg.diagnosticsConfig : nullptr;
   ResilienceReport report;
   report.rigHealth.reserve(obs.size());
   for (const RigObservation& o : obs) {
     report.rigHealth.push_back(
-        assessRigHealth(o.snapshots, o.rig.kinematics, profile));
+        assessRigHealth(o.snapshots, o.rig.kinematics, profile, diag));
   }
 
   std::vector<size_t> healthy;
@@ -379,11 +604,16 @@ double gradeMultiplier(FixGrade grade) {
 }
 
 /// Confidence of a produced fix: spectral quality of the used rigs combined
-/// with the bearing GDOP at the fix, scaled by the degradation grade.
+/// with the bearing GDOP at the fix, scaled by the degradation grade, then
+/// penalised for robust-estimation warnings (suspect/quarantined spins
+/// among the used rigs, behind-origin rays, consensus outliers).  Clean
+/// fixes -- every spin accepted, every ray in front of its rig, full
+/// inlier set -- incur no penalty.
 double resilientConfidence(const ResilienceReport& report,
                            std::span<const RigObservation> obs,
                            std::span<const RigDirection> directions,
-                           const geom::Vec2& position) {
+                           const geom::Vec2& position,
+                           const EstimationDiagnostics& estimation) {
   std::vector<SpectrumQuality> spectra;
   std::vector<geom::Ray2> rays;
   spectra.reserve(report.usedRigs.size());
@@ -394,7 +624,20 @@ double resilientConfidence(const ResilienceReport& report,
     rays.push_back({obs[i].rig.center.xy(), directions[k].azimuth});
   }
   const double gdop = bearingGdop(rays, position);
-  return gradeMultiplier(report.grade) * fixConfidence(spectra, gdop);
+  double penalty = 1.0;
+  for (const auto& spin : estimation.spins) {
+    if (spin.verdict == robust::SpinVerdict::kSuspect) penalty *= 0.85;
+    if (spin.verdict == robust::SpinVerdict::kQuarantine) penalty *= 0.6;
+  }
+  // A fix behind a rig means at least one bearing is physically impossible
+  // (mirror/ghost lobe won the spectrum) -- the satellite fix for the old
+  // silent behaviour of leastSquaresIntersection.
+  if (estimation.behindOriginRays > 0) penalty *= 0.6;
+  if (estimation.consensusUsed) {
+    penalty *= 0.5 + 0.5 * estimation.inlierFraction;
+  }
+  return gradeMultiplier(report.grade) * fixConfidence(spectra, gdop) *
+         penalty;
 }
 
 std::vector<RigObservation> subsetObservations(
@@ -413,7 +656,7 @@ Result<ResilientFix2D> Locator::tryLocate2D(
   obs::add(obs_.fix2dAttempts);
   TAGSPIN_SPAN(obs_.fix2d);
   Result<ResilienceReport> selected =
-      selectRigs(observations, thresholds, config_.profile);
+      selectRigs(observations, thresholds, config_.profile, config_.robust);
   if (!selected) return selected.error();
   ResilientFix2D out;
   out.report = std::move(*selected);
@@ -424,8 +667,9 @@ Result<ResilientFix2D> Locator::tryLocate2D(
   } catch (const std::exception& e) {
     return Error{ErrorCode::kDegenerateGeometry, e.what()};
   }
-  out.report.confidence = resilientConfidence(
-      out.report, observations, out.fix.directions, out.fix.position);
+  out.report.confidence =
+      resilientConfidence(out.report, observations, out.fix.directions,
+                          out.fix.position, out.fix.estimation);
   obs::add(obs_.fix2dOk);
   noteResilientOutcome(out.report);
   return out;
@@ -437,7 +681,7 @@ Result<ResilientFix3D> Locator::tryLocate3D(
   obs::add(obs_.fix3dAttempts);
   TAGSPIN_SPAN(obs_.fix3d);
   Result<ResilienceReport> selected =
-      selectRigs(observations, thresholds, config_.profile);
+      selectRigs(observations, thresholds, config_.profile, config_.robust);
   if (!selected) return selected.error();
   ResilientFix3D out;
   out.report = std::move(*selected);
@@ -450,7 +694,7 @@ Result<ResilientFix3D> Locator::tryLocate3D(
   }
   out.report.confidence =
       resilientConfidence(out.report, observations, out.fix.directions,
-                          out.fix.position.xy());
+                          out.fix.position.xy(), out.fix.estimation);
   obs::add(obs_.fix3dOk);
   noteResilientOutcome(out.report);
   return out;

@@ -15,6 +15,9 @@
 #include "core/spectrum.hpp"
 #include "geom/ray.hpp"
 #include "obs/metrics.hpp"
+#include "robust/bootstrap.hpp"
+#include "robust/consensus.hpp"
+#include "robust/spectrum_diag.hpp"
 
 namespace tagspin::core {
 
@@ -34,12 +37,36 @@ struct RigDirection {
   double peakValue = 0.0;   // profile value at the peak (confidence)
 };
 
+/// Robust-estimation audit trail attached to every fix.  All per-ray
+/// vectors are parallel to `fix.directions` (the rigs that produced the
+/// fix, in input order).
+struct EstimationDiagnostics {
+  /// Spin self-diagnosis per rig (empty when diagnostics are disabled).
+  std::vector<robust::SpinDiagnostics> spins;
+  /// True when the fix came from consensus voting + IRLS rather than the
+  /// plain (two-ray / least-squares) intersection.
+  bool consensusUsed = false;
+  /// Fraction of rigs whose chosen ray passes within the inlier threshold
+  /// of the fix; 1.0 on the non-consensus path.
+  double inlierFraction = 1.0;
+  std::vector<bool> inliers;  // empty unless consensusUsed
+  /// Ray parameter of the fix along each rig's (chosen) bearing ray;
+  /// negative = the fix sits behind that rig, a physically impossible
+  /// bearing that indicates a mirror/ghost peak.
+  std::vector<double> rayT;
+  size_t behindOriginRays = 0;
+  /// Bootstrap confidence region (set when RobustEstimationConfig::
+  /// bootstrap is enabled and enough replicates converged).
+  std::optional<robust::ConfidenceEllipse> ellipse;
+};
+
 struct Fix2D {
   geom::Vec2 position;
   std::vector<RigDirection> directions;
   /// RMS perpendicular distance of the fix to the rig rays -- a consistency
   /// diagnostic (meaningful for >= 3 rigs; ~0 for exactly 2).
   double residualM = 0.0;
+  EstimationDiagnostics estimation;
 };
 
 struct Fix3D {
@@ -48,6 +75,7 @@ struct Fix3D {
   std::optional<geom::Vec3> mirrorCandidate;
   std::vector<RigDirection> directions;
   double residualM = 0.0;
+  EstimationDiagnostics estimation;
 };
 
 /// How much the resilient path had to give up to produce a fix.
@@ -141,6 +169,13 @@ class Locator {
     obs::Counter* degraded = nullptr;
     obs::Counter* confidenceDowngrades = nullptr;
     obs::Counter* rigsDropped = nullptr;
+    obs::Counter* quarantinedSpins = nullptr;   // robust.quarantined_spins
+    obs::Counter* suspectSpins = nullptr;       // robust.suspect_spins
+    obs::Counter* behindOriginRays = nullptr;   // robust.behind_origin_rays
+    obs::Counter* consensusFixes = nullptr;     // robust.consensus_fixes
+    obs::Counter* bootstrapRuns = nullptr;      // robust.bootstrap_runs
+    obs::Gauge* inlierFraction = nullptr;       // robust.inlier_fraction
+    obs::Gauge* ellipseAreaCm2 = nullptr;       // robust.ellipse_area_cm2
     obs::Histogram* profileEval = nullptr;     // span.profile_eval
     obs::Histogram* spectrumSearch = nullptr;  // span.spectrum_search
     obs::Histogram* fix2d = nullptr;           // span.fix2d
@@ -148,8 +183,19 @@ class Locator {
     static Instruments resolve(obs::MetricsRegistry* registry);
   };
 
+  /// A rig's bearing with its robust-estimation context: every candidate
+  /// direction the spectrum supports (main first) plus the spin verdict.
+  struct RigBearing {
+    std::vector<robust::BearingCandidate> candidates;
+    robust::SpinDiagnostics spin;
+  };
+
   std::vector<Snapshot> calibrated(const RigObservation& obs,
                                    double azimuthEstimate) const;
+  /// Profile build for one rig, timed under span.profile_eval.
+  PowerProfile timedProfile(const std::vector<Snapshot>& snaps,
+                            const RigSpec& rig,
+                            const ProfileConfig& cfg) const;
   /// Profile build + azimuth (or spatial) search for one rig, timed under
   /// span.profile_eval / span.spectrum_search.
   AzimuthEstimate timedAzimuth(const std::vector<Snapshot>& snaps,
@@ -158,7 +204,27 @@ class Locator {
   SpatialEstimate timedSpatial(const std::vector<Snapshot>& snaps,
                                const RigSpec& rig,
                                const ProfileConfig& cfg) const;
+  /// Spin diagnosis + candidate extraction for an already-searched profile
+  /// (no-op single-candidate bearing when diagnostics are disabled).
+  RigBearing diagnoseBearing(const PowerProfile& profile, double azimuth,
+                             double value, double gamma) const;
+  /// Intersect the (possibly multi-candidate) bearings: consensus voting
+  /// for >= 3 rays when enabled, exact two-ray / detailed least squares
+  /// otherwise.  Updates `directions` to the chosen candidates and fills
+  /// the per-ray fields of `estimation`.  Throws std::runtime_error on
+  /// degenerate (all-parallel) geometry, like the legacy path.
+  geom::Vec2 intersectBearings(std::span<const RigObservation> observations,
+                               std::span<const RigBearing> bearings,
+                               std::span<RigDirection> directions,
+                               EstimationDiagnostics& estimation,
+                               double* residualOut) const;
+  /// Bootstrap confidence ellipse around a finished xy fix.
+  std::optional<robust::ConfidenceEllipse> bootstrapEllipse2D(
+      std::span<const RigObservation> observations,
+      std::span<const RigDirection> directions,
+      const geom::Vec2& position) const;
   void noteResilientOutcome(const ResilienceReport& report) const;
+  void noteEstimationOutcome(const EstimationDiagnostics& estimation) const;
 
   LocatorConfig config_;
   Instruments obs_;

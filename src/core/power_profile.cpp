@@ -130,6 +130,47 @@ double PowerProfile::evaluateDirection(double phi, double cg) const {
   return total / static_cast<double>(entries_.size());
 }
 
+PowerProfile::WeightStats PowerProfile::weightStats(double phi,
+                                                    double gamma) const {
+  WeightStats stats;
+  if (config_.formula != ProfileFormula::kEnhancedR || entries_.empty()) {
+    return stats;
+  }
+  // Same residual/centring pipeline as the enhanced branch of
+  // evaluateDirection, but reduced to weight statistics.
+  const double cg = std::cos(gamma);
+  const double cosPhi = std::cos(phi);
+  const double sinPhi = std::sin(phi);
+  const double inv2Sigma2 = 1.0 / (2.0 * sigmaPair_ * sigmaPair_);
+  std::vector<double> residuals(entries_.size());
+  std::vector<std::complex<double>> centroids(
+      static_cast<size_t>(groupCount_), std::complex<double>{0.0, 0.0});
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    const double cosAmP = e.cosA * cosPhi + e.sinA * sinPhi;
+    const double cosRefmP = e.cosRef * cosPhi + e.sinRef * sinPhi;
+    const double predicted = e.k * radius_ * cg * (cosRefmP - cosAmP);
+    residuals[i] = geom::wrapToPi(e.relPhase - predicted);
+    centroids[static_cast<size_t>(e.group)] += std::polar(1.0, residuals[i]);
+  }
+  std::vector<double> center(static_cast<size_t>(groupCount_), 0.0);
+  for (size_t g = 0; g < center.size(); ++g) {
+    if (std::abs(centroids[g]) > 0.0) center[g] = std::arg(centroids[g]);
+  }
+  double sum = 0.0, sumSq = 0.0;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const double centred = geom::wrapToPi(
+        residuals[i] - center[static_cast<size_t>(entries_[i].group)]);
+    const double w = std::exp(-centred * centred * inv2Sigma2);
+    sum += w;
+    sumSq += w * w;
+  }
+  const double n = static_cast<double>(entries_.size());
+  stats.meanWeight = sum / n;
+  stats.effectiveFraction = sumSq > 0.0 ? (sum * sum) / (n * sumSq) : 0.0;
+  return stats;
+}
+
 std::vector<double> PowerProfile::sampleAzimuth(size_t points,
                                                 double gamma) const {
   std::vector<double> out(points);

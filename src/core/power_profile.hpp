@@ -57,6 +57,20 @@ class PowerProfile {
   /// Dense sampling over phi in [0, 2*pi) for plotting (Fig. 1, 6, 8).
   std::vector<double> sampleAzimuth(size_t points, double gamma = 0.0) const;
 
+  /// How broadly the snapshots support direction (phi, gamma) under the
+  /// enhanced profile's likelihood weights.  `effectiveFraction` is the
+  /// effective sample size of the weights, (sum w)^2 / (n sum w^2), as a
+  /// fraction of n: ~1 when every snapshot backs the direction, ~f when
+  /// only a coherent fraction f does -- the signature of a multipath ghost
+  /// peak, whose lobe is built from the subset of reads that bounced off
+  /// the reflector.  Non-enhanced formulas carry no weights and report
+  /// {1, 1}.
+  struct WeightStats {
+    double meanWeight = 1.0;
+    double effectiveFraction = 1.0;
+  };
+  WeightStats weightStats(double phi, double gamma = 0.0) const;
+
   size_t snapshotCount() const { return entries_.size(); }
   const ProfileConfig& config() const { return config_; }
 

@@ -12,6 +12,11 @@ namespace tagspin::core {
 SpectrumQuality assessSpectrum(const PowerProfile& profile,
                                size_t gridPoints) {
   const std::vector<double> samples = profile.sampleAzimuth(gridPoints);
+  return assessSpectrumSamples(samples);
+}
+
+SpectrumQuality assessSpectrumSamples(std::span<const double> samples) {
+  const size_t gridPoints = samples.size();
   const auto peaks = dsp::findPeaks(samples, /*circular=*/true,
                                     /*minSeparation=*/gridPoints / 36);
   SpectrumQuality q;
@@ -30,6 +35,21 @@ SpectrumQuality assessSpectrum(const PowerProfile& profile,
                     ? peaks[0].value / std::max(peaks[1].value, 1e-12)
                     : std::numeric_limits<double>::infinity();
   return q;
+}
+
+robust::SpinDiagnostics diagnoseSpin(
+    const PowerProfile& profile, size_t gridPoints, double gamma,
+    const robust::SpinDiagnosticsConfig& config) {
+  const std::vector<double> samples =
+      profile.sampleAzimuth(gridPoints, gamma);
+  double ghost = 0.0;
+  if (!samples.empty()) {
+    const double peakPhi = geom::kTwoPi *
+                           static_cast<double>(dsp::argmax(samples)) /
+                           static_cast<double>(samples.size());
+    ghost = 1.0 - profile.weightStats(peakPhi, gamma).effectiveFraction;
+  }
+  return robust::diagnoseSpectrum(samples, ghost, config);
 }
 
 double bearingGdop(std::span<const geom::Ray2> rays, const geom::Vec2& fix) {
@@ -70,7 +90,8 @@ double bearingGdop(std::span<const geom::Ray2> rays, const geom::Vec2& fix) {
 
 RigHealth assessRigHealth(std::span<const Snapshot> snapshots,
                           const RigKinematics& kinematics,
-                          const ProfileConfig& profile) {
+                          const ProfileConfig& profile,
+                          const robust::SpinDiagnosticsConfig* diagnostics) {
   RigHealth h;
   h.snapshotCount = snapshots.size();
   if (snapshots.empty()) return h;
@@ -92,7 +113,17 @@ RigHealth assessRigHealth(std::span<const Snapshot> snapshots,
   h.arcCoverage = static_cast<double>(filled) / kBins;
   if (snapshots.size() >= 2) {
     const PowerProfile p(snapshots, kinematics, profile);
-    h.spectrum = assessSpectrum(p);
+    constexpr size_t kGridPoints = 720;
+    const std::vector<double> samples = p.sampleAzimuth(kGridPoints);
+    h.spectrum = assessSpectrumSamples(samples);
+    if (diagnostics != nullptr) {
+      double ghost = 0.0;
+      const double peakPhi = geom::kTwoPi *
+                             static_cast<double>(dsp::argmax(samples)) /
+                             static_cast<double>(samples.size());
+      ghost = 1.0 - p.weightStats(peakPhi).effectiveFraction;
+      h.spin = robust::diagnoseSpectrum(samples, ghost, *diagnostics);
+    }
   }
   return h;
 }
@@ -101,7 +132,9 @@ bool isHealthy(const RigHealth& health,
                const RigHealthThresholds& thresholds) {
   return health.snapshotCount >= thresholds.minSnapshots &&
          health.arcCoverage >= thresholds.minArcCoverage &&
-         health.spectrum.peakValue >= thresholds.minPeakValue;
+         health.spectrum.peakValue >= thresholds.minPeakValue &&
+         !(thresholds.rejectQuarantined &&
+           health.spin.verdict == robust::SpinVerdict::kQuarantine);
 }
 
 double fixConfidence(std::span<const SpectrumQuality> spectra, double gdop) {

@@ -19,6 +19,7 @@
 #include "core/power_profile.hpp"
 #include "core/snapshot.hpp"
 #include "geom/ray.hpp"
+#include "robust/spectrum_diag.hpp"
 
 namespace tagspin::core {
 
@@ -33,6 +34,17 @@ struct SpectrumQuality {
 /// Quality of a single rig's azimuth spectrum.
 SpectrumQuality assessSpectrum(const PowerProfile& profile,
                                size_t gridPoints = 720);
+
+/// Same, over an already-sampled spectrum (samples[i] at angle 2*pi*i/n);
+/// lets callers that also run spin diagnostics sample the profile once.
+SpectrumQuality assessSpectrumSamples(std::span<const double> samples);
+
+/// Full spin self-diagnosis of a profile: spectrum-shape diagnostics plus
+/// the ghost-peak score from the profile's likelihood weights at the main
+/// peak (robust/spectrum_diag.hpp describes the verdict ladder).
+robust::SpinDiagnostics diagnoseSpin(
+    const PowerProfile& profile, size_t gridPoints = 720, double gamma = 0.0,
+    const robust::SpinDiagnosticsConfig& config = {});
 
 /// Horizontal GDOP of a set of bearing rays at a candidate fix: the
 /// RMS position error per radian of (independent, unit-variance) bearing
@@ -61,6 +73,10 @@ struct RigHealth {
   /// Quality of the azimuth spectrum; defaulted when snapshotCount < 2
   /// (no profile can be built).
   SpectrumQuality spectrum;
+  /// Spin self-diagnosis (verdict, candidate peaks, ghost score); verdict
+  /// stays kAccept when diagnostics were not requested or no profile could
+  /// be built from fewer than 2 snapshots.
+  robust::SpinDiagnostics spin;
 };
 
 struct RigHealthThresholds {
@@ -69,13 +85,19 @@ struct RigHealthThresholds {
   /// A spectrum flatter than this peak value carries no direction
   /// information (profiles are normalised to [0, 1]).
   double minPeakValue = 0.05;
+  /// Treat a kQuarantine spin verdict as unhealthy (the graceful-
+  /// degradation locator then drops the rig or requests a re-spin).
+  bool rejectQuarantined = true;
 };
 
 /// Assess a rig's snapshots.  Never throws; degenerate inputs simply score
-/// zero everywhere.
+/// zero everywhere.  `diagnostics` controls whether the spin self-diagnosis
+/// runs (null: skip, verdict stays kAccept).
 RigHealth assessRigHealth(std::span<const Snapshot> snapshots,
                           const RigKinematics& kinematics,
-                          const ProfileConfig& profile = {});
+                          const ProfileConfig& profile = {},
+                          const robust::SpinDiagnosticsConfig* diagnostics =
+                              nullptr);
 
 bool isHealthy(const RigHealth& health, const RigHealthThresholds& thresholds);
 

@@ -206,6 +206,19 @@ void writeCheckpoint(std::ostream& out, const CalibrationCheckpoint& ckpt) {
   out << "sequence = " << ckpt.sequence << "\n";
   out << "wall_time_s = " << ckpt.wallTimeS << "\n";
   out << "last_report_timestamp_s = " << ckpt.lastReportTimestampS << "\n";
+  if (ckpt.lastFix.valid) {
+    const FixRecord& fix = ckpt.lastFix;
+    out << "[last_fix]\n";
+    out << "position = " << fix.x << " " << fix.y << "\n";
+    out << "confidence = " << fix.confidence << "\n";
+    out << "inlier_fraction = " << fix.inlierFraction << "\n";
+    out << "quarantined_spins = " << fix.quarantinedSpins << "\n";
+    if (fix.hasEllipse) {
+      out << "ellipse = " << fix.ellipseSemiMajorM << " "
+          << fix.ellipseSemiMinorM << " " << fix.ellipseOrientationRad << " "
+          << fix.ellipseConfidence << "\n";
+    }
+  }
   for (const auto& [epc, tag] : ckpt.tags) {
     out << "[tag_progress " << epc.toHex() << "]\n";
     out << "snapshot_count = " << tag.snapshots.size() << "\n";
@@ -291,6 +304,33 @@ CalibrationCheckpoint readCheckpoint(std::istream& in) {
           ckpt.wallTimeS = parseDouble(p, value);
         } else if (key == "last_report_timestamp_s") {
           ckpt.lastReportTimestampS = parseDouble(p, value);
+        } else {
+          p.fail("unknown key: " + key);
+        }
+      }
+    } else if (type == "last_fix") {
+      ckpt.lastFix.valid = true;
+      while ((haveLine = p.next(line))) {
+        if (line[0] == '[') break;
+        const auto [key, value] = splitKeyValue(p, line);
+        if (key == "position") {
+          const auto v = parseDoubles(p, value, 2);
+          ckpt.lastFix.x = v[0];
+          ckpt.lastFix.y = v[1];
+        } else if (key == "confidence") {
+          ckpt.lastFix.confidence = parseDouble(p, value);
+        } else if (key == "inlier_fraction") {
+          ckpt.lastFix.inlierFraction = parseDouble(p, value);
+        } else if (key == "quarantined_spins") {
+          ckpt.lastFix.quarantinedSpins =
+              static_cast<uint64_t>(parseDouble(p, value));
+        } else if (key == "ellipse") {
+          const auto v = parseDoubles(p, value, 4);
+          ckpt.lastFix.hasEllipse = true;
+          ckpt.lastFix.ellipseSemiMajorM = v[0];
+          ckpt.lastFix.ellipseSemiMinorM = v[1];
+          ckpt.lastFix.ellipseOrientationRad = v[2];
+          ckpt.lastFix.ellipseConfidence = v[3];
         } else {
           p.fail("unknown key: " + key);
         }

@@ -52,6 +52,24 @@ struct TagCalibrationProgress {
   std::vector<double> angleSpectrum;
 };
 
+/// The most recent successful fix, persisted so an operator (or the
+/// restarted runtime) can see where the reader was last placed -- position,
+/// confidence, and the robust-estimation summary including the bootstrap
+/// confidence ellipse when one was computed.
+struct FixRecord {
+  bool valid = false;
+  double x = 0.0;
+  double y = 0.0;
+  double confidence = 0.0;
+  double inlierFraction = 1.0;
+  uint64_t quarantinedSpins = 0;
+  bool hasEllipse = false;
+  double ellipseSemiMajorM = 0.0;
+  double ellipseSemiMinorM = 0.0;
+  double ellipseOrientationRad = 0.0;
+  double ellipseConfidence = 0.0;
+};
+
 /// Everything the supervised runtime persists between crashes.  The
 /// sequence number increases with every save, so a stale file is
 /// recognizable; lastReportTimestampS is the reader-clock high watermark
@@ -60,6 +78,7 @@ struct CalibrationCheckpoint {
   uint64_t sequence = 0;
   double wallTimeS = 0.0;
   double lastReportTimestampS = 0.0;
+  FixRecord lastFix;
   std::map<rfid::Epc, TagCalibrationProgress> tags;
 };
 

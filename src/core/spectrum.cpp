@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dsp/grid.hpp"
+#include "geom/angles.hpp"
 
 namespace tagspin::core {
 
@@ -21,6 +22,38 @@ AzimuthEstimate estimateAzimuthCoarseFine(const PowerProfile& profile,
       [&](double phi) { return profile.evaluate(phi); },
       search.azimuthGridPoints / 8, 64, search.refineRounds);
   return {best.x, best.value};
+}
+
+AzimuthEstimate refineAzimuthNear(const PowerProfile& profile, double seedRad,
+                                  double halfSpanRad, int refineRounds,
+                                  double gamma) {
+  double bestX = seedRad;
+  double bestV = profile.evaluate(seedRad, gamma);
+  constexpr int kGridHalf = 8;
+  for (int i = -kGridHalf; i <= kGridHalf; ++i) {
+    if (i == 0) continue;
+    const double x =
+        seedRad + halfSpanRad * static_cast<double>(i) / kGridHalf;
+    const double v = profile.evaluate(x, gamma);
+    if (v > bestV) {
+      bestX = x;
+      bestV = v;
+    }
+  }
+  double halfSpan = halfSpanRad / kGridHalf;
+  for (int round = 0; round < refineRounds; ++round) {
+    const double candidates[4] = {bestX - halfSpan, bestX - halfSpan / 2.0,
+                                  bestX + halfSpan / 2.0, bestX + halfSpan};
+    for (double c : candidates) {
+      const double v = profile.evaluate(c, gamma);
+      if (v > bestV) {
+        bestX = c;
+        bestV = v;
+      }
+    }
+    halfSpan /= 2.0;
+  }
+  return {geom::wrapTwoPi(bestX), bestV};
 }
 
 SpatialEstimate estimateSpatial(const PowerProfile& profile,

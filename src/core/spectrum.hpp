@@ -34,4 +34,13 @@ AzimuthEstimate estimateAzimuthCoarseFine(const PowerProfile& profile,
 SpatialEstimate estimateSpatial(const PowerProfile& profile,
                                 const SearchConfig& search);
 
+/// Locally refine an azimuth around `seedRad` within +-halfSpanRad (dense
+/// local grid plus the same halving zoom estimateAzimuth finishes with).
+/// Used to polish *secondary* candidate peaks -- a grid-resolution ghost
+/// candidate that wins the consensus vote should enter the intersection
+/// with the same precision as a full-search main peak.
+AzimuthEstimate refineAzimuthNear(const PowerProfile& profile, double seedRad,
+                                  double halfSpanRad, int refineRounds,
+                                  double gamma = 0.0);
+
 }  // namespace tagspin::core

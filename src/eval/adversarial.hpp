@@ -1,0 +1,102 @@
+// Adversarial-environment benchmark: ghost readers, strong reflectors and
+// interferer clutter versus the robust estimation stack.
+//
+// The chaos harness (eval/chaos.hpp) attacks the *wire* -- bit flips,
+// truncation, duplicates.  This harness attacks the *physics*: a fraction
+// of a rig's reports are replaced by reads of the same spinning tag taken
+// from a ghost reader position (the signature of a strong specular
+// reflector or a second co-channel reader), which makes that rig's angle
+// spectrum bimodal with the WRONG peak dominant.  Plain least squares
+// follows the dominant peak; the consensus path must out-vote it using the
+// other rigs, the spin self-diagnosis must flag the spectrum, and the
+// bootstrap ellipse must still cover the truth at its stated confidence.
+//
+// Every trial is paired: the identical corrupted stream is fed to a
+// baseline server (diagnostics/consensus/bootstrap off -- the pre-robust
+// estimator) and to the robust server, so the error ratio isolates the
+// estimator instead of re-rolling the corruption.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/quality.hpp"
+#include "sim/scenario.hpp"
+
+namespace tagspin::eval {
+
+/// One sweep point: how many of the rigs are ghost-corrupted, how much of
+/// each corrupted rig's stream the ghost captures (reflector strength),
+/// and how much scatterer clutter surrounds the scene (interferer count).
+struct AdversarialCase {
+  int corruptedRigs = 0;
+  double ghostFraction = 0.6;
+  int scattererCount = 3;
+};
+
+struct AdversarialConfig {
+  sim::ScenarioConfig scenario;
+  sim::Region region;
+  /// Four rigs: the smallest deployment where consensus can out-vote one
+  /// corrupted bearing with a strict majority and still tolerate noise.
+  int rigCount = 4;
+  int trialsPerPoint = 30;
+  double durationS = 15.0;
+  std::vector<AdversarialCase> cases;  // empty -> defaultCases()
+  core::RigHealthThresholds health;
+  /// Baseline: the robust stack switched off (plain least squares).
+  core::LocatorConfig baseline;
+  /// Robust: diagnostics + consensus + bootstrap ellipse.
+  core::LocatorConfig robust;
+  uint64_t seed = 0xAD5E;
+
+  /// Corrupted-count sweep {0,1,2} at the default ghost strength, plus a
+  /// reflector-strength axis and an interferer-count axis at 1 corrupted.
+  static std::vector<AdversarialCase> defaultCases();
+  static core::LocatorConfig defaultBaseline();
+  static core::LocatorConfig defaultRobust();
+};
+
+struct AdversarialPoint {
+  AdversarialCase which;
+  int trials = 0;
+  int baselineFixes = 0;
+  int robustFixes = 0;
+  double baselineMedianCm = 0.0;
+  double baselineP90Cm = 0.0;
+  double robustMedianCm = 0.0;
+  double robustP90Cm = 0.0;
+  /// Mean consensus inlier fraction over successful robust fixes.
+  double meanInlierFraction = 0.0;
+  /// Spin verdicts summed over the point's robust attempts (all offered
+  /// rigs, used and dropped).
+  uint64_t suspectSpins = 0;
+  uint64_t quarantinedSpins = 0;
+  /// Bootstrap ellipse calibration: of the robust fixes that produced an
+  /// ellipse, how many contained the true position.
+  int ellipseTrials = 0;
+  int ellipseCovered = 0;
+  double meanEllipseAreaCm2 = 0.0;
+  /// Raw per-trial errors (cm) of the successful fixes -- the CDF data.
+  std::vector<double> baselineErrorsCm;
+  std::vector<double> robustErrorsCm;
+  std::map<std::string, int> robustFailures;
+};
+
+struct AdversarialResult {
+  std::vector<AdversarialPoint> points;
+};
+
+AdversarialResult runAdversarialSweep(const AdversarialConfig& config);
+
+/// Summary table (one row per case) / full result as JSON.
+std::string adversarialCsv(const AdversarialResult& result);
+std::string adversarialJson(const AdversarialResult& result);
+/// Long-form CDF rows: case, estimator, error_cm, cdf -- plottable as the
+/// paired error CDFs directly.
+std::string adversarialCdfCsv(const AdversarialResult& result);
+
+}  // namespace tagspin::eval

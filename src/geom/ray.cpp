@@ -59,6 +59,37 @@ std::optional<Vec2> leastSquaresIntersection(std::span<const Ray2> rays,
   return Vec2{(b0 * a11 - b1 * a01) / det, (b1 * a00 - b0 * a01) / det};
 }
 
+std::optional<MultiRayIntersection> leastSquaresIntersectionDetailed(
+    std::span<const Ray2> rays, std::span<const double> weights,
+    double singularTol) {
+  if (rays.size() < 2) return std::nullopt;
+  if (!weights.empty() && weights.size() != rays.size()) return std::nullopt;
+  double a00 = 0.0, a01 = 0.0, a11 = 0.0, b0 = 0.0, b1 = 0.0;
+  for (size_t i = 0; i < rays.size(); ++i) {
+    const double w = weights.empty() ? 1.0 : weights[i];
+    if (w <= 0.0) continue;
+    const Vec2 d = rays[i].direction();
+    const Vec2 n{-d.y, d.x};
+    const double c = n.dot(rays[i].origin);
+    a00 += w * n.x * n.x;
+    a01 += w * n.x * n.y;
+    a11 += w * n.y * n.y;
+    b0 += w * n.x * c;
+    b1 += w * n.y * c;
+  }
+  const double det = a00 * a11 - a01 * a01;
+  if (std::abs(det) < singularTol) return std::nullopt;
+  MultiRayIntersection out;
+  out.point = Vec2{(b0 * a11 - b1 * a01) / det, (b1 * a00 - b0 * a01) / det};
+  out.rayT.reserve(rays.size());
+  for (const Ray2& r : rays) {
+    const double t = r.project(out.point);
+    out.rayT.push_back(t);
+    if (t < 0.0) ++out.behindOrigin;
+  }
+  return out;
+}
+
 double rmsResidual(std::span<const Ray2> rays, const Vec2& p) {
   if (rays.empty()) return 0.0;
   double ss = 0.0;

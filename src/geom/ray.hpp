@@ -9,6 +9,7 @@
 
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "geom/vec.hpp"
 
@@ -58,6 +59,28 @@ std::optional<Vec2> intersectEqn9(const Vec2& o1, double phi1, const Vec2& o2,
 /// mutually (near-)parallel, i.e. the 2x2 normal matrix is singular.
 std::optional<Vec2> leastSquaresIntersection(std::span<const Ray2> rays,
                                              double singularTol = 1e-12);
+
+/// Least-squares intersection with its per-ray geometry surfaced.  The
+/// plain overload silently accepts fixes that sit *behind* a ray origin
+/// (t < 0) -- physically impossible for a bearing ray, and the classic
+/// signature of a mirror/ghost spectrum peak -- so callers that care get
+/// the ray parameters and the behind-origin count here.
+struct MultiRayIntersection {
+  Vec2 point;
+  /// Ray parameter of the fix projected onto each ray (same order as the
+  /// input span); negative means the fix lies behind that ray's origin.
+  std::vector<double> rayT;
+  size_t behindOrigin = 0;  // count of rayT[i] < 0
+};
+
+/// Detailed (optionally weighted) least-squares intersection.  `weights`
+/// must be empty (all ones) or match `rays.size()`; non-positive weights
+/// drop a ray from the solve but still report its t.  Empty on singular
+/// normal equations (near-parallel bundle or all weights zero) -- never an
+/// exploded point.
+std::optional<MultiRayIntersection> leastSquaresIntersectionDetailed(
+    std::span<const Ray2> rays, std::span<const double> weights = {},
+    double singularTol = 1e-12);
 
 /// Root-mean-square perpendicular distance from `p` to the rays' lines; a
 /// residual/consistency measure for a multi-ray fix.

@@ -1,0 +1,230 @@
+#include "robust/consensus.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geom/angles.hpp"
+
+namespace tagspin::robust {
+namespace {
+
+geom::Ray2 candidateRay(const BearingObservation& obs, int candidate) {
+  return geom::Ray2{obs.origin, obs.candidates[static_cast<size_t>(candidate)]
+                                    .angleRad};
+}
+
+/// Angular misfit of `p` against a bearing ray: |angle(p - origin) -
+/// bearing|, wrapped.  Behind-origin points come out near pi automatically.
+double bearingResidual(const geom::Ray2& ray, const geom::Vec2& p) {
+  const geom::Vec2 v = p - ray.origin;
+  if (v.norm2() < 1e-18) return geom::kPi;
+  return std::abs(geom::wrapToPi(v.angle() - ray.angle));
+}
+
+double lossWeight(double residual, const ConsensusConfig& config) {
+  const double r = std::abs(residual);
+  // Trimmed: a ray the vote rejected exerts no pull at all.  Huber alone is
+  // not enough here -- its influence never redescends (w*r -> delta), and a
+  // near-parallel rig bundle is so soft along-range that a far outlier's
+  // constant delta-pull can drag the IRLS solution metres away from the
+  // consensus point it started from.
+  if (r >= config.inlierThresholdRad) return 0.0;
+  if (config.loss == ConsensusConfig::Loss::kHuber) {
+    return r <= config.huberDeltaRad ? 1.0 : config.huberDeltaRad / r;
+  }
+  if (r >= config.tukeyCRad) return 0.0;
+  const double u = r / config.tukeyCRad;
+  const double v = 1.0 - u * u;
+  return v * v;
+}
+
+struct Hypothesis {
+  size_t obsA, obsB;
+  int candA, candB;
+  double power;  // candidate value product, for the deterministic ordering
+};
+
+/// For each observation, the candidate whose bearing best explains `p`.
+/// Returns (candidate index, angular residual in radians).
+std::pair<int, double> closestCandidate(const BearingObservation& obs,
+                                        const geom::Vec2& p) {
+  int best = -1;
+  double bestDist = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < obs.candidates.size(); ++c) {
+    const geom::Ray2 ray = candidateRay(obs, static_cast<int>(c));
+    const double dist = bearingResidual(ray, p);
+    if (dist < bestDist) {
+      bestDist = dist;
+      best = static_cast<int>(c);
+    }
+  }
+  return {best, bestDist};
+}
+
+struct Score {
+  size_t inliers = 0;
+  double distanceSum = 0.0;  // angular misfit, capped per-ray, lower wins
+  double power = 0.0;        // chosen candidate values, higher is better
+  bool betterThan(const Score& other) const {
+    if (inliers != other.inliers) return inliers > other.inliers;
+    if (distanceSum != other.distanceSum)
+      return distanceSum < other.distanceSum;
+    return power > other.power;
+  }
+};
+
+Score scoreHypothesis(std::span<const BearingObservation> observations,
+                      const geom::Vec2& p, const ConsensusConfig& config) {
+  Score s;
+  for (const auto& obs : observations) {
+    const auto [cand, dist] = closestCandidate(obs, p);
+    if (cand < 0) continue;
+    if (dist < config.inlierThresholdRad) ++s.inliers;
+    s.distanceSum += std::min(dist, config.inlierThresholdRad);
+    s.power += obs.candidates[static_cast<size_t>(cand)].value;
+  }
+  return s;
+}
+
+/// Local optimization of a pair hypothesis: least squares over the
+/// hypothesis's inlier set (each rig's closest candidate).  A raw two-ray
+/// intersection of a near-parallel bundle is ill-conditioned *along* the
+/// rays -- bearing noise slides it metres down-range while it stays within
+/// the perpendicular inlier threshold of most rays, so inlier counting
+/// alone cannot rank such hypotheses.  Pooling the inliers restores the
+/// well-conditioned estimate the vote actually implies.
+std::optional<geom::Vec2> refineOnInliers(
+    std::span<const BearingObservation> observations, const geom::Vec2& p,
+    const ConsensusConfig& config) {
+  std::vector<geom::Ray2> rays;
+  std::vector<double> weights;
+  rays.reserve(observations.size());
+  weights.reserve(observations.size());
+  for (const auto& obs : observations) {
+    const auto [cand, dist] = closestCandidate(obs, p);
+    if (cand < 0) continue;
+    rays.push_back(candidateRay(obs, cand));
+    weights.push_back(dist < config.inlierThresholdRad ? 1.0 : 0.0);
+  }
+  const auto solved = geom::leastSquaresIntersectionDetailed(rays, weights);
+  if (!solved) return std::nullopt;
+  return solved->point;
+}
+
+}  // namespace
+
+std::optional<ConsensusFix> consensusIntersection(
+    std::span<const BearingObservation> observations,
+    const ConsensusConfig& config) {
+  const size_t n = observations.size();
+  if (n < 2) return std::nullopt;
+  for (const auto& obs : observations) {
+    if (obs.candidates.empty()) return std::nullopt;
+  }
+
+  // Enumerate cross-observation candidate pairs, strongest first.
+  std::vector<Hypothesis> hypotheses;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      for (size_t a = 0; a < observations[i].candidates.size(); ++a) {
+        for (size_t b = 0; b < observations[j].candidates.size(); ++b) {
+          hypotheses.push_back({i, j, static_cast<int>(a),
+                                static_cast<int>(b),
+                                observations[i].candidates[a].value *
+                                    observations[j].candidates[b].value});
+        }
+      }
+    }
+  }
+  std::stable_sort(hypotheses.begin(), hypotheses.end(),
+                   [](const Hypothesis& x, const Hypothesis& y) {
+                     return x.power > y.power;
+                   });
+  if (hypotheses.size() > config.maxHypotheses) {
+    hypotheses.resize(config.maxHypotheses);
+  }
+
+  bool haveBest = false;
+  geom::Vec2 bestPoint;
+  Score bestScore;
+  for (const auto& h : hypotheses) {
+    const auto hit = geom::intersectRays(candidateRay(observations[h.obsA],
+                                                      h.candA),
+                                         candidateRay(observations[h.obsB],
+                                                      h.candB));
+    if (!hit) continue;
+    geom::Vec2 p = hit->point;
+    Score s = scoreHypothesis(observations, p, config);
+    if (s.inliers < 2) continue;
+    // Locally optimize (up to 3 rounds: the refined point can recruit new
+    // inliers, which changes the pooled solution), keeping the better of
+    // raw and refined.
+    for (int round = 0; round < 3; ++round) {
+      const auto refined = refineOnInliers(observations, p, config);
+      if (!refined) break;
+      const Score sr = scoreHypothesis(observations, *refined, config);
+      if (sr.inliers < 2 || !sr.betterThan(s)) break;
+      s = sr;
+      p = *refined;
+    }
+    if (!haveBest || s.betterThan(bestScore)) {
+      haveBest = true;
+      bestScore = s;
+      bestPoint = p;
+    }
+  }
+  if (!haveBest) return std::nullopt;
+
+  // IRLS refinement: re-choose each rig's candidate against the current
+  // point, solve the weighted least squares, repeat to convergence.
+  geom::Vec2 point = bestPoint;
+  std::vector<geom::Ray2> rays(n);
+  std::vector<int> chosen(n, -1);
+  std::vector<double> weights(n, 0.0);
+  for (int iter = 0; iter < config.irlsIterations; ++iter) {
+    for (size_t i = 0; i < n; ++i) {
+      const auto [cand, dist] = closestCandidate(observations[i], point);
+      chosen[i] = cand;
+      rays[i] = candidateRay(observations[i], cand);
+      weights[i] = lossWeight(dist, config);
+    }
+    const auto solved = geom::leastSquaresIntersectionDetailed(
+        rays, weights);
+    if (!solved) break;  // weights collapsed or bundle went parallel
+    const double moved = geom::distance(point, solved->point);
+    point = solved->point;
+    if (moved < config.convergenceM) break;
+  }
+
+  ConsensusFix fix;
+  fix.position = point;
+  fix.chosen.resize(n);
+  fix.weights.resize(n);
+  fix.rayT.resize(n);
+  fix.inlier.resize(n);
+  double weightedSq = 0.0, weightSum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const auto [cand, dist] = closestCandidate(observations[i], point);
+    fix.chosen[i] = cand;
+    const geom::Ray2 ray = candidateRay(observations[i], cand);
+    fix.weights[i] = lossWeight(dist, config);
+    fix.rayT[i] = ray.project(point);
+    fix.inlier[i] = dist < config.inlierThresholdRad;
+    if (fix.inlier[i]) {
+      if (fix.rayT[i] < 0.0) ++fix.behindOrigin;
+      const double perp = ray.signedDistance(point);  // residualM is metric
+      weightedSq += fix.weights[i] * perp * perp;
+      weightSum += fix.weights[i];
+    }
+  }
+  fix.inlierFraction =
+      static_cast<double>(std::count(fix.inlier.begin(), fix.inlier.end(),
+                                     true)) /
+      static_cast<double>(n);
+  if (fix.inlierFraction < 2.0 / static_cast<double>(n)) return std::nullopt;
+  fix.residualM = weightSum > 0.0 ? std::sqrt(weightedSq / weightSum) : 0.0;
+  return fix;
+}
+
+}  // namespace tagspin::robust

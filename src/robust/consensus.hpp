@@ -1,0 +1,96 @@
+// Consensus ray intersection: RANSAC-style hypothesis voting over bearing
+// candidates, then IRLS refinement with a robust loss.
+//
+// The unweighted least-squares intersection (geom::leastSquaresIntersection)
+// treats every ray as equally credible, so one multipath-captured spectrum
+// peak drags the fix arbitrarily far.  Here each rig contributes *all* of
+// its plausible spectrum peaks (robust/spectrum_diag.hpp candidates), and
+// geometry decides:
+//
+//  1. Hypotheses: every cross-rig pair of candidates defines an exact
+//     two-ray intersection.  Enumeration is deterministic (value-ordered,
+//     capped) rather than randomized -- the hypothesis space is small
+//     enough to cover, which keeps runs reproducible under a fixed seed.
+//  2. Voting: each rig votes with its best-fitting candidate; a vote is an
+//     inlier when the hypothesis point sits within `inlierThresholdRad` of
+//     that candidate's bearing as seen from the rig.  Residuals are
+//     *angular*, not metric: bearing noise produces angle errors, so a
+//     perpendicular-metres threshold is simultaneously too strict at long
+//     range and too lax close to the rig line -- close-in ghost points
+//     collect spurious metric inliers from a near-parallel bundle.  The
+//     hypothesis with the most inliers wins (ties broken by total angular
+//     misfit, then candidate power), after a local least-squares
+//     re-optimization over its inlier set.
+//  3. Refinement: iteratively reweighted least squares from the winning
+//     point, re-choosing each rig's candidate every iteration and
+//     down-weighting angular residuals with a trimmed Huber or Tukey loss.
+//
+// With clean spectra every rig has a single candidate, all residuals sit
+// far inside the loss's linear region, every weight is 1, and the result
+// coincides with the unweighted least-squares fix -- no robustness tax.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "geom/ray.hpp"
+#include "robust/spectrum_diag.hpp"
+
+namespace tagspin::robust {
+
+/// One rig's contribution: where its disk center is and every direction
+/// its spectrum could not rule out (main peak first, value-descending).
+struct BearingObservation {
+  geom::Vec2 origin;
+  std::vector<BearingCandidate> candidates;
+};
+
+struct ConsensusConfig {
+  /// Angular residual (radians between a candidate bearing and the
+  /// direction from its rig to the point) below which a ray supports a
+  /// hypothesis.  ~3.4 degrees: several sigma of a healthy spectrum peak,
+  /// far under the tens of degrees a ghost lobe is off by.
+  double inlierThresholdRad = 0.06;
+  /// Robust loss for the IRLS refinement.
+  enum class Loss { kHuber, kTukey };
+  Loss loss = Loss::kHuber;
+  /// Huber transition point / Tukey cutoff, radians of angular residual.
+  /// Clean simulated bearings sit at a fraction of a degree, so ~1 degree
+  /// of slack keeps honest rays in the quadratic (weight-1) region.
+  double huberDeltaRad = 0.02;
+  double tukeyCRad = 0.10;
+  int irlsIterations = 12;
+  /// Stop refining when the fix moves less than this between iterations.
+  double convergenceM = 1e-7;
+  /// Cap on evaluated pair hypotheses (value-ordered, so the cap sheds the
+  /// least powerful candidate pairs first).
+  size_t maxHypotheses = 128;
+};
+
+struct ConsensusFix {
+  geom::Vec2 position;
+  /// Chosen candidate index per observation (-1: none usable).
+  std::vector<int> chosen;
+  /// Final IRLS weight per observation (0 for trimmed outliers).
+  std::vector<double> weights;
+  /// Ray parameter of the fix along each observation's chosen ray;
+  /// negative means the fix is behind that rig (see
+  /// geom::MultiRayIntersection).
+  std::vector<double> rayT;
+  std::vector<bool> inlier;
+  double inlierFraction = 0.0;
+  size_t behindOrigin = 0;
+  /// Weighted RMS perpendicular distance over inlier rays, metres.
+  double residualM = 0.0;
+};
+
+/// Consensus fix over >= 2 observations, each with >= 1 candidate.  Empty
+/// when no pair of candidate rays intersects (mutually parallel bundle) or
+/// fewer than two observations end up supporting any hypothesis.
+std::optional<ConsensusFix> consensusIntersection(
+    std::span<const BearingObservation> observations,
+    const ConsensusConfig& config = {});
+
+}  // namespace tagspin::robust

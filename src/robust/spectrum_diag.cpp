@@ -1,0 +1,87 @@
+#include "robust/spectrum_diag.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "dsp/peaks.hpp"
+#include "geom/angles.hpp"
+
+namespace tagspin::robust {
+namespace {
+
+double indexToAngle(double index, size_t n) {
+  return geom::wrapTwoPi(index * geom::kTwoPi / static_cast<double>(n));
+}
+
+}  // namespace
+
+const char* spinVerdictName(SpinVerdict verdict) {
+  switch (verdict) {
+    case SpinVerdict::kAccept:
+      return "accept";
+    case SpinVerdict::kSuspect:
+      return "suspect";
+    case SpinVerdict::kQuarantine:
+      return "quarantine";
+  }
+  return "unknown";
+}
+
+SpinDiagnostics diagnoseSpectrum(std::span<const double> samples,
+                                 double ghostScore,
+                                 const SpinDiagnosticsConfig& config) {
+  SpinDiagnostics diag;
+  diag.ghostScore = std::clamp(ghostScore, 0.0, 1.0);
+  if (samples.size() < 8) {
+    diag.verdict = SpinVerdict::kQuarantine;
+    return diag;
+  }
+
+  const size_t minSep =
+      std::max<size_t>(1, samples.size() / config.minPeakSeparationDivisor);
+  const auto peaks = dsp::findPeaks(samples, /*circular=*/true, minSep,
+                                    std::max<size_t>(config.maxCandidates, 8));
+  if (peaks.empty()) {
+    // Flat (or monotone) spectrum: no direction information at all.
+    diag.verdict = SpinVerdict::kQuarantine;
+    return diag;
+  }
+
+  const auto& main = peaks.front();
+  diag.peakValue = main.value;
+  diag.lobeWidthDeg = geom::radToDeg(
+      dsp::halfPowerWidth(samples, main.index, /*circular=*/true) *
+      geom::kTwoPi / static_cast<double>(samples.size()));
+  diag.candidates.push_back({indexToAngle(main.refined, samples.size()),
+                             main.value});
+
+  diag.peakToSidelobeRatio = std::numeric_limits<double>::infinity();
+  if (peaks.size() > 1 && peaks[1].value > 0.0) {
+    diag.peakToSidelobeRatio = main.value / peaks[1].value;
+  }
+  for (size_t i = 1; i < peaks.size(); ++i) {
+    if (peaks[i].value < config.ambiguityRatio * main.value) break;
+    ++diag.ambiguousPeakCount;
+    if (diag.candidates.size() < config.maxCandidates) {
+      diag.candidates.push_back(
+          {indexToAngle(peaks[i].refined, samples.size()), peaks[i].value});
+    }
+  }
+
+  const bool quarantine =
+      diag.peakToSidelobeRatio < config.quarantineSidelobeRatio ||
+      diag.lobeWidthDeg >= config.quarantineLobeWidthDeg ||
+      diag.ghostScore >= config.quarantineGhostScore;
+  const bool suspect =
+      diag.peakToSidelobeRatio < config.suspectSidelobeRatio ||
+      diag.lobeWidthDeg >= config.suspectLobeWidthDeg ||
+      diag.ghostScore >= config.suspectGhostScore ||
+      diag.ambiguousPeakCount > 0;
+  diag.verdict = quarantine ? SpinVerdict::kQuarantine
+               : suspect    ? SpinVerdict::kSuspect
+                            : SpinVerdict::kAccept;
+  return diag;
+}
+
+}  // namespace tagspin::robust

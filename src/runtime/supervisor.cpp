@@ -53,6 +53,7 @@ Supervisor::Instruments Supervisor::Instruments::resolve(
   in.checkpointSaves = registry->counter("checkpoint.saves");
   in.checkpointFailures = registry->counter("checkpoint.failures");
   in.checkpointBytes = registry->counter("checkpoint.bytes_written");
+  in.respinsRequested = registry->counter("robust.respins_requested");
   in.phaseOutliersDropped =
       registry->counter("preprocess.phase_outliers_dropped");
   in.checkpointSpan = registry->histogram("span.checkpoint_write");
@@ -114,6 +115,7 @@ core::Result<core::CalibrationCheckpoint> Supervisor::restore() {
     }
   }
   checkpointSequence_ = ckpt.sequence;
+  lastFix_ = ckpt.lastFix;
   lastReaderTimestampS_ =
       std::max(lastReaderTimestampS_, ckpt.lastReportTimestampS);
   return loaded;
@@ -233,8 +235,10 @@ const core::RigSpec* Supervisor::findRig(const rfid::Epc& epc) const {
   return nullptr;
 }
 
-std::vector<core::RigObservation> Supervisor::buildObservations() const {
+std::vector<core::RigObservation> Supervisor::buildObservations(
+    std::vector<rfid::Epc>* epcsOut) const {
   std::vector<core::RigObservation> observations;
+  if (epcsOut) epcsOut->clear();
   for (const auto& [epc, rig] : deployment_.rigs) {
     const auto it = tags_.find(epc);
     if (it == tags_.end() || it->second.snapshots.empty()) continue;
@@ -257,12 +261,71 @@ std::vector<core::RigObservation> Supervisor::buildObservations() const {
     const auto model = models_.find(epc);
     if (model != models_.end()) obs.orientation = model->second;
     observations.push_back(std::move(obs));
+    if (epcsOut) epcsOut->push_back(epc);
   }
   return observations;
 }
 
 core::Result<core::ResilientFix2D> Supervisor::tryLocate2D() const {
   return locator_.tryLocate2D(buildObservations(), config_.health);
+}
+
+void Supervisor::requestRespin(const rfid::Epc& epc, double nowS) {
+  const auto it = tags_.find(epc);
+  if (it == tags_.end()) return;
+  TagState& tag = it->second;
+  tag.snapshots.clear();
+  tag.seen.clear();
+  tag.acceptStride = 1;
+  tag.offerCounter = 0;
+  ++stats_.respinsRequested;
+  obs::add(obs_.respinsRequested);
+  obs::record(config_.journal, nowS, obs::Severity::kWarn,
+              "quarantined spin discarded; re-spin requested",
+              {{"epc", epc.toHex()}});
+}
+
+core::Result<core::ResilientFix2D> Supervisor::locateAndRecover2D(
+    double nowS) {
+  std::vector<rfid::Epc> epcs;
+  const std::vector<core::RigObservation> observations =
+      buildObservations(&epcs);
+  core::Result<core::ResilientFix2D> result =
+      locator_.tryLocate2D(observations, config_.health);
+  if (!result) return result;
+
+  // Quarantined rigs have already been excluded from (or down-weighted in)
+  // the fix; here we act on the verdict by discarding their accumulated
+  // snapshots so the live stream rebuilds the spin from scratch.  The
+  // degraded fix still goes out -- recovery must never turn a usable
+  // answer into a failure.
+  uint64_t quarantined = 0;
+  const std::vector<core::RigHealth>& health = result->report.rigHealth;
+  for (size_t i = 0; i < health.size() && i < epcs.size(); ++i) {
+    if (health[i].spin.verdict == robust::SpinVerdict::kQuarantine) {
+      ++quarantined;
+      requestRespin(epcs[i], nowS);
+    }
+  }
+  stats_.quarantinedSpins += quarantined;
+
+  core::FixRecord record;
+  record.valid = true;
+  record.x = result->fix.position.x;
+  record.y = result->fix.position.y;
+  record.confidence = result->report.confidence;
+  record.inlierFraction = result->fix.estimation.inlierFraction;
+  record.quarantinedSpins = quarantined;
+  if (result->fix.estimation.ellipse) {
+    const robust::ConfidenceEllipse& e = *result->fix.estimation.ellipse;
+    record.hasEllipse = true;
+    record.ellipseSemiMajorM = e.semiMajorM;
+    record.ellipseSemiMinorM = e.semiMinorM;
+    record.ellipseOrientationRad = e.orientationRad;
+    record.ellipseConfidence = e.confidenceLevel;
+  }
+  lastFix_ = record;
+  return result;
 }
 
 core::Result<core::ResilientFix3D> Supervisor::tryLocate3D() const {
@@ -274,6 +337,7 @@ core::CalibrationCheckpoint Supervisor::makeCheckpoint(double nowS) const {
   ckpt.sequence = checkpointSequence_ + stats_.checkpointsSaved + 1;
   ckpt.wallTimeS = nowS;
   ckpt.lastReportTimestampS = lastReaderTimestampS_;
+  ckpt.lastFix = lastFix_;
   for (const auto& [epc, tag] : tags_) {
     if (tag.snapshots.empty()) continue;
     core::TagCalibrationProgress progress;

@@ -74,6 +74,8 @@ struct SupervisorStats {
   uint64_t sessionsRestarted = 0;    // FAILED sessions replaced
   uint64_t checkpointsSaved = 0;
   uint64_t checkpointFailures = 0;   // save threw (disk trouble); non-fatal
+  uint64_t quarantinedSpins = 0;     // spins the self-diagnosis rejected
+  uint64_t respinsRequested = 0;     // quarantined tags cleared for re-spin
   double lastCheckpointWallS = -1.0;
 };
 
@@ -104,6 +106,15 @@ class Supervisor {
 
   core::Result<core::ResilientFix2D> tryLocate2D() const;
   core::Result<core::ResilientFix3D> tryLocate3D() const;
+
+  /// Locate with recovery: like tryLocate2D, but when the spin
+  /// self-diagnosis quarantined a rig, that tag's accumulated snapshots are
+  /// discarded so the live stream re-acquires a fresh spin ("please spin
+  /// again") instead of repeatedly feeding the locator a corrupted
+  /// spectrum.  The fix itself -- already computed without the quarantined
+  /// rig, at degraded confidence -- is returned as-is; the successful fix
+  /// is also cached for the next checkpoint's [last_fix] section.
+  core::Result<core::ResilientFix2D> locateAndRecover2D(double nowS);
 
   /// Snapshot the full calibration state as a checkpoint struct.
   core::CalibrationCheckpoint makeCheckpoint(double nowS) const;
@@ -147,6 +158,7 @@ class Supervisor {
     obs::Counter* checkpointSaves = nullptr;
     obs::Counter* checkpointFailures = nullptr;
     obs::Counter* checkpointBytes = nullptr;
+    obs::Counter* respinsRequested = nullptr;      // robust.respins_requested
     obs::Counter* phaseOutliersDropped = nullptr;  // preprocess.*
     obs::Histogram* checkpointSpan = nullptr;      // span.checkpoint_write
     obs::Histogram* preprocessSpan = nullptr;      // span.preprocess
@@ -154,8 +166,13 @@ class Supervisor {
   };
 
   void ingest(const rfid::TagReport& report);
-  std::vector<core::RigObservation> buildObservations() const;
+  /// `epcsOut`, when non-null, receives the EPC of each returned
+  /// observation (parallel vectors) -- locateAndRecover2D needs the
+  /// mapping back from rig-health indices to tag state.
+  std::vector<core::RigObservation> buildObservations(
+      std::vector<rfid::Epc>* epcsOut = nullptr) const;
   const core::RigSpec* findRig(const rfid::Epc& epc) const;
+  void requestRespin(const rfid::Epc& epc, double nowS);
   void saveCheckpoint(double nowS);
 
   SupervisorConfig config_;
@@ -167,6 +184,7 @@ class Supervisor {
   std::map<rfid::Epc, core::OrientationModel> models_;
   SupervisorStats stats_;
   Instruments obs_;
+  core::FixRecord lastFix_;
   uint64_t checkpointSequence_ = 0;
   double lastReaderTimestampS_ = 0.0;
   rfid::ReportStream drainScratch_;

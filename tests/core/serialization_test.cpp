@@ -221,6 +221,62 @@ TEST(Serialization, CheckpointRoundTripExact) {
   ASSERT_EQ(bare.snapshots.size(), 1u);
 }
 
+TEST(Serialization, CheckpointLastFixRoundTripExact) {
+  CalibrationCheckpoint ckpt = sampleCheckpoint();
+  ckpt.lastFix.valid = true;
+  ckpt.lastFix.x = 0.80000000000000004;
+  ckpt.lastFix.y = 2.0 / 3.0;
+  ckpt.lastFix.confidence = 0.5123456789012345;
+  ckpt.lastFix.inlierFraction = 0.75;
+  ckpt.lastFix.quarantinedSpins = 3;
+  ckpt.lastFix.hasEllipse = true;
+  ckpt.lastFix.ellipseSemiMajorM = 0.041;
+  ckpt.lastFix.ellipseSemiMinorM = 0.017;
+  ckpt.lastFix.ellipseOrientationRad = -1.2345678901234567;
+  ckpt.lastFix.ellipseConfidence = 0.90;
+
+  const std::string text = checkpointToString(ckpt);
+  EXPECT_NE(text.find("[last_fix]"), std::string::npos);
+
+  const FixRecord& back = checkpointFromString(text).lastFix;
+  ASSERT_TRUE(back.valid);
+  EXPECT_EQ(back.x, ckpt.lastFix.x);
+  EXPECT_EQ(back.y, ckpt.lastFix.y);
+  EXPECT_EQ(back.confidence, ckpt.lastFix.confidence);
+  EXPECT_EQ(back.inlierFraction, ckpt.lastFix.inlierFraction);
+  EXPECT_EQ(back.quarantinedSpins, 3u);
+  ASSERT_TRUE(back.hasEllipse);
+  EXPECT_EQ(back.ellipseSemiMajorM, ckpt.lastFix.ellipseSemiMajorM);
+  EXPECT_EQ(back.ellipseSemiMinorM, ckpt.lastFix.ellipseSemiMinorM);
+  EXPECT_EQ(back.ellipseOrientationRad, ckpt.lastFix.ellipseOrientationRad);
+  EXPECT_EQ(back.ellipseConfidence, ckpt.lastFix.ellipseConfidence);
+}
+
+TEST(Serialization, CheckpointLastFixOmittedWhenInvalid) {
+  // A checkpoint that never produced a fix writes no [last_fix] section,
+  // and parsing such a file leaves the record invalid -- so a restored
+  // runtime cannot mistake "never located" for "located at the origin".
+  const CalibrationCheckpoint ckpt = sampleCheckpoint();
+  const std::string text = checkpointToString(ckpt);
+  EXPECT_EQ(text.find("[last_fix]"), std::string::npos);
+  EXPECT_FALSE(checkpointFromString(text).lastFix.valid);
+}
+
+TEST(Serialization, CheckpointLastFixWithoutEllipseRoundTrips) {
+  CalibrationCheckpoint ckpt = sampleCheckpoint();
+  ckpt.lastFix.valid = true;
+  ckpt.lastFix.x = -0.25;
+  ckpt.lastFix.y = 1.5;
+  ckpt.lastFix.confidence = 0.4;
+  const std::string text = checkpointToString(ckpt);
+  EXPECT_EQ(text.find("ellipse"), std::string::npos);
+  const FixRecord& back = checkpointFromString(text).lastFix;
+  ASSERT_TRUE(back.valid);
+  EXPECT_FALSE(back.hasEllipse);
+  EXPECT_EQ(back.x, -0.25);
+  EXPECT_EQ(back.quarantinedSpins, 0u);
+}
+
 TEST(Serialization, CheckpointSnapshotCountMismatchIsRejected) {
   // Text-level truncation tell: dropping a snapshot line must not parse as
   // a smaller-but-valid checkpoint.

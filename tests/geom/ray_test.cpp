@@ -109,6 +109,27 @@ TEST(IntersectEqn9, FailsOnParallel) {
   EXPECT_FALSE(intersectEqn9({-0.2, 0.0}, 0.7, {0.2, 0.0}, 0.7).has_value());
 }
 
+// Regression: the tan()-based closed form has a blind zone at +-(pi/2 - eps)
+// -- a reader straight ahead of a rig, a perfectly ordinary geometry --
+// where the robust cross-product form stays exact.  This is why the locator
+// never calls intersectEqn9 (see Locator::intersectBearings).
+TEST(IntersectEqn9, BlindNearTanPoleWhereRobustFormIsExact) {
+  const Vec2 o1{-0.2, 0.0};
+  const Vec2 o2{0.2, 0.0};
+  for (const double pole : {kPi / 2.0, -kPi / 2.0}) {
+    for (const double eps : {0.0, 1e-10, 1e-12}) {
+      const double phi1 = pole - (pole > 0 ? eps : -eps);
+      const Vec2 target = o1 + unitFromAngle(phi1) * 2.0;
+      const double phi2 = (target - o2).angle();
+      EXPECT_FALSE(intersectEqn9(o1, phi1, o2, phi2).has_value())
+          << "pole=" << pole << " eps=" << eps;
+      const auto hit = intersectRays(Ray2{o1, phi1}, Ray2{o2, phi2});
+      ASSERT_TRUE(hit.has_value()) << "pole=" << pole << " eps=" << eps;
+      EXPECT_LT(distance(hit->point, target), 1e-9);
+    }
+  }
+}
+
 TEST(LeastSquaresIntersection, ExactForConsistentRays) {
   const Vec2 target{0.8, 1.9};
   std::vector<Ray2> rays;
@@ -145,6 +166,84 @@ TEST(LeastSquaresIntersection, RejectsDegenerate) {
 
 TEST(RmsResidual, EmptyIsZero) {
   EXPECT_DOUBLE_EQ(rmsResidual({}, {1.0, 1.0}), 0.0);
+}
+
+TEST(LeastSquaresIntersectionDetailed, SurfacesBehindOriginRays) {
+  // Flip one bearing by pi: the supporting line (and thus the LS point) is
+  // unchanged, but the fix now sits BEHIND that ray's origin -- the
+  // physically-impossible geometry the detailed overload must report.
+  const Vec2 target{0.8, 1.9};
+  std::vector<Ray2> rays;
+  for (const Vec2 o : {Vec2{-0.5, 0.0}, Vec2{0.5, 0.0}, Vec2{0.0, 0.6}}) {
+    rays.push_back({o, (target - o).angle()});
+  }
+  const auto clean = leastSquaresIntersectionDetailed(rays);
+  ASSERT_TRUE(clean.has_value());
+  EXPECT_EQ(clean->behindOrigin, 0u);
+  for (double t : clean->rayT) EXPECT_GT(t, 0.0);
+
+  rays[1].angle = wrapTwoPi(rays[1].angle + kPi);
+  const auto flipped = leastSquaresIntersectionDetailed(rays);
+  ASSERT_TRUE(flipped.has_value());
+  EXPECT_NEAR(distance(flipped->point, clean->point), 0.0, 1e-9);
+  EXPECT_EQ(flipped->behindOrigin, 1u);
+  EXPECT_LT(flipped->rayT[1], 0.0);
+  EXPECT_GT(flipped->rayT[0], 0.0);
+}
+
+TEST(LeastSquaresIntersectionDetailed, ZeroWeightDropsRayFromSolve) {
+  const Vec2 target{0.8, 1.9};
+  std::vector<Ray2> rays;
+  for (const Vec2 o : {Vec2{-0.5, 0.0}, Vec2{0.5, 0.0}, Vec2{0.0, 0.6}}) {
+    rays.push_back({o, (target - o).angle()});
+  }
+  rays[2].angle += 0.3;  // corrupt one bearing badly
+  const std::vector<double> weights{1.0, 1.0, 0.0};
+  const auto fix = leastSquaresIntersectionDetailed(rays, weights);
+  ASSERT_TRUE(fix.has_value());
+  // The corrupted ray carried no weight: the solve is the 2-ray exact
+  // intersection, but its t is still reported.
+  EXPECT_LT(distance(fix->point, target), 1e-9);
+  EXPECT_EQ(fix->rayT.size(), 3u);
+}
+
+TEST(LeastSquaresIntersectionDetailed, NearParallelBundleIsEmptyNotExploded) {
+  // Rays sharing one angle from a row of origins: the normal matrix is
+  // singular; the detailed solve must return empty, never a huge point.
+  std::vector<Ray2> bundle;
+  for (double x : {-0.6, -0.2, 0.2, 0.6}) {
+    bundle.push_back({{x, 0.0}, 1.2});
+  }
+  EXPECT_FALSE(leastSquaresIntersectionDetailed(bundle).has_value());
+  // All-zero weights are just as degenerate.
+  std::vector<Ray2> rays{{{-0.5, 0.0}, 1.0}, {{0.5, 0.0}, 2.0}};
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_FALSE(leastSquaresIntersectionDetailed(rays, zeros).has_value());
+}
+
+TEST(LeastSquaresIntersection, RigidTransformEquivariance) {
+  // Rotating + translating every ray must move the LS point by exactly the
+  // same rigid transform (perpendicular distances are invariants).
+  std::vector<Ray2> rays{{{-0.5, 0.0}, 1.25}, {{0.5, 0.1}, 1.85},
+                         {{0.1, 0.6}, 1.05}};
+  const auto base = leastSquaresIntersection(rays);
+  ASSERT_TRUE(base.has_value());
+  for (const double beta : {0.7, -1.4, 2.9}) {
+    const Vec2 shift{-2.1, 0.9};
+    const double c = std::cos(beta), s = std::sin(beta);
+    std::vector<Ray2> moved;
+    for (const Ray2& r : rays) {
+      moved.push_back({Vec2{c * r.origin.x - s * r.origin.y,
+                            s * r.origin.x + c * r.origin.y} +
+                           shift,
+                       r.angle + beta});
+    }
+    const auto fix = leastSquaresIntersection(moved);
+    ASSERT_TRUE(fix.has_value()) << "beta=" << beta;
+    const Vec2 expected =
+        Vec2{c * base->x - s * base->y, s * base->x + c * base->y} + shift;
+    EXPECT_LT(distance(*fix, expected), 1e-9) << "beta=" << beta;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,61 @@
+// Miniature fig_adversarial, sized for ctest: one clean point and one
+// ghost-corrupted point through the paired baseline/robust sweep.  Checks
+// the headline robustness claims end to end -- consensus beats plain least
+// squares under corruption, costs nothing when clean, and the spin
+// self-diagnosis actually fires.  Carries the `adversarial` label so
+// tools/run_sanitized.sh can select exactly this.
+#include <gtest/gtest.h>
+
+#include "eval/adversarial.hpp"
+
+namespace tagspin::eval {
+namespace {
+
+TEST(AdversarialSmoke, ConsensusBeatsBaselineUnderGhostCorruption) {
+  AdversarialConfig ac;
+  ac.scenario.seed = 21;
+  ac.trialsPerPoint = 8;
+  ac.durationS = 15.0;
+  ac.cases = {{0, 0.6, 3}, {1, 0.6, 3}};
+  ac.baseline = AdversarialConfig::defaultBaseline();
+  ac.robust = AdversarialConfig::defaultRobust();
+
+  const AdversarialResult r = runAdversarialSweep(ac);
+  ASSERT_EQ(r.points.size(), 2u);
+  const AdversarialPoint& clean = r.points[0];
+  const AdversarialPoint& corrupted = r.points[1];
+
+  // Every trial fixes on both estimators, clean or corrupted.
+  EXPECT_EQ(clean.baselineFixes, ac.trialsPerPoint);
+  EXPECT_EQ(clean.robustFixes, ac.trialsPerPoint);
+  EXPECT_EQ(corrupted.robustFixes, ac.trialsPerPoint);
+
+  // Clean point: no robustness tax (medians within 5%) and no quarantines.
+  EXPECT_GT(clean.baselineMedianCm, 0.0);
+  EXPECT_LT(clean.robustMedianCm, 1.05 * clean.baselineMedianCm);
+  EXPECT_EQ(clean.quarantinedSpins, 0u);
+
+  // Corrupted point: the ghost lobe drags the baseline; consensus holds.
+  // The full bench asserts <= 0.5x over 30 trials; 6 trials is noisier, so
+  // the smoke bound is looser but still decisive.
+  EXPECT_GT(corrupted.baselineMedianCm, 2.0 * clean.baselineMedianCm);
+  EXPECT_LT(corrupted.robustMedianCm, 0.6 * corrupted.baselineMedianCm);
+
+  // The self-diagnosis saw the corrupted spectra.
+  EXPECT_GT(corrupted.suspectSpins + corrupted.quarantinedSpins, 0u);
+  EXPECT_LT(corrupted.meanInlierFraction, 1.0);
+  EXPECT_GE(corrupted.meanInlierFraction, 0.5);
+
+  // Every trial produced a confidence ellipse.  Coverage is only asserted
+  // on the corrupted point: there the between-rig disagreement inflates
+  // the pairs-bootstrap region past the damage, while on the clean point
+  // the residual error is common-mode multipath bias, which no internal
+  // resampling can see (the calibrated-coverage guarantee lives in the
+  // robust_test bootstrap suite, where the error model matches).
+  EXPECT_EQ(clean.ellipseTrials, ac.trialsPerPoint);
+  EXPECT_EQ(corrupted.ellipseTrials, ac.trialsPerPoint);
+  EXPECT_GE(corrupted.ellipseCovered, corrupted.ellipseTrials - 1);
+}
+
+}  // namespace
+}  // namespace tagspin::eval

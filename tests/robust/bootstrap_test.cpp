@@ -1,0 +1,120 @@
+#include "robust/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "geom/angles.hpp"
+#include "geom/ray.hpp"
+
+namespace tagspin::robust {
+namespace {
+
+/// Bearing samples for a rig watching `target` from `origin`: the observed
+/// bearing is the true one plus `bearingError`, and the deviations are
+/// draws from the estimator's own error distribution (sigma).
+BearingSamples makeRay(const geom::Vec2& origin, const geom::Vec2& target,
+                       double bearingError, double sigma, int deviations,
+                       std::mt19937_64& rng) {
+  std::normal_distribution<double> noise(0.0, sigma);
+  BearingSamples ray;
+  ray.origin = origin;
+  ray.bearingRad = (target - origin).angle() + bearingError;
+  for (int k = 0; k < deviations; ++k) {
+    ray.deviationsRad.push_back(noise(rng));
+  }
+  return ray;
+}
+
+const std::vector<geom::Vec2> kOrigins{
+    {-1.0, 0.0}, {1.0, 0.0}, {-0.8, 0.9}, {0.9, 0.8}};
+
+TEST(Bootstrap, DegenerateInputsReturnEmpty) {
+  EXPECT_FALSE(bootstrapEllipse({}, {0.0, 0.0}).has_value());
+
+  std::mt19937_64 rng(3);
+  std::vector<BearingSamples> one{
+      makeRay(kOrigins[0], {0.2, 1.7}, 0.0, 0.01, 8, rng)};
+  EXPECT_FALSE(bootstrapEllipse(one, {0.2, 1.7}).has_value());
+
+  // Two rays but no deviation samples anywhere: nothing to resample.
+  std::vector<BearingSamples> dry{
+      makeRay(kOrigins[0], {0.2, 1.7}, 0.0, 0.01, 0, rng),
+      makeRay(kOrigins[1], {0.2, 1.7}, 0.0, 0.01, 0, rng)};
+  EXPECT_FALSE(bootstrapEllipse(dry, {0.2, 1.7}).has_value());
+}
+
+TEST(Bootstrap, EllipseGeometryIsSane) {
+  const geom::Vec2 target{0.2, 1.7};
+  std::mt19937_64 rng(5);
+  std::vector<BearingSamples> rays;
+  for (const geom::Vec2& o : kOrigins) {
+    rays.push_back(makeRay(o, target, 0.0, 0.01, 12, rng));
+  }
+  const auto ellipse = bootstrapEllipse(rays, target);
+  ASSERT_TRUE(ellipse.has_value());
+  EXPECT_GT(ellipse->semiMajorM, 0.0);
+  EXPECT_GE(ellipse->semiMajorM, ellipse->semiMinorM);
+  EXPECT_DOUBLE_EQ(ellipse->confidenceLevel, 0.90);
+  EXPECT_GT(ellipse->areaM2(), 0.0);
+  // The region is centred on the fix and local: it contains the center and
+  // excludes a point a metre away.
+  EXPECT_TRUE(ellipse->contains(target));
+  EXPECT_FALSE(ellipse->contains(target + geom::Vec2{1.0, 0.0}));
+  // cm-scale bearing noise at ~2 m range: the axes stay in the cm regime.
+  EXPECT_LT(ellipse->semiMajorM, 0.5);
+}
+
+TEST(Bootstrap, MoreBearingNoiseGrowsTheEllipse) {
+  const geom::Vec2 target{0.2, 1.7};
+  auto areaFor = [&](double sigma) {
+    std::mt19937_64 rng(9);
+    std::vector<BearingSamples> rays;
+    for (const geom::Vec2& o : kOrigins) {
+      rays.push_back(makeRay(o, target, 0.0, sigma, 12, rng));
+    }
+    const auto ellipse = bootstrapEllipse(rays, target);
+    EXPECT_TRUE(ellipse.has_value());
+    return ellipse ? ellipse->areaM2() : 0.0;
+  };
+  EXPECT_GT(areaFor(0.03), 3.0 * areaFor(0.005));
+}
+
+TEST(Bootstrap, CoverageMatchesConfidenceLevel) {
+  // Calibration: over many seeded trials with bearing errors drawn from the
+  // SAME distribution the deviations are drawn from, the 90% ellipse must
+  // contain the truth in 85-95% of trials (the half-sampling identity says
+  // the deviations need no rescaling).
+  const geom::Vec2 target{0.2, 1.7};
+  const double sigma = 0.01;
+  const int trials = 300;
+  int covered = 0, produced = 0;
+  for (int t = 0; t < trials; ++t) {
+    std::mt19937_64 rng(10'000 + t);
+    std::normal_distribution<double> noise(0.0, sigma);
+    std::vector<BearingSamples> rays;
+    std::vector<geom::Ray2> observed;
+    for (const geom::Vec2& o : kOrigins) {
+      rays.push_back(makeRay(o, target, noise(rng), sigma, 12, rng));
+      observed.push_back({o, rays.back().bearingRad});
+    }
+    const auto fix = geom::leastSquaresIntersection(observed);
+    ASSERT_TRUE(fix.has_value());
+    BootstrapConfig bc;
+    bc.seed = 0xB0075 ^ static_cast<uint64_t>(t);
+    const auto ellipse = bootstrapEllipse(rays, *fix, bc);
+    if (!ellipse) continue;
+    ++produced;
+    if (ellipse->contains(target)) ++covered;
+  }
+  ASSERT_GT(produced, trials * 9 / 10);
+  const double coverage =
+      static_cast<double>(covered) / static_cast<double>(produced);
+  EXPECT_GE(coverage, 0.85) << covered << "/" << produced;
+  EXPECT_LE(coverage, 0.95) << covered << "/" << produced;
+}
+
+}  // namespace
+}  // namespace tagspin::robust

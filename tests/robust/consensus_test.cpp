@@ -1,0 +1,184 @@
+#include "robust/consensus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "geom/angles.hpp"
+#include "geom/ray.hpp"
+
+namespace tagspin::robust {
+namespace {
+
+BearingObservation observe(const geom::Vec2& origin, const geom::Vec2& target,
+                           double angleError = 0.0, double value = 1.0) {
+  BearingObservation obs;
+  obs.origin = origin;
+  obs.candidates.push_back(
+      {geom::wrapTwoPi((target - origin).angle() + angleError), value});
+  return obs;
+}
+
+TEST(Consensus, CleanRaysMatchLeastSquares) {
+  // With a single well-behaved candidate per rig every IRLS weight is 1 and
+  // the consensus fix must coincide with the unweighted least squares --
+  // the no-robustness-tax property.
+  const geom::Vec2 target{0.7, 2.1};
+  std::mt19937_64 rng(11);
+  std::normal_distribution<double> noise(0.0, 0.003);
+  std::vector<BearingObservation> observations;
+  std::vector<geom::Ray2> rays;
+  for (const geom::Vec2 o : {geom::Vec2{-0.6, 0.0}, geom::Vec2{-0.2, 0.0},
+                             geom::Vec2{0.2, 0.0}, geom::Vec2{0.6, 0.0}}) {
+    const double err = noise(rng);
+    observations.push_back(observe(o, target, err));
+    rays.push_back({o, observations.back().candidates[0].angleRad});
+  }
+  const auto fix = consensusIntersection(observations);
+  ASSERT_TRUE(fix.has_value());
+  const auto ls = geom::leastSquaresIntersection(rays);
+  ASSERT_TRUE(ls.has_value());
+  EXPECT_LT(geom::distance(fix->position, *ls), 1e-6);
+  EXPECT_DOUBLE_EQ(fix->inlierFraction, 1.0);
+  for (double w : fix->weights) EXPECT_DOUBLE_EQ(w, 1.0);
+  EXPECT_EQ(fix->behindOrigin, 0u);
+}
+
+TEST(Consensus, GhostCandidateOutvotedByGeometry) {
+  // One rig's spectrum is bimodal with the WRONG lobe dominant: its main
+  // candidate points 40 degrees off, the true direction is its weaker
+  // second candidate.  Geometry must pick the weak-but-consistent one.
+  const geom::Vec2 target{0.4, 1.8};
+  std::vector<BearingObservation> observations{
+      observe({-0.5, 0.0}, target), observe({0.5, 0.0}, target),
+      observe({0.0, 0.6}, target)};
+  BearingObservation corrupted;
+  corrupted.origin = {-1.0, 0.3};
+  const double trueAngle = (target - corrupted.origin).angle();
+  corrupted.candidates.push_back(
+      {geom::wrapTwoPi(trueAngle + geom::degToRad(40.0)), 1.0});  // ghost
+  corrupted.candidates.push_back({geom::wrapTwoPi(trueAngle), 0.6});
+  observations.push_back(corrupted);
+
+  const auto fix = consensusIntersection(observations);
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_LT(geom::distance(fix->position, target), 0.01);
+  EXPECT_EQ(fix->chosen[3], 1);  // the weaker, geometry-consistent lobe
+  EXPECT_DOUBLE_EQ(fix->inlierFraction, 1.0);
+}
+
+TEST(Consensus, NearParallelBundleRejectsSingleCandidateGhost) {
+  // Regression for the adversarial bench's hardest geometry: four rigs in
+  // a row (a near-parallel ray bundle as seen from the reader) and one rig
+  // offering ONLY a ghost bearing.  Metric perpendicular voting used to let
+  // the ghost drag the fix ~1 m down-range; angular residuals plus the
+  // trimmed loss must hold the fix at the healthy trio's point.
+  const geom::Vec2 target{-0.65, 2.21};
+  const std::vector<geom::Vec2> origins{
+      {-0.6, 0.0}, {-0.2, 0.0}, {0.2, 0.0}, {0.6, 0.0}};
+  std::vector<BearingObservation> observations;
+  for (size_t i = 0; i < origins.size(); ++i) {
+    observations.push_back(observe(origins[i], target));
+  }
+  // Rig 0 captured by a reflector: single candidate at 25.3 degrees, metres
+  // away from every honest ray at range.
+  observations[0].candidates[0].angleRad = geom::degToRad(25.3);
+
+  const auto fix = consensusIntersection(observations);
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_LT(geom::distance(fix->position, target), 0.05);
+  EXPECT_FALSE(fix->inlier[0]);
+  EXPECT_DOUBLE_EQ(fix->weights[0], 0.0);  // trimmed, no residual pull
+  EXPECT_NEAR(fix->inlierFraction, 0.75, 1e-12);
+}
+
+TEST(Consensus, RigidTransformEquivariance) {
+  // Rotating and translating the whole scene must rotate and translate the
+  // fix identically -- the estimator depends on geometry only.
+  const geom::Vec2 target{0.9, 1.6};
+  std::mt19937_64 rng(29);
+  std::normal_distribution<double> noise(0.0, 0.004);
+  std::vector<BearingObservation> observations;
+  for (const geom::Vec2 o : {geom::Vec2{-0.5, 0.1}, geom::Vec2{0.4, -0.1},
+                             geom::Vec2{0.0, 0.7}}) {
+    observations.push_back(observe(o, target, noise(rng)));
+  }
+  // Include a ghost so the robust machinery (not just plain LS) is hit.
+  observations[1].candidates.push_back(
+      {geom::wrapTwoPi(observations[1].candidates[0].angleRad + 0.9), 1.4});
+  std::swap(observations[1].candidates[0], observations[1].candidates[1]);
+
+  const auto base = consensusIntersection(observations);
+  ASSERT_TRUE(base.has_value());
+
+  for (const double beta : {0.4, 1.9, -2.6}) {
+    const geom::Vec2 shift{1.3, -0.8};
+    const double c = std::cos(beta), s = std::sin(beta);
+    std::vector<BearingObservation> moved = observations;
+    for (BearingObservation& obs : moved) {
+      obs.origin = geom::Vec2{c * obs.origin.x - s * obs.origin.y,
+                              s * obs.origin.x + c * obs.origin.y} +
+                   shift;
+      for (BearingCandidate& cand : obs.candidates) {
+        cand.angleRad = geom::wrapTwoPi(cand.angleRad + beta);
+      }
+    }
+    const auto fix = consensusIntersection(moved);
+    ASSERT_TRUE(fix.has_value()) << "beta=" << beta;
+    const geom::Vec2 expected =
+        geom::Vec2{c * base->position.x - s * base->position.y,
+                   s * base->position.x + c * base->position.y} +
+        shift;
+    EXPECT_LT(geom::distance(fix->position, expected), 1e-6)
+        << "beta=" << beta;
+    EXPECT_EQ(fix->chosen, base->chosen);
+  }
+}
+
+TEST(Consensus, ParallelBundleReturnsEmpty) {
+  std::vector<BearingObservation> observations;
+  for (double x : {-0.6, -0.2, 0.2, 0.6}) {
+    BearingObservation obs;
+    obs.origin = {x, 0.0};
+    obs.candidates.push_back({1.1, 1.0});  // identical bearings: no crossing
+    observations.push_back(obs);
+  }
+  EXPECT_FALSE(consensusIntersection(observations).has_value());
+}
+
+TEST(Consensus, DegenerateInputsReturnEmpty) {
+  EXPECT_FALSE(consensusIntersection({}).has_value());
+  std::vector<BearingObservation> one{observe({0.0, 0.0}, {1.0, 1.0})};
+  EXPECT_FALSE(consensusIntersection(one).has_value());
+  std::vector<BearingObservation> holey{observe({0.0, 0.0}, {1.0, 1.0}),
+                                        observe({0.5, 0.0}, {1.0, 1.0})};
+  holey[1].candidates.clear();
+  EXPECT_FALSE(consensusIntersection(holey).has_value());
+}
+
+TEST(Consensus, ReportsBehindOriginRays) {
+  // Three honest rigs and one whose only bearing points AWAY from the fix:
+  // its ray parameter must come out negative and be counted.
+  const geom::Vec2 target{0.3, 2.0};
+  std::vector<BearingObservation> observations{
+      observe({-0.5, 0.0}, target), observe({0.5, 0.0}, target),
+      observe({0.0, 0.5}, target)};
+  BearingObservation flipped;
+  flipped.origin = {1.0, 0.2};
+  flipped.candidates.push_back(
+      {geom::wrapTwoPi((target - flipped.origin).angle() + geom::kPi), 1.0});
+  observations.push_back(flipped);
+
+  const auto fix = consensusIntersection(observations);
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_LT(geom::distance(fix->position, target), 0.01);
+  // The flipped ray is an outlier (its bearing residual is ~pi)...
+  EXPECT_FALSE(fix->inlier[3]);
+  // ...and its ray parameter confirms the fix sits behind it.
+  EXPECT_LT(fix->rayT[3], 0.0);
+}
+
+}  // namespace
+}  // namespace tagspin::robust

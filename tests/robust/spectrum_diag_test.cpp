@@ -1,0 +1,138 @@
+#include "robust/spectrum_diag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "geom/angles.hpp"
+
+namespace tagspin::robust {
+namespace {
+
+/// Dense circular spectrum as a sum of wrapped Gaussian lobes.
+struct Lobe {
+  double angleRad;
+  double amplitude;
+  double sigmaRad;
+};
+
+std::vector<double> makeSpectrum(const std::vector<Lobe>& lobes,
+                                 size_t n = 720) {
+  std::vector<double> samples(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double angle = geom::kTwoPi * static_cast<double>(i) /
+                         static_cast<double>(n);
+    for (const Lobe& lobe : lobes) {
+      const double d = geom::circularDistance(angle, lobe.angleRad);
+      samples[i] +=
+          lobe.amplitude * std::exp(-0.5 * (d / lobe.sigmaRad) * (d / lobe.sigmaRad));
+    }
+  }
+  return samples;
+}
+
+constexpr double kDeg = geom::kPi / 180.0;
+
+TEST(SpectrumDiag, CleanUnimodalSpectrumAccepts) {
+  const auto samples = makeSpectrum({{1.2, 1.0, 3.0 * kDeg}});
+  const SpinDiagnostics diag = diagnoseSpectrum(samples, 0.0);
+  EXPECT_EQ(diag.verdict, SpinVerdict::kAccept);
+  EXPECT_EQ(diag.ambiguousPeakCount, 0);
+  ASSERT_EQ(diag.candidates.size(), 1u);
+  EXPECT_LT(geom::circularDistance(diag.candidates[0].angleRad, 1.2),
+            1.0 * kDeg);
+  EXPECT_LT(diag.lobeWidthDeg, 20.0);
+  EXPECT_GT(diag.peakToSidelobeRatio, 10.0);
+}
+
+TEST(SpectrumDiag, ModerateSidelobeStaysAccepted) {
+  // Sidelobe at 40% of the main peak: well under the ambiguity ratio and
+  // the peak-to-sidelobe ratio stays above the suspect gate.
+  const auto samples = makeSpectrum(
+      {{1.0, 1.0, 3.0 * kDeg}, {3.5, 0.4, 3.0 * kDeg}});
+  const SpinDiagnostics diag = diagnoseSpectrum(samples, 0.0);
+  EXPECT_EQ(diag.verdict, SpinVerdict::kAccept);
+  EXPECT_EQ(diag.candidates.size(), 1u);  // sidelobe below ambiguityRatio
+}
+
+TEST(SpectrumDiag, StrongSidelobeIsSuspectWithBothCandidates) {
+  const auto samples = makeSpectrum(
+      {{1.0, 1.0, 3.0 * kDeg}, {3.5, 0.8, 3.0 * kDeg}});
+  const SpinDiagnostics diag = diagnoseSpectrum(samples, 0.0);
+  EXPECT_EQ(diag.verdict, SpinVerdict::kSuspect);
+  EXPECT_GE(diag.ambiguousPeakCount, 1);
+  ASSERT_GE(diag.candidates.size(), 2u);
+  // Main peak first, then the ambiguous secondary, value-descending.
+  EXPECT_LT(geom::circularDistance(diag.candidates[0].angleRad, 1.0),
+            1.0 * kDeg);
+  EXPECT_LT(geom::circularDistance(diag.candidates[1].angleRad, 3.5),
+            1.0 * kDeg);
+  EXPECT_GE(diag.candidates[0].value, diag.candidates[1].value);
+}
+
+TEST(SpectrumDiag, NearEqualPeaksQuarantine) {
+  // A sidelobe within ~10% of the main peak cannot be told apart from the
+  // true direction: the spin must not pick its own bearing.
+  const auto samples = makeSpectrum(
+      {{0.8, 1.0, 3.0 * kDeg}, {4.0, 0.95, 3.0 * kDeg}});
+  const SpinDiagnostics diag = diagnoseSpectrum(samples, 0.0);
+  EXPECT_EQ(diag.verdict, SpinVerdict::kQuarantine);
+  EXPECT_LT(diag.peakToSidelobeRatio, 1.12);
+  ASSERT_GE(diag.candidates.size(), 2u);
+}
+
+TEST(SpectrumDiag, GhostScoreLadder) {
+  const auto samples = makeSpectrum({{2.0, 1.0, 3.0 * kDeg}});
+  EXPECT_EQ(diagnoseSpectrum(samples, 0.1).verdict, SpinVerdict::kAccept);
+  EXPECT_EQ(diagnoseSpectrum(samples, 0.40).verdict, SpinVerdict::kSuspect);
+  EXPECT_EQ(diagnoseSpectrum(samples, 0.70).verdict,
+            SpinVerdict::kQuarantine);
+  // Out-of-range scores are clamped, not trusted.
+  EXPECT_DOUBLE_EQ(diagnoseSpectrum(samples, 3.0).ghostScore, 1.0);
+  EXPECT_DOUBLE_EQ(diagnoseSpectrum(samples, -1.0).ghostScore, 0.0);
+}
+
+TEST(SpectrumDiag, WideLobeDegradesVerdict) {
+  const auto narrow = makeSpectrum({{1.5, 1.0, 5.0 * kDeg}});
+  EXPECT_EQ(diagnoseSpectrum(narrow, 0.0).verdict, SpinVerdict::kAccept);
+  const auto wide = makeSpectrum({{1.5, 1.0, 40.0 * kDeg}});
+  const SpinDiagnostics diag = diagnoseSpectrum(wide, 0.0);
+  EXPECT_GE(diag.lobeWidthDeg, 60.0);
+  EXPECT_NE(diag.verdict, SpinVerdict::kAccept);
+}
+
+TEST(SpectrumDiag, TooFewSamplesQuarantine) {
+  const std::vector<double> tiny{1.0, 2.0, 1.0, 0.5};
+  const SpinDiagnostics diag = diagnoseSpectrum(tiny, 0.0);
+  EXPECT_EQ(diag.verdict, SpinVerdict::kQuarantine);
+  EXPECT_TRUE(diag.candidates.empty());
+}
+
+TEST(SpectrumDiag, FlatSpectrumQuarantine) {
+  const std::vector<double> flat(128, 0.7);
+  EXPECT_EQ(diagnoseSpectrum(flat, 0.0).verdict, SpinVerdict::kQuarantine);
+}
+
+TEST(SpectrumDiag, CandidateCountCapped) {
+  std::vector<Lobe> lobes;
+  for (int k = 0; k < 6; ++k) {
+    lobes.push_back({geom::kTwoPi * k / 6.0 + 0.1, 1.0 - 0.02 * k,
+                     3.0 * kDeg});
+  }
+  const SpinDiagnostics diag = diagnoseSpectrum(makeSpectrum(lobes), 0.0);
+  const SpinDiagnosticsConfig defaults;
+  EXPECT_LE(diag.candidates.size(), defaults.maxCandidates);
+  EXPECT_EQ(diag.verdict, SpinVerdict::kQuarantine);
+}
+
+TEST(SpectrumDiag, VerdictNames) {
+  EXPECT_EQ(std::string(spinVerdictName(SpinVerdict::kAccept)), "accept");
+  EXPECT_EQ(std::string(spinVerdictName(SpinVerdict::kSuspect)), "suspect");
+  EXPECT_EQ(std::string(spinVerdictName(SpinVerdict::kQuarantine)),
+            "quarantine");
+}
+
+}  // namespace
+}  // namespace tagspin::robust

@@ -8,7 +8,9 @@
 #include <memory>
 #include <vector>
 
+#include "../core/synthetic.hpp"
 #include "geom/angles.hpp"
+#include "rf/constants.hpp"
 #include "rfid/llrp.hpp"
 
 namespace tagspin::runtime {
@@ -245,6 +247,112 @@ TEST(Supervisor, DecimationBoundsPerTagMemory) {
   EXPECT_GE(sup.stats().decimationsApplied, 1u);
   // Earliest and latest samples both survive thinning (arc coverage).
   EXPECT_GT(sup.tagSnapshotCount(kTag0), 10u);
+}
+
+/// Reports whose phases follow the paper's signal model for a rig at
+/// `rig.center` watching `reader` -- what a real spin streams over LLRP.
+rfid::ReportStream spinReports(const rfid::Epc& epc, const core::RigSpec& rig,
+                               const geom::Vec3& reader, uint64_t seed) {
+  core::testing::SyntheticConfig sc;
+  sc.distanceM = (reader.xy() - rig.center.xy()).norm();
+  sc.readerAzimuth = geom::azimuthOf(rig.center, reader);
+  sc.noiseStd = 0.05;
+  sc.count = 400;
+  sc.seed = seed;
+  sc.thetaDiv = 0.4 + 0.9 * static_cast<double>(seed);
+  rfid::ReportStream out;
+  for (const core::Snapshot& s :
+       core::testing::makeSnapshots(sc, rig.kinematics)) {
+    // Frequency chosen so the ingest-side wavelength matches the model's.
+    out.push_back(
+        report(epc, s.timeS, s.phaseRad, -60.0));
+    out.back().frequencyHz = rf::kSpeedOfLight / sc.lambdaM;
+  }
+  return out;
+}
+
+TEST(Supervisor, QuarantineTriggersRespinAndCachesLastFix) {
+  // Three rigs; tag 2's stream is a 50/50 interleave of the true reader
+  // and a ghost -- two near-equal spectrum lobes the self-diagnosis must
+  // quarantine.  locateAndRecover2D should still fix from the healthy
+  // pair, discard the haunted tag's snapshots for a fresh spin, and cache
+  // the fix for the next checkpoint.
+  const rfid::Epc kTag2 = rfid::Epc::forSimulatedTag(2);
+  core::DeploymentFile deployment = twoRigDeployment();
+  deployment.rigs[kTag0].center = {-0.4, 0.0, 0.0};
+  deployment.rigs[kTag1].center = {0.0, 0.0, 0.0};
+  core::RigSpec rig2;
+  rig2.center = {0.4, 0.0, 0.0};
+  rig2.kinematics = {0.10, 0.5, 0.0, geom::kPi / 2.0};
+  deployment.rigs[kTag2] = rig2;
+
+  const geom::Vec3 reader{0.8, 2.0, 0.0};
+  const geom::Vec3 ghost{-1.4, 1.0, 0.0};
+
+  rfid::ReportStream batch = spinReports(kTag0, deployment.rigs[kTag0],
+                                         reader, 1);
+  {
+    const rfid::ReportStream clean =
+        spinReports(kTag1, deployment.rigs[kTag1], reader, 2);
+    batch.insert(batch.end(), clean.begin(), clean.end());
+    const rfid::ReportStream truth = spinReports(kTag2, rig2, reader, 3);
+    const rfid::ReportStream haunted = spinReports(kTag2, rig2, ghost, 4);
+    for (size_t i = 0; i < truth.size(); ++i) {
+      batch.push_back((i % 2 == 0) ? truth[i] : haunted[i]);
+    }
+  }
+
+  Supervisor sup(testConfig(), deployment);
+  auto transport = std::make_unique<ScriptedTransport>();
+  ScriptedTransport* tp = transport.get();
+  std::unique_ptr<ScriptedTransport> owned = std::move(transport);
+  sup.addSession("r0", [&owned] { return std::move(owned); });
+  tp->chunks.push_back(rfid::llrp::encodeStream(batch));
+  sup.tick(0.0);
+  sup.tick(0.1);
+  ASSERT_EQ(sup.tagSnapshotCount(kTag2), 400u);
+  const size_t tag0Count = sup.tagSnapshotCount(kTag0);
+  ASSERT_GE(tag0Count, 16u);
+
+  const auto fix = sup.locateAndRecover2D(1.0);
+  ASSERT_TRUE(fix.hasValue()) << fix.error().message;
+  EXPECT_EQ(fix->report.grade, core::FixGrade::kDegraded);
+  EXPECT_LT(geom::distance(fix->fix.position, reader.xy()), 0.12);
+  EXPECT_EQ(sup.stats().quarantinedSpins, 1u);
+  EXPECT_EQ(sup.stats().respinsRequested, 1u);
+
+  // The haunted tag starts over; the healthy tags keep their spins.
+  EXPECT_EQ(sup.tagSnapshotCount(kTag2), 0u);
+  EXPECT_EQ(sup.tagSnapshotCount(kTag0), tag0Count);
+
+  // The fix is cached for the next checkpoint's [last_fix] section.
+  const core::CalibrationCheckpoint ckpt = sup.makeCheckpoint(2.0);
+  ASSERT_TRUE(ckpt.lastFix.valid);
+  EXPECT_NEAR(ckpt.lastFix.x, fix->fix.position.x, 1e-12);
+  EXPECT_NEAR(ckpt.lastFix.y, fix->fix.position.y, 1e-12);
+  EXPECT_EQ(ckpt.lastFix.quarantinedSpins, 1u);
+  EXPECT_DOUBLE_EQ(ckpt.lastFix.confidence, fix->report.confidence);
+
+  // The re-spin arrives clean: the next recovery pass upgrades to a full-
+  // grade three-rig fix and requests nothing further.
+  auto transport2 = std::make_unique<ScriptedTransport>();
+  ScriptedTransport* tp2 = transport2.get();
+  std::unique_ptr<ScriptedTransport> owned2 = std::move(transport2);
+  sup.addSession("r1", [&owned2] { return std::move(owned2); });
+  // The fresh spin reuses the reader's clock grid; requestRespin cleared
+  // the dedup keys, so the re-acquisition ingests cleanly.
+  const rfid::ReportStream respun = spinReports(kTag2, rig2, reader, 5);
+  tp2->chunks.push_back(rfid::llrp::encodeStream(respun));
+  sup.tick(3.0);
+  sup.tick(3.1);
+  ASSERT_EQ(sup.tagSnapshotCount(kTag2), 400u);
+
+  const auto healed = sup.locateAndRecover2D(4.0);
+  ASSERT_TRUE(healed.hasValue()) << healed.error().message;
+  EXPECT_EQ(healed->report.grade, core::FixGrade::kFull);
+  EXPECT_LT(geom::distance(healed->fix.position, reader.xy()), 0.12);
+  EXPECT_EQ(sup.stats().respinsRequested, 1u);
+  EXPECT_GT(healed->report.confidence, fix->report.confidence);
 }
 
 TEST(Supervisor, CheckpointFailureDoesNotStopIngestion) {

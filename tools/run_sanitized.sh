@@ -2,7 +2,10 @@
 # Build and run the full test suite under ASan+UBSan, then re-run the
 # end-to-end soak smoke (label `soak_smoke`) on its own: the supervised
 # runtime's kill/restore path is the likeliest place for lifetime bugs, so
-# it gets a dedicated, serial sanitizer pass with visible output.
+# it gets a dedicated, serial sanitizer pass with visible output.  The
+# adversarial estimation smoke (label `adversarial`) gets the same
+# treatment: consensus/bootstrap exercise the widest span of estimation
+# code under corrupted inputs.
 #
 # A third pass builds with ThreadSanitizer (its own build dir -- TSan
 # cannot share objects with ASan) and runs the `tsan`-labeled tests: the
@@ -35,6 +38,10 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" "$@"
 echo
 echo "== soak smoke under sanitizers (ctest -L soak_smoke) =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L soak_smoke
+
+echo
+echo "== adversarial estimation smoke under sanitizers (ctest -L adversarial) =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L adversarial
 
 if [[ "${TAGSPIN_SKIP_TSAN:-0}" != "1" ]]; then
   TSAN_BUILD_DIR="${BUILD_DIR}-tsan"

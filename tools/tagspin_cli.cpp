@@ -287,6 +287,11 @@ int cmdServe(const Args& args) {
   supCfg.session.queueCapacity = 2048;
   supCfg.metrics = &metrics;
   supCfg.journal = &journal;
+  // The serve runtime runs the full robust stack: spin self-diagnosis and
+  // consensus are on by default; the bootstrap ellipse is opt-in because of
+  // its extra profile builds, and a long-running session is exactly where
+  // the confidence region pays for itself.
+  supCfg.locator.robust.bootstrap = true;
   auto sup = std::make_unique<runtime::Supervisor>(supCfg, deployment, &store);
   sup->addSession("reader0", factory);
   const auto restored = sup->restore();  // fresh start: kCheckpointMissing
@@ -333,16 +338,36 @@ int cmdServe(const Args& args) {
       nextStatusS += durationS / 10.0;
     }
   }
+  // Locate with recovery BEFORE shutdown so the final checkpoint carries
+  // the [last_fix] section (and any quarantined tag is cleared for re-spin
+  // were the session to keep running).
+  const auto fix = sup->locateAndRecover2D(durationS + 2.0);
   sup->shutdown(durationS + 2.0);
 
-  const auto fix = sup->tryLocate2D();
   if (fix.hasValue()) {
     const double dx = fix->fix.position.x - reader.x;
     const double dy = fix->fix.position.y - reader.y;
-    std::printf("final fix: (%.3f, %.3f) m, grade %s, error %.1f cm\n",
+    std::printf("final fix: (%.3f, %.3f) m, grade %s, confidence %.2f, "
+                "error %.1f cm\n",
                 fix->fix.position.x, fix->fix.position.y,
                 core::fixGradeName(fix->report.grade),
+                fix->report.confidence,
                 std::sqrt(dx * dx + dy * dy) * 100.0);
+    const core::EstimationDiagnostics& est = fix->fix.estimation;
+    std::printf("robust: %s, inlier fraction %.2f, %zu behind-origin "
+                "ray(s), %llu quarantined / %llu re-spin(s)\n",
+                est.consensusUsed ? "consensus" : "least squares",
+                est.inlierFraction, est.behindOriginRays,
+                static_cast<unsigned long long>(sup->stats().quarantinedSpins),
+                static_cast<unsigned long long>(sup->stats().respinsRequested));
+    if (est.ellipse) {
+      std::printf("%.0f%% confidence ellipse: %.1f x %.1f cm, "
+                  "orientation %.0f deg\n",
+                  est.ellipse->confidenceLevel * 100.0,
+                  est.ellipse->semiMajorM * 100.0,
+                  est.ellipse->semiMinorM * 100.0,
+                  geom::radToDeg(est.ellipse->orientationRad));
+    }
   } else {
     std::printf("no fix: %s\n", fix.error().message.c_str());
   }
