@@ -4,10 +4,11 @@
 // flips + 2% truncation, 10% duplicates, 5% reorders, clock drift/glitches,
 // EPC bit errors, and one rig silent for 30% of the spin.
 //
-// Usage: fig_chaos [--seed=N] [--out=DIR] [trialsPerPoint] [durationS]
-//                  [outPrefix]
+// Usage: fig_chaos [--seed=N] [--out=DIR] [--json[=PATH]] [trialsPerPoint]
+//                  [durationS] [outPrefix]
 // Writes DIR/<outPrefix>.csv and DIR/<outPrefix>.json (default prefix
-// "fig_chaos", default DIR "bench/out").
+// "fig_chaos", default DIR "bench/out").  --json additionally writes the
+// machine-readable trajectory sidecar (default PATH "BENCH_chaos.json").
 // The fault RNG seed defaults to a fixed value so runs are reproducible;
 // pass --seed=N to sweep independent fault realizations.
 #include <cstdio>
@@ -25,11 +26,16 @@ int main(int argc, char** argv) {
   eval::ChaosConfig cc;
   cc.scenario.seed = 21;
   cc.scenario.fixedChannel = true;
+  std::string sidecarPath;
   std::vector<std::string> pos;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--seed=", 0) == 0) {
       cc.seed = std::stoull(arg.substr(7));
+    } else if (arg == "--json") {
+      sidecarPath = "BENCH_chaos.json";
+    } else if (arg.rfind("--json=", 0) == 0) {
+      sidecarPath = arg.substr(7);
     } else {
       pos.push_back(arg);
     }
@@ -76,6 +82,11 @@ int main(int argc, char** argv) {
   std::ofstream json(prefix + ".json");
   json << eval::chaosJson(result);
   std::printf("\nwrote %s.csv and %s.json\n", prefix.c_str(), prefix.c_str());
+  if (!sidecarPath.empty()) {
+    std::ofstream sidecar(sidecarPath);
+    sidecar << eval::chaosJson(result);
+    std::printf("wrote %s\n", sidecarPath.c_str());
+  }
 
   const eval::ChaosPoint& full = result.points.back();
   std::printf("[acceptance: full intensity fix rate %.0f%% (want >= 90%%), "

@@ -6,10 +6,12 @@
 // the final fix is compared against an uninterrupted run of the very same
 // stream.
 //
-// Usage: fig_soak [--seed=N] [--out=DIR] [revolutions] [rigs] [outPrefix]
+// Usage: fig_soak [--seed=N] [--out=DIR] [--json[=PATH]] [revolutions]
+//                 [rigs] [outPrefix]
 // Writes DIR/<outPrefix>.csv (per-outage recovery), DIR/<outPrefix>.json,
 // and the run's exported telemetry DIR/<outPrefix>.metrics.{json,prom}
-// (default DIR "bench/out").
+// (default DIR "bench/out").  --json additionally writes the
+// machine-readable trajectory sidecar (default PATH "BENCH_soak.json").
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -25,11 +27,16 @@ int main(int argc, char** argv) {
   eval::SoakConfig sc;
   sc.scenario.seed = 33;
   sc.scenario.fixedChannel = true;
+  std::string sidecarPath;
   std::vector<std::string> pos;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--seed=", 0) == 0) {
       sc.seed = std::stoull(arg.substr(7));
+    } else if (arg == "--json") {
+      sidecarPath = "BENCH_soak.json";
+    } else if (arg.rfind("--json=", 0) == 0) {
+      sidecarPath = arg.substr(7);
     } else {
       pos.push_back(arg);
     }
@@ -98,6 +105,11 @@ int main(int argc, char** argv) {
   tagspin::obs::writeTextFile(prefix + ".metrics.prom", r.telemetryPrometheus);
   std::printf("\nwrote %s.{csv,json} and %s.metrics.{json,prom}\n",
               prefix.c_str(), prefix.c_str());
+  if (!sidecarPath.empty()) {
+    std::ofstream sidecar(sidecarPath);
+    sidecar << eval::soakJson(r);
+    std::printf("wrote %s\n", sidecarPath.c_str());
+  }
 
   std::printf("[acceptance: every outage recovered (%s), soak error within "
               "1.25x baseline (%.2fx), kill -9 resumed from checkpoint "

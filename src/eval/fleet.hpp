@@ -1,0 +1,104 @@
+// Fleet harness: drives FleetManager with hundreds of flaky sessions and
+// measures the fault-isolation claim end to end.
+//
+// Two paired arms on the exact same pre-encoded stream and seeds:
+//  * the ISOLATED BASELINE -- every session healthy, no scripted faults;
+//  * the CHAOS arm -- a correlated outage drops outageFraction of the
+//    fleet simultaneously mid-run, plus a tail of persistent flappers for
+//    the quarantine ring to eat.
+//
+// The claim under test: while the outage cohort is down and recovering,
+// the *healthy* sessions' fix latency (serviced-at minus due-at, in
+// simulated seconds -- deterministic, CPU-independent) stays within a small
+// factor of the baseline arm's latency over the same window.  The harness
+// also tracks the recovery storm's pacing (how the cohort's return is
+// spread by the shard retry budgets instead of thundering back at once)
+// and the fleet's eventual fix rate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/fleet.hpp"
+#include "sim/fleet_scenario.hpp"
+#include "sim/scenario.hpp"
+
+namespace tagspin::eval {
+
+struct FleetEvalConfig {
+  sim::ScenarioConfig scenario;
+  int rigCount = 2;
+  /// Capture length in rig revolutions.
+  double revolutions = 3.0;
+  double tickS = 0.1;
+  /// Run-out after the stream ends (lets quarantine probes and late fixes
+  /// land).
+  double settleS = 8.0;
+
+  size_t sessions = 512;
+  size_t shards = 8;
+  size_t workerThreads = 0;
+  double connectDelayS = 0.05;
+
+  /// Cohort fractions and cadences; spanS / revolutionPeriodS / outage
+  /// timing are filled in by the harness from the capture geometry.
+  sim::FleetScenarioConfig chaos;
+
+  /// Checkpoint directory for the chaos arm ("" disables persistence).
+  std::string checkpointDir;
+
+  uint64_t seed = 0xF1EE7ULL;
+
+  runtime::FleetConfig fleet = defaultFleetConfig();
+
+  static runtime::FleetConfig defaultFleetConfig();
+};
+
+/// One arm's measurements.
+struct FleetArmResult {
+  /// Fix latencies (serviced - due, seconds) of HEALTHY-role sessions whose
+  /// service time fell inside the outage window.
+  std::vector<double> healthyWindowLatenciesS;
+  double fixRate = 0.0;       // sessions with >= 1 successful fix at the end
+  size_t sessionsWithFix = 0;
+  double wallSeconds = 0.0;   // host time for the arm's tick loop
+  uint64_t supervisorTicks = 0;
+
+  // Recovery-storm pacing (chaos arm only): outage-cohort sessions back in
+  // STREAMING after the outage window closed.
+  size_t outageCohort = 0;
+  size_t recovered = 0;
+  double firstRecoveryS = -1.0;  // after outage end
+  double lastRecoveryS = -1.0;
+  double recoverySpreadS = 0.0;
+
+  runtime::FleetStats stats;
+};
+
+struct FleetEvalResult {
+  size_t sessions = 0;
+  size_t shards = 0;
+  double spanS = 0.0;
+  double outageStartS = 0.0;
+  double outageEndS = 0.0;
+
+  FleetArmResult baseline;
+  FleetArmResult chaos;
+
+  double baselineP50S = 0.0;
+  double baselineP99S = 0.0;
+  double chaosP50S = 0.0;
+  double chaosP99S = 0.0;
+  /// chaosP99 / baselineP99 -- the isolation claim wants this <= 2.
+  double isolationRatio = 0.0;
+  /// Supervisor ticks serviced per host second in the chaos arm.
+  double sessionTicksPerSec = 0.0;
+};
+
+FleetEvalResult runFleetEval(const FleetEvalConfig& config);
+
+/// Machine-readable trajectory record (the BENCH_fleet.json payload).
+std::string fleetJson(const FleetEvalResult& result);
+
+}  // namespace tagspin::eval

@@ -2,7 +2,9 @@
 //
 // The text payload (core::checkpointToString) is framed with a one-line
 // header carrying its byte length and CRC-32, written to a sibling .tmp
-// file and atomically renamed over the target.  A kill -9 at any point
+// file (fsynced), atomically renamed over the target, and sealed with a
+// parent-directory fsync (see writeFileDurable for the ordering contract).
+// A kill -9 -- or a power cut -- at any point
 // therefore leaves either the previous intact checkpoint or the new one --
 // never a torn file that silently resumes from garbage: truncation fails
 // the length check, partial writes and bit rot fail the CRC, and a
@@ -44,6 +46,14 @@ class CheckpointStore {
   /// Frame / unframe without touching the filesystem (exposed for tests).
   static std::string frame(const std::string& payload);
   static core::Result<std::string> unframe(const std::string& fileContents);
+
+  /// Durably replace `path` with `contents`: write a sibling .tmp, fsync
+  /// it, rename over the target, then fsync the parent directory.  Survives
+  /// power loss, not just process kill.  Throws std::runtime_error on I/O
+  /// failure, leaving any previous file at `path` untouched.  Exposed so
+  /// other writers (fleet shard checkpoints) get the same guarantee.
+  static void writeFileDurable(const std::string& path,
+                               const std::string& contents);
 
  private:
   std::string path_;

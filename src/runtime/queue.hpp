@@ -1,5 +1,4 @@
-// Bounded single-producer/single-consumer ingest queues with an explicit
-// backpressure policy.
+// Bounded ingest queues with an explicit backpressure policy.
 //
 // A flooding reader (or a stalled localization consumer) must not grow the
 // host's memory without bound, and *how* the excess is shed is a policy
@@ -9,11 +8,20 @@
 // tolerates thinning far better than a contiguous gap, exactly the
 // variable-density observation of paper Fig. 4(b)).
 //
-// The ring is written SPSC-lock-free (release/acquire on head/tail) so the
-// same structure can back a threaded deployment; the deterministic runtime
-// drives it from one thread.  kDropOldest performs a consumer-side pop from
-// the producer, so that policy is only safe when producer and consumer are
-// the same thread (as in the supervised runtime) -- documented trade-off.
+// The ring is a Vyukov-style bounded MPMC queue: every slot carries a
+// sequence number, so push and pop are lock-free and safe from any mix of
+// threads.  That matters for kDropOldest specifically -- eviction is a
+// *producer-side pop*, and with per-slot sequencing it composes correctly
+// with a concurrent consumer: when both race for the same oldest element,
+// exactly one of them wins it (the loser retries), never a double-move or
+// a lost slot.  The earlier SPSC ring restricted that policy to
+// single-threaded use; the fleet runtime's threaded shards removed that
+// luxury.
+//
+// IngestQueue's *policy accounting* (QueueStats, the degrade counter)
+// remains single-producer: offer() must be called from one thread at a
+// time, poll() from any other.  That is the reader-session -> supervisor
+// topology everywhere in this codebase.
 #pragma once
 
 #include <algorithm>
@@ -79,51 +87,97 @@ struct QueueInstruments {
   }
 };
 
-/// Fixed-capacity SPSC ring buffer.  One slot is sacrificed to distinguish
-/// full from empty, so the ring allocates capacity+1 slots.
+/// Fixed-capacity bounded MPMC ring (Vyukov).  Each cell's sequence number
+/// encodes whose turn the cell is: producers claim a cell by CAS on the
+/// tail ticket, write the value, then publish by bumping the sequence;
+/// consumers mirror the dance on the head ticket.  tryPush/tryPop are safe
+/// from any number of threads and never block; a push that loses its cell
+/// to a full ring (or a pop to an empty one) fails without side effects.
 template <typename T>
-class SpscQueue {
+class BoundedRing {
  public:
-  explicit SpscQueue(size_t capacity)
-      : slots_(capacity + 1), buffer_(capacity + 1) {}
+  explicit BoundedRing(size_t capacity)
+      : slots_(capacity < 1 ? 1 : capacity), cells_(slots_) {
+    for (size_t i = 0; i < slots_; ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
 
-  size_t capacity() const { return slots_ - 1; }
+  size_t capacity() const { return slots_; }
 
+  /// Instantaneous depth; approximate under concurrent mutation (exact when
+  /// quiescent), which is all the watermark heuristics need.
   size_t size() const {
-    const size_t head = head_.load(std::memory_order_acquire);
-    const size_t tail = tail_.load(std::memory_order_acquire);
-    return tail >= head ? tail - head : tail + slots_ - head;
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    return tail > head ? static_cast<size_t>(tail - head) : 0;
   }
   bool empty() const { return size() == 0; }
-  bool full() const { return size() == capacity(); }
+  bool full() const { return size() >= slots_; }
 
-  /// Producer side.  False when full.
-  bool tryPush(T value) {
-    const size_t tail = tail_.load(std::memory_order_relaxed);
-    const size_t next = (tail + 1) % slots_;
-    if (next == head_.load(std::memory_order_acquire)) return false;
-    buffer_[tail] = std::move(value);
-    tail_.store(next, std::memory_order_release);
-    return true;
+  /// False when full.  The value is moved from only on success.
+  bool tryPush(T&& value) {
+    uint64_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos % slots_];
+      const uint64_t seq = cell.sequence.load(std::memory_order_acquire);
+      const int64_t dif =
+          static_cast<int64_t>(seq) - static_cast<int64_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          cell.value = std::move(value);
+          cell.sequence.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;  // the cell is a full lap behind: ring is full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+  bool tryPush(const T& value) {
+    T copy = value;
+    return tryPush(std::move(copy));
   }
 
-  /// Consumer side.  False when empty.
+  /// False when empty.
   bool tryPop(T& out) {
-    const size_t head = head_.load(std::memory_order_relaxed);
-    if (head == tail_.load(std::memory_order_acquire)) return false;
-    out = std::move(buffer_[head]);
-    head_.store((head + 1) % slots_, std::memory_order_release);
-    return true;
+    uint64_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos % slots_];
+      const uint64_t seq = cell.sequence.load(std::memory_order_acquire);
+      const int64_t dif =
+          static_cast<int64_t>(seq) - static_cast<int64_t>(pos + 1);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          out = std::move(cell.value);
+          cell.sequence.store(pos + slots_, std::memory_order_release);
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;  // nothing published at this ticket yet: empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
   }
 
  private:
+  struct Cell {
+    std::atomic<uint64_t> sequence{0};
+    T value{};
+  };
+
   size_t slots_;
-  std::vector<T> buffer_;
-  std::atomic<size_t> head_{0};
-  std::atomic<size_t> tail_{0};
+  std::vector<Cell> cells_;
+  std::atomic<uint64_t> head_{0};
+  std::atomic<uint64_t> tail_{0};
 };
 
-/// Policy wrapper around SpscQueue: every producer-side admission decision
+/// Policy wrapper around BoundedRing: every producer-side admission decision
 /// goes through offer(), which applies the configured backpressure policy
 /// and keeps the accounting a soak report needs.
 template <typename T>
@@ -144,6 +198,7 @@ class IngestQueue {
 
   /// Admit one element under the policy.  Returns false only when the
   /// element was NOT enqueued (kBlock when full, or sampled away).
+  /// Single producer; a consumer may poll() concurrently.
   bool offer(T value) {
     ++stats_.offered;
     obs::add(obs_.offered);
@@ -156,17 +211,17 @@ class IngestQueue {
         }
         break;
       case BackpressurePolicy::kDropOldest:
-        if (ring_.full()) {
+        // Try first, evict only on a genuinely full ring: a concurrent
+        // consumer may have made room between any two steps, and tryPush
+        // leaves `value` intact on failure.  The eviction pop races the
+        // consumer's pop safely (per-cell sequencing); if the consumer wins
+        // the oldest element we simply retry the push into the freed slot.
+        while (!ring_.tryPush(std::move(value))) {
           T discarded;
           if (ring_.tryPop(discarded)) {
             ++stats_.droppedOldest;
             obs::add(obs_.droppedOldest);
           }
-        }
-        if (!ring_.tryPush(std::move(value))) {
-          ++stats_.refusedFull;  // unreachable in single-threaded use
-          obs::add(obs_.refusedFull);
-          return false;
         }
         break;
       case BackpressurePolicy::kDegradeSampling:
@@ -203,7 +258,7 @@ class IngestQueue {
   const QueueStats& stats() const { return stats_; }
 
  private:
-  SpscQueue<T> ring_;
+  BoundedRing<T> ring_;
   BackpressurePolicy policy_;
   size_t degradeKeepEvery_;
   size_t watermarkDepth_;

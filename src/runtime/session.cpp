@@ -92,7 +92,14 @@ void ReaderSession::noteFailureOutcome(double nowS) {
 void ReaderSession::tick(double nowS) {
   switch (state_) {
     case SessionState::kDisconnected:
-      if (!stopRequested_ && breaker_.allowAttempt(nowS)) startAttempt(nowS);
+      if (stopRequested_) break;
+      // Gate before the breaker: allowAttempt() consumes the one half-open
+      // probe per cooldown, so a budget-denied attempt must not reach it.
+      if (config_.connectGate && !config_.connectGate(nowS)) {
+        ++stats_.gateDeferred;
+        break;
+      }
+      if (breaker_.allowAttempt(nowS)) startAttempt(nowS);
       break;
 
     case SessionState::kConnecting:
@@ -128,9 +135,17 @@ void ReaderSession::tick(double nowS) {
         enter(SessionState::kDisconnected, nowS);
         break;
       }
-      if (nowS >= backoffUntilS_ && breaker_.allowAttempt(nowS)) {
-        startAttempt(nowS);
-      } else if (breaker_.state() == BreakerState::kTripped) {
+      if (nowS >= backoffUntilS_) {
+        if (config_.connectGate && !config_.connectGate(nowS)) {
+          ++stats_.gateDeferred;  // budget denied: stay parked in backoff
+          break;
+        }
+        if (breaker_.allowAttempt(nowS)) {
+          startAttempt(nowS);
+          break;
+        }
+      }
+      if (breaker_.state() == BreakerState::kTripped) {
         enter(SessionState::kFailed, nowS);
       }
       break;

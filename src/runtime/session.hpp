@@ -25,6 +25,7 @@
 // clock, so the whole lifecycle is deterministic under test.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -71,6 +72,14 @@ struct SessionConfig {
   size_t degradeKeepEvery = 2;
   double queueHighWatermark = 0.75;
 
+  /// External admission gate on connect attempts, consulted *before* the
+  /// circuit breaker so a denied gate does not burn the breaker's one
+  /// half-open probe per cooldown.  The fleet layer installs a shard-local
+  /// retry-budget token bucket here to pace reconnect storms; null means
+  /// unrestricted.  Called with nowS; returning false defers the attempt
+  /// to a later tick (counted in SessionStats::gateDeferred).
+  std::function<bool(double)> connectGate;
+
   /// Telemetry sinks (both optional; null = uninstrumented).  Handles are
   /// resolved once in the constructor, so the streaming fast path never
   /// touches the registry's lock.  Metrics outlive the session: a replaced
@@ -82,6 +91,7 @@ struct SessionConfig {
 struct SessionStats {
   uint64_t connectAttempts = 0;
   uint64_t connectFailures = 0;    // connect or sync deadline expired
+  uint64_t gateDeferred = 0;       // connect attempts deferred by connectGate
   uint64_t disconnects = 0;        // transport losses while syncing/streaming
   uint64_t watchdogNoReport = 0;
   uint64_t watchdogStuckClock = 0;

@@ -97,8 +97,11 @@ core::Result<core::CalibrationCheckpoint> Supervisor::restore() {
   }
   core::Result<core::CalibrationCheckpoint> loaded = store_->load();
   if (!loaded) return loaded;
+  restoreFrom(*loaded);
+  return loaded;
+}
 
-  const core::CalibrationCheckpoint& ckpt = *loaded;
+void Supervisor::restoreFrom(const core::CalibrationCheckpoint& ckpt) {
   for (const auto& [epc, progress] : ckpt.tags) {
     TagState& tag = tags_[epc];
     tag.snapshots = progress.snapshots;
@@ -118,7 +121,6 @@ core::Result<core::CalibrationCheckpoint> Supervisor::restore() {
   lastFix_ = ckpt.lastFix;
   lastReaderTimestampS_ =
       std::max(lastReaderTimestampS_, ckpt.lastReportTimestampS);
-  return loaded;
 }
 
 void Supervisor::tick(double nowS) {

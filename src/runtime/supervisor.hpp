@@ -97,6 +97,12 @@ class Supervisor {
   /// rejected and the runtime starts empty rather than resuming garbage.
   core::Result<core::CalibrationCheckpoint> restore();
 
+  /// Merge an already-loaded checkpoint into the per-tag state (the body of
+  /// restore() minus the store read).  The fleet layer batches many
+  /// supervisors' checkpoints into one shard file and feeds each supervisor
+  /// its slice through this hook.
+  void restoreFrom(const core::CalibrationCheckpoint& ckpt);
+
   /// Advance every session, ingest their output, restart the failed,
   /// checkpoint when due.
   void tick(double nowS);

@@ -62,10 +62,22 @@ std::vector<OutageEvent> standardOutageScript(double spanS,
   return events;
 }
 
+std::shared_ptr<const SharedStream> makeSharedStream(
+    const World& world, const InterrogateConfig& config) {
+  auto stream = std::make_shared<SharedStream>();
+  stream->reports = interrogate(world, config);
+  stream->wire = rfid::llrp::encodeStream(stream->reports);
+  return stream;
+}
+
 FlakyTransport::FlakyTransport(const World& world, FlakyTransportConfig config)
+    : FlakyTransport(makeSharedStream(world, config.interrogate),
+                     std::move(config)) {}
+
+FlakyTransport::FlakyTransport(std::shared_ptr<const SharedStream> stream,
+                               FlakyTransportConfig config)
     : config_(std::move(config)),
-      reports_(interrogate(world, config_.interrogate)),
-      wire_(rfid::llrp::encodeStream(reports_)),
+      stream_(std::move(stream)),
       rngState_(splitmix64(config_.seed)) {}
 
 const OutageEvent* FlakyTransport::activeEvent(double nowS,
@@ -94,8 +106,8 @@ bool FlakyTransport::connect(double nowS) {
   ++stats_.connectsEstablished;
   // Reports emitted while no client was attached are gone -- a reader
   // streams live.  Jump the cursor to the first frame of the present.
-  while (nextFrame_ < reports_.size() &&
-         reports_[nextFrame_].timestampS < nowS) {
+  while (nextFrame_ < stream_->reports.size() &&
+         stream_->reports[nextFrame_].timestampS < nowS) {
     ++nextFrame_;
     ++stats_.framesLostWhileDown;
   }
@@ -106,7 +118,7 @@ void FlakyTransport::dropConnection(double nowS) {
   if (!connected_) return;
   connected_ = false;
   ++stats_.eventDisconnects;
-  if (config_.tearFrames && nextFrame_ < reports_.size()) {
+  if (config_.tearFrames && nextFrame_ < stream_->reports.size()) {
     // The frame in flight is torn: its first bytes were sent, the rest is
     // lost with the connection.  Queue the *tail* for replay right after
     // reconnect -- from the client's view the new byte stream starts
@@ -115,8 +127,8 @@ void FlakyTransport::dropConnection(double nowS) {
     const size_t cut =
         1 + static_cast<size_t>(rngState_ % (rfid::llrp::kMessageSize - 1));
     const size_t base = nextFrame_ * rfid::llrp::kMessageSize;
-    pendingJunk_.assign(wire_.begin() + static_cast<std::ptrdiff_t>(base + cut),
-                        wire_.begin() +
+    pendingJunk_.assign(stream_->wire.begin() + static_cast<std::ptrdiff_t>(base + cut),
+                        stream_->wire.begin() +
                             static_cast<std::ptrdiff_t>(
                                 base + rfid::llrp::kMessageSize));
     ++nextFrame_;  // the torn frame is consumed (and unrecoverable)
@@ -157,16 +169,16 @@ runtime::TransportRead FlakyTransport::poll(double nowS) {
     pendingJunk_.clear();
   }
   const size_t firstFrame = nextFrame_;
-  while (nextFrame_ < reports_.size() &&
-         reports_[nextFrame_].timestampS <= horizonS) {
+  while (nextFrame_ < stream_->reports.size() &&
+         stream_->reports[nextFrame_].timestampS <= horizonS) {
     ++nextFrame_;
   }
   if (nextFrame_ > firstFrame) {
     const size_t from = firstFrame * rfid::llrp::kMessageSize;
     const size_t to = nextFrame_ * rfid::llrp::kMessageSize;
     read.bytes.insert(read.bytes.end(),
-                      wire_.begin() + static_cast<std::ptrdiff_t>(from),
-                      wire_.begin() + static_cast<std::ptrdiff_t>(to));
+                      stream_->wire.begin() + static_cast<std::ptrdiff_t>(from),
+                      stream_->wire.begin() + static_cast<std::ptrdiff_t>(to));
   }
   stats_.bytesDelivered += read.bytes.size();
   read.status = read.bytes.empty() ? runtime::TransportStatus::kIdle

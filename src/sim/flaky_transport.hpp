@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "rfid/report.hpp"
@@ -68,9 +69,26 @@ std::vector<OutageEvent> standardOutageScript(double spanS,
                                               double revolutionPeriodS,
                                               uint64_t seed);
 
+/// One interrogation run, pre-encoded: the clean report stream plus its
+/// LLRP wire image.  A fleet of N transports watching the same rig shares
+/// one of these instead of paying N interrogate+encode passes (and N
+/// copies of the wire bytes) -- the flaky behavior (cursor, outage script,
+/// torn frames) stays per-transport.
+struct SharedStream {
+  rfid::ReportStream reports;
+  std::vector<uint8_t> wire;
+};
+
+/// Interrogate + encode once, for handing to many FlakyTransports.
+std::shared_ptr<const SharedStream> makeSharedStream(
+    const World& world, const InterrogateConfig& config);
+
 class FlakyTransport final : public runtime::Transport {
  public:
   FlakyTransport(const World& world, FlakyTransportConfig config);
+  /// Share a pre-built stream; `config.interrogate` is ignored.
+  FlakyTransport(std::shared_ptr<const SharedStream> stream,
+                 FlakyTransportConfig config);
 
   // runtime::Transport
   bool connect(double nowS) override;
@@ -78,7 +96,7 @@ class FlakyTransport final : public runtime::Transport {
   void close() override;
 
   /// The uncorrupted stream the reader produced (soak ground truth).
-  const rfid::ReportStream& cleanReports() const { return reports_; }
+  const rfid::ReportStream& cleanReports() const { return stream_->reports; }
   const FlakyTransportStats& stats() const { return stats_; }
   const FlakyTransportConfig& config() const { return config_; }
   bool connected() const { return connected_; }
@@ -89,8 +107,7 @@ class FlakyTransport final : public runtime::Transport {
   void dropConnection(double nowS);
 
   FlakyTransportConfig config_;
-  rfid::ReportStream reports_;
-  std::vector<uint8_t> wire_;
+  std::shared_ptr<const SharedStream> stream_;
   size_t nextFrame_ = 0;
   bool connected_ = false;
   double connectStartedS_ = -1.0;

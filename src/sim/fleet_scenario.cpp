@@ -1,0 +1,81 @@
+#include "sim/fleet_scenario.hpp"
+
+#include <cmath>
+
+#include "sim/rng.hpp"
+
+namespace tagspin::sim {
+
+const char* fleetRoleName(FleetRole role) {
+  switch (role) {
+    case FleetRole::kHealthy: return "healthy";
+    case FleetRole::kOutage: return "outage";
+    case FleetRole::kFlapper: return "flapper";
+  }
+  return "unknown";
+}
+
+namespace {
+
+size_t cohortSize(double fraction, size_t total) {
+  if (fraction <= 0.0) return 0;
+  const double exact = fraction * static_cast<double>(total);
+  return static_cast<size_t>(std::llround(exact));
+}
+
+/// Uniform in [1 - spread, 1 + spread], deterministic per (seed, index).
+double jitter(uint64_t seed, size_t index, double spread) {
+  const uint64_t h = splitmix64(seed ^ (0x9E3779B97F4A7C15ULL * (index + 1)));
+  const double u = static_cast<double>(h >> 11) / 9007199254740992.0;
+  return 1.0 - spread + 2.0 * spread * u;
+}
+
+}  // namespace
+
+FleetRole fleetRole(const FleetScenarioConfig& config, size_t index,
+                    size_t total) {
+  const size_t outage = cohortSize(config.outageFraction, total);
+  const size_t flappers = cohortSize(config.flapFraction, total);
+  if (index < outage) return FleetRole::kOutage;
+  if (total >= flappers && index >= total - flappers &&
+      index >= outage) {  // outage wins when the cohorts would overlap
+    return FleetRole::kFlapper;
+  }
+  return FleetRole::kHealthy;
+}
+
+std::vector<OutageEvent> fleetOutageScript(const FleetScenarioConfig& config,
+                                           size_t index, size_t total) {
+  std::vector<OutageEvent> events;
+  switch (fleetRole(config, index, total)) {
+    case FleetRole::kHealthy:
+      break;
+
+    case FleetRole::kOutage: {
+      OutageEvent ev;
+      ev.kind = OutageEvent::Kind::kDisconnect;
+      ev.atS = config.outageAtS;  // identical across the cohort: correlated
+      ev.durationS = config.outageDurationS * jitter(config.seed, index, 0.05);
+      events.push_back(ev);
+      break;
+    }
+
+    case FleetRole::kFlapper: {
+      // Disconnect train for the whole span; period jittered per session so
+      // flappers don't accidentally synchronize into their own mini-outage.
+      const double period =
+          config.flapPeriodS * jitter(config.seed, index, 0.15);
+      for (double atS = 0.5 * period; atS < config.spanS; atS += period) {
+        OutageEvent ev;
+        ev.kind = OutageEvent::Kind::kDisconnect;
+        ev.atS = atS;
+        ev.durationS = config.flapDurationS * jitter(config.seed, index, 0.10);
+        events.push_back(ev);
+      }
+      break;
+    }
+  }
+  return events;
+}
+
+}  // namespace tagspin::sim

@@ -1,0 +1,58 @@
+// Fleet-scale failure scenarios on top of FlakyTransport's outage scripts.
+//
+// A fleet bench wants three populations in one run:
+//  * healthy sessions -- no scripted faults; their fix latency is the
+//    baseline the isolation claim is measured against;
+//  * a correlated-outage cohort -- a configurable fraction of the fleet
+//    loses its transport at the *same instant* (a switch dies, a PoE budget
+//    trips), the worst case for thundering-herd reconnects because every
+//    breaker re-opens on the same schedule;
+//  * persistent flappers -- a small fraction that disconnects on a short
+//    period for the whole run, the sessions quarantine exists to contain.
+//
+// Role assignment is deterministic in (index, total): the outage cohort is
+// the first round(outageFraction * total) indices and the flappers the last
+// round(flapFraction * total), so a round-robin shard assignment spreads
+// both cohorts across every fault domain -- the isolation claim is then
+// about budgets and quarantine, not about lucky shard placement.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/flaky_transport.hpp"
+
+namespace tagspin::sim {
+
+struct FleetScenarioConfig {
+  /// Total capture span the scripts must fit inside.
+  double spanS = 60.0;
+  double revolutionPeriodS = 12.566370614359172;  // 2*pi / 0.5 rad/s default
+  /// Correlated outage: this fraction of sessions drop simultaneously.
+  double outageFraction = 0.20;
+  double outageAtS = 20.0;
+  double outageDurationS = 6.0;
+  /// Persistent flappers: disconnect every flapPeriodS for flapDurationS.
+  double flapFraction = 0.05;
+  double flapPeriodS = 2.5;
+  double flapDurationS = 0.6;
+  uint64_t seed = 0xF1EE7ULL;
+};
+
+enum class FleetRole { kHealthy, kOutage, kFlapper };
+const char* fleetRoleName(FleetRole role);
+
+/// Deterministic role of session `index` in a fleet of `total`.
+FleetRole fleetRole(const FleetScenarioConfig& config, size_t index,
+                    size_t total);
+
+/// The outage script for session `index`: empty for healthy sessions, one
+/// simultaneous disconnect for the outage cohort (identical atS across the
+/// cohort -- that simultaneity IS the scenario; only the duration carries a
+/// few percent of per-session jitter so recoveries don't all land on one
+/// tick), and a periodic disconnect train for flappers.
+std::vector<OutageEvent> fleetOutageScript(const FleetScenarioConfig& config,
+                                           size_t index, size_t total);
+
+}  // namespace tagspin::sim

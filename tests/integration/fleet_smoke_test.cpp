@@ -1,0 +1,65 @@
+// End-to-end smoke of the fleet runtime: 64 flaky sessions over 4 fault
+// domains, one correlated outage dropping 20% of them mid-spin, paired
+// against the all-healthy baseline arm on the same stream.  A miniature
+// fig_fleet, sized for ctest (well under 30s); carries the `fleet_smoke`
+// label so sanitizer/CI runs can select exactly this.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "eval/fleet.hpp"
+
+namespace tagspin::eval {
+namespace {
+
+TEST(FleetSmoke, CorrelatedOutageStaysContainedAndEveryoneFixes) {
+  FleetEvalConfig fc;
+  fc.scenario.seed = 41;
+  fc.scenario.fixedChannel = true;
+  fc.sessions = 64;
+  fc.shards = 4;
+  fc.revolutions = 2.5;  // keeps both arms inside the 30s smoke budget
+  const auto dir =
+      std::filesystem::temp_directory_path() / "tagspin_fleet_smoke";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  fc.checkpointDir = dir.string();
+
+  const FleetEvalResult r = runFleetEval(fc);
+
+  // Every session in both arms eventually holds a fix.
+  EXPECT_DOUBLE_EQ(r.baseline.fixRate, 1.0);
+  EXPECT_DOUBLE_EQ(r.chaos.fixRate, 1.0)
+      << r.chaos.sessionsWithFix << " of " << r.sessions;
+
+  // The isolation claim, small-scale: healthy sessions' p99 fix latency
+  // during the outage stays within 2x the baseline arm's.
+  ASSERT_FALSE(r.baseline.healthyWindowLatenciesS.empty());
+  ASSERT_FALSE(r.chaos.healthyWindowLatenciesS.empty());
+  ASSERT_GT(r.baselineP99S, 0.0);
+  EXPECT_LE(r.isolationRatio, 2.0);
+
+  // The outage really happened and the whole cohort came back, paced by
+  // the shard retry budgets rather than all on one tick.
+  EXPECT_GT(r.chaos.outageCohort, 0u);
+  EXPECT_EQ(r.chaos.recovered, r.chaos.outageCohort);
+  EXPECT_GE(r.chaos.firstRecoveryS, 0.0);
+  EXPECT_GE(r.chaos.recoverySpreadS, 0.0);
+
+  // Containment machinery engaged: the storm was budget-paced, and the
+  // batched per-shard checkpoints were written.
+  EXPECT_GT(r.chaos.stats.budgetDenied, 0u);
+  EXPECT_GT(r.chaos.stats.checkpointWrites, 0u);
+  EXPECT_EQ(r.chaos.stats.checkpointFailures, 0u);
+
+  // The machine-readable record stays well-formed (CI trends parse it).
+  const std::string json = fleetJson(r);
+  EXPECT_NE(json.find("\"isolation_ratio\""), std::string::npos);
+  EXPECT_NE(json.find("\"chaos_fix_rate\""), std::string::npos);
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace tagspin::eval

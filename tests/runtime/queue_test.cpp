@@ -8,8 +8,8 @@
 namespace tagspin::runtime {
 namespace {
 
-TEST(SpscQueue, FifoOrderAndCapacity) {
-  SpscQueue<int> q(4);
+TEST(BoundedRing, FifoOrderAndCapacity) {
+  BoundedRing<int> q(4);
   EXPECT_EQ(q.capacity(), 4u);
   EXPECT_TRUE(q.empty());
   for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.tryPush(i));
@@ -23,8 +23,8 @@ TEST(SpscQueue, FifoOrderAndCapacity) {
   EXPECT_FALSE(q.tryPop(out));
 }
 
-TEST(SpscQueue, WrapsAroundManyTimes) {
-  SpscQueue<int> q(3);
+TEST(BoundedRing, WrapsAroundManyTimes) {
+  BoundedRing<int> q(3);
   int expected = 0;
   for (int i = 0; i < 100; ++i) {
     EXPECT_TRUE(q.tryPush(i));
@@ -38,10 +38,10 @@ TEST(SpscQueue, WrapsAroundManyTimes) {
   }
 }
 
-TEST(SpscQueue, ConcurrentProducerConsumerLosesNothing) {
-  // The ring claims SPSC safety; exercise it with a real producer thread
-  // (kBlock semantics: retry until accepted, so nothing is shed).
-  SpscQueue<int> q(64);
+TEST(BoundedRing, ConcurrentProducerConsumerLosesNothing) {
+  // Exercise the ring with a real producer thread (kBlock semantics: retry
+  // until accepted, so nothing is shed).
+  BoundedRing<int> q(64);
   constexpr int kCount = 20000;
   std::thread producer([&q] {
     for (int i = 0; i < kCount; ++i) {

@@ -5,12 +5,16 @@
 # it gets a dedicated, serial sanitizer pass with visible output.  The
 # adversarial estimation smoke (label `adversarial`) gets the same
 # treatment: consensus/bootstrap exercise the widest span of estimation
-# code under corrupted inputs.
+# code under corrupted inputs.  So does the fleet smoke (label
+# `fleet_smoke`): 64 sessions over 4 fault domains with a correlated
+# outage, the widest object-lifetime churn in the runtime.
 #
-# A third pass builds with ThreadSanitizer (its own build dir -- TSan
+# A final pass builds with ThreadSanitizer (its own build dir -- TSan
 # cannot share objects with ASan) and runs the `tsan`-labeled tests: the
-# lock-free SPSC ring and the obs metric atomics, i.e. every place the
-# codebase relies on acquire/release or relaxed memory orders.
+# lock-free MPMC ring, the obs metric atomics, and the fleet worker pool
+# (runtime_test includes the pool-vs-inline parity test), i.e. every place
+# the codebase relies on acquire/release or relaxed memory orders or hands
+# shards across threads.
 #
 # Usage: tools/run_sanitized.sh [build-dir] [extra ctest args...]
 # Default build dir: build-asan (the TSan pass uses <build-dir>-tsan).
@@ -42,6 +46,10 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -L soak_smoke
 echo
 echo "== adversarial estimation smoke under sanitizers (ctest -L adversarial) =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L adversarial
+
+echo
+echo "== fleet smoke under sanitizers (ctest -L fleet_smoke) =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L fleet_smoke
 
 if [[ "${TAGSPIN_SKIP_TSAN:-0}" != "1" ]]; then
   TSAN_BUILD_DIR="${BUILD_DIR}-tsan"

@@ -15,6 +15,7 @@
 //
 //   tagspin_cli serve --dir DIR [--seed N] [--revolutions R] [--rigs N]
 //                     [--kill-at F] [--no-outages] [--reader X,Y,Z]
+//                     [--fleet-sessions N --shards K]
 //       Run the supervised session runtime end-to-end against a simulated
 //       flaky reader: connect/backoff state machine, watchdogs, bounded
 //       ingest queues, and crash-safe checkpoints in DIR/checkpoint.ckpt.
@@ -23,6 +24,10 @@
 //       followed by a restart that resumes from the checkpoint.  Runtime
 //       telemetry is dumped periodically (and at exit) to DIR/metrics.prom
 //       and DIR/metrics.json alongside the checkpoint.
+//       With --fleet-sessions N, the FleetManager multiplexes N flaky
+//       sessions over --shards K fault domains instead: shard-local retry
+//       budgets, quarantine, load shedding, and batched per-shard
+//       checkpoints in DIR/fleet_shard<k>.ckpt.
 //
 //   tagspin_cli stats --dir DIR [--format prom|json]
 //       On-demand export: print the telemetry snapshot a serve run left in
@@ -43,6 +48,7 @@
 
 #include "core/serialization.hpp"
 #include "core/tagspin.hpp"
+#include "eval/fleet.hpp"
 #include "eval/runner.hpp"
 #include "geom/angles.hpp"
 #include "obs/export.hpp"
@@ -229,7 +235,116 @@ int cmdInspect(const Args& args) {
   return 0;
 }
 
+/// serve --fleet-sessions N --shards K: the fleet runtime instead of the
+/// single supervisor.  N flaky sessions (sharing one pre-encoded stream)
+/// are multiplexed over K fault domains; each session runs the standard
+/// outage script with its own seed, so disconnect/stall/flood timing is
+/// decorrelated across the fleet and the containment machinery -- retry
+/// budgets, quarantine, shedding, batched checkpoints -- does real work.
+int cmdServeFleet(const Args& args, size_t sessions) {
+  const std::string dir = args.get("dir", ".");
+  sim::ScenarioConfig sc;
+  sc.seed = std::stoull(args.get("seed", "7"));
+  sc.fixedChannel = true;
+  const int rigCount = std::stoi(args.get("rigs", "3"));
+  const double revolutions = std::stod(args.get("revolutions", "10"));
+  const size_t shards = std::stoul(args.get("shards", "4"));
+  const double period = 2.0 * std::numbers::pi / sc.rigOmegaRadPerS;
+  const double durationS = revolutions * period;
+
+  sim::World world = sim::makeRigRowWorld(sc, rigCount);
+  const geom::Vec3 reader = parseVec3(args.get("reader", "0.8,2.0,0"));
+  sim::placeReaderAntenna(world, 0, reader);
+  const auto stream = sim::makeSharedStream(
+      world, {durationS, 0, sim::deriveSeed(sc.seed, 2)});
+
+  core::DeploymentFile deployment;
+  for (const sim::RigTag& rt : world.rigs) {
+    core::RigSpec spec;
+    spec.center = rt.rig.center;
+    spec.kinematics = {rt.rig.radiusM, rt.rig.omegaRadPerS,
+                       rt.rig.initialAngle, rt.rig.tagPlaneOffset};
+    deployment.rigs[rt.tag.epc] = spec;
+  }
+
+  obs::MetricsRegistry metrics;
+  obs::EventJournal journal;
+  runtime::FleetConfig fc = eval::FleetEvalConfig::defaultFleetConfig();
+  fc.shards = shards;
+  fc.maxSessions = sessions;
+  fc.checkpointDir = dir;
+  fc.metrics = &metrics;
+  fc.journal = &journal;
+
+  runtime::FleetManager fleet(fc, deployment);
+  for (size_t i = 0; i < sessions; ++i) {
+    sim::FlakyTransportConfig tc;
+    tc.seed = sim::deriveSeed(sc.seed, 100 + i);
+    if (!args.has("no-outages")) {
+      tc.events = sim::standardOutageScript(durationS, period,
+                                            sim::deriveSeed(sc.seed, 200 + i));
+    }
+    char name[24];
+    std::snprintf(name, sizeof(name), "s%04zu", i);
+    fleet.registerSession(name, [stream, tc] {
+      return std::make_unique<sim::FlakyTransport>(stream, tc);
+    });
+  }
+  const size_t restored = fleet.restore();  // fresh start: 0 restored
+  std::printf("fleet: %zu sessions over %zu shards, %d rigs, %.0f "
+              "revolutions (%.0f s)%s\n",
+              fleet.sessionCount(), fleet.shardCount(), rigCount, revolutions,
+              durationS, restored > 0 ? " [resumed from shard checkpoints]"
+                                      : "");
+
+  const double tickS = 0.1;
+  double nextStatusS = 0.0;
+  for (double t = 0.0; t <= durationS + 2.0; t += tickS) {
+    fleet.tick(t);
+    if (t >= nextStatusS) {
+      const runtime::FleetStats s = fleet.stats();
+      size_t withFix = 0;
+      for (const auto& v : fleet.sessions()) {
+        if (v.hasFix) ++withFix;
+      }
+      std::printf("[%7.1f s] shed %-8s fixed %4zu/%-4zu quarantined %-3zu "
+                  "budget-denied %-6llu deferred %-6llu ckpts %llu\n", t,
+                  runtime::shedLevelName(fleet.shedLevel()), withFix,
+                  fleet.sessionCount(), s.quarantinedNow,
+                  static_cast<unsigned long long>(s.budgetDenied),
+                  static_cast<unsigned long long>(s.sessionsDeferred),
+                  static_cast<unsigned long long>(s.checkpointWrites));
+      nextStatusS += durationS / 10.0;
+    }
+  }
+  fleet.shutdown(durationS + 2.0);
+
+  const runtime::FleetStats s = fleet.stats();
+  size_t withFix = 0;
+  for (const auto& v : fleet.sessions()) {
+    if (v.hasFix) ++withFix;
+  }
+  std::printf("fleet done: %zu/%zu sessions hold a fix | ejected %llu, "
+              "readmitted %llu | fixes %llu (+%llu shed-skipped) | "
+              "checkpoint writes %llu (failures %llu)\n",
+              withFix, fleet.sessionCount(),
+              static_cast<unsigned long long>(s.ejections),
+              static_cast<unsigned long long>(s.readmissions),
+              static_cast<unsigned long long>(s.fixesComputed),
+              static_cast<unsigned long long>(s.fixesSkippedShed),
+              static_cast<unsigned long long>(s.checkpointWrites),
+              static_cast<unsigned long long>(s.checkpointFailures));
+  const obs::MetricsSnapshot snap = metrics.snapshot();
+  obs::writeTextFile(dir + "/metrics.prom", obs::toPrometheus(snap));
+  obs::writeTextFile(dir + "/metrics.json", obs::toJson(snap, &journal));
+  std::printf("shard checkpoints: %s/fleet_shard<k>.ckpt | telemetry: "
+              "%s/metrics.{prom,json}\n", dir.c_str(), dir.c_str());
+  return withFix == fleet.sessionCount() ? 0 : 1;
+}
+
 int cmdServe(const Args& args) {
+  const size_t fleetSessions = std::stoul(args.get("fleet-sessions", "0"));
+  if (fleetSessions > 0) return cmdServeFleet(args, fleetSessions);
   const std::string dir = args.get("dir", ".");
   sim::ScenarioConfig sc;
   sc.seed = std::stoull(args.get("seed", "7"));
