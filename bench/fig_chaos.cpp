@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "eval/chaos.hpp"
 #include "eval/report.hpp"
 
@@ -82,17 +83,28 @@ int main(int argc, char** argv) {
   std::ofstream json(prefix + ".json");
   json << eval::chaosJson(result);
   std::printf("\nwrote %s.csv and %s.json\n", prefix.c_str(), prefix.c_str());
+  const eval::ChaosPoint& full = result.points.back();
+  const double medianRatio = result.cleanMedianErrorCm > 0.0
+                                 ? full.medianErrorCm /
+                                       result.cleanMedianErrorCm
+                                 : 0.0;
+  bench::BenchRecord record;
+  record.name = "chaos";
+  record.seed = cc.seed;
+  record.payload = eval::chaosJson(result);
+  record.gate("full_intensity_fix_rate_ge_90pct", full.fixRate >= 0.90);
+  record.gate("median_within_2x_clean",
+              medianRatio > 0.0 && medianRatio <= 2.0);
+  record.metric("full_intensity_fix_rate", full.fixRate);
+  record.metric("full_intensity_median_cm", full.medianErrorCm);
+  record.metric("clean_median_cm", result.cleanMedianErrorCm);
+  record.metric("median_ratio", medianRatio);
   if (!sidecarPath.empty()) {
-    std::ofstream sidecar(sidecarPath);
-    sidecar << eval::chaosJson(result);
-    std::printf("wrote %s\n", sidecarPath.c_str());
+    bench::writeBenchSidecar(sidecarPath, record);
   }
 
-  const eval::ChaosPoint& full = result.points.back();
   std::printf("[acceptance: full intensity fix rate %.0f%% (want >= 90%%), "
               "median %.2fx clean (want <= 2x)]\n", full.fixRate * 100,
-              result.cleanMedianErrorCm > 0.0
-                  ? full.medianErrorCm / result.cleanMedianErrorCm
-                  : 0.0);
+              medianRatio);
   return 0;
 }

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "eval/fleet.hpp"
 #include "eval/report.hpp"
 
@@ -90,17 +91,26 @@ int main(int argc, char** argv) {
   const std::string payload = eval::fleetJson(r);
   std::ofstream json(prefix + ".json");
   json << payload;
-  std::ofstream bench(jsonPath);
-  bench << payload;
-  std::printf("\nwrote %s.json and %s\n", prefix.c_str(), jsonPath.c_str());
+  std::printf("\nwrote %s.json\n", prefix.c_str());
 
-  const bool enoughSessions = r.sessions >= 500;
-  const bool allFixed = r.chaos.fixRate >= 1.0 - 1e-12;
-  const bool isolated = r.isolationRatio > 0.0 && r.isolationRatio <= 2.0;
+  bench::BenchRecord record;
+  record.name = "fleet";
+  record.seed = fc.seed;
+  record.payload = payload;
+  record.gate("enough_sessions", r.sessions >= 500);
+  record.gate("all_fixed", r.chaos.fixRate >= 1.0 - 1e-12);
+  record.gate("isolated_within_2x",
+              r.isolationRatio > 0.0 && r.isolationRatio <= 2.0);
+  record.metric("sessions", double(r.sessions));
+  record.metric("isolation_ratio", r.isolationRatio);
+  record.metric("chaos_fix_rate", r.chaos.fixRate);
+  record.metric("session_ticks_per_sec", r.sessionTicksPerSec);
+  bench::writeBenchSidecar(jsonPath, record);
+
   std::printf("[acceptance: >=500 concurrent flaky sessions (%zu), eventual "
               "100%% fix rate (%.1f%%), healthy p99 during 20%% outage "
               "<= 2x isolated baseline (%.2fx)]\n",
               r.sessions, r.chaos.fixRate * 100, r.isolationRatio);
 
-  return (enoughSessions && allFixed && isolated) ? 0 : 1;
+  return record.allGatesPass() ? 0 : 1;
 }

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "eval/report.hpp"
 #include "eval/soak.hpp"
 
@@ -105,10 +106,21 @@ int main(int argc, char** argv) {
   tagspin::obs::writeTextFile(prefix + ".metrics.prom", r.telemetryPrometheus);
   std::printf("\nwrote %s.{csv,json} and %s.metrics.{json,prom}\n",
               prefix.c_str(), prefix.c_str());
+  bench::BenchRecord record;
+  record.name = "soak";
+  record.seed = sc.seed;
+  record.payload = eval::soakJson(r);
+  record.gate("all_recovered", r.allRecovered);
+  record.gate("soak_ok", r.soakOk);
+  record.gate("error_within_1_25x", r.soakOk && r.errorRatio <= 1.25);
+  record.gate("restore_ok",
+              !r.killed || (r.restoreOk && r.revolutionsReacquired < 1.0));
+  record.metric("soak_error_cm", r.soakErrorCm);
+  record.metric("error_ratio", r.errorRatio);
+  record.metric("max_time_to_recover_s", r.maxTimeToRecoverS);
+  record.metric("revolutions_reacquired", r.revolutionsReacquired);
   if (!sidecarPath.empty()) {
-    std::ofstream sidecar(sidecarPath);
-    sidecar << eval::soakJson(r);
-    std::printf("wrote %s\n", sidecarPath.c_str());
+    bench::writeBenchSidecar(sidecarPath, record);
   }
 
   std::printf("[acceptance: every outage recovered (%s), soak error within "
@@ -117,8 +129,5 @@ int main(int argc, char** argv) {
               r.allRecovered ? "yes" : "NO", r.errorRatio,
               r.restoreOk ? "yes" : "NO", r.revolutionsReacquired);
 
-  const bool pass = r.allRecovered && r.soakOk && r.errorRatio <= 1.25 &&
-                    (!r.killed || (r.restoreOk && r.revolutionsReacquired <
-                                                     1.0));
-  return pass ? 0 : 1;
+  return record.allGatesPass() ? 0 : 1;
 }

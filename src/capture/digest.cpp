@@ -1,0 +1,62 @@
+#include "capture/digest.hpp"
+
+#include <bit>
+#include <cstdio>
+
+namespace tagspin::capture {
+
+void Fnv1a::bytes(const void* data, size_t size) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    hash_ ^= p[i];
+    hash_ *= 1099511628211ULL;
+  }
+}
+
+void Fnv1a::u64(uint64_t v) {
+  uint8_t buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<uint8_t>(v >> (8 * i));
+  bytes(buf, sizeof(buf));
+}
+
+void Fnv1a::f64(double v) { u64(std::bit_cast<uint64_t>(v)); }
+
+uint64_t fixDigest(const core::ResilientFix2D& fix) {
+  Fnv1a h;
+  h.f64(fix.fix.position.x);
+  h.f64(fix.fix.position.y);
+  h.f64(fix.fix.residualM);
+  h.u64(static_cast<uint64_t>(fix.report.grade));
+  h.f64(fix.report.confidence);
+  h.u64(fix.fix.directions.size());
+  for (const core::RigDirection& d : fix.fix.directions) {
+    h.f64(d.azimuth);
+    h.f64(d.peakValue);
+  }
+  return h.value();
+}
+
+uint64_t streamDigest(const rfid::ReportStream& reports) {
+  Fnv1a h;
+  h.u64(reports.size());
+  for (const rfid::TagReport& r : reports) {
+    h.u64(r.epc.hi());
+    h.u64(r.epc.lo());
+    h.f64(r.timestampS);
+    h.f64(r.phaseRad);
+    h.f64(r.rssiDbm);
+    h.u64(static_cast<uint64_t>(r.channelIndex));
+    h.f64(r.frequencyHz);
+    h.u64(static_cast<uint64_t>(r.antennaPort));
+  }
+  return h.value();
+}
+
+std::string digestHex(uint64_t digest) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+}  // namespace tagspin::capture

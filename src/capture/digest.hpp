@@ -1,0 +1,43 @@
+// Deterministic digests for the replay-parity gates.
+//
+// "Replaying the same capture twice yields the same result" is asserted as
+// byte equality on an FNV-1a-64 digest of the fix: every double is folded
+// by its raw bit pattern, so two digests match iff the fixes are
+// bit-identical -- no epsilon, no rounding story.  A stream digest covers
+// the decoded reports the same way (capture round-trip and replay-feed
+// equality checks).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/locator.hpp"
+#include "rfid/report.hpp"
+
+namespace tagspin::capture {
+
+/// FNV-1a 64-bit accumulator; fold raw bytes, integers, or double bit
+/// patterns.  Exposed so harnesses can digest their own structures.
+class Fnv1a {
+ public:
+  void bytes(const void* data, size_t size);
+  void u64(uint64_t v);
+  void f64(double v);  // folds the IEEE-754 bit pattern
+  uint64_t value() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 1469598103934665603ULL;
+};
+
+/// Digest of a resilient 2D fix: position, residual, grade, confidence,
+/// and every rig direction (azimuth + peak).  Diagnostics that do not
+/// affect the answer (timings, counters) are excluded on purpose.
+uint64_t fixDigest(const core::ResilientFix2D& fix);
+
+/// Digest of a report stream (every field of every report, in order).
+uint64_t streamDigest(const rfid::ReportStream& reports);
+
+/// 16-hex-digit rendering for logs and JSON.
+std::string digestHex(uint64_t digest);
+
+}  // namespace tagspin::capture

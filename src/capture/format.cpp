@@ -1,0 +1,454 @@
+#include "capture/format.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <numbers>
+#include <unordered_set>
+
+#include "geom/angles.hpp"
+#include "runtime/checkpoint.hpp"
+
+namespace tagspin::capture {
+
+namespace {
+
+constexpr uint8_t kFileMagic[4] = {'T', 'S', 'P', 'C'};
+constexpr uint8_t kChunkMagic[4] = {'T', 'S', 'C', 'K'};
+
+void putU16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v));
+}
+void putU32(std::vector<uint8_t>& out, uint32_t v) {
+  putU16(out, static_cast<uint16_t>(v >> 16));
+  putU16(out, static_cast<uint16_t>(v));
+}
+void putU64(std::vector<uint8_t>& out, uint64_t v) {
+  putU32(out, static_cast<uint32_t>(v >> 32));
+  putU32(out, static_cast<uint32_t>(v));
+}
+
+uint16_t getU16(std::span<const uint8_t> d, size_t at) {
+  return static_cast<uint16_t>(static_cast<uint16_t>(d[at]) << 8 |
+                               static_cast<uint16_t>(d[at + 1]));
+}
+uint32_t getU32(std::span<const uint8_t> d, size_t at) {
+  return static_cast<uint32_t>(getU16(d, at)) << 16 | getU16(d, at + 2);
+}
+uint64_t getU64(std::span<const uint8_t> d, size_t at) {
+  return static_cast<uint64_t>(getU32(d, at)) << 32 | getU32(d, at + 4);
+}
+
+uint32_t crcOf(std::span<const uint8_t> bytes) {
+  return runtime::crc32(bytes);
+}
+
+uint64_t zigzag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+int64_t unzigzag(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+void putVarint(std::vector<uint8_t>& out, uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+/// Read a varint; advances `at`.  Throws on truncation or > 10 bytes.
+uint64_t getVarint(std::span<const uint8_t> d, size_t& at) {
+  uint64_t v = 0;
+  int shift = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (at >= d.size()) {
+      throw std::invalid_argument("capture: varint truncated");
+    }
+    const uint8_t b = d[at++];
+    v |= static_cast<uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+  throw std::invalid_argument("capture: varint overlong");
+}
+
+int64_t toMicros(double seconds) {
+  return static_cast<int64_t>(std::llround(seconds * 1e6));
+}
+
+}  // namespace
+
+std::vector<uint8_t> encodeFileHeader() {
+  std::vector<uint8_t> out;
+  out.reserve(kFileHeaderSize);
+  out.insert(out.end(), kFileMagic, kFileMagic + 4);
+  out.push_back(kVersionMajor);
+  out.push_back(kVersionMinor);
+  putU16(out, 0);  // flags
+  putU32(out, 0);  // reserved
+  putU32(out, crcOf({out.data(), out.size()}));
+  return out;
+}
+
+std::vector<uint8_t> encodeChunk(std::span<const TimedReport> reports,
+                                 uint32_t sequence) {
+  if (reports.empty()) {
+    throw std::invalid_argument("capture: cannot encode an empty chunk");
+  }
+
+  // Chunk-local dictionaries, in first-appearance order so encoding is a
+  // pure function of the report sequence.
+  std::vector<rfid::Epc> epcs;
+  std::map<rfid::Epc, uint8_t> epcIndex;
+  std::vector<std::pair<uint16_t, uint32_t>> channels;  // (index, kHz)
+  std::map<std::pair<uint16_t, uint32_t>, uint8_t> channelIndex;
+  for (const TimedReport& tr : reports) {
+    const rfid::TagReport& r = tr.report;
+    if (epcIndex.emplace(r.epc, static_cast<uint8_t>(epcs.size())).second) {
+      epcs.push_back(r.epc);
+    }
+    const std::pair<uint16_t, uint32_t> chan{
+        static_cast<uint16_t>(r.channelIndex),
+        static_cast<uint32_t>(std::llround(r.frequencyHz / 1e3))};
+    if (channelIndex.emplace(chan, static_cast<uint8_t>(channels.size()))
+            .second) {
+      channels.push_back(chan);
+    }
+  }
+  if (epcs.size() > kMaxDictEntries || channels.size() > kMaxDictEntries) {
+    throw std::invalid_argument("capture: chunk dictionary overflow (" +
+                                std::to_string(epcs.size()) + " EPCs, " +
+                                std::to_string(channels.size()) +
+                                " channels); flush smaller chunks");
+  }
+
+  std::vector<uint8_t> payload;
+  payload.reserve(reports.size() * 10 + epcs.size() * 12 +
+                  channels.size() * 6 + 2);
+  payload.push_back(static_cast<uint8_t>(epcs.size()));
+  for (const rfid::Epc& e : epcs) {
+    putU64(payload, e.hi());
+    putU32(payload, e.lo());
+  }
+  payload.push_back(static_cast<uint8_t>(channels.size()));
+  for (const auto& [index, khz] : channels) {
+    putU16(payload, index);
+    putU32(payload, khz);
+  }
+
+  const int64_t baseUs = toMicros(reports.front().report.timestampS);
+  int64_t prevUs = baseUs;
+  for (const TimedReport& tr : reports) {
+    const rfid::TagReport& r = tr.report;
+    const int64_t readerUs = toMicros(r.timestampS);
+    putVarint(payload, zigzag(readerUs - prevUs));
+    prevUs = readerUs;
+    putVarint(payload, zigzag(toMicros(tr.deliveryS) - readerUs));
+    payload.push_back(epcIndex.at(r.epc));
+    payload.push_back(channelIndex.at(
+        {static_cast<uint16_t>(r.channelIndex),
+         static_cast<uint32_t>(std::llround(r.frequencyHz / 1e3))}));
+    payload.push_back(static_cast<uint8_t>(std::max(0, r.antennaPort)));
+    const double turns =
+        geom::wrapTwoPi(r.phaseRad) / (2.0 * std::numbers::pi);
+    putU16(payload,
+           static_cast<uint16_t>(std::lround(turns * 4096.0)) & 0x0FFF);
+    putU16(payload, static_cast<uint16_t>(static_cast<int16_t>(
+                        std::lround(r.rssiDbm * 100.0))));
+  }
+
+  std::vector<uint8_t> out;
+  out.reserve(kChunkHeaderSize + payload.size());
+  out.insert(out.end(), kChunkMagic, kChunkMagic + 4);
+  putU32(out, static_cast<uint32_t>(payload.size()));
+  putU32(out, sequence);
+  putU64(out, static_cast<uint64_t>(baseUs));
+  putU32(out, static_cast<uint32_t>(reports.size()));
+  putU32(out, crcOf({payload.data(), payload.size()}));
+  putU32(out, crcOf({out.data(), out.size()}));  // header CRC over [0, 28)
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+namespace {
+
+struct ChunkHeader {
+  uint32_t payloadLen = 0;
+  uint32_t sequence = 0;
+  int64_t baseUs = 0;
+  uint32_t reportCount = 0;
+  uint32_t payloadCrc = 0;
+};
+
+bool chunkMagicAt(std::span<const uint8_t> d, size_t at) {
+  return at + 4 <= d.size() && std::memcmp(d.data() + at, kChunkMagic, 4) == 0;
+}
+
+/// Parse and validate a chunk header at `at` (magic already confirmed).
+/// Returns false on header-CRC failure or absurd bounds.
+bool parseChunkHeader(std::span<const uint8_t> d, size_t at,
+                      ChunkHeader& out) {
+  if (at + kChunkHeaderSize > d.size()) return false;
+  if (crcOf(d.subspan(at, kChunkHeaderSize - 4)) !=
+      getU32(d, at + kChunkHeaderSize - 4)) {
+    return false;
+  }
+  out.payloadLen = getU32(d, at + 4);
+  out.sequence = getU32(d, at + 8);
+  out.baseUs = static_cast<int64_t>(getU64(d, at + 12));
+  out.reportCount = getU32(d, at + 20);
+  out.payloadCrc = getU32(d, at + 24);
+  return at + kChunkHeaderSize + out.payloadLen <= d.size();
+}
+
+/// Decode a chunk payload (CRC already verified).  Throws
+/// std::invalid_argument on structural damage the CRC let through (it
+/// cannot: this only fires on encoder bugs, but the tolerant reader treats
+/// a throw as a skipped chunk anyway).
+void decodePayload(std::span<const uint8_t> p, const ChunkHeader& h,
+                   TimedStream& out) {
+  size_t at = 0;
+  const auto need = [&](size_t n) {
+    if (at + n > p.size()) {
+      throw std::invalid_argument("capture: chunk payload truncated");
+    }
+  };
+  need(1);
+  const size_t epcCount = p[at++];
+  need(epcCount * 12);
+  std::vector<rfid::Epc> epcs;
+  epcs.reserve(epcCount);
+  for (size_t i = 0; i < epcCount; ++i) {
+    epcs.emplace_back(getU64(p, at), getU32(p, at + 8));
+    at += 12;
+  }
+  need(1);
+  const size_t channelCount = p[at++];
+  need(channelCount * 6);
+  std::vector<std::pair<uint16_t, uint32_t>> channels;
+  channels.reserve(channelCount);
+  for (size_t i = 0; i < channelCount; ++i) {
+    channels.emplace_back(getU16(p, at), getU32(p, at + 2));
+    at += 6;
+  }
+
+  int64_t prevUs = h.baseUs;
+  for (uint32_t i = 0; i < h.reportCount; ++i) {
+    const int64_t readerUs = prevUs + unzigzag(getVarint(p, at));
+    prevUs = readerUs;
+    const int64_t deliveryUs = readerUs + unzigzag(getVarint(p, at));
+    need(7);
+    const uint8_t epcIdx = p[at++];
+    const uint8_t chanIdx = p[at++];
+    const uint8_t port = p[at++];
+    const uint16_t phase = getU16(p, at);
+    const int16_t rssi = static_cast<int16_t>(getU16(p, at + 2));
+    at += 4;
+    if (epcIdx >= epcs.size() || chanIdx >= channels.size()) {
+      throw std::invalid_argument("capture: dictionary index out of range");
+    }
+    TimedReport tr;
+    tr.report.epc = epcs[epcIdx];
+    tr.report.timestampS = static_cast<double>(readerUs) / 1e6;
+    tr.report.phaseRad = static_cast<double>(phase & 0x0FFF) / 4096.0 * 2.0 *
+                         std::numbers::pi;
+    tr.report.rssiDbm = static_cast<double>(rssi) / 100.0;
+    tr.report.channelIndex = channels[chanIdx].first;
+    tr.report.frequencyHz = static_cast<double>(channels[chanIdx].second) * 1e3;
+    tr.report.antennaPort = port;
+    tr.deliveryS = static_cast<double>(deliveryUs) / 1e6;
+    out.push_back(std::move(tr));
+  }
+  if (at != p.size()) {
+    throw std::invalid_argument("capture: trailing bytes in chunk payload");
+  }
+}
+
+/// Validate the file header.  Returns the offset past it; throws
+/// CaptureVersionError on an unreadable major version; returns 0 (with
+/// `ok = false`) when the header is corrupt.
+size_t checkFileHeader(std::span<const uint8_t> d, bool& ok,
+                       uint8_t& major, uint8_t& minor) {
+  ok = false;
+  if (d.size() < kFileHeaderSize ||
+      std::memcmp(d.data(), kFileMagic, 4) != 0) {
+    return 0;
+  }
+  if (crcOf(d.subspan(0, 12)) != getU32(d, 12)) return 0;
+  major = d[4];
+  minor = d[5];
+  if (major != kVersionMajor) {
+    throw CaptureVersionError(
+        "capture: format version " + std::to_string(int(major)) + "." +
+        std::to_string(int(minor)) + " is not readable by this build (v" +
+        std::to_string(int(kVersionMajor)) + ".x)");
+  }
+  ok = true;
+  return kFileHeaderSize;
+}
+
+}  // namespace
+
+TimedStream decodeCapture(std::span<const uint8_t> bytes) {
+  bool headerOk = false;
+  uint8_t major = 0, minor = 0;
+  const size_t start = checkFileHeader(bytes, headerOk, major, minor);
+  if (!headerOk) {
+    throw std::invalid_argument("capture: missing or corrupt file header");
+  }
+  TimedStream out;
+  size_t at = start;
+  uint64_t expectedSeq = 0;
+  while (at < bytes.size()) {
+    if (!chunkMagicAt(bytes, at)) {
+      throw std::invalid_argument("capture: bad chunk magic at offset " +
+                                  std::to_string(at));
+    }
+    ChunkHeader h;
+    if (!parseChunkHeader(bytes, at, h)) {
+      throw std::invalid_argument("capture: corrupt chunk header at offset " +
+                                  std::to_string(at));
+    }
+    if (h.sequence != expectedSeq) {
+      throw std::invalid_argument(
+          "capture: chunk sequence " + std::to_string(h.sequence) +
+          " at offset " + std::to_string(at) + " (want " +
+          std::to_string(expectedSeq) + ")");
+    }
+    const auto payload = bytes.subspan(at + kChunkHeaderSize, h.payloadLen);
+    if (crcOf(payload) != h.payloadCrc) {
+      throw std::invalid_argument("capture: chunk payload CRC mismatch at "
+                                  "offset " + std::to_string(at));
+    }
+    decodePayload(payload, h, out);
+    at += kChunkHeaderSize + h.payloadLen;
+    ++expectedSeq;
+  }
+  return out;
+}
+
+TimedStream decodeCaptureTolerant(std::span<const uint8_t> bytes,
+                                  CaptureStats* stats) {
+  CaptureStats local;
+  CaptureStats& s = stats ? *stats : local;
+  s = {};
+  s.bytesTotal = bytes.size();
+
+  bool headerOk = false;
+  size_t at = checkFileHeader(bytes, headerOk, s.versionMajor,
+                              s.versionMinor);  // may throw VersionError
+  if (!headerOk) {
+    // Header rot: hunt for the first chunk and read best-effort at the
+    // current major version.  (A wrong-major file announces itself in the
+    // header, which just validated as absent -- so this is rot, not skew.)
+    s.headerRecovered = true;
+    s.versionMajor = kVersionMajor;
+    s.versionMinor = kVersionMinor;
+  }
+
+  TimedStream out;
+  std::unordered_set<uint32_t> seenSeq;
+  size_t resyncRun = 0;
+  while (at < bytes.size()) {
+    if (!chunkMagicAt(bytes, at)) {
+      ++at;
+      ++resyncRun;
+      continue;
+    }
+    ChunkHeader h;
+    if (!parseChunkHeader(bytes, at, h)) {
+      // Corrupt or torn header: step past the magic and keep hunting (the
+      // magic bytes themselves count as resynced).
+      ++s.chunksSkipped;
+      s.bytesResynced += 4;
+      at += 4;
+      continue;
+    }
+    const auto payload = bytes.subspan(at + kChunkHeaderSize, h.payloadLen);
+    if (crcOf(payload) != h.payloadCrc) {
+      // The header is intact (its own CRC passed), so the length field is
+      // trustworthy: account the whole chunk and step over it rather than
+      // re-scanning its payload for phantom magics.
+      ++s.chunksSkipped;
+      s.bytesResynced += kChunkHeaderSize + h.payloadLen;
+      at += kChunkHeaderSize + h.payloadLen;
+      continue;
+    }
+    if (!seenSeq.insert(h.sequence).second) {
+      ++s.chunksDuplicated;
+      at += kChunkHeaderSize + h.payloadLen;
+      continue;
+    }
+    try {
+      TimedStream chunk;
+      decodePayload(payload, h, chunk);
+      ++s.chunksDecoded;
+      s.reportsRecovered += chunk.size();
+      out.insert(out.end(), std::make_move_iterator(chunk.begin()),
+                 std::make_move_iterator(chunk.end()));
+    } catch (const std::invalid_argument&) {
+      ++s.chunksSkipped;
+      s.bytesResynced += kChunkHeaderSize + h.payloadLen;
+    }
+    at += kChunkHeaderSize + h.payloadLen;
+  }
+  s.bytesResynced += resyncRun;
+  return out;
+}
+
+PrefixScan scanValidPrefix(std::span<const uint8_t> bytes) {
+  PrefixScan scan;
+  uint8_t major = 0, minor = 0;
+  size_t at = checkFileHeader(bytes, scan.headerValid, major, minor);
+  if (!scan.headerValid) return scan;
+  scan.validBytes = at;
+  while (at < bytes.size()) {
+    if (!chunkMagicAt(bytes, at)) break;
+    ChunkHeader h;
+    if (!parseChunkHeader(bytes, at, h)) break;
+    if (h.sequence != scan.nextSequence) break;
+    const auto payload = bytes.subspan(at + kChunkHeaderSize, h.payloadLen);
+    if (crcOf(payload) != h.payloadCrc) break;
+    at += kChunkHeaderSize + h.payloadLen;
+    scan.validBytes = at;
+    ++scan.chunks;
+    ++scan.nextSequence;
+  }
+  return scan;
+}
+
+rfid::ReportStream stripTiming(const TimedStream& timed) {
+  rfid::ReportStream out;
+  out.reserve(timed.size());
+  for (const TimedReport& tr : timed) out.push_back(tr.report);
+  return out;
+}
+
+TimedStream withReaderTiming(const rfid::ReportStream& reports) {
+  TimedStream out;
+  out.reserve(reports.size());
+  for (const rfid::TagReport& r : reports) {
+    out.push_back({r, r.timestampS});
+  }
+  return out;
+}
+
+TimedStream readCaptureFile(const std::string& path, bool tolerant,
+                            CaptureStats* stats) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("capture: cannot open " + path);
+  }
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  return tolerant ? decodeCaptureTolerant(bytes, stats)
+                  : decodeCapture(bytes);
+}
+
+}  // namespace tagspin::capture

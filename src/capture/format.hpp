@@ -1,0 +1,162 @@
+// Compact, versioned, CRC32-framed capture format for LLRP report streams.
+//
+// A capture file persists what a reader session actually delivered -- the
+// decoded tag reports plus their *delivery* timing -- so every chaos, soak
+// and fleet scenario becomes a replayable corpus instead of dying with the
+// process.  The format is built for two hostile realities:
+//
+//  * the writer can be killed at any byte (crash-safe append: the file is a
+//    16-byte header followed by independent chunks, each self-framed with
+//    its own length and CRC32, so a torn tail is detectable and truncatable
+//    on reopen);
+//  * the file can rot at rest (the reader resynchronizes on the chunk magic
+//    and skips chunks whose header or payload CRC fails, in the same spirit
+//    as rfid::llrp::decodeStreamTolerant on live streams).
+//
+// Layout (all integers big-endian, matching the LLRP codec):
+//
+//   file header, 16 bytes:
+//     0  "TSPC"            magic
+//     4  u8   version major  (readers hard-fail on majors they cannot read)
+//     5  u8   version minor  (additive changes only; readers ignore)
+//     6  u16  flags          (reserved, 0)
+//     8  u32  reserved       (0)
+//    12  u32  CRC32 of bytes [0, 12)
+//
+//   chunk, 32-byte header + payload:
+//     0  "TSCK"            chunk magic (the tolerant reader's resync token)
+//     4  u32  payload length in bytes
+//     8  u32  sequence number (monotone per file; detects duplicated chunks)
+//    12  u64  base timestamp, microseconds (reader clock of first record)
+//    20  u32  report count
+//    24  u32  CRC32 of the payload
+//    28  u32  CRC32 of header bytes [0, 28) -- a flipped length field must
+//              not send the reader off a cliff
+//
+//   chunk payload:
+//     u8  epcCount,     epcCount  x (u64 hi, u32 lo)   chunk-local EPC dict
+//     u8  channelCount, channelCount x (u16 index, u32 kHz)  channel dict
+//     reportCount records:
+//       varint  zigzag(delta reader timestamp, us)   vs previous record
+//       varint  zigzag(delivery - reader timestamp, us)
+//       u8      EPC dictionary index
+//       u8      channel dictionary index
+//       u8      antenna port (0-based)
+//       u16     phase, 1/4096ths of a turn (the Impinj quantisation)
+//       i16     peak RSSI, centi-dBm
+//
+// Quantisation deliberately mirrors the LLRP wire codec bit for bit
+// (microsecond timestamps, 12-bit phase, centi-dBm RSSI, kHz frequency), so
+// capture -> replay -> re-encode round-trips to the exact reports a live
+// session decoded: replay determinism is a byte-equality property, not an
+// epsilon test.  A typical record is 8-10 bytes against LLRP's 40.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "rfid/report.hpp"
+
+namespace tagspin::capture {
+
+inline constexpr uint8_t kVersionMajor = 1;
+inline constexpr uint8_t kVersionMinor = 0;
+inline constexpr size_t kFileHeaderSize = 16;
+inline constexpr size_t kChunkHeaderSize = 32;
+/// Dictionary indices are one byte; the writer must flush before overflow.
+inline constexpr size_t kMaxDictEntries = 255;
+
+/// The reader cannot understand the file's major version (or the file is
+/// not a capture at all).  This is the only condition the tolerant reader
+/// hard-fails on; everything else degrades to skipped chunks.
+class CaptureVersionError : public std::runtime_error {
+ public:
+  explicit CaptureVersionError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// One decoded report plus the wall-clock instant the transport delivered
+/// it.  Reader timestamps drive estimation; delivery timestamps drive
+/// replay pacing (they preserve the original fault timing: a stall's burst
+/// flush or a flood arrives in replay exactly when it arrived live).
+struct TimedReport {
+  rfid::TagReport report;
+  double deliveryS = 0.0;
+};
+using TimedStream = std::vector<TimedReport>;
+
+/// Accounting of a tolerant read, mirroring rfid::llrp::DecodeStats.
+struct CaptureStats {
+  uint8_t versionMajor = 0;
+  uint8_t versionMinor = 0;
+  /// File header was missing or corrupt; the reader resynced straight to
+  /// the first chunk magic and assumed the current major version.
+  bool headerRecovered = false;
+  size_t chunksDecoded = 0;
+  /// Chunks dropped because their header or payload failed CRC/bounds.
+  size_t chunksSkipped = 0;
+  /// Chunks dropped because their sequence number was already seen.
+  size_t chunksDuplicated = 0;
+  uint64_t reportsRecovered = 0;
+  /// Bytes stepped over hunting for the next chunk magic (includes any
+  /// torn trailing chunk).
+  size_t bytesResynced = 0;
+  size_t bytesTotal = 0;
+};
+
+/// Encode the 16-byte file header for the current format version.
+std::vector<uint8_t> encodeFileHeader();
+
+/// Encode one chunk (header + payload) from `reports`.  Throws
+/// std::invalid_argument when empty or when the chunk-local dictionaries
+/// would overflow (more than kMaxDictEntries distinct EPCs or channels) --
+/// the writer sizes chunks to stay far below that.
+std::vector<uint8_t> encodeChunk(std::span<const TimedReport> reports,
+                                 uint32_t sequence);
+
+/// Strict decode of a whole capture image; throws CaptureVersionError on an
+/// unreadable major version and std::invalid_argument on any framing or CRC
+/// failure.  The crash-safe writer + tolerant reader pair is the production
+/// path; strict decode is the test oracle and the integrity check.
+TimedStream decodeCapture(std::span<const uint8_t> bytes);
+
+/// Corruption-tolerant decode: validates the header (resyncing past it when
+/// corrupt), then walks chunks, resynchronizing on the chunk magic after
+/// any CRC/bounds failure and dropping duplicated sequence numbers.  Never
+/// throws except CaptureVersionError for a major version this code cannot
+/// read.  `stats` (optional) reports what was lost.
+TimedStream decodeCaptureTolerant(std::span<const uint8_t> bytes,
+                                  CaptureStats* stats = nullptr);
+
+/// Result of scanning a capture image for its longest strictly-valid
+/// prefix: the file header plus consecutive intact chunks numbered 0..n-1.
+/// The crash-safe writer truncates to `validBytes` on reopen; everything
+/// past it is a torn tail (or rot) that can never validate.
+struct PrefixScan {
+  bool headerValid = false;
+  size_t validBytes = 0;  // 0 when the header itself is invalid
+  uint64_t chunks = 0;
+  uint32_t nextSequence = 0;
+};
+
+/// Strictly scan from byte 0.  Throws CaptureVersionError when the header
+/// is intact but carries a major version this build cannot read; any other
+/// damage just ends the prefix.
+PrefixScan scanValidPrefix(std::span<const uint8_t> bytes);
+
+/// Drop the delivery timing (estimation consumes plain reports).
+rfid::ReportStream stripTiming(const TimedStream& timed);
+
+/// Wrap a plain stream with delivery == reader timestamp (synthetic
+/// captures for the load generator have no transport timing of their own).
+TimedStream withReaderTiming(const rfid::ReportStream& reports);
+
+/// Whole-file convenience: read `path` and decode.  `tolerant` selects the
+/// decoder; throws std::runtime_error when the file cannot be opened.
+TimedStream readCaptureFile(const std::string& path, bool tolerant = true,
+                            CaptureStats* stats = nullptr);
+
+}  // namespace tagspin::capture

@@ -1,0 +1,59 @@
+// RecordingTransport: a pass-through Transport tap that captures what the
+// session actually received.
+//
+// It forwards connect/poll/close to the wrapped transport untouched, and on
+// the side feeds every polled byte through its own tolerant LLRP decoder,
+// appending each decoded report (stamped with the poll time as its delivery
+// time) to a CaptureWriter.  Because the tap sees exactly the bytes the
+// session sees -- including torn frames, resync garbage and flood bursts --
+// the capture is a faithful record of the session's input: replaying it
+// reproduces the live run's ingest byte-for-byte (the recorder's decoder
+// and the session's decoder drop the same junk).
+//
+// The writer outlives any single transport: supervisor-level restarts mint
+// a fresh RecordingTransport per attempt, all appending to one capture.
+#pragma once
+
+#include <memory>
+
+#include "capture/writer.hpp"
+#include "rfid/llrp.hpp"
+#include "runtime/transport.hpp"
+
+namespace tagspin::capture {
+
+class RecordingTransport final : public runtime::Transport {
+ public:
+  /// `writer` must outlive this transport (not owned).
+  RecordingTransport(std::unique_ptr<runtime::Transport> inner,
+                     CaptureWriter* writer)
+      : inner_(std::move(inner)), writer_(writer) {}
+
+  bool connect(double nowS) override { return inner_->connect(nowS); }
+
+  runtime::TransportRead poll(double nowS) override {
+    runtime::TransportRead read = inner_->poll(nowS);
+    if (writer_ && !read.bytes.empty()) {
+      for (const rfid::TagReport& r : decoder_.feed(read.bytes)) {
+        writer_->append(r, nowS);
+      }
+    }
+    return read;
+  }
+
+  void close() override {
+    decoder_.finish();  // torn tail can never decode; keep stats faithful
+    inner_->close();
+  }
+
+  const rfid::llrp::DecodeStats& decodeStats() const {
+    return decoder_.stats();
+  }
+
+ private:
+  std::unique_ptr<runtime::Transport> inner_;
+  CaptureWriter* writer_;
+  rfid::llrp::TolerantStreamDecoder decoder_;
+};
+
+}  // namespace tagspin::capture

@@ -1,0 +1,78 @@
+// ReplayTransport: drive the session runtime from a capture instead of a
+// live reader.
+//
+// A decoded capture (reports + delivery timing) is re-encoded to the exact
+// LLRP wire image a reader would have produced -- the capture quantisation
+// mirrors the wire codec bit for bit, so this is lossless -- and released
+// against the polled clock at `speed`x the original pace.  Delivery
+// timestamps, not reader timestamps, drive the release schedule: a stall's
+// burst flush, a flood, or the silence of a disconnect replays with its
+// original shape (compressed 1/speed), so the ingest queue and watchdogs
+// see the same stress the live run saw.
+//
+// Many transports can share one ReplayStream (the fleet load generator
+// fans a single capture across N sessions); the cursor and clock anchoring
+// stay per-transport, so sessions connected at different times each get
+// the full stream from its start.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "capture/format.hpp"
+#include "runtime/transport.hpp"
+
+namespace tagspin::capture {
+
+/// A capture prepared for replay: the decoded reports, their LLRP wire
+/// image, and per-frame release offsets (delivery time minus the first
+/// delivery, seconds).  Immutable; share freely across transports.
+struct ReplayStream {
+  TimedStream timed;
+  std::vector<uint8_t> wire;       // frame i at [i*40, (i+1)*40)
+  std::vector<double> releaseS;    // sorted by construction order
+};
+
+/// Build a ReplayStream (encode once, share many).  Reports are released
+/// in capture order; delivery offsets are taken relative to the first
+/// report's delivery time.
+std::shared_ptr<const ReplayStream> makeReplayStream(TimedStream timed);
+
+struct ReplayTransportConfig {
+  /// Playback rate: 2.0 replays a 60 s capture in 30 s of tick time.
+  /// Values <= 0 mean "as fast as possible" -- every remaining frame is
+  /// delivered on the first poll (throughput benchmarking).
+  double speed = 1.0;
+  /// Time from a connect() attempt to an established connection.
+  double connectDelayS = 0.0;
+};
+
+class ReplayTransport final : public runtime::Transport {
+ public:
+  ReplayTransport(std::shared_ptr<const ReplayStream> stream,
+                  ReplayTransportConfig config = {});
+
+  // runtime::Transport
+  bool connect(double nowS) override;
+  runtime::TransportRead poll(double nowS) override;
+  void close() override;
+
+  /// All frames delivered (the session will see kIdle forever after).
+  bool exhausted() const { return nextFrame_ >= stream_->timed.size(); }
+  size_t framesDelivered() const { return nextFrame_; }
+  const ReplayStream& stream() const { return *stream_; }
+
+ private:
+  std::shared_ptr<const ReplayStream> stream_;
+  ReplayTransportConfig config_;
+  size_t nextFrame_ = 0;
+  bool connected_ = false;
+  double connectStartedS_ = -1.0;
+  /// Tick time corresponding to release offset 0; anchored at the first
+  /// successful connect so reconnects do not rewind the schedule.
+  double epochS_ = 0.0;
+  bool epochSet_ = false;
+};
+
+}  // namespace tagspin::capture

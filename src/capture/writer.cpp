@@ -1,0 +1,157 @@
+#include "capture/writer.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+namespace tagspin::capture {
+
+CaptureWriter::CaptureWriter(std::string path, CaptureWriterConfig config)
+    : path_(std::move(path)), config_(config) {
+  if (config_.chunkReports == 0) config_.chunkReports = 1;
+
+  std::vector<uint8_t> existing;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    if (in) {
+      existing.assign((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    }
+  }
+
+  size_t keepBytes = 0;
+  bool writeHeader = true;
+  if (existing.size() >= kFileHeaderSize) {
+    // scanValidPrefix throws CaptureVersionError on a foreign major --
+    // appending this build's chunks to it would corrupt the file, so that
+    // propagates.  A valid header yields the longest strictly-valid prefix;
+    // everything past it is a torn tail from a crashed writer (or rot) and
+    // gets truncated.  An invalid header on a full-sized file is not ours
+    // to destroy: refuse rather than overwrite.
+    const PrefixScan scan = scanValidPrefix(existing);
+    if (!scan.headerValid) {
+      throw std::invalid_argument(
+          "capture: " + path_ +
+          " exists but is not a readable capture (corrupt or foreign "
+          "header); refusing to append over it");
+    }
+    writeHeader = false;
+    keepBytes = scan.validBytes;
+    nextSequence_ = scan.nextSequence;
+    stats_.chunksRecoveredOnOpen = scan.chunks;
+    stats_.tornBytesTruncated = existing.size() - keepBytes;
+  } else if (!existing.empty()) {
+    // Shorter than one header: a writer died inside its very first write.
+    // Nothing valid can be salvaged; start the file over.
+    keepBytes = 0;
+    writeHeader = true;
+    stats_.tornBytesTruncated = existing.size();
+  }
+
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("capture: cannot open " + path_ + ": " +
+                             std::strerror(errno));
+  }
+  if (!existing.empty()) {
+    if (::ftruncate(fd_, static_cast<off_t>(keepBytes)) != 0) {
+      const int err = errno;
+      ::close(fd_);
+      fd_ = -1;
+      throw std::runtime_error("capture: cannot truncate torn tail of " +
+                               path_ + ": " + std::strerror(err));
+    }
+    if (::lseek(fd_, 0, SEEK_END) < 0) {
+      ::close(fd_);
+      fd_ = -1;
+      throw std::runtime_error("capture: cannot seek " + path_);
+    }
+  }
+  if (writeHeader) {
+    appendBytes(encodeFileHeader());
+    sync();  // the header must survive before any chunk refers to it
+  } else if (stats_.tornBytesTruncated > 0) {
+    sync();  // persist the truncation before appending over it
+  }
+}
+
+CaptureWriter::~CaptureWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor must not throw; call close() explicitly to observe errors.
+  }
+}
+
+void CaptureWriter::append(const rfid::TagReport& report, double deliveryS) {
+  if (fd_ < 0) {
+    throw std::runtime_error("capture: writer is closed: " + path_);
+  }
+  buffer_.push_back({report, deliveryS});
+  ++stats_.reportsBuffered;
+  if (buffer_.size() >= config_.chunkReports) flush();
+}
+
+void CaptureWriter::append(const TimedStream& reports) {
+  for (const TimedReport& tr : reports) append(tr.report, tr.deliveryS);
+}
+
+void CaptureWriter::flush() {
+  if (buffer_.empty()) return;
+  if (fd_ < 0) {
+    throw std::runtime_error("capture: writer is closed: " + path_);
+  }
+  const std::vector<uint8_t> chunk = encodeChunk(buffer_, nextSequence_);
+  appendBytes(chunk);
+  ++nextSequence_;
+  ++stats_.chunksWritten;
+  stats_.reportsWritten += buffer_.size();
+  stats_.reportsBuffered -= buffer_.size();
+  buffer_.clear();
+  if (config_.fsyncEveryChunks > 0 &&
+      ++chunksSinceSync_ >= config_.fsyncEveryChunks) {
+    sync();
+  }
+}
+
+void CaptureWriter::sync() {
+  if (fd_ < 0) return;
+  if (::fsync(fd_) != 0) {
+    throw std::runtime_error("capture: fsync failed: " + path_ + ": " +
+                             std::strerror(errno));
+  }
+  ++stats_.fsyncs;
+  chunksSinceSync_ = 0;
+}
+
+void CaptureWriter::close() {
+  if (fd_ < 0) return;
+  flush();
+  sync();
+  const int fd = fd_;
+  fd_ = -1;
+  if (::close(fd) != 0) {
+    throw std::runtime_error("capture: close failed: " + path_ + ": " +
+                             std::strerror(errno));
+  }
+}
+
+void CaptureWriter::appendBytes(const std::vector<uint8_t>& bytes) {
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::write(fd_, bytes.data() + written,
+                              bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("capture: write failed: " + path_ + ": " +
+                               std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  stats_.bytesWritten += bytes.size();
+}
+
+}  // namespace tagspin::capture

@@ -1,0 +1,90 @@
+// CaptureWriter: crash-safe, chunk-at-a-time appender for capture files.
+//
+// The append model is the opposite of CheckpointStore's whole-file
+// replacement: a capture grows for the life of a recording, so it is
+// appended chunk by chunk (each chunk self-framed with length + CRC, see
+// capture/format.hpp) with an fsync cadence bounding how much a power cut
+// can cost.  Crash safety is recovered at *open* time: reopening an
+// existing capture walks its chunks strictly, truncates any torn tail left
+// by a crashed writer (a partial chunk can never validate), and resumes
+// appending with the next sequence number -- so a kill -9 mid-write costs
+// at most the unsynced suffix, never the file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "capture/format.hpp"
+
+namespace tagspin::capture {
+
+struct CaptureWriterConfig {
+  /// Reports buffered before a chunk is framed and appended.  Smaller
+  /// chunks bound both the corruption blast radius (one bad CRC loses one
+  /// chunk) and the crash window; 64 reports is ~0.6 KiB framed.
+  size_t chunkReports = 64;
+  /// fsync after every Nth appended chunk (1 = every chunk; 0 = only on
+  /// close).  The crash-loss bound in reports is chunkReports *
+  /// fsyncEveryChunks.
+  size_t fsyncEveryChunks = 4;
+};
+
+struct CaptureWriterStats {
+  uint64_t reportsBuffered = 0;   // accepted, not yet framed
+  uint64_t reportsWritten = 0;    // framed into appended chunks
+  uint64_t chunksWritten = 0;
+  uint64_t bytesWritten = 0;      // this writer's appends (excl. preexisting)
+  uint64_t fsyncs = 0;
+  /// Torn bytes truncated from a preexisting file at open.
+  uint64_t tornBytesTruncated = 0;
+  /// Valid chunks found in a preexisting file at open.
+  uint64_t chunksRecoveredOnOpen = 0;
+};
+
+class CaptureWriter {
+ public:
+  /// Open (or create) `path` for appending.  A fresh file gets the format
+  /// header; an existing capture is validated and its torn tail truncated.
+  /// Throws std::runtime_error on I/O failure and CaptureVersionError /
+  /// std::invalid_argument when the existing file is not an appendable
+  /// capture (wrong magic or major version -- appending to an alien file
+  /// would corrupt it).
+  explicit CaptureWriter(std::string path, CaptureWriterConfig config = {});
+  ~CaptureWriter();
+  CaptureWriter(const CaptureWriter&) = delete;
+  CaptureWriter& operator=(const CaptureWriter&) = delete;
+
+  /// Buffer one report (deliveryS = transport delivery time); flushes a
+  /// chunk when the buffer reaches chunkReports.
+  void append(const rfid::TagReport& report, double deliveryS);
+  void append(const TimedStream& reports);
+
+  /// Frame and append the buffered reports now (no-op when empty).
+  void flush();
+
+  /// fsync the file descriptor now.
+  void sync();
+
+  /// flush + fsync + close.  Idempotent; the destructor calls it too
+  /// (swallowing errors -- call close() yourself to observe them).
+  void close();
+
+  const std::string& path() const { return path_; }
+  const CaptureWriterStats& stats() const { return stats_; }
+  uint32_t nextSequence() const { return nextSequence_; }
+  bool isOpen() const { return fd_ >= 0; }
+
+ private:
+  void appendBytes(const std::vector<uint8_t>& bytes);
+
+  std::string path_;
+  CaptureWriterConfig config_;
+  int fd_ = -1;
+  uint32_t nextSequence_ = 0;
+  size_t chunksSinceSync_ = 0;
+  TimedStream buffer_;
+  CaptureWriterStats stats_;
+};
+
+}  // namespace tagspin::capture

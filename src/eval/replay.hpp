@@ -1,0 +1,134 @@
+// Replay harness: record a live chaotic session to a capture file, then
+// prove the capture is a faithful, deterministic stand-in for the live run.
+//
+// One harness run exercises the whole record/replay loop:
+//  * LIVE arm -- the soak scenario (flaky transport, standard outage
+//    script) supervised as usual, with a RecordingTransport tap writing
+//    every delivered report + its delivery time to a capture file through
+//    the crash-safe writer;
+//  * REPLAY arm -- the capture is decoded and a ReplayTransport drives an
+//    identical supervisor at 1x; the fix should match the live arm (the
+//    capture preserves delivery timing, so the ingest path sees the same
+//    bursts and gaps at the same ticks);
+//  * DETERMINISM gate -- the replay arm runs twice; the two fix digests
+//    must be bit-identical (FNV-1a over the raw double bits, no epsilon);
+//  * CORRUPTION pass -- a seeded 1%-of-chunks bit-flip pass over the
+//    capture image, decoded tolerantly; recovery rate = reports recovered /
+//    reports in the intact file (gate: >= 99%), and the recovered stream
+//    must still produce a fix;
+//  * THROUGHPUT -- decode + re-encode + drain the whole capture as fast as
+//    possible, reports per host second;
+//  * FLEET load generation -- the one capture fans out through N
+//    per-session ReplayTransports at `fleetSpeed`x into a FleetManager,
+//    measuring ingest throughput and eventual fix rate at fleet scale
+//    without any live reader.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "capture/format.hpp"
+#include "runtime/supervisor.hpp"
+#include "sim/scenario.hpp"
+
+namespace tagspin::eval {
+
+struct ReplayEvalConfig {
+  sim::ScenarioConfig scenario;
+  sim::Region region;
+  int rigCount = 3;
+  /// Capture length in rig revolutions.
+  double revolutions = 10.0;
+  double tickS = 0.05;
+  double settleS = 2.0;
+
+  runtime::SupervisorConfig supervisor = defaultSupervisorConfig();
+  double connectDelayS = 0.05;
+
+  /// Capture file path ("" -> "replay_capture.tspc" in the CWD).
+  std::string capturePath;
+  /// Small chunks keep the corruption blast radius well under 1% of the
+  /// stream (the recovery gate has margin by construction).
+  size_t chunkReports = 16;
+
+  /// Fraction of chunks hit by the seeded bit-flip pass (floor of
+  /// fraction * chunks, at least 1).
+  double corruptFraction = 0.01;
+
+  /// Fleet load-generation phase (0 sessions disables).
+  size_t fleetSessions = 64;
+  size_t fleetShards = 4;
+  double fleetSpeed = 8.0;
+  double fleetTickS = 0.1;
+
+  uint64_t seed = 0x9E9417ULL;
+
+  static runtime::SupervisorConfig defaultSupervisorConfig();
+};
+
+/// One replay run of the capture through a supervised session.
+struct ReplayArmResult {
+  bool ok = false;
+  double errorCm = 0.0;
+  double positionX = 0.0;
+  double positionY = 0.0;
+  uint64_t fixDigest = 0;
+  std::string grade;
+  std::string failure;
+  uint64_t reportsIngested = 0;
+};
+
+struct ReplayEvalResult {
+  // Live (recorded) arm.
+  bool liveOk = false;
+  double liveErrorCm = 0.0;
+  double livePositionX = 0.0;
+  double livePositionY = 0.0;
+  uint64_t liveFixDigest = 0;
+  std::string liveGrade;
+  uint64_t liveReportsIngested = 0;
+
+  // Capture accounting.
+  size_t reportsCaptured = 0;
+  size_t chunksCaptured = 0;
+  uint64_t captureBytes = 0;
+  /// Strict and tolerant decodes of the intact file agree byte-for-byte.
+  bool captureIntact = false;
+  /// Capture bytes per report (compression vs the 40-byte LLRP frame).
+  double bytesPerReport = 0.0;
+
+  // Replay parity + determinism.
+  ReplayArmResult replay1;
+  ReplayArmResult replay2;
+  bool replayDeterministic = false;  // replay1.fixDigest == replay2.fixDigest
+  /// |replay - live| position delta, cm (0 when both fixes are present and
+  /// the ingest paths matched exactly).
+  double fixParityCm = -1.0;
+  bool fixParityExact = false;  // live and replay digests bit-identical
+
+  // Throughput: decode capture + re-encode + drain + wire-decode, all-out.
+  double replayWallS = 0.0;
+  double replayThroughputRps = 0.0;
+
+  // Corruption pass.
+  size_t chunksCorrupted = 0;
+  capture::CaptureStats corruptStats;
+  double recoveryRate = 0.0;
+  ReplayArmResult corruptReplay;
+
+  // Fleet load generation.
+  size_t fleetSessions = 0;
+  size_t fleetShards = 0;
+  size_t fleetSessionsWithFix = 0;
+  double fleetFixRate = 0.0;
+  uint64_t fleetReportsIngested = 0;
+  double fleetWallS = 0.0;
+  double fleetThroughputRps = 0.0;
+};
+
+ReplayEvalResult runReplayEval(const ReplayEvalConfig& config);
+
+/// Full result as JSON (the BENCH_replay.json payload).
+std::string replayJson(const ReplayEvalResult& result);
+
+}  // namespace tagspin::eval

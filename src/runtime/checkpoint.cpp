@@ -161,12 +161,22 @@ core::Result<core::CalibrationCheckpoint> CheckpointStore::load() const {
   std::ostringstream buf;
   buf << in.rdbuf();
   const core::Result<std::string> payload = unframe(buf.str());
-  if (!payload) return R::fail(payload.error().code, payload.error().message);
+  if (!payload) {
+    // A file existed but failed integrity -- this is data loss, not a fresh
+    // start.  Journal it so operators can tell the two apart without
+    // correlating error codes by hand.
+    obs::record(journal_, 0.0, obs::Severity::kWarn, "checkpoint discarded",
+                {{"path", path_}, {"reason", payload.error().message}});
+    return R::fail(payload.error().code, payload.error().message);
+  }
   try {
     return R::ok(core::checkpointFromString(*payload));
   } catch (const std::exception& e) {
-    return R::fail(core::ErrorCode::kCheckpointCorrupt,
-                   std::string("checkpoint: payload malformed: ") + e.what());
+    const std::string reason =
+        std::string("checkpoint: payload malformed: ") + e.what();
+    obs::record(journal_, 0.0, obs::Severity::kWarn, "checkpoint discarded",
+                {{"path", path_}, {"reason", reason}});
+    return R::fail(core::ErrorCode::kCheckpointCorrupt, reason);
   }
 }
 

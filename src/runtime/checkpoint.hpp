@@ -19,6 +19,7 @@
 
 #include "core/errors.hpp"
 #include "core/serialization.hpp"
+#include "obs/journal.hpp"
 
 namespace tagspin::runtime {
 
@@ -43,6 +44,12 @@ class CheckpointStore {
   /// kCheckpointCorrupt on any integrity failure.
   core::Result<core::CalibrationCheckpoint> load() const;
 
+  /// Optional event journal.  When set, load() records a kWarn event each
+  /// time a torn or CRC-failed checkpoint is discarded, so operators can
+  /// tell "no checkpoint" (fresh start) from "corrupt checkpoint" (data
+  /// loss) in the journal rather than only via the returned error code.
+  void setJournal(obs::EventJournal* journal) { journal_ = journal; }
+
   /// Frame / unframe without touching the filesystem (exposed for tests).
   static std::string frame(const std::string& payload);
   static core::Result<std::string> unframe(const std::string& fileContents);
@@ -57,6 +64,7 @@ class CheckpointStore {
 
  private:
   std::string path_;
+  obs::EventJournal* journal_ = nullptr;
 };
 
 }  // namespace tagspin::runtime

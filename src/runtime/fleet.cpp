@@ -635,6 +635,10 @@ size_t FleetManager::restore() {
     if (!payload) {
       ++shard->counters.checkpointFailures;
       obs::add(obs_.checkpointFailures);
+      obs::record(config_.journal, 0.0, obs::Severity::kWarn,
+                  "fleet shard checkpoint discarded",
+                  {{"shard", std::to_string(shard->index)},
+                   {"reason", payload.error().message}});
       continue;
     }
     const std::string& text = *payload;
@@ -673,9 +677,14 @@ size_t FleetManager::restore() {
         it->second->supervisor->restoreFrom(core::checkpointFromString(slice));
         it->second->hasFix = false;  // recompute from restored state
         ++restored;
-      } catch (const std::exception&) {
+      } catch (const std::exception& e) {
         ++shard->counters.checkpointFailures;
         obs::add(obs_.checkpointFailures);
+        obs::record(config_.journal, 0.0, obs::Severity::kWarn,
+                    "fleet member checkpoint discarded",
+                    {{"session", name},
+                     {"shard", std::to_string(shard->index)},
+                     {"reason", e.what()}});
       }
     }
   }

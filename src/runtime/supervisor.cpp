@@ -76,6 +76,7 @@ Supervisor::Supervisor(SupervisorConfig config,
   if (config_.journal && !config_.session.journal) {
     config_.session.journal = config_.journal;
   }
+  if (store_ && config_.journal) store_->setJournal(config_.journal);
   obs_ = Instruments::resolve(config_.metrics);
   locator_.setMetrics(config_.metrics);
 }

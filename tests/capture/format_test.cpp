@@ -1,0 +1,382 @@
+#include "capture/format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numbers>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "capture/digest.hpp"
+#include "rfid/llrp.hpp"
+#include "runtime/checkpoint.hpp"
+
+namespace tagspin::capture {
+namespace {
+
+// Build a report from the format's own quantisation lattice (microsecond
+// timestamps, 12-bit phase, centi-dBm RSSI, kHz frequency), computed exactly
+// the way the decoder reconstructs them -- round trips must then be
+// double-bit-exact, not merely close.
+TimedReport quantizedReport(uint32_t tag, int64_t readerUs, int64_t deliveryUs,
+                            int phase12, int rssiCenti, int channel,
+                            uint32_t khz, int port) {
+  TimedReport tr;
+  tr.report.epc = rfid::Epc::forSimulatedTag(tag);
+  tr.report.timestampS = static_cast<double>(readerUs) / 1e6;
+  tr.report.phaseRad = static_cast<double>(phase12 & 0x0FFF) / 4096.0 * 2.0 *
+                       std::numbers::pi;
+  tr.report.rssiDbm = static_cast<double>(rssiCenti) / 100.0;
+  tr.report.channelIndex = channel;
+  tr.report.frequencyHz = static_cast<double>(khz) * 1e3;
+  tr.report.antennaPort = port;
+  tr.deliveryS = static_cast<double>(deliveryUs) / 1e6;
+  return tr;
+}
+
+// A mildly hostile stream: several EPCs and channels, out-of-order reader
+// timestamps (negative deltas stress the zigzag varints), and deliveries
+// that both precede and trail the reader clock.
+TimedStream sampleStream(size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  TimedStream out;
+  int64_t us = 1'000'000;
+  for (size_t i = 0; i < n; ++i) {
+    us += static_cast<int64_t>(rng() % 20000) - 5000;
+    const int64_t deliveryUs = us + static_cast<int64_t>(rng() % 30000) - 1000;
+    out.push_back(quantizedReport(
+        static_cast<uint32_t>(rng() % 5), us, deliveryUs,
+        static_cast<int>(rng() % 4096), -9000 + static_cast<int>(rng() % 4000),
+        static_cast<int>(rng() % 50),
+        902750 + 500 * static_cast<uint32_t>(rng() % 16),
+        static_cast<int>(rng() % 4)));
+  }
+  return out;
+}
+
+// Header + the stream framed as ceil(n / chunkReports) sequential chunks.
+std::vector<uint8_t> image(const TimedStream& s, size_t chunkReports) {
+  std::vector<uint8_t> bytes = encodeFileHeader();
+  uint32_t seq = 0;
+  for (size_t at = 0; at < s.size(); at += chunkReports) {
+    const size_t n = std::min(chunkReports, s.size() - at);
+    const std::vector<uint8_t> chunk =
+        encodeChunk(std::span(s).subspan(at, n), seq++);
+    bytes.insert(bytes.end(), chunk.begin(), chunk.end());
+  }
+  return bytes;
+}
+
+void put32be(std::vector<uint8_t>& d, size_t at, uint32_t v) {
+  d[at] = static_cast<uint8_t>(v >> 24);
+  d[at + 1] = static_cast<uint8_t>(v >> 16);
+  d[at + 2] = static_cast<uint8_t>(v >> 8);
+  d[at + 3] = static_cast<uint8_t>(v);
+}
+
+// Rewrite the file header's version bytes and re-seal its CRC: a *valid*
+// header carrying a different version, i.e. skew rather than rot.
+void setHeaderVersion(std::vector<uint8_t>& d, uint8_t major, uint8_t minor) {
+  ASSERT_GE(d.size(), kFileHeaderSize);
+  d[4] = major;
+  d[5] = minor;
+  put32be(d, 12, runtime::crc32(std::span(d).subspan(0, 12)));
+}
+
+void expectEqualStreams(const TimedStream& want, const TimedStream& got) {
+  ASSERT_EQ(want.size(), got.size());
+  EXPECT_EQ(streamDigest(stripTiming(want)), streamDigest(stripTiming(got)));
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i].deliveryS, got[i].deliveryS) << "report " << i;
+  }
+}
+
+TEST(CaptureFormat, RoundTripIsBitExact) {
+  const TimedStream s = sampleStream(100, 1);
+  const std::vector<uint8_t> bytes = image(s, 16);
+
+  expectEqualStreams(s, decodeCapture(bytes));
+
+  CaptureStats stats;
+  expectEqualStreams(s, decodeCaptureTolerant(bytes, &stats));
+  EXPECT_EQ(stats.versionMajor, kVersionMajor);
+  EXPECT_FALSE(stats.headerRecovered);
+  EXPECT_EQ(stats.chunksDecoded, 7u);  // 6 full chunks of 16 + one of 4
+  EXPECT_EQ(stats.chunksSkipped, 0u);
+  EXPECT_EQ(stats.chunksDuplicated, 0u);
+  EXPECT_EQ(stats.reportsRecovered, 100u);
+  EXPECT_EQ(stats.bytesResynced, 0u);
+  EXPECT_EQ(stats.bytesTotal, bytes.size());
+}
+
+TEST(CaptureFormat, QuantisationMirrorsLlrpWireCodec) {
+  // Arbitrary (unquantized) reports canonicalized through the LLRP wire
+  // codec must survive a capture round trip with wire parity: re-encoding
+  // the decoded capture yields the exact frames the reader produced.  This
+  // is the property that makes replay determinism a byte-equality claim.
+  rfid::ReportStream raw;
+  for (int i = 0; i < 7; ++i) {
+    rfid::TagReport r;
+    r.epc = rfid::Epc::forSimulatedTag(static_cast<uint32_t>(i % 3));
+    r.timestampS = 3.14159265 + 0.0137 * i;
+    r.phaseRad = 0.7 + 0.811 * i;  // wraps past 2*pi
+    r.rssiDbm = -61.237 - 0.513 * i;
+    r.channelIndex = 10 + i;
+    r.frequencyHz = 902.75e6 + 0.5e6 * i;
+    r.antennaPort = i % 4;
+    raw.push_back(r);
+  }
+  rfid::ReportStream canonical;
+  for (const rfid::TagReport& r : raw) {
+    canonical.push_back(rfid::llrp::decodeReport(rfid::llrp::encodeReport(r)));
+  }
+
+  const TimedStream decoded =
+      decodeCapture(image(withReaderTiming(canonical), 4));
+  EXPECT_EQ(rfid::llrp::encodeStream(stripTiming(decoded)),
+            rfid::llrp::encodeStream(canonical));
+}
+
+TEST(CaptureFormat, NonMonotonicTimestampsAndEarlyDeliverySurvive) {
+  TimedStream s;
+  s.push_back(quantizedReport(0, 2'000'000, 2'500'000, 100, -6000, 3, 902750, 0));
+  s.push_back(quantizedReport(1, 1'500'000, 1'400'000, 200, -6100, 3, 902750, 1));
+  s.push_back(quantizedReport(0, 9'000'000, 9'000'000, 300, -6200, 4, 903250, 2));
+  expectEqualStreams(s, decodeCapture(image(s, 8)));
+}
+
+TEST(CaptureFormat, EmptyChunkAndDictionaryOverflowThrow) {
+  EXPECT_THROW(encodeChunk({}, 0), std::invalid_argument);
+
+  TimedStream manyEpcs;
+  for (uint32_t i = 0; i < kMaxDictEntries + 1; ++i) {
+    manyEpcs.push_back(quantizedReport(i, 1'000'000 + i, 1'000'000 + i, 0,
+                                       -6000, 0, 902750, 0));
+  }
+  EXPECT_THROW(encodeChunk(manyEpcs, 0), std::invalid_argument);
+  // One fewer EPC fits exactly.
+  manyEpcs.pop_back();
+  EXPECT_NO_THROW(encodeChunk(manyEpcs, 0));
+}
+
+TEST(CaptureFormat, HeaderOnlyFileDecodesEmpty) {
+  const std::vector<uint8_t> bytes = encodeFileHeader();
+  EXPECT_TRUE(decodeCapture(bytes).empty());
+  CaptureStats stats;
+  EXPECT_TRUE(decodeCaptureTolerant(bytes, &stats).empty());
+  EXPECT_EQ(stats.chunksDecoded, 0u);
+  EXPECT_FALSE(stats.headerRecovered);
+}
+
+TEST(CaptureFormat, MinorVersionSkewIsIgnored) {
+  const TimedStream s = sampleStream(20, 2);
+  std::vector<uint8_t> bytes = image(s, 8);
+  setHeaderVersion(bytes, kVersionMajor, kVersionMinor + 9);
+
+  CaptureStats stats;
+  expectEqualStreams(s, decodeCaptureTolerant(bytes, &stats));
+  EXPECT_EQ(stats.versionMinor, kVersionMinor + 9);
+  EXPECT_FALSE(stats.headerRecovered);
+  expectEqualStreams(s, decodeCapture(bytes));
+}
+
+TEST(CaptureFormat, ForeignMajorVersionHardFailsEverywhere) {
+  std::vector<uint8_t> bytes = image(sampleStream(20, 3), 8);
+  setHeaderVersion(bytes, kVersionMajor + 1, 0);
+
+  // The one condition the tolerant reader refuses to guess through.
+  EXPECT_THROW(decodeCapture(bytes), CaptureVersionError);
+  EXPECT_THROW(decodeCaptureTolerant(bytes), CaptureVersionError);
+  EXPECT_THROW(scanValidPrefix(bytes), CaptureVersionError);
+}
+
+TEST(CaptureFormat, RottenFileHeaderIsResyncedPast) {
+  const TimedStream s = sampleStream(30, 4);
+  std::vector<uint8_t> bytes = image(s, 10);
+  bytes[2] ^= 0x40;  // break the magic; the CRC no longer matters
+
+  EXPECT_THROW(decodeCapture(bytes), std::invalid_argument);
+
+  CaptureStats stats;
+  expectEqualStreams(s, decodeCaptureTolerant(bytes, &stats));
+  EXPECT_TRUE(stats.headerRecovered);
+  EXPECT_EQ(stats.versionMajor, kVersionMajor);
+  EXPECT_EQ(stats.chunksDecoded, 3u);
+}
+
+TEST(CaptureFormat, PayloadBitFlipLosesExactlyThatChunk) {
+  const TimedStream s = sampleStream(40, 5);
+  std::vector<uint8_t> bytes = image(s, 10);  // 4 chunks of 10
+
+  // Hit the second chunk's payload (skip past header + chunk 0).
+  const std::vector<uint8_t> chunk0 = encodeChunk(std::span(s).first(10), 0);
+  const std::vector<uint8_t> chunk1 =
+      encodeChunk(std::span(s).subspan(10, 10), 1);
+  const size_t target = kFileHeaderSize + chunk0.size() + kChunkHeaderSize + 5;
+  bytes[target] ^= 0x01;
+
+  EXPECT_THROW(decodeCapture(bytes), std::invalid_argument);
+
+  CaptureStats stats;
+  const TimedStream got = decodeCaptureTolerant(bytes, &stats);
+  TimedStream want(s.begin(), s.begin() + 10);
+  want.insert(want.end(), s.begin() + 20, s.end());
+  expectEqualStreams(want, got);
+  EXPECT_EQ(stats.chunksDecoded, 3u);
+  EXPECT_EQ(stats.chunksSkipped, 1u);
+  EXPECT_EQ(stats.bytesResynced, chunk1.size());
+}
+
+TEST(CaptureFormat, ChunkHeaderBitFlipResyncsToNextChunk) {
+  const TimedStream s = sampleStream(40, 6);
+  std::vector<uint8_t> bytes = image(s, 10);
+  const size_t chunk0Size = encodeChunk(std::span(s).first(10), 0).size();
+  // Flip a bit in chunk 1's length field: the header CRC must catch it
+  // before the bogus length walks the reader off the file.
+  bytes[kFileHeaderSize + chunk0Size + 5] ^= 0x80;
+
+  CaptureStats stats;
+  const TimedStream got = decodeCaptureTolerant(bytes, &stats);
+  // Chunk 1 is gone; chunks 0, 2, 3 recovered intact.
+  ASSERT_EQ(got.size(), 30u);
+  TimedStream want(s.begin(), s.begin() + 10);
+  want.insert(want.end(), s.begin() + 20, s.end());
+  expectEqualStreams(want, got);
+  EXPECT_GE(stats.chunksSkipped, 1u);
+  EXPECT_GT(stats.bytesResynced, 0u);
+}
+
+TEST(CaptureFormat, MidChunkTruncationKeepsEveryFullChunk) {
+  const TimedStream s = sampleStream(40, 7);
+  const std::vector<uint8_t> full = image(s, 10);
+  const size_t lastChunkSize =
+      encodeChunk(std::span(s).subspan(30, 10), 3).size();
+  // Tear the last chunk in half, as a crashed writer would.
+  const std::vector<uint8_t> torn(full.begin(),
+                                  full.end() - lastChunkSize / 2);
+
+  CaptureStats stats;
+  const TimedStream got = decodeCaptureTolerant(torn, &stats);
+  expectEqualStreams(TimedStream(s.begin(), s.begin() + 30), got);
+  EXPECT_EQ(stats.chunksDecoded, 3u);
+  EXPECT_GT(stats.bytesResynced + stats.chunksSkipped, 0u);
+}
+
+TEST(CaptureFormat, DuplicatedChunkIsDroppedBySequence) {
+  const TimedStream s = sampleStream(30, 8);
+  std::vector<uint8_t> bytes = image(s, 10);
+  const std::vector<uint8_t> chunk1 =
+      encodeChunk(std::span(s).subspan(10, 10), 1);
+  bytes.insert(bytes.end(), chunk1.begin(), chunk1.end());
+
+  // Strict decode refuses the out-of-order sequence number.
+  EXPECT_THROW(decodeCapture(bytes), std::invalid_argument);
+
+  CaptureStats stats;
+  expectEqualStreams(s, decodeCaptureTolerant(bytes, &stats));
+  EXPECT_EQ(stats.chunksDecoded, 3u);
+  EXPECT_EQ(stats.chunksDuplicated, 1u);
+}
+
+TEST(CaptureFormat, GarbageBetweenChunksIsResyncedOver) {
+  const TimedStream s = sampleStream(20, 9);
+  const std::vector<uint8_t> chunk0 = encodeChunk(std::span(s).first(10), 0);
+  const std::vector<uint8_t> chunk1 =
+      encodeChunk(std::span(s).subspan(10, 10), 1);
+  std::vector<uint8_t> bytes = encodeFileHeader();
+  bytes.insert(bytes.end(), chunk0.begin(), chunk0.end());
+  for (int i = 0; i < 37; ++i) bytes.push_back(static_cast<uint8_t>(i * 7));
+  bytes.insert(bytes.end(), chunk1.begin(), chunk1.end());
+
+  CaptureStats stats;
+  expectEqualStreams(s, decodeCaptureTolerant(bytes, &stats));
+  EXPECT_EQ(stats.chunksDecoded, 2u);
+  EXPECT_GE(stats.bytesResynced, 37u);
+}
+
+TEST(CaptureFormat, ScanValidPrefixWalksChunksStrictly) {
+  const TimedStream s = sampleStream(30, 10);
+  const std::vector<uint8_t> bytes = image(s, 10);
+
+  const PrefixScan whole = scanValidPrefix(bytes);
+  EXPECT_TRUE(whole.headerValid);
+  EXPECT_EQ(whole.validBytes, bytes.size());
+  EXPECT_EQ(whole.chunks, 3u);
+  EXPECT_EQ(whole.nextSequence, 3u);
+
+  // A torn tail ends the prefix at the last intact chunk boundary.
+  std::vector<uint8_t> torn(bytes.begin(), bytes.end() - 7);
+  const PrefixScan tornScan = scanValidPrefix(torn);
+  EXPECT_TRUE(tornScan.headerValid);
+  EXPECT_EQ(tornScan.chunks, 2u);
+  EXPECT_LT(tornScan.validBytes, torn.size());
+
+  // A broken header yields no prefix at all.
+  std::vector<uint8_t> rotten = bytes;
+  rotten[0] ^= 0xFF;
+  const PrefixScan rottenScan = scanValidPrefix(rotten);
+  EXPECT_FALSE(rottenScan.headerValid);
+  EXPECT_EQ(rottenScan.validBytes, 0u);
+}
+
+// Seeded fuzz corpus over the mutations a capture meets in the wild: bit
+// flips, truncation, duplicated chunk images, and garbage splices.  The
+// tolerant reader must never throw (foreign-major skew is the only sanctioned
+// failure and random damage cannot forge a valid-CRC header), and recovery is
+// all-or-nothing per chunk -- with every chunk the same size, whatever comes
+// back is a multiple of the chunk report count.  run_sanitized.sh runs this
+// under ASan/UBSan, where any out-of-bounds walk the CRCs missed would trap.
+TEST(CaptureFormatFuzz, MutatedCapturesNeverThrowAndRecoverWholeChunks) {
+  constexpr size_t kChunkReports = 8;
+  constexpr size_t kReports = 64;
+  std::mt19937_64 rng(0xF00DF00DULL);
+
+  for (int trial = 0; trial < 300; ++trial) {
+    const TimedStream s = sampleStream(kReports, 1000 + trial);
+    std::vector<uint8_t> bytes = image(s, kChunkReports);
+
+    switch (trial % 4) {
+      case 0: {  // bit flips (1-4 of them)
+        const int flips = 1 + trial % 4;
+        for (int i = 0; i < flips; ++i) {
+          bytes[rng() % bytes.size()] ^= static_cast<uint8_t>(1u << (rng() % 8));
+        }
+        break;
+      }
+      case 1: {  // truncation at an arbitrary byte
+        bytes.resize(rng() % bytes.size());
+        break;
+      }
+      case 2: {  // duplicate a random slice (may clone whole chunks)
+        const size_t from = rng() % bytes.size();
+        const size_t len = std::min(bytes.size() - from,
+                                    1 + rng() % (bytes.size() / 2));
+        std::vector<uint8_t> slice(bytes.begin() + from,
+                                   bytes.begin() + from + len);
+        const size_t at = rng() % (bytes.size() + 1);
+        bytes.insert(bytes.begin() + at, slice.begin(), slice.end());
+        break;
+      }
+      default: {  // splice random garbage at a random offset
+        std::vector<uint8_t> garbage(1 + rng() % 64);
+        for (uint8_t& b : garbage) b = static_cast<uint8_t>(rng());
+        const size_t at = rng() % (bytes.size() + 1);
+        bytes.insert(bytes.begin() + at, garbage.begin(), garbage.end());
+        break;
+      }
+    }
+
+    CaptureStats stats;
+    TimedStream got;
+    ASSERT_NO_THROW(got = decodeCaptureTolerant(bytes, &stats))
+        << "trial " << trial;
+    EXPECT_LE(got.size(), kReports) << "trial " << trial;
+    EXPECT_EQ(got.size() % kChunkReports, 0u)
+        << "trial " << trial << ": partial chunk leaked";
+    EXPECT_EQ(got.size(), stats.reportsRecovered) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace tagspin::capture

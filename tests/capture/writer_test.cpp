@@ -1,0 +1,237 @@
+#include "capture/writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <numbers>
+#include <string>
+#include <vector>
+
+#include "capture/digest.hpp"
+#include "runtime/checkpoint.hpp"
+
+namespace tagspin::capture {
+namespace {
+
+TimedStream quantizedStream(size_t n, int64_t startUs) {
+  TimedStream out;
+  for (size_t i = 0; i < n; ++i) {
+    TimedReport tr;
+    tr.report.epc = rfid::Epc::forSimulatedTag(static_cast<uint32_t>(i % 3));
+    const int64_t us = startUs + static_cast<int64_t>(i) * 2500;
+    tr.report.timestampS = static_cast<double>(us) / 1e6;
+    tr.report.phaseRad = static_cast<double>((i * 37) % 4096) / 4096.0 * 2.0 *
+                         std::numbers::pi;
+    tr.report.rssiDbm = static_cast<double>(-6000 - static_cast<int>(i)) / 100.0;
+    tr.report.channelIndex = static_cast<int>(i % 16);
+    tr.report.frequencyHz = static_cast<double>(902750 + 500 * (i % 16)) * 1e3;
+    tr.report.antennaPort = static_cast<int>(i % 4);
+    tr.deliveryS = static_cast<double>(us + 800) / 1e6;
+    out.push_back(tr);
+  }
+  return out;
+}
+
+void expectEqualStreams(const TimedStream& want, const TimedStream& got) {
+  ASSERT_EQ(want.size(), got.size());
+  EXPECT_EQ(streamDigest(stripTiming(want)), streamDigest(stripTiming(got)));
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i].deliveryS, got[i].deliveryS) << "report " << i;
+  }
+}
+
+class CaptureWriterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             "tagspin_capture_writer_test.tspc")
+                .string();
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(CaptureWriterTest, FreshFileRoundTripsStrictly) {
+  const TimedStream s = quantizedStream(100, 1'000'000);
+  {
+    CaptureWriter writer(path_, {.chunkReports = 16, .fsyncEveryChunks = 2});
+    writer.append(s);
+    writer.close();
+    // 6 full chunks of 16 plus the close-flush of the remaining 4.
+    EXPECT_EQ(writer.stats().chunksWritten, 7u);
+    EXPECT_EQ(writer.stats().reportsWritten, 100u);
+    EXPECT_EQ(writer.stats().reportsBuffered, 0u);
+    // Header sync + every 2nd chunk + close.
+    EXPECT_GE(writer.stats().fsyncs, 4u);
+    EXPECT_EQ(writer.nextSequence(), 7u);
+    EXPECT_FALSE(writer.isOpen());
+  }
+
+  // The strict decoder is the oracle: a freshly written file must be a
+  // perfect prefix, no tolerance required.
+  expectEqualStreams(s, readCaptureFile(path_, /*tolerant=*/false));
+
+  CaptureStats stats;
+  expectEqualStreams(s, readCaptureFile(path_, /*tolerant=*/true, &stats));
+  EXPECT_EQ(stats.chunksDecoded, 7u);
+  EXPECT_EQ(stats.chunksSkipped, 0u);
+  EXPECT_EQ(stats.bytesResynced, 0u);
+}
+
+TEST_F(CaptureWriterTest, CloseIsIdempotentAndFlushesTail) {
+  CaptureWriter writer(path_, {.chunkReports = 64, .fsyncEveryChunks = 0});
+  const TimedStream s = quantizedStream(10, 5'000'000);
+  writer.append(s);
+  EXPECT_EQ(writer.stats().reportsBuffered, 10u);
+  EXPECT_EQ(writer.stats().chunksWritten, 0u);
+  writer.close();
+  writer.close();  // idempotent
+  EXPECT_EQ(writer.stats().chunksWritten, 1u);
+  expectEqualStreams(s, readCaptureFile(path_, false));
+  EXPECT_THROW(writer.append(s.front().report, 0.0), std::runtime_error);
+}
+
+TEST_F(CaptureWriterTest, ReopenResumesSequenceNumbers) {
+  const TimedStream first = quantizedStream(32, 1'000'000);
+  const TimedStream second = quantizedStream(16, 9'000'000);
+  {
+    CaptureWriter writer(path_, {.chunkReports = 16});
+    writer.append(first);
+    writer.close();
+  }
+  {
+    CaptureWriter writer(path_, {.chunkReports = 16});
+    EXPECT_EQ(writer.stats().chunksRecoveredOnOpen, 2u);
+    EXPECT_EQ(writer.stats().tornBytesTruncated, 0u);
+    EXPECT_EQ(writer.nextSequence(), 2u);
+    writer.append(second);
+    writer.close();
+  }
+
+  TimedStream want = first;
+  want.insert(want.end(), second.begin(), second.end());
+  // Strict decode proves the resumed sequence numbering is contiguous.
+  expectEqualStreams(want, readCaptureFile(path_, false));
+}
+
+TEST_F(CaptureWriterTest, TornTailIsTruncatedOnReopen) {
+  const TimedStream s = quantizedStream(32, 1'000'000);
+  {
+    CaptureWriter writer(path_, {.chunkReports = 16});
+    writer.append(s);
+    writer.close();
+  }
+  // Simulate a writer killed mid-append: a chunk prefix that can never
+  // validate, dangling off the end of the file.
+  const std::vector<uint8_t> torn = {'T', 'S', 'C', 'K', 0x00, 0x00,
+                                     0x01, 0x2C, 0xDE, 0xAD, 0xBE, 0xEF};
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    out.write(reinterpret_cast<const char*>(torn.data()),
+              static_cast<std::streamsize>(torn.size()));
+  }
+
+  const TimedStream more = quantizedStream(16, 9'000'000);
+  {
+    CaptureWriter writer(path_, {.chunkReports = 16});
+    EXPECT_EQ(writer.stats().tornBytesTruncated, torn.size());
+    EXPECT_EQ(writer.stats().chunksRecoveredOnOpen, 2u);
+    EXPECT_EQ(writer.nextSequence(), 2u);
+    writer.append(more);
+    writer.close();
+  }
+
+  TimedStream want = s;
+  want.insert(want.end(), more.begin(), more.end());
+  expectEqualStreams(want, readCaptureFile(path_, false));
+}
+
+TEST_F(CaptureWriterTest, TruncationAtEveryByteStaysAppendable) {
+  const TimedStream s = quantizedStream(24, 1'000'000);
+  {
+    CaptureWriter writer(path_, {.chunkReports = 8});
+    writer.append(s);
+    writer.close();
+  }
+  std::vector<char> full;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    full.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(full.size(), kFileHeaderSize);
+
+  // A crash can tear the file at any byte.  Every cut must reopen without
+  // error and keep only whole chunks (8 reports each).
+  for (size_t cut : {kFileHeaderSize, kFileHeaderSize + 1, full.size() / 3,
+                     full.size() / 2, full.size() - 1}) {
+    {
+      std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+      out.write(full.data(), static_cast<std::streamsize>(cut));
+    }
+    CaptureWriter writer(path_, {.chunkReports = 8});
+    writer.close();
+    const TimedStream got = readCaptureFile(path_, false);
+    EXPECT_EQ(got.size() % 8, 0u) << "cut at " << cut;
+    EXPECT_LE(got.size(), s.size()) << "cut at " << cut;
+  }
+}
+
+TEST_F(CaptureWriterTest, SubHeaderDebrisIsStartedOver) {
+  // A writer that died inside its very first write leaves less than one
+  // header; nothing is salvageable and the file is restarted.
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out.write("TSPC\x01", 5);
+  }
+  CaptureWriter writer(path_);
+  EXPECT_EQ(writer.stats().tornBytesTruncated, 5u);
+  EXPECT_EQ(writer.stats().chunksRecoveredOnOpen, 0u);
+  writer.append(quantizedStream(4, 1'000'000));
+  writer.close();
+  EXPECT_EQ(readCaptureFile(path_, false).size(), 4u);
+}
+
+TEST_F(CaptureWriterTest, RefusesToAppendOverAlienFile) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "definitely not a capture file, 16+ bytes of someone else's data";
+  }
+  EXPECT_THROW(CaptureWriter{path_}, std::invalid_argument);
+  // The alien file is untouched by the refusal.
+  EXPECT_GT(std::filesystem::file_size(path_), 16u);
+}
+
+TEST_F(CaptureWriterTest, RefusesForeignMajorVersion) {
+  // A valid capture header from a future major version: appending v1 chunks
+  // to it would corrupt the file for its own reader.
+  std::vector<uint8_t> header = encodeFileHeader();
+  header[4] = kVersionMajor + 1;
+  const uint32_t crc =
+      runtime::crc32(std::span<const uint8_t>(header).subspan(0, 12));
+  header[12] = static_cast<uint8_t>(crc >> 24);
+  header[13] = static_cast<uint8_t>(crc >> 16);
+  header[14] = static_cast<uint8_t>(crc >> 8);
+  header[15] = static_cast<uint8_t>(crc);
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(header.data()),
+              static_cast<std::streamsize>(header.size()));
+  }
+  EXPECT_THROW(CaptureWriter{path_}, CaptureVersionError);
+}
+
+TEST_F(CaptureWriterTest, FsyncZeroMeansOnlyOnClose) {
+  CaptureWriter writer(path_, {.chunkReports = 4, .fsyncEveryChunks = 0});
+  const uint64_t afterOpen = writer.stats().fsyncs;  // header sync
+  writer.append(quantizedStream(20, 1'000'000));
+  EXPECT_EQ(writer.stats().fsyncs, afterOpen);
+  writer.close();
+  EXPECT_EQ(writer.stats().fsyncs, afterOpen + 1);
+}
+
+}  // namespace
+}  // namespace tagspin::capture

@@ -1,0 +1,80 @@
+// End-to-end smoke of the record/replay loop: a supervised live session
+// under the standard outage script recorded through the crash-safe capture
+// writer, the capture replayed twice through an identical supervisor (the
+// fix digests must be bit-identical), a seeded 1%-chunk corruption pass
+// recovered tolerantly, and the capture fanned across a miniature fleet as
+// load generation.  A miniature fig_replay, sized for ctest; carries the
+// `replay_smoke` label so sanitizer runs can select exactly this.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "eval/replay.hpp"
+
+namespace tagspin::eval {
+namespace {
+
+TEST(ReplaySmoke, CaptureIsADeterministicStandInForTheLiveRun) {
+  ReplayEvalConfig rc;
+  rc.scenario.seed = 57;
+  rc.scenario.fixedChannel = true;
+  rc.revolutions = 3.0;  // short capture; keeps the smoke under ctest budget
+  rc.fleetSessions = 8;
+  rc.fleetShards = 2;
+  rc.capturePath = (std::filesystem::temp_directory_path() /
+                    "tagspin_replay_smoke.tspc")
+                       .string();
+  std::remove(rc.capturePath.c_str());
+
+  const ReplayEvalResult r = runReplayEval(rc);
+
+  // The live (recorded) arm produced a fix and a non-trivial capture.
+  ASSERT_TRUE(r.liveOk);
+  EXPECT_GT(r.liveReportsIngested, 0u);
+  EXPECT_GT(r.reportsCaptured, 0u);
+  EXPECT_GT(r.chunksCaptured, 10u);
+  // Strict and tolerant decodes of the intact file agree.
+  EXPECT_TRUE(r.captureIntact);
+  // The delta/dictionary coding beats the 40-byte LLRP frame comfortably.
+  EXPECT_LT(r.bytesPerReport, 20.0);
+
+  // Replaying twice yields bit-identical fixes -- the determinism gate.
+  ASSERT_TRUE(r.replay1.ok) << r.replay1.failure;
+  ASSERT_TRUE(r.replay2.ok) << r.replay2.failure;
+  EXPECT_TRUE(r.replayDeterministic);
+  EXPECT_EQ(r.replay1.fixDigest, r.replay2.fixDigest);
+
+  // Replay parity with the live arm: same capture, same supervisor, same
+  // fix to within the acceptance bound (bit-identical in practice).
+  EXPECT_GE(r.fixParityCm, 0.0);
+  EXPECT_LE(r.fixParityCm, 0.5);
+
+  // 1%-of-chunks corruption: >= 99% of reports recovered, and the
+  // recovered stream still produces a fix.
+  EXPECT_GE(r.chunksCorrupted, 1u);
+  EXPECT_EQ(r.corruptStats.chunksSkipped, r.chunksCorrupted);
+  EXPECT_GE(r.recoveryRate, 0.99);
+  EXPECT_TRUE(r.corruptReplay.ok) << r.corruptReplay.failure;
+
+  // All-out drain throughput is measured and sane.
+  EXPECT_GT(r.replayThroughputRps, 0.0);
+
+  // Fleet load generation: every session reaches a fix from the shared
+  // capture stream.
+  EXPECT_EQ(r.fleetSessions, 8u);
+  EXPECT_EQ(r.fleetSessionsWithFix, 8u);
+  EXPECT_DOUBLE_EQ(r.fleetFixRate, 1.0);
+  EXPECT_GT(r.fleetReportsIngested, 0u);
+
+  // Exports stay well-formed (CI trends parse these).
+  const std::string json = replayJson(r);
+  EXPECT_NE(json.find("\"replay_deterministic\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"recovery_rate\""), std::string::npos);
+
+  std::remove(rc.capturePath.c_str());
+}
+
+}  // namespace
+}  // namespace tagspin::eval

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "geom/angles.hpp"
+#include "obs/journal.hpp"
 
 namespace tagspin::runtime {
 namespace {
@@ -182,6 +183,55 @@ TEST_F(CheckpointStoreTest, ValidFrameWithMalformedPayloadIsCorrupt) {
   const auto result = store.load();
   ASSERT_FALSE(result.hasValue());
   EXPECT_EQ(result.code(), core::ErrorCode::kCheckpointCorrupt);
+}
+
+TEST_F(CheckpointStoreTest, DiscardedCheckpointIsJournaled) {
+  CheckpointStore store(path_);
+  obs::EventJournal journal;
+  store.setJournal(&journal);
+
+  // A clean round trip records nothing: the journal is for incidents.
+  store.save(sampleCheckpoint());
+  ASSERT_TRUE(store.load().hasValue());
+  EXPECT_EQ(journal.recorded(), 0u);
+
+  // CRC-failed payload: the discard is journaled with path + reason.
+  std::string full;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    full.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  full[full.size() - 2] ^= 0x01;
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << full;
+  }
+  ASSERT_FALSE(store.load().hasValue());
+  {
+    const auto events = journal.events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].severity, obs::Severity::kWarn);
+    EXPECT_EQ(events[0].what, "checkpoint discarded");
+    ASSERT_GE(events[0].fields.size(), 2u);
+    EXPECT_EQ(events[0].fields[0].first, "path");
+    EXPECT_EQ(events[0].fields[0].second, path_);
+    EXPECT_EQ(events[0].fields[1].first, "reason");
+    EXPECT_FALSE(events[0].fields[1].second.empty());
+  }
+
+  // Well-framed but malformed payload: also journaled (second layer).
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << CheckpointStore::frame("this is not a checkpoint");
+  }
+  ASSERT_FALSE(store.load().hasValue());
+  EXPECT_EQ(journal.recorded(), 2u);
+
+  // A *missing* checkpoint is a normal first boot, not an incident.
+  std::remove(path_.c_str());
+  ASSERT_FALSE(store.load().hasValue());
+  EXPECT_EQ(journal.recorded(), 2u);
 }
 
 TEST_F(CheckpointStoreTest, SaveIntoMissingDirectoryThrowsAndPreservesOld) {

@@ -7,7 +7,12 @@
 # treatment: consensus/bootstrap exercise the widest span of estimation
 # code under corrupted inputs.  So does the fleet smoke (label
 # `fleet_smoke`): 64 sessions over 4 fault domains with a correlated
-# outage, the widest object-lifetime churn in the runtime.
+# outage, the widest object-lifetime churn in the runtime.  The capture
+# fuzz corpus (capture_test: bit flips, truncation, duplicated chunks,
+# garbage splices against the record/replay format) and the end-to-end
+# record/replay smoke (label `replay_smoke`) round out the set: the capture
+# CRCs must stop damage before any decoder walks out of bounds, which is
+# exactly what ASan/UBSan verify.
 #
 # A final pass builds with ThreadSanitizer (its own build dir -- TSan
 # cannot share objects with ASan) and runs the `tsan`-labeled tests: the
@@ -50,6 +55,14 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -L adversarial
 echo
 echo "== fleet smoke under sanitizers (ctest -L fleet_smoke) =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L fleet_smoke
+
+echo
+echo "== capture fuzz corpus under sanitizers (ctest -R CaptureFormatFuzz) =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'CaptureFormatFuzz'
+
+echo
+echo "== record/replay smoke under sanitizers (ctest -L replay_smoke) =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L replay_smoke
 
 if [[ "${TAGSPIN_SKIP_TSAN:-0}" != "1" ]]; then
   TSAN_BUILD_DIR="${BUILD_DIR}-tsan"

@@ -33,6 +33,25 @@
 //       On-demand export: print the telemetry snapshot a serve run left in
 //       DIR (Prometheus text or JSON with the recent event journal).
 //
+//   tagspin_cli record --dir DIR [--seed N] [--revolutions R] [--rigs N]
+//                      [--no-outages] [--reader X,Y,Z] [--chunk-reports N]
+//                      [--fsync-every N]
+//       A serve run with a recording tap: every report the session's
+//       transport delivers (including outage gaps and flood bursts, with
+//       their delivery timing) is appended crash-safely to
+//       DIR/capture.tspc alongside DIR/deployment.txt.  Prints the final
+//       fix, its digest, and the capture accounting.
+//
+//   tagspin_cli replay --capture FILE --deployment FILE [--speed N]
+//                      [--strict] [--fleet-sessions N --shards K]
+//       Re-drive the runtime from a capture instead of a live reader, at N
+//       times the recorded pace (--speed 0 = as fast as possible).  The
+//       tolerant reader skips corrupt chunks (accounting printed;
+//       --strict hard-fails instead).  With --fleet-sessions N the one
+//       capture fans out across N FleetManager sessions as a load
+//       generator.  Prints the fix and its digest -- replaying the same
+//       capture twice prints the same digest, bit for bit.
+//
 // The locate path touches no simulator code: it is exactly what a server
 // attached to a real reader would run.
 #include <cstdio>
@@ -46,6 +65,10 @@
 #include <string>
 #include <vector>
 
+#include "capture/digest.hpp"
+#include "capture/record.hpp"
+#include "capture/replay.hpp"
+#include "capture/writer.hpp"
 #include "core/serialization.hpp"
 #include "core/tagspin.hpp"
 #include "eval/fleet.hpp"
@@ -495,6 +518,178 @@ int cmdServe(const Args& args) {
   return fix.hasValue() ? 0 : 1;
 }
 
+/// record: a supervised serve run with the capture tap between the
+/// transport and the session, persisting everything the session saw.
+int cmdRecord(const Args& args) {
+  const std::string dir = args.get("dir", ".");
+  sim::ScenarioConfig sc;
+  sc.seed = std::stoull(args.get("seed", "7"));
+  sc.fixedChannel = true;
+  const int rigCount = std::stoi(args.get("rigs", "3"));
+  const double revolutions = std::stod(args.get("revolutions", "10"));
+  const double period = 2.0 * std::numbers::pi / sc.rigOmegaRadPerS;
+  const double durationS = revolutions * period;
+
+  sim::World world = sim::makeRigRowWorld(sc, rigCount);
+  const geom::Vec3 reader = parseVec3(args.get("reader", "0.8,2.0,0"));
+  sim::placeReaderAntenna(world, 0, reader);
+
+  sim::FlakyTransportConfig tc;
+  tc.interrogate = {durationS, 0, sim::deriveSeed(sc.seed, 2)};
+  tc.seed = sim::deriveSeed(sc.seed, 3);
+  if (!args.has("no-outages")) {
+    tc.events = sim::standardOutageScript(durationS, period,
+                                          sim::deriveSeed(sc.seed, 4));
+  }
+  auto shared = std::make_shared<sim::FlakyTransport>(world, tc);
+
+  core::DeploymentFile deployment;
+  for (const sim::RigTag& rt : world.rigs) {
+    core::RigSpec spec;
+    spec.center = rt.rig.center;
+    spec.kinematics = {rt.rig.radiusM, rt.rig.omegaRadPerS,
+                       rt.rig.initialAngle, rt.rig.tagPlaneOffset};
+    deployment.rigs[rt.tag.epc] = spec;
+  }
+  {
+    std::ofstream out(dir + "/deployment.txt");
+    if (!out) throw std::runtime_error("cannot write " + dir);
+    core::writeDeployment(out, deployment);
+  }
+
+  const std::string capPath = dir + "/capture.tspc";
+  std::remove(capPath.c_str());
+  capture::CaptureWriterConfig wc;
+  wc.chunkReports = std::stoul(args.get("chunk-reports", "64"));
+  wc.fsyncEveryChunks = std::stoul(args.get("fsync-every", "4"));
+  capture::CaptureWriter writer(capPath, wc);
+  std::printf("recording %d rigs for %.0f revolutions (%.0f s), %zu outage "
+              "events, chunks of %zu reports\n", rigCount, revolutions,
+              durationS, tc.events.size(), wc.chunkReports);
+
+  runtime::SupervisorConfig supCfg;
+  supCfg.session.queueCapacity = 2048;
+  runtime::Supervisor sup(supCfg, deployment, nullptr);
+  // Restarts mint a fresh tap over the same endpoint; one writer, one file.
+  sup.addSession("reader0", [shared, &writer] {
+    return std::make_unique<capture::RecordingTransport>(
+        std::make_unique<runtime::SharedTransport>(shared), &writer);
+  });
+  for (double t = 0.0; t <= durationS + 2.0; t += 0.05) sup.tick(t);
+  const auto fix = sup.tryLocate2D();
+  sup.shutdown(durationS + 2.0);
+  writer.close();
+
+  const capture::CaptureWriterStats& ws = writer.stats();
+  std::printf("capture: %llu reports in %llu chunks, %llu bytes, %llu "
+              "fsyncs -> %s\n",
+              static_cast<unsigned long long>(ws.reportsWritten),
+              static_cast<unsigned long long>(ws.chunksWritten),
+              static_cast<unsigned long long>(ws.bytesWritten),
+              static_cast<unsigned long long>(ws.fsyncs), capPath.c_str());
+  if (fix.hasValue()) {
+    const double dx = fix->fix.position.x - reader.x;
+    const double dy = fix->fix.position.y - reader.y;
+    std::printf("final fix: (%.3f, %.3f) m, grade %s, error %.1f cm, "
+                "digest %s\n",
+                fix->fix.position.x, fix->fix.position.y,
+                core::fixGradeName(fix->report.grade),
+                std::sqrt(dx * dx + dy * dy) * 100.0,
+                capture::digestHex(capture::fixDigest(*fix)).c_str());
+  } else {
+    std::printf("no fix: %s\n", fix.error().message.c_str());
+  }
+  std::printf("replay with: tagspin_cli replay --capture %s --deployment "
+              "%s/deployment.txt\n", capPath.c_str(), dir.c_str());
+  return fix.hasValue() ? 0 : 1;
+}
+
+/// replay: drive the runtime from a capture file.  One supervised session
+/// by default; --fleet-sessions N fans the capture across a fleet.
+int cmdReplay(const Args& args) {
+  const std::string capPath = args.get("capture", "capture.tspc");
+  std::ifstream dep(args.get("deployment", "deployment.txt"));
+  if (!dep) throw std::runtime_error("cannot open deployment file");
+  const core::DeploymentFile deployment = core::readDeployment(dep);
+  const double speed = std::stod(args.get("speed", "1"));
+  const size_t fleetSessions = std::stoul(args.get("fleet-sessions", "0"));
+
+  capture::CaptureStats cs;
+  const capture::TimedStream timed =
+      capture::readCaptureFile(capPath, !args.has("strict"), &cs);
+  std::printf("capture v%u.%u: %llu reports from %zu chunks (%zu skipped, "
+              "%zu duplicated, %zu bytes resynced%s)\n", cs.versionMajor,
+              cs.versionMinor,
+              static_cast<unsigned long long>(cs.reportsRecovered),
+              cs.chunksDecoded, cs.chunksSkipped, cs.chunksDuplicated,
+              cs.bytesResynced,
+              cs.headerRecovered ? ", header recovered" : "");
+  if (timed.empty()) throw std::runtime_error("capture holds no reports");
+  const auto stream = capture::makeReplayStream(timed);
+  const double spanS = stream->releaseS.back();
+  const double endS = (speed > 0.0 ? spanS / speed : 0.0) + 2.0;
+
+  capture::ReplayTransportConfig rc;
+  rc.speed = speed;
+
+  if (fleetSessions > 0) {
+    const size_t shards = std::stoul(args.get("shards", "4"));
+    obs::MetricsRegistry metrics;
+    runtime::FleetConfig fc = eval::FleetEvalConfig::defaultFleetConfig();
+    fc.shards = shards;
+    fc.maxSessions = fleetSessions;
+    fc.metrics = &metrics;
+    runtime::FleetManager fleet(fc, deployment);
+    for (size_t i = 0; i < fleetSessions; ++i) {
+      auto transport = std::make_shared<capture::ReplayTransport>(stream, rc);
+      char name[24];
+      std::snprintf(name, sizeof(name), "r%04zu", i);
+      fleet.registerSession(name, [transport] {
+        return std::make_unique<runtime::SharedTransport>(transport);
+      });
+    }
+    std::printf("replaying %.1f s of capture at %gx into %zu sessions over "
+                "%zu shards\n", spanS, speed, fleet.sessionCount(),
+                fleet.shardCount());
+    for (double t = 0.0; t <= endS + 1e-9; t += 0.1) fleet.tick(t);
+    fleet.shutdown(endS);
+    size_t withFix = 0;
+    for (const auto& v : fleet.sessions()) {
+      if (v.hasFix) ++withFix;
+    }
+    std::printf("fleet replay done: %zu/%zu sessions hold a fix, %llu "
+                "reports ingested\n", withFix, fleet.sessionCount(),
+                static_cast<unsigned long long>(
+                    metrics.snapshot().counterValue(
+                        "supervisor.reports_ingested")));
+    return withFix == fleet.sessionCount() ? 0 : 1;
+  }
+
+  auto transport = std::make_shared<capture::ReplayTransport>(stream, rc);
+  runtime::SupervisorConfig supCfg;
+  supCfg.session.queueCapacity = 2048;
+  runtime::Supervisor sup(supCfg, deployment, nullptr);
+  sup.addSession("replay0", [transport] {
+    return std::make_unique<runtime::SharedTransport>(transport);
+  });
+  std::printf("replaying %.1f s of capture at %gx\n", spanS, speed);
+  for (double t = 0.0; t <= endS + 1e-9; t += 0.05) sup.tick(t);
+  const auto fix = sup.tryLocate2D();
+  sup.shutdown(endS);
+  std::printf("%llu reports ingested (%zu delivered by the transport)\n",
+              static_cast<unsigned long long>(sup.stats().reportsIngested),
+              transport->framesDelivered());
+  if (fix.hasValue()) {
+    std::printf("replay fix: (%.3f, %.3f) m, grade %s, digest %s\n",
+                fix->fix.position.x, fix->fix.position.y,
+                core::fixGradeName(fix->report.grade),
+                capture::digestHex(capture::fixDigest(*fix)).c_str());
+  } else {
+    std::printf("no fix: %s\n", fix.error().message.c_str());
+  }
+  return fix.hasValue() ? 0 : 1;
+}
+
 int cmdStats(const Args& args) {
   const std::string dir = args.get("dir", ".");
   const std::string format = args.get("format", "json");
@@ -517,8 +712,8 @@ int cmdStats(const Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: tagspin_cli <simulate|locate|inspect|serve|stats> "
-                 "[--flags]\n");
+                 "usage: tagspin_cli <simulate|locate|inspect|serve|record|"
+                 "replay|stats> [--flags]\n");
     return 2;
   }
   try {
@@ -528,6 +723,8 @@ int main(int argc, char** argv) {
     if (cmd == "locate") return cmdLocate(args);
     if (cmd == "inspect") return cmdInspect(args);
     if (cmd == "serve") return cmdServe(args);
+    if (cmd == "record") return cmdRecord(args);
+    if (cmd == "replay") return cmdReplay(args);
     if (cmd == "stats") return cmdStats(args);
     std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
     return 2;
