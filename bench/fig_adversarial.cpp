@@ -5,16 +5,19 @@
 // the full robust stack (spin self-diagnosis -> multi-candidate consensus
 // voting -> IRLS -> bootstrap confidence ellipse) on identical streams.
 //
-// Usage: fig_adversarial [--seed=N] [--out=DIR] [trialsPerPoint]
-//                        [durationS] [outPrefix]
+// Usage: fig_adversarial [--seed=N] [--json[=PATH]] [--out=DIR]
+//                        [trialsPerPoint] [durationS] [outPrefix]
 // Writes DIR/<outPrefix>.csv, .json and <outPrefix>_cdf.csv (default
-// prefix "fig_adversarial", default DIR "bench/out").
+// prefix "fig_adversarial", default DIR "bench/out"); --json additionally
+// emits the BENCH_adversarial.json sidecar (shared schema:
+// bench/bench_json.hpp) and bases the exit code on its gates.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "eval/adversarial.hpp"
 #include "eval/report.hpp"
 
@@ -26,11 +29,16 @@ int main(int argc, char** argv) {
   ac.scenario.fixedChannel = true;
   ac.baseline = eval::AdversarialConfig::defaultBaseline();
   ac.robust = eval::AdversarialConfig::defaultRobust();
+  std::string sidecarPath;
   std::vector<std::string> pos;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--seed=", 0) == 0) {
       ac.seed = std::stoull(arg.substr(7));
+    } else if (arg == "--json") {
+      sidecarPath = "BENCH_adversarial.json";
+    } else if (arg.rfind("--json=", 0) == 0) {
+      sidecarPath = arg.substr(7);
     } else {
       pos.push_back(arg);
     }
@@ -86,20 +94,42 @@ int main(int argc, char** argv) {
       one = &p;
     }
   }
+  const double cleanRatio =
+      clean && clean->baselineMedianCm > 0.0
+          ? clean->robustMedianCm / clean->baselineMedianCm
+          : 1.0;
+  const double corruptRatio =
+      one && one->baselineMedianCm > 0.0
+          ? one->robustMedianCm / one->baselineMedianCm
+          : 1.0;
   if (clean && one) {
-    const double cleanRatio =
-        clean->baselineMedianCm > 0.0
-            ? clean->robustMedianCm / clean->baselineMedianCm
-            : 1.0;
-    const double corruptRatio =
-        one->baselineMedianCm > 0.0
-            ? one->robustMedianCm / one->baselineMedianCm
-            : 1.0;
     std::printf("[acceptance: 1-corrupted consensus/LS median %.2fx "
                 "(want <= 0.5x), clean %.3fx (want within 5%%), "
                 "ellipse coverage %d/%d]\n",
                 corruptRatio, cleanRatio, one->ellipseCovered,
                 one->ellipseTrials);
+  }
+
+  bench::BenchRecord record;
+  record.name = "adversarial";
+  record.seed = ac.seed;
+  record.payload = eval::adversarialJson(result);
+  record.gate("one_corrupted_within_0_5x", one && corruptRatio <= 0.5);
+  record.gate("clean_overhead_within_5pct", clean && cleanRatio <= 1.05);
+  record.metric("corrupt_ratio", corruptRatio);
+  record.metric("clean_ratio", cleanRatio);
+  if (one) {
+    record.metric("robust_median_cm", one->robustMedianCm);
+    record.metric("baseline_median_cm", one->baselineMedianCm);
+    record.metric("ellipse_coverage",
+                  one->ellipseTrials > 0
+                      ? double(one->ellipseCovered) / one->ellipseTrials
+                      : 0.0);
+    record.metric("mean_ellipse_area_cm2", one->meanEllipseAreaCm2);
+  }
+  if (!sidecarPath.empty()) {
+    bench::writeBenchSidecar(sidecarPath, record);
+    return record.allGatesPass() ? 0 : 1;
   }
   return 0;
 }

@@ -13,8 +13,11 @@
 // below the unwired arm (the helpers and TAGSPIN_SPAN vanish entirely), so
 // the unwired arm is the conservative baseline.
 //
-// Usage: fig_obs_overhead [--out=DIR] [repsPerArm] [durationS]
-// Writes DIR/fig_obs_overhead.{csv,json} (default DIR "bench/out").
+// Usage: fig_obs_overhead [--json[=PATH]] [--out=DIR] [repsPerArm]
+//                         [durationS]
+// Writes DIR/fig_obs_overhead.{csv,json} (default DIR "bench/out");
+// --json additionally emits the BENCH_obs_overhead.json sidecar (shared
+// schema: bench/bench_json.hpp).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -23,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/tagspin.hpp"
 #include "eval/estimators.hpp"
 #include "eval/report.hpp"
@@ -43,8 +47,18 @@ double medianOf(std::vector<double> v) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string sidecarPath;
   std::vector<std::string> pos;
-  for (int i = 1; i < argc; ++i) pos.push_back(argv[i]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      sidecarPath = "BENCH_obs_overhead.json";
+    } else if (arg.rfind("--json=", 0) == 0) {
+      sidecarPath = arg.substr(7);
+    } else {
+      pos.push_back(arg);
+    }
+  }
   const std::string outDir = eval::consumeOutDir(pos);
   const int reps = pos.size() > 0 ? std::atoi(pos[0].c_str()) : 30;
   const double durationS = pos.size() > 1 ? std::atof(pos[1].c_str()) : 15.0;
@@ -148,6 +162,22 @@ int main(int argc, char** argv) {
          << ",\n  \"span_observations\": " << spanObservations << "\n}\n";
   }
   std::printf("wrote %s.csv and %s.json\n", prefix.c_str(), prefix.c_str());
+
+  if (!sidecarPath.empty()) {
+    std::ifstream payload(prefix + ".json");
+    std::ostringstream payloadText;
+    payloadText << payload.rdbuf();
+    bench::BenchRecord record;
+    record.name = "obs_overhead";
+    record.payload = payloadText.str();
+    record.gate("median_overhead_below_3pct", overhead < 0.03);
+    record.gate("spans_recorded", spanObservations > 0);
+    record.metric("median_overhead_pct", overhead * 100.0);
+    record.metric("null_sink_median_ms", medNull * 1e3);
+    record.metric("instrumented_median_ms", medInstr * 1e3);
+    record.metric("span_observations", double(spanObservations));
+    bench::writeBenchSidecar(sidecarPath, record);
+  }
 
   std::printf("[acceptance: median overhead %.2f%% (want < 3%%)]\n",
               overhead * 100);

@@ -218,6 +218,13 @@ void writeCheckpoint(std::ostream& out, const CalibrationCheckpoint& ckpt) {
           << fix.ellipseSemiMinorM << " " << fix.ellipseOrientationRad << " "
           << fix.ellipseConfidence << "\n";
     }
+    if (fix.hasVelocity) {
+      out << "velocity = " << fix.velocityX << " " << fix.velocityY << "\n";
+    }
+    if (fix.hasTrack) {
+      out << "track = " << fix.trackTimeS << " " << fix.trackState << " "
+          << fix.trackModel << "\n";
+    }
   }
   for (const auto& [epc, tag] : ckpt.tags) {
     out << "[tag_progress " << epc.toHex() << "]\n";
@@ -331,6 +338,17 @@ CalibrationCheckpoint readCheckpoint(std::istream& in) {
           ckpt.lastFix.ellipseSemiMinorM = v[1];
           ckpt.lastFix.ellipseOrientationRad = v[2];
           ckpt.lastFix.ellipseConfidence = v[3];
+        } else if (key == "velocity") {
+          const auto v = parseDoubles(p, value, 2);
+          ckpt.lastFix.hasVelocity = true;
+          ckpt.lastFix.velocityX = v[0];
+          ckpt.lastFix.velocityY = v[1];
+        } else if (key == "track") {
+          const auto v = parseDoubles(p, value, 3);
+          ckpt.lastFix.hasTrack = true;
+          ckpt.lastFix.trackTimeS = v[0];
+          ckpt.lastFix.trackState = static_cast<uint32_t>(v[1]);
+          ckpt.lastFix.trackModel = static_cast<uint32_t>(v[2]);
         } else {
           p.fail("unknown key: " + key);
         }

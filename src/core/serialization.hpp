@@ -68,6 +68,16 @@ struct FixRecord {
   double ellipseSemiMinorM = 0.0;
   double ellipseOrientationRad = 0.0;
   double ellipseConfidence = 0.0;
+  /// Tracking continuation (written when a tracker was live at checkpoint
+  /// time).  Old checkpoints simply omit these keys and load with the
+  /// defaults -- the restarted tracker re-initializes from the next fix.
+  bool hasVelocity = false;
+  double velocityX = 0.0;  // m/s
+  double velocityY = 0.0;
+  bool hasTrack = false;
+  double trackTimeS = 0.0;   // estimate timestamp (reader clock)
+  uint32_t trackState = 0;   // numeric track::TrackState
+  uint32_t trackModel = 0;   // numeric track::MotionModelId
 };
 
 /// Everything the supervised runtime persists between crashes.  The

@@ -742,6 +742,14 @@ std::vector<FleetManager::SessionView> FleetManager::sessions() const {
       v.hasFix = member->hasFix;
       v.fixes = member->fixes;
       v.flapEvents = member->flapEventsTotal;
+      if (const track::Tracker* tracker = member->supervisor->tracker();
+          tracker && tracker->hasEstimate()) {
+        const track::TrackEstimate& est = tracker->lastEstimate();
+        v.hasTrack = true;
+        v.trackState = est.state;
+        v.trackPosition = est.position;
+        v.trackVelocity = est.velocity;
+      }
       views.push_back(std::move(v));
     }
   }

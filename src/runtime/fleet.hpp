@@ -241,6 +241,12 @@ class FleetManager {
     bool hasFix = false;
     uint64_t fixes = 0;
     uint64_t flapEvents = 0;  // lifetime total
+    /// Fix-stream tracking (only when the supervisor template enables
+    /// trackFixes): live track state and the smoothed estimate.
+    bool hasTrack = false;
+    track::TrackState trackState = track::TrackState::kDropped;
+    geom::Vec2 trackPosition;
+    geom::Vec2 trackVelocity;
   };
   std::vector<SessionView> sessions() const;
 

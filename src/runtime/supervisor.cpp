@@ -8,6 +8,7 @@
 #include "geom/angles.hpp"
 #include "obs/span.hpp"
 #include "rf/constants.hpp"
+#include "track/fix_adapter.hpp"
 
 namespace tagspin::runtime {
 
@@ -79,6 +80,10 @@ Supervisor::Supervisor(SupervisorConfig config,
   if (store_ && config_.journal) store_->setJournal(config_.journal);
   obs_ = Instruments::resolve(config_.metrics);
   locator_.setMetrics(config_.metrics);
+  if (config_.trackFixes) {
+    tracker_ = std::make_unique<track::Tracker>(config_.tracker);
+    tracker_->setMetrics(config_.metrics);
+  }
 }
 
 void Supervisor::addSession(std::string name, TransportFactory factory) {
@@ -122,6 +127,14 @@ void Supervisor::restoreFrom(const core::CalibrationCheckpoint& ckpt) {
   lastFix_ = ckpt.lastFix;
   lastReaderTimestampS_ =
       std::max(lastReaderTimestampS_, ckpt.lastReportTimestampS);
+  // Re-seed the tracker from the checkpointed track state so a restart
+  // resumes the trajectory instead of re-initializing from scratch.
+  if (tracker_ && ckpt.lastFix.valid && ckpt.lastFix.hasTrack &&
+      ckpt.lastFix.hasVelocity) {
+    tracker_->seedFrom(ckpt.lastFix.trackTimeS,
+                       {ckpt.lastFix.x, ckpt.lastFix.y},
+                       {ckpt.lastFix.velocityX, ckpt.lastFix.velocityY});
+  }
 }
 
 void Supervisor::tick(double nowS) {
@@ -295,7 +308,12 @@ core::Result<core::ResilientFix2D> Supervisor::locateAndRecover2D(
       buildObservations(&epcs);
   core::Result<core::ResilientFix2D> result =
       locator_.tryLocate2D(observations, config_.health);
-  if (!result) return result;
+  if (!result) {
+    // A failed attempt is a drop-out window: the track coasts across it
+    // on the motion model instead of freezing at the last fix.
+    if (tracker_ && tracker_->hasEstimate()) tracker_->onGap(nowS);
+    return result;
+  }
 
   // Quarantined rigs have already been excluded from (or down-weighted in)
   // the fix; here we act on the verdict by discarding their accumulated
@@ -326,6 +344,19 @@ core::Result<core::ResilientFix2D> Supervisor::locateAndRecover2D(
     record.ellipseSemiMinorM = e.semiMinorM;
     record.ellipseOrientationRad = e.orientationRad;
     record.ellipseConfidence = e.confidenceLevel;
+  }
+  if (tracker_) {
+    tracker_->onMeasurement(track::toMeasurement(*result, nowS));
+    if (tracker_->hasEstimate()) {
+      const track::TrackEstimate& est = tracker_->lastEstimate();
+      record.hasVelocity = true;
+      record.velocityX = est.velocity.x;
+      record.velocityY = est.velocity.y;
+      record.hasTrack = true;
+      record.trackTimeS = est.timeS;
+      record.trackState = static_cast<uint32_t>(est.state);
+      record.trackModel = static_cast<uint32_t>(est.model);
+    }
   }
   lastFix_ = record;
   return result;

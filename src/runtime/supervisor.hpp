@@ -32,6 +32,7 @@
 #include "obs/metrics.hpp"
 #include "runtime/checkpoint.hpp"
 #include "runtime/session.hpp"
+#include "track/tracker.hpp"
 
 namespace tagspin::runtime {
 
@@ -54,6 +55,13 @@ struct SupervisorConfig {
   core::PreprocessConfig preprocess;
   core::RigHealthThresholds health;
   core::LocatorConfig locator;
+
+  /// Feed every fix from locateAndRecover2D through a track::Tracker
+  /// (sequential Bayesian smoothing of the fix stream).  Failed locate
+  /// attempts become coast windows; the track state rides along in the
+  /// checkpoint's [last_fix] section and is re-seeded on restore.
+  bool trackFixes = false;
+  track::TrackerConfig tracker;
 
   /// Telemetry sinks for the whole supervision tree.  When set they are
   /// propagated into every session (unless `session.metrics`/`.journal`
@@ -125,6 +133,11 @@ class Supervisor {
   /// Snapshot the full calibration state as a checkpoint struct.
   core::CalibrationCheckpoint makeCheckpoint(double nowS) const;
 
+  /// The fix-stream tracker (null unless config.trackFixes).  Exposed so
+  /// the evaluation / fleet layers can read the smoothed trajectory.
+  track::Tracker* tracker() { return tracker_.get(); }
+  const track::Tracker* tracker() const { return tracker_.get(); }
+
   void setOrientationModel(const rfid::Epc& epc, core::OrientationModel m);
 
   size_t sessionCount() const { return slots_.size(); }
@@ -190,6 +203,7 @@ class Supervisor {
   std::map<rfid::Epc, core::OrientationModel> models_;
   SupervisorStats stats_;
   Instruments obs_;
+  std::unique_ptr<track::Tracker> tracker_;
   core::FixRecord lastFix_;
   uint64_t checkpointSequence_ = 0;
   double lastReaderTimestampS_ = 0.0;

@@ -1,0 +1,230 @@
+#include "sim/trajectory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tagspin::sim {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Wrap to (-pi, pi].
+double wrapAngle(double a) {
+  while (a > kPi) a -= 2.0 * kPi;
+  while (a <= -kPi) a += 2.0 * kPi;
+  return a;
+}
+
+}  // namespace
+
+Trajectory::Trajectory(TrajectoryConfig config) : config_(std::move(config)) {
+  const auto& wp = config_.waypoints;
+  if (wp.size() < 2) {
+    throw std::invalid_argument("Trajectory: need >= 2 waypoints");
+  }
+  if (!(config_.speedMps > 0.0)) {
+    throw std::invalid_argument("Trajectory: speed must be > 0");
+  }
+
+  // Build the corner list: for a loop the "interior" corners include every
+  // waypoint; for an open path the endpoints stay sharp.
+  std::vector<geom::Vec2> pts = wp;
+  if (config_.loop && (pts.front() - pts.back()).norm() > 1e-12) {
+    pts.push_back(pts.front());
+  }
+  const size_t nLegs = pts.size() - 1;
+
+  // Fillet trim distance per interior corner: d = r * tan(phi / 2) where
+  // phi is the exterior turn angle.  Clamp r per corner so the trims never
+  // eat more than half of either adjacent leg.
+  struct Corner {
+    double trim = 0.0;      // distance cut off each adjacent leg
+    double radius = 0.0;    // fitted fillet radius (0 = sharp)
+    double turn = 0.0;      // signed exterior angle (+ = left)
+  };
+  std::vector<Corner> corners(pts.size());
+  const size_t lastCorner = config_.loop ? pts.size() - 1 : pts.size() - 2;
+  auto legVec = [&](size_t leg) {
+    return pts[leg + 1] - pts[leg];
+  };
+  // Interior corners (1 .. n-2); the loop seam (0 == n-1) is handled below.
+  for (size_t c = 1; c + 1 < pts.size(); ++c) {
+    const geom::Vec2 in = legVec(c - 1).normalized();
+    const geom::Vec2 out = legVec(c).normalized();
+    const double turn = wrapAngle(out.angle() - in.angle());
+    if (config_.turnRadiusM <= 0.0 || std::abs(turn) < 1e-9 ||
+        std::abs(std::abs(turn) - kPi) < 1e-9) {
+      corners[c].turn = turn;
+      continue;  // straight-through or U-turn: keep the corner sharp
+    }
+    const double maxTrim =
+        0.5 * std::min(legVec(c - 1).norm(), legVec(c).norm());
+    const double tanHalf = std::tan(std::abs(turn) / 2.0);
+    double radius = config_.turnRadiusM;
+    double trim = radius * tanHalf;
+    if (trim > maxTrim) {
+      trim = maxTrim;
+      radius = trim / tanHalf;
+    }
+    corners[c] = {trim, radius, turn};
+  }
+  // Loop paths fillet the seam corner (index 0 == index pts.size()-1)
+  // too; treat index 0 via the last leg -> first leg pair.
+  if (config_.loop) {
+    const geom::Vec2 in = legVec(nLegs - 1).normalized();
+    const geom::Vec2 out = legVec(0).normalized();
+    const double turn = wrapAngle(out.angle() - in.angle());
+    if (config_.turnRadiusM > 0.0 && std::abs(turn) > 1e-9 &&
+        std::abs(std::abs(turn) - kPi) > 1e-9) {
+      const double maxTrim =
+          0.5 * std::min(legVec(nLegs - 1).norm(), legVec(0).norm());
+      const double tanHalf = std::tan(std::abs(turn) / 2.0);
+      double radius = config_.turnRadiusM;
+      double trim = radius * tanHalf;
+      if (trim > maxTrim) {
+        trim = maxTrim;
+        radius = trim / tanHalf;
+      }
+      corners[0] = corners[pts.size() - 1] = {trim, radius, turn};
+    } else {
+      corners[0].turn = corners[pts.size() - 1].turn = turn;
+    }
+  }
+
+  // Emit pieces: for each leg a straight segment (shortened by the trims
+  // at both ends), then the fillet arc of the corner at its far end.
+  auto addLine = [&](const geom::Vec2& start, double heading, double length) {
+    if (length <= 1e-12) return;
+    pieces_.push_back({start, heading, length, 0.0});
+  };
+  auto addArc = [&](const geom::Vec2& start, double heading, double radius,
+                    double turn) {
+    const double length = radius * std::abs(turn);
+    if (length <= 1e-12) return;
+    pieces_.push_back({start, heading, length,
+                       (turn >= 0.0 ? 1.0 : -1.0) / radius});
+  };
+
+  for (size_t leg = 0; leg < nLegs; ++leg) {
+    const geom::Vec2 v = legVec(leg);
+    const double heading = v.angle();
+    const double len = v.norm();
+    const double trimStart = corners[leg].trim;
+    const double trimEnd = corners[leg + 1].trim;
+    const geom::Vec2 start = pts[leg] + v.normalized() * trimStart;
+    addLine(start, heading, std::max(0.0, len - trimStart - trimEnd));
+    // Fillet at the corner ending this leg (none after the final leg of
+    // an open path).
+    const size_t c = leg + 1;
+    const bool hasCorner =
+        (c <= lastCorner || (config_.loop && c == pts.size() - 1)) &&
+        corners[c].radius > 0.0;
+    if (hasCorner) {
+      const geom::Vec2 arcStart =
+          pts[c] - v.normalized() * corners[c].trim;
+      addArc(arcStart, heading, corners[c].radius, corners[c].turn);
+    }
+  }
+  if (pieces_.empty()) {
+    throw std::invalid_argument("Trajectory: degenerate path (zero length)");
+  }
+
+  cumLength_.resize(pieces_.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < pieces_.size(); ++i) {
+    acc += pieces_[i].length;
+    cumLength_[i] = acc;
+  }
+  totalLength_ = acc;
+}
+
+double Trajectory::durationS() const {
+  return totalLength_ / config_.speedMps;
+}
+
+double Trajectory::arcAt(double tS) const {
+  if (tS <= 0.0) return 0.0;
+  double s = tS * config_.speedMps;
+  if (config_.loop) {
+    s = std::fmod(s, totalLength_);
+    if (s < 0.0) s += totalLength_;
+    return s;
+  }
+  return std::min(s, totalLength_);
+}
+
+const Trajectory::Piece& Trajectory::pieceAt(double s, double* sLocal) const {
+  const auto it = std::lower_bound(cumLength_.begin(), cumLength_.end(), s);
+  const size_t idx = it == cumLength_.end()
+                         ? pieces_.size() - 1
+                         : static_cast<size_t>(it - cumLength_.begin());
+  const double before = idx == 0 ? 0.0 : cumLength_[idx - 1];
+  *sLocal = std::clamp(s - before, 0.0, pieces_[idx].length);
+  return pieces_[idx];
+}
+
+geom::Vec2 Trajectory::positionAt(double tS) const {
+  double sLocal = 0.0;
+  const Piece& p = pieceAt(arcAt(tS), &sLocal);
+  if (p.curvature == 0.0) {
+    return p.start + geom::unitFromAngle(p.heading) * sLocal;
+  }
+  // Arc: centre is a radius to the left (+curvature) of the start point.
+  const double r = 1.0 / std::abs(p.curvature);
+  const double side = p.curvature > 0.0 ? 1.0 : -1.0;
+  const geom::Vec2 centre =
+      p.start + geom::unitFromAngle(p.heading + side * kPi / 2.0) * r;
+  const double swept = p.curvature * sLocal;  // signed angle traversed
+  const double a0 = (p.start - centre).angle();
+  return centre + geom::unitFromAngle(a0 + swept) * r;
+}
+
+double Trajectory::headingAt(double tS) const {
+  double sLocal = 0.0;
+  const Piece& p = pieceAt(arcAt(tS), &sLocal);
+  return wrapAngle(p.heading + p.curvature * sLocal);
+}
+
+geom::Vec2 Trajectory::velocityAt(double tS) const {
+  if (!config_.loop && tS * config_.speedMps >= totalLength_) {
+    return {};  // parked at the terminus
+  }
+  return geom::unitFromAngle(headingAt(tS)) * config_.speedMps;
+}
+
+double Trajectory::turnRateAt(double tS) const {
+  if (!config_.loop && tS * config_.speedMps >= totalLength_) return 0.0;
+  double sLocal = 0.0;
+  const Piece& p = pieceAt(arcAt(tS), &sLocal);
+  return p.curvature * config_.speedMps;
+}
+
+TrajectoryConfig patrolPath(const Region& region, double speedMps,
+                            double turnRadiusM) {
+  // Rounded rectangle inset from the region bounds, counterclockwise.
+  const double inset = std::max(0.25, turnRadiusM + 0.05);
+  const double x0 = -region.halfWidthX + inset;
+  const double x1 = region.halfWidthX - inset;
+  const double y0 = region.yMin + inset;
+  const double y1 = region.yMax - inset;
+  TrajectoryConfig cfg;
+  cfg.waypoints = {{x0, y0}, {x1, y0}, {x1, y1}, {x0, y1}};
+  cfg.speedMps = speedMps;
+  cfg.turnRadiusM = turnRadiusM;
+  cfg.loop = true;
+  return cfg;
+}
+
+TrajectoryConfig straightPath(const geom::Vec2& from, const geom::Vec2& to,
+                              double speedMps) {
+  TrajectoryConfig cfg;
+  cfg.waypoints = {from, to};
+  cfg.speedMps = speedMps;
+  cfg.turnRadiusM = 0.0;
+  cfg.loop = false;
+  return cfg;
+}
+
+}  // namespace tagspin::sim

@@ -1,0 +1,90 @@
+// Scripted reader trajectories: waypoint paths with speed profiles and
+// circular corner fillets.
+//
+// The tracking evaluation needs a reader that genuinely *moves* -- with
+// sustained straight legs (constant-velocity regime) and genuine turns
+// (coordinated-turn regime) -- while each fix window still sees an
+// approximately stationary reader (quasi-static interrogation: the
+// spinning rigs turn fast relative to a walking reader).  A Trajectory is
+// the closed-form arc-length parameterization of a waypoint polyline
+// whose corners are replaced by circular arcs of `turnRadius`, traversed
+// at constant `speed`: positionAt/velocityAt are exact, deterministic,
+// and cheap to query at any time.
+#pragma once
+
+#include <vector>
+
+#include "geom/vec.hpp"
+#include "sim/scenario.hpp"
+
+namespace tagspin::sim {
+
+struct TrajectoryConfig {
+  /// Waypoints of the path (metres).  Corners between consecutive legs
+  /// are filleted; at least two waypoints are required.
+  std::vector<geom::Vec2> waypoints;
+  /// Constant traversal speed along the path (m/s).  A walking reader is
+  /// 0.1 - 0.3 m/s, slow enough that a 2 s fix window is quasi-static.
+  double speedMps = 0.2;
+  /// Fillet radius at each interior corner (metres).  Corners whose legs
+  /// are too short for the requested radius get the largest radius that
+  /// fits.  0 disables filleting (instantaneous heading changes).
+  double turnRadiusM = 0.4;
+  /// Loop back to the first waypoint when the path ends (patrol);
+  /// otherwise the trajectory parks at the final waypoint.
+  bool loop = false;
+};
+
+class Trajectory {
+ public:
+  explicit Trajectory(TrajectoryConfig config);
+
+  /// Position at time t (t < 0 clamps to the start).
+  geom::Vec2 positionAt(double tS) const;
+  /// Velocity at time t: speed * unit tangent; zero once parked.
+  geom::Vec2 velocityAt(double tS) const;
+  /// Heading (atan2 of the tangent), radians.
+  double headingAt(double tS) const;
+  /// Instantaneous turn rate (rad/s): +-speed/radius on an arc, 0 on a
+  /// straight leg.
+  double turnRateAt(double tS) const;
+
+  /// Total path length (one lap when looping), metres.
+  double lengthM() const { return totalLength_; }
+  /// Time to traverse the path once.
+  double durationS() const;
+  const TrajectoryConfig& config() const { return config_; }
+
+ private:
+  /// One constant-curvature piece: a straight segment or a circular arc.
+  struct Piece {
+    geom::Vec2 start;
+    double heading = 0.0;   // tangent direction at `start`
+    double length = 0.0;    // arc length of the piece
+    double curvature = 0.0; // 1/radius, signed (+ = left turn); 0 = line
+  };
+
+  /// Arc-length position s in [0, totalLength_] for time t, respecting
+  /// looping/parking.
+  double arcAt(double tS) const;
+  const Piece& pieceAt(double s, double* sLocal) const;
+
+  TrajectoryConfig config_;
+  std::vector<Piece> pieces_;
+  std::vector<double> cumLength_;  // end arc-length of each piece
+  double totalLength_ = 0.0;
+};
+
+/// Canned patrol path through the surveillance region: a rounded
+/// rectangle inset from the region bounds, looping, with legs long
+/// enough for the CV model and fillets tight enough to exercise the
+/// CT model.  Matches the default two-rig scenario's Region.
+TrajectoryConfig patrolPath(const Region& region, double speedMps = 0.2,
+                            double turnRadiusM = 0.35);
+
+/// Straight-line pass across the region at constant velocity -- the
+/// pure-CV reference used by the UKF==KF equivalence tests.
+TrajectoryConfig straightPath(const geom::Vec2& from, const geom::Vec2& to,
+                              double speedMps = 0.2);
+
+}  // namespace tagspin::sim

@@ -1,0 +1,100 @@
+#include "track/ekf.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "track/kalman.hpp"
+
+namespace tagspin::track {
+
+Ekf::Ekf(MotionModelId model, MotionNoise noise)
+    : model_(model), noise_(noise), n_(stateDim(model)), x_(n_, 0.0),
+      p_(n_, n_) {
+  for (size_t i = 0; i < n_; ++i) p_(i, i) = 1.0;
+}
+
+void Ekf::reset(const std::vector<double>& x0,
+                const std::vector<double>& stdDiag) {
+  if (x0.size() != n_ || stdDiag.size() != n_) {
+    throw std::invalid_argument("Ekf::reset: wrong dimension");
+  }
+  x_ = x0;
+  p_ = dsp::Matrix(n_, n_);
+  for (size_t i = 0; i < n_; ++i) {
+    const double s = std::max(stdDiag[i], 1e-6);
+    p_(i, i) = s * s;
+  }
+}
+
+void Ekf::predict(double dt) {
+  if (dt < 0.0) throw std::invalid_argument("Ekf: dt < 0");
+  const dsp::Matrix f = propagateJacobian(model_, x_, dt);
+  x_ = propagateState(model_, x_, dt);
+  dsp::Matrix fp = matMul(f, p_);
+  p_ = matMul(fp, matTranspose(f));
+  const dsp::Matrix q = processNoise(model_, noise_, dt);
+  const double qs = std::max(qScale_, 1.0);
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t j = 0; j < n_; ++j) p_(i, j) += qs * q(i, j);
+  }
+}
+
+double Ekf::update(const geom::Vec2& z, const Cov2& r) {
+  // Innovation covariance S = H P H^T + R (2x2, H = [I2 | 0]).
+  const double sxx = p_(0, 0) + r.xx;
+  const double sxy = p_(0, 1) + r.xy;
+  const double syy = p_(1, 1) + r.yy;
+  const double det = sxx * syy - sxy * sxy;
+  if (!(det > 0.0)) {
+    throw std::runtime_error("Ekf::update: innovation covariance singular");
+  }
+  const double i00 = syy / det;
+  const double i01 = -sxy / det;
+  const double i11 = sxx / det;
+
+  const double nx = z.x - x_[0];
+  const double ny = z.y - x_[1];
+  const double nis = i00 * nx * nx + 2.0 * i01 * nx * ny + i11 * ny * ny;
+
+  // K = P H^T S^-1 (n x 2).
+  dsp::Matrix k(n_, 2);
+  for (size_t i = 0; i < n_; ++i) {
+    k(i, 0) = p_(i, 0) * i00 + p_(i, 1) * i01;
+    k(i, 1) = p_(i, 0) * i01 + p_(i, 1) * i11;
+  }
+  for (size_t i = 0; i < n_; ++i) {
+    x_[i] += k(i, 0) * nx + k(i, 1) * ny;
+  }
+  // Joseph form: P = (I - K H) P (I - K H)^T + K R K^T.
+  dsp::Matrix ikh(n_, n_);
+  for (size_t i = 0; i < n_; ++i) ikh(i, i) = 1.0;
+  for (size_t i = 0; i < n_; ++i) {
+    ikh(i, 0) -= k(i, 0);
+    ikh(i, 1) -= k(i, 1);
+  }
+  dsp::Matrix p1 = matMul(matMul(ikh, p_), matTranspose(ikh));
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t j = 0; j < n_; ++j) {
+      const double krk = k(i, 0) * (r.xx * k(j, 0) + r.xy * k(j, 1)) +
+                         k(i, 1) * (r.xy * k(j, 0) + r.yy * k(j, 1));
+      p1(i, j) += krk;
+    }
+  }
+  // Symmetrize against round-off drift.
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t j = i + 1; j < n_; ++j) {
+      const double v = 0.5 * (p1(i, j) + p1(j, i));
+      p1(i, j) = v;
+      p1(j, i) = v;
+    }
+  }
+  p_ = std::move(p1);
+  return nis;
+}
+
+Cov2 Ekf::positionCovariance() const {
+  return {p_(0, 0), p_(0, 1), p_(1, 1)};
+}
+
+}  // namespace tagspin::track

@@ -1,0 +1,42 @@
+// Extended Kalman filter reference implementation.
+//
+// Purpose-built cross-check for the square-root UKF: same motion models,
+// same linear position measurement, but the textbook covariance form --
+// P propagated via the analytic Jacobian (F P F^T + Q) and updated in
+// Joseph form.  On the linear constant-velocity model both filters ARE the
+// closed-form Kalman filter, and the tests pin them together to 1e-9; on
+// the coordinated-turn model the pair brackets linearization error, which
+// is the honest way to notice when a motion model has outgrown an EKF.
+#pragma once
+
+#include "dsp/linalg.hpp"
+#include "track/filter.hpp"
+#include "track/motion.hpp"
+
+namespace tagspin::track {
+
+class Ekf final : public PositionFilter {
+ public:
+  Ekf(MotionModelId model, MotionNoise noise);
+
+  void reset(const std::vector<double>& x0,
+             const std::vector<double>& stdDiag) override;
+  void predict(double dt) override;
+  void setProcessNoiseScale(double scale) override { qScale_ = scale; }
+  double update(const geom::Vec2& z, const Cov2& r) override;
+  const std::vector<double>& state() const override { return x_; }
+  Cov2 positionCovariance() const override;
+
+  MotionModelId model() const { return model_; }
+  const dsp::Matrix& covariance() const { return p_; }
+
+ private:
+  MotionModelId model_;
+  MotionNoise noise_;
+  size_t n_;
+  double qScale_ = 1.0;
+  std::vector<double> x_;
+  dsp::Matrix p_;
+};
+
+}  // namespace tagspin::track

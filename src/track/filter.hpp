@@ -1,0 +1,58 @@
+// Common interface of the tracking filters (square-root UKF and the EKF
+// reference implementation), so the tracker and the tests can swap them.
+//
+// All filters estimate a motion-model state whose first four entries are
+// [x, y, vx, vy] (metres, metres/second) and consume position-only
+// measurements z = [x, y] with per-measurement covariance R_k.  The
+// measurement model is linear (H = [I2 | 0]); the nonlinearity lives in
+// the motion models (track/motion.hpp), which is where the UKF's sigma
+// points and the EKF's Jacobians earn their keep.
+#pragma once
+
+#include <vector>
+
+#include "geom/vec.hpp"
+#include "track/measurement.hpp"
+
+namespace tagspin::track {
+
+class PositionFilter {
+ public:
+  virtual ~PositionFilter() = default;
+
+  /// (Re)initialize at state x0 with a diagonal covariance of the given
+  /// per-component standard deviations (both sized to the model's state
+  /// dimension).
+  virtual void reset(const std::vector<double>& x0,
+                     const std::vector<double>& stdDiag) = 0;
+
+  /// Time update by dt seconds (dt >= 0).
+  virtual void predict(double dt) = 0;
+
+  /// Scale factor (>= 1) applied to the process noise covariance on
+  /// subsequent predicts -- the tracker's maneuver-adaptive Q hook.  1
+  /// restores the configured noise.
+  virtual void setProcessNoiseScale(double scale) = 0;
+
+  /// Measurement update with covariance r; returns the normalized
+  /// innovation squared (NIS) of the applied measurement.
+  virtual double update(const geom::Vec2& z, const Cov2& r) = 0;
+
+  /// NIS the measurement WOULD have against the current (predicted) state,
+  /// without applying it -- the Mahalanobis gate statistic.  Exact for the
+  /// linear position measurement: nu^T (P_pos + R)^-1 nu.
+  virtual double gateNis(const geom::Vec2& z, const Cov2& r) const;
+
+  virtual const std::vector<double>& state() const = 0;
+  /// Position block of the state covariance.
+  virtual Cov2 positionCovariance() const = 0;
+
+  geom::Vec2 position() const {
+    return {state()[0], state()[1]};
+  }
+  geom::Vec2 velocity() const {
+    return {state()[2], state()[3]};
+  }
+};
+
+}  // namespace tagspin::track

@@ -1,0 +1,55 @@
+#include "track/fix_adapter.hpp"
+
+#include <algorithm>
+
+namespace tagspin::track {
+
+MeasurementVerdict foldVerdict(const core::EstimationDiagnostics& estimation,
+                               double suspectInlierFraction) {
+  MeasurementVerdict worst = MeasurementVerdict::kAccept;
+  for (const auto& spin : estimation.spins) {
+    MeasurementVerdict v = MeasurementVerdict::kAccept;
+    switch (spin.verdict) {
+      case robust::SpinVerdict::kAccept:
+        v = MeasurementVerdict::kAccept;
+        break;
+      case robust::SpinVerdict::kSuspect:
+        v = MeasurementVerdict::kSuspect;
+        break;
+      case robust::SpinVerdict::kQuarantine:
+        v = MeasurementVerdict::kQuarantine;
+        break;
+    }
+    worst = std::max(worst, v);
+  }
+  // A consensus fix that had to out-vote a large outlier fraction is
+  // suspect even when every individual spectrum looked clean.
+  if (estimation.consensusUsed &&
+      estimation.inlierFraction < suspectInlierFraction) {
+    worst = std::max(worst, MeasurementVerdict::kSuspect);
+  }
+  // Rays that put the fix behind a rig are the mirror-peak signature.
+  if (estimation.behindOriginRays > 0) {
+    worst = std::max(worst, MeasurementVerdict::kSuspect);
+  }
+  return worst;
+}
+
+TrackMeasurement toMeasurement(const core::ResilientFix2D& resilient,
+                               double timeS, double fallbackStdM) {
+  TrackMeasurement m;
+  m.timeS = timeS;
+  m.position = resilient.fix.position;
+  if (resilient.fix.estimation.ellipse) {
+    m.covariance = ellipseToCovariance(*resilient.fix.estimation.ellipse,
+                                       /*floorStdM=*/0.01, fallbackStdM);
+  } else {
+    m.covariance = Cov2::isotropic(fallbackStdM);
+  }
+  m.verdict = foldVerdict(resilient.fix.estimation);
+  m.confidence = std::clamp(resilient.report.confidence, 0.0, 1.0);
+  if (m.confidence <= 0.0) m.confidence = 1.0;  // reports without scoring
+  return m;
+}
+
+}  // namespace tagspin::track

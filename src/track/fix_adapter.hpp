@@ -1,0 +1,29 @@
+// Bridge from the locator's resilient fixes to tracker measurements.
+//
+// Everything the tracker needs is already attached to a ResilientFix2D:
+// the bootstrap confidence ellipse becomes the measurement covariance
+// R_k, the per-rig spin verdicts fold into a single measurement verdict
+// (worst rig wins -- one quarantined spectrum is enough to distrust the
+// intersection), and the resilience report's confidence rides along so
+// degraded fixes are weighted down instead of discarded.
+#pragma once
+
+#include "core/locator.hpp"
+#include "track/measurement.hpp"
+
+namespace tagspin::track {
+
+/// Fold the per-rig spin verdicts of a fix into one measurement verdict:
+/// the worst verdict among the rigs that were actually used.  Fixes with
+/// diagnostics disabled (no spins recorded) are accepted.  A sub-threshold
+/// inlier fraction (consensus path) also raises suspicion.
+MeasurementVerdict foldVerdict(const core::EstimationDiagnostics& estimation,
+                               double suspectInlierFraction = 0.75);
+
+/// Full conversion: position + ellipse-derived covariance + folded
+/// verdict + report confidence.  `fallbackStdM` is the isotropic
+/// 1-sigma used when the fix carries no ellipse.
+TrackMeasurement toMeasurement(const core::ResilientFix2D& resilient,
+                               double timeS, double fallbackStdM = 0.08);
+
+}  // namespace tagspin::track

@@ -1,0 +1,180 @@
+#include "track/kalman.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace tagspin::track {
+
+dsp::Matrix matMul(const dsp::Matrix& a, const dsp::Matrix& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("matMul: inner dimensions disagree");
+  }
+  dsp::Matrix c(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (size_t j = 0; j < b.cols(); ++j) {
+        c(i, j) += aik * b(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+dsp::Matrix matTranspose(const dsp::Matrix& a) {
+  dsp::Matrix t(a.cols(), a.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      t(j, i) = a(i, j);
+    }
+  }
+  return t;
+}
+
+std::vector<double> matVec(const dsp::Matrix& a, const std::vector<double>& x) {
+  if (a.cols() != x.size()) {
+    throw std::invalid_argument("matVec: dimensions disagree");
+  }
+  std::vector<double> y(a.rows(), 0.0);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    double s = 0.0;
+    for (size_t j = 0; j < a.cols(); ++j) s += a(i, j) * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+std::optional<dsp::Matrix> cholesky(const dsp::Matrix& a, double tol) {
+  if (a.rows() != a.cols()) return std::nullopt;
+  const size_t n = a.rows();
+  dsp::Matrix l(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (size_t k = 0; k < j; ++k) d -= l(j, k) * l(j, k);
+    if (!(d > tol)) return std::nullopt;  // also rejects NaN
+    const double lj = std::sqrt(d);
+    l(j, j) = lj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s / lj;
+    }
+  }
+  return l;
+}
+
+std::vector<double> solveLowerTriangular(const dsp::Matrix& l,
+                                         std::vector<double> b) {
+  const size_t n = l.rows();
+  for (size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (size_t j = 0; j < i; ++j) s -= l(i, j) * b[j];
+    b[i] = s / l(i, i);
+  }
+  return b;
+}
+
+std::vector<double> solveLowerTransposed(const dsp::Matrix& l,
+                                         std::vector<double> b) {
+  const size_t n = l.rows();
+  for (size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (size_t j = ii + 1; j < n; ++j) s -= l(j, ii) * b[j];
+    b[ii] = s / l(ii, ii);
+  }
+  return b;
+}
+
+dsp::Matrix qrFactorLower(const dsp::Matrix& m) {
+  const size_t n = m.rows();
+  const size_t cols = m.cols();
+  if (cols < n) {
+    throw std::invalid_argument("qrFactorLower: need at least n columns");
+  }
+  // Householder QR of A = M^T (cols x n); R^T is the lower factor we want.
+  dsp::Matrix a = matTranspose(m);
+  const size_t rows = cols;
+  for (size_t k = 0; k < n; ++k) {
+    // Householder vector for column k, rows k..rows-1.
+    double norm2 = 0.0;
+    for (size_t i = k; i < rows; ++i) norm2 += a(i, k) * a(i, k);
+    const double norm = std::sqrt(norm2);
+    if (norm == 0.0) continue;
+    const double alpha = a(k, k) >= 0.0 ? -norm : norm;
+    // v = x - alpha * e1 (stored in scratch); beta = 2 / (v^T v).
+    std::vector<double> v(rows - k);
+    v[0] = a(k, k) - alpha;
+    for (size_t i = k + 1; i < rows; ++i) v[i - k] = a(i, k);
+    double vtv = 0.0;
+    for (double vi : v) vtv += vi * vi;
+    if (vtv == 0.0) continue;
+    const double beta = 2.0 / vtv;
+    // Apply H = I - beta * v v^T to the remaining columns.
+    for (size_t j = k; j < n; ++j) {
+      double dot = 0.0;
+      for (size_t i = k; i < rows; ++i) dot += v[i - k] * a(i, j);
+      const double f = beta * dot;
+      for (size_t i = k; i < rows; ++i) a(i, j) -= f * v[i - k];
+    }
+    a(k, k) = alpha;  // exact, avoids residual round-off below the diagonal
+  }
+  // R is the upper-triangular n x n block of a; S = R^T with a positive
+  // diagonal (sign of each row of R is free).
+  dsp::Matrix s(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    const double sign = a(i, i) < 0.0 ? -1.0 : 1.0;
+    for (size_t j = i; j < n; ++j) {
+      s(j, i) = sign * a(i, j);
+    }
+  }
+  return s;
+}
+
+void cholUpdate(dsp::Matrix& s, std::vector<double> u) {
+  const size_t n = s.rows();
+  for (size_t k = 0; k < n; ++k) {
+    const double r = std::hypot(s(k, k), u[k]);
+    const double c = r / s(k, k);
+    const double sn = u[k] / s(k, k);
+    s(k, k) = r;
+    for (size_t i = k + 1; i < n; ++i) {
+      s(i, k) = (s(i, k) + sn * u[i]) / c;
+      u[i] = c * u[i] - sn * s(i, k);
+    }
+  }
+}
+
+bool cholDowndate(dsp::Matrix& s, std::vector<double> u) {
+  const size_t n = s.rows();
+  for (size_t k = 0; k < n; ++k) {
+    const double d = s(k, k) * s(k, k) - u[k] * u[k];
+    if (!(d > 0.0)) return false;
+    const double r = std::sqrt(d);
+    const double c = r / s(k, k);
+    const double sn = u[k] / s(k, k);
+    s(k, k) = r;
+    for (size_t i = k + 1; i < n; ++i) {
+      s(i, k) = (s(i, k) - sn * u[i]) / c;
+      u[i] = c * u[i] - sn * s(i, k);
+    }
+  }
+  return true;
+}
+
+double quadFormInvSqrt(const dsp::Matrix& s, const std::vector<double>& v) {
+  const std::vector<double> w = solveLowerTriangular(s, v);
+  double q = 0.0;
+  for (double wi : w) q += wi * wi;
+  return q;
+}
+
+double chiSquareInv2(double p) {
+  if (!(p > 0.0) || !(p < 1.0)) {
+    throw std::invalid_argument("chiSquareInv2: p must be in (0, 1)");
+  }
+  return -2.0 * std::log1p(-p);
+}
+
+}  // namespace tagspin::track

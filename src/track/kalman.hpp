@@ -1,0 +1,69 @@
+// Dense matrix kernels for the square-root Kalman layer.
+//
+// The tracking filters live or die on covariance conditioning: a fix
+// stream carries near-singular measurement ellipses (a two-ray fix whose
+// rays are almost parallel) and long coasting stretches inflate the state
+// covariance by orders of magnitude.  The square-root UKF therefore never
+// forms a covariance P directly -- it propagates a lower-triangular factor
+// S with P = S * S^T, which keeps the effective condition number at
+// sqrt(cond(P)).  This header supplies exactly the kernels that form
+// needs on top of dsp::Matrix: triangular solves, Cholesky, the QR
+// triangular factor of a tall deviation matrix, and hyperbolic rank-1
+// updates/downdates of a Cholesky factor.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dsp/linalg.hpp"
+
+namespace tagspin::track {
+
+/// C = A * B.
+dsp::Matrix matMul(const dsp::Matrix& a, const dsp::Matrix& b);
+/// A^T.
+dsp::Matrix matTranspose(const dsp::Matrix& a);
+/// y = A * x.
+std::vector<double> matVec(const dsp::Matrix& a, const std::vector<double>& x);
+
+/// Lower-triangular Cholesky factor L with A = L * L^T.  Empty when A is
+/// not positive definite to within `tol` (diagonal pivot <= tol).
+std::optional<dsp::Matrix> cholesky(const dsp::Matrix& a, double tol = 1e-15);
+
+/// Solve L * x = b with L lower-triangular (forward substitution).
+std::vector<double> solveLowerTriangular(const dsp::Matrix& l,
+                                         std::vector<double> b);
+/// Solve L^T * x = b with L lower-triangular (back substitution).
+std::vector<double> solveLowerTransposed(const dsp::Matrix& l,
+                                         std::vector<double> b);
+
+/// Lower-triangular S (n x n, non-negative diagonal) such that
+/// S * S^T = M * M^T, computed as the transposed QR triangular factor of
+/// M^T.  M is n x m with m >= n (each column a deviation vector); this is
+/// the compound-matrix step of the square-root UKF time and measurement
+/// updates.  Householder, no Q accumulation.
+dsp::Matrix qrFactorLower(const dsp::Matrix& m);
+
+/// Rank-1 Cholesky update: replace S by the factor of S*S^T + u*u^T.
+/// S lower-triangular, updated in place.
+void cholUpdate(dsp::Matrix& s, std::vector<double> u);
+
+/// Rank-1 Cholesky downdate: replace S by the factor of S*S^T - u*u^T.
+/// Returns false (leaving S partially modified only in exact-singular
+/// corner cases, with the diagonal clamped positive) when the downdated
+/// matrix is not numerically positive definite; callers treat that as a
+/// signal to re-regularize.
+bool cholDowndate(dsp::Matrix& s, std::vector<double> u);
+
+/// Quadratic form v^T * (S * S^T)^-1 * v via two triangular solves -- the
+/// normalized innovation squared (NIS) when v is an innovation and S the
+/// innovation-covariance factor.
+double quadFormInvSqrt(const dsp::Matrix& s, const std::vector<double>& v);
+
+/// Inverse CDF of the chi-square distribution with 2 degrees of freedom:
+/// chi2inv(p, 2) = -2 * ln(1 - p).  Closed form, used for both the
+/// confidence-ellipse -> covariance conversion and the Mahalanobis gate
+/// threshold on 2-D position innovations.
+double chiSquareInv2(double p);
+
+}  // namespace tagspin::track

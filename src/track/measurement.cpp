@@ -1,0 +1,71 @@
+#include "track/measurement.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "track/kalman.hpp"
+
+namespace tagspin::track {
+
+double Cov2::minEigen() const {
+  const double tr = 0.5 * (xx + yy);
+  const double d = std::sqrt(0.25 * (xx - yy) * (xx - yy) + xy * xy);
+  return tr - d;
+}
+
+bool Cov2::isPositiveDefinite(double tol) const {
+  return std::isfinite(xx) && std::isfinite(xy) && std::isfinite(yy) &&
+         minEigen() > tol;
+}
+
+const char* measurementVerdictName(MeasurementVerdict verdict) {
+  switch (verdict) {
+    case MeasurementVerdict::kAccept:
+      return "accept";
+    case MeasurementVerdict::kSuspect:
+      return "suspect";
+    case MeasurementVerdict::kQuarantine:
+      return "quarantine";
+  }
+  return "?";
+}
+
+Cov2 ellipseToCovariance(const robust::ConfidenceEllipse& ellipse,
+                         double floorStdM, double fallbackStdM) {
+  const double floorVar = floorStdM * floorStdM;
+  // Coverage quantile -> 1-sigma: the axes were scaled by sqrt(chi2inv(p, 2)).
+  double level = ellipse.confidenceLevel;
+  if (!(level > 0.0) || !(level < 1.0)) level = 0.90;
+  const double k2 = chiSquareInv2(level);
+
+  double varMajor = ellipse.semiMajorM * ellipse.semiMajorM / k2;
+  double varMinor = ellipse.semiMinorM * ellipse.semiMinorM / k2;
+  const double theta = ellipse.orientationRad;
+  if (!std::isfinite(varMajor) || !std::isfinite(varMinor) ||
+      !std::isfinite(theta)) {
+    return Cov2::isotropic(fallbackStdM);
+  }
+  // Regularize in the eigenbasis: a degenerate/collapsed axis gets the
+  // floor variance instead of making R singular.
+  varMajor = std::max(varMajor, floorVar);
+  varMinor = std::max(varMinor, floorVar);
+
+  const double c = std::cos(theta);
+  const double s = std::sin(theta);
+  Cov2 r;
+  r.xx = varMajor * c * c + varMinor * s * s;
+  r.xy = (varMajor - varMinor) * c * s;
+  r.yy = varMajor * s * s + varMinor * c * c;
+  // Round-off in the rotation can still shave the smaller eigenvalue below
+  // the floor; bump the diagonal until the factorization is safe.
+  if (!r.isPositiveDefinite(0.25 * floorVar)) {
+    r.xx += floorVar;
+    r.yy += floorVar;
+  }
+  if (!r.isPositiveDefinite()) {
+    return Cov2::isotropic(fallbackStdM);
+  }
+  return r;
+}
+
+}  // namespace tagspin::track

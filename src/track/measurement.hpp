@@ -1,0 +1,68 @@
+// The tracker's measurement type: one position fix with its uncertainty
+// and the robust-estimation verdict that produced it.
+//
+// The bootstrap confidence ellipse attached to every robust fix (paper
+// pipeline -> src/robust/bootstrap) is exactly the measurement covariance
+// R_k a Bayes filter wants -- ellipseToCovariance does the coverage-level
+// descaling (the axes are quantiles, not standard deviations) and the
+// PSD regularization that degenerate near-parallel-ray ellipses need.
+#pragma once
+
+#include <optional>
+
+#include "geom/vec.hpp"
+#include "robust/bootstrap.hpp"
+
+namespace tagspin::track {
+
+/// Symmetric 2x2 covariance, stored explicitly so measurements stay POD.
+struct Cov2 {
+  double xx = 0.0;
+  double xy = 0.0;
+  double yy = 0.0;
+
+  double trace() const { return xx + yy; }
+  double det() const { return xx * yy - xy * xy; }
+  /// Smallest eigenvalue (symmetric 2x2 closed form).
+  double minEigen() const;
+  /// Positive definite to within `tol` on the smaller eigenvalue.
+  bool isPositiveDefinite(double tol = 0.0) const;
+
+  static Cov2 isotropic(double stdM) {
+    return {stdM * stdM, 0.0, stdM * stdM};
+  }
+};
+
+/// Spin self-diagnosis verdict carried alongside the fix (mirrors
+/// robust::SpinVerdict, folded over all rigs: the worst verdict wins).
+enum class MeasurementVerdict {
+  kAccept = 0,
+  kSuspect,
+  kQuarantine,
+};
+const char* measurementVerdictName(MeasurementVerdict verdict);
+
+struct TrackMeasurement {
+  double timeS = 0.0;
+  geom::Vec2 position;
+  /// Measurement covariance R_k in m^2 (from the fix's bootstrap ellipse
+  /// via ellipseToCovariance, or an isotropic default when no ellipse was
+  /// computed).
+  Cov2 covariance = Cov2::isotropic(0.08);
+  MeasurementVerdict verdict = MeasurementVerdict::kAccept;
+  /// ResilienceReport::confidence of the fix (downgraded fixes widen R).
+  double confidence = 1.0;
+};
+
+/// Convert a bootstrap confidence ellipse into the measurement covariance
+/// R_k: descale the axes from the `confidenceLevel` coverage quantile to
+/// 1-sigma (chi-square with 2 dof), rotate into world axes, and regularize
+/// so the result is strictly positive definite -- degenerate and
+/// near-singular ellipses (collapsed axis, NaN axes, absurd aspect ratios)
+/// are floored at `floorStdM` per axis.  Never throws; a completely
+/// unusable ellipse falls back to isotropic(fallbackStdM).
+Cov2 ellipseToCovariance(const robust::ConfidenceEllipse& ellipse,
+                         double floorStdM = 0.01,
+                         double fallbackStdM = 0.08);
+
+}  // namespace tagspin::track

@@ -1,0 +1,131 @@
+#include "track/motion.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "track/kalman.hpp"
+
+namespace tagspin::track {
+
+namespace {
+
+/// Below this |omega * dt| the CT trigonometry is evaluated by its series
+/// limit (the CV propagation), keeping the Jacobian finite.
+constexpr double kOmegaEps = 1e-9;
+
+}  // namespace
+
+const char* motionModelName(MotionModelId id) {
+  switch (id) {
+    case MotionModelId::kConstantVelocity:
+      return "cv";
+    case MotionModelId::kCoordinatedTurn:
+      return "ct";
+  }
+  return "?";
+}
+
+size_t stateDim(MotionModelId id) {
+  return id == MotionModelId::kCoordinatedTurn ? 5 : 4;
+}
+
+std::vector<double> propagateState(MotionModelId id,
+                                   const std::vector<double>& x, double dt) {
+  if (x.size() != stateDim(id)) {
+    throw std::invalid_argument("propagateState: wrong state dimension");
+  }
+  if (id == MotionModelId::kConstantVelocity) {
+    return {x[0] + dt * x[2], x[1] + dt * x[3], x[2], x[3]};
+  }
+  const double w = x[4];
+  const double a = w * dt;
+  if (std::abs(a) < kOmegaEps) {
+    return {x[0] + dt * x[2], x[1] + dt * x[3], x[2], x[3], w};
+  }
+  const double sa = std::sin(a);
+  const double ca = std::cos(a);
+  return {x[0] + (sa * x[2] - (1.0 - ca) * x[3]) / w,
+          x[1] + ((1.0 - ca) * x[2] + sa * x[3]) / w,
+          ca * x[2] - sa * x[3],
+          sa * x[2] + ca * x[3],
+          w};
+}
+
+dsp::Matrix propagateJacobian(MotionModelId id, const std::vector<double>& x,
+                              double dt) {
+  const size_t n = stateDim(id);
+  dsp::Matrix f(n, n);
+  for (size_t i = 0; i < n; ++i) f(i, i) = 1.0;
+  if (id == MotionModelId::kConstantVelocity) {
+    f(0, 2) = dt;
+    f(1, 3) = dt;
+    return f;
+  }
+  const double w = x[4];
+  const double vx = x[2];
+  const double vy = x[3];
+  const double a = w * dt;
+  if (std::abs(a) < kOmegaEps) {
+    // CV limit plus the exact omega column of the series expansion.
+    f(0, 2) = dt;
+    f(1, 3) = dt;
+    f(0, 4) = -0.5 * dt * dt * vy;
+    f(1, 4) = 0.5 * dt * dt * vx;
+    f(2, 4) = -dt * vy;
+    f(3, 4) = dt * vx;
+    return f;
+  }
+  const double sa = std::sin(a);
+  const double ca = std::cos(a);
+  f(0, 2) = sa / w;
+  f(0, 3) = -(1.0 - ca) / w;
+  f(1, 2) = (1.0 - ca) / w;
+  f(1, 3) = sa / w;
+  f(2, 2) = ca;
+  f(2, 3) = -sa;
+  f(3, 2) = sa;
+  f(3, 3) = ca;
+  // d/dw of the position/velocity rows.
+  f(0, 4) = (ca * dt * vx - sa * dt * vy) / w -
+            (sa * vx - (1.0 - ca) * vy) / (w * w);
+  f(1, 4) = (sa * dt * vx + ca * dt * vy) / w -
+            ((1.0 - ca) * vx + sa * vy) / (w * w);
+  f(2, 4) = -sa * dt * vx - ca * dt * vy;
+  f(3, 4) = ca * dt * vx - sa * dt * vy;
+  return f;
+}
+
+dsp::Matrix processNoise(MotionModelId id, const MotionNoise& noise,
+                         double dt) {
+  const size_t n = stateDim(id);
+  const double q = noise.accelStd * noise.accelStd;
+  const double dt2 = dt * dt;
+  const double dt3 = dt2 * dt;
+  dsp::Matrix m(n, n);
+  // Discrete Wiener-acceleration block per axis.
+  m(0, 0) = m(1, 1) = q * dt3 / 3.0;
+  m(0, 2) = m(2, 0) = q * dt2 / 2.0;
+  m(1, 3) = m(3, 1) = q * dt2 / 2.0;
+  m(2, 2) = m(3, 3) = q * dt;
+  if (id == MotionModelId::kCoordinatedTurn) {
+    m(4, 4) = noise.turnRateStd * noise.turnRateStd * dt;
+  }
+  return m;
+}
+
+dsp::Matrix processNoiseSqrt(MotionModelId id, const MotionNoise& noise,
+                             double dt) {
+  dsp::Matrix q = processNoise(id, noise, dt);
+  // Floor the diagonal so the factor exists even for dt = 0 (a repeated
+  // timestamp must not break the square-root form).
+  for (size_t i = 0; i < q.rows(); ++i) {
+    if (q(i, i) < 1e-12) q(i, i) = 1e-12;
+  }
+  const auto l = cholesky(q);
+  if (!l) {
+    throw std::runtime_error("processNoiseSqrt: Q not positive definite");
+  }
+  return *l;
+}
+
+}  // namespace tagspin::track

@@ -1,0 +1,60 @@
+// Motion models for the moving-reader tracker.
+//
+// Two hypotheses cover handhelds, forklifts and robots between fixes:
+//  * constant velocity (CV) -- state [x, y, vx, vy], white-acceleration
+//    process noise (discrete Wiener-acceleration Q);
+//  * coordinated turn (CT) -- state [x, y, vx, vy, omega], the standard
+//    constant-speed turn propagation with a random-walk turn rate.  As
+//    omega -> 0 the CT propagation reduces exactly to CV, so the model is
+//    safe to run on straight legs too; what distinguishes the models in
+//    practice is the extra turn-rate degree of freedom and its noise.
+//
+// Both models share the position-only linear measurement z = H x with
+// H = [I2 | 0]; the tracker selects between them per track via windowed
+// normalized innovation squared (see tracker.hpp).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/linalg.hpp"
+
+namespace tagspin::track {
+
+enum class MotionModelId {
+  kConstantVelocity = 0,
+  kCoordinatedTurn,
+};
+const char* motionModelName(MotionModelId id);
+
+struct MotionNoise {
+  /// White-acceleration spectral density, (m/s^2)^2 per Hz equivalent --
+  /// drives position/velocity process noise in both models.
+  double accelStd = 0.35;
+  /// Turn-rate random-walk std, rad/s per sqrt(s) (CT only).
+  double turnRateStd = 0.15;
+};
+
+/// State dimension of a model (CV 4, CT 5).
+size_t stateDim(MotionModelId id);
+
+/// Propagate a state vector by dt (in place semantics via return).  The
+/// input must have stateDim(id) entries.
+std::vector<double> propagateState(MotionModelId id,
+                                   const std::vector<double>& x, double dt);
+
+/// Jacobian of propagateState at x (the EKF transition matrix; exact for
+/// CV, analytic for CT).
+dsp::Matrix propagateJacobian(MotionModelId id, const std::vector<double>& x,
+                              double dt);
+
+/// Discrete process-noise covariance Q(dt) for the model.
+dsp::Matrix processNoise(MotionModelId id, const MotionNoise& noise,
+                         double dt);
+
+/// Lower-triangular Cholesky factor of processNoise (regularized so it is
+/// always positive definite, even at dt = 0).
+dsp::Matrix processNoiseSqrt(MotionModelId id, const MotionNoise& noise,
+                             double dt);
+
+}  // namespace tagspin::track

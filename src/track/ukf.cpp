@@ -1,0 +1,230 @@
+#include "track/ukf.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "track/kalman.hpp"
+
+namespace tagspin::track {
+
+namespace {
+
+dsp::Matrix cov2ToMatrix(const Cov2& r) {
+  dsp::Matrix m(2, 2);
+  m(0, 0) = r.xx;
+  m(0, 1) = r.xy;
+  m(1, 0) = r.xy;
+  m(1, 1) = r.yy;
+  return m;
+}
+
+}  // namespace
+
+double PositionFilter::gateNis(const geom::Vec2& z, const Cov2& r) const {
+  const Cov2 p = positionCovariance();
+  Cov2 sInnov{p.xx + r.xx, p.xy + r.xy, p.yy + r.yy};
+  const double det = sInnov.det();
+  if (!(det > 0.0)) return std::numeric_limits<double>::infinity();
+  const geom::Vec2 pos = position();
+  const double nx = z.x - pos.x;
+  const double ny = z.y - pos.y;
+  return (sInnov.yy * nx * nx - 2.0 * sInnov.xy * nx * ny +
+          sInnov.xx * ny * ny) /
+         det;
+}
+
+SquareRootUkf::SquareRootUkf(MotionModelId model, MotionNoise noise)
+    : model_(model),
+      noise_(noise),
+      n_(stateDim(model)),
+      x_(n_, 0.0),
+      s_(n_, n_) {
+  for (size_t i = 0; i < n_; ++i) s_(i, i) = 1.0;
+}
+
+void SquareRootUkf::reset(const std::vector<double>& x0,
+                          const std::vector<double>& stdDiag) {
+  if (x0.size() != n_ || stdDiag.size() != n_) {
+    throw std::invalid_argument("SquareRootUkf::reset: wrong dimension");
+  }
+  x_ = x0;
+  s_ = dsp::Matrix(n_, n_);
+  for (size_t i = 0; i < n_; ++i) {
+    s_(i, i) = std::max(stdDiag[i], 1e-6);
+  }
+}
+
+void SquareRootUkf::predict(double dt) {
+  if (dt < 0.0) throw std::invalid_argument("SquareRootUkf: dt < 0");
+  // Sigma points: lambda = 0 -> spread sqrt(n), X0 carries weight Wm0 = 0
+  // and Wc0 = 2 (alpha = 1, beta = 2); the 2n symmetric points carry
+  // 1/(2n) each.  All covariance weights are >= 0: no downdate here.
+  const double spread = std::sqrt(static_cast<double>(n_));
+  const double wi = 1.0 / (2.0 * static_cast<double>(n_));
+  const double wc0 = 2.0;
+
+  std::vector<std::vector<double>> sigma(2 * n_ + 1);
+  sigma[0] = x_;
+  for (size_t j = 0; j < n_; ++j) {
+    std::vector<double> plus = x_;
+    std::vector<double> minus = x_;
+    for (size_t i = 0; i < n_; ++i) {
+      const double d = spread * s_(i, j);
+      plus[i] += d;
+      minus[i] -= d;
+    }
+    sigma[1 + j] = std::move(plus);
+    sigma[1 + n_ + j] = std::move(minus);
+  }
+  for (auto& p : sigma) p = propagateState(model_, p, dt);
+
+  // Predicted mean (Wm0 = 0: the centre point drops out of the mean).
+  std::vector<double> mean(n_, 0.0);
+  for (size_t k = 1; k < sigma.size(); ++k) {
+    for (size_t i = 0; i < n_; ++i) mean[i] += wi * sigma[k][i];
+  }
+
+  // Compound deviation matrix [sqrt(wi)*(Xi - mean) | sqrt(Q)].
+  const dsp::Matrix sqrtQ = processNoiseSqrt(model_, noise_, dt);
+  const double sqScale = std::sqrt(std::max(qScale_, 1.0));
+  dsp::Matrix compound(n_, 2 * n_ + n_);
+  const double swi = std::sqrt(wi);
+  for (size_t k = 1; k < sigma.size(); ++k) {
+    for (size_t i = 0; i < n_; ++i) {
+      compound(i, k - 1) = swi * (sigma[k][i] - mean[i]);
+    }
+  }
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      compound(i, 2 * n_ + j) = sqScale * sqrtQ(i, j);
+    }
+  }
+  dsp::Matrix sPred = qrFactorLower(compound);
+  // Fold in the centre deviation with its positive weight Wc0.
+  std::vector<double> d0(n_);
+  for (size_t i = 0; i < n_; ++i) d0[i] = std::sqrt(wc0) * (sigma[0][i] - mean[i]);
+  cholUpdate(sPred, d0);
+
+  x_ = std::move(mean);
+  s_ = std::move(sPred);
+}
+
+double SquareRootUkf::update(const geom::Vec2& z, const Cov2& r) {
+  // Linear measurement H = [I2 | 0]: the square-root measurement update is
+  // exact -- S_z from the QR of [H*S | sqrt(R)], gain via triangular
+  // solves, S downdated by the gain columns.
+  const auto sqrtR = cholesky(cov2ToMatrix(r));
+  if (!sqrtR) {
+    throw std::invalid_argument("SquareRootUkf::update: R not PSD");
+  }
+  // Compound [H*S | sqrt(R)] is 2 x (n + 2); H*S picks the top two rows.
+  dsp::Matrix compound(2, n_ + 2);
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < n_; ++j) compound(i, j) = s_(i, j);
+    for (size_t j = 0; j < 2; ++j) compound(i, n_ + j) = (*sqrtR)(i, j);
+  }
+  const dsp::Matrix sz = qrFactorLower(compound);
+
+  // Cross covariance P_xz = P * H^T = (S S^T) columns 0..1.
+  dsp::Matrix pxz(n_, 2);
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t j = 0; j < 2; ++j) {
+      double v = 0.0;
+      const size_t kMax = std::min(i, j) + 1;
+      for (size_t k = 0; k < kMax; ++k) v += s_(i, k) * s_(j, k);
+      pxz(i, j) = v;
+    }
+  }
+  // K = P_xz * (S_z S_z^T)^-1, one row at a time via triangular solves.
+  dsp::Matrix gain(n_, 2);
+  for (size_t i = 0; i < n_; ++i) {
+    std::vector<double> row = {pxz(i, 0), pxz(i, 1)};
+    row = solveLowerTriangular(sz, std::move(row));
+    row = solveLowerTransposed(sz, std::move(row));
+    gain(i, 0) = row[0];
+    gain(i, 1) = row[1];
+  }
+
+  const std::vector<double> innov = {z.x - x_[0], z.y - x_[1]};
+  const double nis = quadFormInvSqrt(sz, innov);
+  for (size_t i = 0; i < n_; ++i) {
+    x_[i] += gain(i, 0) * innov[0] + gain(i, 1) * innov[1];
+  }
+  // S <- downdate(S, K * S_z), one column of U = K * S_z at a time.
+  bool ok = true;
+  dsp::Matrix sBackup = s_;
+  for (size_t j = 0; j < 2 && ok; ++j) {
+    std::vector<double> u(n_, 0.0);
+    for (size_t i = 0; i < n_; ++i) {
+      for (size_t k = 0; k < 2; ++k) u[i] += gain(i, k) * sz(k, j);
+    }
+    ok = cholDowndate(s_, std::move(u));
+  }
+  if (!ok) {
+    // Numerically indefinite downdate (vanishing posterior variance):
+    // rebuild from the explicit posterior with a diagonal floor.
+    s_ = std::move(sBackup);
+    dsp::Matrix p(n_, n_);
+    for (size_t i = 0; i < n_; ++i) {
+      for (size_t j = 0; j < n_; ++j) {
+        double v = 0.0;
+        for (size_t k = 0; k <= std::min(i, j); ++k) v += s_(i, k) * s_(j, k);
+        p(i, j) = v;
+      }
+    }
+    // P_post = P - U U^T with U = K S_z.
+    dsp::Matrix u = matMul(gain, sz);
+    for (size_t i = 0; i < n_; ++i) {
+      for (size_t j = 0; j < n_; ++j) {
+        p(i, j) -= u(i, 0) * u(j, 0) + u(i, 1) * u(j, 1);
+      }
+    }
+    refactor(p);
+  }
+  return nis;
+}
+
+void SquareRootUkf::refactor(const dsp::Matrix& p) {
+  dsp::Matrix reg = p;
+  // Symmetrize, then escalate the diagonal floor until Cholesky succeeds.
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t j = i + 1; j < n_; ++j) {
+      const double v = 0.5 * (reg(i, j) + reg(j, i));
+      reg(i, j) = v;
+      reg(j, i) = v;
+    }
+  }
+  for (double floor = 1e-12; floor < 1.0; floor *= 100.0) {
+    for (size_t i = 0; i < n_; ++i) {
+      if (reg(i, i) < floor) reg(i, i) = floor;
+    }
+    if (auto l = cholesky(reg)) {
+      s_ = std::move(*l);
+      return;
+    }
+    for (size_t i = 0; i < n_; ++i) reg(i, i) += floor;
+  }
+  throw std::runtime_error("SquareRootUkf: covariance refactor failed");
+}
+
+Cov2 SquareRootUkf::positionCovariance() const {
+  Cov2 p;
+  p.xx = s_(0, 0) * s_(0, 0);
+  p.xy = s_(1, 0) * s_(0, 0);
+  p.yy = s_(1, 0) * s_(1, 0) + s_(1, 1) * s_(1, 1);
+  return p;
+}
+
+dsp::Matrix SquareRootUkf::covariance() const {
+  dsp::Matrix p(n_, n_);
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t j = 0; j < n_; ++j) {
+      double v = 0.0;
+      for (size_t k = 0; k <= std::min(i, j); ++k) v += s_(i, k) * s_(j, k);
+      p(i, j) = v;
+    }
+  }
+  return p;
+}
+
+}  // namespace tagspin::track

@@ -45,8 +45,13 @@ void expectEqualStreams(const TimedStream& want, const TimedStream& got) {
 class CaptureWriterTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    // Unique per test case: ctest runs the cases of this binary as
+    // separate parallel processes, and a shared filename makes them
+    // clobber each other's captures mid-read.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
     path_ = (std::filesystem::temp_directory_path() /
-             "tagspin_capture_writer_test.tspc")
+             (std::string("tagspin_capture_writer_") + info->name() +
+              ".tspc"))
                 .string();
     std::remove(path_.c_str());
   }

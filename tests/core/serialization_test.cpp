@@ -277,6 +277,58 @@ TEST(Serialization, CheckpointLastFixWithoutEllipseRoundTrips) {
   EXPECT_EQ(back.quarantinedSpins, 0u);
 }
 
+TEST(Serialization, CheckpointTrackContinuationRoundTripsExact) {
+  CalibrationCheckpoint ckpt = sampleCheckpoint();
+  ckpt.lastFix.valid = true;
+  ckpt.lastFix.x = 0.5;
+  ckpt.lastFix.y = 1.25;
+  ckpt.lastFix.hasVelocity = true;
+  ckpt.lastFix.velocityX = 0.12345678901234567;
+  ckpt.lastFix.velocityY = -0.037;
+  ckpt.lastFix.hasTrack = true;
+  ckpt.lastFix.trackTimeS = 41.062500000000007;
+  ckpt.lastFix.trackState = 2;  // confirmed
+  ckpt.lastFix.trackModel = 1;  // coordinated turn
+
+  const std::string text = checkpointToString(ckpt);
+  EXPECT_NE(text.find("velocity = "), std::string::npos);
+  EXPECT_NE(text.find("track = "), std::string::npos);
+
+  const FixRecord& back = checkpointFromString(text).lastFix;
+  ASSERT_TRUE(back.valid);
+  ASSERT_TRUE(back.hasVelocity);
+  EXPECT_EQ(back.velocityX, ckpt.lastFix.velocityX);
+  EXPECT_EQ(back.velocityY, ckpt.lastFix.velocityY);
+  ASSERT_TRUE(back.hasTrack);
+  EXPECT_EQ(back.trackTimeS, ckpt.lastFix.trackTimeS);
+  EXPECT_EQ(back.trackState, 2u);
+  EXPECT_EQ(back.trackModel, 1u);
+}
+
+TEST(Serialization, CheckpointWithoutTrackKeysLoadsWithDefaults) {
+  // A pre-tracking checkpoint (no velocity/track keys in [last_fix]) must
+  // load cleanly with the continuation fields defaulted -- the restarted
+  // tracker then simply re-initializes from the next fix.
+  CalibrationCheckpoint ckpt = sampleCheckpoint();
+  ckpt.lastFix.valid = true;
+  ckpt.lastFix.x = -0.125;
+  ckpt.lastFix.y = 2.5;
+  ckpt.lastFix.confidence = 0.75;
+  const std::string text = checkpointToString(ckpt);
+  // The writer omits the keys entirely -- the emitted text IS the old
+  // format, byte for byte.
+  EXPECT_EQ(text.find("velocity"), std::string::npos);
+  EXPECT_EQ(text.find("track"), std::string::npos);
+
+  const FixRecord& back = checkpointFromString(text).lastFix;
+  ASSERT_TRUE(back.valid);
+  EXPECT_EQ(back.x, -0.125);
+  EXPECT_FALSE(back.hasVelocity);
+  EXPECT_EQ(back.velocityX, 0.0);
+  EXPECT_FALSE(back.hasTrack);
+  EXPECT_EQ(back.trackState, 0u);
+}
+
 TEST(Serialization, CheckpointSnapshotCountMismatchIsRejected) {
   // Text-level truncation tell: dropping a snapshot line must not parse as
   // a smaller-but-valid checkpoint.

@@ -1,0 +1,72 @@
+// End-to-end smoke of the moving-reader tracking pipeline: scripted
+// patrol trajectory -> quasi-static interrogation -> robust fixes with
+// bootstrap ellipses -> Tracker (gating, model selection, lifecycle),
+// over the clean / dropout / outage arms.  A miniature fig_track, sized
+// for ctest; carries the `track_smoke` label so sanitizer/CI runs can
+// select exactly this.
+#include <gtest/gtest.h>
+
+#include "eval/track.hpp"
+
+namespace tagspin::eval {
+namespace {
+
+TrackEvalConfig smokeConfig() {
+  TrackEvalConfig cfg;
+  cfg.windows = 36;  // ~1/3 of the bench run: one straight leg + a corner
+  cfg.warmupWindows = 8;
+  return cfg;
+}
+
+TEST(TrackSmoke, CleanArmConfirmsAndTightens) {
+  TrackEvalConfig cfg = smokeConfig();
+  const TrackEvalResult r = runTrackEval(cfg);
+
+  // Every window produced a fix and the track confirmed early.
+  EXPECT_EQ(r.clean.fixesProduced, cfg.windows);
+  EXPECT_EQ(r.clean.finalState, "confirmed");
+  EXPECT_EQ(r.clean.stats.reinits, 0u);
+  EXPECT_EQ(r.clean.stats.drops, 0u);
+
+  // Sequential filtering beats the independent fixes.  The bench enforces
+  // <= 0.7x over the full 120-window patrol; this short arm asserts the
+  // direction (< 1x) so the smoke stays robust at 1/3 length.
+  EXPECT_GT(r.clean.fixRmseCm, 0.0);
+  EXPECT_LT(r.clean.trackRmseCm, r.clean.fixRmseCm);
+
+  // The dropout arm coasted through its gaps and gated its ghosts without
+  // losing the track.
+  EXPECT_GT(r.dropout.gapWindows, 0);
+  EXPECT_EQ(r.dropout.stats.reinits, 0u);
+  EXPECT_GE(r.dropout.stats.gateRejects,
+            static_cast<uint64_t>(r.dropout.ghostWindows));
+  EXPECT_TRUE(r.dropout.finalState == "confirmed" ||
+              r.dropout.finalState == "coasting");
+
+  // The outage script never killed the track.
+  EXPECT_TRUE(r.outageSurvived);
+  EXPECT_EQ(r.outage.stats.reinits, 0u);
+
+  // Replaying the identical corpus is bit-identical.
+  EXPECT_TRUE(r.replayDeterministic);
+  EXPECT_EQ(r.replayDigest1, r.replayDigest2);
+  EXPECT_NE(r.replayDigest1, 0u);
+}
+
+TEST(TrackSmoke, SeedChangesTrajectoryDigest) {
+  TrackEvalConfig a = smokeConfig();
+  a.windows = 16;
+  a.warmupWindows = 4;
+  TrackEvalConfig b = a;
+  b.seed = a.seed + 1;
+  const TrackEvalResult ra = runTrackEval(a);
+  const TrackEvalResult rb = runTrackEval(b);
+  // Different noise realizations must not collide; same config twice must.
+  EXPECT_NE(ra.dropout.trajectoryDigest, rb.dropout.trajectoryDigest);
+  const TrackEvalResult ra2 = runTrackEval(a);
+  EXPECT_EQ(ra.dropout.trajectoryDigest, ra2.dropout.trajectoryDigest);
+  EXPECT_EQ(ra.clean.trajectoryDigest, ra2.clean.trajectoryDigest);
+}
+
+}  // namespace
+}  // namespace tagspin::eval

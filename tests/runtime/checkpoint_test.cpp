@@ -59,7 +59,13 @@ std::string tempPath(const char* name) {
 class CheckpointStoreTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = tempPath("tagspin_checkpoint_test.ckpt");
+    // Unique per test case: ctest runs the cases of this binary as
+    // separate parallel processes, and a shared filename makes them
+    // clobber each other's checkpoints mid-save.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    path_ = tempPath(
+        (std::string("tagspin_checkpoint_") + info->name() + ".ckpt")
+            .c_str());
     std::remove(path_.c_str());
     std::remove((path_ + ".tmp").c_str());
   }

@@ -1,0 +1,153 @@
+// Scripted reader trajectories: arc-length parameterization, fillets,
+// looping, and the velocity/turn-rate queries the tracking eval leans on.
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "sim/trajectory.hpp"
+
+namespace tagspin::sim {
+namespace {
+
+TEST(Trajectory, StraightPathIsExact) {
+  const Trajectory traj(straightPath({0.0, 1.0}, {2.0, 1.0}, 0.5));
+  EXPECT_NEAR(traj.lengthM(), 2.0, 1e-12);
+  EXPECT_NEAR(traj.durationS(), 4.0, 1e-12);
+
+  const geom::Vec2 p = traj.positionAt(1.0);
+  EXPECT_NEAR(p.x, 0.5, 1e-12);
+  EXPECT_NEAR(p.y, 1.0, 1e-12);
+  const geom::Vec2 v = traj.velocityAt(1.0);
+  EXPECT_NEAR(v.x, 0.5, 1e-12);
+  EXPECT_NEAR(v.y, 0.0, 1e-12);
+  EXPECT_NEAR(traj.headingAt(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(traj.turnRateAt(1.0), 0.0, 1e-12);
+}
+
+TEST(Trajectory, ClampsBeforeStartAndParksAtEnd) {
+  const Trajectory traj(straightPath({0.0, 0.0}, {1.0, 0.0}, 0.2));
+  const geom::Vec2 before = traj.positionAt(-3.0);
+  EXPECT_NEAR(before.x, 0.0, 1e-12);
+  // Non-looping: parks at the final waypoint with zero velocity.
+  const geom::Vec2 after = traj.positionAt(100.0);
+  EXPECT_NEAR(after.x, 1.0, 1e-12);
+  const geom::Vec2 v = traj.velocityAt(100.0);
+  EXPECT_NEAR(std::hypot(v.x, v.y), 0.0, 1e-12);
+}
+
+TEST(Trajectory, VelocityMatchesFiniteDifference) {
+  TrajectoryConfig cfg;
+  cfg.waypoints = {{0.0, 0.0}, {1.5, 0.0}, {1.5, 1.2}, {0.0, 1.2}};
+  cfg.speedMps = 0.3;
+  cfg.turnRadiusM = 0.3;
+  cfg.loop = true;
+  const Trajectory traj(cfg);
+  const double h = 1e-6;
+  for (double t = 0.1; t < 2.0 * traj.durationS(); t += 0.37) {
+    const geom::Vec2 p0 = traj.positionAt(t - h);
+    const geom::Vec2 p1 = traj.positionAt(t + h);
+    const geom::Vec2 v = traj.velocityAt(t);
+    EXPECT_NEAR(v.x, (p1.x - p0.x) / (2.0 * h), 1e-5) << "t=" << t;
+    EXPECT_NEAR(v.y, (p1.y - p0.y) / (2.0 * h), 1e-5) << "t=" << t;
+    // Constant speed everywhere on the path.
+    EXPECT_NEAR(std::hypot(v.x, v.y), cfg.speedMps, 1e-9) << "t=" << t;
+  }
+}
+
+TEST(Trajectory, FilletReplacesCornerWithArc) {
+  TrajectoryConfig cfg;
+  cfg.waypoints = {{0.0, 0.0}, {2.0, 0.0}, {2.0, 2.0}};
+  cfg.speedMps = 0.5;
+  cfg.turnRadiusM = 0.4;
+  const Trajectory traj(cfg);
+  // A filleted 90-degree corner is shorter than the sharp polyline: the
+  // arc replaces 2 * r of legs with (pi/2) * r of arc.
+  const double sharp = 4.0;
+  const double expected = sharp - 2.0 * 0.4 + 0.5 * std::numbers::pi * 0.4;
+  EXPECT_NEAR(traj.lengthM(), expected, 1e-9);
+
+  // Mid-arc the turn rate is speed / radius, and heading is mid-turn.
+  bool sawArc = false;
+  for (double t = 0.0; t < traj.durationS(); t += 0.01) {
+    const double w = traj.turnRateAt(t);
+    if (std::abs(w) > 1e-9) {
+      sawArc = true;
+      EXPECT_NEAR(std::abs(w), cfg.speedMps / cfg.turnRadiusM, 1e-9);
+    }
+  }
+  EXPECT_TRUE(sawArc);
+}
+
+TEST(Trajectory, CornersTooTightForRadiusStillBuild) {
+  // Legs of 0.2 m cannot host a 1 m fillet; the builder must shrink the
+  // radius instead of producing a degenerate path.
+  TrajectoryConfig cfg;
+  cfg.waypoints = {{0.0, 0.0}, {0.2, 0.0}, {0.2, 0.2}, {0.0, 0.2}};
+  cfg.speedMps = 0.1;
+  cfg.turnRadiusM = 1.0;
+  cfg.loop = true;
+  const Trajectory traj(cfg);
+  EXPECT_GT(traj.lengthM(), 0.0);
+  for (double t = 0.0; t < 3.0 * traj.durationS(); t += 0.05) {
+    const geom::Vec2 p = traj.positionAt(t);
+    EXPECT_TRUE(std::isfinite(p.x) && std::isfinite(p.y)) << "t=" << t;
+    EXPECT_GE(p.x, -0.25);
+    EXPECT_LE(p.x, 0.45);
+  }
+}
+
+TEST(Trajectory, LoopWrapsSeamlessly) {
+  TrajectoryConfig cfg;
+  cfg.waypoints = {{0.0, 0.0}, {1.0, 0.0}, {1.0, 1.0}, {0.0, 1.0}};
+  cfg.speedMps = 0.25;
+  cfg.turnRadiusM = 0.2;
+  cfg.loop = true;
+  const Trajectory traj(cfg);
+  const double lap = traj.durationS();
+  for (double t = 0.05; t < lap; t += 0.31) {
+    const geom::Vec2 a = traj.positionAt(t);
+    const geom::Vec2 b = traj.positionAt(t + lap);
+    EXPECT_NEAR(a.x, b.x, 1e-9);
+    EXPECT_NEAR(a.y, b.y, 1e-9);
+  }
+  // No teleports across the wrap point.
+  const geom::Vec2 justBefore = traj.positionAt(lap - 0.01);
+  const geom::Vec2 justAfter = traj.positionAt(lap + 0.01);
+  EXPECT_LT(std::hypot(justAfter.x - justBefore.x,
+                       justAfter.y - justBefore.y),
+            0.02 * cfg.speedMps + 1e-6);
+}
+
+TEST(Trajectory, PatrolPathStaysInsideRegion) {
+  const Region region;
+  const Trajectory traj(Trajectory(patrolPath(region, 0.2, 0.35)));
+  for (double t = 0.0; t < 2.0 * traj.durationS(); t += 0.25) {
+    const geom::Vec2 p = traj.positionAt(t);
+    EXPECT_GE(p.x, -region.halfWidthX);
+    EXPECT_LE(p.x, region.halfWidthX);
+    EXPECT_GE(p.y, region.yMin);
+    EXPECT_LE(p.y, region.yMax);
+  }
+  // The patrol genuinely exercises both regimes: straight legs and arcs.
+  bool sawStraight = false, sawTurn = false;
+  for (double t = 0.0; t < traj.durationS(); t += 0.1) {
+    if (std::abs(traj.turnRateAt(t)) > 1e-9) {
+      sawTurn = true;
+    } else {
+      sawStraight = true;
+    }
+  }
+  EXPECT_TRUE(sawStraight);
+  EXPECT_TRUE(sawTurn);
+}
+
+TEST(Trajectory, RequiresTwoWaypoints) {
+  TrajectoryConfig cfg;
+  cfg.waypoints = {{0.0, 0.0}};
+  EXPECT_THROW(Trajectory{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tagspin::sim

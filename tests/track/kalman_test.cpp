@@ -1,0 +1,216 @@
+// Dense kernels under the square-root filter layer: Cholesky, the QR
+// triangular factor, hyperbolic rank-1 updates, the chi-square inverse
+// CDF, and the ellipse -> covariance conversion that feeds R_k.
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "track/kalman.hpp"
+#include "track/measurement.hpp"
+
+namespace tagspin::track {
+namespace {
+
+dsp::Matrix spd3() {
+  // A = B * B^T + I for a fixed B: guaranteed SPD, non-trivial structure.
+  dsp::Matrix b(3, 3);
+  b(0, 0) = 1.0; b(0, 1) = 0.5; b(0, 2) = -0.25;
+  b(1, 0) = -0.75; b(1, 1) = 2.0; b(1, 2) = 0.125;
+  b(2, 0) = 0.3; b(2, 1) = -1.1; b(2, 2) = 0.8;
+  dsp::Matrix a = matMul(b, matTranspose(b));
+  for (size_t i = 0; i < 3; ++i) a(i, i) += 1.0;
+  return a;
+}
+
+void expectNear(const dsp::Matrix& a, const dsp::Matrix& b, double tol) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      EXPECT_NEAR(a(i, j), b(i, j), tol) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(TrackKalman, CholeskyReconstructs) {
+  const dsp::Matrix a = spd3();
+  const auto l = cholesky(a);
+  ASSERT_TRUE(l.has_value());
+  expectNear(matMul(*l, matTranspose(*l)), a, 1e-12);
+  // Lower-triangular: zero above the diagonal.
+  EXPECT_EQ((*l)(0, 1), 0.0);
+  EXPECT_EQ((*l)(0, 2), 0.0);
+  EXPECT_EQ((*l)(1, 2), 0.0);
+}
+
+TEST(TrackKalman, CholeskyRejectsIndefinite) {
+  dsp::Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = a(1, 0) = 2.0;  // eigenvalues 3 and -1
+  a(1, 1) = 1.0;
+  EXPECT_FALSE(cholesky(a).has_value());
+}
+
+TEST(TrackKalman, TriangularSolvesInvertTheFactor) {
+  const auto l = cholesky(spd3());
+  ASSERT_TRUE(l.has_value());
+  const std::vector<double> b = {1.0, -2.0, 0.5};
+  const std::vector<double> x = solveLowerTriangular(*l, b);
+  const std::vector<double> back = matVec(*l, x);
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(back[i], b[i], 1e-12);
+
+  const std::vector<double> y = solveLowerTransposed(*l, b);
+  const std::vector<double> back2 = matVec(matTranspose(*l), y);
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(back2[i], b[i], 1e-12);
+}
+
+TEST(TrackKalman, QrFactorLowerMatchesCholesky) {
+  // For a wide deviation matrix M, the QR triangular factor S must satisfy
+  // S S^T = M M^T -- same Gram matrix as the Cholesky of M M^T.
+  dsp::Matrix m(3, 7);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 7; ++j) {
+      m(i, j) = std::sin(1.0 + double(i) * 2.0 + double(j) * 0.7) +
+                (i == j ? 2.0 : 0.0);
+    }
+  }
+  const dsp::Matrix s = qrFactorLower(m);
+  ASSERT_EQ(s.rows(), 3u);
+  ASSERT_EQ(s.cols(), 3u);
+  EXPECT_EQ(s(0, 1), 0.0);
+  EXPECT_GE(s(0, 0), 0.0);
+  expectNear(matMul(s, matTranspose(s)), matMul(m, matTranspose(m)), 1e-10);
+}
+
+TEST(TrackKalman, CholUpdateThenDowndateRoundTrips) {
+  const dsp::Matrix a = spd3();
+  auto s = cholesky(a);
+  ASSERT_TRUE(s.has_value());
+  const dsp::Matrix before = *s;
+  const std::vector<double> u = {0.4, -0.2, 0.9};
+
+  cholUpdate(*s, u);
+  dsp::Matrix p = matMul(*s, matTranspose(*s));
+  dsp::Matrix expect = a;
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) expect(i, j) += u[i] * u[j];
+  }
+  expectNear(p, expect, 1e-10);
+
+  ASSERT_TRUE(cholDowndate(*s, u));
+  expectNear(matMul(*s, matTranspose(*s)), a, 1e-9);
+  expectNear(*s, before, 1e-9);
+}
+
+TEST(TrackKalman, CholDowndateReportsIndefinite) {
+  dsp::Matrix s(2, 2);
+  s(0, 0) = 1.0;
+  s(1, 0) = 0.0;
+  s(1, 1) = 1.0;  // P = I
+  // Subtracting u u^T with |u| > 1 along an axis leaves P indefinite.
+  EXPECT_FALSE(cholDowndate(s, {1.5, 0.0}));
+}
+
+TEST(TrackKalman, QuadFormInvSqrtMatchesExplicitInverse) {
+  dsp::Matrix p(2, 2);
+  p(0, 0) = 0.09;
+  p(0, 1) = p(1, 0) = 0.02;
+  p(1, 1) = 0.25;
+  const auto s = cholesky(p);
+  ASSERT_TRUE(s.has_value());
+  const std::vector<double> v = {0.3, -0.4};
+  const double det = p(0, 0) * p(1, 1) - p(0, 1) * p(1, 0);
+  const double direct = (p(1, 1) * v[0] * v[0] - 2.0 * p(0, 1) * v[0] * v[1] +
+                         p(0, 0) * v[1] * v[1]) /
+                        det;
+  EXPECT_NEAR(quadFormInvSqrt(*s, v), direct, 1e-12);
+}
+
+TEST(TrackKalman, ChiSquareInv2ClosedForm) {
+  EXPECT_NEAR(chiSquareInv2(0.99), 9.21034037197618, 1e-12);
+  EXPECT_NEAR(chiSquareInv2(0.90), 4.605170185988091, 1e-12);
+  // p = 1 - e^-1 inverts to exactly 2.
+  EXPECT_NEAR(chiSquareInv2(1.0 - std::exp(-1.0)), 2.0, 1e-12);
+}
+
+TEST(TrackMeasurement, EllipseToCovarianceDescalesCoverage) {
+  robust::ConfidenceEllipse e;
+  e.semiMajorM = 0.30;
+  e.semiMinorM = 0.10;
+  e.orientationRad = 0.0;
+  e.confidenceLevel = 0.90;
+  const Cov2 r = ellipseToCovariance(e);
+  const double k2 = chiSquareInv2(0.90);
+  EXPECT_NEAR(r.xx, 0.30 * 0.30 / k2, 1e-12);
+  EXPECT_NEAR(r.yy, 0.10 * 0.10 / k2, 1e-12);
+  EXPECT_NEAR(r.xy, 0.0, 1e-12);
+  EXPECT_TRUE(r.isPositiveDefinite());
+}
+
+TEST(TrackMeasurement, EllipseToCovarianceRotates) {
+  robust::ConfidenceEllipse e;
+  e.semiMajorM = 0.30;
+  e.semiMinorM = 0.10;
+  e.orientationRad = 1.1;
+  e.confidenceLevel = 0.90;
+  const Cov2 r = ellipseToCovariance(e);
+  EXPECT_TRUE(r.isPositiveDefinite());
+  // Rotation preserves the eigenvalues (trace and determinant).
+  const double k2 = chiSquareInv2(0.90);
+  EXPECT_NEAR(r.trace(), (0.09 + 0.01) / k2, 1e-12);
+  EXPECT_NEAR(r.det(), 0.09 * 0.01 / (k2 * k2), 1e-12);
+  EXPECT_NE(r.xy, 0.0);
+}
+
+TEST(TrackMeasurement, DegenerateEllipseIsFlooredPsd) {
+  // Collapsed minor axis (near-parallel rays): R must still be usable.
+  robust::ConfidenceEllipse e;
+  e.semiMajorM = 0.5;
+  e.semiMinorM = 0.0;
+  e.orientationRad = 0.7;
+  e.confidenceLevel = 0.90;
+  const Cov2 r = ellipseToCovariance(e, 0.01);
+  EXPECT_TRUE(r.isPositiveDefinite());
+  EXPECT_GE(r.minEigen(), 0.5 * 0.01 * 0.01);
+}
+
+TEST(TrackMeasurement, NearSingularAspectRatioStaysPsd) {
+  robust::ConfidenceEllipse e;
+  e.semiMajorM = 10.0;
+  e.semiMinorM = 1e-9;
+  e.orientationRad = -2.3;
+  e.confidenceLevel = 0.99;
+  const Cov2 r = ellipseToCovariance(e, 0.01);
+  EXPECT_TRUE(r.isPositiveDefinite());
+}
+
+TEST(TrackMeasurement, NanEllipseFallsBackIsotropic) {
+  robust::ConfidenceEllipse e;
+  e.semiMajorM = std::numeric_limits<double>::quiet_NaN();
+  e.semiMinorM = 0.1;
+  e.confidenceLevel = 0.90;
+  const Cov2 r = ellipseToCovariance(e, 0.01, 0.08);
+  EXPECT_NEAR(r.xx, 0.08 * 0.08, 1e-15);
+  EXPECT_NEAR(r.yy, 0.08 * 0.08, 1e-15);
+  EXPECT_EQ(r.xy, 0.0);
+
+  robust::ConfidenceEllipse inf;
+  inf.semiMajorM = std::numeric_limits<double>::infinity();
+  inf.semiMinorM = 0.1;
+  inf.confidenceLevel = 0.90;
+  EXPECT_TRUE(ellipseToCovariance(inf).isPositiveDefinite());
+}
+
+TEST(TrackMeasurement, BogusConfidenceLevelDefaultsTo90) {
+  robust::ConfidenceEllipse e;
+  e.semiMajorM = 0.2;
+  e.semiMinorM = 0.2;
+  e.orientationRad = 0.0;
+  e.confidenceLevel = 0.0;  // never set
+  const Cov2 r = ellipseToCovariance(e);
+  EXPECT_NEAR(r.xx, 0.04 / chiSquareInv2(0.90), 1e-12);
+}
+
+}  // namespace
+}  // namespace tagspin::track

@@ -1,0 +1,433 @@
+// The tracking filters and the track manager.
+//
+// The anchor test is the closed-form equivalence: with the linear
+// constant-velocity model the sigma points of the square-root UKF
+// propagate exactly linearly, so the UKF must reproduce a textbook dense
+// Kalman filter to round-off (1e-9 here), and the EKF reference -- whose
+// Jacobian is exact on CV -- must agree with both.  Everything after that
+// is the track manager: gating, lifecycle, model selection, verdicts.
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "track/ekf.hpp"
+#include "track/kalman.hpp"
+#include "track/motion.hpp"
+#include "track/tracker.hpp"
+#include "track/ukf.hpp"
+
+namespace tagspin::track {
+namespace {
+
+// Textbook dense Kalman filter on the CV model -- the ground truth the
+// square-root implementations are measured against.
+class DenseCvKalman {
+ public:
+  explicit DenseCvKalman(MotionNoise noise) : noise_(noise), p_(4, 4) {}
+
+  void reset(const std::vector<double>& x0,
+             const std::vector<double>& stdDiag) {
+    x_ = x0;
+    p_ = dsp::Matrix(4, 4);
+    for (size_t i = 0; i < 4; ++i) {
+      p_(i, i) = std::max(stdDiag[i], 1e-6) * std::max(stdDiag[i], 1e-6);
+    }
+  }
+
+  void predict(double dt) {
+    const dsp::Matrix f = propagateJacobian(
+        MotionModelId::kConstantVelocity, x_, dt);
+    x_ = propagateState(MotionModelId::kConstantVelocity, x_, dt);
+    p_ = matMul(matMul(f, p_), matTranspose(f));
+    const dsp::Matrix q =
+        processNoise(MotionModelId::kConstantVelocity, noise_, dt);
+    for (size_t i = 0; i < 4; ++i) {
+      for (size_t j = 0; j < 4; ++j) p_(i, j) += q(i, j);
+    }
+  }
+
+  double update(const geom::Vec2& z, const Cov2& r) {
+    const double sxx = p_(0, 0) + r.xx;
+    const double sxy = p_(0, 1) + r.xy;
+    const double syy = p_(1, 1) + r.yy;
+    const double det = sxx * syy - sxy * sxy;
+    const double i00 = syy / det, i01 = -sxy / det, i11 = sxx / det;
+    const double nx = z.x - x_[0], ny = z.y - x_[1];
+    const double nis = i00 * nx * nx + 2.0 * i01 * nx * ny + i11 * ny * ny;
+    dsp::Matrix k(4, 2);
+    for (size_t i = 0; i < 4; ++i) {
+      k(i, 0) = p_(i, 0) * i00 + p_(i, 1) * i01;
+      k(i, 1) = p_(i, 0) * i01 + p_(i, 1) * i11;
+    }
+    for (size_t i = 0; i < 4; ++i) x_[i] += k(i, 0) * nx + k(i, 1) * ny;
+    dsp::Matrix ikh(4, 4);
+    for (size_t i = 0; i < 4; ++i) ikh(i, i) = 1.0;
+    for (size_t i = 0; i < 4; ++i) {
+      ikh(i, 0) -= k(i, 0);
+      ikh(i, 1) -= k(i, 1);
+    }
+    dsp::Matrix p1 = matMul(matMul(ikh, p_), matTranspose(ikh));
+    for (size_t i = 0; i < 4; ++i) {
+      for (size_t j = 0; j < 4; ++j) {
+        p1(i, j) += k(i, 0) * (r.xx * k(j, 0) + r.xy * k(j, 1)) +
+                    k(i, 1) * (r.xy * k(j, 0) + r.yy * k(j, 1));
+      }
+    }
+    p_ = std::move(p1);
+    return nis;
+  }
+
+  const std::vector<double>& state() const { return x_; }
+  const dsp::Matrix& covariance() const { return p_; }
+
+ private:
+  MotionNoise noise_;
+  std::vector<double> x_;
+  dsp::Matrix p_;
+};
+
+std::vector<TrackMeasurement> straightRun(int count, double dt,
+                                          double noiseStd, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> n(0.0, noiseStd);
+  std::vector<TrackMeasurement> out;
+  for (int i = 0; i < count; ++i) {
+    TrackMeasurement m;
+    m.timeS = dt * (i + 1);
+    m.position = {0.1 * m.timeS + n(rng), 1.5 + 0.05 * m.timeS + n(rng)};
+    m.covariance = Cov2::isotropic(noiseStd);
+    out.push_back(m);
+  }
+  return out;
+}
+
+TEST(TrackFilters, UkfReducesToClosedFormKalmanOnLinearCv) {
+  MotionNoise noise;
+  noise.accelStd = 0.2;
+  SquareRootUkf ukf(MotionModelId::kConstantVelocity, noise);
+  DenseCvKalman kf(noise);
+  const std::vector<double> x0 = {0.3, 1.2, 0.15, -0.05};
+  const std::vector<double> s0 = {0.4, 0.4, 0.6, 0.6};
+  ukf.reset(x0, s0);
+  kf.reset(x0, s0);
+
+  std::mt19937_64 rng(77);
+  std::normal_distribution<double> n(0.0, 0.05);
+  for (int i = 0; i < 40; ++i) {
+    ukf.predict(0.5);
+    kf.predict(0.5);
+    Cov2 r = Cov2::isotropic(0.06);
+    r.xy = 0.001;  // correlated R to cover the cross term
+    const double t = 0.5 * (i + 1);
+    const geom::Vec2 z{0.3 + 0.15 * t + n(rng), 1.2 - 0.05 * t + n(rng)};
+    const double nisU = ukf.update(z, r);
+    const double nisK = kf.update(z, r);
+    EXPECT_NEAR(nisU, nisK, 1e-9) << "step " << i;
+  }
+  const dsp::Matrix pu = ukf.covariance();
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(ukf.state()[i], kf.state()[i], 1e-9) << i;
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(pu(i, j), kf.covariance()(i, j), 1e-9)
+          << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(TrackFilters, EkfMatchesUkfOnLinearCv) {
+  MotionNoise noise;
+  noise.accelStd = 0.3;
+  SquareRootUkf ukf(MotionModelId::kConstantVelocity, noise);
+  Ekf ekf(MotionModelId::kConstantVelocity, noise);
+  const std::vector<double> x0 = {-0.5, 2.0, 0.0, 0.1};
+  const std::vector<double> s0 = {0.3, 0.3, 0.5, 0.5};
+  ukf.reset(x0, s0);
+  ekf.reset(x0, s0);
+  for (const TrackMeasurement& m : straightRun(30, 1.0, 0.08, 12345)) {
+    ukf.predict(1.0);
+    ekf.predict(1.0);
+    EXPECT_NEAR(ukf.update(m.position, m.covariance),
+                ekf.update(m.position, m.covariance), 1e-9);
+  }
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(ukf.state()[i], ekf.state()[i], 1e-9) << i;
+  }
+}
+
+TEST(TrackFilters, ProcessNoiseScaleWidensPrediction) {
+  MotionNoise noise;
+  SquareRootUkf plain(MotionModelId::kConstantVelocity, noise);
+  SquareRootUkf scaled(MotionModelId::kConstantVelocity, noise);
+  const std::vector<double> x0 = {0.0, 0.0, 0.1, 0.0};
+  const std::vector<double> s0 = {0.2, 0.2, 0.3, 0.3};
+  plain.reset(x0, s0);
+  scaled.reset(x0, s0);
+  scaled.setProcessNoiseScale(9.0);
+  plain.predict(1.0);
+  scaled.predict(1.0);
+  EXPECT_GT(scaled.positionCovariance().trace(),
+            plain.positionCovariance().trace());
+  // Scale 1 restores the configured noise exactly.
+  scaled.setProcessNoiseScale(1.0);
+  SquareRootUkf fresh(MotionModelId::kConstantVelocity, noise);
+  fresh.reset(x0, s0);
+  fresh.predict(1.0);
+  scaled.reset(x0, s0);
+  scaled.predict(1.0);
+  EXPECT_NEAR(scaled.positionCovariance().trace(),
+              fresh.positionCovariance().trace(), 1e-12);
+}
+
+TEST(TrackFilters, CoordinatedTurnTracksCircle) {
+  // A constant-rate turn: the CT model should follow with small error.
+  MotionNoise noise;
+  noise.accelStd = 0.05;
+  noise.turnRateStd = 0.02;
+  SquareRootUkf ukf(MotionModelId::kCoordinatedTurn, noise);
+  const double radius = 2.0, speed = 0.5, omega = speed / radius;
+  ukf.reset({radius, 0.0, 0.0, speed, 0.0}, {0.3, 0.3, 0.3, 0.3, 0.2});
+  double maxErr = 0.0;
+  for (int i = 1; i <= 60; ++i) {
+    const double t = 0.5 * i;
+    ukf.predict(0.5);
+    const geom::Vec2 truth{radius * std::cos(omega * t),
+                           radius * std::sin(omega * t)};
+    ukf.update(truth, Cov2::isotropic(0.02));
+    if (i > 10) {
+      const double err = std::hypot(ukf.position().x - truth.x,
+                                    ukf.position().y - truth.y);
+      maxErr = std::max(maxErr, err);
+    }
+  }
+  EXPECT_LT(maxErr, 0.05);
+  // The turn-rate state converged to the true omega.
+  EXPECT_NEAR(ukf.state()[4], omega, 0.05);
+}
+
+TrackerConfig quietConfig() {
+  TrackerConfig c;
+  c.noise.accelStd = 0.1;
+  c.noise.turnRateStd = 0.05;
+  c.rCalibrationRate = 0.0;  // isolate the mechanism under test
+  c.adaptiveQMax = 1.0;
+  return c;
+}
+
+TEST(Tracker, LifecycleTentativeConfirmedCoastDrop) {
+  TrackerConfig cfg = quietConfig();
+  cfg.confirmHits = 3;
+  cfg.maxCoastS = 5.0;
+  Tracker tracker(cfg);
+  EXPECT_EQ(tracker.state(), TrackState::kDropped);
+
+  const auto run = straightRun(3, 1.0, 0.03, 9);
+  tracker.onMeasurement(run[0]);
+  EXPECT_EQ(tracker.state(), TrackState::kTentative);
+  tracker.onMeasurement(run[1]);
+  EXPECT_EQ(tracker.state(), TrackState::kTentative);
+  tracker.onMeasurement(run[2]);
+  EXPECT_EQ(tracker.state(), TrackState::kConfirmed);
+
+  // Gaps: coast, then drop past the budget.
+  tracker.onGap(4.0);
+  EXPECT_EQ(tracker.state(), TrackState::kCoasting);
+  tracker.onGap(7.0);
+  EXPECT_EQ(tracker.state(), TrackState::kCoasting);
+  tracker.onGap(9.0);  // 6 s since the last accepted fix > maxCoastS
+  EXPECT_EQ(tracker.state(), TrackState::kDropped);
+  EXPECT_EQ(tracker.stats().drops, 1u);
+
+  // The next fix re-initializes.
+  TrackMeasurement again;
+  again.timeS = 10.0;
+  again.position = {5.0, 5.0};
+  again.covariance = Cov2::isotropic(0.05);
+  tracker.onMeasurement(again);
+  EXPECT_EQ(tracker.state(), TrackState::kTentative);
+  EXPECT_EQ(tracker.stats().reinits, 1u);
+}
+
+TEST(Tracker, MahalanobisGateRejectsGhostFix) {
+  TrackerConfig cfg = quietConfig();
+  Tracker tracker(cfg);
+  for (const TrackMeasurement& m : straightRun(8, 1.0, 0.02, 21)) {
+    tracker.onMeasurement(m);
+  }
+  ASSERT_EQ(tracker.state(), TrackState::kConfirmed);
+  const geom::Vec2 before = tracker.lastEstimate().position;
+
+  TrackMeasurement ghost;
+  ghost.timeS = 9.0;
+  ghost.position = {before.x + 3.0, before.y - 2.5};  // far off-track
+  ghost.covariance = Cov2::isotropic(0.02);
+  const TrackEstimate est = tracker.onMeasurement(ghost);
+  EXPECT_EQ(tracker.stats().gateRejects, 1u);
+  EXPECT_FALSE(est.usedMeasurement);
+  // The rejected ghost did not drag the track.
+  EXPECT_LT(std::hypot(est.position.x - before.x, est.position.y - before.y),
+            0.5);
+}
+
+TEST(Tracker, QuarantineVerdictRejectedSuspectInflated) {
+  TrackerConfig cfg = quietConfig();
+  Tracker tracker(cfg);
+  const auto run = straightRun(10, 1.0, 0.02, 5);
+  for (int i = 0; i < 8; ++i) tracker.onMeasurement(run[i]);
+  ASSERT_EQ(tracker.state(), TrackState::kConfirmed);
+
+  TrackMeasurement quarantined = run[8];
+  quarantined.verdict = MeasurementVerdict::kQuarantine;
+  const TrackEstimate est = tracker.onMeasurement(quarantined);
+  EXPECT_FALSE(est.usedMeasurement);
+  EXPECT_EQ(tracker.stats().verdictRejects, 1u);
+
+  // A suspect fix is applied, but with inflated R -- it moves the state
+  // less than the same fix accepted cleanly would.
+  Tracker a(cfg), b(cfg);
+  for (int i = 0; i < 8; ++i) {
+    a.onMeasurement(run[i]);
+    b.onMeasurement(run[i]);
+  }
+  TrackMeasurement off = run[8];
+  off.position.x += 0.25;
+  off.position.y -= 0.25;
+  off.covariance = Cov2::isotropic(0.15);  // wide enough to pass the gate
+  TrackMeasurement offSuspect = off;
+  offSuspect.verdict = MeasurementVerdict::kSuspect;
+  const TrackEstimate cleanEst = a.onMeasurement(off);
+  const TrackEstimate suspectEst = b.onMeasurement(offSuspect);
+  ASSERT_TRUE(cleanEst.usedMeasurement);
+  ASSERT_TRUE(suspectEst.usedMeasurement);
+  const geom::Vec2 prior = tracker.lastEstimate().position;
+  const double cleanMove =
+      std::hypot(cleanEst.position.x - prior.x, cleanEst.position.y - prior.y);
+  const double suspectMove = std::hypot(suspectEst.position.x - prior.x,
+                                        suspectEst.position.y - prior.y);
+  EXPECT_LT(suspectMove, cleanMove);
+}
+
+TEST(Tracker, WindowedNisHandsTurnToCtModel) {
+  TrackerConfig cfg = quietConfig();
+  cfg.noise.accelStd = 0.05;
+  cfg.nisWindow = 4;
+  cfg.modelSwitchMargin = 1.2;
+  Tracker tracker(cfg);
+
+  // Long straight lead-in, then a sustained tight turn.
+  double t = 0.0;
+  for (int i = 0; i < 12; ++i) {
+    t += 1.0;
+    TrackMeasurement m;
+    m.timeS = t;
+    m.position = {0.2 * t, 0.0};
+    m.covariance = Cov2::isotropic(0.02);
+    tracker.onMeasurement(m);
+  }
+  EXPECT_EQ(tracker.activeModel(), MotionModelId::kConstantVelocity);
+  const double x0 = 0.2 * t;
+  const double radius = 0.8, speed = 0.2, omega = speed / radius;
+  for (int i = 1; i <= 25; ++i) {
+    t += 1.0;
+    TrackMeasurement m;
+    m.timeS = t;
+    const double a = omega * i;
+    m.position = {x0 + radius * std::sin(a), radius * (1.0 - std::cos(a))};
+    m.covariance = Cov2::isotropic(0.02);
+    tracker.onMeasurement(m);
+  }
+  EXPECT_EQ(tracker.activeModel(), MotionModelId::kCoordinatedTurn);
+  EXPECT_GE(tracker.stats().modelSwitches, 1u);
+}
+
+TEST(Tracker, SeedFromRestoresConfirmedTrack) {
+  Tracker tracker(quietConfig());
+  tracker.seedFrom(3.0, {1.0, 2.0}, {0.1, 0.0});
+  EXPECT_EQ(tracker.state(), TrackState::kConfirmed);
+  EXPECT_TRUE(tracker.hasEstimate());
+  EXPECT_NEAR(tracker.lastEstimate().position.x, 1.0, 1e-12);
+  EXPECT_NEAR(tracker.lastEstimate().velocity.x, 0.1, 1e-12);
+
+  // The seeded track accepts the continuation fix stream.
+  TrackMeasurement m;
+  m.timeS = 4.0;
+  m.position = {1.1, 2.0};
+  m.covariance = Cov2::isotropic(0.05);
+  const TrackEstimate est = tracker.onMeasurement(m);
+  EXPECT_TRUE(est.usedMeasurement);
+  EXPECT_EQ(tracker.state(), TrackState::kConfirmed);
+}
+
+TEST(Tracker, RCalibrationShrinksOverdispersedR) {
+  // Feed fixes whose reported R is 4x wider than the actual scatter; the
+  // innovation calibration should shrink the applied R, visible as a
+  // tighter posterior than an uncalibrated tracker's.
+  TrackerConfig cal = quietConfig();
+  cal.rCalibrationRate = 0.15;
+  cal.rCalibrationTargetNis = 2.0;
+  TrackerConfig uncal = cal;
+  uncal.rCalibrationRate = 0.0;
+  Tracker a(cal), b(uncal);
+  std::mt19937_64 rng(31);
+  std::normal_distribution<double> n(0.0, 0.02);
+  for (int i = 1; i <= 60; ++i) {
+    TrackMeasurement m;
+    m.timeS = i * 1.0;
+    m.position = {0.05 * m.timeS + n(rng), n(rng)};
+    m.covariance = Cov2::isotropic(0.08);  // reported 4x the true std
+    a.onMeasurement(m);
+    b.onMeasurement(m);
+  }
+  EXPECT_LT(a.lastEstimate().covariance.trace(),
+            b.lastEstimate().covariance.trace());
+  // Both trackers accepted everything -- calibration must not trip the
+  // gate (it gates on the as-reported R).
+  EXPECT_EQ(a.stats().gateRejects, 0u);
+  EXPECT_EQ(b.stats().gateRejects, 0u);
+}
+
+TEST(Tracker, ResetForgetsCalibrationState) {
+  TrackerConfig cfg = quietConfig();
+  cfg.rCalibrationRate = 0.2;
+  Tracker tracker(cfg);
+  std::mt19937_64 rng(8);
+  std::normal_distribution<double> n(0.0, 0.01);
+  for (int i = 1; i <= 30; ++i) {
+    TrackMeasurement m;
+    m.timeS = i;
+    m.position = {n(rng), n(rng)};
+    m.covariance = Cov2::isotropic(0.1);
+    tracker.onMeasurement(m);
+  }
+  tracker.reset();
+  EXPECT_EQ(tracker.state(), TrackState::kDropped);
+  EXPECT_FALSE(tracker.hasEstimate());
+
+  // After reset the tracker behaves exactly like a fresh one.
+  Tracker fresh(cfg);
+  const auto run = straightRun(5, 1.0, 0.02, 55);
+  for (const TrackMeasurement& m : run) {
+    const TrackEstimate ea = tracker.onMeasurement(m);
+    const TrackEstimate eb = fresh.onMeasurement(m);
+    EXPECT_NEAR(ea.position.x, eb.position.x, 1e-12);
+    EXPECT_NEAR(ea.position.y, eb.position.y, 1e-12);
+    EXPECT_EQ(ea.state, eb.state);
+  }
+}
+
+TEST(Tracker, DeterministicAcrossRuns) {
+  const auto run = straightRun(20, 1.0, 0.05, 4242);
+  TrackerConfig cfg;  // full default config, every mechanism live
+  Tracker a(cfg), b(cfg);
+  for (const TrackMeasurement& m : run) {
+    const TrackEstimate ea = a.onMeasurement(m);
+    const TrackEstimate eb = b.onMeasurement(m);
+    EXPECT_EQ(ea.position.x, eb.position.x);
+    EXPECT_EQ(ea.position.y, eb.position.y);
+    EXPECT_EQ(ea.nis, eb.nis);
+  }
+}
+
+}  // namespace
+}  // namespace tagspin::track

@@ -7,7 +7,9 @@
 # treatment: consensus/bootstrap exercise the widest span of estimation
 # code under corrupted inputs.  So does the fleet smoke (label
 # `fleet_smoke`): 64 sessions over 4 fault domains with a correlated
-# outage, the widest object-lifetime churn in the runtime.  The capture
+# outage, the widest object-lifetime churn in the runtime.  The tracking
+# smoke (label `track_smoke`) covers the square-root filter bank and the
+# track lifecycle over the clean/dropout/outage arms.  The capture
 # fuzz corpus (capture_test: bit flips, truncation, duplicated chunks,
 # garbage splices against the record/replay format) and the end-to-end
 # record/replay smoke (label `replay_smoke`) round out the set: the capture
@@ -55,6 +57,10 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -L adversarial
 echo
 echo "== fleet smoke under sanitizers (ctest -L fleet_smoke) =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L fleet_smoke
+
+echo
+echo "== tracking smoke under sanitizers (ctest -L track_smoke) =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L track_smoke
 
 echo
 echo "== capture fuzz corpus under sanitizers (ctest -R CaptureFormatFuzz) =="

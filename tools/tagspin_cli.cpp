@@ -42,6 +42,16 @@
 //       DIR/capture.tspc alongside DIR/deployment.txt.  Prints the final
 //       fix, its digest, and the capture accounting.
 //
+//   tagspin_cli track [--windows N] [--rigs N] [--seed N]
+//                     [--capture FILE --deployment FILE [--interval S]]
+//       Moving-reader tracking.  Without --capture: the deterministic
+//       simulated patrol evaluation (the fig_track arms) -- prints the
+//       clean/dropout/outage summaries and the replay digest.  With
+//       --capture: re-drive a recorded capture through a supervised
+//       session with the fix tracker enabled, taking a fix every
+//       --interval seconds; prints the trajectory digest -- the same
+//       capture twice yields the same digest, bit for bit.
+//
 //   tagspin_cli replay --capture FILE --deployment FILE [--speed N]
 //                      [--strict] [--fleet-sessions N --shards K]
 //       Re-drive the runtime from a capture instead of a live reader, at N
@@ -73,6 +83,7 @@
 #include "core/tagspin.hpp"
 #include "eval/fleet.hpp"
 #include "eval/runner.hpp"
+#include "eval/track.hpp"
 #include "geom/angles.hpp"
 #include "obs/export.hpp"
 #include "obs/journal.hpp"
@@ -690,6 +701,52 @@ int cmdReplay(const Args& args) {
   return fix.hasValue() ? 0 : 1;
 }
 
+/// track: sequential tracking over the fix stream -- simulated patrol
+/// evaluation by default, capture replay with --capture.
+int cmdTrack(const Args& args) {
+  if (args.has("capture")) {
+    std::ifstream dep(args.get("deployment", "deployment.txt"));
+    if (!dep) throw std::runtime_error("cannot open deployment file");
+    const core::DeploymentFile deployment = core::readDeployment(dep);
+    runtime::SupervisorConfig supCfg;
+    supCfg.session.queueCapacity = 2048;
+    const double intervalS = std::stod(args.get("interval", "2"));
+    const eval::TrackReplayResult r = eval::runTrackReplay(
+        args.get("capture", "capture.tspc"), deployment, supCfg, intervalS);
+    std::printf("tracked replay: %zu fixes -> %zu track estimates, final "
+                "state %s at (%.3f, %.3f) m\n", r.fixes, r.estimates,
+                r.finalState.c_str(), r.finalX, r.finalY);
+    std::printf("trajectory digest %016llx\n",
+                static_cast<unsigned long long>(r.trajectoryDigest));
+    return r.estimates > 0 ? 0 : 1;
+  }
+
+  eval::TrackEvalConfig cfg;
+  cfg.windows = std::stoi(args.get("windows",
+                                   std::to_string(cfg.windows)));
+  cfg.rigCount = std::stoi(args.get("rigs",
+                                    std::to_string(cfg.rigCount)));
+  cfg.seed = std::stoull(args.get("seed", std::to_string(cfg.seed)));
+  std::printf("tracking %d windows x %.1f s, %d rigs, %.2f m/s patrol, "
+              "seed %llu\n", cfg.windows, cfg.windowS, cfg.rigCount,
+              cfg.speedMps, static_cast<unsigned long long>(cfg.seed));
+  const eval::TrackEvalResult r = eval::runTrackEval(cfg);
+  std::printf("clean  : fix RMSE %.2f cm | track RMSE %.2f cm (%.2fx)\n",
+              r.clean.fixRmseCm, r.clean.trackRmseCm, r.rmseRatio);
+  std::printf("dropout: %d gaps + %d ghosts | track RMSE %.2f cm | %llu "
+              "gate-rejects\n", r.dropout.gapWindows, r.dropout.ghostWindows,
+              r.dropout.trackRmseCm,
+              static_cast<unsigned long long>(r.dropout.stats.gateRejects));
+  std::printf("outage : survived %s (final %s), coast max %.2f cm\n",
+              r.outageSurvived ? "yes" : "NO",
+              r.outage.finalState.c_str(), r.outage.coastMaxErrorCm);
+  std::printf("replay : digest %016llx vs %016llx -> %s\n",
+              static_cast<unsigned long long>(r.replayDigest1),
+              static_cast<unsigned long long>(r.replayDigest2),
+              r.replayDeterministic ? "bit-identical" : "MISMATCH");
+  return (r.replayDeterministic && r.outageSurvived) ? 0 : 1;
+}
+
 int cmdStats(const Args& args) {
   const std::string dir = args.get("dir", ".");
   const std::string format = args.get("format", "json");
@@ -713,7 +770,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: tagspin_cli <simulate|locate|inspect|serve|record|"
-                 "replay|stats> [--flags]\n");
+                 "replay|track|stats> [--flags]\n");
     return 2;
   }
   try {
@@ -725,6 +782,7 @@ int main(int argc, char** argv) {
     if (cmd == "serve") return cmdServe(args);
     if (cmd == "record") return cmdRecord(args);
     if (cmd == "replay") return cmdReplay(args);
+    if (cmd == "track") return cmdTrack(args);
     if (cmd == "stats") return cmdStats(args);
     std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
     return 2;
