@@ -1,26 +1,21 @@
 #include "capture/writer.hpp"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <cerrno>
 #include <cstring>
-#include <fstream>
+#include <stdexcept>
 
 namespace tagspin::capture {
 
 CaptureWriter::CaptureWriter(std::string path, CaptureWriterConfig config)
-    : path_(std::move(path)), config_(config) {
+    : path_(std::move(path)),
+      config_(config),
+      io_(&core::resolveIo(config.io)) {
   if (config_.chunkReports == 0) config_.chunkReports = 1;
 
-  std::vector<uint8_t> existing;
-  {
-    std::ifstream in(path_, std::ios::binary);
-    if (in) {
-      existing.assign((std::istreambuf_iterator<char>(in)),
-                      std::istreambuf_iterator<char>());
-    }
-  }
+  std::string raw;
+  const core::IoStatus readSt = io_->readFile(path_, raw);
+  const bool fileExisted = readSt.ok();
+  std::vector<uint8_t> existing(raw.begin(), raw.end());
 
   size_t keepBytes = 0;
   bool writeHeader = true;
@@ -51,21 +46,25 @@ CaptureWriter::CaptureWriter(std::string path, CaptureWriterConfig config)
     stats_.tornBytesTruncated = existing.size();
   }
 
-  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT, 0644);
-  if (fd_ < 0) {
+  const core::IoStatus fd =
+      core::openRetry(*io_, path_, core::OpenMode::kAppendable);
+  if (!fd.ok()) {
     throw std::runtime_error("capture: cannot open " + path_ + ": " +
-                             std::strerror(errno));
+                             std::strerror(fd.err));
   }
+  fd_ = static_cast<int>(fd.value);
   if (!existing.empty()) {
-    if (::ftruncate(fd_, static_cast<off_t>(keepBytes)) != 0) {
-      const int err = errno;
-      ::close(fd_);
+    core::IoStatus st = io_->truncate(fd_, keepBytes);
+    if (st.err == EINTR) st = io_->truncate(fd_, keepBytes);
+    if (!st.ok()) {
+      const int err = st.err;
+      io_->close(fd_);
       fd_ = -1;
       throw std::runtime_error("capture: cannot truncate torn tail of " +
                                path_ + ": " + std::strerror(err));
     }
-    if (::lseek(fd_, 0, SEEK_END) < 0) {
-      ::close(fd_);
+    if (!io_->seekEnd(fd_).ok()) {
+      io_->close(fd_);
       fd_ = -1;
       throw std::runtime_error("capture: cannot seek " + path_);
     }
@@ -75,6 +74,18 @@ CaptureWriter::CaptureWriter(std::string path, CaptureWriterConfig config)
     sync();  // the header must survive before any chunk refers to it
   } else if (stats_.tornBytesTruncated > 0) {
     sync();  // persist the truncation before appending over it
+  }
+  if (!fileExisted) {
+    // We created the directory entry: seal it, or a power cut can erase
+    // the file entirely even though its header was just fsynced.
+    const core::IoStatus st =
+        core::syncDirRetry(*io_, core::parentDir(path_));
+    if (!st.ok()) {
+      io_->close(fd_);
+      fd_ = -1;
+      throw std::runtime_error("capture: directory fsync failed for " +
+                               path_ + ": " + std::strerror(st.err));
+    }
   }
 }
 
@@ -119,9 +130,10 @@ void CaptureWriter::flush() {
 
 void CaptureWriter::sync() {
   if (fd_ < 0) return;
-  if (::fsync(fd_) != 0) {
+  const core::IoStatus st = core::fsyncRetry(*io_, fd_);
+  if (!st.ok()) {
     throw std::runtime_error("capture: fsync failed: " + path_ + ": " +
-                             std::strerror(errno));
+                             std::strerror(st.err));
   }
   ++stats_.fsyncs;
   chunksSinceSync_ = 0;
@@ -133,23 +145,19 @@ void CaptureWriter::close() {
   sync();
   const int fd = fd_;
   fd_ = -1;
-  if (::close(fd) != 0) {
+  const core::IoStatus st = io_->close(fd);
+  if (!st.ok()) {
     throw std::runtime_error("capture: close failed: " + path_ + ": " +
-                             std::strerror(errno));
+                             std::strerror(st.err));
   }
 }
 
 void CaptureWriter::appendBytes(const std::vector<uint8_t>& bytes) {
-  size_t written = 0;
-  while (written < bytes.size()) {
-    const ssize_t n = ::write(fd_, bytes.data() + written,
-                              bytes.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw std::runtime_error("capture: write failed: " + path_ + ": " +
-                               std::strerror(errno));
-    }
-    written += static_cast<size_t>(n);
+  const core::IoStatus st =
+      core::writeAllRetry(*io_, fd_, bytes.data(), bytes.size());
+  if (!st.ok()) {
+    throw std::runtime_error("capture: write failed: " + path_ + ": " +
+                             std::strerror(st.err));
   }
   stats_.bytesWritten += bytes.size();
 }

@@ -9,6 +9,12 @@
 // by a crashed writer (a partial chunk can never validate), and resumes
 // appending with the next sequence number -- so a kill -9 mid-write costs
 // at most the unsynced suffix, never the file.
+//
+// When the writer *creates* the capture file, the parent directory is
+// fsynced after the header is on stable media: without that, a power cut
+// can erase the directory entry and lose the whole capture even though
+// every appended chunk was fsynced.  All storage goes through the
+// core::IoEnv seam so the crash-point explorer can falsify these claims.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +22,7 @@
 #include <vector>
 
 #include "capture/format.hpp"
+#include "core/io_env.hpp"
 
 namespace tagspin::capture {
 
@@ -28,6 +35,8 @@ struct CaptureWriterConfig {
   /// close).  The crash-loss bound in reports is chunkReports *
   /// fsyncEveryChunks.
   size_t fsyncEveryChunks = 4;
+  /// Storage environment; nullptr means the real filesystem.
+  core::IoEnv* io = nullptr;
 };
 
 struct CaptureWriterStats {
@@ -80,6 +89,7 @@ class CaptureWriter {
 
   std::string path_;
   CaptureWriterConfig config_;
+  core::IoEnv* io_ = nullptr;
   int fd_ = -1;
   uint32_t nextSequence_ = 0;
   size_t chunksSinceSync_ = 0;

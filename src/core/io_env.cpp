@@ -1,0 +1,227 @@
+#include "core/io_env.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace tagspin::core {
+
+namespace {
+
+/// EINTR retries are bounded only as a safety net against a pathological
+/// environment; a real signal storm resolves in a handful of iterations.
+constexpr int kMaxEintrRetries = 1024;
+
+class PosixIoEnv final : public IoEnv {
+ public:
+  IoStatus open(const std::string& path, OpenMode mode) override {
+    const int flags = mode == OpenMode::kTruncate
+                          ? O_WRONLY | O_CREAT | O_TRUNC
+                          : O_WRONLY | O_CREAT;
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return {-1, errno};
+    return {fd, 0};
+  }
+
+  IoStatus write(int fd, const void* data, size_t size) override {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) return {0, errno};
+    return {n, 0};
+  }
+
+  IoStatus fsync(int fd) override {
+    if (::fsync(fd) != 0) return {0, errno};
+    return {0, 0};
+  }
+
+  IoStatus close(int fd) override {
+    if (::close(fd) != 0) return {0, errno};
+    return {0, 0};
+  }
+
+  IoStatus truncate(int fd, uint64_t size) override {
+    if (::ftruncate(fd, static_cast<off_t>(size)) != 0) return {0, errno};
+    return {0, 0};
+  }
+
+  IoStatus seekEnd(int fd) override {
+    const off_t pos = ::lseek(fd, 0, SEEK_END);
+    if (pos < 0) return {0, errno};
+    return {static_cast<long>(pos), 0};
+  }
+
+  IoStatus rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) return {0, errno};
+    return {0, 0};
+  }
+
+  IoStatus remove(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) return {0, errno};
+    return {0, 0};
+  }
+
+  IoStatus syncDir(const std::string& dir) override {
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) {
+      // A directory we cannot even open for reading (permissions, exotic
+      // mount) cannot be fsynced by anyone; treat as unsupported rather
+      // than failing the write that already happened.
+      return {0, 0};
+    }
+    if (::fsync(fd) != 0) {
+      const int err = errno;
+      ::close(fd);
+      // Filesystems that refuse directory fsync report EINVAL/ENOTSUP --
+      // there is nothing better to do there (the SQLite/LevelDB stance).
+      // A real media error (EIO) must propagate: the rename may not be
+      // durable and the caller has to know.
+      if (err == EINVAL || err == ENOTSUP || err == ENOSYS) return {0, 0};
+      return {0, err};
+    }
+    ::close(fd);
+    return {0, 0};
+  }
+
+  IoStatus readFile(const std::string& path, std::string& out) override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return {0, errno};
+    out.clear();
+    std::vector<char> buf(1 << 16);
+    for (;;) {
+      const ssize_t n = ::read(fd, buf.data(), buf.size());
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const int err = errno;
+        ::close(fd);
+        return {0, err};
+      }
+      if (n == 0) break;
+      out.append(buf.data(), static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return {static_cast<long>(out.size()), 0};
+  }
+
+  bool exists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+};
+
+}  // namespace
+
+IoEnv& posixIo() {
+  static PosixIoEnv env;
+  return env;
+}
+
+std::string parentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+IoStatus openRetry(IoEnv& io, const std::string& path, OpenMode mode) {
+  IoStatus st;
+  for (int i = 0; i < kMaxEintrRetries; ++i) {
+    st = io.open(path, mode);
+    if (st.err != EINTR) return st;
+  }
+  return st;
+}
+
+IoStatus writeAllRetry(IoEnv& io, int fd, const void* data, size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  size_t written = 0;
+  int spins = 0;
+  while (written < size) {
+    const IoStatus st = io.write(fd, bytes + written, size - written);
+    if (!st.ok()) {
+      if (st.err == EINTR && ++spins < kMaxEintrRetries) continue;
+      return {static_cast<long>(written), st.err};
+    }
+    spins = 0;
+    written += static_cast<size_t>(st.value);
+  }
+  return {static_cast<long>(written), 0};
+}
+
+IoStatus fsyncRetry(IoEnv& io, int fd) {
+  IoStatus st;
+  for (int i = 0; i < kMaxEintrRetries; ++i) {
+    st = io.fsync(fd);
+    if (st.err != EINTR) return st;
+  }
+  return st;
+}
+
+IoStatus syncDirRetry(IoEnv& io, const std::string& dir) {
+  IoStatus st;
+  for (int i = 0; i < kMaxEintrRetries; ++i) {
+    st = io.syncDir(dir);
+    if (st.err != EINTR) return st;
+  }
+  return st;
+}
+
+void writeFileDurable(IoEnv& io, const std::string& path,
+                      const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  const IoStatus fd = openRetry(io, tmp, OpenMode::kTruncate);
+  if (!fd.ok()) {
+    throw std::runtime_error("durable write: cannot create " + tmp + ": " +
+                             std::strerror(fd.err));
+  }
+  const int handle = static_cast<int>(fd.value);
+  IoStatus st = writeAllRetry(io, handle, contents.data(), contents.size());
+  if (!st.ok()) {
+    io.close(handle);
+    io.remove(tmp);
+    throw std::runtime_error("durable write: write failed: " + tmp + ": " +
+                             std::strerror(st.err));
+  }
+  st = fsyncRetry(io, handle);
+  if (!st.ok()) {
+    io.close(handle);
+    io.remove(tmp);
+    throw std::runtime_error("durable write: fsync failed: " + tmp + ": " +
+                             std::strerror(st.err));
+  }
+  st = io.close(handle);
+  if (!st.ok()) {
+    io.remove(tmp);
+    throw std::runtime_error("durable write: close failed: " + tmp + ": " +
+                             std::strerror(st.err));
+  }
+  st = io.rename(tmp, path);
+  if (!st.ok()) {
+    io.remove(tmp);
+    throw std::runtime_error("durable write: rename to " + path +
+                             " failed: " + std::strerror(st.err));
+  }
+  st = syncDirRetry(io, parentDir(path));
+  if (!st.ok()) {
+    // The rename already happened, so old-or-new atomicity holds either
+    // way; but the caller must not treat the save as durable, so this is
+    // still a failure (no tmp cleanup needed -- it was renamed away).
+    throw std::runtime_error("durable write: directory fsync failed for " +
+                             path + ": " + std::strerror(st.err));
+  }
+}
+
+bool writeFileDurableNoThrow(IoEnv& io, const std::string& path,
+                             const std::string& contents) {
+  try {
+    writeFileDurable(io, path, contents);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace tagspin::core

@@ -1,0 +1,121 @@
+// Injectable I/O environment: the seam between everything that must be
+// durable (checkpoints, capture files, metric sidecars) and the storage it
+// lands on.
+//
+// Every durability claim in this tree -- CheckpointStore's old-or-new
+// atomicity, CaptureWriter's bounded crash loss, the exporters' torn-free
+// sidecars -- reduces to an *ordering* of open/write/fsync/rename/dirsync
+// calls.  Those orderings used to be hand-reasoned comments over raw
+// syscalls; routing the calls through this interface makes them falsifiable:
+// production code runs against the PosixIoEnv passthrough (zero behavior
+// change), while tests and the crash-point explorer substitute
+// sim::SimIoEnv, which models a page cache (buffered vs durable bytes, short
+// writes, injected EIO/ENOSPC/EINTR, fsync that fails after partially
+// persisting, renames that are atomic but not durable until the parent
+// directory is fsynced) and can materialize the disk a power cut would
+// leave at any syscall boundary.
+//
+// The durability ordering contract itself lives here too (writeFileDurable),
+// in one place, so CheckpointStore, the fleet shard fan-out and the obs
+// exporters cannot drift apart.  See DESIGN.md "Durability contract".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace tagspin::core {
+
+/// Outcome of one I/O call: `value` is the fd (open), byte count (write,
+/// readFile) or size (seekEnd); `err` is 0 on success, else the errno.
+/// Plain errno carriage -- not core::Result -- because the seam sits below
+/// every library and callers need the raw code to decide EINTR-retry vs
+/// ENOSPC-abort.
+struct IoStatus {
+  long value = 0;
+  int err = 0;
+  bool ok() const { return err == 0; }
+};
+
+enum class OpenMode {
+  /// Write-only, create, truncate to empty (the tmp side of a durable
+  /// replace).
+  kTruncate,
+  /// Write-only, create, preserve existing contents with the cursor at
+  /// offset 0 (the crash-safe appender manages truncation/seek itself).
+  kAppendable,
+};
+
+/// The storage syscalls the durability-critical writers are allowed to use.
+/// Short writes and EINTR are part of the interface: retry loops belong
+/// *above* this seam (writeAllRetry & friends) so a simulated environment
+/// can prove they exist.
+class IoEnv {
+ public:
+  virtual ~IoEnv() = default;
+
+  virtual IoStatus open(const std::string& path, OpenMode mode) = 0;
+  /// May write fewer than `size` bytes (value = bytes accepted).
+  virtual IoStatus write(int fd, const void* data, size_t size) = 0;
+  virtual IoStatus fsync(int fd) = 0;
+  virtual IoStatus close(int fd) = 0;
+  virtual IoStatus truncate(int fd, uint64_t size) = 0;
+  /// Move the cursor to end-of-file; value = file size.
+  virtual IoStatus seekEnd(int fd) = 0;
+  /// Atomic replace of `to` by `from` (visibility, not durability: the
+  /// rename survives a power cut only after syncDir on the parent).
+  virtual IoStatus rename(const std::string& from, const std::string& to) = 0;
+  virtual IoStatus remove(const std::string& path) = 0;
+  /// fsync the directory itself, sealing pending entry creations, renames
+  /// and removals under it against power loss.
+  virtual IoStatus syncDir(const std::string& dir) = 0;
+  /// Whole-file read (the load paths slurp; there is no streaming read).
+  /// err = ENOENT when no file exists at `path`.
+  virtual IoStatus readFile(const std::string& path, std::string& out) = 0;
+  virtual bool exists(const std::string& path) = 0;
+};
+
+/// The process-global passthrough to the real filesystem.
+IoEnv& posixIo();
+
+/// Default-parameter helper: nullptr means the real filesystem.
+inline IoEnv& resolveIo(IoEnv* io) { return io ? *io : posixIo(); }
+
+/// Directory containing `path`: "a/b/c" -> "a/b", "x" -> ".", "/x" -> "/".
+std::string parentDir(const std::string& path);
+
+/// EINTR-absorbing wrappers.  A signal during a durable write must cost a
+/// retry, not the checkpoint; these are the only sanctioned way for the
+/// durability-critical writers to issue the underlying calls.
+IoStatus openRetry(IoEnv& io, const std::string& path, OpenMode mode);
+/// Retries both EINTR and short writes until all `size` bytes are accepted.
+IoStatus writeAllRetry(IoEnv& io, int fd, const void* data, size_t size);
+/// Retries EINTR only.  Any other fsync failure must NOT be retried: POSIX
+/// allows the kernel to mark dirty pages clean on a failed fsync, so a
+/// "successful" retry proves nothing (callers abort and rebuild instead).
+IoStatus fsyncRetry(IoEnv& io, int fd);
+IoStatus syncDirRetry(IoEnv& io, const std::string& dir);
+
+/// Durably replace `path` with `contents`.  Ordering contract (each step
+/// must complete before the next has any value):
+///   1. write + fsync a sibling `path + ".tmp"` -- the *data* must be on
+///      stable media before the rename, otherwise the rename can persist
+///      first and a power cut leaves `path` pointing at garbage;
+///   2. rename(tmp, path) -- atomic replace, readers see old-or-new;
+///   3. fsync the parent directory -- the rename is a directory mutation;
+///      without this a crash can roll it back, silently resurrecting the
+///      previous file after the caller was told the save succeeded.
+/// Throws std::runtime_error on failure at any step, removing the tmp and
+/// leaving any previous file at `path` untouched (after step 2 the new file
+/// is visible but the call still fails when step 3 does: the caller must
+/// not treat the write as durable, though old-or-new atomicity holds
+/// either way).
+void writeFileDurable(IoEnv& io, const std::string& path,
+                      const std::string& contents);
+
+/// Same contract, false instead of throwing (telemetry export must never
+/// take down ingestion).
+bool writeFileDurableNoThrow(IoEnv& io, const std::string& path,
+                             const std::string& contents);
+
+}  // namespace tagspin::core

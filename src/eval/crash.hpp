@@ -1,0 +1,143 @@
+// Crash-consistency evaluation: the systematic falsifier for every
+// durability claim in the tree.
+//
+// Three escalating attacks, all against sim::SimIoEnv (never the real
+// disk), all fully deterministic:
+//
+//  1. Exhaustive crash-point exploration.  Each scripted workload --
+//     repeated checkpoint saves, capture append, capture reopen (clean and
+//     torn), and the fleet shard-checkpoint fan-out -- is run once per
+//     syscall boundary with a power cut scheduled exactly there.  At every
+//     cut the post-crash disk is materialized under a set of write-back
+//     persistence variants (nothing / everything / metadata-only /
+//     seeded-prefix-with-torn-write / seeded-reordered-subset), *real*
+//     recovery is run against it (CheckpointStore::load, scanValidPrefix +
+//     decodeCaptureTolerant, CaptureWriter reopen-and-extend), and the
+//     workload's oracle checks the invariants: a checkpoint is bit-identical
+//     to old-or-new, a capture decodes to a valid prefix of what was
+//     appended that covers everything acked as fsynced, and reopen resumes
+//     without corrupting earlier chunks.
+//
+//  2. Seeded fault-schedule search.  Random schedules of injected faults
+//     (EIO, ENOSPC, EINTR, short writes, partially-persisting fsync
+//     failures, and power cuts) by global syscall index are thrown at the
+//     fleet fan-out path; crashing runs are checked across all persistence
+//     variants, surviving runs against the live state plus a no-.tmp-litter
+//     invariant.
+//
+//  3. Falsification proof.  A deliberately broken writer (tmp+rename
+//     WITHOUT the data fsync -- the classic ordering bug) is swept by the
+//     same explorer; it must be caught, and a failing fault schedule found
+//     by search must shrink, via delta debugging (shrinkSchedule), to a
+//     minimal replayable artifact (seed + schedule JSON) of the kind a bug
+//     report would carry.  A harness that cannot flag a planted bug proves
+//     nothing by passing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/io_sim.hpp"
+
+namespace tagspin::eval {
+
+struct CrashExploreConfig {
+  uint64_t seed = 0xC4A5117ULL;
+
+  /// Checkpoint workload: save() this many growing checkpoints in a row.
+  size_t checkpointSaves = 10;
+
+  /// Capture workloads: reports appended per run, chunking and fsync
+  /// cadence of the writer under test.
+  size_t captureReports = 120;
+  size_t chunkReports = 8;
+  size_t fsyncEveryChunks = 2;
+  /// Reports appended by the reopen-and-extend recovery check.
+  size_t reopenExtraReports = 10;
+
+  /// Fleet fan-out workload: shards x rounds of framed durable writes with
+  /// the per-shard catch fleet.cpp uses (a failed shard checkpoint must not
+  /// kill the tick).
+  size_t fleetShards = 3;
+  size_t fleetRounds = 4;
+
+  /// Seeded persistence variants per random mode (kPrefix and kSubset each
+  /// get this many seeds; kNone/kAll/kMetaOnly are deterministic).
+  size_t persistSeeds = 4;
+
+  /// Fault-schedule search: random schedules thrown at the fleet fan-out
+  /// path, and the cap on faults per schedule.
+  size_t scheduleRounds = 96;
+  size_t maxScheduleFaults = 4;
+
+  /// Schedules tried against the broken writer before giving up on finding
+  /// a failing one to shrink.
+  size_t brokenSearchRounds = 400;
+
+  /// Run the deliberately-broken-writer falsification arm.
+  bool exploreBrokenWriter = true;
+
+  /// Violations kept with full detail (counts are always exact).
+  size_t maxViolationDetails = 32;
+};
+
+/// One invariant violation, with everything needed to replay it.
+struct CrashViolation {
+  std::string workload;
+  /// Syscall index of the scheduled power cut; -1 when the run was driven
+  /// by a fault schedule (or completed) instead.
+  int64_t crashAtOp = -1;
+  sim::FaultSchedule schedule;  // empty for pure crash-point runs
+  std::string persistMode;      // empty when the live state failed
+  uint64_t persistSeed = 0;
+  std::string detail;
+};
+
+struct WorkloadCrashStats {
+  std::string name;
+  uint64_t boundaries = 0;   // syscall boundaries enumerated (= runs)
+  uint64_t crashPoints = 0;  // boundary x persistence-variant recoveries
+  uint64_t violations = 0;
+};
+
+struct CrashEvalResult {
+  std::vector<WorkloadCrashStats> workloads;
+  uint64_t totalBoundaries = 0;
+  uint64_t totalCrashPoints = 0;
+  uint64_t totalViolations = 0;
+  std::vector<CrashViolation> violations;  // capped at maxViolationDetails
+
+  // Fault-schedule search over the fleet fan-out path.
+  uint64_t scheduleRuns = 0;
+  uint64_t scheduleCrashes = 0;     // runs whose schedule fired a power cut
+  uint64_t scheduleChecks = 0;      // recovery checks performed
+  uint64_t scheduleViolations = 0;
+
+  // Falsification arm (deliberately broken writer).
+  bool brokenWriterCaught = false;     // crash-point exploration flagged it
+  bool brokenScheduleFound = false;    // search found a failing schedule
+  uint64_t brokenScheduleFaults = 0;   // faults before shrinking
+  uint64_t brokenShrunkFaults = 0;     // faults after delta debugging
+  std::string brokenArtifactJson;      // minimal replayable artifact
+
+  /// Zero violations on the correct writers AND the planted bug was caught
+  /// and shrunk (when the arm is enabled).
+  bool pass = false;
+};
+
+CrashEvalResult runCrashEval(const CrashExploreConfig& config);
+
+/// Full result as JSON (the BENCH_crash.json payload).
+std::string crashJson(const CrashEvalResult& result);
+
+/// Delta-debugging (ddmin) minimizer: returns a minimal sub-schedule for
+/// which `fails` still returns true (1-minimal: removing any single chunk
+/// at the final granularity makes it pass).  `fails(schedule)` must be
+/// deterministic; `schedule` itself is assumed failing.
+sim::FaultSchedule shrinkSchedule(
+    const sim::FaultSchedule& schedule,
+    const std::function<bool(const sim::FaultSchedule&)>& fails);
+
+}  // namespace tagspin::eval

@@ -2,7 +2,6 @@
 
 #include <cctype>
 #include <cstdio>
-#include <fstream>
 #include <sstream>
 
 namespace tagspin::obs {
@@ -116,12 +115,12 @@ std::string toJson(const MetricsSnapshot& snapshot,
   return out.str();
 }
 
-bool writeTextFile(const std::string& path, const std::string& contents) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return false;
-  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
-  out.flush();
-  return static_cast<bool>(out);
+bool writeTextFile(const std::string& path, const std::string& contents,
+                   core::IoEnv* io) {
+  // Truncate-in-place would leave torn JSON if the process (or the power)
+  // dies mid-write; scrapers and CI trenders read these files while the
+  // system runs, so they get the same old-or-new contract as checkpoints.
+  return core::writeFileDurableNoThrow(core::resolveIo(io), path, contents);
 }
 
 }  // namespace tagspin::obs

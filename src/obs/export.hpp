@@ -9,6 +9,7 @@
 
 #include <string>
 
+#include "core/io_env.hpp"
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 
@@ -27,7 +28,11 @@ std::string toJson(const MetricsSnapshot& snapshot,
 
 /// Best-effort text write (used for metric sidecars next to checkpoints and
 /// the CLI's periodic dumps).  Returns false instead of throwing: telemetry
-/// export must never take down ingestion.
-bool writeTextFile(const std::string& path, const std::string& contents);
+/// export must never take down ingestion.  Atomic and durable (tmp + fsync +
+/// rename + parent dirsync, see core::writeFileDurable): a crash mid-export
+/// leaves the previous sidecar, never torn JSON.  `io` selects the storage
+/// environment; nullptr means the real filesystem.
+bool writeTextFile(const std::string& path, const std::string& contents,
+                   core::IoEnv* io = nullptr);
 
 }  // namespace tagspin::obs

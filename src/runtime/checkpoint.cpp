@@ -1,14 +1,9 @@
 #include "runtime/checkpoint.hpp"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <array>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 #include <stdexcept>
 
 namespace tagspin::runtime {
@@ -84,83 +79,26 @@ core::Result<std::string> CheckpointStore::unframe(
   return R::ok(std::move(payload));
 }
 
-void CheckpointStore::writeFileDurable(const std::string& path,
-                                       const std::string& contents) {
-  // Durability ordering contract (each step must complete before the next
-  // has any value):
-  //   1. write + fsync the .tmp file -- its *data* must be on stable media
-  //      before the rename, otherwise the rename can be persisted first and
-  //      a power cut leaves `path` pointing at a hole of garbage;
-  //   2. rename(tmp, path) -- atomic replace, readers see old-or-new;
-  //   3. fsync the parent directory -- the rename itself is a directory
-  //      mutation; without this it can be rolled back by a crash, silently
-  //      resurrecting the previous checkpoint after we reported success.
-  // A failure at any step throws and leaves any previous file at `path`
-  // untouched.
-  const std::string tmp = path + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) {
-    throw std::runtime_error("checkpoint: cannot write " + tmp + ": " +
-                             std::strerror(errno));
-  }
-  size_t written = 0;
-  while (written < contents.size()) {
-    const ssize_t n = ::write(fd, contents.data() + written,
-                              contents.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      ::unlink(tmp.c_str());
-      throw std::runtime_error("checkpoint: write failed: " + tmp + ": " +
-                               std::strerror(errno));
-    }
-    written += static_cast<size_t>(n);
-  }
-  if (::fsync(fd) != 0) {
-    ::close(fd);
-    ::unlink(tmp.c_str());
-    throw std::runtime_error("checkpoint: fsync failed: " + tmp + ": " +
-                             std::strerror(errno));
-  }
-  if (::close(fd) != 0) {
-    ::unlink(tmp.c_str());
-    throw std::runtime_error("checkpoint: close failed: " + tmp + ": " +
-                             std::strerror(errno));
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw std::runtime_error("checkpoint: rename to " + path + " failed");
-  }
-  const size_t slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos
-                              ? std::string(".")
-                              : path.substr(0, slash == 0 ? 1 : slash);
-  const int dirFd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dirFd >= 0) {
-    // Best effort: some filesystems refuse directory fsync; the rename has
-    // already happened, so don't fail the save over it.
-    ::fsync(dirFd);
-    ::close(dirFd);
-  }
-}
-
 size_t CheckpointStore::save(
     const core::CalibrationCheckpoint& checkpoint) const {
   const std::string contents = frame(core::checkpointToString(checkpoint));
-  writeFileDurable(path_, contents);
+  core::writeFileDurable(*io_, path_, contents);
   return contents.size();
 }
 
 core::Result<core::CalibrationCheckpoint> CheckpointStore::load() const {
   using R = core::Result<core::CalibrationCheckpoint>;
-  std::ifstream in(path_, std::ios::binary);
-  if (!in) {
+  std::string raw;
+  const core::IoStatus st = io_->readFile(path_, raw);
+  if (!st.ok()) {
+    // Unreadable is treated like absent (a fresh start): there is nothing
+    // to recover either way, and kCheckpointMissing is the code the
+    // supervisor already handles by rebuilding from scratch.
     return R::fail(core::ErrorCode::kCheckpointMissing,
-                   "checkpoint: no file at " + path_);
+                   "checkpoint: cannot read " + path_ + ": " +
+                       std::strerror(st.err));
   }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  const core::Result<std::string> payload = unframe(buf.str());
+  const core::Result<std::string> payload = unframe(raw);
   if (!payload) {
     // A file existed but failed integrity -- this is data loss, not a fresh
     // start.  Journal it so operators can tell the two apart without

@@ -3,14 +3,19 @@
 // The text payload (core::checkpointToString) is framed with a one-line
 // header carrying its byte length and CRC-32, written to a sibling .tmp
 // file (fsynced), atomically renamed over the target, and sealed with a
-// parent-directory fsync (see writeFileDurable for the ordering contract).
-// A kill -9 -- or a power cut -- at any point
+// parent-directory fsync (see core::writeFileDurable for the ordering
+// contract).  A kill -9 -- or a power cut -- at any point
 // therefore leaves either the previous intact checkpoint or the new one --
 // never a torn file that silently resumes from garbage: truncation fails
 // the length check, partial writes and bit rot fail the CRC, and a
 // malformed payload fails the parser.  All three surface as
 // ErrorCode::kCheckpointCorrupt; a missing file is the distinct
 // kCheckpointMissing (a fresh start, not a fault).
+//
+// All storage goes through the core::IoEnv seam: production uses the
+// default Posix passthrough, while the crash-point explorer (eval/crash)
+// substitutes sim::SimIoEnv to falsify the old-or-new claim at every
+// syscall boundary.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +23,7 @@
 #include <string>
 
 #include "core/errors.hpp"
+#include "core/io_env.hpp"
 #include "core/serialization.hpp"
 #include "obs/journal.hpp"
 
@@ -30,14 +36,17 @@ uint32_t crc32(const std::string& data);
 
 class CheckpointStore {
  public:
-  explicit CheckpointStore(std::string path) : path_(std::move(path)) {}
+  /// `io` is the storage environment; nullptr means the real filesystem.
+  explicit CheckpointStore(std::string path, core::IoEnv* io = nullptr)
+      : path_(std::move(path)), io_(&core::resolveIo(io)) {}
 
   const std::string& path() const { return path_; }
 
-  /// Serialize, frame, write to `path + ".tmp"`, fsync-flush, rename.
-  /// Returns the framed byte count written (telemetry wants checkpoint
-  /// sizes).  Throws std::runtime_error on I/O failure (disk full, bad
-  /// directory); the previous checkpoint file is untouched in that case.
+  /// Serialize, frame, write to `path + ".tmp"`, fsync-flush, rename,
+  /// parent dirsync.  Returns the framed byte count written (telemetry
+  /// wants checkpoint sizes).  Throws std::runtime_error on I/O failure
+  /// (disk full, bad directory); the previous checkpoint file is untouched
+  /// in that case.
   size_t save(const core::CalibrationCheckpoint& checkpoint) const;
 
   /// Load and verify.  kCheckpointMissing when no file exists;
@@ -54,16 +63,9 @@ class CheckpointStore {
   static std::string frame(const std::string& payload);
   static core::Result<std::string> unframe(const std::string& fileContents);
 
-  /// Durably replace `path` with `contents`: write a sibling .tmp, fsync
-  /// it, rename over the target, then fsync the parent directory.  Survives
-  /// power loss, not just process kill.  Throws std::runtime_error on I/O
-  /// failure, leaving any previous file at `path` untouched.  Exposed so
-  /// other writers (fleet shard checkpoints) get the same guarantee.
-  static void writeFileDurable(const std::string& path,
-                               const std::string& contents);
-
  private:
   std::string path_;
+  core::IoEnv* io_;
   obs::EventJournal* journal_ = nullptr;
 };
 

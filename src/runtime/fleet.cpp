@@ -2,7 +2,6 @@
 
 #include <atomic>
 #include <condition_variable>
-#include <fstream>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
@@ -608,9 +607,9 @@ void FleetManager::writeShardCheckpoint(Shard& shard, double nowS) {
             << member->name << slice;
   }
   try {
-    CheckpointStore::writeFileDurable(
-        shardCheckpointPath(shard.index),
-        CheckpointStore::frame(payload.str()));
+    core::writeFileDurable(core::resolveIo(config_.io),
+                           shardCheckpointPath(shard.index),
+                           CheckpointStore::frame(payload.str()));
     ++shard.counters.checkpointWrites;
     obs::add(obs_.checkpointWrites);
   } catch (const std::exception& e) {
@@ -626,12 +625,13 @@ void FleetManager::writeShardCheckpoint(Shard& shard, double nowS) {
 size_t FleetManager::restore() {
   size_t restored = 0;
   for (auto& shard : shards_) {
-    std::ifstream in(shardCheckpointPath(shard->index), std::ios::binary);
-    if (!in) continue;  // fresh start for this shard
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    const core::Result<std::string> payload =
-        CheckpointStore::unframe(buf.str());
+    std::string raw;
+    if (!core::resolveIo(config_.io)
+             .readFile(shardCheckpointPath(shard->index), raw)
+             .ok()) {
+      continue;  // fresh start for this shard
+    }
+    const core::Result<std::string> payload = CheckpointStore::unframe(raw);
     if (!payload) {
       ++shard->counters.checkpointFailures;
       obs::add(obs_.checkpointFailures);

@@ -61,6 +61,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/io_env.hpp"
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/supervisor.hpp"
@@ -168,6 +169,9 @@ struct FleetConfig {
   double checkpointIntervalS = 10.0;
   size_t maxCheckpointWritesPerTick = 1;
   std::string checkpointDir;
+  /// Storage environment for shard checkpoints; nullptr means the real
+  /// filesystem (the crash-point explorer injects sim::SimIoEnv here).
+  core::IoEnv* io = nullptr;
 
   /// Load shedding thresholds on the worst shard's demand/budget EMA.
   double shedDegradedPressure = 0.9;

@@ -10,7 +10,9 @@
 #include <vector>
 
 #include "capture/digest.hpp"
+#include "capture/format.hpp"
 #include "runtime/checkpoint.hpp"
+#include "sim/io_sim.hpp"
 
 namespace tagspin::capture {
 namespace {
@@ -236,6 +238,52 @@ TEST_F(CaptureWriterTest, FsyncZeroMeansOnlyOnClose) {
   EXPECT_EQ(writer.stats().fsyncs, afterOpen);
   writer.close();
   EXPECT_EQ(writer.stats().fsyncs, afterOpen + 1);
+}
+
+TEST(CaptureWriterSim, NewCaptureSurvivesPowerCutOnceChunkIsFsynced) {
+  // The dirsync-on-create proof: without the parent-directory fsync in the
+  // constructor, a power cut before close() would drop the whole file under
+  // the nothing-persists variant, fsynced chunks and all.
+  sim::SimIoEnv env;
+  CaptureWriterConfig cfg;
+  cfg.chunkReports = 4;
+  cfg.fsyncEveryChunks = 1;
+  cfg.io = &env;
+  const TimedStream s = quantizedStream(4, 1'000'000);
+  CaptureWriter writer("cap.tspc", cfg);
+  writer.append(s);  // one full chunk, fsynced
+
+  // Power cut now -- no close, nothing un-fsynced survives.
+  const sim::DiskImage image =
+      env.crashImage({sim::CrashPersist::Mode::kNone, 0});
+  ASSERT_EQ(image.count("cap.tspc"), 1u);
+  const std::string& bytes = image.at("cap.tspc");
+  expectEqualStreams(
+      s, decodeCapture(std::vector<uint8_t>(bytes.begin(), bytes.end())));
+  writer.close();
+}
+
+TEST(CaptureWriterSim, EintrAndShortWritesDuringAppendAreAbsorbed) {
+  sim::SimIoEnv env;
+  CaptureWriterConfig cfg;
+  cfg.chunkReports = 2;
+  cfg.fsyncEveryChunks = 1;
+  cfg.io = &env;
+  CaptureWriter writer("cap.tspc", cfg);
+
+  const uint64_t base = env.opCount();
+  env.setFaults({{base, sim::FaultKind::kEintr},
+                 {base + 2, sim::FaultKind::kEintr},
+                 {base + 4, sim::FaultKind::kShortWrite}});
+  const TimedStream s = quantizedStream(6, 1'000'000);
+  writer.append(s);
+  writer.close();
+  EXPECT_EQ(env.faultsInjected(), 3u);
+
+  const sim::DiskImage image = env.liveImage();
+  const std::string& bytes = image.at("cap.tspc");
+  expectEqualStreams(
+      s, decodeCapture(std::vector<uint8_t>(bytes.begin(), bytes.end())));
 }
 
 }  // namespace

@@ -1,0 +1,114 @@
+#include "core/io_env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace tagspin::core {
+namespace {
+
+std::string tempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+class PosixIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    path_ = tempPath(std::string("tagspin_io_") + info->name() + ".dat");
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+  void TearDown() override {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+  std::string path_;
+};
+
+TEST_F(PosixIoTest, OpenWriteFsyncCloseRoundTrip) {
+  IoEnv& io = posixIo();
+  const IoStatus fd = io.open(path_, OpenMode::kTruncate);
+  ASSERT_TRUE(fd.ok());
+  const std::string data = "spinning tag";
+  ASSERT_TRUE(writeAllRetry(io, int(fd.value), data.data(), data.size()).ok());
+  EXPECT_TRUE(io.fsync(int(fd.value)).ok());
+  EXPECT_TRUE(io.close(int(fd.value)).ok());
+
+  std::string back;
+  const IoStatus rd = io.readFile(path_, back);
+  ASSERT_TRUE(rd.ok());
+  EXPECT_EQ(back, data);
+  EXPECT_EQ(size_t(rd.value), data.size());
+  EXPECT_TRUE(io.exists(path_));
+}
+
+TEST_F(PosixIoTest, ReadFileMissingReportsEnoent) {
+  std::string back;
+  const IoStatus rd = posixIo().readFile(path_, back);
+  EXPECT_FALSE(rd.ok());
+  EXPECT_EQ(rd.err, ENOENT);
+  EXPECT_FALSE(posixIo().exists(path_));
+}
+
+TEST_F(PosixIoTest, AppendableOpenPreservesContentsAndSeekEndFindsSize) {
+  IoEnv& io = posixIo();
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "0123456789";
+  }
+  const IoStatus fd = io.open(path_, OpenMode::kAppendable);
+  ASSERT_TRUE(fd.ok());
+  const IoStatus size = io.seekEnd(int(fd.value));
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(size.value, 10);
+  ASSERT_TRUE(writeAllRetry(io, int(fd.value), "AB", 2).ok());
+  EXPECT_TRUE(io.close(int(fd.value)).ok());
+  std::string back;
+  ASSERT_TRUE(io.readFile(path_, back).ok());
+  EXPECT_EQ(back, "0123456789AB");
+}
+
+TEST_F(PosixIoTest, TruncateShrinksTheFile) {
+  IoEnv& io = posixIo();
+  const IoStatus fd = io.open(path_, OpenMode::kTruncate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(writeAllRetry(io, int(fd.value), "0123456789", 10).ok());
+  ASSERT_TRUE(io.truncate(int(fd.value), 4).ok());
+  EXPECT_TRUE(io.close(int(fd.value)).ok());
+  std::string back;
+  ASSERT_TRUE(io.readFile(path_, back).ok());
+  EXPECT_EQ(back, "0123");
+}
+
+TEST_F(PosixIoTest, WriteFileDurableReplacesAtomicallyWithoutTmpLitter) {
+  writeFileDurable(posixIo(), path_, "first");
+  writeFileDurable(posixIo(), path_, "second");
+  std::string back;
+  ASSERT_TRUE(posixIo().readFile(path_, back).ok());
+  EXPECT_EQ(back, "second");
+  EXPECT_FALSE(std::filesystem::exists(path_ + ".tmp"));
+}
+
+TEST_F(PosixIoTest, WriteFileDurableIntoMissingDirectoryThrows) {
+  EXPECT_THROW(
+      writeFileDurable(posixIo(), "/nonexistent_dir_tagspin/io_env.dat",
+                       "payload"),
+      std::runtime_error);
+  EXPECT_FALSE(writeFileDurableNoThrow(
+      posixIo(), "/nonexistent_dir_tagspin/io_env.dat", "payload"));
+}
+
+TEST(ParentDir, CoversTheShapesTheWritersProduce) {
+  EXPECT_EQ(parentDir("a/b/c"), "a/b");
+  EXPECT_EQ(parentDir("x"), ".");
+  EXPECT_EQ(parentDir("/x"), "/");
+  EXPECT_EQ(parentDir("bench/out/fig.json"), "bench/out");
+}
+
+}  // namespace
+}  // namespace tagspin::core

@@ -9,6 +9,7 @@
 
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "sim/io_sim.hpp"
 
 namespace tagspin::obs {
 namespace {
@@ -77,6 +78,39 @@ TEST(WriteTextFile, RoundTripsAndReportsFailure) {
   std::remove(path.c_str());
   // Unwritable path: false, no throw (export must never kill ingestion).
   EXPECT_FALSE(writeTextFile("/nonexistent_dir_tagspin/x.prom", "x"));
+}
+
+TEST(WriteTextFile, PowerCutAtEveryBoundaryLeavesOldOrNewNeverTorn) {
+  // The sidecar export uses the same durable-replace recipe as the
+  // checkpoint: a scraper must never see a half-written metrics page, no
+  // matter where power dies.
+  uint64_t boundaries = 0;
+  {
+    sim::SimIoEnv probe(sim::DiskImage{{"metrics.prom", "old_page 1\n"}});
+    ASSERT_TRUE(writeTextFile("metrics.prom", "new_page 2\n", &probe));
+    boundaries = probe.opCount();
+  }
+  ASSERT_GT(boundaries, 4u);
+  for (uint64_t k = 0; k < boundaries; ++k) {
+    sim::SimIoEnv env(sim::DiskImage{{"metrics.prom", "old_page 1\n"}});
+    env.setCrashAtOp(static_cast<int64_t>(k));
+    try {
+      writeTextFile("metrics.prom", "new_page 2\n", &env);
+      FAIL() << "power cut at op " << k << " did not surface";
+    } catch (const sim::SimCrash&) {
+    }
+    for (const sim::CrashPersist::Mode mode :
+         {sim::CrashPersist::Mode::kNone, sim::CrashPersist::Mode::kAll,
+          sim::CrashPersist::Mode::kMetaOnly,
+          sim::CrashPersist::Mode::kPrefix}) {
+      const sim::DiskImage image = env.crashImage({mode, 5 * k + 1});
+      const auto it = image.find("metrics.prom");
+      ASSERT_NE(it, image.end()) << "cut at op " << k;
+      EXPECT_TRUE(it->second == "old_page 1\n" || it->second == "new_page 2\n")
+          << "cut at op " << k << ", mode " << sim::persistModeName(mode)
+          << ": torn page \"" << it->second << '"';
+    }
+  }
 }
 
 }  // namespace

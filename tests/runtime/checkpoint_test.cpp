@@ -9,6 +9,7 @@
 
 #include "geom/angles.hpp"
 #include "obs/journal.hpp"
+#include "sim/io_sim.hpp"
 
 namespace tagspin::runtime {
 namespace {
@@ -249,6 +250,94 @@ TEST_F(CheckpointStoreTest, SaveIntoMissingDirectoryThrowsAndPreservesOld) {
 
   // The unrelated good file is of course still loadable.
   EXPECT_TRUE(good.load().hasValue());
+}
+
+TEST(CheckpointStoreSim, EnospcMidSaveKeepsPreviousCheckpointAndNoTmpLitter) {
+  sim::SimIoEnv env;
+  CheckpointStore store("calib.ckpt", &env);
+  store.save(sampleCheckpoint());  // sequence 17, fully durable
+
+  core::CalibrationCheckpoint next = sampleCheckpoint();
+  next.sequence = 99;
+
+  // Run the disk full at the tmp write, then at the tmp fsync.  Each failed
+  // save must throw, leave the previous checkpoint loadable, and leave no
+  // .tmp behind for the next attempt to trip over.
+  for (const uint64_t offset : {uint64_t(1), uint64_t(2)}) {
+    const uint64_t base = env.opCount();
+    env.setFaults({{base + offset, sim::FaultKind::kEnospc}});
+    EXPECT_THROW(store.save(next), std::runtime_error);
+    const auto loaded = store.load();
+    ASSERT_TRUE(loaded.hasValue());
+    EXPECT_EQ(loaded->sequence, 17u);
+    EXPECT_FALSE(env.exists("calib.ckpt.tmp"));
+  }
+
+  // Space freed: the retry goes through cleanly.
+  env.setFaults({});
+  store.save(next);
+  const auto loaded = store.load();
+  ASSERT_TRUE(loaded.hasValue());
+  EXPECT_EQ(loaded->sequence, 99u);
+  EXPECT_FALSE(env.exists("calib.ckpt.tmp"));
+}
+
+TEST(CheckpointStoreSim, EintrStormDuringSaveIsAbsorbed) {
+  sim::SimIoEnv env;
+  CheckpointStore store("calib.ckpt", &env);
+  // One EINTR each on open, write, fsync and dirsync (retries shift every
+  // later op index by one).
+  env.setFaults({{0, sim::FaultKind::kEintr},
+                 {2, sim::FaultKind::kEintr},
+                 {4, sim::FaultKind::kEintr},
+                 {8, sim::FaultKind::kEintr}});
+  store.save(sampleCheckpoint());
+  EXPECT_EQ(env.faultsInjected(), 4u);
+  const auto loaded = store.load();
+  ASSERT_TRUE(loaded.hasValue());
+  EXPECT_EQ(loaded->sequence, 17u);
+}
+
+TEST(CheckpointStoreSim, PowerCutAtEveryBoundaryLeavesOldOrNewCheckpoint) {
+  // Boundaries of the second save, measured on a probe run.
+  uint64_t firstOps = 0;
+  uint64_t totalOps = 0;
+  core::CalibrationCheckpoint next = sampleCheckpoint();
+  next.sequence = 99;
+  {
+    sim::SimIoEnv probe;
+    CheckpointStore store("calib.ckpt", &probe);
+    store.save(sampleCheckpoint());
+    firstOps = probe.opCount();
+    store.save(next);
+    totalOps = probe.opCount();
+  }
+  ASSERT_GT(totalOps, firstOps);
+
+  for (uint64_t k = firstOps; k < totalOps; ++k) {
+    sim::SimIoEnv env;
+    CheckpointStore store("calib.ckpt", &env);
+    store.save(sampleCheckpoint());
+    env.setCrashAtOp(static_cast<int64_t>(k));
+    try {
+      store.save(next);
+      FAIL() << "power cut at op " << k << " did not surface";
+    } catch (const sim::SimCrash&) {
+    }
+    for (const sim::CrashPersist::Mode mode :
+         {sim::CrashPersist::Mode::kNone, sim::CrashPersist::Mode::kAll,
+          sim::CrashPersist::Mode::kMetaOnly, sim::CrashPersist::Mode::kPrefix,
+          sim::CrashPersist::Mode::kSubset}) {
+      sim::SimIoEnv recovery(env.crashImage({mode, 3 * k + 1}));
+      CheckpointStore after("calib.ckpt", &recovery);
+      const auto loaded = after.load();
+      ASSERT_TRUE(loaded.hasValue())
+          << "cut at op " << k << ", mode " << sim::persistModeName(mode);
+      EXPECT_TRUE(loaded->sequence == 17u || loaded->sequence == 99u)
+          << "cut at op " << k << ", mode " << sim::persistModeName(mode)
+          << ": sequence " << loaded->sequence;
+    }
+  }
 }
 
 TEST(CheckpointFrame, RoundTrip) {

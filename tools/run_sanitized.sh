@@ -14,7 +14,10 @@
 # garbage splices against the record/replay format) and the end-to-end
 # record/replay smoke (label `replay_smoke`) round out the set: the capture
 # CRCs must stop damage before any decoder walks out of bounds, which is
-# exactly what ASan/UBSan verify.
+# exactly what ASan/UBSan verify.  The crash-consistency smoke (label
+# `crash_smoke`) drives every durable writer through thousands of simulated
+# power cuts and recoveries -- heavy allocation churn across torn buffers,
+# a good ASan payload.
 #
 # A final pass builds with ThreadSanitizer (its own build dir -- TSan
 # cannot share objects with ASan) and runs the `tsan`-labeled tests: the
@@ -69,6 +72,10 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'CaptureFormatFuzz'
 echo
 echo "== record/replay smoke under sanitizers (ctest -L replay_smoke) =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L replay_smoke
+
+echo
+echo "== crash-consistency smoke under sanitizers (ctest -L crash_smoke) =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L crash_smoke
 
 if [[ "${TAGSPIN_SKIP_TSAN:-0}" != "1" ]]; then
   TSAN_BUILD_DIR="${BUILD_DIR}-tsan"

@@ -81,6 +81,7 @@
 #include "capture/writer.hpp"
 #include "core/serialization.hpp"
 #include "core/tagspin.hpp"
+#include "eval/crash.hpp"
 #include "eval/fleet.hpp"
 #include "eval/runner.hpp"
 #include "eval/track.hpp"
@@ -747,6 +748,50 @@ int cmdTrack(const Args& args) {
   return (r.replayDeterministic && r.outageSurvived) ? 0 : 1;
 }
 
+/// crash: run the crash-consistency falsifier (simulated storage only --
+/// nothing on the real disk is touched).  --json=PATH dumps the full
+/// result; any violation or a missed planted bug exits nonzero.
+int cmdCrash(const Args& args) {
+  eval::CrashExploreConfig cfg;
+  cfg.seed = std::stoull(args.get("seed", std::to_string(cfg.seed)));
+  cfg.captureReports = std::stoul(
+      args.get("reports", std::to_string(cfg.captureReports)));
+  cfg.scheduleRounds = std::stoul(
+      args.get("schedule-rounds", std::to_string(cfg.scheduleRounds)));
+  if (args.has("no-broken-writer")) cfg.exploreBrokenWriter = false;
+
+  const eval::CrashEvalResult r = eval::runCrashEval(cfg);
+  for (const eval::WorkloadCrashStats& w : r.workloads) {
+    std::printf("%-22s %6llu boundaries  %7llu crash points  %llu "
+                "violations\n", w.name.c_str(),
+                static_cast<unsigned long long>(w.boundaries),
+                static_cast<unsigned long long>(w.crashPoints),
+                static_cast<unsigned long long>(w.violations));
+  }
+  std::printf("schedule search: %llu runs, %llu violations\n",
+              static_cast<unsigned long long>(r.scheduleRuns),
+              static_cast<unsigned long long>(r.scheduleViolations));
+  if (cfg.exploreBrokenWriter) {
+    std::printf("planted bug: caught %s, shrunk to %llu fault(s)\n",
+                r.brokenWriterCaught ? "yes" : "NO",
+                static_cast<unsigned long long>(r.brokenShrunkFaults));
+    if (!r.brokenArtifactJson.empty()) {
+      std::printf("minimal artifact: %s\n", r.brokenArtifactJson.c_str());
+    }
+  }
+  for (const eval::CrashViolation& v : r.violations) {
+    std::printf("VIOLATION [%s] crashAtOp=%lld persist=%s: %s\n",
+                v.workload.c_str(), static_cast<long long>(v.crashAtOp),
+                v.persistMode.c_str(), v.detail.c_str());
+  }
+  if (args.has("json")) {
+    std::ofstream out(args.get("json", "crash.json"));
+    out << eval::crashJson(r);
+  }
+  std::printf("%s\n", r.pass ? "PASS" : "FAIL");
+  return r.pass ? 0 : 1;
+}
+
 int cmdStats(const Args& args) {
   const std::string dir = args.get("dir", ".");
   const std::string format = args.get("format", "json");
@@ -770,7 +815,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: tagspin_cli <simulate|locate|inspect|serve|record|"
-                 "replay|track|stats> [--flags]\n");
+                 "replay|track|crash|stats> [--flags]\n");
     return 2;
   }
   try {
@@ -783,6 +828,7 @@ int main(int argc, char** argv) {
     if (cmd == "record") return cmdRecord(args);
     if (cmd == "replay") return cmdReplay(args);
     if (cmd == "track") return cmdTrack(args);
+    if (cmd == "crash") return cmdCrash(args);
     if (cmd == "stats") return cmdStats(args);
     std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
     return 2;
