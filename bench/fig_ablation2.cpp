@@ -10,6 +10,11 @@
 //      the upper baseline; single-rig ranging),
 //  (6) multi-round fusion: mean vs geometric median over repeated fixes
 //      with occasional gross errors.
+//
+// Usage: fig_ablation2 [--seed=N] [--json[=PATH]] [trials]
+// --json writes the machine-readable trajectory sidecar (default PATH
+// "BENCH_ablation2.json"); the exit code reflects its acceptance gates.
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -18,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/fusion.hpp"
 #include "core/hologram.hpp"
 #include "core/tagspin.hpp"
@@ -45,11 +51,16 @@ eval::RunResult run2d(const sim::World& world, int trials, double durationS,
 
 int main(int argc, char** argv) {
   uint64_t seed = 99;  // the eval::RunnerConfig default
+  std::string sidecarPath;
   std::vector<std::string> pos;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--seed=", 0) == 0) {
       seed = std::stoull(arg.substr(7));
+    } else if (arg == "--json") {
+      sidecarPath = "BENCH_ablation2.json";
+    } else if (arg.rfind("--json=", 0) == 0) {
+      sidecarPath = arg.substr(7);
     } else {
       pos.push_back(arg);
     }
@@ -58,6 +69,14 @@ int main(int argc, char** argv) {
   // Offset for the sections with their own RNGs: zero at the default seed,
   // so `--seed` absent reproduces the historical output exactly.
   const uint64_t seedDelta = seed - 99;
+
+  // Headline numbers captured for the --json sidecar.
+  double durShort = 0.0, durLong = 0.0;
+  double rigs2 = 0.0, rigs4 = 0.0;
+  double jitterNone = 0.0, jitterWorst = 0.0;
+  double fullPrecision = 0.0, wirePrecision = 0.0;
+  double spectra2 = 0.0, holo2 = 0.0, holo1 = 0.0;
+  double fusionWorst = 0.0, fusionMean = 0.0, fusionMedian = 0.0;
 
   eval::printHeading("Extension 1: interrogation duration vs accuracy");
   {
@@ -70,6 +89,8 @@ int main(int argc, char** argv) {
       series.emplace_back(
           durationS, run2d(world, trials, durationS, seed).summary.mean);
     }
+    durShort = series.front().second;
+    durLong = series.back().second;
     eval::printSeries("duration_s", "mean_err_cm", series);
     std::printf("[one disk revolution takes %.1f s; accuracy saturates "
                 "once a couple of revolutions are captured]\n",
@@ -98,6 +119,8 @@ int main(int argc, char** argv) {
       }
       series.emplace_back(rigs, run2d(world, trials, 30.0, seed).summary.mean);
     }
+    rigs2 = series.front().second;
+    rigs4 = series.back().second;
     eval::printSeries("rigs", "mean_err_cm", series);
     std::printf("[three+ rigs fuse by least squares and dilute the "
                 "bad-geometry directions]\n");
@@ -117,6 +140,8 @@ int main(int argc, char** argv) {
       }
       series.emplace_back(jitterDeg, run2d(world, trials, 30.0, seed).summary.mean);
     }
+    jitterNone = series.front().second;
+    jitterWorst = series.back().second;
     eval::printSeries("jitter_deg", "mean_err_cm", series);
     std::printf("[the server assumes uniform rotation; a cheap motor's "
                 "ripple directly corrupts the virtual array geometry]\n");
@@ -149,9 +174,11 @@ int main(int argc, char** argv) {
                                 truth.xy());
       wireAcc += geom::distance(server.locate2D(wire).position, truth.xy());
     }
+    fullPrecision = fullAcc / trials * 100.0;
+    wirePrecision = wireAcc / trials * 100.0;
     std::printf("full precision: %.2f cm | through 12-bit LLRP wire: "
                 "%.2f cm  (resolution %.4f rad << 0.1 rad noise)\n",
-                fullAcc / trials * 100.0, wireAcc / trials * 100.0,
+                fullPrecision, wirePrecision,
                 rfid::llrp::phaseResolutionRad());
   }
 
@@ -194,12 +221,12 @@ int main(int argc, char** argv) {
       holo1Acc += geom::distance(core::Hologram(single).locate().position,
                                  truth.xy());
     }
-    std::printf("angle spectra (2 rigs): %6.2f cm\n",
-                spectraAcc / trials * 100.0);
-    std::printf("hologram      (2 rigs): %6.2f cm\n",
-                holoAcc / trials * 100.0);
-    std::printf("hologram      (1 rig!): %6.2f cm\n",
-                holo1Acc / trials * 100.0);
+    spectra2 = spectraAcc / trials * 100.0;
+    holo2 = holoAcc / trials * 100.0;
+    holo1 = holo1Acc / trials * 100.0;
+    std::printf("angle spectra (2 rigs): %6.2f cm\n", spectra2);
+    std::printf("hologram      (2 rigs): %6.2f cm\n", holo2);
+    std::printf("hologram      (1 rig!): %6.2f cm\n", holo1);
     std::printf("[the hologram exploits wavefront curvature: a single rig "
                 "coarsely ranges the reader at metres of distance (the "
                 "angle-spectrum method cannot range at all with one rig); "
@@ -235,12 +262,47 @@ int main(int argc, char** argv) {
     for (const geom::Vec2& p : fixes) {
       worst = std::max(worst, geom::distance(p, truth.xy()));
     }
+    fusionWorst = worst * 100.0;
+    fusionMean = geom::distance(mean, truth.xy()) * 100.0;
+    fusionMedian = geom::distance(median, truth.xy()) * 100.0;
     std::printf("9 rounds of 8 s each, 20%% interference outliers:\n");
-    std::printf("  worst single round: %6.2f cm\n", worst * 100.0);
-    std::printf("  mean of rounds:     %6.2f cm\n",
-                geom::distance(mean, truth.xy()) * 100.0);
-    std::printf("  geometric median:   %6.2f cm\n",
-                geom::distance(median, truth.xy()) * 100.0);
+    std::printf("  worst single round: %6.2f cm\n", fusionWorst);
+    std::printf("  mean of rounds:     %6.2f cm\n", fusionMean);
+    std::printf("  geometric median:   %6.2f cm\n", fusionMedian);
   }
-  return 0;
+
+  // One machine-readable record: the gates encode each extension's
+  // qualitative claim with generous margins (seeds are fixed, but CI runs
+  // few trials, so the gates test direction, not exact magnitudes).
+  bench::BenchRecord record;
+  record.name = "ablation2";
+  record.seed = seed;
+  record.gate("dwell_improves_accuracy", durLong <= durShort * 0.5);
+  record.gate("more_rigs_no_worse", rigs4 <= rigs2 + 0.5);
+  record.gate("ripple_degrades_geometry",
+              jitterWorst >= jitterNone * 2.0);
+  record.gate("wire_quantisation_lossless",
+              wirePrecision <= fullPrecision * 1.05 + 0.1);
+  record.gate("two_rig_hologram_cm_level", holo2 <= spectra2 * 1.5 + 1.0);
+  record.gate("single_rig_hologram_ranges", holo1 <= 150.0);
+  record.gate("fusion_beats_worst_round",
+              std::min(fusionMean, fusionMedian) <= fusionWorst * 0.66);
+  record.metric("duration_3s_mean_cm", durShort);
+  record.metric("duration_50s_mean_cm", durLong);
+  record.metric("rigs2_mean_cm", rigs2);
+  record.metric("rigs4_mean_cm", rigs4);
+  record.metric("jitter_0deg_mean_cm", jitterNone);
+  record.metric("jitter_10deg_mean_cm", jitterWorst);
+  record.metric("full_precision_mean_cm", fullPrecision);
+  record.metric("wire_precision_mean_cm", wirePrecision);
+  record.metric("spectra_2rig_mean_cm", spectra2);
+  record.metric("hologram_2rig_mean_cm", holo2);
+  record.metric("hologram_1rig_mean_cm", holo1);
+  record.metric("fusion_worst_cm", fusionWorst);
+  record.metric("fusion_mean_cm", fusionMean);
+  record.metric("fusion_median_cm", fusionMedian);
+  if (!sidecarPath.empty()) {
+    bench::writeBenchSidecar(sidecarPath, record);
+  }
+  return record.allGatesPass() ? 0 : 1;
 }

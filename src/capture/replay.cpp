@@ -4,8 +4,28 @@
 
 namespace tagspin::capture {
 
+uint64_t replayStreamBytes(size_t reports) {
+  return uint64_t(reports) * (sizeof(TimedReport) +
+                              rfid::llrp::kMessageSize + sizeof(double));
+}
+
 std::shared_ptr<const ReplayStream> makeReplayStream(TimedStream timed) {
+  // The unbudgeted path cannot be refused, so the Result always holds.
+  return *makeReplayStreamBudgeted(std::move(timed), nullptr);
+}
+
+core::Result<std::shared_ptr<const ReplayStream>> makeReplayStreamBudgeted(
+    TimedStream timed, core::MemArena* arena) {
+  using StreamResult = core::Result<std::shared_ptr<const ReplayStream>>;
+  const uint64_t bytes = replayStreamBytes(timed.size());
+  if (arena && !arena->tryReserve(bytes)) {
+    return StreamResult::fail(
+        core::ErrorCode::kOutOfMemory,
+        "replay stream refused: " + std::to_string(bytes) +
+            " bytes denied by arena '" + arena->domain() + "'");
+  }
   auto stream = std::make_shared<ReplayStream>();
+  if (arena) stream->reservation = core::MemReservation(arena, bytes);
   stream->timed = std::move(timed);
   stream->wire.reserve(stream->timed.size() * rfid::llrp::kMessageSize);
   stream->releaseS.reserve(stream->timed.size());
@@ -16,7 +36,7 @@ std::shared_ptr<const ReplayStream> makeReplayStream(TimedStream timed) {
     stream->wire.insert(stream->wire.end(), frame.begin(), frame.end());
     stream->releaseS.push_back(tr.deliveryS - firstDeliveryS);
   }
-  return stream;
+  return StreamResult::ok(std::move(stream));
 }
 
 ReplayTransport::ReplayTransport(std::shared_ptr<const ReplayStream> stream,

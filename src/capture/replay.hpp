@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "capture/format.hpp"
+#include "core/errors.hpp"
+#include "core/mem_env.hpp"
 #include "runtime/transport.hpp"
 
 namespace tagspin::capture {
@@ -32,12 +34,30 @@ struct ReplayStream {
   TimedStream timed;
   std::vector<uint8_t> wire;       // frame i at [i*40, (i+1)*40)
   std::vector<double> releaseS;    // sorted by construction order
+  /// Byte accounting for the whole stream (reports + wire image + release
+  /// schedule), released when the stream is destroyed.  Empty when the
+  /// stream was built without an arena.
+  core::MemReservation reservation;
 };
 
 /// Build a ReplayStream (encode once, share many).  Reports are released
 /// in capture order; delivery offsets are taken relative to the first
 /// report's delivery time.
 std::shared_ptr<const ReplayStream> makeReplayStream(TimedStream timed);
+
+/// Bytes makeReplayStreamBudgeted will charge for a capture of `reports`
+/// reports: the retained TimedStream, the encoded wire image, and the
+/// release schedule.
+uint64_t replayStreamBytes(size_t reports);
+
+/// Budgeted form of makeReplayStream: the full cost of the stream -- the
+/// one unbounded buffer of the replay path, since the wire image is encoded
+/// upfront -- is reserved against `arena` *before* encoding.  A denial
+/// refuses the whole stream (kOutOfMemory; no partial image) so a fleet
+/// fan-out under pressure loses one session's replay, not the process.
+/// A null arena behaves exactly like makeReplayStream.
+core::Result<std::shared_ptr<const ReplayStream>> makeReplayStreamBudgeted(
+    TimedStream timed, core::MemArena* arena);
 
 struct ReplayTransportConfig {
   /// Playback rate: 2.0 replays a 60 s capture in 30 s of tick time.

@@ -97,10 +97,23 @@ CaptureWriter::~CaptureWriter() {
   }
 }
 
+bool CaptureWriter::reserveForReport() {
+  if (!config_.arena) return true;
+  if (config_.arena->tryReserve(sizeof(TimedReport))) return true;
+  // Spill: an early flush releases the buffered reports' accounting and
+  // moves them to stable storage, then the incoming report gets one retry.
+  ++stats_.bufferSpills;
+  flush();
+  if (config_.arena->tryReserve(sizeof(TimedReport))) return true;
+  ++stats_.reportsRefused;
+  return false;
+}
+
 void CaptureWriter::append(const rfid::TagReport& report, double deliveryS) {
   if (fd_ < 0) {
     throw std::runtime_error("capture: writer is closed: " + path_);
   }
+  if (!reserveForReport()) return;  // refused under memory pressure
   buffer_.push_back({report, deliveryS});
   ++stats_.reportsBuffered;
   if (buffer_.size() >= config_.chunkReports) flush();
@@ -108,6 +121,19 @@ void CaptureWriter::append(const rfid::TagReport& report, double deliveryS) {
 
 void CaptureWriter::append(const TimedStream& reports) {
   for (const TimedReport& tr : reports) append(tr.report, tr.deliveryS);
+}
+
+core::Result<bool> CaptureWriter::tryAppend(const rfid::TagReport& report,
+                                            double deliveryS) {
+  if (fd_ < 0) {
+    return core::Result<bool>::fail(core::ErrorCode::kInternal,
+                                    "capture: writer is closed: " + path_);
+  }
+  if (!reserveForReport()) return false;
+  buffer_.push_back({report, deliveryS});
+  ++stats_.reportsBuffered;
+  if (buffer_.size() >= config_.chunkReports) flush();
+  return true;
 }
 
 void CaptureWriter::flush() {
@@ -121,6 +147,9 @@ void CaptureWriter::flush() {
   ++stats_.chunksWritten;
   stats_.reportsWritten += buffer_.size();
   stats_.reportsBuffered -= buffer_.size();
+  if (config_.arena) {
+    config_.arena->release(uint64_t(buffer_.size()) * sizeof(TimedReport));
+  }
   buffer_.clear();
   if (config_.fsyncEveryChunks > 0 &&
       ++chunksSinceSync_ >= config_.fsyncEveryChunks) {

@@ -22,7 +22,9 @@
 #include <vector>
 
 #include "capture/format.hpp"
+#include "core/errors.hpp"
 #include "core/io_env.hpp"
+#include "core/mem_env.hpp"
 
 namespace tagspin::capture {
 
@@ -37,6 +39,14 @@ struct CaptureWriterConfig {
   size_t fsyncEveryChunks = 4;
   /// Storage environment; nullptr means the real filesystem.
   core::IoEnv* io = nullptr;
+  /// Optional byte ledger the chunk buffer is charged to (nullptr = no
+  /// accounting).  When a reservation for an incoming report is denied the
+  /// writer first *spills* -- flushes the buffered chunk early, which
+  /// releases its accounting and moves the bytes to stable storage -- and
+  /// retries; if even an empty buffer cannot reserve, the report is
+  /// *refused* (dropped, counted in reportsRefused) rather than growing
+  /// past the budget.
+  core::MemArena* arena = nullptr;
 };
 
 struct CaptureWriterStats {
@@ -49,6 +59,10 @@ struct CaptureWriterStats {
   uint64_t tornBytesTruncated = 0;
   /// Valid chunks found in a preexisting file at open.
   uint64_t chunksRecoveredOnOpen = 0;
+  /// Early flushes forced by a denied buffer reservation (spill).
+  uint64_t bufferSpills = 0;
+  /// Reports dropped because even a spilled buffer could not reserve.
+  uint64_t reportsRefused = 0;
 };
 
 class CaptureWriter {
@@ -69,6 +83,14 @@ class CaptureWriter {
   void append(const rfid::TagReport& report, double deliveryS);
   void append(const TimedStream& reports);
 
+  /// Non-throwing admission: like append(), but a closed writer comes back
+  /// as a Result error instead of an exception, and the return value says
+  /// whether the report was admitted (false = refused under memory
+  /// pressure).  The form fleet workers use so neither I/O state nor
+  /// pressure crosses the worker boundary as a throw.
+  core::Result<bool> tryAppend(const rfid::TagReport& report,
+                               double deliveryS);
+
   /// Frame and append the buffered reports now (no-op when empty).
   void flush();
 
@@ -86,6 +108,9 @@ class CaptureWriter {
 
  private:
   void appendBytes(const std::vector<uint8_t>& bytes);
+  /// Charge one buffered report to the arena, spilling once on denial.
+  /// False = refuse (the caller drops the report).
+  bool reserveForReport();
 
   std::string path_;
   CaptureWriterConfig config_;

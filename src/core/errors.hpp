@@ -37,6 +37,9 @@ enum class ErrorCode {
   /// A checkpoint file exists but fails its integrity checks (bad CRC,
   /// truncation, malformed payload) -- resume must fall back to empty.
   kCheckpointCorrupt,
+  /// A memory reservation was denied (budget exhausted or injected
+  /// failure); the caller should shed, spill, or refuse -- not crash.
+  kOutOfMemory,
   /// Anything that indicates a bug rather than bad input.
   kInternal,
 };
@@ -94,6 +97,7 @@ inline const char* errorCodeName(ErrorCode code) {
     case ErrorCode::kInsufficientCoverage: return "insufficient_coverage";
     case ErrorCode::kCheckpointMissing: return "checkpoint_missing";
     case ErrorCode::kCheckpointCorrupt: return "checkpoint_corrupt";
+    case ErrorCode::kOutOfMemory: return "out_of_memory";
     case ErrorCode::kInternal: return "internal";
   }
   return "unknown";

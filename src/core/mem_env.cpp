@@ -1,0 +1,100 @@
+#include "core/mem_env.hpp"
+
+#include <algorithm>
+
+namespace tagspin::core {
+
+bool PosixMemEnv::tryReserve(uint64_t bytes) {
+  uint64_t used = used_.load(std::memory_order_relaxed);
+  for (;;) {
+    const uint64_t next = used + bytes;
+    if (budget_ > 0 && next > budget_) {
+      denials_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (used_.compare_exchange_weak(used, next, std::memory_order_relaxed)) {
+      reserves_.fetch_add(1, std::memory_order_relaxed);
+      uint64_t peak = peak_.load(std::memory_order_relaxed);
+      while (next > peak &&
+             !peak_.compare_exchange_weak(peak, next,
+                                          std::memory_order_relaxed)) {
+      }
+      return true;
+    }
+  }
+}
+
+void PosixMemEnv::release(uint64_t bytes) {
+  // Clamp at zero instead of wrapping: an over-release is a caller bug the
+  // simulated environment flags, but the passthrough must stay sane.
+  uint64_t used = used_.load(std::memory_order_relaxed);
+  for (;;) {
+    const uint64_t next = bytes > used ? 0 : used - bytes;
+    if (used_.compare_exchange_weak(used, next, std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+MemEnvStats PosixMemEnv::stats() const {
+  MemEnvStats s;
+  s.reserves = reserves_.load(std::memory_order_relaxed);
+  s.denials = denials_.load(std::memory_order_relaxed);
+  s.usedBytes = used_.load(std::memory_order_relaxed);
+  s.peakBytes = peak_.load(std::memory_order_relaxed);
+  s.budgetBytes = budget_;
+  return s;
+}
+
+MemEnv& passthroughMem() {
+  static PosixMemEnv env;
+  return env;
+}
+
+MemArena& MemArena::operator=(MemArena&& other) noexcept {
+  if (this != &other) {
+    reset();
+    env_ = other.env_;
+    budget_ = other.budget_;
+    domain_ = std::move(other.domain_);
+    attached_ = other.attached_;
+    used_ = other.used_;
+    peak_ = other.peak_;
+    denials_ = other.denials_;
+    other.env_ = nullptr;
+    other.attached_ = false;
+    other.used_ = other.peak_ = other.denials_ = 0;
+    other.budget_ = 0;
+  }
+  return *this;
+}
+
+bool MemArena::tryReserve(uint64_t bytes) {
+  if (!attached_) return true;
+  if (budget_ > 0 && used_ + bytes > budget_) {
+    ++denials_;
+    return false;
+  }
+  if (env_ && !env_->tryReserve(bytes)) {
+    ++denials_;
+    return false;
+  }
+  used_ += bytes;
+  peak_ = std::max(peak_, used_);
+  return true;
+}
+
+void MemArena::release(uint64_t bytes) {
+  if (!attached_) return;
+  // Forward the full amount so an over-releasing caller is visible to a
+  // simulated environment's underflow oracle; clamp only the local ledger.
+  if (env_) env_->release(bytes);
+  used_ = bytes > used_ ? 0 : used_ - bytes;
+}
+
+void MemArena::reset() {
+  if (attached_ && env_ && used_ > 0) env_->release(used_);
+  used_ = 0;
+}
+
+}  // namespace tagspin::core

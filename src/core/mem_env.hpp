@@ -1,0 +1,227 @@
+// Injectable memory environment -- the allocation twin of io_env.hpp.
+//
+// Every layer that buffers unboundedly (fleet pending-fix queues, capture
+// replay streams, tracker histories) assumed allocation always succeeds;
+// one memory-pressure event would take down the whole process instead of
+// one session.  The fix mirrors the I/O seam: production code accounts its
+// growth against a `MemEnv` it was handed, a passthrough `PosixMemEnv`
+// grants everything (nullptr => zero behavior change, bit-identical to the
+// pre-seam baseline), and sim::SimMemEnv denies reservations on a seeded
+// schedule so eval/oom.* can explore every allocation-failure point the
+// way eval/crash.* explores every crash point.
+//
+// The contract is *accounting*, not interposition: components reserve an
+// estimate of the bytes a growth step will cost BEFORE growing, and release
+// when the memory is returned.  A denied reservation is not an error
+// condition to throw through -- it is a signal to shed (trim history, spill
+// a buffer, refuse one report, quarantine one session) and keep serving.
+// `tryReserve` never throws; `release` never fails.
+//
+// `MemArena` is the per-domain ledger (one per fleet shard, replay session,
+// capture writer): it enforces its own byte budget first, then charges the
+// shared environment, so "this shard stays under 16 MiB" and "the process
+// stays under its cgroup" compose.  `BudgetAllocator<T>` adapts an arena to
+// the STL for containers that should fail via the arena instead of the
+// global heap; `MemReservation` is the RAII form for one-shot reservations
+// (a replay stream's wire image) so teardown can never leak accounting.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <string>
+#include <utility>
+
+namespace tagspin::core {
+
+struct MemEnvStats {
+  uint64_t reserves = 0;       // tryReserve calls that were granted
+  uint64_t denials = 0;        // tryReserve calls that were refused
+  uint64_t usedBytes = 0;      // currently reserved
+  uint64_t peakBytes = 0;      // high-watermark of usedBytes
+  uint64_t budgetBytes = 0;    // 0 = unlimited
+};
+
+/// Abstract memory environment.  Implementations must make `tryReserve`
+/// and `release` safe to call from multiple threads (fleet shards account
+/// concurrently); neither may throw.
+class MemEnv {
+ public:
+  virtual ~MemEnv() = default;
+
+  /// Try to reserve `bytes` against the environment.  Returns false when
+  /// the reservation is denied; the caller must shed instead of growing.
+  virtual bool tryReserve(uint64_t bytes) = 0;
+
+  /// Return `bytes` previously reserved.  Never fails; implementations
+  /// may flag over-release (returning bytes never reserved) as a bug.
+  virtual void release(uint64_t bytes) = 0;
+
+  virtual MemEnvStats stats() const = 0;
+};
+
+/// Passthrough environment: grants every reservation (unless constructed
+/// with a budget) and keeps atomic accounting so operators can read real
+/// usage through the same gauges the simulated runs use.
+class PosixMemEnv final : public MemEnv {
+ public:
+  /// budgetBytes == 0 means unlimited -- the pure passthrough used when a
+  /// component is handed a null MemEnv*.
+  explicit PosixMemEnv(uint64_t budgetBytes = 0) : budget_(budgetBytes) {}
+
+  bool tryReserve(uint64_t bytes) override;
+  void release(uint64_t bytes) override;
+  MemEnvStats stats() const override;
+
+ private:
+  const uint64_t budget_;
+  std::atomic<uint64_t> used_{0};
+  std::atomic<uint64_t> peak_{0};
+  std::atomic<uint64_t> reserves_{0};
+  std::atomic<uint64_t> denials_{0};
+};
+
+/// The process-wide unlimited passthrough environment.
+MemEnv& passthroughMem();
+
+/// Resolve an optional environment: components take a `MemEnv*` that
+/// defaults to nullptr and call `resolveMem` at the accounting site, so
+/// "no environment configured" and "passthrough environment" behave
+/// bit-identically.
+inline MemEnv& resolveMem(MemEnv* mem) {
+  return mem ? *mem : passthroughMem();
+}
+
+/// Per-domain byte ledger.  A default-constructed arena is *detached*:
+/// every reservation is granted and nothing is accounted -- the zero-cost
+/// state for callers that keep an arena member unconditionally.  An
+/// attached arena enforces its own budget (0 = unlimited) and then charges
+/// the environment; a denial from either leaves the arena unchanged.
+/// Outstanding bytes are returned to the environment on destruction so a
+/// dropped arena can never strand accounting.
+///
+/// Not thread-safe: an arena belongs to one domain (one shard, one
+/// session) and is only touched from that domain's thread, matching how
+/// FleetManager hands each shard to exactly one worker per tick.
+class MemArena {
+ public:
+  MemArena() = default;
+  MemArena(MemEnv* env, uint64_t budgetBytes, std::string domain = {})
+      : env_(env), budget_(budgetBytes), domain_(std::move(domain)),
+        attached_(env != nullptr || budgetBytes > 0) {}
+  ~MemArena() { reset(); }
+
+  MemArena(const MemArena&) = delete;
+  MemArena& operator=(const MemArena&) = delete;
+  MemArena(MemArena&& other) noexcept { *this = std::move(other); }
+  MemArena& operator=(MemArena&& other) noexcept;
+
+  bool tryReserve(uint64_t bytes);
+  void release(uint64_t bytes);
+
+  /// Drop all outstanding accounting (returned to the environment).
+  void reset();
+
+  bool attached() const { return attached_; }
+  uint64_t usedBytes() const { return used_; }
+  uint64_t peakBytes() const { return peak_; }
+  uint64_t budgetBytes() const { return budget_; }
+  uint64_t denials() const { return denials_; }
+  const std::string& domain() const { return domain_; }
+
+  /// used/budget in [0,inf); 0 when the arena has no budget.  This is the
+  /// signal the fleet's memory shed ladder switches on.
+  double pressure() const {
+    return budget_ > 0 ? double(used_) / double(budget_) : 0.0;
+  }
+
+ private:
+  MemEnv* env_ = nullptr;
+  uint64_t budget_ = 0;
+  std::string domain_;
+  bool attached_ = false;
+  uint64_t used_ = 0;
+  uint64_t peak_ = 0;
+  uint64_t denials_ = 0;
+};
+
+/// RAII handle for a one-shot reservation already granted by `arena`
+/// (e.g. a replay stream's wire image): releases on destruction, so the
+/// accounting follows the object's lifetime exactly.
+class MemReservation {
+ public:
+  MemReservation() = default;
+  MemReservation(MemArena* arena, uint64_t bytes)
+      : arena_(arena), bytes_(bytes) {}
+  ~MemReservation() { release(); }
+
+  MemReservation(const MemReservation&) = delete;
+  MemReservation& operator=(const MemReservation&) = delete;
+  MemReservation(MemReservation&& other) noexcept { *this = std::move(other); }
+  MemReservation& operator=(MemReservation&& other) noexcept {
+    if (this != &other) {
+      release();
+      arena_ = other.arena_;
+      bytes_ = other.bytes_;
+      other.arena_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+
+  uint64_t bytes() const { return bytes_; }
+
+  void release() {
+    if (arena_ && bytes_ > 0) arena_->release(bytes_);
+    arena_ = nullptr;
+    bytes_ = 0;
+  }
+
+ private:
+  MemArena* arena_ = nullptr;
+  uint64_t bytes_ = 0;
+};
+
+/// STL-compatible allocator charging an arena.  Containers built on it
+/// fail allocation by the arena's rules (budget or injected denial) with a
+/// regular bad_alloc, which the fleet worker boundary converts to a
+/// quarantine instead of a process death.  A null arena degrades to the
+/// global allocator.
+template <typename T>
+class BudgetAllocator {
+ public:
+  using value_type = T;
+
+  BudgetAllocator() = default;
+  explicit BudgetAllocator(MemArena* arena) : arena_(arena) {}
+  template <typename U>
+  BudgetAllocator(const BudgetAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    const uint64_t bytes = uint64_t(n) * sizeof(T);
+    if (arena_ && !arena_->tryReserve(bytes)) throw std::bad_alloc();
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p);
+    if (arena_) arena_->release(uint64_t(n) * sizeof(T));
+  }
+
+  MemArena* arena() const { return arena_; }
+
+ private:
+  MemArena* arena_ = nullptr;
+};
+
+template <typename T, typename U>
+bool operator==(const BudgetAllocator<T>& a, const BudgetAllocator<U>& b) {
+  return a.arena() == b.arena();
+}
+template <typename T, typename U>
+bool operator!=(const BudgetAllocator<T>& a, const BudgetAllocator<U>& b) {
+  return !(a == b);
+}
+
+}  // namespace tagspin::core

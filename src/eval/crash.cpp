@@ -14,6 +14,7 @@
 #include "capture/format.hpp"
 #include "capture/writer.hpp"
 #include "core/io_env.hpp"
+#include "eval/ddmin.hpp"
 #include "core/serialization.hpp"
 #include "runtime/checkpoint.hpp"
 #include "sim/rng.hpp"
@@ -627,40 +628,7 @@ std::string artifactJson(uint64_t faultSeed, const sim::FaultSchedule& shrunk,
 sim::FaultSchedule shrinkSchedule(
     const sim::FaultSchedule& schedule,
     const std::function<bool(const sim::FaultSchedule&)>& fails) {
-  sim::FaultSchedule cur = schedule;
-  size_t n = 2;
-  while (cur.size() >= 2) {
-    const size_t chunk = (cur.size() + n - 1) / n;
-    bool reduced = false;
-    // Try each chunk alone (aggressive reduction first)...
-    for (size_t i = 0; i < cur.size() && !reduced; i += chunk) {
-      sim::FaultSchedule subset(cur.begin() + i,
-                                cur.begin() + std::min(i + chunk, cur.size()));
-      if (subset.size() < cur.size() && fails(subset)) {
-        cur = std::move(subset);
-        n = 2;
-        reduced = true;
-      }
-    }
-    // ...then each complement (drop one chunk).
-    for (size_t i = 0; i < cur.size() && !reduced; i += chunk) {
-      sim::FaultSchedule complement(cur.begin(), cur.begin() + i);
-      complement.insert(complement.end(),
-                        cur.begin() + std::min(i + chunk, cur.size()),
-                        cur.end());
-      if (!complement.empty() && complement.size() < cur.size() &&
-          fails(complement)) {
-        cur = std::move(complement);
-        n = std::max<size_t>(n - 1, 2);
-        reduced = true;
-      }
-    }
-    if (!reduced) {
-      if (n >= cur.size()) break;
-      n = std::min(n * 2, cur.size());
-    }
-  }
-  return cur;
+  return ddminShrink(schedule, fails);
 }
 
 CrashEvalResult runCrashEval(const CrashExploreConfig& config) {

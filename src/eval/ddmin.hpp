@@ -1,0 +1,62 @@
+// Generic delta-debugging (ddmin) minimizer.
+//
+// Both fault-injection harnesses end the same way: search finds a failing
+// schedule of injected faults, and the bug report wants the *minimal* one.
+// The algorithm does not care whether the elements are I/O faults
+// (eval/crash) or memory faults (eval/oom), so it lives here once:
+// classic ddmin over a vector -- try each chunk alone (aggressive
+// reduction first), then each complement, doubling granularity when
+// nothing shrinks.  The result is 1-minimal at the final granularity:
+// removing any single chunk makes the predicate pass.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace tagspin::eval {
+
+/// Minimize `sequence` while `fails` keeps returning true.  `fails` must be
+/// deterministic and `sequence` itself is assumed failing.  Elements only
+/// need to be copyable.
+template <typename T, typename FailsFn>
+std::vector<T> ddminShrink(const std::vector<T>& sequence,
+                           const FailsFn& fails) {
+  std::vector<T> cur = sequence;
+  size_t n = 2;
+  while (cur.size() >= 2) {
+    const size_t chunk = (cur.size() + n - 1) / n;
+    bool reduced = false;
+    // Try each chunk alone (aggressive reduction first)...
+    for (size_t i = 0; i < cur.size() && !reduced; i += chunk) {
+      std::vector<T> subset(cur.begin() + i,
+                            cur.begin() + std::min(i + chunk, cur.size()));
+      if (subset.size() < cur.size() && fails(subset)) {
+        cur = std::move(subset);
+        n = 2;
+        reduced = true;
+      }
+    }
+    // ...then each complement (drop one chunk).
+    for (size_t i = 0; i < cur.size() && !reduced; i += chunk) {
+      std::vector<T> complement(cur.begin(), cur.begin() + i);
+      complement.insert(complement.end(),
+                        cur.begin() + std::min(i + chunk, cur.size()),
+                        cur.end());
+      if (!complement.empty() && complement.size() < cur.size() &&
+          fails(complement)) {
+        cur = std::move(complement);
+        n = std::max<size_t>(n - 1, 2);
+        reduced = true;
+      }
+    }
+    if (!reduced) {
+      if (n >= cur.size()) break;
+      n = std::min(n * 2, cur.size());
+    }
+  }
+  return cur;
+}
+
+}  // namespace tagspin::eval

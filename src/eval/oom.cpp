@@ -1,0 +1,973 @@
+#include "eval/oom.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <numbers>
+#include <optional>
+#include <sstream>
+
+#include "capture/digest.hpp"
+#include "capture/replay.hpp"
+#include "capture/writer.hpp"
+#include "eval/ddmin.hpp"
+#include "rfid/llrp.hpp"
+#include "runtime/checkpoint.hpp"
+#include "runtime/fleet.hpp"
+#include "sim/fleet_scenario.hpp"
+#include "sim/io_sim.hpp"
+#include "sim/rng.hpp"
+#include "sim/scenario.hpp"
+#include "track/tracker.hpp"
+
+namespace tagspin::eval {
+namespace {
+
+constexpr const char* kCheckpointDir = "ckpt";
+constexpr const char* kCapturePath = "oom.tspc";
+
+std::string sessionName(size_t index) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "m%04zu", index);
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Workloads.  One instance = one execution: run() drives the real
+// components against the injected memory environment -- constructing and
+// destroying everything inside, so the explorer's post-run leak check
+// (env.usedBytes() == 0) covers teardown too.  Each workload disarms the
+// injector and clears pressure before its recovery phase, the window the
+// "full recovery after pressure clears" invariants are measured over.
+
+class MemWorkloadRun {
+ public:
+  virtual ~MemWorkloadRun() = default;
+  virtual void run(sim::SimMemEnv& env) = 0;
+  /// Workload-specific invariants on the completed run; `env` is the
+  /// post-teardown environment.
+  virtual std::optional<std::string> check(
+      const sim::SimMemEnv& env) const = 0;
+  /// Deterministic digest of the run's outcome (the parity gate compares
+  /// these bit-for-bit between accounting-off and accounting-on runs).
+  virtual uint64_t digest() const { return 0; }
+};
+
+using MemWorkloadFactory = std::function<std::unique_ptr<MemWorkloadRun>()>;
+
+// ---------------------------------------------------------------------------
+// Fleet fixture: interrogate + encode exactly once; every fleet run in
+// every arm shares the stream and deployment (the runs differ only in
+// injection, outage scripts, and budgets).
+
+struct FleetFixture {
+  std::shared_ptr<const sim::SharedStream> stream;
+  core::DeploymentFile deployment;
+  double spanS = 0.0;
+  double endS = 0.0;
+  sim::FleetScenarioConfig storm;
+};
+
+FleetFixture makeFleetFixture(const OomExploreConfig& config) {
+  FleetFixture fx;
+
+  sim::ScenarioConfig scenario;
+  scenario.seed = static_cast<uint32_t>(config.seed % 1000003);
+  scenario.fixedChannel = true;
+
+  const double period = 2.0 * std::numbers::pi / scenario.rigOmegaRadPerS;
+  fx.spanS = config.fleetRevolutions * period;
+  fx.endS = fx.spanS + config.settleS;
+
+  // Connect storm: most of the fleet drops at the same instant mid-span
+  // and reconnects together, with a flapper tail for the quarantine ring.
+  fx.storm.spanS = fx.spanS;
+  fx.storm.revolutionPeriodS = period;
+  fx.storm.outageFraction = 0.6;
+  fx.storm.outageAtS = 0.4 * fx.spanS;
+  fx.storm.outageDurationS = std::min(3.0, 0.3 * fx.spanS);
+  fx.storm.flapFraction = 0.2;
+  fx.storm.seed = sim::deriveSeed(config.seed, 7);
+
+  sim::World world = sim::makeRigRowWorld(scenario, 2);
+  auto rng = sim::makeRng(sim::deriveSeed(config.seed, 1));
+  sim::Region region;
+  const geom::Vec3 truth = region.sample(rng, false);
+  sim::placeReaderAntenna(world, 0, truth);
+
+  fx.stream = sim::makeSharedStream(
+      world, {fx.spanS, 0, sim::deriveSeed(config.seed, 2)});
+
+  for (const sim::RigTag& rt : world.rigs) {
+    core::RigSpec spec;
+    spec.center = rt.rig.center;
+    spec.kinematics = {rt.rig.radiusM, rt.rig.omegaRadPerS,
+                       rt.rig.initialAngle, rt.rig.tagPlaneOffset};
+    fx.deployment.rigs[rt.tag.epc] = spec;
+  }
+  return fx;
+}
+
+/// Fleet template shared by the fleet-driven workloads: the fleet-scale
+/// locator economy of eval/fleet, trimmed further -- this harness measures
+/// memory behavior, not localization accuracy, so fixes only need to
+/// succeed, cheaply.
+runtime::FleetConfig baseFleetConfig() {
+  runtime::FleetConfig fc;
+  fc.supervisor.session.queueCapacity = 1024;
+  fc.supervisor.session.backpressure = runtime::BackpressurePolicy::kDropOldest;
+  fc.supervisor.maxSnapshotsPerTag = 250;
+  fc.supervisor.checkpointSpectrumPoints = 0;
+  fc.supervisor.locator.search.azimuthGridPoints = 144;
+  fc.supervisor.locator.search.refineRounds = 3;
+  fc.supervisor.locator.orientationIterations = 1;
+  fc.supervisor.locator.robust.diagnostics = false;
+  fc.supervisor.locator.robust.consensus = false;
+  fc.fixIntervalS = 5.0;
+  fc.fixRetryS = 1.0;
+  fc.retryBudget.tokensPerSecond = 4.0;
+  fc.retryBudget.burst = 8.0;
+  return fc;
+}
+
+enum class FleetMode { kSteady, kConnectStorm, kCheckpointSave };
+
+/// The three fleet-driven workloads in one body: steady state (injection
+/// lands on the per-session accounting path), connect storm (injection
+/// lands while reconnect work and flap tracking churn the footprints),
+/// and checkpoint save (SimIoEnv-backed shard checkpoints whose framed
+/// image is reserved before every write).
+class FleetMemWorkload final : public MemWorkloadRun {
+ public:
+  FleetMemWorkload(const OomExploreConfig& config, const FleetFixture& fx,
+                   FleetMode mode, bool attachMem,
+                   uint64_t shardBudgetBytes = 0)
+      : config_(config),
+        fx_(fx),
+        mode_(mode),
+        attachMem_(attachMem),
+        shardBudget_(shardBudgetBytes) {}
+
+  void run(sim::SimMemEnv& env) override {
+    runtime::FleetConfig fc = baseFleetConfig();
+    fc.shards = config_.fleetShards;
+    fc.maxSessions = config_.fleetSessions;
+    fc.workerThreads = 0;  // deterministic reservation indices
+    if (attachMem_) {
+      fc.mem = &env;
+      fc.memBudgetPerShardBytes = shardBudget_;
+    }
+    if (mode_ == FleetMode::kCheckpointSave) {
+      fc.checkpointDir = kCheckpointDir;
+      fc.io = &io_;
+      fc.checkpointIntervalS = 2.0;
+      fc.maxCheckpointWritesPerTick = 2;
+    }
+
+    capture::Fnv1a digest;
+    fc.onFix = [&digest](const runtime::FleetFixEvent& ev) {
+      digest.bytes(ev.name.data(), ev.name.size());
+      digest.u64(ev.shard);
+      digest.f64(ev.dueS);
+      digest.f64(ev.nowS);
+      digest.u64(ev.ok ? 1 : 0);
+    };
+
+    runtime::FleetManager fleet(fc, fx_.deployment);
+    for (size_t i = 0; i < config_.fleetSessions; ++i) {
+      sim::FlakyTransportConfig tc;
+      tc.connectDelayS = 0.05;
+      tc.seed = sim::deriveSeed(config_.seed, 100 + i);
+      if (mode_ == FleetMode::kConnectStorm) {
+        tc.events =
+            sim::fleetOutageScript(fx_.storm, i, config_.fleetSessions);
+      }
+      fleet.registerSession(sessionName(i),
+                            [stream = fx_.stream, tc] {
+                              return std::make_unique<sim::FlakyTransport>(
+                                  stream, tc);
+                            });
+    }
+    registered_ = fleet.sessionCount();
+
+    for (double t = 0.0; t <= fx_.endS + 1e-9; t += config_.tickS) {
+      fleet.tick(t);
+    }
+
+    // Pressure clears: disarm the injector and run the recovery window.
+    env.setFailAt(-1);
+    env.setFaults({});
+    env.clearPressure();
+    denialsAtClear_ = env.denials();
+    const double recoverEndS = fx_.endS + config_.recoverS;
+    for (double t = fx_.endS + config_.tickS; t <= recoverEndS + 1e-9;
+         t += config_.tickS) {
+      fleet.tick(t);
+    }
+    fleet.shutdown(recoverEndS);
+    denialsAfterRecover_ = env.denials();
+
+    stats_ = fleet.stats();
+    const auto views = fleet.sessions();
+    sessionsAtEnd_ = views.size();
+    for (const auto& v : views) {
+      if (v.hasFix) ++withFix_;
+      digest.bytes(v.name.data(), v.name.size());
+      digest.u64(v.fixes);
+      digest.u64(v.hasFix ? 1 : 0);
+    }
+    digest_ = digest.value();
+
+    if (mode_ == FleetMode::kCheckpointSave) {
+      // shutdown() just wrote a final checkpoint for every shard with the
+      // injector disarmed: every file must exist and unframe cleanly.
+      finalCheckpointsOk_ = true;
+      const sim::DiskImage image = io_.liveImage();
+      for (size_t k = 0; k < config_.fleetShards; ++k) {
+        const std::string path = std::string(kCheckpointDir) +
+                                 "/fleet_shard" + std::to_string(k) +
+                                 ".ckpt";
+        const auto it = image.find(path);
+        if (it == image.end() ||
+            !runtime::CheckpointStore::unframe(it->second).hasValue()) {
+          finalCheckpointsOk_ = false;
+        }
+      }
+    }
+  }
+
+  std::optional<std::string> check(const sim::SimMemEnv& env) const override {
+    if (registered_ != config_.fleetSessions) {
+      return "only " + std::to_string(registered_) + " of " +
+             std::to_string(config_.fleetSessions) + " sessions admitted";
+    }
+    if (sessionsAtEnd_ != registered_) {
+      return "sessions lost: " + std::to_string(sessionsAtEnd_) + " of " +
+             std::to_string(registered_) + " remain registered";
+    }
+    if (stats_.badAllocCaught != 0) {
+      return "bad_alloc reached the fleet worker boundary " +
+             std::to_string(stats_.badAllocCaught) + " times";
+    }
+    // Isolation: every memory quarantine must be attributable to an
+    // injected denial -- pressure on one session can never cascade.
+    if (stats_.memEjections > env.denials()) {
+      return std::to_string(stats_.memEjections) +
+             " sessions quarantined for memory with only " +
+             std::to_string(env.denials()) + " denials injected";
+    }
+    if (denialsAfterRecover_ != denialsAtClear_) {
+      return "reservations denied after pressure cleared";
+    }
+    if (mode_ == FleetMode::kCheckpointSave && !finalCheckpointsOk_) {
+      return "final shard checkpoints missing or corrupt after recovery";
+    }
+    // A fault-free (or never-reached-fault) run must behave like the
+    // baseline: every session ends holding a fix.
+    if (env.denials() == 0 && withFix_ != registered_) {
+      return "fault-free run left " +
+             std::to_string(registered_ - withFix_) +
+             " sessions without a fix";
+    }
+    return std::nullopt;
+  }
+
+  uint64_t digest() const override { return digest_; }
+
+  const runtime::FleetStats& stats() const { return stats_; }
+  double fixRate() const {
+    return registered_ ? double(withFix_) / double(registered_) : 0.0;
+  }
+
+ private:
+  const OomExploreConfig& config_;
+  const FleetFixture& fx_;
+  FleetMode mode_;
+  bool attachMem_;
+  uint64_t shardBudget_;
+  sim::SimIoEnv io_;
+
+  size_t registered_ = 0;
+  size_t sessionsAtEnd_ = 0;
+  size_t withFix_ = 0;
+  uint64_t denialsAtClear_ = 0;
+  uint64_t denialsAfterRecover_ = 0;
+  bool finalCheckpointsOk_ = true;
+  runtime::FleetStats stats_;
+  uint64_t digest_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Replay fan-out: N sessions build budgeted replay streams from one
+// capture while a budgeted CaptureWriter spills/refuses under the same
+// arena.  A denial must cost exactly one stream (kOutOfMemory Result) or
+// one report (refusal), never the process.
+
+capture::TimedStream syntheticStream(size_t n) {
+  capture::TimedStream out;
+  for (size_t i = 0; i < n; ++i) {
+    capture::TimedReport tr;
+    tr.report.epc = rfid::Epc::forSimulatedTag(static_cast<uint32_t>(i % 3));
+    tr.report.timestampS = 0.0025 * static_cast<double>(i);
+    tr.report.phaseRad = static_cast<double>((i * 37) % 4096) / 4096.0 *
+                         2.0 * std::numbers::pi;
+    tr.report.rssiDbm = -60.0 - static_cast<double>(i % 20);
+    tr.report.channelIndex = static_cast<int>(i % 16);
+    tr.report.frequencyHz = 902.75e6 + 0.5e6 * static_cast<double>(i % 16);
+    tr.report.antennaPort = static_cast<int>(i % 4);
+    tr.deliveryS = tr.report.timestampS + 0.0008;
+    out.push_back(tr);
+  }
+  return out;
+}
+
+class ReplayFanoutWorkload final : public MemWorkloadRun {
+ public:
+  explicit ReplayFanoutWorkload(const OomExploreConfig& config)
+      : config_(config), stream_(syntheticStream(config.replayReports)) {}
+
+  void run(sim::SimMemEnv& env) override {
+    core::MemArena arena(&env, 0, "replay.fanout");
+    {
+      std::vector<std::shared_ptr<const capture::ReplayStream>> streams;
+      for (size_t s = 0; s < config_.replaySessions; ++s) {
+        auto r = capture::makeReplayStreamBudgeted(stream_, &arena);
+        if (r.hasValue()) {
+          ++built_;
+          if ((*r)->wire.size() !=
+              stream_.size() * rfid::llrp::kMessageSize) {
+            streamBad_ = true;
+          }
+          streams.push_back(*r);
+        } else {
+          ++refused_;
+          if (r.error().code != core::ErrorCode::kOutOfMemory) {
+            wrongError_ = true;
+          }
+        }
+      }
+
+      // Budgeted capture writer on the same arena: spill-then-refuse.
+      sim::SimIoEnv io;
+      capture::CaptureWriterConfig wc;
+      wc.chunkReports = 8;
+      wc.fsyncEveryChunks = 2;
+      wc.io = &io;
+      wc.arena = &arena;
+      capture::CaptureWriter writer(kCapturePath, wc);
+      for (const capture::TimedReport& tr : stream_) {
+        writer.append(tr.report, tr.deliveryS);
+      }
+      writer.close();
+      writerStats_ = writer.stats();
+    }
+    // Recovery: with the injector disarmed and pressure cleared, a fresh
+    // stream must build (and release on destruction).
+    env.setFailAt(-1);
+    env.setFaults({});
+    env.clearPressure();
+    {
+      auto r = capture::makeReplayStreamBudgeted(stream_, &arena);
+      recovered_ = r.hasValue();
+    }
+    arenaLeakBytes_ = arena.usedBytes();
+  }
+
+  std::optional<std::string> check(const sim::SimMemEnv& env) const override {
+    if (built_ + refused_ != config_.replaySessions) {
+      return "stream accounting lost a session";
+    }
+    if (wrongError_) {
+      return "a refused stream reported an error other than out_of_memory";
+    }
+    if (streamBad_) {
+      return "a granted stream has a truncated wire image";
+    }
+    // Isolation: each refusal costs exactly one stream and requires at
+    // least one denial.
+    if (refused_ > env.denials()) {
+      return std::to_string(refused_) + " streams refused with only " +
+             std::to_string(env.denials()) + " denials injected";
+    }
+    if (env.denials() == 0 && refused_ + writerStats_.reportsRefused > 0) {
+      return "refusals with no denial injected";
+    }
+    if (writerStats_.reportsWritten + writerStats_.reportsRefused !=
+        stream_.size()) {
+      return "writer lost reports: " +
+             std::to_string(writerStats_.reportsWritten) + " written + " +
+             std::to_string(writerStats_.reportsRefused) + " refused != " +
+             std::to_string(stream_.size());
+    }
+    if (!recovered_) {
+      return "stream refused after pressure cleared";
+    }
+    if (arenaLeakBytes_ != 0) {
+      return "arena retained " + std::to_string(arenaLeakBytes_) +
+             " bytes after every stream and the writer were torn down";
+    }
+    return std::nullopt;
+  }
+
+ private:
+  const OomExploreConfig& config_;
+  capture::TimedStream stream_;
+
+  size_t built_ = 0;
+  size_t refused_ = 0;
+  bool wrongError_ = false;
+  bool streamBad_ = false;
+  bool recovered_ = false;
+  uint64_t arenaLeakBytes_ = 0;
+  capture::CaptureWriterStats writerStats_;
+};
+
+// ---------------------------------------------------------------------------
+// Tracker ghost burst: a confirmed track rides a stream of fixes salted
+// with multipath ghosts (gate-rejected) and drop-out gaps (coasting) while
+// its bounded history is charged to an injected arena.  Denials may evict
+// or refuse history entries -- diagnostics -- but must never move the
+// track, drop it, or lose the pinned anchor.
+
+class TrackerGhostBurstWorkload final : public MemWorkloadRun {
+ public:
+  explicit TrackerGhostBurstWorkload(const OomExploreConfig& config)
+      : config_(config) {}
+
+  void run(sim::SimMemEnv& env) override {
+    core::MemArena arena(&env, 0, "track.history");
+    {
+      track::TrackerConfig tc;
+      tc.historyLimit = config_.trackerHistoryLimit;
+      tc.historyArena = &arena;
+      track::Tracker tracker(tc);
+
+      const auto truth = [](double t) {
+        return geom::Vec2{0.5 + 0.30 * t, -0.2 + 0.18 * t};
+      };
+      for (size_t i = 0; i < config_.trackerFixes; ++i) {
+        const double t = 0.25 * static_cast<double>(i);
+        if (i % 17 == 13) {
+          tracker.onGap(t);  // drop-out window: the track coasts
+          continue;
+        }
+        track::TrackMeasurement m;
+        m.timeS = t;
+        m.position = truth(t);
+        if (i % 23 == 7) {
+          // Multipath ghost: far off-track, the chi-square gate's job.
+          m.position.x += 4.0;
+          m.position.y -= 3.0;
+        }
+        tracker.onMeasurement(m);
+      }
+      stats_ = tracker.stats();
+      state_ = tracker.state();
+      hasAnchor_ = tracker.hasAnchor();
+      anchorUsedMeasurement_ =
+          tracker.hasAnchor() && tracker.anchor().usedMeasurement;
+      historySize_ = tracker.history().size();
+      memoryBytes_ = tracker.memoryBytes();
+
+      // Recovery: pressure clears, then one more accepted fix must land a
+      // history entry again.
+      env.setFailAt(-1);
+      env.setFaults({});
+      env.clearPressure();
+      const size_t before = tracker.history().size();
+      const uint64_t refusedBefore = tracker.stats().historyRefused;
+      track::TrackMeasurement m;
+      m.timeS = 0.25 * static_cast<double>(config_.trackerFixes);
+      m.position = truth(m.timeS);
+      tracker.onMeasurement(m);
+      recovered_ = tracker.history().size() >= before &&
+                   tracker.stats().historyRefused == refusedBefore;
+    }
+    arenaLeakBytes_ = arena.usedBytes();
+  }
+
+  std::optional<std::string> check(const sim::SimMemEnv& env) const override {
+    if (stats_.accepted == 0) {
+      return "no fix was ever accepted";
+    }
+    if (state_ != track::TrackState::kConfirmed &&
+        state_ != track::TrackState::kCoasting) {
+      return std::string("track left the confirmed/coasting envelope: ") +
+             track::trackStateName(state_);
+    }
+    if (!hasAnchor_ || !anchorUsedMeasurement_) {
+      return "the measurement-backed anchor was lost under eviction";
+    }
+    if (historySize_ > config_.trackerHistoryLimit) {
+      return "history grew past its bound: " + std::to_string(historySize_);
+    }
+    if (memoryBytes_ != historySize_ * sizeof(track::TrackEstimate)) {
+      return "memoryBytes() diverged from the held history";
+    }
+    if (stats_.historyRefused > env.denials()) {
+      return std::to_string(stats_.historyRefused) +
+             " entries refused with only " + std::to_string(env.denials()) +
+             " denials injected";
+    }
+    if (env.denials() == 0 &&
+        (stats_.historyRefused > 0 ||
+         historySize_ + 1 < std::min<size_t>(config_.trackerHistoryLimit,
+                                             config_.trackerFixes))) {
+      return "fault-free run evicted or refused history";
+    }
+    if (!recovered_) {
+      return "history entry refused after pressure cleared";
+    }
+    if (arenaLeakBytes_ != 0) {
+      return "arena retained " + std::to_string(arenaLeakBytes_) +
+             " bytes after the tracker was destroyed";
+    }
+    return std::nullopt;
+  }
+
+ private:
+  const OomExploreConfig& config_;
+
+  track::TrackerStats stats_;
+  track::TrackState state_ = track::TrackState::kDropped;
+  bool hasAnchor_ = false;
+  bool anchorUsedMeasurement_ = false;
+  size_t historySize_ = 0;
+  uint64_t memoryBytes_ = 0;
+  bool recovered_ = false;
+  uint64_t arenaLeakBytes_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// The planted bug: a shed cache that, on a denied reservation, "sheds" an
+// entry it never admitted -- release without reserve, the accounting
+// analog of a double-close.  Invisible on any fault-free run (reserves and
+// releases balance exactly); any schedule with one effective denial makes
+// the books over-release and the environment's underflow oracle fire.
+
+class BrokenShedCacheWorkload final : public MemWorkloadRun {
+ public:
+  explicit BrokenShedCacheWorkload(size_t ops) : ops_(ops) {}
+
+  static constexpr uint64_t kBlockBytes = 1024;
+
+  void run(sim::SimMemEnv& env) override {
+    core::MemArena arena(&env, 0, "broken.cache");
+    for (size_t i = 0; i < ops_; ++i) {
+      if (!arena.tryReserve(kBlockBytes)) {
+        // BUG: sheds a block that was never admitted.
+        arena.release(kBlockBytes);
+      }
+    }
+  }
+
+  std::optional<std::string> check(const sim::SimMemEnv&) const override {
+    return std::nullopt;  // the predicate is env.underflow(), inverted
+  }
+
+ private:
+  size_t ops_;
+};
+
+// ---------------------------------------------------------------------------
+// The explorer
+
+void keepDetail(std::vector<OomViolation>& details, size_t cap,
+                OomViolation violation) {
+  if (details.size() < cap) details.push_back(std::move(violation));
+}
+
+/// Environment-level oracle checks every injected run must pass, plus the
+/// recovery probe: with the injector disarmed and pressure cleared, a
+/// reservation must succeed again.
+std::optional<std::string> envOracles(sim::SimMemEnv& env) {
+  if (env.underflow()) {
+    return "accounting underflow: some caller released bytes it never "
+           "reserved";
+  }
+  if (env.budgetExceeded()) {
+    return "budget exceeded: some caller grew despite a denial";
+  }
+  if (env.usedBytes() != 0) {
+    return "leak: " + std::to_string(env.usedBytes()) +
+           " bytes still reserved after teardown";
+  }
+  env.setFailAt(-1);
+  env.setFaults({});
+  env.clearPressure();
+  if (!env.tryReserve(4096)) {
+    return "no recovery: a reservation was denied after pressure cleared";
+  }
+  env.release(4096);
+  return std::nullopt;
+}
+
+struct RunOutcome {
+  std::optional<std::string> bad;
+  uint64_t denials = 0;
+};
+
+RunOutcome runInjected(const MemWorkloadFactory& factory,
+                       const sim::MemFaultSchedule& schedule) {
+  RunOutcome out;
+  auto inst = factory();
+  sim::SimMemEnv env;
+  env.setFaults(schedule);
+  try {
+    inst->run(env);
+  } catch (const std::exception& e) {
+    out.bad = std::string("uncaught exception crossed the workload: ") +
+              e.what();
+  }
+  out.denials = env.denials();
+  if (!out.bad) out.bad = envOracles(env);
+  if (!out.bad) out.bad = inst->check(env);
+  return out;
+}
+
+/// Probe fault-free to count reservation boundaries, then re-run with a
+/// single fault (kinds cycled) at stride-sampled reservation indices.
+WorkloadOomStats exploreWorkload(const std::string& name,
+                                 const MemWorkloadFactory& factory,
+                                 const OomExploreConfig& cfg,
+                                 std::vector<OomViolation>& details) {
+  WorkloadOomStats stats;
+  stats.name = name;
+
+  {
+    auto inst = factory();
+    sim::SimMemEnv env;
+    try {
+      inst->run(env);
+    } catch (const std::exception& e) {
+      ++stats.violations;
+      keepDetail(details, cfg.maxViolationDetails,
+                 {name, -1, {}, std::string("baseline threw: ") + e.what()});
+    }
+    stats.boundaries = env.opCount();
+    if (auto bad = envOracles(env)) {
+      ++stats.violations;
+      keepDetail(details, cfg.maxViolationDetails,
+                 {name, -1, {}, "baseline: " + *bad});
+    } else if (auto wbad = inst->check(env)) {
+      ++stats.violations;
+      keepDetail(details, cfg.maxViolationDetails,
+                 {name, -1, {}, "baseline: " + *wbad});
+    }
+  }
+
+  static constexpr sim::MemFaultKind kKinds[] = {
+      sim::MemFaultKind::kDeny, sim::MemFaultKind::kBurst,
+      sim::MemFaultKind::kCliff, sim::MemFaultKind::kPoison};
+  const uint64_t span = std::max<uint64_t>(stats.boundaries, 1);
+  for (size_t p = 0; p < cfg.pointsPerWorkload; ++p) {
+    sim::MemFault fault;
+    fault.opIndex = (uint64_t(p) * span) / cfg.pointsPerWorkload;
+    fault.kind = kKinds[p % std::size(kKinds)];
+    fault.param = fault.kind == sim::MemFaultKind::kBurst ? 4 : 1;
+
+    const RunOutcome out = runInjected(factory, {fault});
+    ++stats.points;
+    stats.denials += out.denials;
+    if (out.bad) {
+      ++stats.violations;
+      keepDetail(details, cfg.maxViolationDetails,
+                 {name, int64_t(fault.opIndex), {fault}, *out.bad});
+    }
+  }
+  return stats;
+}
+
+sim::MemFaultSchedule randomMemSchedule(std::mt19937_64& rng, uint64_t maxOp,
+                                        size_t maxFaults) {
+  static constexpr sim::MemFaultKind kKinds[] = {
+      sim::MemFaultKind::kDeny, sim::MemFaultKind::kBurst,
+      sim::MemFaultKind::kCliff, sim::MemFaultKind::kPoison};
+  const size_t n = 1 + rng() % maxFaults;
+  sim::MemFaultSchedule schedule;
+  for (size_t i = 0; i < n; ++i) {
+    sim::MemFault f;
+    f.opIndex = rng() % maxOp;
+    f.kind = kKinds[rng() % std::size(kKinds)];
+    f.param = f.kind == sim::MemFaultKind::kBurst ? 2 + rng() % 5 : 1;
+    schedule.push_back(f);
+  }
+  std::sort(schedule.begin(), schedule.end(),
+            [](const sim::MemFault& a, const sim::MemFault& b) {
+              return a.opIndex < b.opIndex;
+            });
+  return schedule;
+}
+
+// ---------------------------------------------------------------------------
+// JSON
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string memScheduleJson(const sim::MemFaultSchedule& schedule) {
+  std::ostringstream out;
+  out << '[';
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    out << (i ? ", " : "") << "{\"op\": " << schedule[i].opIndex
+        << ", \"kind\": \"" << sim::memFaultKindName(schedule[i].kind)
+        << "\", \"param\": " << schedule[i].param << "}";
+  }
+  out << ']';
+  return out.str();
+}
+
+}  // namespace
+
+sim::MemFaultSchedule shrinkMemSchedule(
+    const sim::MemFaultSchedule& schedule,
+    const std::function<bool(const sim::MemFaultSchedule&)>& fails) {
+  return ddminShrink(schedule, fails);
+}
+
+OomEvalResult runOomEval(const OomExploreConfig& config) {
+  OomEvalResult result;
+  const FleetFixture fx = makeFleetFixture(config);
+
+  const MemWorkloadFactory fleetSteadyF = [&config, &fx] {
+    return std::make_unique<FleetMemWorkload>(config, fx, FleetMode::kSteady,
+                                              /*attachMem=*/true);
+  };
+  const MemWorkloadFactory connectStormF = [&config, &fx] {
+    return std::make_unique<FleetMemWorkload>(
+        config, fx, FleetMode::kConnectStorm, /*attachMem=*/true);
+  };
+  const MemWorkloadFactory checkpointF = [&config, &fx] {
+    return std::make_unique<FleetMemWorkload>(
+        config, fx, FleetMode::kCheckpointSave, /*attachMem=*/true);
+  };
+  const MemWorkloadFactory replayF = [&config] {
+    return std::make_unique<ReplayFanoutWorkload>(config);
+  };
+  const MemWorkloadFactory trackerF = [&config] {
+    return std::make_unique<TrackerGhostBurstWorkload>(config);
+  };
+
+  const std::pair<const char*, const MemWorkloadFactory*> workloads[] = {
+      {"fleet_steady", &fleetSteadyF},   {"connect_storm", &connectStormF},
+      {"replay_fanout", &replayF},       {"tracker_ghost_burst", &trackerF},
+      {"checkpoint_save", &checkpointF},
+  };
+  for (const auto& [name, factory] : workloads) {
+    const WorkloadOomStats ws =
+        exploreWorkload(name, *factory, config, result.violations);
+    result.totalBoundaries += ws.boundaries;
+    result.totalPoints += ws.points;
+    result.totalViolations += ws.violations;
+    result.workloads.push_back(ws);
+  }
+
+  // Arm 2: seeded multi-fault schedules against the fleet steady-state
+  // path (the workload with the richest shedding ladder).
+  {
+    auto rng = sim::makeRng(sim::deriveSeed(config.seed, 0x5EA));
+    const uint64_t span = std::max<uint64_t>(
+        result.workloads.empty() ? 1 : result.workloads[0].boundaries, 1);
+    for (size_t r = 0; r < config.scheduleRounds; ++r) {
+      const sim::MemFaultSchedule schedule =
+          randomMemSchedule(rng, span, config.maxScheduleFaults);
+      const RunOutcome out = runInjected(fleetSteadyF, schedule);
+      ++result.scheduleRuns;
+      result.scheduleDenials += out.denials;
+      if (out.bad) {
+        ++result.scheduleViolations;
+        keepDetail(result.violations, config.maxViolationDetails,
+                   {"fleet_steady/schedule", -1, schedule, *out.bad});
+      }
+    }
+    result.totalViolations += result.scheduleViolations;
+  }
+
+  // Parity gate: the seam itself must cost nothing.  Accounting off vs a
+  // fault-free SimMemEnv attached -- fix streams bit-identical.
+  if (config.runParityGate) {
+    result.parityChecked = true;
+    FleetMemWorkload off(config, fx, FleetMode::kSteady,
+                         /*attachMem=*/false);
+    sim::SimMemEnv offEnv;
+    off.run(offEnv);
+    FleetMemWorkload on(config, fx, FleetMode::kSteady, /*attachMem=*/true);
+    sim::SimMemEnv onEnv;
+    on.run(onEnv);
+    result.parityBaselineDigest = capture::digestHex(off.digest());
+    result.paritySeamDigest = capture::digestHex(on.digest());
+    result.parityBitIdentical = off.digest() == on.digest();
+  }
+
+  // Pressure arm: shard budgets from a probe run's per-shard peak, scaled
+  // so the fleet ends around 1/factor (~80%) utilization -- inside the
+  // mem-degraded band, trimming but never losing sessions.
+  if (config.runPressureArm) {
+    result.pressureChecked = true;
+    FleetMemWorkload probe(config, fx, FleetMode::kSteady,
+                           /*attachMem=*/true);
+    sim::SimMemEnv probeEnv;
+    probe.run(probeEnv);
+    const uint64_t perShardPeak = std::max<uint64_t>(
+        probe.stats().memPeakBytes / std::max<size_t>(config.fleetShards, 1),
+        1);
+    const uint64_t budget = uint64_t(
+        config.pressureBudgetFactor * static_cast<double>(perShardPeak));
+    result.pressureShardBudgetBytes = budget;
+
+    FleetMemWorkload pressured(config, fx, FleetMode::kSteady,
+                               /*attachMem=*/true, budget);
+    sim::SimMemEnv env;
+    pressured.run(env);
+    result.pressureFixRate = pressured.fixRate();
+    result.pressureTrims = pressured.stats().memTrims;
+    result.pressureEjections = pressured.stats().memEjections;
+    result.pressureDeniedReserves = pressured.stats().memDeniedReserves;
+    result.pressureUtilization =
+        static_cast<double>(pressured.stats().memPeakBytes) /
+        static_cast<double>(budget * config.fleetShards);
+    result.pressureRecovered =
+        env.usedBytes() == 0 && !env.underflow() && !env.budgetExceeded();
+  }
+
+  // Arm 3: the falsification proof.
+  if (config.exploreBrokenCache) {
+    const MemWorkloadFactory brokenF = [&config] {
+      return std::make_unique<BrokenShedCacheWorkload>(config.brokenCacheOps);
+    };
+    // Exploration must catch it: a single deny anywhere in range makes the
+    // cache over-release and the underflow oracle fire at teardown.
+    for (size_t k = 0; k < config.brokenCacheOps &&
+                       !result.brokenCacheCaught;
+         k += std::max<size_t>(config.brokenCacheOps / 16, 1)) {
+      auto inst = brokenF();
+      sim::SimMemEnv env;
+      env.setFailAt(int64_t(k));
+      inst->run(env);
+      if (env.underflow()) result.brokenCacheCaught = true;
+    }
+
+    const auto fails = [&brokenF](const sim::MemFaultSchedule& schedule) {
+      auto inst = brokenF();
+      sim::SimMemEnv env;
+      env.setFaults(schedule);
+      inst->run(env);
+      return env.underflow();
+    };
+    auto rng = sim::makeRng(sim::deriveSeed(config.seed, 0xB0B));
+    sim::MemFaultSchedule failing;
+    for (size_t r = 0; r < config.brokenSearchRounds && failing.empty();
+         ++r) {
+      const sim::MemFaultSchedule candidate = randomMemSchedule(
+          rng, std::max<uint64_t>(config.brokenCacheOps, 1),
+          config.maxScheduleFaults);
+      if (fails(candidate)) failing = candidate;
+    }
+    if (!failing.empty()) {
+      result.brokenScheduleFound = true;
+      result.brokenScheduleFaults = failing.size();
+      const sim::MemFaultSchedule shrunk = shrinkMemSchedule(failing, fails);
+      result.brokenShrunkFaults = shrunk.size();
+      std::ostringstream artifact;
+      artifact << "{\"workload\": \"broken_shed_cache\", \"ops\": "
+               << config.brokenCacheOps
+               << ", \"schedule\": " << memScheduleJson(shrunk)
+               << ", \"detail\": \"accounting underflow: release without "
+                  "reserve\"}";
+      result.brokenArtifactJson = artifact.str();
+    }
+  }
+
+  const bool brokenOk =
+      !config.exploreBrokenCache ||
+      (result.brokenCacheCaught && result.brokenScheduleFound &&
+       result.brokenShrunkFaults >= 1 &&
+       result.brokenShrunkFaults <= result.brokenScheduleFaults);
+  const bool parityOk = !config.runParityGate || result.parityBitIdentical;
+  const bool pressureOk =
+      !config.runPressureArm ||
+      (result.pressureFixRate >= config.pressureMinFixRate &&
+       result.pressureRecovered);
+  result.pass =
+      result.totalViolations == 0 && brokenOk && parityOk && pressureOk;
+  return result;
+}
+
+std::string oomJson(const OomEvalResult& result) {
+  std::ostringstream out;
+  out << "{\n  \"workloads\": [\n";
+  for (size_t i = 0; i < result.workloads.size(); ++i) {
+    const WorkloadOomStats& w = result.workloads[i];
+    out << "    {\"name\": \"" << jsonEscape(w.name)
+        << "\", \"boundaries\": " << w.boundaries
+        << ", \"points\": " << w.points << ", \"denials\": " << w.denials
+        << ", \"violations\": " << w.violations << '}'
+        << (i + 1 < result.workloads.size() ? "," : "") << '\n';
+  }
+  out << "  ],\n";
+  out << "  \"total_boundaries\": " << result.totalBoundaries << ",\n";
+  out << "  \"total_points\": " << result.totalPoints << ",\n";
+  out << "  \"total_violations\": " << result.totalViolations << ",\n";
+  out << "  \"schedule_search\": {\"runs\": " << result.scheduleRuns
+      << ", \"denials\": " << result.scheduleDenials
+      << ", \"violations\": " << result.scheduleViolations << "},\n";
+  out << "  \"parity\": {\"checked\": "
+      << (result.parityChecked ? "true" : "false") << ", \"bit_identical\": "
+      << (result.parityBitIdentical ? "true" : "false")
+      << ", \"baseline_digest\": \"" << result.parityBaselineDigest
+      << "\", \"seam_digest\": \"" << result.paritySeamDigest << "\"},\n";
+  out << "  \"pressure\": {\"checked\": "
+      << (result.pressureChecked ? "true" : "false")
+      << ", \"fix_rate\": " << result.pressureFixRate
+      << ", \"utilization\": " << result.pressureUtilization
+      << ", \"shard_budget_bytes\": " << result.pressureShardBudgetBytes
+      << ", \"trims\": " << result.pressureTrims
+      << ", \"ejections\": " << result.pressureEjections
+      << ", \"denied_reserves\": " << result.pressureDeniedReserves
+      << ", \"recovered\": " << (result.pressureRecovered ? "true" : "false")
+      << "},\n";
+  out << "  \"broken_cache\": {\"caught\": "
+      << (result.brokenCacheCaught ? "true" : "false")
+      << ", \"schedule_found\": "
+      << (result.brokenScheduleFound ? "true" : "false")
+      << ", \"schedule_faults\": " << result.brokenScheduleFaults
+      << ", \"shrunk_faults\": " << result.brokenShrunkFaults
+      << ", \"artifact\": "
+      << (result.brokenArtifactJson.empty() ? "null"
+                                            : result.brokenArtifactJson)
+      << "},\n";
+  out << "  \"violations\": [\n";
+  for (size_t i = 0; i < result.violations.size(); ++i) {
+    const OomViolation& v = result.violations[i];
+    out << "    {\"workload\": \"" << jsonEscape(v.workload)
+        << "\", \"fail_at_op\": " << v.failAtOp
+        << ", \"schedule\": " << memScheduleJson(v.schedule)
+        << ", \"detail\": \"" << jsonEscape(v.detail) << "\"}"
+        << (i + 1 < result.violations.size() ? "," : "") << '\n';
+  }
+  out << "  ],\n";
+  out << "  \"pass\": " << (result.pass ? "true" : "false") << "\n}\n";
+  return out.str();
+}
+
+}  // namespace tagspin::eval

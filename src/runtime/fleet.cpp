@@ -54,6 +54,9 @@ struct FleetManager::Member {
   double probeIntervalS = 0.0;
   double nextProbeS = 0.0;
   double probeEndS = -1.0;  // > nowS while a probe window is open
+
+  /// Footprint bytes currently charged to the shard arena for this member.
+  uint64_t memBytes = 0;
 };
 
 /// Cumulative per-shard counters.  Each shard is processed by exactly one
@@ -70,6 +73,10 @@ struct ShardCounters {
   uint64_t fixesSkippedShed = 0;
   uint64_t checkpointWrites = 0;
   uint64_t checkpointFailures = 0;
+  uint64_t memDenied = 0;
+  uint64_t memTrims = 0;
+  uint64_t memEjections = 0;
+  uint64_t badAllocCaught = 0;
   double workUnitsSpent = 0.0;
 };
 
@@ -90,9 +97,14 @@ struct FleetManager::Shard {
   ShardCounters counters;
   std::vector<FleetFixEvent> pendingFix;  // drained by the coordinator
 
+  /// Byte ledger for this fault domain (detached when accounting is off).
+  core::MemArena memArena;
+
   obs::Gauge* sessionsGauge = nullptr;
   obs::Gauge* quarantinedGauge = nullptr;
   obs::Gauge* pressureGauge = nullptr;
+  obs::Gauge* memBytesGauge = nullptr;
+  obs::Gauge* memPressureGauge = nullptr;
 };
 
 /// Persistent pool of workers pulling shard indices from a shared ticket.
@@ -189,6 +201,14 @@ FleetManager::Instruments FleetManager::Instruments::resolve(
   in.checkpointWrites = registry->counter("fleet.checkpoint_writes");
   in.checkpointFailures = registry->counter("fleet.checkpoint_failures");
   in.shedLevel = registry->gauge("fleet.shed_level");
+  in.memDenied = registry->counter("fleet.mem_denied");
+  in.memTrims = registry->counter("fleet.mem_trims");
+  in.memEjections = registry->counter("fleet.mem_ejections");
+  in.badAllocCaught = registry->counter("fleet.bad_alloc_caught");
+  in.memUsedBytes = registry->gauge("mem.used_bytes");
+  in.memBudgetBytes = registry->gauge("mem.budget_bytes");
+  in.memPressure = registry->gauge("mem.pressure");
+  in.memShedLevel = registry->gauge("mem.shed_level");
   return in;
 }
 
@@ -201,12 +221,23 @@ FleetManager::FleetManager(FleetConfig config, core::DeploymentFile deployment)
     shard->index = k;
     shard->retryBudget = TokenBucket(config_.retryBudget.tokensPerSecond,
                                      config_.retryBudget.burst);
+    memAccounting_ = config_.mem != nullptr ||
+                     config_.memBudgetPerShardBytes > 0 ||
+                     config_.memBudgetPerSessionBytes > 0;
+    if (memAccounting_) {
+      shard->memArena =
+          core::MemArena(config_.mem, config_.memBudgetPerShardBytes,
+                         "fleet.shard" + std::to_string(k));
+    }
     if (config_.metrics) {
       const std::string prefix = "fleet.shard" + std::to_string(k);
       shard->sessionsGauge = config_.metrics->gauge(prefix + ".sessions");
       shard->quarantinedGauge =
           config_.metrics->gauge(prefix + ".quarantined");
       shard->pressureGauge = config_.metrics->gauge(prefix + ".pressure");
+      shard->memBytesGauge = config_.metrics->gauge(prefix + ".mem_bytes");
+      shard->memPressureGauge =
+          config_.metrics->gauge(prefix + ".mem_pressure");
     }
     shards_.push_back(std::move(shard));
   }
@@ -312,37 +343,50 @@ double FleetManager::effectiveCheckpointIntervalS() const {
   return config_.checkpointIntervalS;
 }
 
-void FleetManager::updateShedLevel() {
-  double pressure = 0.0;
-  for (const auto& shard : shards_) {
-    pressure = std::max(pressure, shard->pressureEma);
-  }
-  ShedLevel next = shedLevel_;
-  switch (shedLevel_) {
+namespace {
+/// One hysteretic ladder step, shared by the work and memory axes.
+ShedLevel stepShedLevel(ShedLevel level, double pressure, double degraded,
+                        double critical, double hysteresis) {
+  switch (level) {
     case ShedLevel::kNone:
-      if (pressure > config_.shedCriticalPressure) {
-        next = ShedLevel::kCritical;
-      } else if (pressure > config_.shedDegradedPressure) {
-        next = ShedLevel::kDegraded;
-      }
+      if (pressure > critical) return ShedLevel::kCritical;
+      if (pressure > degraded) return ShedLevel::kDegraded;
       break;
     case ShedLevel::kDegraded:
-      if (pressure > config_.shedCriticalPressure) {
-        next = ShedLevel::kCritical;
-      } else if (pressure <
-                 config_.shedDegradedPressure - config_.shedHysteresis) {
-        next = ShedLevel::kNone;
-      }
+      if (pressure > critical) return ShedLevel::kCritical;
+      if (pressure < degraded - hysteresis) return ShedLevel::kNone;
       break;
     case ShedLevel::kCritical:
-      if (pressure < config_.shedCriticalPressure - config_.shedHysteresis) {
-        next = pressure > config_.shedDegradedPressure ? ShedLevel::kDegraded
-                                                       : ShedLevel::kNone;
+      if (pressure < critical - hysteresis) {
+        return pressure > degraded ? ShedLevel::kDegraded : ShedLevel::kNone;
       }
       break;
   }
-  shedLevel_ = next;
+  return level;
+}
+}  // namespace
+
+void FleetManager::updateShedLevel() {
+  double pressure = 0.0;
+  double memPressure = 0.0;
+  for (const auto& shard : shards_) {
+    pressure = std::max(pressure, shard->pressureEma);
+    memPressure = std::max(memPressure, shard->memArena.pressure());
+  }
+  workShedLevel_ = stepShedLevel(workShedLevel_, pressure,
+                                 config_.shedDegradedPressure,
+                                 config_.shedCriticalPressure,
+                                 config_.shedHysteresis);
+  memShedLevel_ = stepShedLevel(memShedLevel_, memPressure,
+                                config_.memDegradedPressure,
+                                config_.memCriticalPressure,
+                                config_.memShedHysteresis);
+  // Either axis can push the fleet into degradation; both must clear for
+  // it to recover.  The combined level is what stretches cadences.
+  shedLevel_ = std::max(workShedLevel_, memShedLevel_);
   obs::set(obs_.shedLevel, static_cast<double>(shedLevel_));
+  obs::set(obs_.memShedLevel, static_cast<double>(memShedLevel_));
+  obs::set(obs_.memPressure, memPressure);
 }
 
 void FleetManager::tick(double nowS) {
@@ -388,6 +432,17 @@ void FleetManager::tick(double nowS) {
     }
     shard->pendingFix.clear();
   }
+
+  if (memAccounting_) {
+    uint64_t used = 0;
+    uint64_t budget = 0;
+    for (const auto& shard : shards_) {
+      used += shard->memArena.usedBytes();
+      budget += shard->memArena.budgetBytes();
+    }
+    obs::set(obs_.memUsedBytes, static_cast<double>(used));
+    obs::set(obs_.memBudgetBytes, static_cast<double>(budget));
+  }
 }
 
 void FleetManager::processShard(Shard& shard, double nowS) {
@@ -402,7 +457,17 @@ void FleetManager::processShard(Shard& shard, double nowS) {
   size_t visited = 0;
   while (visited < n && spent < budget) {
     Member& member = *shard.members[(shard.cursor + visited) % n];
-    spent += processMember(shard, member, nowS);
+    try {
+      spent += processMember(shard, member, nowS);
+    } catch (const std::bad_alloc&) {
+      // The worker boundary: an allocation failure inside one session's
+      // processing quarantines that session; it must never cross into the
+      // shard loop as a throw.
+      ++shard.counters.badAllocCaught;
+      obs::add(obs_.badAllocCaught);
+      memEject(shard, member, nowS);
+      spent += 1.0;
+    }
     ++visited;
   }
   const size_t deferred = n - visited;
@@ -417,6 +482,8 @@ void FleetManager::processShard(Shard& shard, double nowS) {
   const double instant = demand / fullBudget;
   shard.pressureEma = 0.8 * shard.pressureEma + 0.2 * instant;
 
+  if (memAccounting_) shedShardMemory(shard, nowS);
+
   if (shard.checkpointGranted) {
     writeShardCheckpoint(shard, nowS);
     shard.nextCheckpointS = nowS + effectiveCheckpointIntervalS();
@@ -427,6 +494,11 @@ void FleetManager::processShard(Shard& shard, double nowS) {
   obs::set(shard.quarantinedGauge,
            static_cast<double>(shard.quarantinedCount));
   obs::set(shard.pressureGauge, shard.pressureEma);
+  if (memAccounting_) {
+    obs::set(shard.memBytesGauge,
+             static_cast<double>(shard.memArena.usedBytes()));
+    obs::set(shard.memPressureGauge, shard.memArena.pressure());
+  }
 }
 
 double FleetManager::processMember(Shard& shard, Member& member,
@@ -497,8 +569,97 @@ double FleetManager::tickSupervisor(Shard& shard, Member& member,
     member.flapEventsTotal += flaps;
   }
 
+  if (memAccounting_) accountMemory(shard, member, nowS);
+
   return 1.0 + 4.0 * static_cast<double>(attempts) +
          static_cast<double>(bytes) / 1024.0;
+}
+
+void FleetManager::accountMemory(Shard& shard, Member& member, double nowS) {
+  const uint64_t footprint = member.supervisor->memoryFootprintBytes();
+  if (footprint <= member.memBytes) {
+    shard.memArena.release(member.memBytes - footprint);
+    member.memBytes = footprint;
+    return;
+  }
+  const auto fits = [&](uint64_t target) {
+    return config_.memBudgetPerSessionBytes == 0 ||
+           target <= config_.memBudgetPerSessionBytes;
+  };
+  if (fits(footprint) && shard.memArena.tryReserve(footprint - member.memBytes)) {
+    member.memBytes = footprint;
+    return;
+  }
+  ++shard.counters.memDenied;
+  obs::add(obs_.memDenied);
+  // First rung: trim the session (2x snapshot decimation -- degraded
+  // sampling density, never lost arc coverage) and retry the reservation.
+  member.supervisor->trimMemory();
+  ++shard.counters.memTrims;
+  obs::add(obs_.memTrims);
+  const uint64_t trimmed = member.supervisor->memoryFootprintBytes();
+  if (trimmed <= member.memBytes) {
+    shard.memArena.release(member.memBytes - trimmed);
+    member.memBytes = trimmed;
+    return;
+  }
+  if (fits(trimmed) && shard.memArena.tryReserve(trimmed - member.memBytes)) {
+    member.memBytes = trimmed;
+    return;
+  }
+  // Last rung: the session cannot be made to fit; isolate it instead of
+  // letting it push the shard (and its neighbors) over budget.
+  memEject(shard, member, nowS);
+}
+
+void FleetManager::memEject(Shard& shard, Member& member, double nowS) {
+  // Hard trim: repeated decimation until the footprint stops shrinking,
+  // then settle the ledger so the shard gets its headroom back now.
+  for (int i = 0; i < 4; ++i) {
+    const uint64_t before = member.supervisor->memoryFootprintBytes();
+    member.supervisor->trimMemory();
+    if (member.supervisor->memoryFootprintBytes() >= before) break;
+  }
+  const uint64_t footprint = member.supervisor->memoryFootprintBytes();
+  if (footprint < member.memBytes) {
+    shard.memArena.release(member.memBytes - footprint);
+    member.memBytes = footprint;
+  }
+  ++shard.counters.memEjections;
+  obs::add(obs_.memEjections);
+  obs::record(config_.journal, nowS, obs::Severity::kWarn,
+              "session quarantined under memory pressure",
+              {{"session", member.name},
+               {"shard", std::to_string(shard.index)},
+               {"footprint_bytes", std::to_string(footprint)}});
+  if (!member.quarantined) eject(shard, member, nowS);
+}
+
+void FleetManager::shedShardMemory(Shard& shard, double nowS) {
+  const double pressure = shard.memArena.pressure();
+  if (pressure <= config_.memDegradedPressure) return;
+  // Shard-local response, largest footprint first: at degraded pressure a
+  // trim usually buys the headroom back; past critical the biggest member
+  // is quarantined outright.  One victim per tick keeps the response
+  // proportional -- pressure that persists escalates tick by tick.
+  Member* victim = nullptr;
+  for (auto& member : shard.members) {
+    if (member->quarantined) continue;
+    if (!victim || member->memBytes > victim->memBytes) victim = member.get();
+  }
+  if (!victim || victim->memBytes == 0) return;
+  if (pressure > config_.memCriticalPressure) {
+    memEject(shard, *victim, nowS);
+    return;
+  }
+  victim->supervisor->trimMemory();
+  ++shard.counters.memTrims;
+  obs::add(obs_.memTrims);
+  const uint64_t trimmed = victim->supervisor->memoryFootprintBytes();
+  if (trimmed < victim->memBytes) {
+    shard.memArena.release(victim->memBytes - trimmed);
+    victim->memBytes = trimmed;
+  }
 }
 
 double FleetManager::maybeFix(Shard& shard, Member& member, double nowS) {
@@ -606,10 +767,25 @@ void FleetManager::writeShardCheckpoint(Shard& shard, double nowS) {
             << "\n"
             << member->name << slice;
   }
+  const std::string framed = CheckpointStore::frame(payload.str());
+  // The framed image is the checkpoint path's allocation spike; reserve it
+  // before writing and *refuse the save* on denial -- a skipped checkpoint
+  // costs recovery freshness, an OOM mid-write could cost the tick.  The
+  // next granted deadline retries after the pressure clears.
+  if (memAccounting_ && !shard.memArena.tryReserve(framed.size())) {
+    ++shard.counters.memDenied;
+    obs::add(obs_.memDenied);
+    ++shard.counters.checkpointFailures;
+    obs::add(obs_.checkpointFailures);
+    obs::record(config_.journal, nowS, obs::Severity::kWarn,
+                "fleet shard checkpoint skipped under memory pressure",
+                {{"shard", std::to_string(shard.index)},
+                 {"bytes", std::to_string(framed.size())}});
+    return;
+  }
   try {
     core::writeFileDurable(core::resolveIo(config_.io),
-                           shardCheckpointPath(shard.index),
-                           CheckpointStore::frame(payload.str()));
+                           shardCheckpointPath(shard.index), framed);
     ++shard.counters.checkpointWrites;
     obs::add(obs_.checkpointWrites);
   } catch (const std::exception& e) {
@@ -620,6 +796,7 @@ void FleetManager::writeShardCheckpoint(Shard& shard, double nowS) {
                 {{"shard", std::to_string(shard.index)},
                  {"error", e.what()}});
   }
+  if (memAccounting_) shard.memArena.release(framed.size());
 }
 
 size_t FleetManager::restore() {
@@ -723,6 +900,12 @@ FleetStats FleetManager::stats() const {
     s.fixesSkippedShed += c.fixesSkippedShed;
     s.checkpointWrites += c.checkpointWrites;
     s.checkpointFailures += c.checkpointFailures;
+    s.memDeniedReserves += c.memDenied;
+    s.memTrims += c.memTrims;
+    s.memEjections += c.memEjections;
+    s.badAllocCaught += c.badAllocCaught;
+    s.memUsedBytes += shard->memArena.usedBytes();
+    s.memPeakBytes += shard->memArena.peakBytes();
     s.workUnitsSpent += c.workUnitsSpent;
     s.quarantinedNow += shard->quarantinedCount;
   }

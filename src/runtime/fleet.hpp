@@ -62,6 +62,7 @@
 #include <vector>
 
 #include "core/io_env.hpp"
+#include "core/mem_env.hpp"
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/supervisor.hpp"
@@ -180,6 +181,26 @@ struct FleetConfig {
   double degradedFixStretch = 2.0;
   double degradedCheckpointStretch = 4.0;
 
+  /// Memory environment and byte budgets.  With `mem` null and both
+  /// budgets zero, memory accounting is entirely off and the fleet is
+  /// bit-identical to the pre-seam behavior (digest-gated in eval/oom).
+  /// Otherwise each shard owns a core::MemArena charged with its members'
+  /// estimated footprints (Supervisor::memoryFootprintBytes): a denied
+  /// reservation first trims the offending session (2x snapshot
+  /// decimation), then quarantines it -- the shard survives, the fleet
+  /// never sees bad_alloc.
+  core::MemEnv* mem = nullptr;
+  uint64_t memBudgetPerShardBytes = 0;    // 0 = unlimited
+  uint64_t memBudgetPerSessionBytes = 0;  // 0 = unlimited
+  /// Memory pressure axis of the shed ladder, on the worst shard's
+  /// used/budget ratio.  At mem-degraded the fleet stretches cadences like
+  /// work-degraded AND each over-pressure shard trims its largest member
+  /// once per tick; at mem-critical the largest member is quarantined
+  /// instead.  Separate hysteresis keeps the two axes from chattering.
+  double memDegradedPressure = 0.75;
+  double memCriticalPressure = 0.92;
+  double memShedHysteresis = 0.05;
+
   obs::MetricsRegistry* metrics = nullptr;
   obs::EventJournal* journal = nullptr;
   /// Invoked once per fix attempt, coordinator thread, shard order.
@@ -203,6 +224,13 @@ struct FleetStats {
   uint64_t shedCriticalTicks = 0;
   double workUnitsSpent = 0.0;
   size_t quarantinedNow = 0;
+  // Memory axis (all zero when accounting is off).
+  uint64_t memDeniedReserves = 0;  // arena denials across the fleet
+  uint64_t memTrims = 0;           // sessions trimmed under pressure
+  uint64_t memEjections = 0;       // sessions quarantined for memory
+  uint64_t badAllocCaught = 0;     // bad_alloc absorbed at the worker boundary
+  uint64_t memUsedBytes = 0;       // sum of shard arena usage now
+  uint64_t memPeakBytes = 0;       // sum of shard arena peaks
 };
 
 class FleetManager {
@@ -233,7 +261,9 @@ class FleetManager {
 
   size_t sessionCount() const;
   size_t shardCount() const { return shards_.size(); }
+  /// Combined shed level: max of the work axis and the memory axis.
   ShedLevel shedLevel() const { return shedLevel_; }
+  ShedLevel memShedLevel() const { return memShedLevel_; }
   /// Aggregated over all shards; cheap enough to call per tick.
   FleetStats stats() const;
 
@@ -275,6 +305,16 @@ class FleetManager {
     obs::Counter* checkpointWrites = nullptr;
     obs::Counter* checkpointFailures = nullptr;
     obs::Gauge* shedLevel = nullptr;
+    obs::Counter* memDenied = nullptr;       // fleet.mem_denied
+    obs::Counter* memTrims = nullptr;        // fleet.mem_trims
+    obs::Counter* memEjections = nullptr;    // fleet.mem_ejections
+    obs::Counter* badAllocCaught = nullptr;  // fleet.bad_alloc_caught
+    // Registry-level memory gauges (the Prometheus exporter prefixes every
+    // name with "tagspin_", so these surface as tagspin_mem_*).
+    obs::Gauge* memUsedBytes = nullptr;    // mem.used_bytes
+    obs::Gauge* memBudgetBytes = nullptr;  // mem.budget_bytes
+    obs::Gauge* memPressure = nullptr;     // mem.pressure (worst shard)
+    obs::Gauge* memShedLevel = nullptr;    // mem.shed_level
     static Instruments resolve(obs::MetricsRegistry* registry);
   };
 
@@ -284,6 +324,16 @@ class FleetManager {
   double processMember(Shard& shard, Member& member, double nowS);
   double tickSupervisor(Shard& shard, Member& member, double nowS);
   double maybeFix(Shard& shard, Member& member, double nowS);
+  /// Re-estimate one member's footprint and settle the delta against the
+  /// shard arena: shrink releases, growth reserves, denial trims, and a
+  /// trim that still doesn't fit quarantines the member (memEject).
+  void accountMemory(Shard& shard, Member& member, double nowS);
+  /// Quarantine a member for memory: hard-trim its state, release what the
+  /// trim freed, and park it in the regular quarantine ring.
+  void memEject(Shard& shard, Member& member, double nowS);
+  /// Per-tick shard-local pressure response: trim (degraded) or quarantine
+  /// (critical) the shard's largest member.
+  void shedShardMemory(Shard& shard, double nowS);
   void eject(Shard& shard, Member& member, double nowS);
   void readmit(Shard& shard, Member& member, double nowS);
   void writeShardCheckpoint(Shard& shard, double nowS);
@@ -297,7 +347,10 @@ class FleetManager {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unordered_map<std::string, Member*> byName_;
   std::unique_ptr<WorkerPool> pool_;
-  ShedLevel shedLevel_ = ShedLevel::kNone;
+  ShedLevel shedLevel_ = ShedLevel::kNone;      // max(work, mem)
+  ShedLevel workShedLevel_ = ShedLevel::kNone;  // demand/budget axis
+  ShedLevel memShedLevel_ = ShedLevel::kNone;   // arena-pressure axis
+  bool memAccounting_ = false;
   uint64_t admitted_ = 0;
   uint64_t admissionRejected_ = 0;
   uint64_t shedDegradedTicks_ = 0;

@@ -58,6 +58,11 @@ struct QueueStats {
   uint64_t droppedOldest = 0;   // kDropOldest evictions
   uint64_t droppedSampled = 0;  // kDegradeSampling rejections
   size_t maxDepth = 0;          // high-watermark of the queue depth
+  /// Times the depth crossed from below the high watermark to at/above it
+  /// (tracked for every policy, not just kDegradeSampling): each crossing
+  /// is a memory-pressure onset an operator wants to see *before* any
+  /// shedding counter moves.
+  uint64_t watermarkCrossings = 0;
 };
 
 /// Registry handles mirroring QueueStats.  Resolved once (resolve()) and
@@ -70,8 +75,10 @@ struct QueueInstruments {
   obs::Counter* refusedFull = nullptr;
   obs::Counter* droppedOldest = nullptr;
   obs::Counter* droppedSampled = nullptr;
+  obs::Counter* watermarkCrossings = nullptr;
   obs::Gauge* depth = nullptr;     // depth after the last offer
   obs::Gauge* maxDepth = nullptr;  // lifetime high watermark (setMax)
+  obs::Gauge* aboveWatermark = nullptr;  // 1 while at/above the watermark
 
   static QueueInstruments resolve(obs::MetricsRegistry* registry) {
     QueueInstruments q;
@@ -81,8 +88,10 @@ struct QueueInstruments {
     q.refusedFull = registry->counter("queue.refused_full");
     q.droppedOldest = registry->counter("queue.dropped_oldest");
     q.droppedSampled = registry->counter("queue.dropped_sampled");
+    q.watermarkCrossings = registry->counter("queue.watermark_crossings");
     q.depth = registry->gauge("queue.depth");
     q.maxDepth = registry->gauge("queue.max_depth");
+    q.aboveWatermark = registry->gauge("queue.above_watermark");
     return q;
   }
 };
@@ -202,6 +211,7 @@ class IngestQueue {
   bool offer(T value) {
     ++stats_.offered;
     obs::add(obs_.offered);
+    trackWatermark(ring_.size());
     switch (policy_) {
       case BackpressurePolicy::kBlock:
         if (!ring_.tryPush(std::move(value))) {
@@ -247,6 +257,7 @@ class IngestQueue {
     stats_.maxDepth = std::max(stats_.maxDepth, depth);
     obs::set(obs_.depth, static_cast<double>(depth));
     obs::setMax(obs_.maxDepth, static_cast<double>(depth));
+    trackWatermark(depth);
     return true;
   }
 
@@ -254,14 +265,35 @@ class IngestQueue {
 
   size_t size() const { return ring_.size(); }
   size_t capacity() const { return ring_.capacity(); }
+  size_t watermarkDepth() const { return watermarkDepth_; }
+  bool aboveWatermark() const { return aboveWatermark_; }
   BackpressurePolicy policy() const { return policy_; }
   const QueueStats& stats() const { return stats_; }
 
  private:
+  /// Watermark edge detector, producer-side like the rest of the policy
+  /// accounting: a crossing is counted once per excursion above the
+  /// watermark, and the exit re-arms it (same edge the degrade counter
+  /// resets on).
+  void trackWatermark(size_t depth) {
+    if (depth >= watermarkDepth_) {
+      if (!aboveWatermark_) {
+        aboveWatermark_ = true;
+        ++stats_.watermarkCrossings;
+        obs::add(obs_.watermarkCrossings);
+        obs::set(obs_.aboveWatermark, 1.0);
+      }
+    } else if (aboveWatermark_) {
+      aboveWatermark_ = false;
+      obs::set(obs_.aboveWatermark, 0.0);
+    }
+  }
+
   BoundedRing<T> ring_;
   BackpressurePolicy policy_;
   size_t degradeKeepEvery_;
   size_t watermarkDepth_;
+  bool aboveWatermark_ = false;
   uint64_t degradeCounter_ = 0;
   QueueStats stats_;
   QueueInstruments obs_;

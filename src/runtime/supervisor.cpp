@@ -301,6 +301,41 @@ void Supervisor::requestRespin(const rfid::Epc& epc, double nowS) {
               {{"epc", epc.toHex()}});
 }
 
+uint64_t Supervisor::memoryFootprintBytes() const {
+  uint64_t bytes = uint64_t(slots_.size()) *
+                   uint64_t(config_.session.queueCapacity) *
+                   sizeof(rfid::TagReport);
+  for (const auto& [epc, tag] : tags_) {
+    bytes += uint64_t(tag.snapshots.capacity()) * sizeof(core::Snapshot);
+    // unordered_set node: the key plus roughly one pointer of bucket/next
+    // overhead per element.
+    bytes += uint64_t(tag.seen.size()) * (sizeof(uint64_t) + sizeof(void*));
+  }
+  bytes += uint64_t(drainScratch_.capacity()) * sizeof(rfid::TagReport);
+  if (tracker_) bytes += tracker_->memoryBytes();
+  return bytes;
+}
+
+uint64_t Supervisor::trimMemory() {
+  const uint64_t before = memoryFootprintBytes();
+  for (auto& [epc, tag] : tags_) {
+    if (tag.snapshots.size() < 8) continue;
+    std::vector<core::Snapshot> kept;
+    kept.reserve(tag.snapshots.size() / 2 + 1);
+    for (size_t i = 0; i < tag.snapshots.size(); i += 2) {
+      kept.push_back(tag.snapshots[i]);
+    }
+    tag.snapshots = std::move(kept);
+    tag.acceptStride *= 2;
+    ++stats_.decimationsApplied;
+    obs::add(obs_.decimationsApplied);
+  }
+  drainScratch_.clear();
+  drainScratch_.shrink_to_fit();
+  const uint64_t after = memoryFootprintBytes();
+  return before > after ? before - after : 0;
+}
+
 core::Result<core::ResilientFix2D> Supervisor::locateAndRecover2D(
     double nowS) {
   std::vector<rfid::Epc> epcs;

@@ -140,6 +140,20 @@ class Supervisor {
 
   void setOrientationModel(const rfid::Epc& epc, core::OrientationModel m);
 
+  /// Deterministic estimate of the resident bytes this supervisor's
+  /// accumulated state costs: session queue capacity, per-tag snapshot
+  /// storage and dedup keys, the drain scratch, and the tracker history.
+  /// Malloc overhead and fixed members are ignored -- the estimate only
+  /// needs to move with the real costs for budget accounting to work.
+  uint64_t memoryFootprintBytes() const;
+
+  /// Shed memory under pressure: decimate every tag's stored snapshots 2x
+  /// (the same operation as the overflow decimation, so full-spin arc
+  /// coverage survives at reduced density), halve the future accept rate,
+  /// and return the scratch buffers.  Returns the estimated bytes freed;
+  /// repeated calls keep halving until only a residual floor remains.
+  uint64_t trimMemory();
+
   size_t sessionCount() const { return slots_.size(); }
   const ReaderSession& session(size_t i) const { return *slots_[i].session; }
   const SupervisorStats& stats() const { return stats_; }

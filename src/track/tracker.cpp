@@ -61,6 +61,8 @@ Tracker::Tracker(TrackerConfig config) : config_(std::move(config)) {
   activeModel_ = banks_[0].model;
 }
 
+Tracker::~Tracker() { releaseHistory(); }
+
 void Tracker::setMetrics(obs::MetricsRegistry* registry) {
   if (!registry) {
     obs_ = {};
@@ -89,6 +91,9 @@ void Tracker::reset() {
   filterTimeS_ = 0.0;
   lastAcceptS_ = 0.0;
   last_ = {};
+  releaseHistory();
+  hasAnchor_ = false;
+  anchor_ = {};
   for (auto& b : banks_) b.nisWindow.clear();
   rScale_ = 1.0;
   ewmaNis_ = 2.0;
@@ -201,7 +206,48 @@ TrackEstimate Tracker::makeEstimate(double timeS, double nis, bool used) {
   e.model = activeModel_;
   e.nis = nis;
   e.usedMeasurement = used;
+  recordHistory(e);
   return e;
+}
+
+void Tracker::evictHistoryFront() {
+  history_.pop_front();
+  ++stats_.historyEvicted;
+  if (config_.historyArena) config_.historyArena->release(sizeof(TrackEstimate));
+}
+
+void Tracker::recordHistory(const TrackEstimate& estimate) {
+  // The anchor is pinned outside the deque, so eviction can shed every
+  // fix-backed entry and a coasting track still knows where its last
+  // measurement put it.
+  if (estimate.usedMeasurement) {
+    anchor_ = estimate;
+    hasAnchor_ = true;
+  }
+  if (config_.historyLimit == 0) return;
+  while (history_.size() >= config_.historyLimit) evictHistoryFront();
+  if (config_.historyArena) {
+    // Under arena pressure shed oldest-first before refusing: the history
+    // is diagnostics, and the freshest samples are the valuable ones.
+    bool granted = config_.historyArena->tryReserve(sizeof(TrackEstimate));
+    while (!granted && !history_.empty()) {
+      evictHistoryFront();
+      granted = config_.historyArena->tryReserve(sizeof(TrackEstimate));
+    }
+    if (!granted) {
+      ++stats_.historyRefused;
+      return;
+    }
+  }
+  history_.push_back(estimate);
+}
+
+void Tracker::releaseHistory() {
+  if (config_.historyArena && !history_.empty()) {
+    config_.historyArena->release(uint64_t(history_.size()) *
+                                  sizeof(TrackEstimate));
+  }
+  history_.clear();
 }
 
 void Tracker::maybeSwitchModel() {

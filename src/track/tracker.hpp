@@ -25,6 +25,7 @@
 #include <deque>
 #include <memory>
 
+#include "core/mem_env.hpp"
 #include "geom/vec.hpp"
 #include "obs/metrics.hpp"
 #include "track/measurement.hpp"
@@ -94,6 +95,16 @@ struct TrackerConfig {
   double rCalibrationTargetNis = 2.0;
   double rScaleMin = 0.2;
   double rScaleMax = 10.0;
+  /// Bound on the retained estimate history (0 disables history).  The
+  /// history is diagnostics, not filter state: eviction can never move an
+  /// estimate, and the most recent *measurement-backed* estimate is pinned
+  /// as an anchor so a long coast stays explainable even after its feeding
+  /// fixes were evicted.
+  size_t historyLimit = 256;
+  /// Optional byte ledger the history is charged to.  A denied reservation
+  /// sheds oldest-first; if nothing is left to shed the new entry is
+  /// refused (counted, never thrown).
+  core::MemArena* historyArena = nullptr;
 };
 
 /// One output sample of the tracker -- everything downstream consumers
@@ -118,6 +129,8 @@ struct TrackerStats {
   uint64_t modelSwitches = 0;
   uint64_t reinits = 0;
   uint64_t drops = 0;
+  uint64_t historyEvicted = 0;  // oldest history entries shed under bound/pressure
+  uint64_t historyRefused = 0;  // entries refused outright (arena empty + denied)
 
   double coastFraction() const {
     const uint64_t total = accepted + coasts;
@@ -129,6 +142,7 @@ struct TrackerStats {
 class Tracker {
  public:
   explicit Tracker(TrackerConfig config = {});
+  ~Tracker();
 
   /// Resolve track.* instruments from `registry` (null detaches).
   void setMetrics(obs::MetricsRegistry* registry);
@@ -156,6 +170,19 @@ class Tracker {
   /// Last emitted estimate (valid once hasEstimate()).
   const TrackEstimate& lastEstimate() const { return last_; }
 
+  /// Bounded estimate history (newest at the back; empty when disabled).
+  const std::deque<TrackEstimate>& history() const { return history_; }
+  /// The pinned most-recent measurement-backed estimate; survives any
+  /// amount of history eviction (coasting-safe).
+  bool hasAnchor() const { return hasAnchor_; }
+  const TrackEstimate& anchor() const { return anchor_; }
+
+  /// Bytes of growable state (the history); the term the supervisor's
+  /// memory footprint estimate charges for tracking.
+  uint64_t memoryBytes() const {
+    return uint64_t(history_.size()) * sizeof(TrackEstimate);
+  }
+
  private:
   struct Bank {
     MotionModelId model;
@@ -172,6 +199,9 @@ class Tracker {
   TrackEstimate makeEstimate(double timeS, double nis, bool used);
   void maybeSwitchModel();
   void publishGauges();
+  void recordHistory(const TrackEstimate& estimate);
+  void evictHistoryFront();
+  void releaseHistory();
 
   TrackerConfig config_;
   std::vector<Bank> banks_;
@@ -186,6 +216,9 @@ class Tracker {
   double filterTimeS_ = 0.0;   // time the filters are predicted to
   double lastAcceptS_ = 0.0;   // time of the last accepted fix
   TrackEstimate last_;
+  std::deque<TrackEstimate> history_;
+  TrackEstimate anchor_;
+  bool hasAnchor_ = false;
   TrackerStats stats_;
 
   struct Instruments {

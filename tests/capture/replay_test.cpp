@@ -193,5 +193,55 @@ TEST(Digest, StreamDigestCoversEveryFieldInOrder) {
   EXPECT_EQ(hex.find_first_not_of("0123456789abcdef"), std::string::npos);
 }
 
+TEST(ReplayStreamBudgeted, ChargesTheArenaForTheStreamLifetime) {
+  core::PosixMemEnv mem;
+  core::MemArena arena(&mem, 0, "replay.test");
+  TimedStream s;
+  s.push_back(quantizedReport(0, 10'000'000, 10'000'000));
+  s.push_back(quantizedReport(1, 10'400'000, 10'500'000));
+  s.push_back(quantizedReport(2, 10'900'000, 11'000'000));
+
+  const uint64_t want = replayStreamBytes(3);
+  {
+    auto r = makeReplayStreamBudgeted(std::move(s), &arena);
+    ASSERT_TRUE(r.hasValue());
+    EXPECT_EQ((*r)->wire.size(), 3u * rfid::llrp::kMessageSize);
+    EXPECT_EQ(arena.usedBytes(), want);
+    EXPECT_EQ(mem.stats().usedBytes, want);
+  }
+  // Stream destroyed: the RAII reservation returned every byte.
+  EXPECT_EQ(arena.usedBytes(), 0u);
+  EXPECT_EQ(mem.stats().usedBytes, 0u);
+}
+
+TEST(ReplayStreamBudgeted, DenialRefusesTheWholeStreamWithOutOfMemory) {
+  core::PosixMemEnv mem;
+  core::MemArena arena(&mem, replayStreamBytes(2), "replay.small");
+  TimedStream s;
+  s.push_back(quantizedReport(0, 10'000'000, 10'000'000));
+  s.push_back(quantizedReport(1, 10'400'000, 10'500'000));
+  s.push_back(quantizedReport(2, 10'900'000, 11'000'000));
+
+  auto r = makeReplayStreamBudgeted(std::move(s), &arena);
+  ASSERT_FALSE(r.hasValue());
+  EXPECT_EQ(r.error().code, core::ErrorCode::kOutOfMemory);
+  // No partial image, no stranded accounting.
+  EXPECT_EQ(arena.usedBytes(), 0u);
+  EXPECT_EQ(mem.stats().usedBytes, 0u);
+}
+
+TEST(ReplayStreamBudgeted, NullArenaMatchesTheUnbudgetedBuilder) {
+  TimedStream a;
+  a.push_back(quantizedReport(0, 10'000'000, 10'000'000));
+  a.push_back(quantizedReport(1, 10'400'000, 10'500'000));
+  TimedStream b = a;
+
+  const auto plain = makeReplayStream(std::move(a));
+  auto budgeted = makeReplayStreamBudgeted(std::move(b), nullptr);
+  ASSERT_TRUE(budgeted.hasValue());
+  EXPECT_EQ(plain->wire, (*budgeted)->wire);
+  EXPECT_EQ(plain->releaseS, (*budgeted)->releaseS);
+}
+
 }  // namespace
 }  // namespace tagspin::capture

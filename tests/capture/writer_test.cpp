@@ -286,5 +286,77 @@ TEST(CaptureWriterSim, EintrAndShortWritesDuringAppendAreAbsorbed) {
       s, decodeCapture(std::vector<uint8_t>(bytes.begin(), bytes.end())));
 }
 
+TEST(CaptureWriterMemory, DeniedReservationSpillsTheBufferAndKeepsWriting) {
+  sim::SimIoEnv env;
+  core::PosixMemEnv mem;
+  // Room for 4 buffered reports; the chunk size (8) would need twice that,
+  // so the writer must spill early instead of growing.
+  core::MemArena arena(&mem, 4 * sizeof(TimedReport), "writer.test");
+  CaptureWriterConfig cfg;
+  cfg.chunkReports = 8;
+  cfg.fsyncEveryChunks = 2;
+  cfg.io = &env;
+  cfg.arena = &arena;
+  CaptureWriter writer("cap.tspc", cfg);
+
+  const TimedStream s = quantizedStream(12, 1'000'000);
+  writer.append(s);
+  writer.close();
+
+  // Nothing was refused -- every denial was absorbed by an early flush.
+  EXPECT_GT(writer.stats().bufferSpills, 0u);
+  EXPECT_EQ(writer.stats().reportsRefused, 0u);
+  EXPECT_EQ(writer.stats().reportsWritten, 12u);
+  EXPECT_EQ(arena.usedBytes(), 0u);  // close() flushed and released all
+
+  const sim::DiskImage image = env.liveImage();
+  const std::string& bytes = image.at("cap.tspc");
+  expectEqualStreams(
+      s, decodeCapture(std::vector<uint8_t>(bytes.begin(), bytes.end())));
+}
+
+TEST(CaptureWriterMemory, RefusesReportsWhenEvenASpilledBufferCannotReserve) {
+  sim::SimIoEnv env;
+  core::PosixMemEnv mem;
+  core::MemArena arena(&mem, 1, "writer.starved");  // < one report
+  CaptureWriterConfig cfg;
+  cfg.chunkReports = 4;
+  cfg.io = &env;
+  cfg.arena = &arena;
+  CaptureWriter writer("cap.tspc", cfg);
+
+  const TimedStream s = quantizedStream(6, 1'000'000);
+  for (const TimedReport& tr : s) {
+    const core::Result<bool> admitted = writer.tryAppend(tr.report,
+                                                         tr.deliveryS);
+    ASSERT_TRUE(admitted.hasValue());
+    EXPECT_FALSE(*admitted);  // refused, not thrown
+  }
+  writer.close();
+  EXPECT_EQ(writer.stats().reportsRefused, 6u);
+  EXPECT_EQ(writer.stats().reportsWritten, 0u);
+
+  // A refusal is an accounting event, not file damage: the capture is a
+  // valid (empty) stream.
+  const sim::DiskImage image = env.liveImage();
+  const auto it = image.find("cap.tspc");
+  if (it != image.end()) {
+    EXPECT_TRUE(decodeCapture(std::vector<uint8_t>(it->second.begin(),
+                                                   it->second.end()))
+                    .empty());
+  }
+}
+
+TEST(CaptureWriterMemory, TryAppendReportsAClosedWriterAsAnError) {
+  sim::SimIoEnv env;
+  CaptureWriterConfig cfg;
+  cfg.io = &env;
+  CaptureWriter writer("cap.tspc", cfg);
+  writer.close();
+  const TimedStream s = quantizedStream(1, 1'000'000);
+  const core::Result<bool> r = writer.tryAppend(s[0].report, s[0].deliveryS);
+  EXPECT_FALSE(r.hasValue());
+}
+
 }  // namespace
 }  // namespace tagspin::capture

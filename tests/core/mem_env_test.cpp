@@ -1,0 +1,138 @@
+#include "core/mem_env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+namespace tagspin::core {
+namespace {
+
+TEST(PosixMemEnv, UnlimitedPassthroughGrantsEverythingAndAccounts) {
+  PosixMemEnv env;
+  EXPECT_TRUE(env.tryReserve(1 << 20));
+  EXPECT_TRUE(env.tryReserve(1 << 20));
+  MemEnvStats s = env.stats();
+  EXPECT_EQ(s.reserves, 2u);
+  EXPECT_EQ(s.denials, 0u);
+  EXPECT_EQ(s.usedBytes, 2u << 20);
+  EXPECT_EQ(s.peakBytes, 2u << 20);
+  env.release(1 << 20);
+  s = env.stats();
+  EXPECT_EQ(s.usedBytes, 1u << 20);
+  EXPECT_EQ(s.peakBytes, 2u << 20);  // peak is sticky
+}
+
+TEST(PosixMemEnv, BudgetDeniesGrowthPastTheLimit) {
+  PosixMemEnv env(1024);
+  EXPECT_TRUE(env.tryReserve(1000));
+  EXPECT_FALSE(env.tryReserve(100));  // would exceed 1024
+  EXPECT_TRUE(env.tryReserve(24));    // exactly at the limit
+  const MemEnvStats s = env.stats();
+  EXPECT_EQ(s.denials, 1u);
+  EXPECT_EQ(s.usedBytes, 1024u);
+  env.release(1024);
+  EXPECT_TRUE(env.tryReserve(512));  // headroom returns with the release
+}
+
+TEST(PosixMemEnv, ResolveMemNullptrIsThePassthrough) {
+  EXPECT_EQ(&resolveMem(nullptr), &passthroughMem());
+  PosixMemEnv env;
+  EXPECT_EQ(&resolveMem(&env), &env);
+  EXPECT_TRUE(passthroughMem().tryReserve(64));
+  passthroughMem().release(64);
+}
+
+TEST(MemArena, DetachedArenaIsFreeAndUnaccounted) {
+  MemArena arena;  // default-constructed: detached
+  EXPECT_FALSE(arena.attached());
+  EXPECT_TRUE(arena.tryReserve(1ull << 40));  // absurd sizes still granted
+  EXPECT_EQ(arena.usedBytes(), 0u);
+  EXPECT_EQ(arena.pressure(), 0.0);
+  arena.release(1ull << 40);  // no-op, no underflow bookkeeping
+  EXPECT_EQ(arena.usedBytes(), 0u);
+}
+
+TEST(MemArena, OwnBudgetAndEnvironmentCompose) {
+  PosixMemEnv env(4096);
+  MemArena arena(&env, 1024, "test.shard");
+  EXPECT_TRUE(arena.attached());
+  EXPECT_EQ(arena.domain(), "test.shard");
+
+  EXPECT_TRUE(arena.tryReserve(1000));
+  EXPECT_FALSE(arena.tryReserve(100));  // arena budget denies first
+  EXPECT_EQ(arena.denials(), 1u);
+  EXPECT_EQ(arena.usedBytes(), 1000u);
+  // A denial leaves the environment untouched too.
+  EXPECT_EQ(env.stats().usedBytes, 1000u);
+  EXPECT_NEAR(arena.pressure(), 1000.0 / 1024.0, 1e-12);
+
+  arena.release(1000);
+  EXPECT_EQ(arena.usedBytes(), 0u);
+  EXPECT_EQ(env.stats().usedBytes, 0u);
+}
+
+TEST(MemArena, EnvironmentDenialLeavesArenaUnchanged) {
+  PosixMemEnv env(512);
+  MemArena arena(&env, 0, "unbudgeted");  // arena unlimited, env is not
+  EXPECT_TRUE(arena.tryReserve(512));
+  EXPECT_FALSE(arena.tryReserve(1));  // env full
+  EXPECT_EQ(arena.usedBytes(), 512u);
+  EXPECT_EQ(arena.denials(), 1u);
+}
+
+TEST(MemArena, DestructionReturnsOutstandingBytesToTheEnvironment) {
+  PosixMemEnv env;
+  {
+    MemArena arena(&env, 0, "scoped");
+    EXPECT_TRUE(arena.tryReserve(2048));
+    EXPECT_EQ(env.stats().usedBytes, 2048u);
+  }
+  EXPECT_EQ(env.stats().usedBytes, 0u);
+}
+
+TEST(MemArena, MoveTransfersTheLedger) {
+  PosixMemEnv env;
+  MemArena a(&env, 0, "mover");
+  EXPECT_TRUE(a.tryReserve(128));
+  MemArena b = std::move(a);
+  EXPECT_EQ(b.usedBytes(), 128u);
+  EXPECT_EQ(b.domain(), "mover");
+  b.release(128);
+  EXPECT_EQ(env.stats().usedBytes, 0u);
+}
+
+TEST(MemReservation, RaiiReleasesExactlyOnceAndMoves) {
+  PosixMemEnv env;
+  MemArena arena(&env, 0, "raii");
+  ASSERT_TRUE(arena.tryReserve(256));
+  {
+    MemReservation r(&arena, 256);
+    EXPECT_EQ(r.bytes(), 256u);
+    MemReservation moved = std::move(r);
+    EXPECT_EQ(moved.bytes(), 256u);
+    EXPECT_EQ(r.bytes(), 0u);  // NOLINT: moved-from is empty, not released
+    EXPECT_EQ(arena.usedBytes(), 256u);
+  }
+  EXPECT_EQ(arena.usedBytes(), 0u);
+  EXPECT_EQ(env.stats().usedBytes, 0u);
+}
+
+TEST(BudgetAllocator, ContainerGrowthChargesTheArenaAndFailsByItsRules) {
+  PosixMemEnv env;
+  MemArena arena(&env, 256 * sizeof(double), "alloc");
+  using Vec = std::vector<double, BudgetAllocator<double>>;
+  {
+    Vec v(BudgetAllocator<double>{&arena});
+    v.reserve(128);
+    EXPECT_EQ(arena.usedBytes(), 128 * sizeof(double));
+    EXPECT_THROW(v.reserve(1024), std::bad_alloc);
+    // The failed growth left the container and the ledger intact.
+    EXPECT_EQ(v.capacity(), 128u);
+    EXPECT_EQ(arena.usedBytes(), 128 * sizeof(double));
+  }
+  EXPECT_EQ(arena.usedBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace tagspin::core

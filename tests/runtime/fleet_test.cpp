@@ -325,6 +325,171 @@ TEST(Fleet, MultiShardKillAndRestoreRecoversEverySession) {
   std::filesystem::remove_all(dir);
 }
 
+/// Connects instantly, idles until deliverAtS, then delivers one prebuilt
+/// frame and idles forever.  Lets a test measure the fleet's pre-growth
+/// memory footprint before the frame lands.
+struct DelayedTransport final : Transport {
+  double deliverAtS = 0.0;
+  std::vector<uint8_t> frame;
+  bool connected = false;
+  bool delivered = false;
+
+  bool connect(double) override {
+    connected = true;
+    return true;
+  }
+  TransportRead poll(double nowS) override {
+    if (!connected) return {TransportStatus::kClosed, {}};
+    if (!delivered && nowS >= deliverAtS && !frame.empty()) {
+      delivered = true;
+      return {TransportStatus::kOk, frame};
+    }
+    return {TransportStatus::kIdle, {}};
+  }
+  void close() override { connected = false; }
+};
+
+/// One shard, two sessions: a "grower" whose frame lands at t=1.0 and blows
+/// up its snapshot store, and a small "steady" neighbor.  Shared topology
+/// for the memory-budget tests below.
+FleetConfig memFleetConfig() {
+  FleetConfig config = testFleetConfig();
+  config.shards = 1;
+  config.maxSessions = 2;
+  // Small ingest queues so the footprint is dominated by snapshot growth,
+  // not by fixed ring capacity.
+  config.supervisor.session.queueCapacity = 32;
+  return config;
+}
+
+void registerMemFleetSessions(FleetManager& fleet) {
+  fleet.registerSession("grower", [] {
+    auto t = std::make_unique<DelayedTransport>();
+    t->deliverAtS = 1.0;
+    t->frame = frameWith(600, 0.0);
+    return t;
+  });
+  fleet.registerSession("steady", [] {
+    auto t = std::make_unique<OneShotTransport>();
+    t->frame = frameWith(4, 10.0);
+    return t;
+  });
+}
+
+TEST(Fleet, MemoryBudgetTrimsUnderPressureWithoutLosingSessions) {
+  core::PosixMemEnv env;
+
+  // Calibration pass: same fleet, unlimited budget.  Measure the footprint
+  // before and after the grower's frame lands so the budget for the real
+  // pass can be pinned strictly between the two.
+  uint64_t baseUsed = 0;
+  uint64_t peakUsed = 0;
+  {
+    FleetConfig config = memFleetConfig();
+    config.mem = &env;
+    FleetManager fleet(config, twoRigDeployment());
+    registerMemFleetSessions(fleet);
+    for (double t = 0.0; t <= 0.5 + 1e-9; t += 0.1) fleet.tick(t);
+    baseUsed = fleet.stats().memUsedBytes;
+    for (double t = 0.6; t <= 3.0 + 1e-9; t += 0.1) fleet.tick(t);
+    peakUsed = fleet.stats().memUsedBytes;
+    // Accounting is on, and fault-free: bytes tracked, nothing denied.
+    EXPECT_GT(baseUsed, 0u);
+    EXPECT_EQ(fleet.stats().memDeniedReserves, 0u);
+    EXPECT_EQ(fleet.stats().memTrims, 0u);
+  }
+  ASSERT_GT(peakUsed, baseUsed) << "the grower's frame never grew anything";
+
+  // Budgeted pass: room for the base footprint plus half the growth.  The
+  // grower's reservation must be denied at some point; the fleet's answer
+  // is decimation (trim), never a crash and never collateral damage.
+  const uint64_t budget = baseUsed + (peakUsed - baseUsed) / 2;
+  FleetConfig config = memFleetConfig();
+  config.mem = &env;
+  config.memBudgetPerShardBytes = budget;
+  FleetManager fleet(config, twoRigDeployment());
+  registerMemFleetSessions(fleet);
+  for (double t = 0.0; t <= 3.0 + 1e-9; t += 0.1) {
+    fleet.tick(t);
+    // Hard invariant, every tick: the arena never exceeds its budget.
+    ASSERT_LE(fleet.stats().memUsedBytes, budget) << "at t=" << t;
+  }
+
+  const FleetStats stats = fleet.stats();
+  EXPECT_GT(stats.memDeniedReserves, 0u);
+  EXPECT_GT(stats.memTrims, 0u);
+  EXPECT_EQ(stats.badAllocCaught, 0u);
+  EXPECT_LE(stats.memPeakBytes, budget);
+  EXPECT_GE(stats.memPeakBytes, stats.memUsedBytes);
+
+  // No session was lost, and the pressure stayed contained to the grower:
+  // the steady neighbor keeps its stream and is never quarantined.
+  EXPECT_EQ(fleet.sessionCount(), 2u);
+  for (const auto& v : fleet.sessions()) {
+    if (v.name == "steady") EXPECT_FALSE(v.quarantined);
+  }
+  const Supervisor* steady = fleet.supervisor("steady");
+  ASSERT_NE(steady, nullptr);
+  EXPECT_EQ(steady->tagSnapshotCount(kTag0), 4u);
+  EXPECT_EQ(steady->session(0).state(), SessionState::kStreaming);
+
+  // The trims landed on the grower: its snapshot store was decimated below
+  // what the unlimited run kept.
+  const Supervisor* grower = fleet.supervisor("grower");
+  ASSERT_NE(grower, nullptr);
+  EXPECT_LT(grower->tagSnapshotCount(kTag0), 600u);
+  EXPECT_GT(grower->tagSnapshotCount(kTag0), 0u);
+}
+
+TEST(Fleet, MemoryAccountingOffAndUnlimitedEnvBehaveIdentically) {
+  // Three fleets over the same schedule: accounting off (mem = nullptr,
+  // budgets 0 -- the pre-seam configuration), and accounting on with an
+  // unlimited PosixMemEnv.  The seam must be a pure observer: identical
+  // session outcomes, and the off-fleet reports all-zero memory counters.
+  const auto run = [](core::MemEnv* mem) {
+    FleetConfig config = memFleetConfig();
+    config.mem = mem;
+    auto fleet = std::make_unique<FleetManager>(config, twoRigDeployment());
+    registerMemFleetSessions(*fleet);
+    for (double t = 0.0; t <= 3.0 + 1e-9; t += 0.1) fleet->tick(t);
+    return fleet;
+  };
+
+  core::PosixMemEnv env;
+  const auto off = run(nullptr);
+  const auto on = run(&env);
+
+  const FleetStats offStats = off->stats();
+  EXPECT_EQ(offStats.memUsedBytes, 0u);
+  EXPECT_EQ(offStats.memPeakBytes, 0u);
+  EXPECT_EQ(offStats.memDeniedReserves, 0u);
+  EXPECT_EQ(offStats.memTrims, 0u);
+  EXPECT_EQ(offStats.memEjections, 0u);
+  EXPECT_EQ(off->memShedLevel(), ShedLevel::kNone);
+
+  const FleetStats onStats = on->stats();
+  EXPECT_GT(onStats.memUsedBytes, 0u);
+  EXPECT_EQ(onStats.memDeniedReserves, 0u);
+  EXPECT_EQ(on->memShedLevel(), ShedLevel::kNone);
+
+  const auto offViews = off->sessions();
+  const auto onViews = on->sessions();
+  ASSERT_EQ(offViews.size(), onViews.size());
+  for (size_t i = 0; i < offViews.size(); ++i) {
+    EXPECT_EQ(offViews[i].name, onViews[i].name);
+    EXPECT_EQ(offViews[i].state, onViews[i].state) << i;
+    EXPECT_EQ(offViews[i].quarantined, onViews[i].quarantined) << i;
+    EXPECT_EQ(offViews[i].fixes, onViews[i].fixes) << i;
+  }
+  for (const char* name : {"grower", "steady"}) {
+    const Supervisor* a = off->supervisor(name);
+    const Supervisor* b = on->supervisor(name);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(a->tagSnapshotCount(kTag0), b->tagSnapshotCount(kTag0)) << name;
+  }
+}
+
 /// Run a small mixed fleet (healthy + dead + flapping) and return the
 /// per-session views plus aggregate stats.
 std::pair<std::vector<FleetManager::SessionView>, FleetStats> runMixedFleet(

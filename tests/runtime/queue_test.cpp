@@ -124,6 +124,42 @@ TEST(IngestQueue, StatsTrackDepthHighWatermark) {
   EXPECT_EQ(q.stats().offered, 4u);
 }
 
+TEST(IngestQueue, WatermarkCrossingCountedOncePerExcursion) {
+  // Capacity 8, watermark 0.5 -> depth 4.  The counter moves on the
+  // below->at/above edge only; staying above is one excursion.
+  IngestQueue<int> q(8, BackpressurePolicy::kBlock, 2, 0.5);
+  for (int i = 0; i < 4; ++i) q.offer(i);
+  EXPECT_TRUE(q.aboveWatermark());
+  EXPECT_EQ(q.stats().watermarkCrossings, 1u);
+  q.offer(4);
+  q.offer(5);
+  EXPECT_EQ(q.stats().watermarkCrossings, 1u);  // still the same excursion
+
+  // Drain below the watermark: the detector re-arms...
+  int out;
+  while (q.size() > 1) q.poll(out);
+  q.offer(6);  // depth 2 < 4 after this offer: edge observed, re-armed
+  EXPECT_FALSE(q.aboveWatermark());
+  // ...and climbing back over counts a second excursion.
+  q.offer(7);
+  q.offer(8);
+  q.offer(9);
+  EXPECT_TRUE(q.aboveWatermark());
+  EXPECT_EQ(q.stats().watermarkCrossings, 2u);
+}
+
+TEST(IngestQueue, WatermarkInstrumentsMirrorTheStats) {
+  obs::MetricsRegistry registry;
+  IngestQueue<int> q(8, BackpressurePolicy::kDropOldest, 2, 0.5);
+  q.setInstruments(QueueInstruments::resolve(&registry));
+  for (int i = 0; i < 6; ++i) q.offer(i);
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counterValue("queue.watermark_crossings"),
+            q.stats().watermarkCrossings);
+  EXPECT_EQ(snap.gaugeValue("queue.above_watermark"), 1.0);
+  EXPECT_GE(snap.gaugeValue("queue.max_depth"), 4.0);
+}
+
 TEST(IngestQueue, PolicyNamesAreStable) {
   EXPECT_STREQ(backpressurePolicyName(BackpressurePolicy::kBlock), "block");
   EXPECT_STREQ(backpressurePolicyName(BackpressurePolicy::kDropOldest),

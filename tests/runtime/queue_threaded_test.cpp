@@ -233,5 +233,87 @@ TEST(IngestQueueThreaded, DegradeSamplingPolicyWithConcurrentConsumer) {
   EXPECT_EQ(delivered.load() + leftover, admitted);
 }
 
+TEST(IngestQueueThreaded, DegradeCounterResetsBelowWatermarkUnderConcurrency) {
+  // The degrade counter is producer-side state that RESETS whenever an
+  // offer observes the depth below the watermark -- with a live consumer
+  // the depth oscillates around it, so the reset edge fires constantly
+  // while poll() mutates the ring from the other thread.  Contract:
+  //  * the very next offer after any reset is admitted (counter phase 0);
+  //  * the accounting never splits an offer (accepted + sampled + refused
+  //    == offered) no matter how the reset races the consumer;
+  //  * the watermark edge detector sees multiple excursions, not one.
+  obs::MetricsRegistry registry;
+  IngestQueue<uint64_t> queue(32, BackpressurePolicy::kDegradeSampling,
+                              /*degradeKeepEvery=*/2, /*highWatermark=*/0.5);
+  queue.setInstruments(QueueInstruments::resolve(&registry));
+  constexpr uint64_t kItems = 60000;
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> delivered{0};
+  std::thread consumer([&] {
+    uint64_t out = 0;
+    uint64_t drained = 0;
+    while (!done.load(std::memory_order_acquire) || queue.size() > 0) {
+      // Bursty consumer: drain hard for a stretch (pulls the depth below
+      // the watermark -> producer-side reset), then stall (depth climbs
+      // back over -> sampling re-engages).
+      const bool draining = (drained / 512) % 2 == 0;
+      if (draining && queue.poll(out)) {
+        ++drained;
+        delivered.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        ++drained;
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  uint64_t admitted = 0;
+  uint64_t admittedRightAfterReset = 0;
+  uint64_t resets = 0;
+  for (uint64_t i = 0; i < kItems; ++i) {
+    if (i > 0 && i % 2000 == 0) {
+      // Force an excursion boundary: wait for the consumer to pull the
+      // depth below the watermark, so the climb that follows replays the
+      // below->above edge instead of riding one endless excursion.  Only
+      // this thread pushes, so the observation cannot be overtaken.
+      while (queue.size() >= queue.watermarkDepth()) {
+        std::this_thread::yield();
+      }
+    }
+    const bool below = queue.size() < queue.watermarkDepth();
+    const bool ok = queue.offer(i);
+    if (ok) ++admitted;
+    if (below) {
+      // This offer observed the depth below the watermark at entry, so it
+      // reset the counter to phase 0 and must have been admitted (the
+      // ring cannot be full below the watermark).
+      ++resets;
+      if (ok) ++admittedRightAfterReset;
+    }
+  }
+  done.store(true, std::memory_order_release);
+  consumer.join();
+
+  uint64_t out = 0;
+  uint64_t leftover = 0;
+  while (queue.poll(out)) ++leftover;
+
+  EXPECT_GT(resets, 0u);
+  EXPECT_EQ(admittedRightAfterReset, resets);
+
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counterValue("queue.offered"), kItems);
+  EXPECT_EQ(snap.counterValue("queue.accepted"), admitted);
+  EXPECT_EQ(snap.counterValue("queue.accepted") +
+                snap.counterValue("queue.dropped_sampled") +
+                snap.counterValue("queue.refused_full"),
+            kItems);
+  EXPECT_EQ(delivered.load() + leftover, admitted);
+  // The oscillation crossed the watermark repeatedly -- the edge detector
+  // must have re-armed, not latched on the first excursion.
+  EXPECT_GT(snap.counterValue("queue.watermark_crossings"), 1u);
+}
+
 }  // namespace
 }  // namespace tagspin::runtime

@@ -416,6 +416,80 @@ TEST(Tracker, ResetForgetsCalibrationState) {
   }
 }
 
+TEST(TrackerHistory, BoundedByTheConfiguredLimit) {
+  TrackerConfig cfg;
+  cfg.historyLimit = 8;
+  Tracker tracker(cfg);
+  for (const TrackMeasurement& m : straightRun(40, 1.0, 0.02, 77)) {
+    tracker.onMeasurement(m);
+  }
+  EXPECT_EQ(tracker.history().size(), 8u);
+  EXPECT_GT(tracker.stats().historyEvicted, 0u);
+  EXPECT_EQ(tracker.stats().historyRefused, 0u);
+  EXPECT_EQ(tracker.memoryBytes(), 8u * sizeof(TrackEstimate));
+  // Newest at the back: timestamps strictly increase through the window.
+  for (size_t i = 1; i < tracker.history().size(); ++i) {
+    EXPECT_GT(tracker.history()[i].timeS, tracker.history()[i - 1].timeS);
+  }
+}
+
+TEST(TrackerHistory, ArenaPressureShedsOldestBeforeRefusing) {
+  core::MemArena arena(nullptr, 4 * sizeof(TrackEstimate), "track.test");
+  TrackerConfig cfg;
+  cfg.historyLimit = 64;  // the arena, not the limit, is the binding bound
+  cfg.historyArena = &arena;
+  {
+    Tracker tracker(cfg);
+    for (const TrackMeasurement& m : straightRun(30, 1.0, 0.02, 78)) {
+      tracker.onMeasurement(m);
+    }
+    EXPECT_LE(tracker.history().size(), 4u);
+    EXPECT_GT(tracker.stats().historyEvicted, 0u);
+    EXPECT_EQ(tracker.stats().historyRefused, 0u);  // eviction always frees
+    EXPECT_EQ(arena.usedBytes(),
+              tracker.history().size() * sizeof(TrackEstimate));
+  }
+  // Teardown returns every accounted byte.
+  EXPECT_EQ(arena.usedBytes(), 0u);
+}
+
+TEST(TrackerHistory, AnchorSurvivesTotalHistoryStarvation) {
+  // An arena too small for even one entry: every record is refused, yet
+  // the pinned anchor still tracks the last measurement-backed estimate
+  // and the filter itself is untouched.
+  core::MemArena arena(nullptr, 1, "track.starved");
+  TrackerConfig cfg;
+  cfg.historyArena = &arena;
+  Tracker tracker(cfg);
+  const auto run = straightRun(20, 1.0, 0.02, 79);
+  for (const TrackMeasurement& m : run) tracker.onMeasurement(m);
+
+  EXPECT_TRUE(tracker.history().empty());
+  EXPECT_GT(tracker.stats().historyRefused, 0u);
+  EXPECT_GT(tracker.stats().accepted, 0u);  // the track itself kept going
+  ASSERT_TRUE(tracker.hasAnchor());
+  EXPECT_TRUE(tracker.anchor().usedMeasurement);
+  EXPECT_DOUBLE_EQ(tracker.anchor().timeS, run.back().timeS);
+  EXPECT_EQ(tracker.memoryBytes(), 0u);
+}
+
+TEST(TrackerHistory, CoastingKeepsTheMeasurementBackedAnchor) {
+  TrackerConfig cfg;
+  cfg.historyLimit = 4;
+  Tracker tracker(cfg);
+  const auto run = straightRun(10, 1.0, 0.02, 80);
+  for (const TrackMeasurement& m : run) tracker.onMeasurement(m);
+  const double lastFixS = run.back().timeS;
+
+  // A string of gaps: coasting estimates fill (and evict) the history,
+  // but the anchor stays at the last fix.
+  for (int i = 1; i <= 8; ++i) tracker.onGap(lastFixS + i);
+  ASSERT_TRUE(tracker.hasAnchor());
+  EXPECT_DOUBLE_EQ(tracker.anchor().timeS, lastFixS);
+  EXPECT_TRUE(tracker.anchor().usedMeasurement);
+  EXPECT_FALSE(tracker.history().back().usedMeasurement);  // coasts recorded
+}
+
 TEST(Tracker, DeterministicAcrossRuns) {
   const auto run = straightRun(20, 1.0, 0.05, 4242);
   TrackerConfig cfg;  // full default config, every mechanism live

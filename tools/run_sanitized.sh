@@ -77,6 +77,20 @@ echo
 echo "== crash-consistency smoke under sanitizers (ctest -L crash_smoke) =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L crash_smoke
 
+echo
+echo "== resource-exhaustion smoke under sanitizers (ctest -L oom_smoke) =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L oom_smoke
+
+echo
+echo "== malloc-failure smoke (ASan allocator_may_return_null=1) =="
+# Re-run the OOM exploration with the ASan allocator returning null instead
+# of aborting on its internal limits: the harness's injected denials already
+# cover the MemEnv seam, and this pass confirms nothing in the surrounding
+# code paths (std::bad_alloc propagation, container growth) trips ASan when
+# real allocation failure is on the table.
+ASAN_OPTIONS="${ASAN_OPTIONS}:allocator_may_return_null=1" \
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -L oom_smoke
+
 if [[ "${TAGSPIN_SKIP_TSAN:-0}" != "1" ]]; then
   TSAN_BUILD_DIR="${BUILD_DIR}-tsan"
   echo

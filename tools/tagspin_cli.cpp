@@ -62,6 +62,16 @@
 //       generator.  Prints the fix and its digest -- replaying the same
 //       capture twice prints the same digest, bit for bit.
 //
+//   tagspin_cli oom [--seed N] [--points N] [--schedule-rounds N]
+//                   [--no-broken-cache] [--no-pressure] [--no-parity]
+//                   [--json[=PATH]]
+//       Resource-exhaustion falsifier: allocation failures injected at
+//       every sampled reservation boundary of the fleet, replay, tracker
+//       and checkpoint paths (simulated allocator only -- the real heap
+//       is never pressured), plus the zero-cost parity gate, the
+//       sustained-pressure fix-rate arm, and the planted accounting bug
+//       that must be caught and shrunk.
+//
 // The locate path touches no simulator code: it is exactly what a server
 // attached to a real reader would run.
 #include <cstdio>
@@ -83,6 +93,7 @@
 #include "core/tagspin.hpp"
 #include "eval/crash.hpp"
 #include "eval/fleet.hpp"
+#include "eval/oom.hpp"
 #include "eval/runner.hpp"
 #include "eval/track.hpp"
 #include "geom/angles.hpp"
@@ -792,6 +803,64 @@ int cmdCrash(const Args& args) {
   return r.pass ? 0 : 1;
 }
 
+/// oom: run the resource-exhaustion falsifier (simulated allocator only --
+/// the process's real heap is never pressured).  --json=PATH dumps the
+/// full result; any violation, parity divergence, pressure fix-rate miss,
+/// or missed planted bug exits nonzero.
+int cmdOom(const Args& args) {
+  eval::OomExploreConfig cfg;
+  cfg.seed = std::stoull(args.get("seed", std::to_string(cfg.seed)));
+  cfg.pointsPerWorkload = std::stoul(
+      args.get("points", std::to_string(cfg.pointsPerWorkload)));
+  cfg.scheduleRounds = std::stoul(
+      args.get("schedule-rounds", std::to_string(cfg.scheduleRounds)));
+  if (args.has("no-broken-cache")) cfg.exploreBrokenCache = false;
+  if (args.has("no-pressure")) cfg.runPressureArm = false;
+  if (args.has("no-parity")) cfg.runParityGate = false;
+
+  const eval::OomEvalResult r = eval::runOomEval(cfg);
+  for (const eval::WorkloadOomStats& w : r.workloads) {
+    std::printf("%-22s %6llu boundaries  %7llu points  %6llu denials  %llu "
+                "violations\n", w.name.c_str(),
+                static_cast<unsigned long long>(w.boundaries),
+                static_cast<unsigned long long>(w.points),
+                static_cast<unsigned long long>(w.denials),
+                static_cast<unsigned long long>(w.violations));
+  }
+  std::printf("schedule search: %llu runs, %llu violations\n",
+              static_cast<unsigned long long>(r.scheduleRuns),
+              static_cast<unsigned long long>(r.scheduleViolations));
+  if (r.parityChecked) {
+    std::printf("parity: %s\n",
+                r.parityBitIdentical ? "bit-identical" : "DIVERGED");
+  }
+  if (r.pressureChecked) {
+    std::printf("pressure: fix rate %.4f at %.1f%% utilization, %llu trims, "
+                "%llu ejections\n",
+                r.pressureFixRate, 100.0 * r.pressureUtilization,
+                static_cast<unsigned long long>(r.pressureTrims),
+                static_cast<unsigned long long>(r.pressureEjections));
+  }
+  if (cfg.exploreBrokenCache) {
+    std::printf("planted bug: caught %s, shrunk to %llu fault(s)\n",
+                r.brokenCacheCaught ? "yes" : "NO",
+                static_cast<unsigned long long>(r.brokenShrunkFaults));
+    if (!r.brokenArtifactJson.empty()) {
+      std::printf("minimal artifact: %s\n", r.brokenArtifactJson.c_str());
+    }
+  }
+  for (const eval::OomViolation& v : r.violations) {
+    std::printf("VIOLATION [%s] failAtOp=%lld: %s\n", v.workload.c_str(),
+                static_cast<long long>(v.failAtOp), v.detail.c_str());
+  }
+  if (args.has("json")) {
+    std::ofstream out(args.get("json", "oom.json"));
+    out << eval::oomJson(r);
+  }
+  std::printf("%s\n", r.pass ? "PASS" : "FAIL");
+  return r.pass ? 0 : 1;
+}
+
 int cmdStats(const Args& args) {
   const std::string dir = args.get("dir", ".");
   const std::string format = args.get("format", "json");
@@ -815,7 +884,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: tagspin_cli <simulate|locate|inspect|serve|record|"
-                 "replay|track|crash|stats> [--flags]\n");
+                 "replay|track|crash|oom|stats> [--flags]\n");
     return 2;
   }
   try {
@@ -829,6 +898,7 @@ int main(int argc, char** argv) {
     if (cmd == "replay") return cmdReplay(args);
     if (cmd == "track") return cmdTrack(args);
     if (cmd == "crash") return cmdCrash(args);
+    if (cmd == "oom") return cmdOom(args);
     if (cmd == "stats") return cmdStats(args);
     std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
     return 2;
